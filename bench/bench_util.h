@@ -1,0 +1,80 @@
+#ifndef CSM_BENCH_BENCH_UTIL_H_
+#define CSM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/timer.h"
+#include "exec/engine.h"
+
+namespace csm {
+namespace bench {
+
+/// Global size multiplier. The paper ran 2M-64M rows on 2006 hardware;
+/// the defaults here are laptop/CI-sized (the *shapes* are scale-stable
+/// because every engine is scan- and sort-bound). Set CSM_BENCH_SCALE=20
+/// to reproduce the paper's absolute scale.
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("CSM_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double value = std::atof(env);
+    return value > 0 ? value : 1.0;
+  }();
+  return scale;
+}
+
+inline size_t Rows(double base) {
+  return static_cast<size_t>(base * Scale());
+}
+
+/// Pretty row count: "100k", "3.2M".
+inline std::string FmtRows(size_t rows) {
+  char buf[32];
+  if (rows >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3gM", rows / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gk", rows / 1e3);
+  }
+  return buf;
+}
+
+inline void PrintHeader(const char* figure, const char* title,
+                        const char* expectation) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("paper shape: %s\n", expectation);
+  std::printf("(CSM_BENCH_SCALE=%.3g; all times seconds)\n", Scale());
+  std::printf("---------------------------------------------------------------"
+              "---------\n");
+}
+
+struct RunResult {
+  bool ok = false;
+  double seconds = 0;
+  ExecStats stats;
+};
+
+inline RunResult TimeEngine(Engine& engine, const Workflow& workflow,
+                            const FactTable& fact) {
+  RunResult out;
+  Timer timer;
+  auto result = engine.Run(workflow, fact);
+  out.seconds = timer.Seconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "engine %s failed: %s\n",
+                 std::string(engine.name()).c_str(),
+                 result.status().ToString().c_str());
+    return out;
+  }
+  out.ok = true;
+  out.stats = result->stats;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace csm
+
+#endif  // CSM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Micro-benchmarks for the performance-critical inner loops: aggregate
+// update/merge, hierarchy generalization, region-key hashing, scalar
+// expression evaluation, and the external sorter.
+
+#include <benchmark/benchmark.h>
+
+#include "agg/aggregate.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "expr/scalar_expr.h"
+#include "model/schema.h"
+#include "storage/external_sorter.h"
+#include "storage/temp_file.h"
+#include "data/synthetic.h"
+
+namespace csm {
+namespace {
+
+void BM_AggUpdate(benchmark::State& state) {
+  const AggKind kind = static_cast<AggKind>(state.range(0));
+  Rng rng(1);
+  std::vector<double> values(4096);
+  for (double& v : values) v = static_cast<double>(rng.Uniform(1000));
+  AggState agg;
+  AggInit(kind, &agg);
+  size_t i = 0;
+  for (auto _ : state) {
+    AggUpdate(kind, &agg, values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(AggFinalize(kind, agg));
+}
+BENCHMARK(BM_AggUpdate)
+    ->Arg(static_cast<int>(AggKind::kCount))
+    ->Arg(static_cast<int>(AggKind::kSum))
+    ->Arg(static_cast<int>(AggKind::kAvg))
+    ->Arg(static_cast<int>(AggKind::kVar));
+
+void BM_AggMerge(benchmark::State& state) {
+  AggState a, b;
+  AggInit(AggKind::kVar, &a);
+  AggInit(AggKind::kVar, &b);
+  for (int i = 0; i < 100; ++i) {
+    AggUpdate(AggKind::kVar, &a, i);
+    AggUpdate(AggKind::kVar, &b, i * 2);
+  }
+  for (auto _ : state) {
+    AggState copy;
+    copy.a = a.a;
+    copy.b = a.b;
+    copy.c = a.c;
+    AggMerge(AggKind::kVar, &copy, b);
+    benchmark::DoNotOptimize(copy.c);
+  }
+}
+BENCHMARK(BM_AggMerge);
+
+void BM_Generalize(benchmark::State& state) {
+  auto h = MakeTimeHierarchy(1e7);
+  Rng rng(2);
+  std::vector<Value> values(4096);
+  for (Value& v : values) v = rng.Uniform(10000000);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->Generalize(values[i++ & 4095], 0, 2));
+  }
+}
+BENCHMARK(BM_Generalize);
+
+void BM_HashRegionKey(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Value> key(4);
+  for (Value& v : key) v = rng.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashSpan(key.data(), key.size()));
+    key[0]++;
+  }
+}
+BENCHMARK(BM_HashRegionKey);
+
+void BM_ScalarExprEval(benchmark::State& state) {
+  auto parsed =
+      ScalarExpr::Parse("if(a > 5 && b < 100, a * 2 + b / 3, 0)");
+  auto bound = BoundExpr::Bind(**parsed, {"a", "b"});
+  double slots[2] = {7, 42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bound->Eval(slots));
+    slots[0] += 1;
+    if (slots[0] > 100) slots[0] = 0;
+  }
+}
+BENCHMARK(BM_ScalarExprEval);
+
+void BM_ExternalSort(benchmark::State& state) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  SyntheticDataOptions options;
+  options.rows = static_cast<size_t>(state.range(0));
+  auto key = SortKey::Parse(*schema, "<d0:L0, d1:L0>");
+  auto temp = TempDir::Make();
+  const size_t budget = state.range(1) ? (1 << 20) : (1u << 30);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FactTable fact = GenerateSyntheticFacts(schema, options);
+    state.ResumeTiming();
+    auto sorted =
+        SortFactTable(std::move(fact), *key, budget, &*temp, nullptr);
+    benchmark::DoNotOptimize(sorted->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * options.rows);
+}
+BENCHMARK(BM_ExternalSort)
+    ->Args({100000, 0})   // in-memory
+    ->Args({100000, 1})   // forced spill
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace csm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Extension bench: partitioned parallel sort/scan (the paper's §1 future
+// work). Thread sweep over the multi-recon workload, which partitions
+// cleanly on the target-network dimension.
+
+#include <thread>
+
+#include "bench_util.h"
+#include "data/netlog.h"
+#include "data/queries.h"
+#include "exec/parallel.h"
+#include "exec/sort_scan.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+  PrintHeader("Parallel", "partitioned sort/scan thread sweep",
+              "near-linear speedup until cores saturate (partitions are "
+              "fully independent)");
+
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = MakeMultiReconQuery(schema);
+  if (!workflow.ok()) return 1;
+
+  NetLogOptions data;
+  data.rows = Rows(1000e3);
+  FactTable fact = GenerateNetLog(schema, data);
+  std::printf("log: %s records (%u hardware threads)\n\n",
+              FmtRows(fact.num_rows()).c_str(),
+              std::thread::hardware_concurrency());
+
+  SortScanEngine sequential;
+  RunResult base = TimeEngine(sequential, *workflow, fact);
+  if (!base.ok) return 1;
+  std::printf("%10s %10s %10s\n", "threads", "seconds", "speedup");
+  std::printf("%10s %10.3f %10s\n", "(seq)", base.seconds, "1.00");
+  for (int threads : {2, 4, 8}) {
+    ParallelSortScanEngine parallel({}, threads);
+    RunResult run = TimeEngine(parallel, *workflow, fact);
+    if (!run.ok) return 1;
+    std::printf("%10d %10.3f %10.2f\n", threads, run.seconds,
+                base.seconds / run.seconds);
+  }
+  return 0;
+}

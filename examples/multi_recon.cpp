@@ -1,0 +1,86 @@
+// Multi-recon detection (paper §7.2, second HoneyNet analysis): windows
+// where many distinct source IPs probe one target /24, none dominating —
+// coordinated reconnaissance. The query is three child/parent match joins
+// over one child region set plus a combine join; this is the shape where
+// the coordinated sort/scan evaluation shines (Fig. 7(b)).
+//
+// Also demonstrates the §6 optimizer: the sort order is chosen by
+// brute-force search over the footprint model rather than the engine's
+// default.
+
+#include <cstdio>
+
+#include "data/netlog.h"
+#include "data/queries.h"
+#include "exec/sort_scan.h"
+#include "model/schema.h"
+#include "opt/footprint.h"
+#include "opt/sort_order.h"
+#include "relational/relational_engine.h"
+
+int main() {
+  using namespace csm;
+  SchemaPtr schema = MakeNetworkLogSchema();
+
+  NetLogOptions data_options;
+  data_options.rows = 400000;
+  data_options.recon_events = 5;
+  data_options.recon_sources = 80;
+  FactTable fact = GenerateNetLog(schema, data_options);
+  std::printf("log: %zu records, %d injected recon bursts\n\n",
+              fact.num_rows(), data_options.recon_events);
+
+  auto workflow = MakeMultiReconQuery(schema, /*min_sources=*/40);
+  if (!workflow.ok()) {
+    std::fprintf(stderr, "%s\n", workflow.status().ToString().c_str());
+    return 1;
+  }
+
+  // Let the optimizer pick the sort order (§6: brute force over the
+  // footprint model, as in the paper's experiments).
+  auto best_key = BruteForceSortKey(*workflow);
+  if (!best_key.ok()) {
+    std::fprintf(stderr, "%s\n", best_key.status().ToString().c_str());
+    return 1;
+  }
+  auto footprint = EstimateFootprint(*workflow, *best_key);
+  std::printf("optimizer-chosen sort order: %s\n",
+              best_key->ToString(*schema).c_str());
+  std::printf("estimated footprint:\n%s\n",
+              footprint->ToString(*schema).c_str());
+
+  EngineOptions options;
+  options.sort_key = *best_key;
+  SortScanEngine sort_scan(options);
+  RelationalEngine relational;
+
+  auto streamed = sort_scan.Run(*workflow, fact);
+  auto baseline = relational.Run(*workflow, fact);
+  if (!streamed.ok() || !baseline.ok()) {
+    std::fprintf(stderr, "execution failed\n");
+    return 1;
+  }
+  std::printf("sort/scan:  %.3fs (one shared sort+scan)\n",
+              streamed->stats.total_seconds);
+  std::printf("relational: %.3fs (per-measure scans and sorts)\n\n",
+              baseline->stats.total_seconds);
+
+  const MeasureTable& recon = streamed->tables.at("Recon");
+  std::printf("flagged reconnaissance windows:\n");
+  int flagged = 0;
+  for (size_t row = 0; row < recon.num_rows(); ++row) {
+    if (recon.value(row) != 1.0) continue;
+    ++flagged;
+    if (flagged <= 10) {
+      const Value* key = recon.key_row(row);
+      std::printf("  hour %4llu  target %llu.%llu.%llu.0/24\n",
+                  static_cast<unsigned long long>(key[0]),
+                  static_cast<unsigned long long>(key[2] >> 16),
+                  static_cast<unsigned long long>((key[2] >> 8) & 0xff),
+                  static_cast<unsigned long long>(key[2] & 0xff));
+    }
+  }
+  std::printf("  (%d flagged windows out of %zu)\n", flagged,
+              recon.num_rows());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Network escalation detection (paper §7.2, first HoneyNet analysis):
+// find hours in which attack volume into a target /24 grows sharply over
+// the previous hour — the worm-outbreak signature from the paper's
+// introduction. Demonstrates sibling match joins, combine joins, and the
+// engine trade-off the paper observes in Fig. 7(a): when the intermediate
+// state is small, the plain single-scan algorithm beats sort/scan because
+// the sort dominates.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/netlog.h"
+#include "data/queries.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "model/schema.h"
+
+int main() {
+  using namespace csm;
+  SchemaPtr schema = MakeNetworkLogSchema();
+
+  NetLogOptions data_options;
+  data_options.rows = 400000;
+  data_options.duration_seconds = 3 * 24 * 3600;
+  data_options.escalation_events = 4;
+  FactTable fact = GenerateNetLog(schema, data_options);
+  std::printf("log: %zu records over %llu hours, %d injected escalations\n",
+              fact.num_rows(),
+              static_cast<unsigned long long>(
+                  data_options.duration_seconds / 3600),
+              data_options.escalation_events);
+
+  auto workflow = MakeEscalationQuery(schema, /*factor=*/3.0);
+  if (!workflow.ok()) {
+    std::fprintf(stderr, "%s\n", workflow.status().ToString().c_str());
+    return 1;
+  }
+
+  SingleScanEngine single_scan;
+  SortScanEngine sort_scan;
+  for (Engine* engine :
+       std::vector<Engine*>{&single_scan, &sort_scan}) {
+    auto result = engine->Run(*workflow, fact);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", std::string(engine->name()).c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n[%s] total %.3fs (sort %.3fs, scan %.3fs), peak "
+                "entries %llu\n",
+                std::string(engine->name()).c_str(),
+                result->stats.total_seconds, result->stats.sort_seconds,
+                result->stats.scan_seconds,
+                static_cast<unsigned long long>(
+                    result->stats.peak_hash_entries));
+
+    if (engine == &sort_scan) {
+      // Report the alerting networks once.
+      const MeasureTable& alerts = result->tables.at("Alerts");
+      std::vector<std::pair<double, Value>> hot;
+      for (size_t row = 0; row < alerts.num_rows(); ++row) {
+        if (alerts.value(row) > 0) {
+          hot.push_back({alerts.value(row), alerts.key_row(row)[2]});
+        }
+      }
+      std::sort(hot.rbegin(), hot.rend());
+      std::printf("\nescalating target networks (alert hours, /24):\n");
+      for (size_t i = 0; i < hot.size() && i < 8; ++i) {
+        const Value net24 = hot[i].second;
+        std::printf("  %3.0f alert hour(s)  %llu.%llu.%llu.0/24\n",
+                    hot[i].first,
+                    static_cast<unsigned long long>(net24 >> 16),
+                    static_cast<unsigned long long>((net24 >> 8) & 0xff),
+                    static_cast<unsigned long long>(net24 & 0xff));
+      }
+      std::printf("  (%zu alerting networks total)\n", hot.size());
+    }
+  }
+  std::printf("\nNote Fig. 7(a)'s effect: the intermediate state here is "
+              "small, so single-scan\navoids the sort and wins; sort/scan "
+              "pays the sort to bound memory.\n");
+  return 0;
+}

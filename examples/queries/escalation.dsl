@@ -1,0 +1,8 @@
+# Network escalation detection (§7.2): hours where attack volume into a
+# target /24 grows more than 3x over the previous hour.
+measure Vol at (t:hour, V:net24) = agg count(*) from FACT hidden;
+measure PrevVol at (t:hour, V:net24) =
+    match Vol using sibling(t in [-1, -1]) agg sum(M) hidden;
+measure Growth at (t:hour, V:net24) = combine(Vol, PrevVol)
+    as if(isnull(PrevVol) || PrevVol < 1, 0, Vol / PrevVol);
+measure Alerts at (V:net24) = agg count(M) from Growth where M > 3;

@@ -1,0 +1,11 @@
+# Multi-recon detection (§7.2): windows where many distinct sources probe
+# one target /24, none dominating.
+measure SrcCount at (t:hour, V:net24, U:ip) = agg count(*) from FACT hidden;
+measure UniqueSrcs at (t:hour, V:net24) =
+    match SrcCount using childparent agg count(M) hidden;
+measure ReconVol at (t:hour, V:net24) =
+    match SrcCount using childparent agg sum(M) hidden;
+measure MaxPerSrc at (t:hour, V:net24) =
+    match SrcCount using childparent agg max(M) hidden;
+measure Recon at (t:hour, V:net24) = combine(UniqueSrcs, ReconVol, MaxPerSrc)
+    as if(UniqueSrcs >= 20 && MaxPerSrc * 4 < ReconVol, 1, 0);

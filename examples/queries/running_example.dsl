@@ -1,0 +1,9 @@
+# The paper's running example (§3.1, Examples 1-5).
+# Run: csm_query --schema net --facts log.csv --query running_example.dsl
+measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+measure SCount at (t:hour) = agg count(M) from Count where M > 5;
+measure STraffic at (t:hour) = agg sum(M) from Count where M > 5;
+measure AvgCount at (t:hour) =
+    match SCount using sibling(t in [0, 5]) agg avg(M);
+measure Ratio at (t:hour) = combine(AvgCount, STraffic, SCount)
+    as AvgCount / (STraffic / SCount);

@@ -1,0 +1,217 @@
+#include "agg/aggregate.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+}  // namespace
+
+bool IsDistributive(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kNone:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAlgebraic(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountDistinct:
+      return false;  // holistic
+    default:
+      return true;
+  }
+}
+
+Result<AggKind> AggKindFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "count") return AggKind::kCount;
+  if (lower == "sum") return AggKind::kSum;
+  if (lower == "min") return AggKind::kMin;
+  if (lower == "max") return AggKind::kMax;
+  if (lower == "avg" || lower == "average") return AggKind::kAvg;
+  if (lower == "var" || lower == "variance") return AggKind::kVar;
+  if (lower == "stddev") return AggKind::kStddev;
+  if (lower == "count_distinct" || lower == "countdistinct") {
+    return AggKind::kCountDistinct;
+  }
+  if (lower == "none" || lower == "zero") return AggKind::kNone;
+  return Status::NotFound("unknown aggregate function '" +
+                          std::string(name) + "'");
+}
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kVar:
+      return "var";
+    case AggKind::kStddev:
+      return "stddev";
+    case AggKind::kCountDistinct:
+      return "count_distinct";
+    case AggKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+void AggInit(AggKind kind, AggState* state) {
+  state->a = 0;
+  state->b = 0;
+  state->c = 0;
+  if (kind == AggKind::kCountDistinct) {
+    if (state->distinct == nullptr) {
+      state->distinct = std::make_unique<std::unordered_set<uint64_t>>();
+    } else {
+      state->distinct->clear();
+    }
+  } else {
+    state->distinct.reset();
+  }
+  if (kind == AggKind::kMin) state->a = kNaN;
+  if (kind == AggKind::kMax) state->a = kNaN;
+}
+
+void AggUpdate(AggKind kind, AggState* state, double value) {
+  if (std::isnan(value) && kind != AggKind::kNone) {
+    return;  // NULL input: skipped, as in SQL (count(*) feeds literal 1.0)
+  }
+  switch (kind) {
+    case AggKind::kCount:
+      state->a += 1;
+      break;
+    case AggKind::kSum:
+      state->a += value;
+      break;
+    case AggKind::kMin:
+      if (std::isnan(state->a) || value < state->a) state->a = value;
+      break;
+    case AggKind::kMax:
+      if (std::isnan(state->a) || value > state->a) state->a = value;
+      break;
+    case AggKind::kAvg:
+      state->a += value;
+      state->b += 1;
+      break;
+    case AggKind::kVar:
+    case AggKind::kStddev: {
+      // Welford: a = n, b = mean, c = M2.
+      state->a += 1;
+      const double delta = value - state->b;
+      state->b += delta / state->a;
+      state->c += delta * (value - state->b);
+      break;
+    }
+    case AggKind::kCountDistinct:
+      state->distinct->insert(DoubleBits(value));
+      break;
+    case AggKind::kNone:
+      break;
+  }
+}
+
+void AggMerge(AggKind kind, AggState* state, const AggState& other) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+      state->a += other.a;
+      break;
+    case AggKind::kMin:
+      if (!std::isnan(other.a) &&
+          (std::isnan(state->a) || other.a < state->a)) {
+        state->a = other.a;
+      }
+      break;
+    case AggKind::kMax:
+      if (!std::isnan(other.a) &&
+          (std::isnan(state->a) || other.a > state->a)) {
+        state->a = other.a;
+      }
+      break;
+    case AggKind::kAvg:
+      state->a += other.a;
+      state->b += other.b;
+      break;
+    case AggKind::kVar:
+    case AggKind::kStddev: {
+      // Chan et al. parallel variance combination.
+      const double n1 = state->a;
+      const double n2 = other.a;
+      if (n2 == 0) return;
+      if (n1 == 0) {
+        state->a = other.a;
+        state->b = other.b;
+        state->c = other.c;
+        return;
+      }
+      const double delta = other.b - state->b;
+      const double n = n1 + n2;
+      state->b += delta * n2 / n;
+      state->c += other.c + delta * delta * n1 * n2 / n;
+      state->a = n;
+      break;
+    }
+    case AggKind::kCountDistinct:
+      CSM_DCHECK(state->distinct && other.distinct);
+      if (other.distinct) {
+        state->distinct->insert(other.distinct->begin(),
+                                other.distinct->end());
+      }
+      break;
+    case AggKind::kNone:
+      break;
+  }
+}
+
+double AggFinalize(AggKind kind, const AggState& state) {
+  switch (kind) {
+    case AggKind::kCount:
+      return state.a;
+    case AggKind::kSum:
+      return state.a;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return state.a;  // NaN when empty
+    case AggKind::kAvg:
+      return state.b > 0 ? state.a / state.b : kNaN;
+    case AggKind::kVar:
+      return state.a > 0 ? state.c / state.a : kNaN;
+    case AggKind::kStddev:
+      return state.a > 0 ? std::sqrt(state.c / state.a) : kNaN;
+    case AggKind::kCountDistinct:
+      return state.distinct ? static_cast<double>(state.distinct->size())
+                            : 0.0;
+    case AggKind::kNone:
+      return 0.0;
+  }
+  return kNaN;
+}
+
+}  // namespace csm

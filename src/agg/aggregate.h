@@ -1,0 +1,96 @@
+#ifndef CSM_AGG_AGGREGATE_H_
+#define CSM_AGG_AGGREGATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/result.h"
+
+namespace csm {
+
+/// Aggregation functions available to AW-RA operators. All are
+/// distributive or algebraic (paper §5.1 requires this for incremental
+/// hash-table maintenance); COUNT DISTINCT is holistic and is supported by
+/// keeping the distinct set in the aggregation state, which the footprint
+/// estimator charges for.
+enum class AggKind {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kVar,
+  kStddev,
+  kCountDistinct,
+  kNone,  // the paper's g_{G,0}: enumerate regions, measure fixed at 0
+};
+
+/// An aggregation call agg(arg): `arg` is the index of the input's measure
+/// column, or -1 for count(*)-style aggregation over rows. For single-
+/// measure AW-RA tables arg is 0 ("M") or -1.
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  int arg = -1;
+
+  bool operator==(const AggSpec& other) const {
+    return kind == other.kind && arg == other.arg;
+  }
+};
+
+/// Distributive: state merges losslessly by combining partial aggregates
+/// of disjoint inputs (SUM, COUNT, MIN, MAX).
+bool IsDistributive(AggKind kind);
+
+/// Algebraic: finalized from a constant number of distributive components
+/// (AVG, VAR, STDDEV). Distributive functions are also algebraic.
+bool IsAlgebraic(AggKind kind);
+
+Result<AggKind> AggKindFromName(std::string_view name);
+std::string_view AggKindName(AggKind kind);
+
+/// Mutable aggregation state. The three scalar registers cover every
+/// algebraic function (e.g. Welford's n/mean/M2 for variance); the
+/// distinct set is allocated only for COUNT DISTINCT.
+struct AggState {
+  double a = 0;
+  double b = 0;
+  double c = 0;
+  std::unique_ptr<std::unordered_set<uint64_t>> distinct;
+
+  AggState() = default;
+  AggState(AggState&&) = default;
+  AggState& operator=(AggState&&) = default;
+  AggState(const AggState&) = delete;
+  AggState& operator=(const AggState&) = delete;
+
+  /// Approximate heap footprint in bytes, for memory accounting.
+  size_t FootprintBytes() const {
+    size_t bytes = sizeof(AggState);
+    if (distinct) bytes += distinct->size() * 16 + 64;
+    return bytes;
+  }
+};
+
+/// Resets `state` to the empty aggregate for `kind`.
+void AggInit(AggKind kind, AggState* state);
+
+/// Folds one input value into the state. NaN inputs are skipped (NULL
+/// semantics: aggregates ignore NULLs, as in SQL).
+void AggUpdate(AggKind kind, AggState* state, double value);
+
+/// Merges `other` (a partial aggregate over disjoint input) into `state`.
+/// Valid for every supported kind, including the algebraic ones.
+void AggMerge(AggKind kind, AggState* state, const AggState& other);
+
+/// Produces the final measure value. Empty aggregates finalize to 0 for
+/// COUNT / COUNT DISTINCT / NONE, to 0 for SUM, and to NaN (NULL) for
+/// MIN / MAX / AVG / VAR / STDDEV — mirroring SQL over an empty left-outer
+/// match (paper Tables 3 and 4).
+double AggFinalize(AggKind kind, const AggState& state);
+
+}  // namespace csm
+
+#endif  // CSM_AGG_AGGREGATE_H_

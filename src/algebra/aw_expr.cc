@@ -1,0 +1,292 @@
+#include "algebra/aw_expr.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace csm {
+
+std::string_view MatchTypeName(MatchType type) {
+  switch (type) {
+    case MatchType::kSelf:
+      return "self";
+    case MatchType::kParentChild:
+      return "parentchild";
+    case MatchType::kChildParent:
+      return "childparent";
+    case MatchType::kSibling:
+      return "sibling";
+  }
+  return "?";
+}
+
+std::string MatchCond::ToString(const Schema& schema,
+                                const Granularity& gran) const {
+  std::string out(MatchTypeName(type));
+  if (type == MatchType::kSibling) {
+    out += "(";
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (i > 0) out += ", ";
+      const SiblingWindow& w = windows[i];
+      out += schema.dim(w.dim).name;
+      out += " in [";
+      out += std::to_string(w.lo);
+      out += ", ";
+      out += std::to_string(w.hi);
+      out += "]";
+    }
+    out += ")";
+  }
+  (void)gran;
+  return out;
+}
+
+bool AwExpr::IsRawOrSelectedRaw() const {
+  const AwExpr* node = this;
+  while (node->kind_ == AwKind::kSelect) node = node->inputs_[0].get();
+  return node->kind_ == AwKind::kFactTable;
+}
+
+Result<AwExpr::Ptr> AwExpr::FactTable(SchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("fact table needs a schema");
+  }
+  auto e = std::shared_ptr<AwExpr>(new AwExpr());
+  e->kind_ = AwKind::kFactTable;
+  e->gran_ = Granularity::Base(*schema);
+  e->schema_ = std::move(schema);
+  return Ptr(e);
+}
+
+Result<AwExpr::Ptr> AwExpr::MeasureRef(SchemaPtr schema, std::string name,
+                                       Granularity gran) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("measure ref needs a schema");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("measure ref needs a name");
+  }
+  if (gran.num_dims() != schema->num_dims()) {
+    return Status::InvalidArgument("granularity arity mismatch");
+  }
+  auto e = std::shared_ptr<AwExpr>(new AwExpr());
+  e->kind_ = AwKind::kMeasureRef;
+  e->schema_ = std::move(schema);
+  e->gran_ = std::move(gran);
+  e->name_ = std::move(name);
+  return Ptr(e);
+}
+
+Result<AwExpr::Ptr> AwExpr::Select(Ptr input, ScalarExprPtr condition) {
+  if (input == nullptr || condition == nullptr) {
+    return Status::InvalidArgument("selection needs an input and condition");
+  }
+  auto e = std::shared_ptr<AwExpr>(new AwExpr());
+  e->kind_ = AwKind::kSelect;
+  e->schema_ = input->schema();
+  e->gran_ = input->granularity();
+  e->name_ = input->name();
+  e->inputs_ = {std::move(input)};
+  e->condition_ = std::move(condition);
+  return Ptr(e);
+}
+
+Result<AwExpr::Ptr> AwExpr::SelectAt(Ptr input, ScalarExprPtr condition,
+                                     Granularity cond_gran) {
+  if (input == nullptr) {
+    return Status::InvalidArgument("selection needs an input");
+  }
+  if (!input->granularity().FinerOrEqual(cond_gran)) {
+    return Status::InvalidArgument(
+        "SelectAt condition granularity must be coarser than the input");
+  }
+  CSM_ASSIGN_OR_RETURN(Ptr base, Select(std::move(input),
+                                        std::move(condition)));
+  // base is uniquely owned here; fill in the evaluation granularity.
+  auto* mutable_base = const_cast<AwExpr*>(base.get());
+  mutable_base->has_cond_gran_ = true;
+  mutable_base->cond_gran_ = std::move(cond_gran);
+  return base;
+}
+
+Result<AwExpr::Ptr> AwExpr::Aggregate(Ptr input, Granularity gran,
+                                      AggSpec agg, std::string name) {
+  if (input == nullptr) {
+    return Status::InvalidArgument("aggregation needs an input");
+  }
+  if (gran.num_dims() != input->schema()->num_dims()) {
+    return Status::InvalidArgument("granularity arity mismatch");
+  }
+  if (!input->granularity().FinerOrEqual(gran)) {
+    return Status::InvalidArgument(
+        "aggregation requires input granularity ≤_G target granularity "
+        "(got input " + input->granularity().ToString(*input->schema()) +
+        " vs target " + gran.ToString(*input->schema()) + ")");
+  }
+  const bool from_raw = input->IsRawOrSelectedRaw();
+  if (agg.arg >= 0) {
+    const int limit = from_raw ? input->schema()->num_measures() : 1;
+    if (agg.arg >= limit) {
+      return Status::InvalidArgument("aggregate argument out of range");
+    }
+  }
+  auto e = std::shared_ptr<AwExpr>(new AwExpr());
+  e->kind_ = AwKind::kAggregate;
+  e->schema_ = input->schema();
+  e->gran_ = std::move(gran);
+  e->agg_ = agg;
+  e->name_ = std::move(name);
+  e->inputs_ = {std::move(input)};
+  return Ptr(e);
+}
+
+Result<AwExpr::Ptr> AwExpr::MatchJoin(Ptr source, Ptr target,
+                                      MatchCond cond, AggSpec agg,
+                                      std::string name) {
+  if (source == nullptr || target == nullptr) {
+    return Status::InvalidArgument("match join needs S and T");
+  }
+  if (source->IsRawOrSelectedRaw() || target->IsRawOrSelectedRaw()) {
+    return Status::InvalidArgument(
+        "match join operands may not be D or σ(D) (Table 5)");
+  }
+  const Schema& schema = *source->schema();
+  const Granularity& sg = source->granularity();
+  const Granularity& tg = target->granularity();
+  switch (cond.type) {
+    case MatchType::kSelf:
+      if (sg != tg) {
+        return Status::InvalidArgument(
+            "self match requires equal granularities");
+      }
+      break;
+    case MatchType::kParentChild:
+      if (!sg.FinerOrEqual(tg)) {
+        return Status::InvalidArgument(
+            "parent/child match requires γ(S.X̄)=T.X̄: T must be coarser "
+            "than S");
+      }
+      break;
+    case MatchType::kChildParent:
+      if (!tg.FinerOrEqual(sg)) {
+        return Status::InvalidArgument(
+            "child/parent match requires γ(T.X̄)=S.X̄: T must be finer "
+            "than S");
+      }
+      break;
+    case MatchType::kSibling: {
+      if (sg != tg) {
+        return Status::InvalidArgument(
+            "sibling match requires equal granularities");
+      }
+      if (cond.windows.empty()) {
+        return Status::InvalidArgument(
+            "sibling match needs at least one window");
+      }
+      std::unordered_set<int> seen;
+      for (const SiblingWindow& w : cond.windows) {
+        if (w.dim < 0 || w.dim >= schema.num_dims()) {
+          return Status::InvalidArgument("sibling window dim out of range");
+        }
+        if (sg.level(w.dim) == schema.dim(w.dim).hierarchy->all_level()) {
+          return Status::InvalidArgument(
+              "sibling window on a dimension rolled up to ALL");
+        }
+        if (w.lo > w.hi) {
+          return Status::InvalidArgument("sibling window lo > hi");
+        }
+        if (!seen.insert(w.dim).second) {
+          return Status::InvalidArgument(
+              "duplicate sibling window dimension");
+        }
+      }
+      break;
+    }
+  }
+  if (agg.arg > 0) {
+    return Status::InvalidArgument(
+        "match join aggregates T's single measure (arg must be 0 or -1)");
+  }
+  auto e = std::shared_ptr<AwExpr>(new AwExpr());
+  e->kind_ = AwKind::kMatchJoin;
+  e->schema_ = source->schema();
+  e->gran_ = source->granularity();
+  e->agg_ = agg;
+  e->match_ = std::move(cond);
+  e->name_ = std::move(name);
+  e->inputs_ = {std::move(source), std::move(target)};
+  return Ptr(e);
+}
+
+Result<AwExpr::Ptr> AwExpr::CombineJoin(Ptr source,
+                                        std::vector<Ptr> targets,
+                                        ScalarExprPtr fc,
+                                        std::string name) {
+  if (source == nullptr || fc == nullptr) {
+    return Status::InvalidArgument("combine join needs S and fc");
+  }
+  // `targets` may be empty: the degenerate S ⋈̄_{fc}() applies a scalar
+  // function to S's own measure (a single-input combine in the workflow).
+  if (source->IsRawOrSelectedRaw()) {
+    return Status::InvalidArgument(
+        "combine join source may not be D or σ(D) (Table 5)");
+  }
+  for (const Ptr& t : targets) {
+    if (t == nullptr) {
+      return Status::InvalidArgument("null combine join input");
+    }
+    if (t->IsRawOrSelectedRaw()) {
+      return Status::InvalidArgument(
+          "combine join inputs may not be D or σ(D) (Table 5)");
+    }
+    if (t->granularity() != source->granularity()) {
+      return Status::InvalidArgument(
+          "combine join requires equal granularities (Table 5)");
+    }
+  }
+  auto e = std::shared_ptr<AwExpr>(new AwExpr());
+  e->kind_ = AwKind::kCombineJoin;
+  e->schema_ = source->schema();
+  e->gran_ = source->granularity();
+  e->condition_ = std::move(fc);
+  e->name_ = std::move(name);
+  e->inputs_.push_back(std::move(source));
+  for (Ptr& t : targets) e->inputs_.push_back(std::move(t));
+  return Ptr(e);
+}
+
+std::string AwExpr::ToString() const {
+  const Schema& schema = *schema_;
+  switch (kind_) {
+    case AwKind::kFactTable:
+      return "D";
+    case AwKind::kMeasureRef:
+      return name_;
+    case AwKind::kSelect:
+      return "σ[" + condition_->ToString() + "](" +
+             inputs_[0]->ToString() + ")";
+    case AwKind::kAggregate:
+      return "g[" + gran_.ToString(schema) + ", " +
+             std::string(AggKindName(agg_.kind)) +
+             (agg_.arg >= 0 ? "(arg" + std::to_string(agg_.arg) + ")"
+                            : "(*)") +
+             "](" + inputs_[0]->ToString() + ")";
+    case AwKind::kMatchJoin:
+      return "(" + inputs_[0]->ToString() + " ⋈[" +
+             match_.ToString(schema, gran_) + ", " +
+             std::string(AggKindName(agg_.kind)) + "] " +
+             inputs_[1]->ToString() + ")";
+    case AwKind::kCombineJoin: {
+      std::string out = "(" + inputs_[0]->ToString() + " ⋈̄[" +
+                        condition_->ToString() + "](";
+      for (size_t i = 1; i < inputs_.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += inputs_[i]->ToString();
+      }
+      return out + "))";
+    }
+  }
+  return "?";
+}
+
+}  // namespace csm

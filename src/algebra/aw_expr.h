@@ -1,0 +1,161 @@
+#ifndef CSM_ALGEBRA_AW_EXPR_H_
+#define CSM_ALGEBRA_AW_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "expr/scalar_expr.h"
+#include "model/granularity.h"
+#include "model/schema.h"
+
+namespace csm {
+
+/// The AW-RA operators (paper §3.2, Table 5).
+enum class AwKind {
+  kFactTable,    // D — the raw dataset
+  kMeasureRef,   // named reference to another measure table (a workflow
+                 // oval); resolved through an environment at eval time
+  kSelect,       // σ_cond(T)
+  kAggregate,    // g_{G,agg}(T) — roll-up
+  kMatchJoin,    // S ⋈_{cond,agg} T
+  kCombineJoin,  // S ⋈̄_{fc}(T_1..T_n)
+};
+
+/// The four common match-join condition families (paper §3.2). Semantics
+/// are relative to (S = output region set, T = input measure table):
+///  - kSelf:        S.X̄ = T.X̄ (same granularity)
+///  - kParentChild: γ(S.X̄) = T.X̄ — T is coarser; every S region joins its
+///                  unique ancestor in T
+///  - kChildParent: γ(T.X̄) = S.X̄ — T is finer; every S region aggregates
+///                  its descendants in T (equivalent to roll-up)
+///  - kSibling:     T.X̄ ∈ NEIGHBOR(S.X̄) — same granularity, T within a
+///                  moving window around S on selected dimensions
+enum class MatchType { kSelf, kParentChild, kChildParent, kSibling };
+
+std::string_view MatchTypeName(MatchType type);
+
+/// One moving-window constraint of a sibling match: T.X_dim − S.X_dim must
+/// lie in [lo, hi], in units of the shared granularity's domain (e.g. hours
+/// for t:hour). The paper's 6-hour trailing window [c.t, c.t+5] is
+/// {dim=t, lo=0, hi=5}.
+struct SiblingWindow {
+  int dim = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool operator==(const SiblingWindow& other) const {
+    return dim == other.dim && lo == other.lo && hi == other.hi;
+  }
+};
+
+/// A match-join condition. For kSibling, dimensions without a window must
+/// match exactly.
+struct MatchCond {
+  MatchType type = MatchType::kSelf;
+  std::vector<SiblingWindow> windows;
+
+  static MatchCond Self() { return {MatchType::kSelf, {}}; }
+  static MatchCond ParentChild() { return {MatchType::kParentChild, {}}; }
+  static MatchCond ChildParent() { return {MatchType::kChildParent, {}}; }
+  static MatchCond Sibling(std::vector<SiblingWindow> windows) {
+    return {MatchType::kSibling, std::move(windows)};
+  }
+
+  std::string ToString(const Schema& schema,
+                       const Granularity& gran) const;
+};
+
+/// An immutable AW-RA expression node. Built through the factory functions,
+/// which enforce the operator prerequisites of Table 5; an expression that
+/// constructs successfully is well-typed (its output is a measure table
+/// with a known granularity).
+class AwExpr {
+ public:
+  using Ptr = std::shared_ptr<const AwExpr>;
+
+  /// D: the fact table at base granularity. The "measure" of D's rows is
+  /// selected per-aggregation via AggSpec::arg.
+  static Result<Ptr> FactTable(SchemaPtr schema);
+
+  /// Named reference to a measure table computed elsewhere (workflow
+  /// oval). `gran` is the referenced table's granularity.
+  static Result<Ptr> MeasureRef(SchemaPtr schema, std::string name,
+                                Granularity gran);
+
+  /// σ_cond(T). The condition may reference dimension names (values at
+  /// T's granularity) and, for measure tables, "M"; for the fact table the
+  /// raw measure attribute names.
+  static Result<Ptr> Select(Ptr input, ScalarExprPtr condition);
+
+  /// σ with the dimension variables of `condition` evaluated at
+  /// `cond_gran` instead of the input's granularity (each dim value is
+  /// rolled up before binding). This is the cond₂ form produced by the
+  /// Property 2 rewrite σ_c(g_G(T)) = g_G(σ_c'(T)); cond_gran records the
+  /// granularity the condition was originally written against.
+  static Result<Ptr> SelectAt(Ptr input, ScalarExprPtr condition,
+                              Granularity cond_gran);
+
+  /// g_{G,agg}(T). Requires T.G ≤_G G.
+  static Result<Ptr> Aggregate(Ptr input, Granularity gran, AggSpec agg,
+                               std::string name);
+
+  /// S ⋈_{cond,agg} T. Neither side may be D or σ(D) (Table 5); the
+  /// granularities must fit the condition family.
+  static Result<Ptr> MatchJoin(Ptr source, Ptr target, MatchCond cond,
+                               AggSpec agg, std::string name);
+
+  /// S ⋈̄_{fc}(T_1..T_n). All inputs share S's granularity; none may be D
+  /// or σ(D). `fc` references inputs by name.
+  static Result<Ptr> CombineJoin(Ptr source, std::vector<Ptr> targets,
+                                 ScalarExprPtr fc, std::string name);
+
+  AwKind kind() const { return kind_; }
+  const SchemaPtr& schema() const { return schema_; }
+  const Granularity& granularity() const { return gran_; }
+  /// Measure/table name ("" for D and σ nodes, which inherit context).
+  const std::string& name() const { return name_; }
+
+  const std::vector<Ptr>& inputs() const { return inputs_; }
+  /// kSelect / kAggregate: the single input.
+  const Ptr& input() const { return inputs_[0]; }
+  /// kMatchJoin / kCombineJoin: S.
+  const Ptr& source() const { return inputs_[0]; }
+  /// kMatchJoin: T.
+  const Ptr& target() const { return inputs_[1]; }
+
+  const ScalarExprPtr& condition() const { return condition_; }
+  const AggSpec& agg() const { return agg_; }
+  const MatchCond& match() const { return match_; }
+
+  /// kSelect only: granularity at which the condition's dimension
+  /// variables are evaluated; nullptr means the input's own granularity.
+  const Granularity* cond_gran() const {
+    return has_cond_gran_ ? &cond_gran_ : nullptr;
+  }
+
+  /// True for D and σ(...(D)) — the forms Table 5 bans as join operands.
+  bool IsRawOrSelectedRaw() const;
+
+  /// Algebra text, e.g. "g[(t:hour), count](σ[M > 5](Count))".
+  std::string ToString() const;
+
+ private:
+  AwExpr() = default;
+
+  AwKind kind_ = AwKind::kFactTable;
+  SchemaPtr schema_;
+  Granularity gran_;
+  std::string name_;
+  std::vector<Ptr> inputs_;
+  ScalarExprPtr condition_;  // kSelect cond; kCombineJoin fc
+  AggSpec agg_;
+  MatchCond match_;
+  bool has_cond_gran_ = false;
+  Granularity cond_gran_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_ALGEBRA_AW_EXPR_H_

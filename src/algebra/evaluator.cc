@@ -1,0 +1,186 @@
+#include "algebra/evaluator.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "algebra/measure_ops.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace csm {
+
+namespace {
+
+using StateMap =
+    std::unordered_map<std::vector<Value>, AggState, VectorHash>;
+
+/// Evaluates `expr` to a measure table, recursively materializing inputs.
+/// Per-operator semantics live in algebra/measure_ops.*; this class only
+/// orchestrates recursion and the fact-table scan.
+class Evaluator {
+ public:
+  Evaluator(const FactTable& fact, const MeasureEnv& env)
+      : fact_(fact), env_(env) {}
+
+  Result<MeasureTable> Eval(const AwExpr& expr) {
+    switch (expr.kind()) {
+      case AwKind::kFactTable:
+        return Status::InvalidArgument(
+            "cannot evaluate bare D as a measure table");
+      case AwKind::kMeasureRef: {
+        auto it = env_.find(expr.name());
+        if (it == env_.end()) {
+          return Status::NotFound("unresolved measure reference '" +
+                                  expr.name() + "'");
+        }
+        return it->second->Clone();
+      }
+      case AwKind::kSelect: {
+        if (expr.input()->IsRawOrSelectedRaw()) {
+          return Status::InvalidArgument(
+              "σ(D) is not itself a measure table; aggregate it");
+        }
+        CSM_ASSIGN_OR_RETURN(MeasureTable input, Eval(*expr.input()));
+        return FilterMeasure(input, *expr.condition(), expr.cond_gran(),
+                             expr.name());
+      }
+      case AwKind::kAggregate: {
+        if (expr.input()->IsRawOrSelectedRaw()) {
+          return AggregateFact(expr);
+        }
+        CSM_ASSIGN_OR_RETURN(MeasureTable input, Eval(*expr.input()));
+        AggSpec agg = expr.agg();
+        return HashRollup(input, expr.granularity(), agg, expr.name());
+      }
+      case AwKind::kMatchJoin: {
+        CSM_ASSIGN_OR_RETURN(MeasureTable source, Eval(*expr.source()));
+        CSM_ASSIGN_OR_RETURN(MeasureTable target, Eval(*expr.target()));
+        return HashMatchJoin(source, target, expr.match(), expr.agg(),
+                             expr.name());
+      }
+      case AwKind::kCombineJoin: {
+        std::vector<MeasureTable> tables;
+        tables.reserve(expr.inputs().size());
+        for (const auto& in : expr.inputs()) {
+          CSM_ASSIGN_OR_RETURN(MeasureTable t, Eval(*in));
+          tables.push_back(std::move(t));
+        }
+        std::vector<const MeasureTable*> ptrs;
+        for (const MeasureTable& t : tables) ptrs.push_back(&t);
+        return HashCombine(ptrs, *expr.condition(), expr.name());
+      }
+    }
+    return Status::Internal("bad AwExpr kind");
+  }
+
+ private:
+  // g_{G,agg} applied to D or a σ-chain over D: one scan of the fact table
+  // with the (possibly granularity-shifted) conditions applied per record.
+  Result<MeasureTable> AggregateFact(const AwExpr& expr) {
+    const Schema& schema = *expr.schema();
+    const int d = schema.num_dims();
+    const int m = schema.num_measures();
+    const Granularity& gran = expr.granularity();
+    StateMap states;
+    RegionKey key(d);
+
+    struct FactCond {
+      BoundExpr expr;
+      const Granularity* gran;
+    };
+    std::vector<FactCond> conds;
+    const AwExpr* node = expr.input().get();
+    const auto vars = FactRowVars(schema);
+    while (node->kind() == AwKind::kSelect) {
+      CSM_ASSIGN_OR_RETURN(BoundExpr cond,
+                           BoundExpr::Bind(*node->condition(), vars));
+      conds.push_back({std::move(cond), node->cond_gran()});
+      node = node->input().get();
+    }
+
+    std::vector<double> slots(d + m);
+    RegionKey cond_key(d);
+    const Granularity base = Granularity::Base(schema);
+    for (size_t row = 0; row < fact_.num_rows(); ++row) {
+      const Value* dims = fact_.dim_row(row);
+      const double* measures = fact_.measure_row(row);
+      if (!conds.empty()) {
+        for (int i = 0; i < m; ++i) slots[d + i] = measures[i];
+        bool pass = true;
+        for (const FactCond& cond : conds) {
+          const Value* eval_key = dims;
+          if (cond.gran != nullptr) {
+            GeneralizeKeyInto(schema, dims, base, *cond.gran, &cond_key);
+            eval_key = cond_key.data();
+          }
+          for (int i = 0; i < d; ++i) {
+            slots[i] = static_cast<double>(eval_key[i]);
+          }
+          if (!cond.expr.EvalBool(slots.data())) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+      }
+      GeneralizeKeyInto(schema, dims, base, gran, &key);
+      auto [it, inserted] = states.try_emplace(key);
+      if (inserted) AggInit(expr.agg().kind, &it->second);
+      AggUpdate(expr.agg().kind, &it->second,
+                expr.agg().arg >= 0 ? measures[expr.agg().arg] : 1.0);
+    }
+
+    MeasureTable out(expr.schema(), gran, expr.name());
+    out.Reserve(states.size());
+    for (const auto& [k, state] : states) {
+      out.Append(k.data(), AggFinalize(expr.agg().kind, state));
+    }
+    out.SortByKeyLex();
+    return out;
+  }
+
+  const FactTable& fact_;
+  const MeasureEnv& env_;
+};
+
+}  // namespace
+
+std::vector<std::string> FactRowVars(const Schema& schema) {
+  std::vector<std::string> vars;
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    vars.push_back(schema.dim(i).name);
+  }
+  for (int i = 0; i < schema.num_measures(); ++i) {
+    vars.push_back(schema.measure_name(i));
+  }
+  return vars;
+}
+
+std::vector<std::string> MeasureRowVars(const Schema& schema,
+                                        const std::string& table_name) {
+  std::vector<std::string> vars;
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    vars.push_back(schema.dim(i).name);
+  }
+  vars.push_back("M");
+  vars.push_back(table_name.empty() ? "M" : table_name);
+  return vars;
+}
+
+std::vector<std::string> CombineVars(
+    const Schema& schema, const std::vector<std::string>& tables) {
+  std::vector<std::string> vars;
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    vars.push_back(schema.dim(i).name);
+  }
+  for (const std::string& t : tables) vars.push_back(t);
+  return vars;
+}
+
+Result<MeasureTable> EvalAwExpr(const AwExpr& expr, const FactTable& fact,
+                                const MeasureEnv& env) {
+  return Evaluator(fact, env).Eval(expr);
+}
+
+}  // namespace csm

@@ -1,0 +1,45 @@
+#ifndef CSM_ALGEBRA_EVALUATOR_H_
+#define CSM_ALGEBRA_EVALUATOR_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/aw_expr.h"
+#include "common/result.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+
+namespace csm {
+
+/// Named measure tables available to kMeasureRef nodes.
+using MeasureEnv = std::map<std::string, const MeasureTable*>;
+
+/// Reference evaluator for AW-RA expressions: direct, hash-based, fully
+/// materialized — the executable form of the SQL equivalences in Tables
+/// 2-4. It makes no attempt to bound memory or share work; the streaming
+/// engines are validated against it, and the relational baseline reuses its
+/// per-operator semantics.
+///
+/// `expr` must be a measure-producing node (not bare D / σ(D)).
+Result<MeasureTable> EvalAwExpr(const AwExpr& expr, const FactTable& fact,
+                                const MeasureEnv& env = {});
+
+/// Variable layout helpers shared by all engines, so predicates and
+/// combine functions bind identically everywhere.
+///
+/// Layout for a fact-table row: [dim names..., raw measure names...].
+std::vector<std::string> FactRowVars(const Schema& schema);
+
+/// Layout for a measure-table row: [dim names..., "M", table name] — the
+/// final two slots both hold the measure value, so conditions may say
+/// either "M > 5" or "Count > 5".
+std::vector<std::string> MeasureRowVars(const Schema& schema,
+                                        const std::string& table_name);
+
+/// Layout for a combine join: [dim names..., S name, T_1 name, ...].
+std::vector<std::string> CombineVars(const Schema& schema,
+                                     const std::vector<std::string>& tables);
+
+}  // namespace csm
+
+#endif  // CSM_ALGEBRA_EVALUATOR_H_

@@ -1,0 +1,198 @@
+#include "algebra/measure_ops.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "algebra/evaluator.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace csm {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+using StateMap =
+    std::unordered_map<std::vector<Value>, AggState, VectorHash>;
+
+AggState& Touch(StateMap& states, const RegionKey& key, AggKind kind) {
+  auto [it, inserted] = states.try_emplace(key);
+  if (inserted) AggInit(kind, &it->second);
+  return it->second;
+}
+}  // namespace
+
+Result<MeasureTable> FilterMeasure(const MeasureTable& input,
+                                   const ScalarExpr& cond,
+                                   const Granularity* cond_gran,
+                                   std::string name) {
+  const Schema& schema = *input.schema();
+  const int d = schema.num_dims();
+  CSM_ASSIGN_OR_RETURN(
+      BoundExpr bound,
+      BoundExpr::Bind(cond, MeasureRowVars(schema, input.name())));
+  MeasureTable out(input.schema(), input.granularity(), std::move(name));
+  std::vector<double> slots(d + 2);
+  RegionKey gen_key(d);
+  for (size_t row = 0; row < input.num_rows(); ++row) {
+    const Value* key = input.key_row(row);
+    const Value* eval_key = key;
+    if (cond_gran != nullptr) {
+      GeneralizeKeyInto(schema, key, input.granularity(), *cond_gran,
+                        &gen_key);
+      eval_key = gen_key.data();
+    }
+    for (int i = 0; i < d; ++i) slots[i] = static_cast<double>(eval_key[i]);
+    slots[d] = slots[d + 1] = input.value(row);
+    if (bound.EvalBool(slots.data())) out.Append(key, input.value(row));
+  }
+  return out;
+}
+
+Result<MeasureTable> HashRollup(const MeasureTable& input,
+                                const Granularity& gran, AggSpec agg,
+                                std::string name) {
+  const Schema& schema = *input.schema();
+  const int d = schema.num_dims();
+  if (!input.granularity().FinerOrEqual(gran)) {
+    return Status::InvalidArgument(
+        "roll-up input granularity must be finer than the target");
+  }
+  StateMap states;
+  RegionKey key(d);
+  for (size_t row = 0; row < input.num_rows(); ++row) {
+    GeneralizeKeyInto(schema, input.key_row(row), input.granularity(),
+                      gran, &key);
+    AggState& state = Touch(states, key, agg.kind);
+    AggUpdate(agg.kind, &state, agg.arg >= 0 ? input.value(row) : 1.0);
+  }
+  MeasureTable out(input.schema(), gran, std::move(name));
+  out.Reserve(states.size());
+  for (const auto& [k, state] : states) {
+    out.Append(k.data(), AggFinalize(agg.kind, state));
+  }
+  out.SortByKeyLex();
+  return out;
+}
+
+Result<MeasureTable> HashMatchJoin(const MeasureTable& source,
+                                   const MeasureTable& target,
+                                   const MatchCond& cond, AggSpec agg,
+                                   std::string name) {
+  const Schema& schema = *source.schema();
+  const int d = schema.num_dims();
+  const AggKind kind = agg.kind;
+  MeasureTable out(source.schema(), source.granularity(), std::move(name));
+  out.Reserve(source.num_rows());
+
+  if (cond.type == MatchType::kChildParent) {
+    // Pre-aggregate the finer target up to the source granularity.
+    StateMap states;
+    RegionKey key(d);
+    for (size_t row = 0; row < target.num_rows(); ++row) {
+      GeneralizeKeyInto(schema, target.key_row(row), target.granularity(),
+                        source.granularity(), &key);
+      AggState& state = Touch(states, key, kind);
+      AggUpdate(kind, &state, target.value(row));
+    }
+    for (size_t row = 0; row < source.num_rows(); ++row) {
+      RegionKey skey(source.key_row(row), source.key_row(row) + d);
+      auto it = states.find(skey);
+      if (it == states.end()) {
+        AggState empty;
+        AggInit(kind, &empty);
+        out.Append(skey, AggFinalize(kind, empty));
+      } else {
+        out.Append(skey, AggFinalize(kind, it->second));
+      }
+    }
+    out.SortByKeyLex();
+    return out;
+  }
+
+  std::unordered_map<std::vector<Value>, std::vector<double>, VectorHash>
+      by_key;
+  for (size_t row = 0; row < target.num_rows(); ++row) {
+    RegionKey tkey(target.key_row(row), target.key_row(row) + d);
+    by_key[tkey].push_back(target.value(row));
+  }
+
+  RegionKey probe(d);
+  for (size_t row = 0; row < source.num_rows(); ++row) {
+    const Value* skey = source.key_row(row);
+    AggState state;
+    AggInit(kind, &state);
+    auto fold = [&](const RegionKey& k) {
+      auto it = by_key.find(k);
+      if (it == by_key.end()) return;
+      for (double v : it->second) AggUpdate(kind, &state, v);
+    };
+    switch (cond.type) {
+      case MatchType::kSelf:
+        probe.assign(skey, skey + d);
+        fold(probe);
+        break;
+      case MatchType::kParentChild:
+        GeneralizeKeyInto(schema, skey, source.granularity(),
+                          target.granularity(), &probe);
+        fold(probe);
+        break;
+      case MatchType::kSibling:
+        ForEachSiblingProbe(skey, d, cond, &probe, fold);
+        break;
+      case MatchType::kChildParent:
+        CSM_CHECK(false) << "handled above";
+        break;
+    }
+    out.Append(skey, AggFinalize(kind, state));
+  }
+  out.SortByKeyLex();
+  return out;
+}
+
+Result<MeasureTable> HashCombine(
+    const std::vector<const MeasureTable*>& inputs, const ScalarExpr& fc,
+    std::string name) {
+  if (inputs.empty() || inputs[0] == nullptr) {
+    return Status::InvalidArgument("combine needs a source table");
+  }
+  const MeasureTable& source = *inputs[0];
+  const Schema& schema = *source.schema();
+  const int d = schema.num_dims();
+  std::vector<std::string> names;
+  for (const MeasureTable* t : inputs) {
+    if (t == nullptr) return Status::InvalidArgument("null combine input");
+    names.push_back(t->name());
+  }
+  CSM_ASSIGN_OR_RETURN(BoundExpr bound,
+                       BoundExpr::Bind(fc, CombineVars(schema, names)));
+
+  std::vector<std::unordered_map<std::vector<Value>, double, VectorHash>>
+      lookups(inputs.size());
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    for (size_t row = 0; row < inputs[i]->num_rows(); ++row) {
+      RegionKey key(inputs[i]->key_row(row), inputs[i]->key_row(row) + d);
+      lookups[i][key] = inputs[i]->value(row);
+    }
+  }
+
+  MeasureTable out(source.schema(), source.granularity(), std::move(name));
+  out.Reserve(source.num_rows());
+  std::vector<double> slots(d + inputs.size());
+  for (size_t row = 0; row < source.num_rows(); ++row) {
+    const Value* key = source.key_row(row);
+    for (int i = 0; i < d; ++i) slots[i] = static_cast<double>(key[i]);
+    slots[d] = source.value(row);
+    RegionKey k(key, key + d);
+    for (size_t i = 1; i < inputs.size(); ++i) {
+      auto it = lookups[i].find(k);
+      slots[d + i] = it == lookups[i].end() ? kNaN : it->second;
+    }
+    out.Append(key, bound.Eval(slots.data()));
+  }
+  out.SortByKeyLex();
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,82 @@
+#ifndef CSM_ALGEBRA_MEASURE_OPS_H_
+#define CSM_ALGEBRA_MEASURE_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/aw_expr.h"
+#include "common/result.h"
+#include "storage/measure_table.h"
+
+namespace csm {
+
+/// Batch (fully materialized, hash-based) implementations of the AW-RA
+/// operators over measure tables. These are the single shared semantics
+/// used by the reference evaluator, the single-scan engine (§5.1) and the
+/// multi-pass combiner; the streaming sort/scan engine and the relational
+/// baseline implement the same operators independently and are tested for
+/// agreement.
+
+/// σ_cond(T). `cond_gran`, when non-null, evaluates the condition's
+/// dimension variables rolled up to that granularity (Property 2 form).
+Result<MeasureTable> FilterMeasure(const MeasureTable& input,
+                                   const ScalarExpr& cond,
+                                   const Granularity* cond_gran,
+                                   std::string name);
+
+/// g_{G,agg}(T) for a measure-table input. agg.arg: 0 folds T's measure,
+/// -1 counts rows.
+Result<MeasureTable> HashRollup(const MeasureTable& input,
+                                const Granularity& gran, AggSpec agg,
+                                std::string name);
+
+/// S ⋈_{cond,agg} T: one output row per region of `source` (its measure
+/// value is ignored — it is the region enumerator), aggregating the
+/// matching rows of `target`.
+Result<MeasureTable> HashMatchJoin(const MeasureTable& source,
+                                   const MeasureTable& target,
+                                   const MatchCond& cond, AggSpec agg,
+                                   std::string name);
+
+/// S ⋈̄_{fc}(T_1..T_n): `inputs[0]` is S; fc sees variables named after
+/// each input table plus the dimension attributes.
+Result<MeasureTable> HashCombine(
+    const std::vector<const MeasureTable*>& inputs, const ScalarExpr& fc,
+    std::string name);
+
+/// Calls `fold(probe_key)` for every coordinate in the sibling-window box
+/// around `skey` (d values at the shared granularity). Offsets that would
+/// take a coordinate below zero are skipped.
+template <typename Fold>
+void ForEachSiblingProbe(const Value* skey, int d, const MatchCond& cond,
+                         RegionKey* probe, Fold fold) {
+  probe->assign(skey, skey + d);
+  // Iterative odometer over the window box.
+  const size_t n = cond.windows.size();
+  std::vector<int64_t> offset(n);
+  for (size_t i = 0; i < n; ++i) offset[i] = cond.windows[i].lo;
+  for (;;) {
+    bool valid = true;
+    for (size_t i = 0; i < n; ++i) {
+      const SiblingWindow& w = cond.windows[i];
+      const int64_t v = static_cast<int64_t>(skey[w.dim]) + offset[i];
+      if (v < 0) {
+        valid = false;
+        break;
+      }
+      (*probe)[w.dim] = static_cast<Value>(v);
+    }
+    if (valid) fold(static_cast<const RegionKey&>(*probe));
+    // Advance the odometer.
+    size_t i = 0;
+    for (; i < n; ++i) {
+      if (++offset[i] <= cond.windows[i].hi) break;
+      offset[i] = cond.windows[i].lo;
+    }
+    if (i == n) break;
+  }
+}
+
+}  // namespace csm
+
+#endif  // CSM_ALGEBRA_MEASURE_OPS_H_

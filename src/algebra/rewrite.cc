@@ -1,0 +1,150 @@
+#include "algebra/rewrite.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+namespace {
+
+/// Composition table for Property 1: outer(inner) -> collapsed kind, or
+/// kNone-like "no rewrite" signalled via `ok`.
+struct Collapse {
+  bool ok = false;
+  AggKind kind = AggKind::kCount;
+};
+
+Collapse CollapseKinds(AggKind outer, AggKind inner) {
+  if (outer == AggKind::kSum && inner == AggKind::kSum) {
+    return {true, AggKind::kSum};
+  }
+  if (outer == AggKind::kMin && inner == AggKind::kMin) {
+    return {true, AggKind::kMin};
+  }
+  if (outer == AggKind::kMax && inner == AggKind::kMax) {
+    return {true, AggKind::kMax};
+  }
+  if (outer == AggKind::kSum && inner == AggKind::kCount) {
+    return {true, AggKind::kCount};
+  }
+  return {};
+}
+
+}  // namespace
+
+bool ConditionUsesOnlyDims(const ScalarExpr& cond, const Schema& schema) {
+  std::vector<std::string> vars;
+  cond.CollectVars(&vars);
+  for (const std::string& var : vars) {
+    std::string lower = ToLower(var);
+    if (EndsWith(lower, ".m")) return false;
+    bool is_dim = false;
+    for (int i = 0; i < schema.num_dims(); ++i) {
+      if (ToLower(schema.dim(i).name) == lower) {
+        is_dim = true;
+        break;
+      }
+    }
+    if (!is_dim) return false;
+  }
+  return true;
+}
+
+AwExpr::Ptr TryCollapseAggregate(const AwExpr::Ptr& expr) {
+  if (expr->kind() != AwKind::kAggregate) return expr;
+  const AwExpr::Ptr& inner = expr->input();
+  if (inner->kind() != AwKind::kAggregate) return expr;
+  // Both aggregations must consume the natural measure: the outer must
+  // fold the inner's single output measure (arg 0 or -1-as-count is NOT
+  // foldable for count∘count; the table handles which kinds compose).
+  if (expr->agg().arg != 0) return expr;
+  Collapse collapse = CollapseKinds(expr->agg().kind, inner->agg().kind);
+  if (!collapse.ok) return expr;
+  auto rewritten = AwExpr::Aggregate(
+      inner->input(), expr->granularity(),
+      AggSpec{collapse.kind, inner->agg().arg}, expr->name());
+  if (!rewritten.ok()) return expr;
+  return std::move(rewritten).ValueOrDie();
+}
+
+AwExpr::Ptr TryPushSelection(const AwExpr::Ptr& expr) {
+  if (expr->kind() != AwKind::kSelect) return expr;
+  if (expr->cond_gran() != nullptr) return expr;  // already pushed
+  const AwExpr::Ptr& agg = expr->input();
+  if (agg->kind() != AwKind::kAggregate) return expr;
+  if (!ConditionUsesOnlyDims(*expr->condition(), *expr->schema())) {
+    return expr;
+  }
+  // σ_cond(g_G(T))  →  g_G(σ_cond@G(T)).
+  auto pushed = AwExpr::SelectAt(agg->input(), expr->condition(),
+                                 agg->granularity());
+  if (!pushed.ok()) return expr;
+  auto rebuilt = AwExpr::Aggregate(std::move(pushed).ValueOrDie(),
+                                   agg->granularity(), agg->agg(),
+                                   agg->name());
+  if (!rebuilt.ok()) return expr;
+  return std::move(rebuilt).ValueOrDie();
+}
+
+namespace {
+
+AwExpr::Ptr RewriteNode(const AwExpr::Ptr& expr);
+
+AwExpr::Ptr RewriteChildren(const AwExpr::Ptr& expr) {
+  if (expr->inputs().empty()) return expr;
+  std::vector<AwExpr::Ptr> new_inputs;
+  bool changed = false;
+  for (const AwExpr::Ptr& in : expr->inputs()) {
+    AwExpr::Ptr rewritten = RewriteNode(in);
+    changed = changed || rewritten.get() != in.get();
+    new_inputs.push_back(std::move(rewritten));
+  }
+  if (!changed) return expr;
+  // Rebuild this node over the rewritten children.
+  switch (expr->kind()) {
+    case AwKind::kSelect: {
+      auto r = expr->cond_gran() == nullptr
+                   ? AwExpr::Select(new_inputs[0], expr->condition())
+                   : AwExpr::SelectAt(new_inputs[0], expr->condition(),
+                                      *expr->cond_gran());
+      return r.ok() ? std::move(r).ValueOrDie() : expr;
+    }
+    case AwKind::kAggregate: {
+      auto r = AwExpr::Aggregate(new_inputs[0], expr->granularity(),
+                                 expr->agg(), expr->name());
+      return r.ok() ? std::move(r).ValueOrDie() : expr;
+    }
+    case AwKind::kMatchJoin: {
+      auto r = AwExpr::MatchJoin(new_inputs[0], new_inputs[1],
+                                 expr->match(), expr->agg(), expr->name());
+      return r.ok() ? std::move(r).ValueOrDie() : expr;
+    }
+    case AwKind::kCombineJoin: {
+      std::vector<AwExpr::Ptr> targets(new_inputs.begin() + 1,
+                                       new_inputs.end());
+      auto r = AwExpr::CombineJoin(new_inputs[0], std::move(targets),
+                                   expr->condition(), expr->name());
+      return r.ok() ? std::move(r).ValueOrDie() : expr;
+    }
+    default:
+      return expr;
+  }
+}
+
+AwExpr::Ptr RewriteNode(const AwExpr::Ptr& expr) {
+  AwExpr::Ptr current = RewriteChildren(expr);
+  for (int i = 0; i < 8; ++i) {  // bounded fixpoint per node
+    AwExpr::Ptr next = TryPushSelection(TryCollapseAggregate(current));
+    if (next.get() == current.get()) break;
+    current = RewriteChildren(next);
+  }
+  return current;
+}
+
+}  // namespace
+
+AwExpr::Ptr RewriteFixpoint(const AwExpr::Ptr& expr) {
+  return RewriteNode(expr);
+}
+
+}  // namespace csm

@@ -1,0 +1,35 @@
+#ifndef CSM_ALGEBRA_REWRITE_H_
+#define CSM_ALGEBRA_REWRITE_H_
+
+#include "algebra/aw_expr.h"
+
+namespace csm {
+
+/// Algebraic rewrites corresponding to Theorem 1 of the paper. Each Try*
+/// function returns a rewritten (semantically equivalent) expression, or
+/// the input pointer unchanged when the rewrite does not apply. The
+/// equivalences are verified by property-based tests against the reference
+/// evaluator.
+
+/// Property 1 — g_{G1,agg1}(g_{G2,agg2}(T)) = g_{G1,agg'}(T) for
+/// distributive compositions. The paper states this for one distributive
+/// `agg`; the precise compositions implemented are:
+///   sum∘sum = sum, min∘min = min, max∘max = max, sum∘count = count.
+AwExpr::Ptr TryCollapseAggregate(const AwExpr::Ptr& expr);
+
+/// Property 2 — σ_cond(g_{G,agg}(T)) = g_{G,agg}(σ_cond'(T)) when `cond`
+/// depends only on dimension attributes. cond' evaluates the same
+/// expression on coordinates rolled up to G (AwExpr::SelectAt).
+AwExpr::Ptr TryPushSelection(const AwExpr::Ptr& expr);
+
+/// True iff the condition references only dimension attributes of the
+/// schema (no "M", no measure or table names) — the applicability test of
+/// Property 2.
+bool ConditionUsesOnlyDims(const ScalarExpr& cond, const Schema& schema);
+
+/// Applies both rewrites bottom-up until fixpoint.
+AwExpr::Ptr RewriteFixpoint(const AwExpr::Ptr& expr);
+
+}  // namespace csm
+
+#endif  // CSM_ALGEBRA_REWRITE_H_

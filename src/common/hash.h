@@ -1,0 +1,48 @@
+#ifndef CSM_COMMON_HASH_H_
+#define CSM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace csm {
+
+/// 64-bit finalization mix from MurmurHash3 / splitmix64. Good avalanche
+/// behaviour for integer keys at a few instructions per value.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines an accumulated hash with the next value (boost::hash_combine
+/// style, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Hashes a span of 64-bit values (e.g. an encoded region key).
+inline uint64_t HashSpan(const uint64_t* data, size_t n) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+inline uint64_t HashVector(const std::vector<uint64_t>& v) {
+  return HashSpan(v.data(), v.size());
+}
+
+/// Hash functor for std::vector<uint64_t> keys in unordered containers.
+struct VectorHash {
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    return static_cast<size_t>(HashVector(v));
+  }
+};
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_HASH_H_

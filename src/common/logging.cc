@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace csm {
+
+namespace {
+
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("CSM_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(InitialLogLevel())};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStore().load()); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), enabled_(fatal || level >= GetLogLevel()),
+      fatal_(fatal) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LevelName(level_) << " "
+            << (base ? base + 1 : file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    std::cerr.flush();
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal
+}  // namespace csm

@@ -1,0 +1,68 @@
+#ifndef CSM_COMMON_LOGGING_H_
+#define CSM_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace csm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Controlled by the CSM_LOG_LEVEL environment variable (debug, info,
+/// warning, error) and defaults to warning so library users see problems
+/// but not chatter.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool enabled_;
+  bool fatal_;
+};
+
+}  // namespace internal
+}  // namespace csm
+
+#define CSM_LOG_INTERNAL(level) \
+  ::csm::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define CSM_LOG_DEBUG() CSM_LOG_INTERNAL(::csm::LogLevel::kDebug)
+#define CSM_LOG_INFO() CSM_LOG_INTERNAL(::csm::LogLevel::kInfo)
+#define CSM_LOG_WARNING() CSM_LOG_INTERNAL(::csm::LogLevel::kWarning)
+#define CSM_LOG_ERROR() CSM_LOG_INTERNAL(::csm::LogLevel::kError)
+
+/// Checks an invariant that must hold in all build modes; violation logs
+/// the message and aborts. Used for internal consistency conditions whose
+/// failure would make continuing unsafe (never for user input — user input
+/// errors are reported via Status).
+#define CSM_CHECK(condition)                                             \
+  if (!(condition))                                                      \
+  ::csm::internal::LogMessage(::csm::LogLevel::kError, __FILE__,         \
+                              __LINE__, /*fatal=*/true)                  \
+      << "Check failed: " #condition " "
+
+#define CSM_DCHECK(condition) assert(condition)
+
+#endif  // CSM_COMMON_LOGGING_H_

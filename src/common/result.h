@@ -1,0 +1,84 @@
+#ifndef CSM_COMMON_RESULT_H_
+#define CSM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace csm {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Result<T> is the return type for fallible operations that produce a
+/// value. It mirrors arrow::Result: construct from a T for success or from a
+/// non-OK Status for failure. Accessing the value of an error Result is a
+/// programming bug and aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  /// Constructs a success result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, on failure returns the error Status from the enclosing
+/// function.
+#define CSM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define CSM_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define CSM_ASSIGN_OR_RETURN_CONCAT(x, y) CSM_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define CSM_ASSIGN_OR_RETURN(lhs, expr) \
+  CSM_ASSIGN_OR_RETURN_IMPL(            \
+      CSM_ASSIGN_OR_RETURN_CONCAT(_csm_result_, __LINE__), lhs, expr)
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_RESULT_H_

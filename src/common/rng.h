@@ -1,0 +1,70 @@
+#ifndef CSM_COMMON_RNG_H_
+#define CSM_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace csm {
+
+/// Deterministic xorshift128+ generator used by the data generators and
+/// property-based tests. Seeded explicitly so every dataset and test case is
+/// reproducible across runs and platforms; std::mt19937 is avoided because
+/// its distribution adapters are not portable across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // Split the seed into two non-zero lanes.
+    s0_ = Mix64(seed + 0x9e3779b97f4a7c15ULL);
+    s1_ = Mix64(s0_ + 0xbf58476d1ce4e5b9ULL);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(
+                    hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Zipf-distributed value in [0, n) with exponent `theta` in (0, 1).
+  /// Uses the rejection-inversion-free approximation common in YCSB-style
+  /// generators; adequate for workload skew, not for statistics.
+  uint64_t Zipf(uint64_t n, double theta) {
+    // Power-law via inverse transform on a continuous approximation.
+    double u = NextDouble();
+    double v = std::pow(static_cast<double>(n), 1.0 - theta);
+    double x = std::pow(u * (v - 1.0) + 1.0, 1.0 / (1.0 - theta)) - 1.0;
+    uint64_t r = static_cast<uint64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_RNG_H_

@@ -1,0 +1,130 @@
+#ifndef CSM_COMMON_STATUS_H_
+#define CSM_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace csm {
+
+/// Error category for a failed operation.
+///
+/// The library reports all recoverable errors through Status / Result rather
+/// than exceptions, following the conventions of large C++ database systems
+/// (Arrow, RocksDB). StatusCode distinguishes the broad failure classes that
+/// callers may want to branch on; the human-readable message carries detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kIOError,
+  kParseError,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail but returns no value.
+///
+/// A Status is cheap to pass around: the OK state is represented by a null
+/// pointer, so success paths never allocate. Construct errors with the
+/// factory functions (`Status::InvalidArgument(...)` etc.) which accept a
+/// message assembled by the caller.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Returns this status with `context` prefixed to the message, or OK
+  /// unchanged. Used to add call-site detail while propagating errors.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // null means OK
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CSM_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::csm::Status _csm_status = (expr);         \
+    if (!_csm_status.ok()) return _csm_status;  \
+  } while (false)
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_STATUS_H_

@@ -1,0 +1,123 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace csm {
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitTopLevel(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == sep && depth == 0)) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    } else if (s[i] == '(' || s[i] == '[') {
+      ++depth;
+    } else if (s[i] == ')' || s[i] == ']') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+namespace {
+// Copies into a NUL-terminated buffer for the strto* family.
+bool ToCString(std::string_view s, char* buf, size_t cap) {
+  s = StripWhitespace(s);
+  if (s.empty() || s.size() >= cap) return false;
+  for (size_t i = 0; i < s.size(); ++i) buf[i] = s[i];
+  buf[s.size()] = '\0';
+  return true;
+}
+}  // namespace
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  char buf[64];
+  if (!ToCString(s, buf, sizeof(buf))) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  char buf[64];
+  if (!ToCString(s, buf, sizeof(buf))) return false;
+  if (buf[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf, &end, 10);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  char buf[64];
+  if (!ToCString(s, buf, sizeof(buf))) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf, &end);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace csm

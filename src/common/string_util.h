@@ -1,0 +1,39 @@
+#ifndef CSM_COMMON_STRING_UTIL_H_
+#define CSM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csm {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits on `sep` at top nesting level only: separators inside (...) or
+/// [...] are ignored. Used by the workflow DSL parser for argument lists.
+std::vector<std::string_view> SplitTopLevel(std::string_view s, char sep);
+
+/// Case-sensitive prefix / suffix tests.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Parses a signed/unsigned integer or double; returns false on any
+/// non-numeric trailing characters.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseUint64(std::string_view s, uint64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+#ifndef CSM_COMMON_TIMER_H_
+#define CSM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace csm {
+
+/// Wall-clock stopwatch for the benchmark harnesses and the engine cost
+/// breakdown instrumentation (Fig. 6(e) reproduces sort vs. scan seconds).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals.
+class AccumTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_ += timer_.Seconds(); }
+  double TotalSeconds() const { return total_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0;
+};
+
+/// RAII guard adding the scope's duration to a double accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.Seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer timer_;
+  double* sink_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_TIMER_H_

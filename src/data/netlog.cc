@@ -1,0 +1,145 @@
+#include "data/netlog.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace csm {
+
+namespace {
+
+constexpr uint32_t kCommonPorts[] = {80,  443, 22,  23,  25,   53,
+                                     135, 139, 445, 1433, 3306, 3389};
+
+/// Scatters a dense source index over the IPv4 space deterministically,
+/// so source identities are stable while /24 and /16 prefixes vary.
+uint32_t SourceIp(uint32_t index) {
+  return static_cast<uint32_t>(Mix64(index) >> 32) | 0x01000000u;
+}
+
+}  // namespace
+
+FactTable GenerateNetLog(SchemaPtr schema, const NetLogOptions& options) {
+  CSM_CHECK(schema->num_dims() == 4 && schema->num_measures() >= 1)
+      << "GenerateNetLog expects the network-log schema";
+  Rng rng(options.seed);
+  FactTable fact(schema);
+
+  const uint64_t hours =
+      std::max<uint64_t>(1, options.duration_seconds / 3600);
+  const uint32_t net16_base = options.monitored_net16 << 16;
+
+  // ---- Plan injected events first so their rows interleave naturally.
+  struct Escalation {
+    uint64_t start_hour;
+    uint32_t net24;  // within the monitored /16
+    size_t base_rows;
+  };
+  struct Recon {
+    uint64_t hour;
+    uint32_t net24;
+    uint32_t port;
+    uint32_t first_source;  // recon_sources consecutive pool indices
+  };
+  std::vector<Escalation> escalations;
+  for (int i = 0; i < options.escalation_events; ++i) {
+    escalations.push_back(
+        {rng.Uniform(std::max<uint64_t>(
+             1, hours - options.escalation_hours)),
+         static_cast<uint32_t>(rng.Uniform(256)),
+         std::max<size_t>(8, options.rows / 4096)});
+  }
+  std::vector<Recon> recons;
+  for (int i = 0; i < options.recon_events; ++i) {
+    recons.push_back({rng.Uniform(hours),
+                      static_cast<uint32_t>(rng.Uniform(256)),
+                      kCommonPorts[rng.Uniform(std::size(kCommonPorts))],
+                      static_cast<uint32_t>(
+                          rng.Uniform(options.num_sources))});
+  }
+
+  size_t event_rows = 0;
+  for (const Escalation& e : escalations) {
+    for (int h = 0; h < options.escalation_hours; ++h) {
+      event_rows += e.base_rows << h;
+    }
+  }
+  for (const Recon& r : recons) {
+    (void)r;
+    event_rows += static_cast<size_t>(options.recon_sources) * 4;
+  }
+  const size_t background_rows =
+      options.rows > event_rows ? options.rows - event_rows : 0;
+  fact.Reserve(background_rows + event_rows);
+
+  Value dims[4];
+  double measures[1];
+  auto emit = [&](uint64_t t, uint32_t src, uint32_t dst, uint32_t port,
+                  double bytes) {
+    dims[0] = t;
+    dims[1] = src;
+    dims[2] = dst;
+    dims[3] = port;
+    measures[0] = bytes;
+    fact.AppendRow(dims, measures);
+  };
+
+  // ---- Background radiation.
+  for (size_t row = 0; row < background_rows; ++row) {
+    // Diurnal modulation: rejection-sample the hour with a sine weight.
+    uint64_t t;
+    for (;;) {
+      t = rng.Uniform(options.duration_seconds);
+      const double phase =
+          static_cast<double>(t % 86400) / 86400.0 * 2.0 * M_PI;
+      const double weight = 0.65 + 0.35 * std::sin(phase);
+      if (rng.NextDouble() < weight) break;
+    }
+    const uint32_t src = SourceIp(static_cast<uint32_t>(
+        rng.Zipf(options.num_sources, options.source_zipf_theta)));
+    const uint32_t dst = net16_base | static_cast<uint32_t>(
+                                          rng.Uniform(1 << 16));
+    const uint32_t port =
+        rng.Bernoulli(0.8)
+            ? kCommonPorts[rng.Zipf(std::size(kCommonPorts), 0.8)]
+            : static_cast<uint32_t>(rng.Uniform(65536));
+    const double bytes = 40.0 + std::floor(std::exp(rng.NextDouble() * 7));
+    emit(t, src, dst, port, bytes);
+  }
+
+  // ---- Escalation ramps: volume doubling hour over hour into one /24.
+  for (const Escalation& e : escalations) {
+    for (int h = 0; h < options.escalation_hours; ++h) {
+      const size_t count = e.base_rows << h;
+      for (size_t i = 0; i < count; ++i) {
+        const uint64_t t =
+            (e.start_hour + h) * 3600 + rng.Uniform(3600);
+        const uint32_t src = SourceIp(static_cast<uint32_t>(
+            rng.Uniform(options.num_sources)));
+        const uint32_t dst =
+            net16_base | (e.net24 << 8) |
+            static_cast<uint32_t>(rng.Uniform(256));
+        emit(t, src, dst, 445, 320.0);
+      }
+    }
+  }
+
+  // ---- Multi-recon bursts: many distinct sources probing one /24.
+  for (const Recon& r : recons) {
+    for (uint32_t s = 0;
+         s < static_cast<uint32_t>(options.recon_sources); ++s) {
+      const uint32_t src = SourceIp(
+          (r.first_source + s) % options.num_sources);
+      for (int probe = 0; probe < 4; ++probe) {
+        const uint64_t t = r.hour * 3600 + rng.Uniform(3600);
+        const uint32_t dst = net16_base | (r.net24 << 8) |
+                             static_cast<uint32_t>(rng.Uniform(256));
+        emit(t, src, dst, r.port, 60.0);
+      }
+    }
+  }
+  return fact;
+}
+
+}  // namespace csm

@@ -1,0 +1,45 @@
+#ifndef CSM_DATA_NETLOG_H_
+#define CSM_DATA_NETLOG_H_
+
+#include "common/result.h"
+#include "model/schema.h"
+#include "storage/fact_table.h"
+
+namespace csm {
+
+/// Synthetic network attack log standing in for the paper's Dshield and
+/// LBL HoneyNet datasets (which are not redistributable). The generator
+/// reproduces the statistical shape the paper's queries exercise:
+///
+///  - timestamps over a multi-day window with diurnal volume modulation;
+///  - heavy-tailed (Zipf) source popularity across a large source pool,
+///    sources scattered over the IPv4 space;
+///  - targets concentrated in one monitored /16 (a honeynet);
+///  - a skewed port mix over common service ports;
+///  - injected *escalation events*: attack volume into one target /24
+///    doubling hour over hour (the worm-outbreak signature the network
+///    escalation query detects);
+///  - injected *multi-recon events*: bursts where many distinct sources
+///    probe one target /24 on one port within an hour (the multi-recon
+///    query's signature).
+///
+/// Rows use the MakeNetworkLogSchema layout: t (seconds), U (source IP),
+/// V (target IP), P (port), bytes.
+struct NetLogOptions {
+  size_t rows = 1 << 20;
+  uint64_t seed = 42;
+  uint64_t duration_seconds = 3 * 24 * 3600;
+  uint32_t num_sources = 50000;
+  double source_zipf_theta = 0.9;
+  uint32_t monitored_net16 = 0x0a01;  // 10.1.0.0/16
+  int escalation_events = 3;
+  int escalation_hours = 5;   // length of each doubling ramp
+  int recon_events = 3;
+  int recon_sources = 64;     // distinct sources per recon burst
+};
+
+FactTable GenerateNetLog(SchemaPtr schema, const NetLogOptions& options);
+
+}  // namespace csm
+
+#endif  // CSM_DATA_NETLOG_H_

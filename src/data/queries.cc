@@ -1,0 +1,137 @@
+#include "data/queries.h"
+
+#include <string>
+
+#include "common/status.h"
+
+namespace csm {
+
+Result<Workflow> MakeQ1ChildParent(SchemaPtr schema, int num_children) {
+  if (num_children < 1 || num_children > 7) {
+    return Status::InvalidArgument("num_children must be in [1, 7]");
+  }
+  // Child region sets: progressively different secondary dimensions and
+  // levels, all finer than the parent region set (d0:L1).
+  static const char* const kChildGrans[7] = {
+      "(d0:L0)",
+      "(d0:L0, d1:L1)",
+      "(d0:L0, d2:L1)",
+      "(d0:L0, d3:L1)",
+      "(d0:L0, d1:L0)",
+      "(d0:L0, d2:L0)",
+      "(d0:L1, d3:L0)",
+  };
+  static const char* const kAggs[7] = {"sum(M)", "count(M)", "max(M)",
+                                       "sum(M)", "count(M)", "max(M)",
+                                       "sum(M)"};
+  std::string dsl;
+  std::string combine_list;
+  std::string combine_expr;
+  for (int i = 0; i < num_children; ++i) {
+    const std::string child = "Child" + std::to_string(i);
+    const std::string rolled = "Roll" + std::to_string(i);
+    dsl += "measure " + child + " at " + kChildGrans[i] +
+           " = agg count(*) from FACT hidden;\n";
+    dsl += "measure " + rolled + " at (d0:L1) = match " + child +
+           " using childparent agg " + std::string(kAggs[i]) +
+           " hidden;\n";
+    if (i > 0) {
+      combine_list += ", ";
+      combine_expr += " + ";
+    }
+    combine_list += rolled;
+    combine_expr += "coalesce(" + rolled + ", 0)";
+  }
+  dsl += "measure Composite at (d0:L1) = combine(" + combine_list +
+         ") as " + combine_expr + ";\n";
+  return Workflow::Parse(std::move(schema), dsl);
+}
+
+Result<Workflow> MakeQ2SiblingChain(SchemaPtr schema, int chain_length,
+                                    int window) {
+  if (chain_length < 1) {
+    return Status::InvalidArgument("chain_length must be >= 1");
+  }
+  std::string dsl =
+      "measure C0 at (d0:L0) = agg count(*) from FACT hidden;\n";
+  for (int i = 1; i <= chain_length; ++i) {
+    const bool last = i == chain_length;
+    dsl += "measure C" + std::to_string(i) + " at (d0:L0) = match C" +
+           std::to_string(i - 1) + " using sibling(d0 in [0, " +
+           std::to_string(window) + "]) agg avg(M)" +
+           (last ? ";\n" : " hidden;\n");
+  }
+  return Workflow::Parse(std::move(schema), dsl);
+}
+
+Result<Workflow> MakeEscalationQuery(SchemaPtr schema, double factor) {
+  std::string dsl = R"(
+    # Hourly attack volume into each target /24 subnetwork.
+    measure Vol at (t:hour, V:net24) = agg count(*) from FACT hidden;
+    # The previous hour's volume for the same network.
+    measure PrevVol at (t:hour, V:net24) =
+        match Vol using sibling(t in [-1, -1]) agg sum(M) hidden;
+    # Growth ratio; NULL-safe for the first hour of a network.
+    measure Growth at (t:hour, V:net24) = combine(Vol, PrevVol)
+        as if(isnull(PrevVol) || PrevVol < 1, 0, Vol / PrevVol);
+    # Escalation alerts per network: hours whose volume grew > factor
+    # over a non-trivial base.
+    measure Alerts at (V:net24) = agg count(M) from Growth
+        where M > )" + std::to_string(factor) + ";\n";
+  return Workflow::Parse(std::move(schema), dsl);
+}
+
+Result<Workflow> MakeMultiReconQuery(SchemaPtr schema,
+                                     double min_sources) {
+  std::string dsl = R"(
+    # Packets per (hour, target /24, source).
+    measure SrcCount at (t:hour, V:net24, U:ip) =
+        agg count(*) from FACT hidden;
+    # Three child/parent aggregations over the same child region set.
+    measure UniqueSrcs at (t:hour, V:net24) =
+        match SrcCount using childparent agg count(M) hidden;
+    measure ReconVol at (t:hour, V:net24) =
+        match SrcCount using childparent agg sum(M) hidden;
+    measure MaxPerSrc at (t:hour, V:net24) =
+        match SrcCount using childparent agg max(M) hidden;
+    # Recon indicator: many distinct sources, none dominating.
+    measure Recon at (t:hour, V:net24) =
+        combine(UniqueSrcs, ReconVol, MaxPerSrc)
+        as if(UniqueSrcs >= )" + std::to_string(min_sources) + R"( &&
+              MaxPerSrc * 4 < ReconVol, 1, 0);
+  )";
+  return Workflow::Parse(std::move(schema), dsl);
+}
+
+Result<Workflow> MakeCombinedNetworkQuery(SchemaPtr schema) {
+  CSM_ASSIGN_OR_RETURN(Workflow escalation,
+                       MakeEscalationQuery(schema));
+  CSM_ASSIGN_OR_RETURN(Workflow recon, MakeMultiReconQuery(schema));
+  Workflow combined(schema);
+  for (const MeasureDef& def : escalation.measures()) {
+    CSM_RETURN_NOT_OK(combined.AddMeasure(def));
+  }
+  for (const MeasureDef& def : recon.measures()) {
+    CSM_RETURN_NOT_OK(combined.AddMeasure(def));
+  }
+  return combined;
+}
+
+Result<Workflow> MakeRunningExampleQuery(SchemaPtr schema) {
+  return Workflow::Parse(std::move(schema), R"(
+    # Example 1: hourly outgoing packets per source IP.
+    measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+    # Example 2: number of busy sources per hour.
+    measure SCount at (t:hour) = agg count(M) from Count where M > 5;
+    # Example 3: traffic from busy sources per hour.
+    measure STraffic at (t:hour) = agg sum(M) from Count where M > 5;
+    # Example 4: six-hour moving average of the busy-source count.
+    measure AvgCount at (t:hour) =
+        match SCount using sibling(t in [0, 5]) agg avg(M);
+    # Example 5: the ratio of Example 5.
+    measure Ratio at (t:hour) = combine(AvgCount, STraffic, SCount)
+        as AvgCount / (STraffic / SCount);
+  )");
+}
+
+}  // namespace csm

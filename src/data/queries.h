@@ -1,0 +1,50 @@
+#ifndef CSM_DATA_QUERIES_H_
+#define CSM_DATA_QUERIES_H_
+
+#include "common/result.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// The evaluation workloads of §7, as reusable workflow builders. Every
+/// bench, example, and cross-engine test that reproduces a paper figure
+/// goes through these, so the workloads are defined exactly once.
+
+/// §7.1 Q1 — child/parent combination: `num_children` basic measures at
+/// child granularities, each rolled into a parent region set at (d0:L1)
+/// via a child/parent match join, then combined into one composite value.
+/// The paper runs num_children = 7 for Fig. 6(a) and sweeps 2..6 for
+/// Fig. 6(c). Expects a MakeSyntheticSchema(4, 3, ...) schema.
+Result<Workflow> MakeQ1ChildParent(SchemaPtr schema, int num_children);
+
+/// §7.1 Q2 — sibling chain: a basic hourly-style measure followed by
+/// `chain_length` nested moving-window (sibling) aggregations of width
+/// `window + 1`. Fig. 6(b) runs 2 and 7 levels; Fig. 6(d) sweeps 2..7.
+Result<Workflow> MakeQ2SiblingChain(SchemaPtr schema, int chain_length,
+                                    int window = 3);
+
+/// §7.2 query 1 — network escalation detection: per (hour, target /24)
+/// traffic volume, compared against the previous hour via a sibling match
+/// join; alerts are hours whose volume grew by more than `factor`.
+/// Expects the MakeNetworkLogSchema layout.
+Result<Workflow> MakeEscalationQuery(SchemaPtr schema,
+                                     double factor = 3.0);
+
+/// §7.2 query 2 — multi-recon detection: three child/parent match joins
+/// over per-(hour, target /24, source) packet counts — distinct sources,
+/// total volume, max per-source volume — combined into a recon indicator.
+Result<Workflow> MakeMultiReconQuery(SchemaPtr schema,
+                                     double min_sources = 20.0);
+
+/// Fig. 6(f) — both network analyses fused into one workflow, sharing the
+/// single sort/scan pass.
+Result<Workflow> MakeCombinedNetworkQuery(SchemaPtr schema);
+
+/// The paper's running example (Examples 1-5 of §3.1), on the network
+/// schema: hourly per-source counts, busy-source count/traffic, six-hour
+/// moving average, and the final ratio.
+Result<Workflow> MakeRunningExampleQuery(SchemaPtr schema);
+
+}  // namespace csm
+
+#endif  // CSM_DATA_QUERIES_H_

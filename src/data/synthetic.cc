@@ -1,0 +1,28 @@
+#include "data/synthetic.h"
+
+#include "common/rng.h"
+
+namespace csm {
+
+FactTable GenerateSyntheticFacts(SchemaPtr schema,
+                                 const SyntheticDataOptions& options) {
+  Rng rng(options.seed);
+  FactTable fact(schema);
+  fact.Reserve(options.rows);
+  const int d = fact.num_dims();
+  const int m = fact.num_measures();
+  std::vector<Value> dims(d);
+  std::vector<double> measures(m);
+  for (size_t row = 0; row < options.rows; ++row) {
+    for (int i = 0; i < d; ++i) {
+      dims[i] = rng.Uniform(options.base_cardinality);
+    }
+    for (int i = 0; i < m; ++i) {
+      measures[i] = static_cast<double>(rng.Uniform(100));
+    }
+    fact.AppendRow(dims.data(), measures.data());
+  }
+  return fact;
+}
+
+}  // namespace csm

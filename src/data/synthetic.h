@@ -1,0 +1,27 @@
+#ifndef CSM_DATA_SYNTHETIC_H_
+#define CSM_DATA_SYNTHETIC_H_
+
+#include "model/schema.h"
+#include "storage/fact_table.h"
+
+namespace csm {
+
+/// The synthetic evaluation dataset of §7.1: `num_dims` dimension
+/// attributes sharing a uniform hierarchy (each domain value covers
+/// `fanout` values of the next finer domain), all attribute values drawn
+/// independently and uniformly from the base domain. One raw measure
+/// column carries small uniform integers.
+struct SyntheticDataOptions {
+  size_t rows = 1 << 20;
+  uint64_t base_cardinality = 1000;  // values per base domain
+  uint64_t seed = 42;
+};
+
+/// Generates rows for a schema built by MakeSyntheticSchema (or any schema
+/// whose base domains accept values in [0, base_cardinality)).
+FactTable GenerateSyntheticFacts(SchemaPtr schema,
+                                 const SyntheticDataOptions& options);
+
+}  // namespace csm
+
+#endif  // CSM_DATA_SYNTHETIC_H_

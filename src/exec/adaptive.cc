@@ -1,0 +1,87 @@
+#include "exec/adaptive.h"
+
+#include "exec/multi_pass.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "opt/footprint.h"
+#include "opt/sort_order.h"
+
+namespace csm {
+
+namespace {
+// Headroom factor: the footprint model is an estimate, so require the
+// no-sort footprint to fit well inside the budget before skipping the
+// sort.
+constexpr double kSingleScanHeadroom = 0.5;
+constexpr double kBytesPerEntry = 96.0;
+}  // namespace
+
+std::string_view AdaptiveChoiceName(AdaptiveEngine::Choice choice) {
+  switch (choice) {
+    case AdaptiveEngine::Choice::kSingleScan:
+      return "single-scan";
+    case AdaptiveEngine::Choice::kSortScan:
+      return "sort-scan";
+    case AdaptiveEngine::Choice::kMultiPass:
+      return "multi-pass";
+  }
+  return "?";
+}
+
+Result<AdaptiveEngine::Choice> AdaptiveEngine::Decide(
+    const Workflow& workflow) const {
+  const double budget_entries =
+      static_cast<double>(options_.memory_budget_bytes) / kBytesPerEntry;
+
+  // Footprint with no usable order = what single-scan would hold.
+  CSM_ASSIGN_OR_RETURN(FootprintReport unsorted,
+                       EstimateFootprint(workflow, SortKey()));
+  if (unsorted.total_entries <= budget_entries * kSingleScanHeadroom) {
+    return Choice::kSingleScan;
+  }
+
+  SortKey key = options_.sort_key;
+  if (key.empty()) {
+    CSM_ASSIGN_OR_RETURN(key, BruteForceSortKey(workflow, 20000));
+  }
+  CSM_ASSIGN_OR_RETURN(FootprintReport streamed,
+                       EstimateFootprint(workflow, key));
+  if (streamed.total_entries <= budget_entries) {
+    return Choice::kSortScan;
+  }
+  return Choice::kMultiPass;
+}
+
+Result<EvalOutput> AdaptiveEngine::Run(const Workflow& workflow,
+                                       const FactTable& fact) {
+  CSM_ASSIGN_OR_RETURN(Choice choice, Decide(workflow));
+  EngineOptions options = options_;
+  Result<EvalOutput> result = Status::Internal("unreachable");
+  switch (choice) {
+    case Choice::kSingleScan: {
+      SingleScanEngine engine(options);
+      result = engine.Run(workflow, fact);
+      break;
+    }
+    case Choice::kSortScan: {
+      if (options.sort_key.empty()) {
+        CSM_ASSIGN_OR_RETURN(options.sort_key,
+                             BruteForceSortKey(workflow, 20000));
+      }
+      SortScanEngine engine(options);
+      result = engine.Run(workflow, fact);
+      break;
+    }
+    case Choice::kMultiPass: {
+      MultiPassEngine engine(options);
+      result = engine.Run(workflow, fact);
+      break;
+    }
+  }
+  CSM_RETURN_NOT_OK(result.status());
+  result->stats.sort_key = "[" + std::string(AdaptiveChoiceName(choice)) +
+                           "] " + result->stats.sort_key;
+  return result;
+}
+
+}  // namespace csm

@@ -1,0 +1,45 @@
+#ifndef CSM_EXEC_ADAPTIVE_H_
+#define CSM_EXEC_ADAPTIVE_H_
+
+#include "exec/engine.h"
+
+namespace csm {
+
+/// Cost-based engine selection — the improvement the paper itself
+/// suggests after Fig. 7(a) ("this situation can be addressed by
+/// switching to simple scan when the required memory is smaller than the
+/// memory budget"):
+///
+///  - if the *unsorted* footprint estimate (every region set fully
+///    resident) fits comfortably in the budget, run the single-scan
+///    algorithm and skip the sort entirely;
+///  - otherwise pick the best sort order (greedy search over the
+///    footprint model) and, if the streaming footprint fits, run the
+///    one-pass sort/scan engine;
+///  - otherwise fall back to the multi-pass engine.
+///
+/// The chosen engine's name is reported via ExecStats::sort_key prefix
+/// ("[single-scan] ...", "[sort-scan] ...", "[multi-pass] ...").
+class AdaptiveEngine : public Engine {
+ public:
+  explicit AdaptiveEngine(EngineOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "adaptive"; }
+
+  Result<EvalOutput> Run(const Workflow& workflow,
+                         const FactTable& fact) override;
+
+  /// The decision without executing (for tests and EXPLAIN output).
+  enum class Choice { kSingleScan, kSortScan, kMultiPass };
+  Result<Choice> Decide(const Workflow& workflow) const;
+
+ private:
+  EngineOptions options_;
+};
+
+std::string_view AdaptiveChoiceName(AdaptiveEngine::Choice choice);
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_ADAPTIVE_H_

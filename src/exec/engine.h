@@ -1,0 +1,82 @@
+#ifndef CSM_EXEC_ENGINE_H_
+#define CSM_EXEC_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "model/sort_key.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// Counters reported by every engine; the Fig. 6(e) cost-breakdown bench
+/// reads sort_seconds/scan_seconds, the memory experiments read
+/// peak_hash_entries/bytes.
+struct ExecStats {
+  double sort_seconds = 0;      // sorting the fact table (all passes)
+  double scan_seconds = 0;      // scanning + in-memory operator updates
+  double combine_seconds = 0;   // post-scan composite evaluation
+  double total_seconds = 0;
+
+  uint64_t rows_scanned = 0;           // fact rows consumed (all passes)
+  uint64_t peak_hash_entries = 0;      // max simultaneous hash entries
+  uint64_t peak_hash_bytes = 0;        // approximate bytes at that point
+  uint64_t spilled_bytes = 0;          // sort runs + flushed finalized rows
+  uint64_t materialized_rows = 0;      // intermediate rows written to disk
+  int passes = 1;
+  std::string sort_key;                // human-readable chosen order
+};
+
+/// Result of running a workflow: the output measure tables by name, plus
+/// execution counters.
+struct EvalOutput {
+  std::map<std::string, MeasureTable> tables;
+  ExecStats stats;
+};
+
+/// Engine tuning knobs shared by all engines.
+struct EngineOptions {
+  /// Working-memory target. The sort/scan engines use it for external-sort
+  /// run sizing and the multi-pass planner for pass assignment; the
+  /// single-scan engine reports (but cannot bound) its usage.
+  size_t memory_budget_bytes = 256ull << 20;
+
+  /// Base directory for scratch files (default: TMPDIR or /tmp).
+  std::string temp_dir;
+
+  /// Explicit fact-table sort order for the sort/scan engines. Empty =
+  /// let the optimizer choose (brute force over candidate orders, §6).
+  SortKey sort_key;
+
+  /// Also return hidden (intermediate) measures.
+  bool include_hidden = false;
+
+  /// Sort/scan engine: how many fact records are scanned between
+  /// watermark-propagation rounds. Correctness never depends on it —
+  /// finalization is merely deferred — so it trades per-record
+  /// bookkeeping against peak footprint. See bench/ablation_batch.
+  size_t propagation_batch_records = 256;
+};
+
+/// A query engine: evaluates all measures of an aggregation workflow over
+/// a fact table. Implementations: SingleScanEngine (§5.1), SortScanEngine
+/// (§5.3), MultiPassEngine (§5.4), RelationalEngine (the paper's DBMS
+/// baseline, reimplemented as a sort/merge query processor).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Evaluates `workflow` over `fact`. The fact table is not modified
+  /// (sorting engines work on a copy, as a DBMS would on its own files).
+  virtual Result<EvalOutput> Run(const Workflow& workflow,
+                                 const FactTable& fact) = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_ENGINE_H_

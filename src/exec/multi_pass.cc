@@ -1,0 +1,175 @@
+#include "exec/multi_pass.h"
+
+#include <map>
+#include <set>
+
+#include "algebra/measure_ops.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/sort_scan.h"
+#include "opt/pass_planner.h"
+
+namespace csm {
+
+namespace {
+
+/// Approximate bytes per live hash entry used to translate the byte
+/// budget into the planner's entry budget.
+constexpr double kBytesPerEntry = 96.0;
+
+}  // namespace
+
+Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
+                                        const FactTable& fact) {
+  Timer total_timer;
+  EvalOutput out;
+  const Schema& schema = *workflow.schema();
+
+  const double entry_budget =
+      static_cast<double>(options_.memory_budget_bytes) / kBytesPerEntry;
+  CSM_ASSIGN_OR_RETURN(PassPlan plan, PlanPasses(workflow, entry_budget));
+
+  // Region enumerators needed by post-pass match joins must be produced by
+  // some pass; attach them to the first pass.
+  std::map<std::vector<int>, std::string> post_enum_names;
+  for (int idx : plan.post_pass_indices) {
+    const MeasureDef& def = workflow.measures()[idx];
+    if (def.op != MeasureOp::kMatch) continue;
+    if (!post_enum_names.count(def.gran.levels())) {
+      post_enum_names[def.gran.levels()] =
+          "__regions" + def.gran.ToString(schema);
+    }
+  }
+
+  std::map<std::string, MeasureTable> materialized;  // by lower-cased name
+  auto store = [&](MeasureTable table) {
+    materialized.insert_or_assign(ToLower(table.name()), std::move(table));
+  };
+  auto load = [&](const std::string& name) -> Result<const MeasureTable*> {
+    auto it = materialized.find(ToLower(name));
+    if (it == materialized.end()) {
+      return Status::Internal("measure '" + name + "' not materialized");
+    }
+    return &it->second;
+  };
+
+  // ---- Run the Sort/Scan iterations.
+  bool first_pass = true;
+  for (const PassPlan::Pass& pass : plan.passes) {
+    Workflow sub(workflow.schema());
+    for (int idx : pass.measure_indices) {
+      MeasureDef def = workflow.measures()[idx];
+      def.is_output = true;  // every pass result is materialized
+      CSM_RETURN_NOT_OK(sub.AddMeasure(std::move(def)));
+    }
+    if (first_pass) {
+      for (const auto& [levels, name] : post_enum_names) {
+        MeasureDef enum_def;
+        enum_def.name = name;
+        enum_def.gran = Granularity(levels);
+        enum_def.op = MeasureOp::kBaseAgg;
+        enum_def.agg = AggSpec{AggKind::kNone, -1};
+        CSM_RETURN_NOT_OK(sub.AddMeasure(std::move(enum_def)));
+      }
+      first_pass = false;
+    }
+    if (sub.measures().empty()) continue;
+
+    EngineOptions pass_options = options_;
+    pass_options.sort_key = pass.sort_key;
+    pass_options.include_hidden = true;
+    SortScanEngine engine(pass_options);
+    CSM_ASSIGN_OR_RETURN(EvalOutput pass_out, engine.Run(sub, fact));
+
+    out.stats.sort_seconds += pass_out.stats.sort_seconds;
+    out.stats.scan_seconds += pass_out.stats.scan_seconds;
+    out.stats.rows_scanned += pass_out.stats.rows_scanned;
+    out.stats.spilled_bytes += pass_out.stats.spilled_bytes;
+    out.stats.materialized_rows += pass_out.stats.materialized_rows;
+    out.stats.peak_hash_entries = std::max(
+        out.stats.peak_hash_entries, pass_out.stats.peak_hash_entries);
+    out.stats.peak_hash_bytes = std::max(out.stats.peak_hash_bytes,
+                                         pass_out.stats.peak_hash_bytes);
+    if (!out.stats.sort_key.empty()) out.stats.sort_key += " | ";
+    out.stats.sort_key += pass_out.stats.sort_key;
+
+    for (auto& [name, table] : pass_out.tables) store(std::move(table));
+  }
+  out.stats.passes = static_cast<int>(plan.passes.size());
+
+  // ---- Combine cross-pass measures with traditional join strategies.
+  Timer combine_timer;
+  for (int idx : plan.post_pass_indices) {
+    const MeasureDef& def = workflow.measures()[idx];
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+        return Status::Internal("base measures are never deferred");
+      case MeasureOp::kRollup: {
+        CSM_ASSIGN_OR_RETURN(const MeasureTable* input, load(def.input));
+        const MeasureTable* source = input;
+        MeasureTable filtered(workflow.schema(), input->granularity(),
+                              input->name());
+        if (def.where != nullptr) {
+          CSM_ASSIGN_OR_RETURN(filtered,
+                               FilterMeasure(*input, *def.where, nullptr,
+                                             input->name()));
+          source = &filtered;
+        }
+        AggSpec agg = def.agg;
+        if (agg.arg > 0) agg.arg = 0;
+        CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                             HashRollup(*source, def.gran, agg, def.name));
+        store(std::move(result));
+        break;
+      }
+      case MeasureOp::kMatch: {
+        CSM_ASSIGN_OR_RETURN(
+            const MeasureTable* regions,
+            load(post_enum_names.at(def.gran.levels())));
+        CSM_ASSIGN_OR_RETURN(const MeasureTable* input, load(def.input));
+        const MeasureTable* target = input;
+        MeasureTable filtered(workflow.schema(), input->granularity(),
+                              input->name());
+        if (def.where != nullptr) {
+          CSM_ASSIGN_OR_RETURN(filtered,
+                               FilterMeasure(*input, *def.where, nullptr,
+                                             input->name()));
+          target = &filtered;
+        }
+        AggSpec agg = def.agg;
+        if (agg.arg > 0) agg.arg = 0;
+        CSM_ASSIGN_OR_RETURN(
+            MeasureTable result,
+            HashMatchJoin(*regions, *target, def.match, agg, def.name));
+        store(std::move(result));
+        break;
+      }
+      case MeasureOp::kCombine: {
+        std::vector<const MeasureTable*> inputs;
+        for (const std::string& name : def.combine_inputs) {
+          CSM_ASSIGN_OR_RETURN(const MeasureTable* table, load(name));
+          inputs.push_back(table);
+        }
+        CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                             HashCombine(inputs, *def.fc, def.name));
+        store(std::move(result));
+        break;
+      }
+    }
+  }
+  out.stats.combine_seconds = combine_timer.Seconds();
+
+  // ---- Select the requested outputs.
+  for (const MeasureDef& def : workflow.measures()) {
+    if (!def.is_output && !options_.include_hidden) continue;
+    auto it = materialized.find(ToLower(def.name));
+    CSM_CHECK(it != materialized.end());
+    out.tables.emplace(def.name, std::move(it->second));
+    materialized.erase(it);
+  }
+  out.stats.total_seconds = total_timer.Seconds();
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,34 @@
+#ifndef CSM_EXEC_MULTI_PASS_H_
+#define CSM_EXEC_MULTI_PASS_H_
+
+#include "exec/engine.h"
+
+namespace csm {
+
+/// The multi-pass Sort/Scan engine (§5.4). When the one-pass engine's
+/// estimated footprint exceeds the memory budget even under the best sort
+/// order, the measures are partitioned into several Sort/Scan iterations
+/// (each sorting the fact table by its own order vector) by the greedy
+/// pass planner; measures whose inputs are materialized by earlier passes
+/// are combined afterwards with traditional join strategies over the
+/// stored measure tables, exactly as the paper prescribes.
+///
+/// The memory budget is interpreted as a target for *hash-entry* state;
+/// sorting continues to spill through the external sorter independently.
+class MultiPassEngine : public Engine {
+ public:
+  explicit MultiPassEngine(EngineOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "multi-pass"; }
+
+  Result<EvalOutput> Run(const Workflow& workflow,
+                         const FactTable& fact) override;
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_MULTI_PASS_H_

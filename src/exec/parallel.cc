@@ -1,0 +1,164 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "exec/sort_scan.h"
+
+namespace csm {
+
+namespace {
+
+/// The coarsest non-ALL level any measure uses for `dim`, or -1 when some
+/// measure rolls the dimension away entirely.
+int CoarsestUsedLevel(const Workflow& workflow, int dim) {
+  const Hierarchy& h = *workflow.schema()->dim(dim).hierarchy;
+  int coarsest = -1;
+  for (const MeasureDef& def : workflow.measures()) {
+    const int level = def.gran.level(dim);
+    if (level >= h.all_level()) return -1;
+    coarsest = std::max(coarsest, level);
+  }
+  return coarsest;
+}
+
+bool HasSiblingWindowOn(const Workflow& workflow, int dim) {
+  for (const MeasureDef& def : workflow.measures()) {
+    if (def.op != MeasureOp::kMatch ||
+        def.match.type != MatchType::kSibling) {
+      continue;
+    }
+    for (const SiblingWindow& w : def.match.windows) {
+      if (w.dim == dim) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ParallelSortScanEngine::ParallelSortScanEngine(EngineOptions options,
+                                               int num_threads)
+    : options_(std::move(options)),
+      num_threads_(num_threads > 0
+                       ? num_threads
+                       : std::max(2u,
+                                  std::thread::hardware_concurrency())) {}
+
+Result<int> ParallelSortScanEngine::PlanPartitionDim(
+    const Workflow& workflow) {
+  const Schema& schema = *workflow.schema();
+  int best_dim = -1;
+  double best_card = 0;
+  for (int dim = 0; dim < schema.num_dims(); ++dim) {
+    const int level = CoarsestUsedLevel(workflow, dim);
+    if (level < 0) continue;  // some measure spans all partitions
+    if (HasSiblingWindowOn(workflow, dim)) continue;
+    const double card =
+        schema.dim(dim).hierarchy->EstimatedCardinality(level);
+    if (card > best_card) {
+      best_card = card;
+      best_dim = dim;
+    }
+  }
+  if (best_dim < 0) {
+    return Status::NotFound(
+        "no partitionable dimension: every candidate is rolled to ALL by "
+        "some measure or carries a sibling window");
+  }
+  if (best_card < 2) {
+    return Status::NotFound("partition dimension would have one value");
+  }
+  return best_dim;
+}
+
+Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
+                                               const FactTable& fact) {
+  Timer total_timer;
+  auto plan = PlanPartitionDim(workflow);
+  if (!plan.ok()) {
+    // Not partitionable: degrade gracefully to the sequential engine.
+    SortScanEngine sequential(options_);
+    CSM_ASSIGN_OR_RETURN(EvalOutput out, sequential.Run(workflow, fact));
+    out.stats.sort_key = "[sequential] " + out.stats.sort_key;
+    return out;
+  }
+  const int pdim = *plan;
+  const Schema& schema = *workflow.schema();
+  const int plevel = CoarsestUsedLevel(workflow, pdim);
+  const Hierarchy& ph = *schema.dim(pdim).hierarchy;
+  const int shards = num_threads_;
+
+  // ---- Partition: every region's rows land in exactly one shard because
+  // the hash key is the dimension value at the coarsest level any measure
+  // groups it by (finer regions nest inside).
+  std::vector<FactTable> parts;
+  parts.reserve(shards);
+  for (int i = 0; i < shards; ++i) parts.emplace_back(workflow.schema());
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    const Value* dims = fact.dim_row(row);
+    const Value block = ph.Generalize(dims[pdim], 0, plevel);
+    parts[Mix64(block) % shards].AppendRow(dims,
+                                           fact.measure_row(row));
+  }
+
+  // ---- Independent sort/scan per shard.
+  EngineOptions shard_options = options_;
+  // Budgets are per machine, not per shard.
+  shard_options.memory_budget_bytes =
+      std::max<size_t>(options_.memory_budget_bytes / shards, 4 << 20);
+  std::vector<Result<EvalOutput>> results;
+  results.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    results.emplace_back(Status::Internal("not run"));
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shards);
+    for (int i = 0; i < shards; ++i) {
+      threads.emplace_back([&, i] {
+        SortScanEngine engine(shard_options);
+        results[i] = engine.Run(workflow, parts[i]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // ---- Merge: concatenate the disjoint tables, combine the stats.
+  EvalOutput out;
+  for (int i = 0; i < shards; ++i) {
+    CSM_RETURN_NOT_OK(results[i].status().WithContext(
+        "shard " + std::to_string(i)));
+    EvalOutput& shard = *results[i];
+    out.stats.rows_scanned += shard.stats.rows_scanned;
+    out.stats.sort_seconds += shard.stats.sort_seconds;
+    out.stats.scan_seconds += shard.stats.scan_seconds;
+    out.stats.spilled_bytes += shard.stats.spilled_bytes;
+    out.stats.materialized_rows += shard.stats.materialized_rows;
+    out.stats.peak_hash_entries += shard.stats.peak_hash_entries;
+    out.stats.peak_hash_bytes += shard.stats.peak_hash_bytes;
+    if (out.stats.sort_key.empty()) {
+      out.stats.sort_key = "[" + std::to_string(shards) + " shards on " +
+                           schema.dim(pdim).name + "] " +
+                           shard.stats.sort_key;
+    }
+    for (auto& [name, table] : shard.tables) {
+      auto it = out.tables.find(name);
+      if (it == out.tables.end()) {
+        out.tables.emplace(name, std::move(table));
+      } else {
+        for (size_t row = 0; row < table.num_rows(); ++row) {
+          it->second.Append(table.key_row(row), table.value(row));
+        }
+      }
+    }
+  }
+  for (auto& [name, table] : out.tables) table.SortByKeyLex();
+  out.stats.total_seconds = total_timer.Seconds();
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,48 @@
+#ifndef CSM_EXEC_PARALLEL_H_
+#define CSM_EXEC_PARALLEL_H_
+
+#include "exec/engine.h"
+
+namespace csm {
+
+/// Partitioned parallel sort/scan — the parallel evaluation the paper
+/// names as future work ("the approach offers potentially unlimited
+/// parallelism and ability to distribute computation", §1).
+///
+/// The fact table is hash-partitioned on one dimension, at the coarsest
+/// non-ALL level any measure uses for it, so every region of every
+/// measure lies entirely inside one partition. Each partition then runs
+/// the ordinary one-pass sort/scan engine independently (its own sort,
+/// scan, watermarks, and flushing) on a worker thread, and the disjoint
+/// result tables are concatenated.
+///
+/// A workflow is partition-parallelizable on dimension p iff
+///  - every measure keeps p below ALL (otherwise its regions span
+///    partitions), and
+///  - no sibling window ranges over p (windows cross partition
+///    boundaries).
+/// `PlanPartitionDim` finds such a dimension (preferring the one with the
+/// most distinct values at its coarsest used level) or explains why none
+/// exists; Run falls back to the sequential engine in that case.
+class ParallelSortScanEngine : public Engine {
+ public:
+  explicit ParallelSortScanEngine(EngineOptions options = {},
+                                  int num_threads = 0);
+
+  std::string_view name() const override { return "parallel-sort-scan"; }
+
+  Result<EvalOutput> Run(const Workflow& workflow,
+                         const FactTable& fact) override;
+
+  /// The partitioning decision: dimension index, or NotFound with the
+  /// reason no dimension qualifies.
+  static Result<int> PlanPartitionDim(const Workflow& workflow);
+
+ private:
+  EngineOptions options_;
+  int num_threads_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_PARALLEL_H_

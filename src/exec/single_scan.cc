@@ -1,0 +1,213 @@
+#include "exec/single_scan.h"
+
+#include <unordered_map>
+
+#include "algebra/evaluator.h"
+#include "algebra/measure_ops.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace csm {
+
+namespace {
+
+using StateMap =
+    std::unordered_map<std::vector<Value>, AggState, VectorHash>;
+
+/// One hash table maintained during the scan: either a user-declared basic
+/// measure or the implicit region enumerator (S_base) of a match join.
+struct BaseJob {
+  std::string table_name;
+  Granularity gran;
+  AggSpec agg;
+  BoundExpr where;  // empty => no filter
+  bool has_where = false;
+  StateMap states;
+};
+
+size_t StatesBytes(const StateMap& states, int d) {
+  // Key vector + state registers + hash bucket overhead, approximate.
+  size_t per_entry = sizeof(AggState) +
+                     static_cast<size_t>(d) * sizeof(Value) + 48;
+  size_t bytes = states.size() * per_entry;
+  for (const auto& [k, s] : states) {
+    if (s.distinct) bytes += s.distinct->size() * 16;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
+                                         const FactTable& fact) {
+  Timer total_timer;
+  EvalOutput out;
+  const Schema& schema = *workflow.schema();
+  const int d = schema.num_dims();
+  const int m = schema.num_measures();
+
+  // ---- Plan: collect every hash table the scan must maintain.
+  std::vector<BaseJob> jobs;
+  // Maps a measure name (or synthetic base name) to a job index.
+  std::unordered_map<std::string, size_t> job_by_name;
+  // Region-enumerator jobs shared across match measures per granularity.
+  std::map<std::vector<int>, size_t> enumerator_by_gran;
+
+  const auto fact_vars = FactRowVars(schema);
+  for (const MeasureDef& def : workflow.measures()) {
+    if (def.op == MeasureOp::kBaseAgg) {
+      BaseJob job;
+      job.table_name = def.name;
+      job.gran = def.gran;
+      job.agg = def.agg;
+      if (def.where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(job.where,
+                             BoundExpr::Bind(*def.where, fact_vars));
+        job.has_where = true;
+      }
+      job_by_name[def.name] = jobs.size();
+      jobs.push_back(std::move(job));
+    } else if (def.op == MeasureOp::kMatch) {
+      auto key = def.gran.levels();
+      if (enumerator_by_gran.find(key) == enumerator_by_gran.end()) {
+        BaseJob job;
+        job.table_name = "__regions" + def.gran.ToString(schema);
+        job.gran = def.gran;
+        job.agg = AggSpec{AggKind::kNone, -1};
+        enumerator_by_gran[key] = jobs.size();
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  // ---- The single scan (no sort).
+  Timer scan_timer;
+  std::vector<double> slots(d + m);
+  RegionKey key(d);
+  const Granularity base = Granularity::Base(schema);
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    const Value* dims = fact.dim_row(row);
+    const double* measures = fact.measure_row(row);
+    bool slots_filled = false;
+    for (BaseJob& job : jobs) {
+      if (job.has_where) {
+        if (!slots_filled) {
+          for (int i = 0; i < d; ++i) {
+            slots[i] = static_cast<double>(dims[i]);
+          }
+          for (int i = 0; i < m; ++i) slots[d + i] = measures[i];
+          slots_filled = true;
+        }
+        if (!job.where.EvalBool(slots.data())) continue;
+      }
+      GeneralizeKeyInto(schema, dims, base, job.gran, &key);
+      auto [it, inserted] = job.states.try_emplace(key);
+      if (inserted) AggInit(job.agg.kind, &it->second);
+      AggUpdate(job.agg.kind, &it->second,
+                job.agg.arg >= 0 ? measures[job.agg.arg] : 1.0);
+    }
+  }
+  out.stats.rows_scanned = fact.num_rows();
+  out.stats.scan_seconds = scan_timer.Seconds();
+
+  // Peak memory: all hash tables coexist at end of scan.
+  for (const BaseJob& job : jobs) {
+    out.stats.peak_hash_entries += job.states.size();
+    out.stats.peak_hash_bytes += StatesBytes(job.states, d);
+  }
+
+  // ---- Finalize base tables.
+  Timer combine_timer;
+  std::map<std::string, MeasureTable> tables;  // all computed measures
+  auto materialize = [&](BaseJob& job) {
+    MeasureTable table(workflow.schema(), job.gran, job.table_name);
+    table.Reserve(job.states.size());
+    for (const auto& [k, state] : job.states) {
+      table.Append(k.data(), AggFinalize(job.agg.kind, state));
+    }
+    table.SortByKeyLex();
+    job.states.clear();
+    return table;
+  };
+  for (BaseJob& job : jobs) {
+    tables.emplace(job.table_name, materialize(job));
+  }
+
+  // ---- Composite measures in topological order.
+  for (const MeasureDef& def : workflow.measures()) {
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+        break;  // already computed
+      case MeasureOp::kRollup: {
+        auto in = tables.find(def.input);
+        CSM_CHECK(in != tables.end());
+        const MeasureTable* source = &in->second;
+        MeasureTable filtered(workflow.schema(), source->granularity(),
+                              source->name());
+        if (def.where != nullptr) {
+          CSM_ASSIGN_OR_RETURN(
+              filtered, FilterMeasure(*source, *def.where, nullptr,
+                                      source->name()));
+          source = &filtered;
+        }
+        AggSpec agg = def.agg;
+        if (agg.arg > 0) agg.arg = 0;
+        CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                             HashRollup(*source, def.gran, agg, def.name));
+        tables.emplace(def.name, std::move(result));
+        break;
+      }
+      case MeasureOp::kMatch: {
+        auto in = tables.find(def.input);
+        CSM_CHECK(in != tables.end());
+        size_t enum_idx = enumerator_by_gran.at(def.gran.levels());
+        const MeasureTable& regions =
+            tables.at(jobs[enum_idx].table_name);
+        const MeasureTable* target = &in->second;
+        MeasureTable filtered(workflow.schema(), target->granularity(),
+                              target->name());
+        if (def.where != nullptr) {
+          CSM_ASSIGN_OR_RETURN(
+              filtered, FilterMeasure(*target, *def.where, nullptr,
+                                      target->name()));
+          target = &filtered;
+        }
+        AggSpec agg = def.agg;
+        if (agg.arg > 0) agg.arg = 0;
+        CSM_ASSIGN_OR_RETURN(
+            MeasureTable result,
+            HashMatchJoin(regions, *target, def.match, agg, def.name));
+        tables.emplace(def.name, std::move(result));
+        break;
+      }
+      case MeasureOp::kCombine: {
+        std::vector<const MeasureTable*> inputs;
+        for (const std::string& name : def.combine_inputs) {
+          auto it = tables.find(name);
+          CSM_CHECK(it != tables.end());
+          inputs.push_back(&it->second);
+        }
+        CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                             HashCombine(inputs, *def.fc, def.name));
+        tables.emplace(def.name, std::move(result));
+        break;
+      }
+    }
+  }
+  out.stats.combine_seconds = combine_timer.Seconds();
+
+  // ---- Keep only requested outputs.
+  for (const MeasureDef& def : workflow.measures()) {
+    if (!def.is_output && !options_.include_hidden) continue;
+    auto it = tables.find(def.name);
+    CSM_CHECK(it != tables.end());
+    out.tables.emplace(def.name, std::move(it->second));
+    tables.erase(it);
+  }
+  out.stats.total_seconds = total_timer.Seconds();
+  out.stats.sort_key = "(unsorted)";
+  return out;
+}
+
+}  // namespace csm

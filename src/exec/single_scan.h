@@ -1,0 +1,34 @@
+#ifndef CSM_EXEC_SINGLE_SCAN_H_
+#define CSM_EXEC_SINGLE_SCAN_H_
+
+#include "exec/engine.h"
+
+namespace csm {
+
+/// The single-scan algorithm (paper §5.1, after [19]): one unsorted pass
+/// over the fact table maintains a hash table per basic measure (including
+/// the implicit region enumerators of match joins); composite measures are
+/// then evaluated in topological order from the fully materialized hash
+/// tables.
+///
+/// Fast when all hash tables fit in memory — and pathological when they do
+/// not, which is exactly the trade-off Figs. 6(a) and 7(a) probe. This
+/// engine never spills; it reports peak memory so the experiments can show
+/// the cliff.
+class SingleScanEngine : public Engine {
+ public:
+  explicit SingleScanEngine(EngineOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "single-scan"; }
+
+  Result<EvalOutput> Run(const Workflow& workflow,
+                         const FactTable& fact) override;
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_SINGLE_SCAN_H_

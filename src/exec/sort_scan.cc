@@ -1,0 +1,912 @@
+#include "exec/sort_scan.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "algebra/evaluator.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "storage/external_sorter.h"
+#include "storage/record_cursor.h"
+#include "storage/temp_file.h"
+
+namespace csm {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------------
+// Order positions (the mapKey of Table 8)
+
+/// Projects region keys at one granularity onto the usable prefix of the
+/// dataset's order vector — the per-stream orders of Table 6:
+///  - a component whose sort level is at least as fine as the region's
+///    level is kept at the sort level;
+///  - a component where the region is coarser is *coarsened to the
+///    region's level and the order stops there* (a stream sorted by hour
+///    is sorted by day, but nothing beyond that component is ordered);
+///  - a dimension rolled to ALL ends the order outright.
+class PosCalc {
+ public:
+  PosCalc() = default;
+  PosCalc(const Schema& schema, const SortKey& key,
+          const Granularity& gran) {
+    for (const SortKeyPart& p : key.parts()) {
+      const int from = gran.level(p.dim);
+      if (from > p.level) {
+        if (from < schema.dim(p.dim).hierarchy->all_level()) {
+          parts_.push_back({p.dim, from, from});
+        }
+        break;
+      }
+      parts_.push_back({p.dim, from, p.level});
+    }
+  }
+
+  size_t len() const { return parts_.size(); }
+
+  /// `key` is a region key at the granularity this PosCalc was built for.
+  void Compute(const Schema& schema, const Value* key,
+               std::vector<Value>* out) const {
+    out->resize(parts_.size());
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      (*out)[i] = schema.dim(parts_[i].dim)
+                      .hierarchy->Generalize(key[parts_[i].dim],
+                                             parts_[i].from, parts_[i].to);
+    }
+  }
+
+  int part_dim(size_t i) const { return parts_[i].dim; }
+  int part_from(size_t i) const { return parts_[i].from; }
+  int part_to(size_t i) const { return parts_[i].to; }
+
+ private:
+  struct Part {
+    int dim;
+    int from;
+    int to;
+  };
+  std::vector<Part> parts_;
+};
+
+// ---------------------------------------------------------------------------
+// Frontiers (the dynamic form of the paper's order+slack stream labels)
+
+/// A monotone lower bound on the order position of every future update on
+/// a stream. `closed` means the stream has ended (everything is past).
+struct Frontier {
+  std::vector<Value> vals;
+  bool closed = false;
+};
+
+/// True iff an entry at position `pos` can no longer be touched by a
+/// stream bounded below by `f` — i.e. pos <_lex f with strictness within
+/// the common prefix. Ties (or a frontier too short to discriminate) keep
+/// the entry alive: conservative, never incorrect.
+bool StrictlyBefore(const Value* pos, size_t pos_len, const Frontier& f) {
+  if (f.closed) return true;
+  const size_t n = std::min(pos_len, f.vals.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (pos[i] < f.vals[i]) return true;
+    if (pos[i] > f.vals[i]) return false;
+  }
+  return false;
+}
+
+/// Conservative minimum: the frontier that finalizes no entry the other
+/// would keep. On a tie over the common prefix the shorter frontier wins
+/// (it finalizes less).
+const Frontier& LowerOf(const Frontier& a, const Frontier& b) {
+  if (a.closed) return b;
+  if (b.closed) return a;
+  const size_t n = std::min(a.vals.size(), b.vals.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a.vals[i] < b.vals[i]) return a;
+    if (a.vals[i] > b.vals[i]) return b;
+  }
+  return a.vals.size() <= b.vals.size() ? a : b;
+}
+
+// ---------------------------------------------------------------------------
+// Computation graph
+
+enum class NodeKind {
+  kBase,     // basic measure: updated directly from the scan
+  kEnum,     // implicit region enumerator (S_base) for match joins
+  kRollup,   // g over another measure's finalized stream
+  kMatch,    // match join (self / parent-child / child-parent / sibling)
+  kCombine,  // combine join
+};
+
+/// What a computational arc does to the entries it delivers. Mirrors the
+/// four match-condition families plus the combine-join slots.
+enum class ArcKind {
+  kExists,       // region enumerator -> match/combine node
+  kSelf,         // fold value into the same region
+  kRollup,       // generalize key, fold (child/parent and roll-up arcs)
+  kParentChild,  // buffer parent values; folded at child finalization
+  kSibling,      // fan value out to the window box around the key
+  kCombineSlot,  // fill slot i of a combine entry
+};
+
+struct NodeEntry {
+  AggState state;
+  std::vector<double> slots;  // combine nodes only
+  bool exists = false;
+};
+
+struct EdgeRt {
+  int producer = -1;
+  int consumer = -1;
+  ArcKind kind = ArcKind::kSelf;
+  int slot = 0;
+  bool has_filter = false;
+  BoundExpr filter;  // bound over MeasureRowVars(producer)
+  Frontier frontier;
+  // kSibling: per producer-watermark component, how far (in sort-key
+  // units) the window can reach back; subtracted when transforming the
+  // producer's watermark into this edge's frontier.
+  std::vector<int64_t> sibling_shift;
+  // kParentChild: parent values awaiting children, keyed by
+  // parent-pos ++ parent-key; evicted once the consumer watermark passes.
+  std::map<std::vector<Value>, double> parent_values;
+  PosCalc producer_pos;
+};
+
+struct NodeRt {
+  NodeKind kind = NodeKind::kBase;
+  std::string name;
+  Granularity gran;
+  AggSpec agg;
+  MatchCond match;
+  BoundExpr fc;        // combine
+  size_t n_slots = 0;  // combine inputs
+  bool has_where = false;
+  BoundExpr where;  // base nodes: fact-row filter
+
+  PosCalc pos;
+  std::map<std::vector<Value>, NodeEntry> entries;  // pos ++ region key
+  Frontier watermark;
+
+  std::vector<int> in_edges;
+  std::vector<int> out_edges;
+
+  bool keep_output = false;
+  std::unique_ptr<MeasureTable> output;
+};
+
+struct Emission {
+  // Region key at the node's granularity, then the finalized value.
+  std::vector<Value> key;
+  double value;
+};
+
+class SortScanRun {
+ public:
+  SortScanRun(const Workflow& workflow, const EngineOptions& options)
+      : workflow_(workflow),
+        options_(options),
+        schema_ptr_(workflow.schema()),
+        schema_(*schema_ptr_),
+        d_(schema_.num_dims()) {}
+
+  /// In-memory input: clone, sort, scan.
+  Result<EvalOutput> Execute(const FactTable& fact) {
+    Timer total_timer;
+    EvalOutput out;
+    CSM_RETURN_NOT_OK(Prepare());
+    CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
+
+    SortStats sort_stats;
+    CSM_ASSIGN_OR_RETURN(
+        FactTable sorted,
+        SortFactTable(fact.Clone(), sort_key_,
+                      options_.memory_budget_bytes, &temp, &sort_stats));
+    out.stats.sort_seconds = sort_stats.seconds;
+    out.stats.spilled_bytes = sort_stats.spilled_bytes;
+    out.stats.sort_key = sort_key_.ToString(schema_);
+
+    std::unique_ptr<RecordCursor> cursor = MakeFactTableCursor(sorted);
+    CSM_RETURN_NOT_OK(Scan(*cursor, &out.stats));
+    CSM_RETURN_NOT_OK(Collect(&out));
+    out.stats.total_seconds = total_timer.Seconds();
+    return out;
+  }
+
+  /// Out-of-core input: sort the binary fact file into runs and stream
+  /// the merged records straight into the computation graph — the full
+  /// dataset is never memory-resident.
+  Result<EvalOutput> ExecuteFile(const std::string& fact_path) {
+    Timer total_timer;
+    EvalOutput out;
+    CSM_RETURN_NOT_OK(Prepare());
+    CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
+
+    SortStats sort_stats;
+    CSM_ASSIGN_OR_RETURN(
+        std::unique_ptr<RecordCursor> cursor,
+        SortFactFileCursor(schema_ptr_, fact_path, sort_key_,
+                           options_.memory_budget_bytes, &temp,
+                           &sort_stats));
+    out.stats.sort_seconds = sort_stats.seconds;
+    out.stats.spilled_bytes = sort_stats.spilled_bytes;
+    out.stats.sort_key = sort_key_.ToString(schema_);
+
+    CSM_RETURN_NOT_OK(Scan(*cursor, &out.stats));
+    CSM_RETURN_NOT_OK(Collect(&out));
+    out.stats.total_seconds = total_timer.Seconds();
+    return out;
+  }
+
+ private:
+  Status Prepare() {
+    sort_key_ = options_.sort_key.empty()
+                    ? SortScanEngine::DefaultSortKey(workflow_)
+                    : options_.sort_key;
+    return BuildGraph();
+  }
+
+  /// The coordinated scan over an already-sorted record stream. Keeps a
+  /// one-record lookahead so the propagation rounds can use the *next*
+  /// record as the scan frontier.
+  Status Scan(RecordCursor& cursor, ExecStats* stats) {
+    Timer scan_timer;
+    const int m = schema_.num_measures();
+    std::vector<double> slots(d_ + m);
+    RegionKey gen_key(d_);
+    std::vector<Value> map_key;
+    const Granularity base_gran = Granularity::Base(schema_);
+    const size_t batch =
+        std::max<size_t>(1, options_.propagation_batch_records);
+
+    std::vector<Value> cur_dims(d_), next_dims(d_);
+    std::vector<double> cur_measures(m), next_measures(m);
+    CSM_ASSIGN_OR_RETURN(bool has, cursor.Next());
+    if (has) {
+      std::copy(cursor.dims(), cursor.dims() + d_, cur_dims.begin());
+      std::copy(cursor.measures(), cursor.measures() + m,
+                cur_measures.begin());
+    }
+    uint64_t row = 0;
+    while (has) {
+      CSM_ASSIGN_OR_RETURN(bool has_next, cursor.Next());
+      if (has_next) {
+        std::copy(cursor.dims(), cursor.dims() + d_, next_dims.begin());
+        std::copy(cursor.measures(), cursor.measures() + m,
+                  next_measures.begin());
+      }
+
+      // Feed the record to every scan-side node.
+      const Value* dims = cur_dims.data();
+      const double* measures = cur_measures.data();
+      bool slots_filled = false;
+      for (int node_idx : scan_nodes_) {
+        NodeRt& node = *nodes_[node_idx];
+        if (node.has_where) {
+          if (!slots_filled) {
+            for (int i = 0; i < d_; ++i) {
+              slots[i] = static_cast<double>(dims[i]);
+            }
+            for (int i = 0; i < m; ++i) slots[d_ + i] = measures[i];
+            slots_filled = true;
+          }
+          if (!node.where.EvalBool(slots.data())) continue;
+        }
+        GeneralizeKeyInto(schema_, dims, base_gran, node.gran, &gen_key);
+        NodeEntry& entry = Touch(node, gen_key, &map_key);
+        AggUpdate(node.agg.kind, &entry.state,
+                  node.agg.arg >= 0 ? measures[node.agg.arg] : 1.0);
+      }
+
+      ++row;
+      if (row % batch == 0 && has_next) {
+        SampleMemory(stats);
+        CSM_RETURN_NOT_OK(Propagate(next_dims.data()));
+      }
+      std::swap(cur_dims, next_dims);
+      std::swap(cur_measures, next_measures);
+      has = has_next;
+    }
+    SampleMemory(stats);
+    CSM_RETURN_NOT_OK(Propagate(nullptr));  // close all streams
+    stats->rows_scanned = row;
+    stats->scan_seconds = scan_timer.Seconds();
+    return Status::OK();
+  }
+
+  Status Collect(EvalOutput* out) {
+    for (auto& node : nodes_) {
+      CSM_CHECK(node->entries.empty())
+          << "node " << node->name << " retained entries after close";
+      if (node->keep_output) {
+        node->output->SortByKeyLex();
+        out->tables.emplace(node->name, std::move(*node->output));
+      }
+    }
+    out->stats.materialized_rows = rows_flushed_;
+    return Status::OK();
+  }
+
+  // ---- Graph construction -------------------------------------------------
+
+  Status BuildGraph() {
+    std::unordered_map<std::string, int> node_by_name;
+    std::map<std::vector<int>, int> enum_by_gran;
+
+    auto add_node = [&](std::unique_ptr<NodeRt> node) {
+      nodes_.push_back(std::move(node));
+      return static_cast<int>(nodes_.size() - 1);
+    };
+    auto add_edge = [&](EdgeRt edge) {
+      const int idx = static_cast<int>(edges_.size());
+      nodes_[edge.producer]->out_edges.push_back(idx);
+      nodes_[edge.consumer]->in_edges.push_back(idx);
+      edges_.push_back(std::move(edge));
+      return idx;
+    };
+    auto ensure_enum = [&](const Granularity& gran) {
+      auto it = enum_by_gran.find(gran.levels());
+      if (it != enum_by_gran.end()) return it->second;
+      auto node = std::make_unique<NodeRt>();
+      node->kind = NodeKind::kEnum;
+      node->name = "__regions" + gran.ToString(schema_);
+      node->gran = gran;
+      node->agg = AggSpec{AggKind::kNone, -1};
+      node->pos = PosCalc(schema_, sort_key_, gran);
+      int idx = add_node(std::move(node));
+      scan_nodes_.push_back(idx);
+      enum_by_gran[gran.levels()] = idx;
+      return idx;
+    };
+
+    for (const MeasureDef& def : workflow_.measures()) {
+      auto node = std::make_unique<NodeRt>();
+      node->name = def.name;
+      node->gran = def.gran;
+      node->agg = def.agg;
+      if (node->agg.arg > 0 && def.op != MeasureOp::kBaseAgg) {
+        node->agg.arg = 0;
+      }
+      node->match = def.match;
+      node->pos = PosCalc(schema_, sort_key_, def.gran);
+      node->keep_output = def.is_output || options_.include_hidden;
+
+      switch (def.op) {
+        case MeasureOp::kBaseAgg: {
+          node->kind = NodeKind::kBase;
+          if (def.where != nullptr) {
+            CSM_ASSIGN_OR_RETURN(
+                node->where,
+                BoundExpr::Bind(*def.where, FactRowVars(schema_)));
+            node->has_where = true;
+          }
+          break;
+        }
+        case MeasureOp::kRollup:
+        case MeasureOp::kMatch: {
+          node->kind = def.op == MeasureOp::kRollup ? NodeKind::kRollup
+                                                    : NodeKind::kMatch;
+          break;
+        }
+        case MeasureOp::kCombine: {
+          node->kind = NodeKind::kCombine;
+          node->n_slots = def.combine_inputs.size();
+          std::vector<std::string> names;
+          for (const std::string& input : def.combine_inputs) {
+            CSM_ASSIGN_OR_RETURN(const MeasureDef* in,
+                                 workflow_.Find(input));
+            names.push_back(in->name);
+          }
+          CSM_ASSIGN_OR_RETURN(
+              node->fc,
+              BoundExpr::Bind(*def.fc, CombineVars(schema_, names)));
+          break;
+        }
+      }
+      if (node->keep_output) {
+        node->output = std::make_unique<MeasureTable>(schema_ptr_,
+                                                      def.gran, def.name);
+      }
+      // The region enumerator must precede the match node in the
+      // topological node order, so create it first.
+      int enum_idx = -1;
+      if (def.op == MeasureOp::kMatch) enum_idx = ensure_enum(def.gran);
+      const int node_idx = add_node(std::move(node));
+      node_by_name[def.name] = node_idx;
+      if (def.op == MeasureOp::kBaseAgg) scan_nodes_.push_back(node_idx);
+
+      // Wire the computational arcs.
+      auto make_edge = [&](int producer, ArcKind kind,
+                           int slot) -> Result<EdgeRt> {
+        EdgeRt edge;
+        edge.producer = producer;
+        edge.consumer = node_idx;
+        edge.kind = kind;
+        edge.slot = slot;
+        edge.producer_pos = nodes_[producer]->pos;
+        if (def.where != nullptr && kind != ArcKind::kExists) {
+          CSM_ASSIGN_OR_RETURN(
+              edge.filter,
+              BoundExpr::Bind(*def.where,
+                              MeasureRowVars(schema_,
+                                             nodes_[producer]->name)));
+          edge.has_filter = true;
+        }
+        return edge;
+      };
+
+      switch (def.op) {
+        case MeasureOp::kBaseAgg:
+          break;
+        case MeasureOp::kRollup: {
+          const int producer = node_by_name.at(
+              ToLowerName(def.input, node_by_name));
+          CSM_ASSIGN_OR_RETURN(EdgeRt edge,
+                               make_edge(producer, ArcKind::kRollup, 0));
+          add_edge(std::move(edge));
+          break;
+        }
+        case MeasureOp::kMatch: {
+          EdgeRt exists;
+          exists.producer = enum_idx;
+          exists.consumer = node_idx;
+          exists.kind = ArcKind::kExists;
+          exists.producer_pos = nodes_[enum_idx]->pos;
+          add_edge(std::move(exists));
+
+          const int producer = node_by_name.at(
+              ToLowerName(def.input, node_by_name));
+          ArcKind kind = ArcKind::kSelf;
+          switch (def.match.type) {
+            case MatchType::kSelf:
+              kind = ArcKind::kSelf;
+              break;
+            case MatchType::kChildParent:
+              kind = ArcKind::kRollup;
+              break;
+            case MatchType::kParentChild:
+              kind = ArcKind::kParentChild;
+              break;
+            case MatchType::kSibling:
+              kind = ArcKind::kSibling;
+              break;
+          }
+          CSM_ASSIGN_OR_RETURN(EdgeRt edge, make_edge(producer, kind, 0));
+          if (kind == ArcKind::kSibling) {
+            // Per producer-pos component: how far back the window reach
+            // extends in sort-key units. Exact for stepped hierarchies;
+            // conservative (the raw window bound) otherwise.
+            const PosCalc& ppos = nodes_[producer]->pos;
+            edge.sibling_shift.assign(ppos.len(), 0);
+            for (const SiblingWindow& w : def.match.windows) {
+              for (size_t i = 0; i < ppos.len(); ++i) {
+                if (ppos.part_dim(i) != w.dim) continue;
+                const int64_t hi = std::max<int64_t>(0, w.hi);
+                if (hi == 0) continue;
+                const Hierarchy& h = *schema_.dim(w.dim).hierarchy;
+                uint64_t div = h.ExactDivisor(ppos.part_from(i),
+                                              ppos.part_to(i));
+                edge.sibling_shift[i] =
+                    div > 0 ? (hi + static_cast<int64_t>(div) - 1) /
+                                  static_cast<int64_t>(div)
+                            : hi;
+              }
+            }
+          }
+          add_edge(std::move(edge));
+          break;
+        }
+        case MeasureOp::kCombine: {
+          for (size_t i = 0; i < def.combine_inputs.size(); ++i) {
+            const int producer = node_by_name.at(
+                ToLowerName(def.combine_inputs[i], node_by_name));
+            EdgeRt edge;
+            edge.producer = producer;
+            edge.consumer = node_idx;
+            edge.kind = ArcKind::kCombineSlot;
+            edge.slot = static_cast<int>(i);
+            edge.producer_pos = nodes_[producer]->pos;
+            add_edge(std::move(edge));
+          }
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Workflow names are case-insensitive; node_by_name stores the exact
+  // names, so resolve by scanning (graphs are small).
+  static std::string ToLowerName(
+      const std::string& name,
+      const std::unordered_map<std::string, int>& table) {
+    if (table.count(name)) return name;
+    std::string lower = ToLower(name);
+    for (const auto& [key, idx] : table) {
+      if (ToLower(key) == lower) return key;
+    }
+    return name;  // will throw at() — caught by workflow validation first
+  }
+
+  // ---- Scan-side entry maintenance ---------------------------------------
+
+  NodeEntry& Touch(NodeRt& node, const RegionKey& key,
+                   std::vector<Value>* map_key) {
+    node.pos.Compute(schema_, key.data(), map_key);
+    map_key->insert(map_key->end(), key.begin(), key.end());
+    auto [it, inserted] = node.entries.try_emplace(*map_key);
+    if (inserted) {
+      AggInit(node.agg.kind, &it->second.state);
+      if (node.kind == NodeKind::kCombine) {
+        it->second.slots.assign(node.n_slots, kNaN);
+      }
+    }
+    return it->second;
+  }
+
+  // ---- Watermark propagation ----------------------------------------------
+
+  /// One propagation round: recomputes every node's watermark (in
+  /// topological order — nodes_ is topologically ordered by
+  /// construction), pops finalized entries, emits them downstream, and
+  /// advances the edge frontiers. `next_dims` is the next unscanned fact
+  /// record, or nullptr at end of input.
+  Status Propagate(const Value* next_dims) {
+    RegionKey gen_key(d_);
+    const Granularity base_gran = Granularity::Base(schema_);
+    std::vector<Emission> emissions;
+    std::vector<double> filter_slots(d_ + 2);
+
+    for (size_t node_idx = 0; node_idx < nodes_.size(); ++node_idx) {
+      NodeRt& node = *nodes_[node_idx];
+
+      // -- Watermark.
+      if (node.kind == NodeKind::kBase || node.kind == NodeKind::kEnum) {
+        if (next_dims == nullptr) {
+          node.watermark.closed = true;
+        } else {
+          GeneralizeKeyInto(schema_, next_dims, base_gran, node.gran,
+                            &gen_key);
+          node.pos.Compute(schema_, gen_key.data(), &node.watermark.vals);
+          node.watermark.closed = false;
+        }
+      } else {
+        Frontier wm;
+        wm.closed = true;
+        for (int e : node.in_edges) {
+          wm = LowerOf(wm, edges_[e].frontier);
+        }
+        node.watermark = wm;
+      }
+
+      // -- Pop finalized entries.
+      emissions.clear();
+      const size_t pos_len = node.pos.len();
+      auto it = node.entries.begin();
+      while (it != node.entries.end() &&
+             StrictlyBefore(it->first.data(), pos_len, node.watermark)) {
+        const Value* rkey = it->first.data() + pos_len;
+        bool emit = true;
+        double value = 0;
+        switch (node.kind) {
+          case NodeKind::kBase:
+          case NodeKind::kEnum:
+          case NodeKind::kRollup:
+            value = AggFinalize(node.agg.kind, it->second.state);
+            break;
+          case NodeKind::kMatch: {
+            if (!it->second.exists) {
+              emit = false;
+              break;
+            }
+            if (node.match.type == MatchType::kParentChild) {
+              value = FoldParent(node, rkey);
+            } else {
+              value = AggFinalize(node.agg.kind, it->second.state);
+            }
+            break;
+          }
+          case NodeKind::kCombine: {
+            if (!it->second.exists) {
+              emit = false;
+              break;
+            }
+            combine_slots_.resize(d_ + node.n_slots);
+            for (int i = 0; i < d_; ++i) {
+              combine_slots_[i] = static_cast<double>(rkey[i]);
+            }
+            for (size_t i = 0; i < node.n_slots; ++i) {
+              combine_slots_[d_ + i] = it->second.slots[i];
+            }
+            value = node.fc.Eval(combine_slots_.data());
+            break;
+          }
+        }
+        if (emit) {
+          emissions.push_back(
+              {std::vector<Value>(rkey, rkey + d_), value});
+        }
+        it = node.entries.erase(it);
+      }
+
+      // -- Keep output rows.
+      if (node.keep_output) {
+        for (const Emission& e : emissions) {
+          node.output->Append(e.key.data(), e.value);
+        }
+      }
+      rows_flushed_ += emissions.size();
+
+      // -- Push downstream and advance edge frontiers.
+      for (int e : node.out_edges) {
+        EdgeRt& edge = edges_[e];
+        NodeRt& consumer = *nodes_[edge.consumer];
+        for (const Emission& emission : emissions) {
+          if (edge.has_filter) {
+            const Value* key = emission.key.data();
+            for (int i = 0; i < d_; ++i) {
+              filter_slots[i] = static_cast<double>(key[i]);
+            }
+            filter_slots[d_] = filter_slots[d_ + 1] = emission.value;
+            if (!edge.filter.EvalBool(filter_slots.data())) continue;
+          }
+          CSM_RETURN_NOT_OK(ApplyUpdate(edge, consumer, emission));
+        }
+        edge.frontier = TransformFrontier(node.watermark, edge);
+      }
+
+      // -- Evict parent buffers that no future child can reference: a
+      // parent is dead once the node's watermark, re-levelled to the
+      // parent granularity, strictly passes it.
+      for (int e : node.in_edges) {
+        EdgeRt& edge = edges_[e];
+        if (edge.kind != ArcKind::kParentChild) continue;
+        const Frontier parent_wm =
+            ConvertFrontier(node.watermark, node.pos, edge.producer_pos);
+        const size_t plen = edge.producer_pos.len();
+        auto pit = edge.parent_values.begin();
+        while (pit != edge.parent_values.end() &&
+               StrictlyBefore(pit->first.data(), plen, parent_wm)) {
+          pit = edge.parent_values.erase(pit);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  double FoldParent(NodeRt& node, const Value* rkey) {
+    // Locate this node's parent/child arc.
+    AggState state;
+    AggInit(node.agg.kind, &state);
+    for (int e : node.in_edges) {
+      EdgeRt& edge = edges_[e];
+      if (edge.kind != ArcKind::kParentChild) continue;
+      const NodeRt& producer = *nodes_[edge.producer];
+      RegionKey pkey(d_);
+      GeneralizeKeyInto(schema_, rkey, node.gran, producer.gran, &pkey);
+      std::vector<Value> map_key;
+      edge.producer_pos.Compute(schema_, pkey.data(), &map_key);
+      map_key.insert(map_key.end(), pkey.begin(), pkey.end());
+      auto it = edge.parent_values.find(map_key);
+      if (it != edge.parent_values.end()) {
+        AggUpdate(node.agg.kind, &state, it->second);
+      }
+    }
+    return AggFinalize(node.agg.kind, state);
+  }
+
+  Status ApplyUpdate(EdgeRt& edge, NodeRt& consumer,
+                     const Emission& emission) {
+    std::vector<Value> map_key;
+    switch (edge.kind) {
+      case ArcKind::kExists: {
+        NodeEntry& entry = Touch(consumer, emission.key, &map_key);
+        entry.exists = true;
+        break;
+      }
+      case ArcKind::kSelf: {
+        NodeEntry& entry = Touch(consumer, emission.key, &map_key);
+        AggUpdate(consumer.agg.kind, &entry.state, emission.value);
+        break;
+      }
+      case ArcKind::kRollup: {
+        RegionKey up(d_);
+        GeneralizeKeyInto(schema_, emission.key.data(),
+                          nodes_[edge.producer]->gran, consumer.gran, &up);
+        NodeEntry& entry = Touch(consumer, up, &map_key);
+        AggUpdate(consumer.agg.kind, &entry.state,
+                  consumer.agg.arg >= 0 ? emission.value : 1.0);
+        if (consumer.kind == NodeKind::kRollup) entry.exists = true;
+        break;
+      }
+      case ArcKind::kParentChild: {
+        edge.producer_pos.Compute(schema_, emission.key.data(), &map_key);
+        map_key.insert(map_key.end(), emission.key.begin(),
+                       emission.key.end());
+        edge.parent_values[std::move(map_key)] = emission.value;
+        break;
+      }
+      case ArcKind::kSibling: {
+        // Fan the value out to every region whose window covers this key.
+        RegionKey skey = emission.key;
+        const auto& windows = consumer.match.windows;
+        std::vector<int64_t> offset(windows.size());
+        for (size_t i = 0; i < windows.size(); ++i) {
+          offset[i] = windows[i].lo;
+        }
+        for (;;) {
+          bool valid = true;
+          for (size_t i = 0; i < windows.size(); ++i) {
+            const int64_t v =
+                static_cast<int64_t>(emission.key[windows[i].dim]) -
+                offset[i];
+            if (v < 0) {
+              valid = false;
+              break;
+            }
+            skey[windows[i].dim] = static_cast<Value>(v);
+          }
+          if (valid) {
+            NodeEntry& entry = Touch(consumer, skey, &map_key);
+            AggUpdate(consumer.agg.kind, &entry.state, emission.value);
+          }
+          size_t i = 0;
+          for (; i < windows.size(); ++i) {
+            if (++offset[i] <= windows[i].hi) break;
+            offset[i] = windows[i].lo;
+          }
+          if (i == windows.size()) break;
+        }
+        break;
+      }
+      case ArcKind::kCombineSlot: {
+        NodeEntry& entry = Touch(consumer, emission.key, &map_key);
+        entry.slots[edge.slot] = emission.value;
+        if (edge.slot == 0) entry.exists = true;
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Re-levels a frontier expressed at `from`'s component levels into
+  /// `to`'s component levels (both follow the same sort-key dimension
+  /// sequence, so components align). This is the order/slack coarsening of
+  /// Table 6 in frontier form:
+  ///  - equal levels pass through;
+  ///  - a component where `to` is coarser is generalized and the frontier
+  ///    *truncates* there (values beyond it are no longer lex-bounded);
+  ///  - a component where `to` is finer multiplies by the exact block
+  ///    size (first fine value of the coarse bound) and may continue;
+  ///    with an irregular hierarchy the exact size is unknown and the
+  ///    frontier conservatively truncates before the component.
+  Frontier ConvertFrontier(const Frontier& f, const PosCalc& from,
+                           const PosCalc& to) const {
+    Frontier out;
+    out.closed = f.closed;
+    if (f.closed) return out;
+    const size_t n = std::min({f.vals.size(), from.len(), to.len()});
+    for (size_t i = 0; i < n; ++i) {
+      const int dim = from.part_dim(i);
+      CSM_DCHECK(dim == to.part_dim(i));
+      const int fl = from.part_to(i);
+      const int tl = to.part_to(i);
+      const Hierarchy& h = *schema_.dim(dim).hierarchy;
+      if (fl == tl) {
+        out.vals.push_back(f.vals[i]);
+        continue;
+      }
+      if (fl < tl) {  // coarsening: generalize, then stop
+        out.vals.push_back(h.Generalize(f.vals[i], fl, tl));
+        break;
+      }
+      // Refining: need the exact block size to place the bound.
+      const uint64_t div = h.ExactDivisor(tl, fl);
+      if (div == 0) break;
+      out.vals.push_back(f.vals[i] * div);
+    }
+    return out;
+  }
+
+  Frontier TransformFrontier(const Frontier& wm, const EdgeRt& edge) const {
+    Frontier f = wm;
+    if (f.closed) return f;
+    if (edge.kind == ArcKind::kSibling) {
+      // Slack of a trailing window: the stream of updates lags the
+      // producer by up to the window reach, so pull the bound back. A
+      // component that would go negative provides no bound at all — the
+      // frontier truncates there (clamping to 0 would wrongly *raise*
+      // the bound and finalize entries that can still receive updates).
+      const size_t n = std::min(f.vals.size(),
+                                edge.sibling_shift.size());
+      for (size_t i = 0; i < n; ++i) {
+        const Value shift = static_cast<Value>(edge.sibling_shift[i]);
+        if (f.vals[i] < shift) {
+          f.vals.resize(i);
+          break;
+        }
+        f.vals[i] -= shift;
+      }
+    }
+    return ConvertFrontier(f, edge.producer_pos,
+                           nodes_[edge.consumer]->pos);
+  }
+
+  void SampleMemory(ExecStats* stats) {
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+    for (const auto& node : nodes_) {
+      entries += node->entries.size();
+      const size_t per_entry =
+          (node->pos.len() + d_) * sizeof(Value) + sizeof(NodeEntry) +
+          node->n_slots * sizeof(double) + 48;
+      bytes += node->entries.size() * per_entry;
+      // Only holistic aggregates carry per-entry heap state; walking the
+      // entries of every node per sample would make sampling O(footprint)
+      // and dominate badly-ordered runs.
+      if (node->agg.kind == AggKind::kCountDistinct) {
+        for (const auto& [key, entry] : node->entries) {
+          if (entry.state.distinct) {
+            bytes += entry.state.distinct->size() * 16;
+          }
+        }
+      }
+    }
+    for (const auto& edge : edges_) {
+      entries += edge.parent_values.size();
+      bytes += edge.parent_values.size() *
+               ((edge.producer_pos.len() + d_) * sizeof(Value) + 56);
+    }
+    stats->peak_hash_entries = std::max(stats->peak_hash_entries, entries);
+    stats->peak_hash_bytes = std::max(stats->peak_hash_bytes, bytes);
+  }
+
+  const Workflow& workflow_;
+  const EngineOptions& options_;
+  SchemaPtr schema_ptr_;
+  const Schema& schema_;
+  const int d_;
+  SortKey sort_key_;
+
+  std::vector<std::unique_ptr<NodeRt>> nodes_;  // topological order
+  std::vector<EdgeRt> edges_;
+  std::vector<int> scan_nodes_;  // kBase / kEnum, fed by the scan
+  uint64_t rows_flushed_ = 0;
+  std::vector<double> combine_slots_;
+};
+
+}  // namespace
+
+SortKey SortScanEngine::DefaultSortKey(const Workflow& workflow) {
+  const Schema& schema = *workflow.schema();
+  std::vector<SortKeyPart> parts;
+  for (int dim = 0; dim < schema.num_dims(); ++dim) {
+    const int all = schema.dim(dim).hierarchy->all_level();
+    int finest = all;
+    for (const MeasureDef& def : workflow.measures()) {
+      finest = std::min(finest, def.gran.level(dim));
+    }
+    if (finest == all) continue;
+    parts.push_back({dim, finest});
+  }
+  return SortKey(std::move(parts));
+}
+
+Result<EvalOutput> SortScanEngine::Run(const Workflow& workflow,
+                                       const FactTable& fact) {
+  SortScanRun run(workflow, options_);
+  return run.Execute(fact);
+}
+
+Result<EvalOutput> SortScanEngine::RunFile(const Workflow& workflow,
+                                           const std::string& fact_path) {
+  SortScanRun run(workflow, options_);
+  return run.ExecuteFile(fact_path);
+}
+
+}  // namespace csm

@@ -1,0 +1,60 @@
+#ifndef CSM_EXEC_SORT_SCAN_H_
+#define CSM_EXEC_SORT_SCAN_H_
+
+#include "exec/engine.h"
+
+namespace csm {
+
+/// The one-pass sort/scan engine — the paper's core contribution (§5.2,
+/// §5.3). The fact table is sorted once by an order vector; every measure
+/// of the workflow is then evaluated in a single coordinated scan:
+///
+///  - each measure is a node of the computation graph holding its
+///    in-flight hash entries *ordered by the entry's position in the sort
+///    order* (the mapKey of Table 8);
+///  - every data stream (scan -> basic measures, finalized entries ->
+///    dependent measures) carries a monotone *frontier*: a lower bound on
+///    the order position of any future update. Frontiers are transformed
+///    across computational arcs exactly as the paper's order/slack algebra
+///    prescribes (Table 6): roll-ups coarsen them, parent/child arcs
+///    shorten them, sibling windows shift them back by the window reach;
+///  - a node's watermark is the minimum of its input frontiers; entries
+///    strictly below the watermark are finalized, emitted downstream in
+///    order, and removed — bounding the memory footprint;
+///  - at end of scan all streams close and everything flushes.
+///
+/// The sort order comes from EngineOptions::sort_key, or (when empty) from
+/// a default that sorts by every dimension used by the query at its
+/// finest queried level; the optimizer (src/opt) can search for better
+/// orders using the static footprint model.
+class SortScanEngine : public Engine {
+ public:
+  explicit SortScanEngine(EngineOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "sort-scan"; }
+
+  Result<EvalOutput> Run(const Workflow& workflow,
+                         const FactTable& fact) override;
+
+  /// Out-of-core entry point: evaluates the workflow directly over a
+  /// binary fact file (WriteFactTableBinary format). The file is sorted
+  /// into runs under the memory budget and the merged record stream feeds
+  /// the computation graph — the dataset is never fully resident, so
+  /// datasets larger than RAM work end to end.
+  Result<EvalOutput> RunFile(const Workflow& workflow,
+                             const std::string& fact_path);
+
+  /// The default order vector used when options.sort_key is empty: every
+  /// dimension some measure needs, in schema order, at the finest level
+  /// any measure granularity requests. Exposed for the optimizer and
+  /// benches.
+  static SortKey DefaultSortKey(const Workflow& workflow);
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_SORT_SCAN_H_

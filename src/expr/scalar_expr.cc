@@ -1,0 +1,519 @@
+#include "expr/scalar_expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.';
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction helpers
+
+std::shared_ptr<const ScalarExpr> ScalarExpr::Const(double v) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = Kind::kConst;
+  e->const_value_ = v;
+  return e;
+}
+
+std::shared_ptr<const ScalarExpr> ScalarExpr::Var(std::string name) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = Kind::kVar;
+  e->name_ = std::move(name);
+  return e;
+}
+
+std::shared_ptr<const ScalarExpr> ScalarExpr::Binary(
+    Op op, std::shared_ptr<const ScalarExpr> lhs,
+    std::shared_ptr<const ScalarExpr> rhs) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = Kind::kBinary;
+  e->op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+void ScalarExpr::CollectVars(std::vector<std::string>* out) const {
+  if (kind_ == Kind::kVar) {
+    std::string lower = ToLower(name_);
+    for (const auto& existing : *out) {
+      if (ToLower(existing) == lower) return;
+    }
+    out->push_back(name_);
+    return;
+  }
+  for (const auto& child : children_) child->CollectVars(out);
+}
+
+std::string ScalarExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kConst: {
+      std::string s = std::to_string(const_value_);
+      return s;
+    }
+    case Kind::kVar:
+      return name_;
+    case Kind::kUnary:
+      return (op_ == Op::kNeg ? "(-" : "(!") + children_[0]->ToString() +
+             ")";
+    case Kind::kBinary: {
+      const char* sym = "?";
+      switch (op_) {
+        case Op::kAdd: sym = " + "; break;
+        case Op::kSub: sym = " - "; break;
+        case Op::kMul: sym = " * "; break;
+        case Op::kDiv: sym = " / "; break;
+        case Op::kMod: sym = " % "; break;
+        case Op::kLt: sym = " < "; break;
+        case Op::kLe: sym = " <= "; break;
+        case Op::kGt: sym = " > "; break;
+        case Op::kGe: sym = " >= "; break;
+        case Op::kEq: sym = " == "; break;
+        case Op::kNe: sym = " != "; break;
+        case Op::kAnd: sym = " && "; break;
+        case Op::kOr: sym = " || "; break;
+        default: break;
+      }
+      return "(" + children_[0]->ToString() + sym +
+             children_[1]->ToString() + ")";
+    }
+    case Kind::kCall: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Parser (precedence climbing)
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  Result<ScalarExprPtr> Parse() {
+    CSM_ASSIGN_OR_RETURN(ScalarExprPtr expr, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  Status ErrorStatus(const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_) +
+                              " in '" + std::string(text_) + "'");
+  }
+  Result<ScalarExprPtr> Error(const std::string& what) {
+    return ErrorStatus(what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  static ScalarExprPtr MakeUnary(ScalarExpr::Op op, ScalarExprPtr child) {
+    auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+    e->kind_ = ScalarExpr::Kind::kUnary;
+    e->op_ = op;
+    e->children_ = {std::move(child)};
+    return e;
+  }
+
+  static ScalarExprPtr MakeCall(
+      std::string name, std::vector<ScalarExprPtr> args) {
+    auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+    e->kind_ = ScalarExpr::Kind::kCall;
+    e->name_ = std::move(name);
+    e->children_ = std::move(args);
+    return e;
+  }
+
+  Result<ScalarExprPtr> ParseOr() {
+    CSM_ASSIGN_OR_RETURN(ScalarExprPtr lhs, ParseAnd());
+    while (Consume("||") || ConsumeKeyword("or")) {
+      CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseAnd());
+      lhs = ScalarExpr::Binary(ScalarExpr::Op::kOr, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ScalarExprPtr> ParseAnd() {
+    CSM_ASSIGN_OR_RETURN(ScalarExprPtr lhs, ParseCompare());
+    while (Consume("&&") || ConsumeKeyword("and")) {
+      CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseCompare());
+      lhs = ScalarExpr::Binary(ScalarExpr::Op::kAnd, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    size_t end = pos_ + kw.size();
+    if (end > text_.size()) return false;
+    if (ToLower(text_.substr(pos_, kw.size())) != kw) return false;
+    if (end < text_.size() && IsIdentChar(text_[end])) return false;
+    pos_ = end;
+    return true;
+  }
+
+  Result<ScalarExprPtr> ParseCompare() {
+    CSM_ASSIGN_OR_RETURN(ScalarExprPtr lhs, ParseAdd());
+    for (;;) {
+      ScalarExpr::Op op = ScalarExpr::Op::kNone;
+      if (Consume("<=")) {
+        op = ScalarExpr::Op::kLe;
+      } else if (Consume(">=")) {
+        op = ScalarExpr::Op::kGe;
+      } else if (Consume("==") || (Peek() == '=' && Consume("="))) {
+        op = ScalarExpr::Op::kEq;
+      } else if (Consume("!=") || Consume("<>")) {
+        op = ScalarExpr::Op::kNe;
+      } else if (Consume("<")) {
+        op = ScalarExpr::Op::kLt;
+      } else if (Consume(">")) {
+        op = ScalarExpr::Op::kGt;
+      } else {
+        return lhs;
+      }
+      CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseAdd());
+      lhs = ScalarExpr::Binary(op, lhs, rhs);
+    }
+  }
+
+  Result<ScalarExprPtr> ParseAdd() {
+    CSM_ASSIGN_OR_RETURN(ScalarExprPtr lhs, ParseMul());
+    for (;;) {
+      if (Consume("+")) {
+        CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseMul());
+        lhs = ScalarExpr::Binary(ScalarExpr::Op::kAdd, lhs, rhs);
+      } else if (Peek() == '-') {
+        ++pos_;
+        CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseMul());
+        lhs = ScalarExpr::Binary(ScalarExpr::Op::kSub, lhs, rhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ScalarExprPtr> ParseMul() {
+    CSM_ASSIGN_OR_RETURN(ScalarExprPtr lhs, ParseUnary());
+    for (;;) {
+      if (Consume("*")) {
+        CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseUnary());
+        lhs = ScalarExpr::Binary(ScalarExpr::Op::kMul, lhs, rhs);
+      } else if (Consume("/")) {
+        CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseUnary());
+        lhs = ScalarExpr::Binary(ScalarExpr::Op::kDiv, lhs, rhs);
+      } else if (Consume("%")) {
+        CSM_ASSIGN_OR_RETURN(ScalarExprPtr rhs, ParseUnary());
+        lhs = ScalarExpr::Binary(ScalarExpr::Op::kMod, lhs, rhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ScalarExprPtr> ParseUnary() {
+    if (Peek() == '-') {
+      ++pos_;
+      CSM_ASSIGN_OR_RETURN(ScalarExprPtr child, ParseUnary());
+      return MakeUnary(ScalarExpr::Op::kNeg, child);
+    }
+    if (Peek() == '!') {
+      ++pos_;
+      CSM_ASSIGN_OR_RETURN(ScalarExprPtr child, ParseUnary());
+      return MakeUnary(ScalarExpr::Op::kNot, child);
+    }
+    if (ConsumeKeyword("not")) {
+      CSM_ASSIGN_OR_RETURN(ScalarExprPtr child, ParseUnary());
+      return MakeUnary(ScalarExpr::Op::kNot, child);
+    }
+    return ParsePrimary();
+  }
+
+  Result<ScalarExprPtr> ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of expression");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      CSM_ASSIGN_OR_RETURN(ScalarExprPtr inner, ParseOr());
+      if (!Consume(")")) return Error("expected ')'");
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' ||
+              ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      double v;
+      if (!ParseDouble(text_.substr(start, pos_ - start), &v)) {
+        return Error("bad numeric literal");
+      }
+      return ScalarExpr::Const(v);
+    }
+    if (IsIdentStart(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+      std::string name(text_.substr(start, pos_ - start));
+      std::string lower = ToLower(name);
+      if (lower == "null" || lower == "nan") return ScalarExpr::Const(kNaN);
+      if (lower == "true") return ScalarExpr::Const(1.0);
+      if (lower == "false") return ScalarExpr::Const(0.0);
+      SkipSpace();
+      if (Peek() == '(') {
+        ++pos_;
+        std::vector<ScalarExprPtr> args;
+        if (Peek() != ')') {
+          for (;;) {
+            CSM_ASSIGN_OR_RETURN(ScalarExprPtr arg, ParseOr());
+            args.push_back(std::move(arg));
+            if (!Consume(",")) break;
+          }
+        }
+        if (!Consume(")")) return Error("expected ')' after call args");
+        static const std::unordered_set<std::string>* const kFunctions =
+            new std::unordered_set<std::string>{
+                "abs", "sqrt", "log", "exp", "floor", "ceil",
+                "min", "max", "pow", "if", "isnull", "coalesce"};
+        if (kFunctions->find(lower) == kFunctions->end()) {
+          return Error("unknown function '" + name + "'");
+        }
+        return MakeCall(lower, std::move(args));
+      }
+      return ScalarExpr::Var(std::move(name));
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<std::shared_ptr<const ScalarExpr>> ScalarExpr::Parse(
+    std::string_view text) {
+  return ExprParser(text).Parse();
+}
+
+// ---------------------------------------------------------------------------
+// BoundExpr
+
+Result<BoundExpr> BoundExpr::Bind(const ScalarExpr& expr,
+                                  const std::vector<std::string>& vars) {
+  BoundExpr bound;
+  CSM_RETURN_NOT_OK(bound.Compile(expr, vars));
+  bound.stack_.resize(16);
+  return bound;
+}
+
+Status BoundExpr::Compile(const ScalarExpr& expr,
+                          const std::vector<std::string>& vars) {
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kConst:
+      code_.push_back({OpCode::kPushConst, 0, expr.const_value()});
+      return Status::OK();
+    case ScalarExpr::Kind::kVar: {
+      std::string lower = ToLower(expr.var_name());
+      // "X.M" also matches a slot named "X" — the single measure of a
+      // joined table may be referenced either way.
+      std::string base = lower;
+      if (EndsWith(base, ".m")) base = base.substr(0, base.size() - 2);
+      for (size_t i = 0; i < vars.size(); ++i) {
+        std::string slot = ToLower(vars[i]);
+        if (slot == lower || slot == base) {
+          code_.push_back({OpCode::kPushSlot, static_cast<int>(i), 0});
+          return Status::OK();
+        }
+      }
+      return Status::InvalidArgument("unbound variable '" +
+                                     expr.var_name() + "'");
+    }
+    case ScalarExpr::Kind::kUnary:
+      CSM_RETURN_NOT_OK(Compile(*expr.children()[0], vars));
+      code_.push_back({expr.op() == ScalarExpr::Op::kNeg ? OpCode::kNeg
+                                                         : OpCode::kNot,
+                       0, 0});
+      return Status::OK();
+    case ScalarExpr::Kind::kBinary: {
+      CSM_RETURN_NOT_OK(Compile(*expr.children()[0], vars));
+      CSM_RETURN_NOT_OK(Compile(*expr.children()[1], vars));
+      OpCode op;
+      switch (expr.op()) {
+        case ScalarExpr::Op::kAdd: op = OpCode::kAdd; break;
+        case ScalarExpr::Op::kSub: op = OpCode::kSub; break;
+        case ScalarExpr::Op::kMul: op = OpCode::kMul; break;
+        case ScalarExpr::Op::kDiv: op = OpCode::kDiv; break;
+        case ScalarExpr::Op::kMod: op = OpCode::kMod; break;
+        case ScalarExpr::Op::kLt: op = OpCode::kLt; break;
+        case ScalarExpr::Op::kLe: op = OpCode::kLe; break;
+        case ScalarExpr::Op::kGt: op = OpCode::kGt; break;
+        case ScalarExpr::Op::kGe: op = OpCode::kGe; break;
+        case ScalarExpr::Op::kEq: op = OpCode::kEq; break;
+        case ScalarExpr::Op::kNe: op = OpCode::kNe; break;
+        case ScalarExpr::Op::kAnd: op = OpCode::kAnd; break;
+        case ScalarExpr::Op::kOr: op = OpCode::kOr; break;
+        default:
+          return Status::Internal("bad binary op");
+      }
+      code_.push_back({op, 0, 0});
+      return Status::OK();
+    }
+    case ScalarExpr::Kind::kCall: {
+      struct FnDef {
+        const char* name;
+        OpCode op;
+        size_t arity;
+      };
+      static constexpr FnDef kFns[] = {
+          {"abs", OpCode::kAbs, 1},     {"sqrt", OpCode::kSqrt, 1},
+          {"log", OpCode::kLog, 1},     {"exp", OpCode::kExp, 1},
+          {"floor", OpCode::kFloor, 1}, {"ceil", OpCode::kCeil, 1},
+          {"min", OpCode::kMin, 2},     {"max", OpCode::kMax, 2},
+          {"pow", OpCode::kPow, 2},     {"if", OpCode::kIf, 3},
+          {"isnull", OpCode::kIsNull, 1},
+          {"coalesce", OpCode::kCoalesce, 2},
+      };
+      for (const FnDef& fn : kFns) {
+        if (expr.call_name() == fn.name) {
+          if (expr.children().size() != fn.arity) {
+            return Status::InvalidArgument(
+                std::string(fn.name) + "() takes " +
+                std::to_string(fn.arity) + " argument(s)");
+          }
+          for (const auto& child : expr.children()) {
+            CSM_RETURN_NOT_OK(Compile(*child, vars));
+          }
+          code_.push_back({fn.op, 0, 0});
+          return Status::OK();
+        }
+      }
+      return Status::InvalidArgument("unknown function '" +
+                                     expr.call_name() + "'");
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+double BoundExpr::Eval(const double* slots) const {
+  double* sp = stack_.data();
+  auto truthy = [](double v) { return v != 0 && !(v != v); };
+  for (const Instr& instr : code_) {
+    switch (instr.op) {
+      case OpCode::kPushConst:
+        *sp++ = instr.value;
+        break;
+      case OpCode::kPushSlot:
+        *sp++ = slots[instr.slot];
+        break;
+      case OpCode::kNeg:
+        sp[-1] = -sp[-1];
+        break;
+      case OpCode::kNot:
+        sp[-1] = truthy(sp[-1]) ? 0.0 : 1.0;
+        break;
+      case OpCode::kAdd: --sp; sp[-1] += *sp; break;
+      case OpCode::kSub: --sp; sp[-1] -= *sp; break;
+      case OpCode::kMul: --sp; sp[-1] *= *sp; break;
+      case OpCode::kDiv: --sp; sp[-1] /= *sp; break;
+      case OpCode::kMod: --sp; sp[-1] = std::fmod(sp[-1], *sp); break;
+      case OpCode::kLt: --sp; sp[-1] = sp[-1] < *sp ? 1.0 : 0.0; break;
+      case OpCode::kLe: --sp; sp[-1] = sp[-1] <= *sp ? 1.0 : 0.0; break;
+      case OpCode::kGt: --sp; sp[-1] = sp[-1] > *sp ? 1.0 : 0.0; break;
+      case OpCode::kGe: --sp; sp[-1] = sp[-1] >= *sp ? 1.0 : 0.0; break;
+      case OpCode::kEq: --sp; sp[-1] = sp[-1] == *sp ? 1.0 : 0.0; break;
+      case OpCode::kNe: --sp; sp[-1] = sp[-1] != *sp ? 1.0 : 0.0; break;
+      case OpCode::kAnd:
+        --sp;
+        sp[-1] = truthy(sp[-1]) && truthy(*sp) ? 1.0 : 0.0;
+        break;
+      case OpCode::kOr:
+        --sp;
+        sp[-1] = truthy(sp[-1]) || truthy(*sp) ? 1.0 : 0.0;
+        break;
+      case OpCode::kAbs: sp[-1] = std::fabs(sp[-1]); break;
+      case OpCode::kSqrt: sp[-1] = std::sqrt(sp[-1]); break;
+      case OpCode::kLog: sp[-1] = std::log(sp[-1]); break;
+      case OpCode::kExp: sp[-1] = std::exp(sp[-1]); break;
+      case OpCode::kFloor: sp[-1] = std::floor(sp[-1]); break;
+      case OpCode::kCeil: sp[-1] = std::ceil(sp[-1]); break;
+      case OpCode::kMin:
+        --sp;
+        sp[-1] = std::fmin(sp[-1], *sp);
+        break;
+      case OpCode::kMax:
+        --sp;
+        sp[-1] = std::fmax(sp[-1], *sp);
+        break;
+      case OpCode::kPow:
+        --sp;
+        sp[-1] = std::pow(sp[-1], *sp);
+        break;
+      case OpCode::kIf:
+        sp -= 2;
+        sp[-1] = truthy(sp[-1]) ? sp[0] : sp[1];
+        break;
+      case OpCode::kIsNull:
+        sp[-1] = (sp[-1] != sp[-1]) ? 1.0 : 0.0;
+        break;
+      case OpCode::kCoalesce:
+        --sp;
+        if (sp[-1] != sp[-1]) sp[-1] = *sp;
+        break;
+    }
+    // Grow the stack defensively for pathological nesting.
+    if (sp >= stack_.data() + stack_.size() - 4) {
+      size_t offset = static_cast<size_t>(sp - stack_.data());
+      stack_.resize(stack_.size() * 2);
+      sp = stack_.data() + offset;
+    }
+  }
+  return sp > stack_.data() ? sp[-1] : kNaN;
+}
+
+}  // namespace csm

@@ -1,0 +1,164 @@
+#ifndef CSM_EXPR_SCALAR_EXPR_H_
+#define CSM_EXPR_SCALAR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace csm {
+
+/// Immutable scalar expression AST used for selection conditions (σ_cond)
+/// and combine-join functions (f_c). Expressions reference named variables
+/// — the measure "M" of the input table, dimension attributes, or, in a
+/// combine join, the names of the joined measures ("MAXT.M" or "MAXT").
+///
+/// NULL semantics: NULL is represented as NaN. Arithmetic propagates NaN;
+/// comparisons involving NaN are false; isnull()/coalesce() handle it
+/// explicitly.
+class ScalarExpr {
+ public:
+  enum class Kind {
+    kConst,   // literal
+    kVar,     // named variable
+    kUnary,   // op applied to child 0
+    kBinary,  // op applied to children 0, 1
+    kCall,    // named function over children
+  };
+
+  enum class Op {
+    kNone,
+    // unary
+    kNeg,
+    kNot,
+    // binary
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kEq,
+    kNe,
+    kAnd,
+    kOr,
+  };
+
+  /// Parses an expression. Grammar: C-like precedence with || && ,
+  /// comparisons, + - , * / %, unary - !, parentheses, numeric literals,
+  /// identifiers (dots allowed), and calls: abs, sqrt, log, exp, floor,
+  /// ceil, min, max, pow, if(cond,a,b), isnull(x), coalesce(a,b).
+  static Result<std::shared_ptr<const ScalarExpr>> Parse(
+      std::string_view text);
+
+  /// Convenience constructors used by programmatic query builders.
+  static std::shared_ptr<const ScalarExpr> Const(double v);
+  static std::shared_ptr<const ScalarExpr> Var(std::string name);
+  static std::shared_ptr<const ScalarExpr> Binary(
+      Op op, std::shared_ptr<const ScalarExpr> lhs,
+      std::shared_ptr<const ScalarExpr> rhs);
+
+  Kind kind() const { return kind_; }
+  Op op() const { return op_; }
+  double const_value() const { return const_value_; }
+  const std::string& var_name() const { return name_; }
+  const std::string& call_name() const { return name_; }
+  const std::vector<std::shared_ptr<const ScalarExpr>>& children() const {
+    return children_;
+  }
+
+  /// Appends the distinct variable names referenced (original spelling,
+  /// deduplicated case-insensitively).
+  void CollectVars(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  ScalarExpr() = default;
+  friend class ExprParser;
+
+  Kind kind_ = Kind::kConst;
+  Op op_ = Op::kNone;
+  double const_value_ = 0;
+  std::string name_;
+  std::vector<std::shared_ptr<const ScalarExpr>> children_;
+};
+
+using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+
+/// A ScalarExpr compiled against a variable layout: variable references
+/// become slot indices and the tree is flattened into a postfix program, so
+/// per-row evaluation is a tight loop with no hashing or recursion.
+class BoundExpr {
+ public:
+  BoundExpr() = default;
+
+  /// `vars[i]` names slot i; matching is case-insensitive and a variable
+  /// "X.M" also matches a slot named "X". Unknown variables fail.
+  static Result<BoundExpr> Bind(const ScalarExpr& expr,
+                                const std::vector<std::string>& vars);
+
+  /// Evaluates with `slots` holding one double per bound variable.
+  double Eval(const double* slots) const;
+
+  /// Predicate view: non-zero and non-NaN.
+  bool EvalBool(const double* slots) const {
+    double v = Eval(slots);
+    return v != 0 && !(v != v);
+  }
+
+  bool empty() const { return code_.empty(); }
+
+ private:
+  enum class OpCode : uint8_t {
+    kPushConst,
+    kPushSlot,
+    kNeg,
+    kNot,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kEq,
+    kNe,
+    kAnd,
+    kOr,
+    kAbs,
+    kSqrt,
+    kLog,
+    kExp,
+    kFloor,
+    kCeil,
+    kMin,
+    kMax,
+    kPow,
+    kIf,
+    kIsNull,
+    kCoalesce,
+  };
+  struct Instr {
+    OpCode op;
+    int slot = 0;
+    double value = 0;
+  };
+
+  Status Compile(const ScalarExpr& expr,
+                 const std::vector<std::string>& vars);
+
+  std::vector<Instr> code_;
+  mutable std::vector<double> stack_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXPR_SCALAR_EXPR_H_

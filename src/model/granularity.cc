@@ -1,0 +1,104 @@
+#include "model/granularity.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+Granularity Granularity::Base(const Schema& schema) {
+  return Granularity(std::vector<int>(schema.num_dims(), 0));
+}
+
+Granularity Granularity::All(const Schema& schema) {
+  std::vector<int> levels(schema.num_dims());
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    levels[i] = schema.dim(i).hierarchy->all_level();
+  }
+  return Granularity(std::move(levels));
+}
+
+Result<Granularity> Granularity::Parse(const Schema& schema,
+                                       std::string_view text) {
+  std::string_view body = StripWhitespace(text);
+  if (body.size() >= 2 && body.front() == '(' && body.back() == ')') {
+    body = body.substr(1, body.size() - 2);
+  }
+  Granularity g = All(schema);
+  body = StripWhitespace(body);
+  if (body.empty() || ToLower(body) == "all") return g;
+  for (std::string_view piece : SplitTopLevel(body, ',')) {
+    piece = StripWhitespace(piece);
+    auto parts = Split(piece, ':');
+    if (parts.size() != 2) {
+      return Status::ParseError("bad granularity component '" +
+                                std::string(piece) +
+                                "'; expected dim:level");
+    }
+    CSM_ASSIGN_OR_RETURN(int dim,
+                         schema.DimIndex(StripWhitespace(parts[0])));
+    CSM_ASSIGN_OR_RETURN(
+        int level,
+        schema.dim(dim).hierarchy->LevelByName(StripWhitespace(parts[1])));
+    g.set_level(dim, level);
+  }
+  return g;
+}
+
+bool Granularity::FinerOrEqual(const Granularity& coarser) const {
+  CSM_DCHECK(num_dims() == coarser.num_dims());
+  for (int i = 0; i < num_dims(); ++i) {
+    if (levels_[i] > coarser.levels_[i]) return false;
+  }
+  return true;
+}
+
+bool Granularity::IsAll(const Schema& schema) const {
+  for (int i = 0; i < num_dims(); ++i) {
+    if (levels_[i] != schema.dim(i).hierarchy->all_level()) return false;
+  }
+  return true;
+}
+
+bool Granularity::IsBase() const {
+  for (int level : levels_) {
+    if (level != 0) return false;
+  }
+  return true;
+}
+
+std::string Granularity::ToString(const Schema& schema) const {
+  std::string out = "(";
+  bool first = true;
+  for (int i = 0; i < num_dims(); ++i) {
+    if (levels_[i] == schema.dim(i).hierarchy->all_level()) continue;
+    if (!first) out += ", ";
+    out += schema.dim(i).name;
+    out += ":";
+    out += schema.dim(i).hierarchy->level_name(levels_[i]);
+    first = false;
+  }
+  if (first) out += "ALL";
+  out += ")";
+  return out;
+}
+
+RegionKey GeneralizeKey(const Schema& schema, const RegionKey& key,
+                        const Granularity& from, const Granularity& to) {
+  RegionKey out;
+  GeneralizeKeyInto(schema, key.data(), from, to, &out);
+  return out;
+}
+
+void GeneralizeKeyInto(const Schema& schema, const Value* key,
+                       const Granularity& from, const Granularity& to,
+                       RegionKey* out) {
+  const int d = schema.num_dims();
+  out->resize(d);
+  for (int i = 0; i < d; ++i) {
+    CSM_DCHECK(from.level(i) <= to.level(i));
+    (*out)[i] = schema.dim(i).hierarchy->Generalize(key[i], from.level(i),
+                                                    to.level(i));
+  }
+}
+
+}  // namespace csm

@@ -1,0 +1,81 @@
+#ifndef CSM_MODEL_GRANULARITY_H_
+#define CSM_MODEL_GRANULARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "model/schema.h"
+
+namespace csm {
+
+/// A granularity vector (X_1:D_1, ..., X_d:D_d) — one hierarchy level per
+/// dimension of the schema (paper §2.2). Dimensions at their ALL level are
+/// "rolled away"; the base granularity has every dimension at level 0.
+class Granularity {
+ public:
+  Granularity() = default;
+  explicit Granularity(std::vector<int> levels)
+      : levels_(std::move(levels)) {}
+
+  /// Granularity of the raw fact table: every dimension at its base level.
+  static Granularity Base(const Schema& schema);
+
+  /// Every dimension at ALL (a single region covering the whole dataset).
+  static Granularity All(const Schema& schema);
+
+  /// Parses "(t:hour, U:ip)"-style text: dimensions not mentioned default
+  /// to ALL, matching the paper's shorthand (U:IP) == (t:ALL, U:IP, ...).
+  static Result<Granularity> Parse(const Schema& schema,
+                                   std::string_view text);
+
+  int num_dims() const { return static_cast<int>(levels_.size()); }
+  int level(int dim) const { return levels_[dim]; }
+  void set_level(int dim, int level) { levels_[dim] = level; }
+  const std::vector<int>& levels() const { return levels_; }
+
+  bool operator==(const Granularity& other) const {
+    return levels_ == other.levels_;
+  }
+  bool operator!=(const Granularity& other) const {
+    return !(*this == other);
+  }
+
+  /// True iff this granularity is finer than or equal to `coarser` on every
+  /// dimension — the ≤_G partial order. A table at this granularity can be
+  /// rolled up to `coarser`.
+  bool FinerOrEqual(const Granularity& coarser) const;
+
+  /// True iff every dimension is at its ALL level.
+  bool IsAll(const Schema& schema) const;
+
+  /// True iff every dimension is at its base level.
+  bool IsBase() const;
+
+  /// "(t:hour, U:ip)" — dimensions at ALL are omitted; "(ALL)" if none
+  /// remain.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<int> levels_;
+};
+
+/// A region key: the dimension-value coordinates (v_1..v_d) of one region,
+/// each value expressed in the domain given by the region's granularity.
+/// Dimensions at ALL hold kAllValue.
+using RegionKey = std::vector<Value>;
+
+/// Rolls `key` (at granularity `from`) up to granularity `to`; requires
+/// from.FinerOrEqual(to).
+RegionKey GeneralizeKey(const Schema& schema, const RegionKey& key,
+                        const Granularity& from, const Granularity& to);
+
+/// In-place variant writing into `out` (resized to d).
+void GeneralizeKeyInto(const Schema& schema, const Value* key,
+                       const Granularity& from, const Granularity& to,
+                       RegionKey* out);
+
+}  // namespace csm
+
+#endif  // CSM_MODEL_GRANULARITY_H_

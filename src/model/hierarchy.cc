@@ -1,0 +1,284 @@
+#include "model/hierarchy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+Result<int> Hierarchy::LevelByName(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (int i = 0; i < num_levels(); ++i) {
+    if (ToLower(level_name(i)) == lower) return i;
+  }
+  return Status::NotFound("no level named '" + std::string(name) + "'");
+}
+
+// ---------------------------------------------------------------------------
+// SteppedHierarchy
+
+Result<std::shared_ptr<SteppedHierarchy>> SteppedHierarchy::Make(
+    std::vector<std::string> level_names, std::vector<uint64_t> step_fanouts,
+    double base_cardinality) {
+  if (level_names.size() < 2) {
+    return Status::InvalidArgument(
+        "hierarchy needs at least a base level and ALL");
+  }
+  if (step_fanouts.size() + 2 != level_names.size()) {
+    return Status::InvalidArgument(
+        "SteppedHierarchy: expected one fan-out per adjacent non-ALL level "
+        "pair");
+  }
+  for (uint64_t f : step_fanouts) {
+    if (f == 0) return Status::InvalidArgument("step fan-out must be > 0");
+  }
+  if (base_cardinality <= 0) {
+    return Status::InvalidArgument("base cardinality must be positive");
+  }
+  return std::shared_ptr<SteppedHierarchy>(new SteppedHierarchy(
+      std::move(level_names), std::move(step_fanouts), base_cardinality));
+}
+
+SteppedHierarchy::SteppedHierarchy(std::vector<std::string> level_names,
+                                   std::vector<uint64_t> step_fanouts,
+                                   double base_cardinality)
+    : level_names_(std::move(level_names)),
+      step_fanouts_(std::move(step_fanouts)),
+      base_cardinality_(base_cardinality) {
+  cum_divisor_.resize(step_fanouts_.size() + 1);
+  cum_divisor_[0] = 1;
+  for (size_t i = 0; i < step_fanouts_.size(); ++i) {
+    cum_divisor_[i + 1] = cum_divisor_[i] * step_fanouts_[i];
+  }
+}
+
+uint64_t SteppedHierarchy::Divisor(int from_level, int to_level) const {
+  CSM_DCHECK(from_level <= to_level && to_level < all_level() + 1);
+  CSM_DCHECK(to_level < all_level());
+  return cum_divisor_[to_level] / cum_divisor_[from_level];
+}
+
+Value SteppedHierarchy::Generalize(Value value, int from_level,
+                                   int to_level) const {
+  CSM_DCHECK(0 <= from_level && from_level <= to_level &&
+             to_level < num_levels());
+  if (to_level == all_level()) return kAllValue;
+  if (from_level == to_level) return value;
+  return value / Divisor(from_level, to_level);
+}
+
+double SteppedHierarchy::FanOut(int from_level, int to_level) const {
+  CSM_DCHECK(from_level <= to_level);
+  if (from_level == to_level) return 1.0;
+  if (to_level == all_level()) {
+    return EstimatedCardinality(from_level);
+  }
+  return static_cast<double>(Divisor(from_level, to_level));
+}
+
+double SteppedHierarchy::EstimatedCardinality(int level) const {
+  if (level == all_level()) return 1.0;
+  double card = base_cardinality_ / static_cast<double>(cum_divisor_[level]);
+  return std::max(card, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// MappedHierarchy
+
+Result<std::shared_ptr<MappedHierarchy>> MappedHierarchy::Make(
+    std::vector<std::string> level_names,
+    std::vector<std::unordered_map<Value, Value>> parent_maps) {
+  if (level_names.size() < 2) {
+    return Status::InvalidArgument(
+        "hierarchy needs at least a base level and ALL");
+  }
+  if (parent_maps.size() + 2 != level_names.size()) {
+    return Status::InvalidArgument(
+        "MappedHierarchy: expected one parent map per adjacent non-ALL "
+        "level pair");
+  }
+  // Every parent referenced at level i must exist as a key of the level
+  // i+1 map (consistency of the value hierarchy graph).
+  for (size_t i = 0; i + 1 < parent_maps.size(); ++i) {
+    for (const auto& [child, parent] : parent_maps[i]) {
+      if (parent_maps[i + 1].find(parent) == parent_maps[i + 1].end()) {
+        return Status::InvalidArgument(
+            "MappedHierarchy: value " + std::to_string(parent) +
+            " at level " + std::to_string(i + 1) +
+            " has no parent mapping");
+      }
+    }
+  }
+  return std::shared_ptr<MappedHierarchy>(new MappedHierarchy(
+      std::move(level_names), std::move(parent_maps)));
+}
+
+MappedHierarchy::MappedHierarchy(
+    std::vector<std::string> level_names,
+    std::vector<std::unordered_map<Value, Value>> parent_maps)
+    : level_names_(std::move(level_names)),
+      parent_maps_(std::move(parent_maps)) {}
+
+Value MappedHierarchy::Generalize(Value value, int from_level,
+                                  int to_level) const {
+  CSM_DCHECK(0 <= from_level && from_level <= to_level &&
+             to_level < num_levels());
+  if (to_level == all_level()) return kAllValue;
+  Value v = value;
+  for (int lvl = from_level; lvl < to_level; ++lvl) {
+    auto it = parent_maps_[lvl].find(v);
+    CSM_CHECK(it != parent_maps_[lvl].end())
+        << "MappedHierarchy: value " << v << " missing at level " << lvl;
+    v = it->second;
+  }
+  return v;
+}
+
+double MappedHierarchy::FanOut(int from_level, int to_level) const {
+  if (from_level == to_level) return 1.0;
+  double from_card = EstimatedCardinality(from_level);
+  double to_card = EstimatedCardinality(to_level);
+  return std::max(from_card / std::max(to_card, 1.0), 1.0);
+}
+
+double MappedHierarchy::EstimatedCardinality(int level) const {
+  if (level == all_level()) return 1.0;
+  if (level < static_cast<int>(parent_maps_.size())) {
+    return static_cast<double>(parent_maps_[level].size());
+  }
+  // Topmost non-ALL level: count distinct parents of the level below.
+  if (parent_maps_.empty()) return 1.0;
+  std::unordered_map<Value, bool> distinct;
+  for (const auto& [child, parent] : parent_maps_.back()) {
+    distinct[parent] = true;
+  }
+  return static_cast<double>(distinct.size());
+}
+
+bool MappedHierarchy::IsMonotone() const {
+  for (const auto& level_map : parent_maps_) {
+    // Sort children; parents must be non-decreasing along that order.
+    std::map<Value, Value> sorted(level_map.begin(), level_map.end());
+    Value prev_parent = 0;
+    bool first = true;
+    for (const auto& [child, parent] : sorted) {
+      if (!first && parent < prev_parent) return false;
+      prev_parent = parent;
+      first = false;
+    }
+  }
+  return true;
+}
+
+Result<MappedHierarchy::MonotoneEncoding> MappedHierarchy::BuildMonotone()
+    const {
+  const int steps = static_cast<int>(parent_maps_.size());
+  // children_by_level[lvl][parent] = sorted children (old encoding).
+  std::vector<std::map<Value, std::vector<Value>>> children(steps);
+  for (int lvl = 0; lvl < steps; ++lvl) {
+    for (const auto& [child, parent] : parent_maps_[lvl]) {
+      children[lvl][parent].push_back(child);
+    }
+    for (auto& [parent, kids] : children[lvl]) {
+      std::sort(kids.begin(), kids.end());
+    }
+  }
+
+  std::vector<std::unordered_map<Value, Value>> translation(steps + 1);
+  std::vector<std::unordered_map<Value, Value>> new_parent_maps(steps);
+
+  // Roots: distinct values of the topmost non-ALL level, in old-value
+  // order; assign new ids 0..n-1, then recurse depth-first so each
+  // subtree's leaves are numbered contiguously — this is what makes γ
+  // monotone in the new encoding.
+  std::vector<Value> roots;
+  if (steps == 0) {
+    return MonotoneEncoding{
+        std::shared_ptr<MappedHierarchy>(
+            new MappedHierarchy(level_names_, {})),
+        std::move(translation)};
+  }
+  for (const auto& [parent, kids] : children[steps - 1]) {
+    roots.push_back(parent);
+  }
+  std::sort(roots.begin(), roots.end());
+
+  std::vector<Value> next_id(steps + 1, 0);
+
+  // Depth-first traversal: each subtree's descendants receive contiguous
+  // new ids at every level, which is exactly what makes γ monotone in the
+  // new encoding.
+  struct Rec {
+    const std::vector<std::map<Value, std::vector<Value>>>& children;
+    std::vector<std::unordered_map<Value, Value>>& translation;
+    std::vector<std::unordered_map<Value, Value>>& new_maps;
+    std::vector<Value>& next_id;
+
+    void Visit(int level, Value value) {
+      translation[level][value] = next_id[level]++;
+      if (level == 0) return;
+      auto it = children[level - 1].find(value);
+      if (it == children[level - 1].end()) return;
+      for (Value kid : it->second) {
+        Visit(level - 1, kid);
+        new_maps[level - 1][translation[level - 1][kid]] =
+            translation[level][value];
+      }
+    }
+  };
+  Rec rec{children, translation, new_parent_maps, next_id};
+  for (Value root : roots) rec.Visit(steps, root);
+
+  auto result = MappedHierarchy::Make(level_names_, new_parent_maps);
+  CSM_RETURN_NOT_OK(result.status());
+  return MonotoneEncoding{std::move(result).ValueOrDie(),
+                          std::move(translation)};
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+std::shared_ptr<Hierarchy> MakeUniformHierarchy(int non_all_levels,
+                                                uint64_t fanout,
+                                                double base_cardinality) {
+  CSM_CHECK(non_all_levels >= 1);
+  std::vector<std::string> names;
+  for (int i = 0; i < non_all_levels; ++i) {
+    names.push_back("L" + std::to_string(i));
+  }
+  names.push_back("ALL");
+  std::vector<uint64_t> fanouts(
+      static_cast<size_t>(non_all_levels > 0 ? non_all_levels - 1 : 0),
+      fanout);
+  auto result = SteppedHierarchy::Make(std::move(names), std::move(fanouts),
+                                       base_cardinality);
+  CSM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+std::shared_ptr<Hierarchy> MakeTimeHierarchy(double base_cardinality) {
+  auto result = SteppedHierarchy::Make(
+      {"second", "hour", "day", "month", "year", "ALL"},
+      {3600, 24, 30, 12}, base_cardinality);
+  CSM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+std::shared_ptr<Hierarchy> MakeIpv4Hierarchy(double base_cardinality) {
+  auto result = SteppedHierarchy::Make({"ip", "net24", "net16", "net8",
+                                        "ALL"},
+                                       {256, 256, 256}, base_cardinality);
+  CSM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+std::shared_ptr<Hierarchy> MakePortHierarchy() {
+  auto result = SteppedHierarchy::Make({"port", "range", "ALL"}, {256},
+                                       65536.0);
+  CSM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace csm

@@ -1,0 +1,188 @@
+#ifndef CSM_MODEL_HIERARCHY_H_
+#define CSM_MODEL_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace csm {
+
+/// Encoded dimension value. Values are integers within a single domain
+/// (level); the pair (level, value) identifies a node of the value
+/// hierarchy. The single value of the ALL domain is encoded as 0.
+using Value = uint64_t;
+
+inline constexpr Value kAllValue = 0;
+
+/// A linear domain generalization hierarchy for one dimension attribute
+/// (paper §2.1). Level 0 is the base domain; levels increase toward the
+/// special top domain D_ALL at level `num_levels() - 1`.
+///
+/// Implementations must keep the value generalization function γ
+/// *monotone*: u < v at level i implies γ(u) <= γ(v) at every coarser
+/// level. This is Proposition 1's total-order requirement, and the
+/// sort/scan engine's correctness depends on it (sorted scans stay sorted
+/// under roll-up). `MappedHierarchy::BuildMonotone` re-encodes arbitrary
+/// hierarchies to restore the property.
+class Hierarchy {
+ public:
+  virtual ~Hierarchy() = default;
+
+  /// Number of domains including base and ALL; always >= 2.
+  virtual int num_levels() const = 0;
+
+  /// Name of the domain at `level` (e.g. "hour"). Unique within the
+  /// hierarchy.
+  virtual std::string_view level_name(int level) const = 0;
+
+  /// Maps `value` from `from_level` up to `to_level` (γ in the paper).
+  /// Requires 0 <= from_level <= to_level < num_levels(). Generalizing to
+  /// the same level is the identity; generalizing to ALL yields kAllValue.
+  virtual Value Generalize(Value value, int from_level,
+                           int to_level) const = 0;
+
+  /// card(D_from, D_to) from Table 6: the (typical) number of values of the
+  /// finer domain `from_level` that map to one value of `to_level`. Used
+  /// only for memory-footprint estimation, never for correctness.
+  virtual double FanOut(int from_level, int to_level) const = 0;
+
+  /// Estimated number of distinct values in the domain at `level`.
+  virtual double EstimatedCardinality(int level) const = 0;
+
+  /// Exact number of level-`from` values mapping to one level-`to` value
+  /// when the hierarchy is perfectly regular (stepped); 0 when the fan-out
+  /// varies (table-driven hierarchies) and callers must be conservative.
+  virtual uint64_t ExactDivisor(int from_level, int to_level) const {
+    (void)from_level;
+    (void)to_level;
+    return 0;
+  }
+
+  /// Level index of ALL.
+  int all_level() const { return num_levels() - 1; }
+
+  /// Finds a level by (case-insensitive) name.
+  Result<int> LevelByName(std::string_view name) const;
+};
+
+/// Hierarchy whose levels are nested fixed-size blocks: each value of level
+/// i+1 covers `step_fanout[i]` consecutive values of level i, so γ is
+/// integer division and trivially monotone. Covers the paper's synthetic
+/// hierarchies (fan-out 10), time (second/hour/day/month/year on a
+/// simplified 30-day calendar, exactly as the paper linearizes time by
+/// dropping weeks), IPv4 prefixes and port ranges.
+class SteppedHierarchy : public Hierarchy {
+ public:
+  /// `level_names` must include the ALL domain as its last element;
+  /// `step_fanouts` has one entry per adjacent non-ALL pair, i.e.
+  /// level_names.size() - 2 entries. `base_cardinality` estimates the
+  /// number of distinct base values (for footprint estimation).
+  static Result<std::shared_ptr<SteppedHierarchy>> Make(
+      std::vector<std::string> level_names,
+      std::vector<uint64_t> step_fanouts, double base_cardinality);
+
+  int num_levels() const override {
+    return static_cast<int>(level_names_.size());
+  }
+  std::string_view level_name(int level) const override {
+    return level_names_[level];
+  }
+  Value Generalize(Value value, int from_level, int to_level) const override;
+  double FanOut(int from_level, int to_level) const override;
+  double EstimatedCardinality(int level) const override;
+  uint64_t ExactDivisor(int from_level, int to_level) const override {
+    if (to_level >= all_level()) return 0;
+    return Divisor(from_level, to_level);
+  }
+
+  /// Product of step fan-outs between two non-ALL levels; exposed for the
+  /// sibling-window arithmetic in the executor.
+  uint64_t Divisor(int from_level, int to_level) const;
+
+ private:
+  SteppedHierarchy(std::vector<std::string> level_names,
+                   std::vector<uint64_t> step_fanouts,
+                   double base_cardinality);
+
+  std::vector<std::string> level_names_;
+  std::vector<uint64_t> step_fanouts_;
+  // cum_divisor_[i] = product of step_fanouts_[0..i-1]; divisor from base
+  // to level i.
+  std::vector<uint64_t> cum_divisor_;
+  double base_cardinality_;
+};
+
+/// Hierarchy backed by explicit parent lookup tables (a dimension table in
+/// the paper's terms, §3.2 note on value-mapping via in-memory dimension
+/// tables). Values at each level must be dense-enough integers; parents are
+/// given per level as a map child value -> parent value.
+class MappedHierarchy : public Hierarchy {
+ public:
+  /// `parent_maps[i]` maps level-i values to level-(i+1) values, for
+  /// i in [0, num_levels - 3]; the step into ALL is implicit. Fails if any
+  /// referenced parent is missing from the next map's key set (when that
+  /// map exists).
+  static Result<std::shared_ptr<MappedHierarchy>> Make(
+      std::vector<std::string> level_names,
+      std::vector<std::unordered_map<Value, Value>> parent_maps);
+
+  int num_levels() const override {
+    return static_cast<int>(level_names_.size());
+  }
+  std::string_view level_name(int level) const override {
+    return level_names_[level];
+  }
+  Value Generalize(Value value, int from_level, int to_level) const override;
+  double FanOut(int from_level, int to_level) const override;
+  double EstimatedCardinality(int level) const override;
+
+  /// True iff γ is monotone between every adjacent pair of levels, i.e.
+  /// the encoding satisfies Proposition 1.
+  bool IsMonotone() const;
+
+  /// Re-encodes a (possibly non-monotone) hierarchy so that γ becomes
+  /// monotone: values at every level are renumbered 0..n-1 in the order of
+  /// a depth-first traversal from the root. Returns the re-encoded
+  /// hierarchy plus, for each level, the map old value -> new value, so
+  /// callers can translate fact data. This implements the paper's remark
+  /// that an ordering can always be imposed by encoding the extended
+  /// domain.
+  struct MonotoneEncoding {
+    std::shared_ptr<MappedHierarchy> hierarchy;
+    std::vector<std::unordered_map<Value, Value>> value_translation;
+  };
+  Result<MonotoneEncoding> BuildMonotone() const;
+
+ private:
+  MappedHierarchy(std::vector<std::string> level_names,
+                  std::vector<std::unordered_map<Value, Value>> parent_maps);
+
+  std::vector<std::string> level_names_;
+  std::vector<std::unordered_map<Value, Value>> parent_maps_;
+};
+
+/// The paper's synthetic hierarchy (§7.1): `non_all_levels` domains below
+/// ALL, each value covering `fanout` values of the next finer domain.
+std::shared_ptr<Hierarchy> MakeUniformHierarchy(int non_all_levels,
+                                                uint64_t fanout,
+                                                double base_cardinality);
+
+/// second -> hour -> day -> month -> year -> ALL on a simplified calendar
+/// (fixed 30-day months), matching the paper's linearized Time dimension.
+std::shared_ptr<Hierarchy> MakeTimeHierarchy(double base_cardinality);
+
+/// ip -> /24 -> /16 -> /8 -> ALL.
+std::shared_ptr<Hierarchy> MakeIpv4Hierarchy(double base_cardinality);
+
+/// port -> range(256) -> ALL.
+std::shared_ptr<Hierarchy> MakePortHierarchy();
+
+}  // namespace csm
+
+#endif  // CSM_MODEL_HIERARCHY_H_

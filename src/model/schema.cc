@@ -1,0 +1,79 @@
+#include "model/schema.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+Result<std::shared_ptr<Schema>> Schema::Make(
+    std::vector<DimensionDef> dims, std::vector<std::string> measures) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("schema needs at least one dimension");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& d : dims) {
+    if (d.hierarchy == nullptr) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' has no hierarchy");
+    }
+    if (!seen.insert(ToLower(d.name)).second) {
+      return Status::InvalidArgument("duplicate dimension name '" + d.name +
+                                     "'");
+    }
+  }
+  for (const auto& m : measures) {
+    if (!seen.insert(ToLower(m)).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + m + "'");
+    }
+  }
+  return std::shared_ptr<Schema>(
+      new Schema(std::move(dims), std::move(measures)));
+}
+
+Result<int> Schema::DimIndex(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (int i = 0; i < num_dims(); ++i) {
+    if (ToLower(dims_[i].name) == lower) return i;
+  }
+  return Status::NotFound("no dimension named '" + std::string(name) + "'");
+}
+
+Result<int> Schema::MeasureIndex(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (int i = 0; i < num_measures(); ++i) {
+    if (ToLower(measures_[i]) == lower) return i;
+  }
+  return Status::NotFound("no measure named '" + std::string(name) + "'");
+}
+
+SchemaPtr MakeNetworkLogSchema(double time_cardinality,
+                               double ip_cardinality) {
+  // Table 1 of the paper names these t / U / T / P; the target dimension
+  // is V here because attribute matching is case-insensitive and "T"
+  // would collide with "t".
+  std::vector<DimensionDef> dims;
+  dims.push_back({"t", MakeTimeHierarchy(time_cardinality)});
+  dims.push_back({"U", MakeIpv4Hierarchy(ip_cardinality)});
+  dims.push_back({"V", MakeIpv4Hierarchy(ip_cardinality)});
+  dims.push_back({"P", MakePortHierarchy()});
+  auto result = Schema::Make(std::move(dims), {"bytes"});
+  CSM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+SchemaPtr MakeSyntheticSchema(int num_dims, int non_all_levels,
+                              uint64_t fanout, double base_cardinality) {
+  std::vector<DimensionDef> dims;
+  for (int i = 0; i < num_dims; ++i) {
+    dims.push_back({"d" + std::to_string(i),
+                    MakeUniformHierarchy(non_all_levels, fanout,
+                                         base_cardinality)});
+  }
+  auto result = Schema::Make(std::move(dims), {"m"});
+  CSM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace csm

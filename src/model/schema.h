@@ -1,0 +1,67 @@
+#ifndef CSM_MODEL_SCHEMA_H_
+#define CSM_MODEL_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "model/hierarchy.h"
+
+namespace csm {
+
+/// One dimension attribute of a multidimensional dataset: a name plus its
+/// linear domain generalization hierarchy.
+struct DimensionDef {
+  std::string name;
+  std::shared_ptr<const Hierarchy> hierarchy;
+};
+
+/// Schema of a multidimensional dataset D (paper §2): an ordered dimension
+/// vector X = (X_1..X_d) and optional measure attributes. Immutable after
+/// construction; shared by fact tables, measure tables, and plans.
+class Schema {
+ public:
+  static Result<std::shared_ptr<Schema>> Make(
+      std::vector<DimensionDef> dims, std::vector<std::string> measures);
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  int num_measures() const { return static_cast<int>(measures_.size()); }
+
+  const DimensionDef& dim(int i) const { return dims_[i]; }
+  const std::string& measure_name(int i) const { return measures_[i]; }
+
+  /// Index of the dimension named `name` (case-insensitive).
+  Result<int> DimIndex(std::string_view name) const;
+
+  /// Index of the raw measure attribute named `name` (case-insensitive).
+  Result<int> MeasureIndex(std::string_view name) const;
+
+ private:
+  Schema(std::vector<DimensionDef> dims, std::vector<std::string> measures)
+      : dims_(std::move(dims)), measures_(std::move(measures)) {}
+
+  std::vector<DimensionDef> dims_;
+  std::vector<std::string> measures_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// The network-log schema used throughout the paper (Table 1): Time (t),
+/// Source (U), Target (V — the paper's "T", renamed because attribute
+/// lookup is case-insensitive), TargetPort (P), plus a raw "bytes"
+/// measure. `time_cardinality` / `ip_cardinality` size the footprint
+/// estimates.
+SchemaPtr MakeNetworkLogSchema(double time_cardinality = 1e6,
+                               double ip_cardinality = 1e5);
+
+/// The synthetic evaluation schema (§7.1): `num_dims` dimensions sharing a
+/// `non_all_levels`-deep uniform hierarchy with the given fan-out.
+SchemaPtr MakeSyntheticSchema(int num_dims = 4, int non_all_levels = 3,
+                              uint64_t fanout = 10,
+                              double base_cardinality = 1000.0);
+
+}  // namespace csm
+
+#endif  // CSM_MODEL_SCHEMA_H_

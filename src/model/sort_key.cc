@@ -1,0 +1,74 @@
+#include "model/sort_key.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+Result<SortKey> SortKey::Parse(const Schema& schema, std::string_view text) {
+  std::string_view body = StripWhitespace(text);
+  if (body.size() >= 2 && body.front() == '<' && body.back() == '>') {
+    body = body.substr(1, body.size() - 2);
+  }
+  body = StripWhitespace(body);
+  std::vector<SortKeyPart> parts;
+  if (body.empty()) return SortKey(std::move(parts));
+  for (std::string_view piece : SplitTopLevel(body, ',')) {
+    piece = StripWhitespace(piece);
+    auto halves = Split(piece, ':');
+    if (halves.size() != 2) {
+      return Status::ParseError("bad sort key component '" +
+                                std::string(piece) +
+                                "'; expected dim:level");
+    }
+    SortKeyPart part;
+    CSM_ASSIGN_OR_RETURN(part.dim,
+                         schema.DimIndex(StripWhitespace(halves[0])));
+    CSM_ASSIGN_OR_RETURN(part.level,
+                         schema.dim(part.dim).hierarchy->LevelByName(
+                             StripWhitespace(halves[1])));
+    parts.push_back(part);
+  }
+  return SortKey(std::move(parts));
+}
+
+std::string SortKey::ToString(const Schema& schema) const {
+  std::string out = "<";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.dim(parts_[i].dim).name;
+    out += ":";
+    out += schema.dim(parts_[i].dim).hierarchy->level_name(parts_[i].level);
+  }
+  out += ">";
+  return out;
+}
+
+int SortKey::CompareBaseKeys(const Schema& schema, const Value* a,
+                             const Value* b) const {
+  for (const SortKeyPart& p : parts_) {
+    const Hierarchy& h = *schema.dim(p.dim).hierarchy;
+    Value va = h.Generalize(a[p.dim], 0, p.level);
+    Value vb = h.Generalize(b[p.dim], 0, p.level);
+    if (va < vb) return -1;
+    if (va > vb) return 1;
+  }
+  return 0;
+}
+
+bool SortKey::CompatibleWith(const Schema& schema,
+                             const Granularity& gran) const {
+  // A stream at granularity `gran` carries values at gran's levels. The
+  // sort key component on dim i is meaningful iff gran.level(i) <= the
+  // component level (the stream value can be generalized up to the sort
+  // level) — otherwise the component refers to detail the stream no
+  // longer has.
+  for (const SortKeyPart& p : parts_) {
+    const int all = schema.dim(p.dim).hierarchy->all_level();
+    if (gran.level(p.dim) == all) continue;  // rolled away: fine
+    if (gran.level(p.dim) > p.level) return false;
+  }
+  return true;
+}
+
+}  // namespace csm

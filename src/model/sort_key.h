@@ -1,0 +1,66 @@
+#ifndef CSM_MODEL_SORT_KEY_H_
+#define CSM_MODEL_SORT_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/granularity.h"
+#include "model/schema.h"
+
+namespace csm {
+
+/// One component of an order vector: sort by dimension `dim` generalized to
+/// hierarchy level `level` (paper §5.2's K_i:D_i pairs).
+struct SortKeyPart {
+  int dim = 0;
+  int level = 0;
+
+  bool operator==(const SortKeyPart& other) const {
+    return dim == other.dim && level == other.level;
+  }
+};
+
+/// An order vector <K_1:D_1, ..., K_m:D_m>: the dataset (or a stream) is
+/// sorted lexicographically by the listed dimensions, each generalized to
+/// the listed level. Trailing dimensions not mentioned are unconstrained
+/// (equivalently, padded with D_ALL — Proposition 2).
+class SortKey {
+ public:
+  SortKey() = default;
+  explicit SortKey(std::vector<SortKeyPart> parts)
+      : parts_(std::move(parts)) {}
+
+  /// Parses "<t:hour, U:ip>" or "t:hour, U:ip".
+  static Result<SortKey> Parse(const Schema& schema, std::string_view text);
+
+  int size() const { return static_cast<int>(parts_.size()); }
+  bool empty() const { return parts_.empty(); }
+  const SortKeyPart& part(int i) const { return parts_[i]; }
+  const std::vector<SortKeyPart>& parts() const { return parts_; }
+
+  bool operator==(const SortKey& other) const {
+    return parts_ == other.parts_;
+  }
+
+  /// "<t:hour, U:ip>".
+  std::string ToString(const Schema& schema) const;
+
+  /// Comparator over base-granularity dimension values: compares two
+  /// records' dim arrays under this order vector. Returns <0, 0, >0.
+  int CompareBaseKeys(const Schema& schema, const Value* a,
+                      const Value* b) const;
+
+  /// True if keys sorted by this order remain sorted when every component
+  /// is generalized per `gran` (i.e. this order is usable for streams at
+  /// granularity `gran`). Holds by Proposition 1 for any coarsening of the
+  /// listed levels.
+  bool CompatibleWith(const Schema& schema, const Granularity& gran) const;
+
+ private:
+  std::vector<SortKeyPart> parts_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_MODEL_SORT_KEY_H_

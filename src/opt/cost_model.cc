@@ -1,0 +1,203 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "opt/footprint.h"
+
+namespace csm {
+
+namespace {
+
+/// Estimated number of regions (output rows) of one measure: the product
+/// of its non-ALL dimension cardinalities, capped by the row count that
+/// feeds it.
+double EstimateRegions(const Schema& schema, const Granularity& gran,
+                       double upstream_rows) {
+  double regions = 1.0;
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    const Hierarchy& h = *schema.dim(i).hierarchy;
+    if (gran.level(i) == h.all_level()) continue;
+    regions *= h.EstimatedCardinality(gran.level(i));
+  }
+  return std::min(regions, upstream_rows);
+}
+
+/// Rows flowing along each measure's update stream, by name.
+std::map<std::string, double> StreamRows(const Workflow& workflow,
+                                         double num_rows) {
+  const Schema& schema = *workflow.schema();
+  std::map<std::string, double> rows;
+  for (const MeasureDef& def : workflow.measures()) {
+    double upstream = 0;
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+        upstream = num_rows;
+        break;
+      case MeasureOp::kRollup:
+      case MeasureOp::kMatch:
+        upstream = rows.count(def.input) ? rows.at(def.input) : num_rows;
+        if (def.op == MeasureOp::kMatch &&
+            def.match.type == MatchType::kSibling) {
+          double box = 1.0;
+          for (const SiblingWindow& w : def.match.windows) {
+            box *= static_cast<double>(w.hi - w.lo + 1);
+          }
+          upstream *= box;  // fan-out of the window
+        }
+        break;
+      case MeasureOp::kCombine: {
+        upstream = 0;
+        for (const std::string& in : def.combine_inputs) {
+          upstream += rows.count(in) ? rows.at(in) : 0;
+        }
+        break;
+      }
+    }
+    rows[def.name] = EstimateRegions(schema, def.gran, upstream);
+  }
+  return rows;
+}
+
+/// Total hash updates across the computation graph: one per record per
+/// scan-side node, one per update-stream row for composite nodes.
+double TotalUpdates(const Workflow& workflow, double num_rows,
+                    const std::map<std::string, double>& rows) {
+  double updates = 0;
+  std::map<std::vector<int>, bool> enum_grans;
+  for (const MeasureDef& def : workflow.measures()) {
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+        updates += num_rows;
+        break;
+      case MeasureOp::kMatch:
+        if (!enum_grans[def.gran.levels()]) {
+          enum_grans[def.gran.levels()] = true;
+          updates += num_rows;  // the implicit region enumerator
+        }
+        [[fallthrough]];
+      case MeasureOp::kRollup: {
+        auto it = rows.find(def.input);
+        double in_rows = it != rows.end() ? it->second : 0;
+        if (def.op == MeasureOp::kMatch &&
+            def.match.type == MatchType::kSibling) {
+          for (const SiblingWindow& w : def.match.windows) {
+            in_rows *= static_cast<double>(w.hi - w.lo + 1);
+          }
+        }
+        updates += in_rows;
+        break;
+      }
+      case MeasureOp::kCombine:
+        for (const std::string& in : def.combine_inputs) {
+          auto it = rows.find(in);
+          updates += it != rows.end() ? it->second : 0;
+        }
+        break;
+    }
+  }
+  return updates;
+}
+
+double WriteRows(const std::map<std::string, double>& rows) {
+  double total = 0;
+  for (const auto& [name, count] : rows) total += count;
+  return total;
+}
+
+}  // namespace
+
+std::string CostEstimate::ToString() const {
+  std::ostringstream out;
+  out << "sort " << static_cast<uint64_t>(sort_cost) << " + scan "
+      << static_cast<uint64_t>(scan_cost) << " + update "
+      << static_cast<uint64_t>(update_cost) << " + write "
+      << static_cast<uint64_t>(write_cost) << " = "
+      << static_cast<uint64_t>(total()) << " row-ops";
+  return out.str();
+}
+
+Result<CostEstimate> EstimateSortScanCost(const Workflow& workflow,
+                                          const SortKey& key,
+                                          double num_rows,
+                                          const CostModelParams& params) {
+  CostEstimate cost;
+  cost.sort_cost = key.empty() ? 0 : num_rows * params.row_sort;
+  cost.scan_cost = num_rows * params.row_scan;
+  auto rows = StreamRows(workflow, num_rows);
+  double update_unit = params.entry_update;
+  CSM_ASSIGN_OR_RETURN(FootprintReport footprint,
+                       EstimateFootprint(workflow, key));
+  if (footprint.total_entries > params.large_state_entries) {
+    update_unit *= params.large_state_penalty;
+  }
+  cost.update_cost = TotalUpdates(workflow, num_rows, rows) * update_unit;
+  cost.write_cost = WriteRows(rows) * params.entry_write;
+  return cost;
+}
+
+Result<CostEstimate> EstimateSingleScanCost(const Workflow& workflow,
+                                            double num_rows,
+                                            const CostModelParams& params) {
+  CostEstimate cost;
+  cost.scan_cost = num_rows * params.row_scan;
+  auto rows = StreamRows(workflow, num_rows);
+  // Single-scan holds every region set fully resident: apply the cache
+  // penalty when the combined state is large.
+  CSM_ASSIGN_OR_RETURN(FootprintReport footprint,
+                       EstimateFootprint(workflow, SortKey()));
+  double update_unit = params.entry_update;
+  if (footprint.total_entries > params.large_state_entries) {
+    update_unit *= params.large_state_penalty;
+  }
+  cost.update_cost = TotalUpdates(workflow, num_rows, rows) * update_unit;
+  cost.write_cost = WriteRows(rows) * params.entry_write;
+  return cost;
+}
+
+Result<CostEstimate> EstimateRelationalCost(const Workflow& workflow,
+                                            double num_rows,
+                                            const CostModelParams& params) {
+  CostEstimate cost;
+  auto rows = StreamRows(workflow, num_rows);
+  for (const MeasureDef& def : workflow.measures()) {
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+        // Re-scan and re-sort the base table for this one query.
+        cost.scan_cost += num_rows * params.row_scan;
+        cost.sort_cost += num_rows * params.row_sort;
+        break;
+      case MeasureOp::kMatch:
+        // The region enumerator is recomputed from the base table.
+        cost.scan_cost += num_rows * params.row_scan;
+        cost.sort_cost += num_rows * params.row_sort;
+        [[fallthrough]];
+      case MeasureOp::kRollup: {
+        auto it = rows.find(def.input);
+        const double in_rows = it != rows.end() ? it->second : 0;
+        cost.scan_cost += in_rows * params.row_scan;
+        cost.sort_cost += in_rows * params.row_sort;
+        cost.update_cost += in_rows * params.entry_update;
+        break;
+      }
+      case MeasureOp::kCombine:
+        for (const std::string& in : def.combine_inputs) {
+          auto it = rows.find(in);
+          const double in_rows = it != rows.end() ? it->second : 0;
+          cost.scan_cost += in_rows * params.row_scan;
+          cost.sort_cost += in_rows * params.row_sort;
+        }
+        break;
+    }
+    // Every measure's result is materialized to disk.
+    auto out_it = rows.find(def.name);
+    if (out_it != rows.end()) {
+      cost.write_cost += out_it->second * params.entry_write * 2;
+    }
+  }
+  return cost;
+}
+
+}  // namespace csm

@@ -1,0 +1,65 @@
+#ifndef CSM_OPT_COST_MODEL_H_
+#define CSM_OPT_COST_MODEL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "model/sort_key.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// The evaluation cost factors of §6, in abstract row-operation units
+/// (calibrate per machine via CostModelParams if absolute predictions are
+/// wanted; engine choice only needs ratios):
+///   C_sort   — sorting the raw dataset (two data passes + log-factor)
+///   C_scan   — streaming the dataset once
+///   C_update — maintaining in-memory state per record/update
+///   C_write  — emitting finalized measure rows
+struct CostEstimate {
+  double sort_cost = 0;
+  double scan_cost = 0;
+  double update_cost = 0;
+  double write_cost = 0;
+
+  double total() const {
+    return sort_cost + scan_cost + update_cost + write_cost;
+  }
+  std::string ToString() const;
+};
+
+/// Relative weights of the primitive operations.
+struct CostModelParams {
+  double row_scan = 1.0;       // reading one record
+  double row_sort = 3.0;       // one record through an external sort
+  double entry_update = 2.0;   // one hash probe+update
+  double entry_write = 0.5;    // flushing one finalized row
+  /// Cache-pressure penalty applied to updates against hash state larger
+  /// than ~cache: multiplies entry_update when resident entries exceed
+  /// this count. Models why single-scan loses its "no sort" advantage on
+  /// large region sets even when memory suffices.
+  double large_state_penalty = 3.0;
+  double large_state_entries = 1u << 20;
+};
+
+/// Cost of the one-pass sort/scan plan under `key`.
+Result<CostEstimate> EstimateSortScanCost(
+    const Workflow& workflow, const SortKey& key, double num_rows,
+    const CostModelParams& params = {});
+
+/// Cost of the single-scan algorithm (§5.1): no sort, but every region
+/// set fully resident.
+Result<CostEstimate> EstimateSingleScanCost(
+    const Workflow& workflow, double num_rows,
+    const CostModelParams& params = {});
+
+/// Cost of the per-measure relational baseline: one scan+sort of the base
+/// table per basic measure and per match-join region enumerator, plus
+/// materialization of every result.
+Result<CostEstimate> EstimateRelationalCost(
+    const Workflow& workflow, double num_rows,
+    const CostModelParams& params = {});
+
+}  // namespace csm
+
+#endif  // CSM_OPT_COST_MODEL_H_

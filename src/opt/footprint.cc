@@ -1,0 +1,209 @@
+#include "opt/footprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace csm {
+
+namespace {
+
+/// Per-dimension slack of a measure's update stream, in units of the
+/// measure's own granularity levels. Mirrors the runtime frontier
+/// transforms: siblings add their window reach, parent/child arcs make
+/// children wait for a whole parent block, roll-ups shrink slack by the
+/// fan-out.
+std::vector<double> ComputeSlack(
+    const Workflow& workflow, const MeasureDef& def,
+    std::map<std::string, std::vector<double>>& memo) {
+  const Schema& schema = *workflow.schema();
+  const int d = schema.num_dims();
+  auto it = memo.find(def.name);
+  if (it != memo.end()) return it->second;
+
+  std::vector<double> slack(d, 0.0);
+  auto input_slack = [&](const std::string& name) -> std::vector<double> {
+    auto found = workflow.Find(name);
+    CSM_CHECK(found.ok());
+    return ComputeSlack(workflow, **found, memo);
+  };
+
+  switch (def.op) {
+    case MeasureOp::kBaseAgg:
+      break;  // fed directly by the scan: no slack
+    case MeasureOp::kRollup: {
+      auto in = workflow.Find(def.input);
+      CSM_CHECK(in.ok());
+      std::vector<double> s = input_slack(def.input);
+      for (int i = 0; i < d; ++i) {
+        const Hierarchy& h = *schema.dim(i).hierarchy;
+        if (def.gran.level(i) == h.all_level()) continue;
+        const double fan = h.FanOut((*in)->gran.level(i),
+                                    def.gran.level(i));
+        slack[i] = s[i] / std::max(fan, 1.0);
+      }
+      break;
+    }
+    case MeasureOp::kMatch: {
+      auto in = workflow.Find(def.input);
+      CSM_CHECK(in.ok());
+      std::vector<double> s = input_slack(def.input);
+      switch (def.match.type) {
+        case MatchType::kSelf:
+          slack = s;
+          break;
+        case MatchType::kChildParent: {
+          for (int i = 0; i < d; ++i) {
+            const Hierarchy& h = *schema.dim(i).hierarchy;
+            if (def.gran.level(i) == h.all_level()) continue;
+            const double fan = h.FanOut((*in)->gran.level(i),
+                                        def.gran.level(i));
+            slack[i] = s[i] / std::max(fan, 1.0);
+          }
+          break;
+        }
+        case MatchType::kParentChild: {
+          // A child entry waits until its whole parent block has passed
+          // (the -31..0 day/month slack of §5.3).
+          for (int i = 0; i < d; ++i) {
+            const Hierarchy& h = *schema.dim(i).hierarchy;
+            if (def.gran.level(i) == h.all_level()) continue;
+            const double fan = h.FanOut(def.gran.level(i),
+                                        (*in)->gran.level(i));
+            slack[i] = s[i] * fan + (fan - 1.0);
+          }
+          break;
+        }
+        case MatchType::kSibling: {
+          slack = s;
+          for (const SiblingWindow& w : def.match.windows) {
+            slack[w.dim] += static_cast<double>(std::max<int64_t>(0, w.hi));
+          }
+          break;
+        }
+      }
+      break;
+    }
+    case MeasureOp::kCombine: {
+      for (const std::string& input : def.combine_inputs) {
+        std::vector<double> s = input_slack(input);
+        for (int i = 0; i < d; ++i) slack[i] = std::max(slack[i], s[i]);
+      }
+      break;
+    }
+  }
+  memo[def.name] = slack;
+  return slack;
+}
+
+MeasureFootprint EstimateOne(const Schema& schema, const Granularity& gran,
+                             const SortKey& key, std::string name,
+                             std::vector<double> slack) {
+  const int d = schema.num_dims();
+  MeasureFootprint fp;
+  fp.name = std::move(name);
+  fp.covered_level.assign(d, -1);
+  fp.slack = slack;
+
+  // The usable order prefix at this granularity (Table 6 / PosCalc
+  // semantics): components stop at the first coarsening or rolled-away
+  // dimension, and slack on a component ends the exploitable order after
+  // it.
+  for (const SortKeyPart& p : key.parts()) {
+    const Hierarchy& h = *schema.dim(p.dim).hierarchy;
+    const int from = gran.level(p.dim);
+    if (from >= h.all_level()) break;
+    if (from > p.level) {  // stream coarser than the component: coarsen+stop
+      fp.covered_level[p.dim] = from;
+      break;
+    }
+    fp.covered_level[p.dim] = p.level;
+    if (slack[p.dim] > 0) break;  // disorder ends the usable prefix
+  }
+
+  double entries = 1.0;
+  for (int i = 0; i < d; ++i) {
+    const Hierarchy& h = *schema.dim(i).hierarchy;
+    const int level = gran.level(i);
+    if (level == h.all_level()) continue;
+    const double card = h.EstimatedCardinality(level);
+    double live;
+    if (fp.covered_level[i] < 0) {
+      live = card;  // unordered dimension: all values stay live
+    } else {
+      const double block = h.FanOut(level, fp.covered_level[i]);
+      live = block + slack[i];
+    }
+    entries *= std::min(card, std::max(live, 1.0));
+  }
+  fp.entries = entries;
+  fp.bytes = entries * (static_cast<double>(d) * 8 + 64);
+  return fp;
+}
+
+}  // namespace
+
+std::string FootprintReport::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  for (const MeasureFootprint& fp : measures) {
+    out << "  " << fp.name << ": ~" << static_cast<uint64_t>(fp.entries)
+        << " entries";
+    // Stream order (Table 6): the sort-key prefix this measure exploits,
+    // and any slack on its update stream.
+    std::string order;
+    std::string slack_text;
+    for (int i = 0; i < schema.num_dims(); ++i) {
+      if (fp.covered_level[i] >= 0) {
+        if (!order.empty()) order += ", ";
+        order += schema.dim(i).name;
+        order += ":";
+        order += schema.dim(i).hierarchy->level_name(fp.covered_level[i]);
+      }
+      if (i < static_cast<int>(fp.slack.size()) && fp.slack[i] > 0) {
+        if (!slack_text.empty()) slack_text += ", ";
+        slack_text += schema.dim(i).name + "±" +
+                      std::to_string(static_cast<int64_t>(fp.slack[i]));
+      }
+    }
+    out << "  order <" << order << ">";
+    if (!slack_text.empty()) out << "  slack {" << slack_text << "}";
+    out << "\n";
+  }
+  out << "  total: ~" << static_cast<uint64_t>(total_entries)
+      << " entries, ~" << static_cast<uint64_t>(total_bytes) << " bytes\n";
+  return out.str();
+}
+
+Result<FootprintReport> EstimateFootprint(const Workflow& workflow,
+                                          const SortKey& key) {
+  const Schema& schema = *workflow.schema();
+  FootprintReport report;
+  std::map<std::string, std::vector<double>> slack_memo;
+  std::map<std::vector<int>, bool> enum_added;
+
+  for (const MeasureDef& def : workflow.measures()) {
+    std::vector<double> slack = ComputeSlack(workflow, def, slack_memo);
+    report.measures.push_back(
+        EstimateOne(schema, def.gran, key, def.name, slack));
+    // Match joins also hold the implicit region enumerator at the same
+    // granularity (shared across matches on one region set).
+    if (def.op == MeasureOp::kMatch &&
+        !enum_added[def.gran.levels()]) {
+      enum_added[def.gran.levels()] = true;
+      report.measures.push_back(EstimateOne(
+          schema, def.gran, key,
+          "__regions" + def.gran.ToString(schema),
+          std::vector<double>(schema.num_dims(), 0.0)));
+    }
+  }
+  for (const MeasureFootprint& fp : report.measures) {
+    report.total_entries += fp.entries;
+    report.total_bytes += fp.bytes;
+  }
+  return report;
+}
+
+}  // namespace csm

@@ -1,0 +1,46 @@
+#ifndef CSM_OPT_FOOTPRINT_H_
+#define CSM_OPT_FOOTPRINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/sort_key.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// Static footprint estimate for one measure under a given fact-table sort
+/// order — the f_memory of §5.2, built from the order/slack algebra of
+/// Table 6. `entries` estimates the peak number of simultaneously live
+/// hash entries; `covered` lists the sort-key dimensions whose order the
+/// measure's stream can exploit; `slack` is the per-dimension slack bound
+/// (in units of the measure's granularity) accumulated along its
+/// computational arcs.
+struct MeasureFootprint {
+  std::string name;
+  double entries = 0;
+  double bytes = 0;
+  std::vector<int> covered_level;  // per dim: exploited level, or -1
+  std::vector<double> slack;       // per dim, in granularity units
+};
+
+struct FootprintReport {
+  std::vector<MeasureFootprint> measures;  // includes region enumerators
+  double total_entries = 0;
+  double total_bytes = 0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Estimates the peak memory footprint of evaluating `workflow` with the
+/// one-pass sort/scan engine after sorting by `key`. The estimate uses the
+/// hierarchies' cardinality/fan-out statistics only — it never looks at
+/// data — and is intended for *ranking* candidate sort orders (§6), not
+/// for byte-accurate admission control.
+Result<FootprintReport> EstimateFootprint(const Workflow& workflow,
+                                          const SortKey& key);
+
+}  // namespace csm
+
+#endif  // CSM_OPT_FOOTPRINT_H_

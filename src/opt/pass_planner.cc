@@ -1,0 +1,126 @@
+#include "opt/pass_planner.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "opt/footprint.h"
+#include "opt/sort_order.h"
+
+namespace csm {
+
+namespace {
+
+/// Builds a sub-workflow from a subset of measure indices (which must be
+/// dependency-closed) for footprint estimation.
+Result<Workflow> SubWorkflow(const Workflow& workflow,
+                             const std::vector<int>& indices) {
+  Workflow sub(workflow.schema());
+  for (int idx : indices) {
+    MeasureDef def = workflow.measures()[idx];
+    def.is_output = true;
+    CSM_RETURN_NOT_OK(sub.AddMeasure(std::move(def)));
+  }
+  return sub;
+}
+
+Result<double> BestEntries(const Workflow& workflow,
+                           const std::vector<int>& indices,
+                           SortKey* best_key) {
+  CSM_ASSIGN_OR_RETURN(Workflow sub, SubWorkflow(workflow, indices));
+  CSM_ASSIGN_OR_RETURN(SortKey key, BruteForceSortKey(sub, 5000));
+  CSM_ASSIGN_OR_RETURN(FootprintReport report,
+                       EstimateFootprint(sub, key));
+  *best_key = std::move(key);
+  return report.total_entries;
+}
+
+}  // namespace
+
+Result<PassPlan> PlanPasses(const Workflow& workflow, double entry_budget) {
+  PassPlan plan;
+  const auto& measures = workflow.measures();
+
+  // Names already assigned to a *previous* pass or deferred.
+  std::set<std::string> in_earlier_pass;
+  std::set<std::string> deferred;
+
+  PassPlan::Pass current;
+  std::set<std::string> in_current;
+
+  auto close_pass = [&]() -> Status {
+    if (current.measure_indices.empty()) return Status::OK();
+    SortKey key;
+    CSM_ASSIGN_OR_RETURN(
+        current.estimated_entries,
+        BestEntries(workflow, current.measure_indices, &key));
+    current.sort_key = std::move(key);
+    for (const std::string& name : in_current) {
+      in_earlier_pass.insert(name);
+    }
+    in_current.clear();
+    plan.passes.push_back(std::move(current));
+    current = PassPlan::Pass();
+    return Status::OK();
+  };
+
+  for (int idx = 0; idx < static_cast<int>(measures.size()); ++idx) {
+    const MeasureDef& def = measures[idx];
+    const std::string lower = ToLower(def.name);
+
+    // A measure can stream in a pass only if every input streams in the
+    // same pass (base measures always can).
+    bool inputs_in_current = true;
+    bool inputs_available = true;  // somewhere (earlier pass or deferred)
+    for (const std::string& input : def.Inputs()) {
+      const std::string in_lower = ToLower(input);
+      if (!in_current.count(in_lower)) inputs_in_current = false;
+      if (!in_current.count(in_lower) &&
+          !in_earlier_pass.count(in_lower) && !deferred.count(in_lower)) {
+        inputs_available = false;
+      }
+    }
+    CSM_CHECK(inputs_available) << "workflow not topologically ordered";
+
+    if (def.op != MeasureOp::kBaseAgg && !inputs_in_current) {
+      // Inputs were flushed in an earlier pass (or deferred): combine
+      // after the scans from materialized tables.
+      plan.post_pass_indices.push_back(idx);
+      deferred.insert(lower);
+      continue;
+    }
+
+    // Try adding to the current pass.
+    current.measure_indices.push_back(idx);
+    in_current.insert(lower);
+    SortKey key;
+    CSM_ASSIGN_OR_RETURN(
+        double entries,
+        BestEntries(workflow, current.measure_indices, &key));
+    if (entries > entry_budget && current.measure_indices.size() > 1) {
+      // Overflow: pull it back out and start a new pass with it — unless
+      // its inputs were inside the current pass, in which case it cannot
+      // stream anywhere and goes to the post-pass combiner.
+      current.measure_indices.pop_back();
+      in_current.erase(lower);
+      CSM_RETURN_NOT_OK(close_pass());
+      if (def.op == MeasureOp::kBaseAgg) {
+        current.measure_indices.push_back(idx);
+        in_current.insert(lower);
+      } else {
+        plan.post_pass_indices.push_back(idx);
+        deferred.insert(lower);
+      }
+    }
+  }
+  CSM_RETURN_NOT_OK(close_pass());
+
+  if (plan.passes.empty()) {
+    // Degenerate workflow (everything deferred — cannot happen with at
+    // least one base measure, but keep the invariant).
+    plan.passes.push_back(PassPlan::Pass());
+  }
+  return plan;
+}
+
+}  // namespace csm

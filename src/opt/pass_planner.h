@@ -1,0 +1,42 @@
+#ifndef CSM_OPT_PASS_PLANNER_H_
+#define CSM_OPT_PASS_PLANNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "model/sort_key.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// A multi-pass evaluation plan (§5.4): the workflow's measures are
+/// partitioned into Sort/Scan iterations, each with its own sort order and
+/// an estimated footprint that fits the memory budget. Measures whose
+/// inputs land in earlier passes cannot stream and are evaluated after the
+/// scans, with traditional (hash) join strategies over the materialized
+/// measure tables — the paper's fallback for cross-pass dependencies.
+struct PassPlan {
+  struct Pass {
+    /// Indices into Workflow::measures(), in topological order. Region
+    /// enumerators needed by post-pass match joins ride along
+    /// automatically inside the engine.
+    std::vector<int> measure_indices;
+    SortKey sort_key;
+    double estimated_entries = 0;
+  };
+  std::vector<Pass> passes;
+  /// Measures combined after the scans from materialized inputs.
+  std::vector<int> post_pass_indices;
+};
+
+/// Greedy pass assignment: walk the measures in topological order, adding
+/// each to the current pass while the pass's estimated footprint (under
+/// its best sort order) stays within `entry_budget` live hash entries.
+/// A measure that would overflow the pass starts a new one when its inputs
+/// allow streaming there; otherwise it is deferred to the post-pass
+/// combiner. Always emits at least one pass.
+Result<PassPlan> PlanPasses(const Workflow& workflow, double entry_budget);
+
+}  // namespace csm
+
+#endif  // CSM_OPT_PASS_PLANNER_H_

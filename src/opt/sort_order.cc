@@ -1,0 +1,110 @@
+#include "opt/sort_order.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace csm {
+
+namespace {
+
+/// Candidate levels per dimension: every level some measure granularity
+/// uses (the only levels whose order any stream can exploit).
+std::vector<std::vector<int>> CandidateLevels(const Workflow& workflow) {
+  const Schema& schema = *workflow.schema();
+  std::vector<std::set<int>> sets(schema.num_dims());
+  for (const MeasureDef& def : workflow.measures()) {
+    for (int i = 0; i < schema.num_dims(); ++i) {
+      const int all = schema.dim(i).hierarchy->all_level();
+      if (def.gran.level(i) < all) sets[i].insert(def.gran.level(i));
+    }
+  }
+  std::vector<std::vector<int>> out(schema.num_dims());
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    out[i].assign(sets[i].begin(), sets[i].end());
+  }
+  return out;
+}
+
+double Score(const Workflow& workflow, const SortKey& key) {
+  auto report = EstimateFootprint(workflow, key);
+  CSM_CHECK(report.ok()) << report.status().ToString();
+  return report->total_entries;
+}
+
+/// Recursively extends `current` with every unused dimension/candidate
+/// level, recording each candidate order.
+void Enumerate(const std::vector<std::vector<int>>& levels,
+               std::vector<SortKeyPart>* current, uint32_t used_mask,
+               size_t max_candidates, std::vector<SortKey>* out) {
+  if (out->size() >= max_candidates) return;
+  out->push_back(SortKey(*current));
+  for (size_t dim = 0; dim < levels.size(); ++dim) {
+    if (used_mask & (1u << dim)) continue;
+    for (int level : levels[dim]) {
+      current->push_back({static_cast<int>(dim), level});
+      Enumerate(levels, current, used_mask | (1u << dim), max_candidates,
+                out);
+      current->pop_back();
+      if (out->size() >= max_candidates) return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<SortKey> BruteForceSortKey(const Workflow& workflow,
+                                  size_t max_candidates) {
+  if (workflow.schema()->num_dims() > 31) {
+    return Status::InvalidArgument("too many dimensions for enumeration");
+  }
+  auto levels = CandidateLevels(workflow);
+  std::vector<SortKey> candidates;
+  std::vector<SortKeyPart> scratch;
+  Enumerate(levels, &scratch, 0, max_candidates, &candidates);
+
+  const SortKey* best = nullptr;
+  double best_score = 0;
+  for (const SortKey& key : candidates) {
+    const double score = Score(workflow, key);
+    if (best == nullptr || score < best_score ||
+        (score == best_score && key.size() < best->size())) {
+      best = &key;
+      best_score = score;
+    }
+  }
+  CSM_CHECK(best != nullptr);
+  return *best;
+}
+
+Result<SortKey> GreedySortKey(const Workflow& workflow) {
+  auto levels = CandidateLevels(workflow);
+  std::vector<SortKeyPart> parts;
+  uint32_t used_mask = 0;
+  double current_score = Score(workflow, SortKey(parts));
+
+  for (;;) {
+    double best_score = current_score;
+    SortKeyPart best_part{-1, 0};
+    for (size_t dim = 0; dim < levels.size(); ++dim) {
+      if (used_mask & (1u << dim)) continue;
+      for (int level : levels[dim]) {
+        parts.push_back({static_cast<int>(dim), level});
+        const double score = Score(workflow, SortKey(parts));
+        parts.pop_back();
+        if (score < best_score) {
+          best_score = score;
+          best_part = {static_cast<int>(dim), level};
+        }
+      }
+    }
+    if (best_part.dim < 0) break;
+    parts.push_back(best_part);
+    used_mask |= 1u << best_part.dim;
+    current_score = best_score;
+  }
+  return SortKey(parts);
+}
+
+}  // namespace csm

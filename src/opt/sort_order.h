@@ -1,0 +1,32 @@
+#ifndef CSM_OPT_SORT_ORDER_H_
+#define CSM_OPT_SORT_ORDER_H_
+
+#include "common/result.h"
+#include "model/sort_key.h"
+#include "opt/footprint.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// Sort-order search (§6). Candidate components are, per dimension, the
+/// levels that appear in some measure granularity; candidate orders are
+/// permutations of dimension subsets with one candidate level each.
+/// Both searches minimize the estimated total footprint, breaking ties
+/// toward shorter keys.
+
+/// Exhaustive search — the paper's experimental configuration ("we used
+/// brute force to search all possible sort orders", §7). The enumeration
+/// is capped at `max_candidates` orders; for realistic dimension counts
+/// (≤ 6) the space is far smaller than the default cap.
+Result<SortKey> BruteForceSortKey(const Workflow& workflow,
+                                  size_t max_candidates = 200000);
+
+/// The greedy optimizer sketched in the technical report: grow the key
+/// one component at a time, at each step appending the (dim, level)
+/// component that most reduces the estimated footprint; stop when no
+/// component improves it.
+Result<SortKey> GreedySortKey(const Workflow& workflow);
+
+}  // namespace csm
+
+#endif  // CSM_OPT_SORT_ORDER_H_

@@ -1,0 +1,196 @@
+#include "storage/external_sorter.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace csm {
+
+namespace {
+
+/// Precomputes, for every row, the generalized sort-key columns followed by
+/// the full base dim tuple (tie breaker). Column-major layout would save
+/// nothing here; the comparator touches a prefix most of the time.
+std::vector<Value> BuildSortColumns(const FactTable& table,
+                                    const SortKey& key, int* width_out) {
+  const Schema& schema = *table.schema();
+  const int k = key.size();
+  const int d = table.num_dims();
+  const int width = k + d;
+  *width_out = width;
+  std::vector<Value> cols(table.num_rows() * static_cast<size_t>(width));
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const Value* dims = table.dim_row(row);
+    Value* out = cols.data() + row * static_cast<size_t>(width);
+    for (int i = 0; i < k; ++i) {
+      const SortKeyPart& p = key.part(i);
+      out[i] = schema.dim(p.dim).hierarchy->Generalize(dims[p.dim], 0,
+                                                       p.level);
+    }
+    std::copy(dims, dims + d, out + k);
+  }
+  return cols;
+}
+
+struct RowCursor {
+  SpillReader reader;
+  std::vector<Value> dims;
+  std::vector<double> measures;
+  std::vector<Value> sort_cols;  // generalized key of the head row
+  bool exhausted = false;
+
+  Status Advance(const Schema& schema, const SortKey& key) {
+    Status status;
+    if (!reader.Read(dims.data(), dims.size() * sizeof(Value), &status)) {
+      exhausted = true;
+      return status;
+    }
+    if (!measures.empty() &&
+        !reader.Read(measures.data(), measures.size() * sizeof(double),
+                     &status)) {
+      return status.ok()
+                 ? Status::IOError("run file truncated mid-row")
+                 : status;
+    }
+    for (int i = 0; i < key.size(); ++i) {
+      const SortKeyPart& p = key.part(i);
+      sort_cols[i] = schema.dim(p.dim).hierarchy->Generalize(dims[p.dim], 0,
+                                                             p.level);
+    }
+    std::copy(dims.begin(), dims.end(),
+              sort_cols.begin() + key.size());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
+                                size_t memory_budget_bytes,
+                                TempDir* temp_dir, SortStats* stats) {
+  Timer timer;
+  SortStats local;
+  local.rows = input.num_rows();
+  const Schema& schema = *input.schema();
+  const int d = input.num_dims();
+  const int m = input.num_measures();
+  const size_t row_bytes = input.RowBytes();
+
+  // The in-memory path needs the table plus sort columns plus a
+  // permutation; charge ~2.5x the raw data.
+  const size_t in_memory_need =
+      input.num_rows() * row_bytes * 5 / 2 + (1 << 20);
+
+  if (in_memory_need <= memory_budget_bytes || temp_dir == nullptr) {
+    int width = 0;
+    std::vector<Value> cols = BuildSortColumns(input, key, &width);
+    std::vector<uint32_t> perm(input.num_rows());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+      const Value* a = cols.data() + static_cast<size_t>(x) * width;
+      const Value* b = cols.data() + static_cast<size_t>(y) * width;
+      for (int i = 0; i < width; ++i) {
+        if (a[i] != b[i]) return a[i] < b[i];
+      }
+      return false;
+    });
+    input.Permute(perm);
+    local.seconds = timer.Seconds();
+    if (stats != nullptr) *stats = local;
+    return std::move(input);
+  }
+
+  // External path: spill sorted runs of ~budget/2, then k-way merge.
+  const size_t run_rows =
+      std::max<size_t>(1024, memory_budget_bytes / 2 / row_bytes);
+  std::vector<std::string> run_paths;
+
+  {
+    FactTable chunk(input.schema());
+    chunk.Reserve(run_rows);
+    size_t row = 0;
+    while (row < input.num_rows()) {
+      chunk.Clear();
+      const size_t end = std::min(input.num_rows(), row + run_rows);
+      for (; row < end; ++row) {
+        chunk.AppendRow(input.dim_row(row), input.measure_row(row));
+      }
+      int width = 0;
+      std::vector<Value> cols = BuildSortColumns(chunk, key, &width);
+      std::vector<uint32_t> perm(chunk.num_rows());
+      std::iota(perm.begin(), perm.end(), 0);
+      std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+        const Value* a = cols.data() + static_cast<size_t>(x) * width;
+        const Value* b = cols.data() + static_cast<size_t>(y) * width;
+        for (int i = 0; i < width; ++i) {
+          if (a[i] != b[i]) return a[i] < b[i];
+        }
+        return false;
+      });
+      SpillWriter writer;
+      std::string path = temp_dir->NewFilePath("sort-run");
+      CSM_RETURN_NOT_OK(writer.Open(path));
+      for (uint32_t src : perm) {
+        CSM_RETURN_NOT_OK(
+            writer.Write(chunk.dim_row(src), d * sizeof(Value)));
+        if (m > 0) {
+          CSM_RETURN_NOT_OK(
+              writer.Write(chunk.measure_row(src), m * sizeof(double)));
+        }
+      }
+      local.spilled_bytes += writer.bytes_written();
+      CSM_RETURN_NOT_OK(writer.Close());
+      run_paths.push_back(std::move(path));
+    }
+  }
+  local.runs = run_paths.size();
+  input.Clear();
+
+  // Merge.
+  std::vector<RowCursor> cursors(run_paths.size());
+  const int width = key.size() + d;
+  for (size_t i = 0; i < run_paths.size(); ++i) {
+    cursors[i].dims.resize(d);
+    cursors[i].measures.resize(m);
+    cursors[i].sort_cols.resize(width);
+    CSM_RETURN_NOT_OK(cursors[i].reader.Open(run_paths[i]));
+    CSM_RETURN_NOT_OK(cursors[i].Advance(schema, key));
+  }
+
+  auto greater = [&](size_t x, size_t y) {
+    const auto& a = cursors[x].sort_cols;
+    const auto& b = cursors[y].sort_cols;
+    for (int i = 0; i < width; ++i) {
+      if (a[i] != b[i]) return a[i] > b[i];
+    }
+    return x > y;
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(
+      greater);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i].exhausted) heap.push(i);
+  }
+
+  FactTable out(input.schema());
+  out.Reserve(local.rows);
+  while (!heap.empty()) {
+    size_t i = heap.top();
+    heap.pop();
+    out.AppendRow(cursors[i].dims.data(), cursors[i].measures.data());
+    CSM_RETURN_NOT_OK(cursors[i].Advance(schema, key));
+    if (!cursors[i].exhausted) heap.push(i);
+  }
+  for (auto& cursor : cursors) {
+    CSM_RETURN_NOT_OK(cursor.reader.Close());
+  }
+  for (const auto& path : run_paths) RemoveFileIfExists(path);
+
+  local.seconds = timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace csm

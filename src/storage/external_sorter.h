@@ -1,0 +1,36 @@
+#ifndef CSM_STORAGE_EXTERNAL_SORTER_H_
+#define CSM_STORAGE_EXTERNAL_SORTER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "model/sort_key.h"
+#include "storage/fact_table.h"
+#include "storage/temp_file.h"
+
+namespace csm {
+
+/// Counters reported by a sort; feed the Fig. 6(e) cost breakdown.
+struct SortStats {
+  uint64_t rows = 0;
+  uint64_t runs = 0;           // 0 for a pure in-memory sort
+  uint64_t spilled_bytes = 0;  // run files written
+  double seconds = 0;
+};
+
+/// Sorts a fact table by `key` (an order vector over generalized dimension
+/// values; ties broken by the full base-level dimension tuple so the result
+/// order is total and deterministic).
+///
+/// When the table fits in `memory_budget_bytes` the sort happens in memory;
+/// otherwise the classic external merge sort is used: sorted runs of
+/// ~budget/2 bytes are spilled into `temp_dir` and merged in one multi-way
+/// pass. The paper's evaluation framework assumes exactly this sort
+/// machinery between scan passes (§5.2).
+Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
+                                size_t memory_budget_bytes,
+                                TempDir* temp_dir, SortStats* stats);
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_EXTERNAL_SORTER_H_

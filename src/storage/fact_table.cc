@@ -1,0 +1,28 @@
+#include "storage/fact_table.h"
+
+#include "common/logging.h"
+
+namespace csm {
+
+void FactTable::Permute(const std::vector<uint32_t>& perm) {
+  CSM_CHECK(perm.size() == num_rows_);
+  std::vector<Value> new_dims(dims_.size());
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const Value* src = dim_row(perm[i]);
+    std::copy(src, src + num_dims_,
+              new_dims.begin() + static_cast<ptrdiff_t>(i * num_dims_));
+  }
+  dims_ = std::move(new_dims);
+  if (num_measures_ > 0) {
+    std::vector<double> new_measures(measures_.size());
+    for (size_t i = 0; i < num_rows_; ++i) {
+      const double* src = measure_row(perm[i]);
+      std::copy(src, src + num_measures_,
+                new_measures.begin() +
+                    static_cast<ptrdiff_t>(i * num_measures_));
+    }
+    measures_ = std::move(new_measures);
+  }
+}
+
+}  // namespace csm

@@ -1,0 +1,98 @@
+#ifndef CSM_STORAGE_FACT_TABLE_H_
+#define CSM_STORAGE_FACT_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/granularity.h"
+#include "model/schema.h"
+
+namespace csm {
+
+/// The raw fact table D: rows of base-domain dimension values plus raw
+/// measure attributes, stored row-major in flat arrays. This mirrors the
+/// paper's setting — data lives in flat files and is streamed, never in a
+/// DBMS — and keeps sorting and scanning cache-friendly.
+class FactTable {
+ public:
+  explicit FactTable(SchemaPtr schema)
+      : schema_(std::move(schema)),
+        num_dims_(schema_->num_dims()),
+        num_measures_(schema_->num_measures()) {}
+
+  FactTable(FactTable&&) = default;
+  FactTable& operator=(FactTable&&) = default;
+  FactTable(const FactTable&) = delete;
+  FactTable& operator=(const FactTable&) = delete;
+
+  /// Deep copy (explicit; the copy constructor is deleted so accidental
+  /// copies of multi-gigabyte tables cannot happen silently).
+  FactTable Clone() const {
+    FactTable copy(schema_);
+    copy.num_rows_ = num_rows_;
+    copy.dims_ = dims_;
+    copy.measures_ = measures_;
+    return copy;
+  }
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_dims() const { return num_dims_; }
+  int num_measures() const { return num_measures_; }
+
+  void Reserve(size_t rows) {
+    dims_.reserve(rows * num_dims_);
+    measures_.reserve(rows * num_measures_);
+  }
+
+  /// Appends one record; `dims` has num_dims() base-domain values,
+  /// `measures` has num_measures() values (may be null when the schema has
+  /// no measures).
+  void AppendRow(const Value* dims, const double* measures) {
+    dims_.insert(dims_.end(), dims, dims + num_dims_);
+    if (num_measures_ > 0) {
+      measures_.insert(measures_.end(), measures, measures + num_measures_);
+    }
+    ++num_rows_;
+  }
+
+  const Value* dim_row(size_t row) const {
+    return dims_.data() + row * num_dims_;
+  }
+  const double* measure_row(size_t row) const {
+    return measures_.data() + row * num_measures_;
+  }
+
+  /// Physically reorders rows by `perm` (perm[i] = source row of new row
+  /// i). Used by the in-memory sort path.
+  void Permute(const std::vector<uint32_t>& perm);
+
+  /// Bytes per serialized row (dims + measures), for spill accounting.
+  size_t RowBytes() const {
+    return num_dims_ * sizeof(Value) + num_measures_ * sizeof(double);
+  }
+
+  /// Approximate resident size.
+  size_t MemoryBytes() const {
+    return dims_.capacity() * sizeof(Value) +
+           measures_.capacity() * sizeof(double);
+  }
+
+  void Clear() {
+    dims_.clear();
+    measures_.clear();
+    num_rows_ = 0;
+  }
+
+ private:
+  SchemaPtr schema_;
+  int num_dims_;
+  int num_measures_;
+  size_t num_rows_ = 0;
+  std::vector<Value> dims_;
+  std::vector<double> measures_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_FACT_TABLE_H_

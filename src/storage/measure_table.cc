@@ -1,0 +1,75 @@
+#include "storage/measure_table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace csm {
+
+MeasureTable MeasureTable::Clone() const {
+  MeasureTable copy(schema_, gran_, name_);
+  copy.keys_ = keys_;
+  copy.values_ = values_;
+  copy.num_rows_ = num_rows_;
+  return copy;
+}
+
+std::vector<uint32_t> MeasureTable::LexOrder() const {
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint32_t x, uint32_t y) {
+    return CompareKeys(key_row(x), key_row(y), num_dims_) < 0;
+  });
+  return order;
+}
+
+namespace {
+
+void ApplyPermutation(const std::vector<uint32_t>& perm, int num_dims,
+                      std::vector<Value>* keys,
+                      std::vector<double>* values) {
+  std::vector<Value> new_keys(keys->size());
+  std::vector<double> new_values(values->size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    const Value* src = keys->data() + static_cast<size_t>(perm[i]) *
+                                          static_cast<size_t>(num_dims);
+    std::copy(src, src + num_dims,
+              new_keys.begin() +
+                  static_cast<ptrdiff_t>(i * static_cast<size_t>(num_dims)));
+    new_values[i] = (*values)[perm[i]];
+  }
+  *keys = std::move(new_keys);
+  *values = std::move(new_values);
+}
+
+}  // namespace
+
+void MeasureTable::SortByKeyLex() {
+  std::vector<uint32_t> order = LexOrder();
+  ApplyPermutation(order, num_dims_, &keys_, &values_);
+}
+
+void MeasureTable::SortBy(const SortKey& sort_key) {
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0);
+  const Schema& schema = *schema_;
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    const Value* a = key_row(x);
+    const Value* b = key_row(y);
+    for (const SortKeyPart& p : sort_key.parts()) {
+      const Hierarchy& h = *schema.dim(p.dim).hierarchy;
+      const int from = gran_.level(p.dim);
+      // A component finer than the table's granularity degrades to the
+      // table's level (the stream has no finer detail).
+      const int to = std::max(p.level, from);
+      Value va = h.Generalize(a[p.dim], from, to);
+      Value vb = h.Generalize(b[p.dim], from, to);
+      if (va != vb) return va < vb;
+    }
+    return CompareKeys(a, b, num_dims_) < 0;
+  });
+  ApplyPermutation(order, num_dims_, &keys_, &values_);
+}
+
+}  // namespace csm

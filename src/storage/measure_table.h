@@ -1,0 +1,96 @@
+#ifndef CSM_STORAGE_MEASURE_TABLE_H_
+#define CSM_STORAGE_MEASURE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/granularity.h"
+#include "model/schema.h"
+#include "model/sort_key.h"
+
+namespace csm {
+
+/// A measure table T:<G, M> (paper §3.2): one measure value per region of a
+/// region set. Keys are full d-dimensional coordinates at the table's
+/// granularity (dimensions at ALL hold kAllValue), so tables of different
+/// granularities share one representation.
+class MeasureTable {
+ public:
+  MeasureTable(SchemaPtr schema, Granularity gran, std::string name)
+      : schema_(std::move(schema)),
+        gran_(std::move(gran)),
+        name_(std::move(name)),
+        num_dims_(schema_->num_dims()) {}
+
+  MeasureTable(MeasureTable&&) = default;
+  MeasureTable& operator=(MeasureTable&&) = default;
+  MeasureTable(const MeasureTable&) = delete;
+  MeasureTable& operator=(const MeasureTable&) = delete;
+
+  /// Deep copy (explicit, since the copy constructor is deleted).
+  MeasureTable Clone() const;
+
+  const SchemaPtr& schema() const { return schema_; }
+  const Granularity& granularity() const { return gran_; }
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_dims() const { return num_dims_; }
+
+  void Reserve(size_t rows) {
+    keys_.reserve(rows * num_dims_);
+    values_.reserve(rows);
+  }
+
+  void Append(const Value* key, double value) {
+    keys_.insert(keys_.end(), key, key + num_dims_);
+    values_.push_back(value);
+    ++num_rows_;
+  }
+  void Append(const RegionKey& key, double value) {
+    Append(key.data(), value);
+  }
+
+  const Value* key_row(size_t row) const {
+    return keys_.data() + row * num_dims_;
+  }
+  double value(size_t row) const { return values_[row]; }
+  void set_value(size_t row, double v) { values_[row] = v; }
+
+  /// Sorts rows lexicographically by key in schema dimension order. Result
+  /// order is deterministic (keys within a region set are unique).
+  void SortByKeyLex();
+
+  /// Sorts rows by `sort_key` with full-key lexicographic tie-breaking, so
+  /// the output order is total and deterministic.
+  void SortBy(const SortKey& sort_key);
+
+  /// Returns row indices sorted lexicographically; does not move data.
+  std::vector<uint32_t> LexOrder() const;
+
+  size_t MemoryBytes() const {
+    return keys_.capacity() * sizeof(Value) +
+           values_.capacity() * sizeof(double);
+  }
+
+ private:
+  SchemaPtr schema_;
+  Granularity gran_;
+  std::string name_;
+  int num_dims_;
+  size_t num_rows_ = 0;
+  std::vector<Value> keys_;
+  std::vector<double> values_;
+};
+
+/// Compares two keys of `n` values lexicographically.
+inline int CompareKeys(const Value* a, const Value* b, int n) {
+  for (int i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_MEASURE_TABLE_H_

@@ -1,0 +1,238 @@
+#include "storage/record_cursor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "storage/external_sorter.h"
+#include "storage/table_io.h"
+
+namespace csm {
+
+namespace {
+
+class FactTableCursor : public RecordCursor {
+ public:
+  explicit FactTableCursor(const FactTable& table) : table_(table) {}
+
+  Result<bool> Next() override {
+    if (row_ + 1 >= table_.num_rows() &&
+        row_ != static_cast<size_t>(-1)) {
+      return false;
+    }
+    ++row_;
+    return row_ < table_.num_rows();
+  }
+
+  const Value* dims() const override { return table_.dim_row(row_); }
+  const double* measures() const override {
+    return table_.measure_row(row_);
+  }
+
+ private:
+  const FactTable& table_;
+  size_t row_ = static_cast<size_t>(-1);
+};
+
+/// Streams one sorted run file.
+struct RunReader {
+  SpillReader reader;
+  std::vector<Value> dims;
+  std::vector<double> measures;
+  std::vector<Value> sort_cols;  // generalized key + full dims tie-break
+  bool exhausted = false;
+
+  Status Advance(const Schema& schema, const SortKey& key) {
+    Status status;
+    if (!reader.Read(dims.data(), dims.size() * sizeof(Value), &status)) {
+      exhausted = true;
+      return status;
+    }
+    if (!measures.empty() &&
+        !reader.Read(measures.data(), measures.size() * sizeof(double),
+                     &status)) {
+      return status.ok() ? Status::IOError("run file truncated mid-row")
+                         : status;
+    }
+    for (int i = 0; i < key.size(); ++i) {
+      const SortKeyPart& p = key.part(i);
+      sort_cols[i] = schema.dim(p.dim).hierarchy->Generalize(
+          dims[p.dim], 0, p.level);
+    }
+    std::copy(dims.begin(), dims.end(), sort_cols.begin() + key.size());
+    return Status::OK();
+  }
+};
+
+/// Merges sorted run files lazily; deletes them on destruction.
+class MergingCursor : public RecordCursor {
+ public:
+  MergingCursor(SchemaPtr schema, SortKey key,
+                std::vector<std::string> run_paths)
+      : schema_(std::move(schema)),
+        key_(std::move(key)),
+        run_paths_(std::move(run_paths)) {}
+
+  ~MergingCursor() override {
+    for (const std::string& path : run_paths_) RemoveFileIfExists(path);
+  }
+
+  Status Open() {
+    const int d = schema_->num_dims();
+    const int m = schema_->num_measures();
+    const int width = key_.size() + d;
+    readers_.resize(run_paths_.size());
+    for (size_t i = 0; i < run_paths_.size(); ++i) {
+      readers_[i].dims.resize(d);
+      readers_[i].measures.resize(m);
+      readers_[i].sort_cols.resize(width);
+      CSM_RETURN_NOT_OK(readers_[i].reader.Open(run_paths_[i]));
+      CSM_RETURN_NOT_OK(readers_[i].Advance(*schema_, key_));
+      if (!readers_[i].exhausted) heap_.push_back(i);
+    }
+    auto cmp = [this](size_t x, size_t y) { return Greater(x, y); };
+    std::make_heap(heap_.begin(), heap_.end(), cmp);
+    return Status::OK();
+  }
+
+  Result<bool> Next() override {
+    auto cmp = [this](size_t x, size_t y) { return Greater(x, y); };
+    if (current_ != static_cast<size_t>(-1)) {
+      // Refill from the run we consumed last.
+      CSM_RETURN_NOT_OK(readers_[current_].Advance(*schema_, key_));
+      if (!readers_[current_].exhausted) {
+        heap_.push_back(current_);
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
+      }
+      current_ = static_cast<size_t>(-1);
+    }
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    current_ = heap_.back();
+    heap_.pop_back();
+    return true;
+  }
+
+  const Value* dims() const override {
+    return readers_[current_].dims.data();
+  }
+  const double* measures() const override {
+    return readers_[current_].measures.data();
+  }
+
+ private:
+  bool Greater(size_t x, size_t y) const {
+    const auto& a = readers_[x].sort_cols;
+    const auto& b = readers_[y].sort_cols;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return a[i] > b[i];
+    }
+    return x > y;
+  }
+
+  SchemaPtr schema_;
+  SortKey key_;
+  std::vector<std::string> run_paths_;
+  std::vector<RunReader> readers_;
+  std::vector<size_t> heap_;
+  size_t current_ = static_cast<size_t>(-1);
+};
+
+}  // namespace
+
+std::unique_ptr<RecordCursor> MakeFactTableCursor(const FactTable& table) {
+  return std::make_unique<FactTableCursor>(table);
+}
+
+Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
+    SchemaPtr schema, const std::string& path, const SortKey& key,
+    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats) {
+  Timer timer;
+  SortStats local;
+  const int d = schema->num_dims();
+  const int m = schema->num_measures();
+  const size_t row_bytes =
+      static_cast<size_t>(d) * sizeof(Value) +
+      static_cast<size_t>(m) * sizeof(double);
+  // Run-size the chunks so chunk + sort columns + permutation fit.
+  const size_t run_rows = std::max<size_t>(
+      1024, memory_budget_bytes / 3 / std::max<size_t>(row_bytes, 1));
+
+  SpillReader reader;
+  CSM_RETURN_NOT_OK(reader.Open(path));
+  uint64_t header[4];
+  Status status;
+  if (!reader.Read(header, sizeof(header), &status)) {
+    return status.ok() ? Status::IOError("empty fact file: " + path)
+                       : status;
+  }
+  if (header[1] != static_cast<uint64_t>(d) ||
+      header[2] != static_cast<uint64_t>(m)) {
+    return Status::InvalidArgument(
+        "fact file column counts do not match schema: " + path);
+  }
+  const uint64_t total_rows = header[3];
+  local.rows = total_rows;
+
+  std::vector<std::string> run_paths;
+  FactTable chunk(schema);
+  chunk.Reserve(std::min<uint64_t>(run_rows, total_rows));
+  std::vector<Value> dims(d);
+  std::vector<double> measures(m);
+
+  auto flush_chunk = [&]() -> Status {
+    if (chunk.num_rows() == 0) return Status::OK();
+    SortStats chunk_stats;
+    // In-memory sort of the chunk (no temp dir: never spills here).
+    auto sorted = SortFactTable(std::move(chunk), key,
+                                std::numeric_limits<size_t>::max(),
+                                nullptr, &chunk_stats);
+    CSM_RETURN_NOT_OK(sorted.status());
+    SpillWriter writer;
+    std::string run_path = temp_dir->NewFilePath("scan-run");
+    CSM_RETURN_NOT_OK(writer.Open(run_path));
+    for (size_t row = 0; row < sorted->num_rows(); ++row) {
+      CSM_RETURN_NOT_OK(
+          writer.Write(sorted->dim_row(row), d * sizeof(Value)));
+      if (m > 0) {
+        CSM_RETURN_NOT_OK(
+            writer.Write(sorted->measure_row(row), m * sizeof(double)));
+      }
+    }
+    local.spilled_bytes += writer.bytes_written();
+    CSM_RETURN_NOT_OK(writer.Close());
+    run_paths.push_back(std::move(run_path));
+    chunk = FactTable(schema);
+    chunk.Reserve(run_rows);
+    return Status::OK();
+  };
+
+  for (uint64_t row = 0; row < total_rows; ++row) {
+    if (!reader.Read(dims.data(), d * sizeof(Value), &status)) {
+      return status.ok() ? Status::IOError("fact file truncated: " + path)
+                         : status;
+    }
+    if (m > 0 &&
+        !reader.Read(measures.data(), m * sizeof(double), &status)) {
+      return status.ok() ? Status::IOError("fact file truncated: " + path)
+                         : status;
+    }
+    chunk.AppendRow(dims.data(), measures.data());
+    if (chunk.num_rows() >= run_rows) CSM_RETURN_NOT_OK(flush_chunk());
+  }
+  CSM_RETURN_NOT_OK(flush_chunk());
+  CSM_RETURN_NOT_OK(reader.Close());
+  local.runs = run_paths.size();
+
+  auto cursor = std::make_unique<MergingCursor>(std::move(schema), key,
+                                                std::move(run_paths));
+  CSM_RETURN_NOT_OK(cursor->Open());
+  local.seconds = timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return std::unique_ptr<RecordCursor>(std::move(cursor));
+}
+
+}  // namespace csm

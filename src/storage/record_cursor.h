@@ -1,0 +1,49 @@
+#ifndef CSM_STORAGE_RECORD_CURSOR_H_
+#define CSM_STORAGE_RECORD_CURSOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "model/sort_key.h"
+#include "storage/fact_table.h"
+#include "storage/external_sorter.h"
+
+namespace csm {
+
+/// Pull-based record stream: the scan-side abstraction that lets the
+/// engines consume either an in-memory fact table or a disk-resident one
+/// (merged from external-sort runs) through the same loop.
+class RecordCursor {
+ public:
+  virtual ~RecordCursor() = default;
+
+  /// Advances to the next record. Returns false at clean end of input.
+  /// After a true return, dims() / measures() point at the current
+  /// record until the next call.
+  virtual Result<bool> Next() = 0;
+
+  virtual const Value* dims() const = 0;
+  virtual const double* measures() const = 0;
+};
+
+/// Cursor over a (typically already sorted) in-memory fact table. The
+/// table must outlive the cursor.
+std::unique_ptr<RecordCursor> MakeFactTableCursor(const FactTable& table);
+
+/// Sorts a *binary fact file* (WriteFactTableBinary format) by `key`
+/// using bounded memory and returns a cursor over the sorted stream:
+/// the file is read in run-sized chunks, each chunk sorted and spilled to
+/// `temp_dir`, and the returned cursor merges the runs lazily — the full
+/// dataset is never resident. Run files are deleted when the cursor is
+/// destroyed; `temp_dir` must outlive it.
+///
+/// This is the paper's out-of-core configuration: data lives in flat
+/// files and the engine streams it, never a DBMS.
+Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
+    SchemaPtr schema, const std::string& path, const SortKey& key,
+    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats);
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_RECORD_CURSOR_H_

@@ -1,0 +1,242 @@
+#include "storage/table_io.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/temp_file.h"
+
+namespace csm {
+
+namespace {
+constexpr uint64_t kFactMagic = 0x43534d4631ULL;  // "CSMF1"
+}
+
+Status WriteFactTableBinary(const FactTable& table,
+                            const std::string& path) {
+  SpillWriter writer;
+  CSM_RETURN_NOT_OK(writer.Open(path));
+  const uint64_t header[4] = {kFactMagic,
+                              static_cast<uint64_t>(table.num_dims()),
+                              static_cast<uint64_t>(table.num_measures()),
+                              table.num_rows()};
+  CSM_RETURN_NOT_OK(writer.Write(header, sizeof(header)));
+  const int d = table.num_dims();
+  const int m = table.num_measures();
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    CSM_RETURN_NOT_OK(writer.Write(table.dim_row(row), d * sizeof(Value)));
+    if (m > 0) {
+      CSM_RETURN_NOT_OK(
+          writer.Write(table.measure_row(row), m * sizeof(double)));
+    }
+  }
+  return writer.Close();
+}
+
+Result<FactTable> ReadFactTableBinary(SchemaPtr schema,
+                                      const std::string& path) {
+  SpillReader reader;
+  CSM_RETURN_NOT_OK(reader.Open(path));
+  uint64_t header[4];
+  Status status;
+  if (!reader.Read(header, sizeof(header), &status)) {
+    return status.ok() ? Status::IOError("empty fact file: " + path)
+                       : status;
+  }
+  if (header[0] != kFactMagic) {
+    return Status::IOError("bad magic in fact file: " + path);
+  }
+  const int d = schema->num_dims();
+  const int m = schema->num_measures();
+  if (header[1] != static_cast<uint64_t>(d) ||
+      header[2] != static_cast<uint64_t>(m)) {
+    return Status::InvalidArgument(
+        "fact file column counts do not match schema: " + path);
+  }
+  FactTable table(std::move(schema));
+  const uint64_t rows = header[3];
+  table.Reserve(rows);
+  std::vector<Value> dims(d);
+  std::vector<double> measures(m);
+  for (uint64_t i = 0; i < rows; ++i) {
+    if (!reader.Read(dims.data(), d * sizeof(Value), &status)) {
+      return status.ok() ? Status::IOError("fact file truncated: " + path)
+                         : status;
+    }
+    if (m > 0 &&
+        !reader.Read(measures.data(), m * sizeof(double), &status)) {
+      return status.ok() ? Status::IOError("fact file truncated: " + path)
+                         : status;
+    }
+    table.AppendRow(dims.data(), measures.data());
+  }
+  CSM_RETURN_NOT_OK(reader.Close());
+  return table;
+}
+
+Status WriteFactTableCsv(const FactTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const Schema& schema = *table.schema();
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    if (i > 0) out << ",";
+    out << schema.dim(i).name;
+  }
+  for (int i = 0; i < schema.num_measures(); ++i) {
+    out << "," << schema.measure_name(i);
+  }
+  out << "\n";
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const Value* dims = table.dim_row(row);
+    for (int i = 0; i < schema.num_dims(); ++i) {
+      if (i > 0) out << ",";
+      out << dims[i];
+    }
+    const double* measures = table.measure_row(row);
+    for (int i = 0; i < schema.num_measures(); ++i) {
+      out << "," << measures[i];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<FactTable> ReadFactTableCsv(SchemaPtr schema,
+                                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  FactTable table(schema);
+  const int d = schema->num_dims();
+  const int m = schema->num_measures();
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV file: " + path);
+  }
+  std::vector<Value> dims(d);
+  std::vector<double> measures(m);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view body = StripWhitespace(line);
+    if (body.empty()) continue;
+    auto fields = Split(body, ',');
+    if (static_cast<int>(fields.size()) != d + m) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": expected " + std::to_string(d + m) +
+                                " fields, got " +
+                                std::to_string(fields.size()));
+    }
+    for (int i = 0; i < d; ++i) {
+      if (!ParseUint64(fields[i], &dims[i])) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad dimension value '" +
+                                  std::string(fields[i]) + "'");
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      if (!ParseDouble(fields[d + i], &measures[i])) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad measure value '" +
+                                  std::string(fields[d + i]) + "'");
+      }
+    }
+    table.AppendRow(dims.data(), measures.data());
+  }
+  return table;
+}
+
+namespace {
+constexpr uint64_t kMeasureMagic = 0x43534d4d31ULL;  // "CSMM1"
+}
+
+Status WriteMeasureTableBinary(const MeasureTable& table,
+                               const std::string& path) {
+  SpillWriter writer;
+  CSM_RETURN_NOT_OK(writer.Open(path));
+  const uint64_t header[3] = {kMeasureMagic,
+                              static_cast<uint64_t>(table.num_dims()),
+                              table.num_rows()};
+  CSM_RETURN_NOT_OK(writer.Write(header, sizeof(header)));
+  const int d = table.num_dims();
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    CSM_RETURN_NOT_OK(writer.Write(table.key_row(row), d * sizeof(Value)));
+    const double v = table.value(row);
+    CSM_RETURN_NOT_OK(writer.Write(&v, sizeof(v)));
+  }
+  return writer.Close();
+}
+
+Result<MeasureTable> ReadMeasureTableBinary(SchemaPtr schema,
+                                            Granularity gran,
+                                            std::string name,
+                                            const std::string& path) {
+  SpillReader reader;
+  CSM_RETURN_NOT_OK(reader.Open(path));
+  uint64_t header[3];
+  Status status;
+  if (!reader.Read(header, sizeof(header), &status)) {
+    return status.ok() ? Status::IOError("empty measure file: " + path)
+                       : status;
+  }
+  if (header[0] != kMeasureMagic) {
+    return Status::IOError("bad magic in measure file: " + path);
+  }
+  const int d = schema->num_dims();
+  if (header[1] != static_cast<uint64_t>(d)) {
+    return Status::InvalidArgument(
+        "measure file dimension count does not match schema: " + path);
+  }
+  MeasureTable table(std::move(schema), std::move(gran), std::move(name));
+  const uint64_t rows = header[2];
+  table.Reserve(rows);
+  std::vector<Value> key(d);
+  for (uint64_t i = 0; i < rows; ++i) {
+    double v;
+    if (!reader.Read(key.data(), d * sizeof(Value), &status) ||
+        !reader.Read(&v, sizeof(v), &status)) {
+      return status.ok() ? Status::IOError("measure file truncated: " +
+                                           path)
+                         : status;
+    }
+    table.Append(key.data(), v);
+  }
+  CSM_RETURN_NOT_OK(reader.Close());
+  return table;
+}
+
+Status WriteMeasureTableCsv(const MeasureTable& table,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const Schema& schema = *table.schema();
+  const Granularity& gran = table.granularity();
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    if (i > 0) out << ",";
+    out << schema.dim(i).name;
+  }
+  out << "," << table.name() << "\n";
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const Value* key = table.key_row(row);
+    for (int i = 0; i < schema.num_dims(); ++i) {
+      if (i > 0) out << ",";
+      if (gran.level(i) == schema.dim(i).hierarchy->all_level()) {
+        out << "*";
+      } else {
+        out << key[i];
+      }
+    }
+    const double v = table.value(row);
+    if (std::isnan(v)) {
+      out << ",null\n";
+    } else {
+      out << "," << v << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace csm

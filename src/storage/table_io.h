@@ -1,0 +1,44 @@
+#ifndef CSM_STORAGE_TABLE_IO_H_
+#define CSM_STORAGE_TABLE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+
+namespace csm {
+
+/// Writes a fact table as a flat binary file (little-endian; header of
+/// dims/measures/rows then raw rows). This is the paper's on-disk shape:
+/// plain files streamed by the engine, no DBMS import.
+Status WriteFactTableBinary(const FactTable& table, const std::string& path);
+
+/// Reads a binary fact table; the file's column counts must match `schema`.
+Result<FactTable> ReadFactTableBinary(SchemaPtr schema,
+                                      const std::string& path);
+
+/// CSV with a header row (dimension names then measure names); dimension
+/// values are raw base-domain integers.
+Status WriteFactTableCsv(const FactTable& table, const std::string& path);
+Result<FactTable> ReadFactTableCsv(SchemaPtr schema,
+                                   const std::string& path);
+
+/// CSV for measure tables: key columns (dimensions at ALL are written as
+/// "*"), then the measure value. NaN is written as "null".
+Status WriteMeasureTableCsv(const MeasureTable& table,
+                            const std::string& path);
+
+/// Flat binary measure-table format (header + key/value rows); used by the
+/// relational baseline and the multi-pass engine to materialize
+/// intermediates on disk.
+Status WriteMeasureTableBinary(const MeasureTable& table,
+                               const std::string& path);
+Result<MeasureTable> ReadMeasureTableBinary(SchemaPtr schema,
+                                            Granularity gran,
+                                            std::string name,
+                                            const std::string& path);
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_TABLE_IO_H_

@@ -1,0 +1,176 @@
+#include "storage/temp_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <random>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace csm {
+
+namespace fs = std::filesystem;
+
+Result<TempDir> TempDir::Make(const std::string& base) {
+  std::string root = base;
+  if (root.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    root = env ? env : "/tmp";
+  }
+  std::random_device rd;
+  Rng rng((static_cast<uint64_t>(rd()) << 32) ^ rd());
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::string path =
+        root + "/csm-" + std::to_string(rng.Next() & 0xffffffffffULL);
+    std::error_code ec;
+    if (fs::create_directories(path, ec) && !ec) {
+      return TempDir(std::move(path));
+    }
+  }
+  return Status::IOError("could not create temp directory under " + root);
+}
+
+TempDir::TempDir(TempDir&& other) noexcept
+    : path_(std::move(other.path_)), counter_(other.counter_) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::move(other.path_);
+    counter_ = other.counter_;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() { Remove(); }
+
+void TempDir::Remove() {
+  if (path_.empty()) return;
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+  if (ec) {
+    CSM_LOG_WARNING() << "failed to remove temp dir " << path_ << ": "
+                      << ec.message();
+  }
+  path_.clear();
+}
+
+std::string TempDir::NewFilePath(const std::string& prefix) {
+  return path_ + "/" + prefix + "-" + std::to_string(counter_++) + ".bin";
+}
+
+// ---------------------------------------------------------------------------
+
+SpillWriter::~SpillWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+SpillWriter::SpillWriter(SpillWriter&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      bytes_written_(other.bytes_written_) {
+  other.file_ = nullptr;
+}
+
+SpillWriter& SpillWriter::operator=(SpillWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    bytes_written_ = other.bytes_written_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Status SpillWriter::Open(const std::string& path) {
+  CSM_CHECK(file_ == nullptr);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("open for write failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status SpillWriter::Write(const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    return Status::IOError("write failed: " + path_);
+  }
+  bytes_written_ += bytes;
+  return Status::OK();
+}
+
+Status SpillWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("close failed: " + path_);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+
+SpillReader::~SpillReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+SpillReader::SpillReader(SpillReader&& other) noexcept
+    : file_(other.file_), path_(std::move(other.path_)) {
+  other.file_ = nullptr;
+}
+
+SpillReader& SpillReader::operator=(SpillReader&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Status SpillReader::Open(const std::string& path) {
+  CSM_CHECK(file_ == nullptr);
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("open for read failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+bool SpillReader::Read(void* data, size_t bytes, Status* status) {
+  size_t got = std::fread(data, 1, bytes, file_);
+  if (got == bytes) return true;
+  if (got == 0 && std::feof(file_)) {
+    *status = Status::OK();
+    return false;
+  }
+  *status = Status::IOError("short read (" + std::to_string(got) + "/" +
+                            std::to_string(bytes) + " bytes): " + path_);
+  return false;
+}
+
+Status SpillReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("close failed: " + path_);
+  return Status::OK();
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+}  // namespace csm

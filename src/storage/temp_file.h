@@ -1,0 +1,94 @@
+#ifndef CSM_STORAGE_TEMP_FILE_H_
+#define CSM_STORAGE_TEMP_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace csm {
+
+/// Owns a scratch directory for spill files; removes it and its contents on
+/// destruction. Every engine run gets one, so temp space never leaks across
+/// runs.
+class TempDir {
+ public:
+  /// Creates a fresh directory under `base` (default: TMPDIR or /tmp).
+  static Result<TempDir> Make(const std::string& base = "");
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  const std::string& path() const { return path_; }
+
+  /// Returns a unique file path inside the directory.
+  std::string NewFilePath(const std::string& prefix);
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)) {}
+  void Remove();
+
+  std::string path_;
+  uint64_t counter_ = 0;
+};
+
+/// Buffered sequential writer for fixed-width binary rows (spill runs,
+/// materialized intermediates). Tracks bytes written for the engines' IO
+/// accounting.
+class SpillWriter {
+ public:
+  SpillWriter() = default;
+  ~SpillWriter();
+  SpillWriter(SpillWriter&& other) noexcept;
+  SpillWriter& operator=(SpillWriter&& other) noexcept;
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Write(const void* data, size_t bytes);
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Buffered sequential reader matching SpillWriter.
+class SpillReader {
+ public:
+  SpillReader() = default;
+  ~SpillReader();
+  SpillReader(SpillReader&& other) noexcept;
+  SpillReader& operator=(SpillReader&& other) noexcept;
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// Reads exactly `bytes` into `data`. Returns true on success, false at
+  /// clean EOF (no partial rows); sets `status` on IO error.
+  bool Read(void* data, size_t bytes, Status* status);
+
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Removes a file if it exists (best effort).
+void RemoveFileIfExists(const std::string& path);
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_TEMP_FILE_H_

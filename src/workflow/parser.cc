@@ -1,0 +1,357 @@
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+namespace {
+
+/// Word-oriented cursor over one DSL statement.
+class StatementCursor {
+ public:
+  explicit StatementCursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Reads an identifier-like word; empty if none.
+  std::string_view ReadWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Consumes `word` case-insensitively; false (no move) otherwise.
+  bool ConsumeWord(std::string_view word) {
+    size_t saved = pos_;
+    std::string_view got = ReadWord();
+    if (ToLower(got) == ToLower(word)) return true;
+    pos_ = saved;
+    return false;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads a balanced "(...)" group including the parentheses.
+  Result<std::string_view> ReadParenGroup() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Status::ParseError("expected '('");
+    }
+    size_t start = pos_;
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '(') ++depth;
+      if (text_[pos_] == ')') {
+        --depth;
+        if (depth == 0) {
+          ++pos_;
+          return text_.substr(start, pos_ - start);
+        }
+      }
+      ++pos_;
+    }
+    return Status::ParseError("unbalanced '('");
+  }
+
+  /// Everything from the cursor to the next top-level occurrence of the
+  /// keyword (word-bounded, outside parens/brackets), or to the end.
+  /// Advances past the keyword if found.
+  std::string_view ReadUntilKeyword(std::string_view keyword, bool* found) {
+    SkipSpace();
+    const size_t start = pos_;
+    int depth = 0;
+    const std::string kw = ToLower(keyword);
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '(' || c == '[') ++depth;
+      if (c == ')' || c == ']') --depth;
+      if (depth == 0 &&
+          (std::isalpha(static_cast<unsigned char>(c)) || c == '_') &&
+          (pos_ == 0 || (!std::isalnum(static_cast<unsigned char>(
+                             text_[pos_ - 1])) &&
+                         text_[pos_ - 1] != '_' &&
+                         text_[pos_ - 1] != '.'))) {
+        size_t word_end = pos_;
+        while (word_end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[word_end])) ||
+                text_[word_end] == '_')) {
+          ++word_end;
+        }
+        if (ToLower(text_.substr(pos_, word_end - pos_)) == kw) {
+          std::string_view result = text_.substr(start, pos_ - start);
+          pos_ = word_end;
+          *found = true;
+          return StripWhitespace(result);
+        }
+        pos_ = word_end;
+        continue;
+      }
+      ++pos_;
+    }
+    *found = false;
+    return StripWhitespace(text_.substr(start));
+  }
+
+  std::string_view Rest() {
+    SkipSpace();
+    return StripWhitespace(text_.substr(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Parses "fn(arg)" where arg is "*", "M", or a raw measure name.
+Status ParseAggCall(StatementCursor* cur, const Schema& schema,
+                    bool from_fact, AggSpec* out) {
+  std::string_view fn = cur->ReadWord();
+  if (fn.empty()) return Status::ParseError("expected aggregate function");
+  CSM_ASSIGN_OR_RETURN(out->kind, AggKindFromName(fn));
+  CSM_ASSIGN_OR_RETURN(std::string_view group, cur->ReadParenGroup());
+  std::string_view arg =
+      StripWhitespace(group.substr(1, group.size() - 2));
+  if (arg.empty() || arg == "*") {
+    out->arg = -1;
+    return Status::OK();
+  }
+  if (ToLower(arg) == "m") {
+    if (from_fact) {
+      // For fact tables "M" means the first raw measure, if any.
+      if (schema.num_measures() == 0) {
+        return Status::ParseError(
+            "aggregate argument 'M' but the schema has no measures");
+      }
+      out->arg = 0;
+      return Status::OK();
+    }
+    out->arg = 0;
+    return Status::OK();
+  }
+  if (!from_fact) {
+    return Status::ParseError("measure tables have a single measure 'M'; "
+                              "got aggregate argument '" +
+                              std::string(arg) + "'");
+  }
+  CSM_ASSIGN_OR_RETURN(out->arg, schema.MeasureIndex(arg));
+  return Status::OK();
+}
+
+/// Parses "self" | "parentchild" | "childparent" |
+/// "sibling(dim in [lo, hi], ...)".
+Status ParseMatchSpec(StatementCursor* cur, const Schema& schema,
+                      MatchCond* out) {
+  std::string_view word = cur->ReadWord();
+  std::string lower = ToLower(word);
+  if (lower == "self") {
+    *out = MatchCond::Self();
+    return Status::OK();
+  }
+  if (lower == "parentchild" || lower == "parent_child") {
+    *out = MatchCond::ParentChild();
+    return Status::OK();
+  }
+  if (lower == "childparent" || lower == "child_parent") {
+    *out = MatchCond::ChildParent();
+    return Status::OK();
+  }
+  if (lower != "sibling") {
+    return Status::ParseError("unknown match condition '" +
+                              std::string(word) + "'");
+  }
+  CSM_ASSIGN_OR_RETURN(std::string_view group, cur->ReadParenGroup());
+  std::string_view body =
+      StripWhitespace(group.substr(1, group.size() - 2));
+  std::vector<SiblingWindow> windows;
+  for (std::string_view piece : SplitTopLevel(body, ',')) {
+    StatementCursor wc{StripWhitespace(piece)};
+    std::string_view dim_name = wc.ReadWord();
+    SiblingWindow w;
+    CSM_ASSIGN_OR_RETURN(w.dim, schema.DimIndex(dim_name));
+    if (!wc.ConsumeWord("in")) {
+      return Status::ParseError("expected 'in' in sibling window");
+    }
+    if (!wc.ConsumeChar('[')) {
+      return Status::ParseError("expected '[' in sibling window");
+    }
+    std::string_view rest = wc.Rest();
+    size_t close = rest.find(']');
+    if (close == std::string_view::npos) {
+      return Status::ParseError("expected ']' in sibling window");
+    }
+    auto bounds = Split(rest.substr(0, close), ',');
+    if (bounds.size() != 2) {
+      return Status::ParseError("sibling window needs [lo, hi]");
+    }
+    if (!ParseInt64(bounds[0], &w.lo) || !ParseInt64(bounds[1], &w.hi)) {
+      return Status::ParseError("bad sibling window bounds");
+    }
+    windows.push_back(w);
+  }
+  *out = MatchCond::Sibling(std::move(windows));
+  return Status::OK();
+}
+
+Status ParseStatement(std::string_view statement, Workflow* workflow) {
+  const Schema& schema = *workflow->schema();
+  StatementCursor cur(statement);
+  if (!cur.ConsumeWord("measure")) {
+    return Status::ParseError("statement must start with 'measure': '" +
+                              std::string(statement) + "'");
+  }
+  MeasureDef def;
+  def.name = std::string(cur.ReadWord());
+  if (def.name.empty()) return Status::ParseError("expected measure name");
+  if (!cur.ConsumeWord("at")) {
+    return Status::ParseError("expected 'at' after measure name");
+  }
+  CSM_ASSIGN_OR_RETURN(std::string_view gran_text, cur.ReadParenGroup());
+  CSM_ASSIGN_OR_RETURN(def.gran, Granularity::Parse(schema, gran_text));
+  if (!cur.ConsumeChar('=')) {
+    return Status::ParseError("expected '=' after granularity");
+  }
+
+  if (cur.ConsumeWord("agg")) {
+    AggSpec agg;
+    // "fn(arg) from NAME": the argument's meaning depends on whether the
+    // source is FACT, so look ahead for the source name first.
+    StatementCursor probe = cur;
+    probe.ReadWord();  // function name
+    CSM_ASSIGN_OR_RETURN(std::string_view skipped_call,
+                         probe.ReadParenGroup());
+    (void)skipped_call;
+    if (!probe.ConsumeWord("from")) {
+      return Status::ParseError("expected 'from' after aggregate call");
+    }
+    std::string_view source = probe.ReadWord();
+    const bool from_fact = ToLower(source) == "fact";
+    CSM_RETURN_NOT_OK(ParseAggCall(&cur, schema, from_fact, &agg));
+    if (!cur.ConsumeWord("from")) {
+      return Status::ParseError("expected 'from' after aggregate call");
+    }
+    cur.ReadWord();  // the source name, already captured
+    def.agg = agg;
+    if (from_fact) {
+      def.op = MeasureOp::kBaseAgg;
+    } else {
+      def.op = MeasureOp::kRollup;
+      def.input = std::string(source);
+    }
+  } else if (cur.ConsumeWord("match")) {
+    def.op = MeasureOp::kMatch;
+    def.input = std::string(cur.ReadWord());
+    if (def.input.empty()) {
+      return Status::ParseError("expected source measure after 'match'");
+    }
+    if (!cur.ConsumeWord("using")) {
+      return Status::ParseError("expected 'using' in match statement");
+    }
+    CSM_RETURN_NOT_OK(ParseMatchSpec(&cur, schema, &def.match));
+    if (!cur.ConsumeWord("agg")) {
+      return Status::ParseError("expected 'agg' in match statement");
+    }
+    CSM_RETURN_NOT_OK(ParseAggCall(&cur, schema, /*from_fact=*/false,
+                                   &def.agg));
+  } else if (cur.ConsumeWord("combine")) {
+    def.op = MeasureOp::kCombine;
+    CSM_ASSIGN_OR_RETURN(std::string_view group, cur.ReadParenGroup());
+    std::string_view body =
+        StripWhitespace(group.substr(1, group.size() - 2));
+    for (std::string_view piece : SplitTopLevel(body, ',')) {
+      def.combine_inputs.emplace_back(StripWhitespace(piece));
+    }
+    if (!cur.ConsumeWord("as")) {
+      return Status::ParseError("expected 'as' in combine statement");
+    }
+    bool found_hidden = false;
+    std::string_view expr_text = cur.ReadUntilKeyword("hidden",
+                                                      &found_hidden);
+    CSM_ASSIGN_OR_RETURN(def.fc, ScalarExpr::Parse(expr_text));
+    def.is_output = !found_hidden;
+    if (found_hidden && !cur.AtEnd()) {
+      return Status::ParseError("unexpected input after 'hidden'");
+    }
+    return workflow->AddMeasure(std::move(def));
+  } else {
+    return Status::ParseError(
+        "expected 'agg', 'match' or 'combine' after '='");
+  }
+
+  // Optional "where <expr>" then optional "hidden".
+  if (cur.ConsumeWord("where")) {
+    bool found_hidden = false;
+    std::string_view expr_text = cur.ReadUntilKeyword("hidden",
+                                                      &found_hidden);
+    CSM_ASSIGN_OR_RETURN(def.where, ScalarExpr::Parse(expr_text));
+    def.is_output = !found_hidden;
+    if (found_hidden && !cur.AtEnd()) {
+      return Status::ParseError("unexpected input after 'hidden'");
+    }
+  } else if (cur.ConsumeWord("hidden")) {
+    def.is_output = false;
+    if (!cur.AtEnd()) {
+      return Status::ParseError("unexpected input after 'hidden'");
+    }
+  } else if (!cur.AtEnd()) {
+    return Status::ParseError("unexpected trailing input: '" +
+                              std::string(cur.Rest()) + "'");
+  }
+  return workflow->AddMeasure(std::move(def));
+}
+
+}  // namespace
+
+Result<Workflow> Workflow::Parse(SchemaPtr schema, std::string_view dsl) {
+  Workflow workflow(std::move(schema));
+  // Strip comments (# and // to end of line), then split on ';'.
+  std::string cleaned;
+  cleaned.reserve(dsl.size());
+  for (std::string_view line : Split(dsl, '\n')) {
+    size_t cut = line.size();
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) cut = std::min(cut, hash);
+    size_t slashes = line.find("//");
+    if (slashes != std::string_view::npos) cut = std::min(cut, slashes);
+    cleaned.append(line.substr(0, cut));
+    cleaned.push_back('\n');
+  }
+  int statement_no = 0;
+  for (std::string_view statement : SplitTopLevel(cleaned, ';')) {
+    statement = StripWhitespace(statement);
+    ++statement_no;
+    if (statement.empty()) continue;
+    CSM_RETURN_NOT_OK(ParseStatement(statement, &workflow)
+                          .WithContext("statement " +
+                                       std::to_string(statement_no)));
+  }
+  if (workflow.measures().empty()) {
+    return Status::InvalidArgument("workflow defines no measures");
+  }
+  return workflow;
+}
+
+}  // namespace csm

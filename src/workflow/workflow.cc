@@ -1,0 +1,350 @@
+#include "workflow/workflow.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "algebra/evaluator.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+std::vector<std::string> MeasureDef::Inputs() const {
+  switch (op) {
+    case MeasureOp::kBaseAgg:
+      return {};
+    case MeasureOp::kRollup:
+    case MeasureOp::kMatch:
+      return {input};
+    case MeasureOp::kCombine:
+      return combine_inputs;
+  }
+  return {};
+}
+
+Result<const MeasureDef*> Workflow::Find(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (const MeasureDef& def : measures_) {
+    if (ToLower(def.name) == lower) return &def;
+  }
+  return Status::NotFound("no measure named '" + std::string(name) + "'");
+}
+
+std::vector<const MeasureDef*> Workflow::TopoOrder() const {
+  std::vector<const MeasureDef*> order;
+  order.reserve(measures_.size());
+  for (const MeasureDef& def : measures_) order.push_back(&def);
+  return order;
+}
+
+Status Workflow::ValidateMeasure(const MeasureDef& def) const {
+  const Schema& schema = *schema_;
+  if (def.name.empty()) {
+    return Status::InvalidArgument("measure needs a name");
+  }
+  // Names must not collide with measures, dimensions, raw measures, or the
+  // reserved words that appear in predicate variable layouts.
+  std::string lower = ToLower(def.name);
+  if (lower == "m" || lower == "fact") {
+    return Status::InvalidArgument("measure name '" + def.name +
+                                   "' is reserved");
+  }
+  if (schema.DimIndex(def.name).ok() || schema.MeasureIndex(def.name).ok()) {
+    return Status::InvalidArgument(
+        "measure name '" + def.name + "' collides with a schema attribute");
+  }
+  if (Find(def.name).ok()) {
+    return Status::AlreadyExists("duplicate measure '" + def.name + "'");
+  }
+  if (def.gran.num_dims() != schema.num_dims()) {
+    return Status::InvalidArgument("measure '" + def.name +
+                                   "': granularity arity mismatch");
+  }
+
+  auto check_where_fact = [&]() -> Status {
+    if (def.where == nullptr) return Status::OK();
+    auto bound = BoundExpr::Bind(*def.where, FactRowVars(schema));
+    return bound.status().WithContext("measure '" + def.name + "' where");
+  };
+  auto check_where_measure = [&](const std::string& input) -> Status {
+    if (def.where == nullptr) return Status::OK();
+    auto bound =
+        BoundExpr::Bind(*def.where, MeasureRowVars(schema, input));
+    return bound.status().WithContext("measure '" + def.name + "' where");
+  };
+
+  switch (def.op) {
+    case MeasureOp::kBaseAgg: {
+      if (def.agg.arg >= schema.num_measures()) {
+        return Status::InvalidArgument(
+            "measure '" + def.name + "': aggregate argument out of range");
+      }
+      CSM_RETURN_NOT_OK(check_where_fact());
+      break;
+    }
+    case MeasureOp::kRollup: {
+      CSM_ASSIGN_OR_RETURN(const MeasureDef* in, Find(def.input));
+      if (!in->gran.FinerOrEqual(def.gran)) {
+        return Status::InvalidArgument(
+            "measure '" + def.name + "': roll-up input " + in->name +
+            " at " + in->gran.ToString(schema) +
+            " is not finer than target " + def.gran.ToString(schema));
+      }
+      CSM_RETURN_NOT_OK(check_where_measure(in->name));
+      break;
+    }
+    case MeasureOp::kMatch: {
+      CSM_ASSIGN_OR_RETURN(const MeasureDef* in, Find(def.input));
+      switch (def.match.type) {
+        case MatchType::kSelf:
+        case MatchType::kSibling:
+          if (in->gran != def.gran) {
+            return Status::InvalidArgument(
+                "measure '" + def.name + "': " +
+                std::string(MatchTypeName(def.match.type)) +
+                " match requires equal granularities");
+          }
+          break;
+        case MatchType::kParentChild:
+          if (!def.gran.FinerOrEqual(in->gran)) {
+            return Status::InvalidArgument(
+                "measure '" + def.name +
+                "': parent/child match requires the input to be coarser");
+          }
+          break;
+        case MatchType::kChildParent:
+          if (!in->gran.FinerOrEqual(def.gran)) {
+            return Status::InvalidArgument(
+                "measure '" + def.name +
+                "': child/parent match requires the input to be finer");
+          }
+          break;
+      }
+      if (def.match.type == MatchType::kSibling) {
+        for (const SiblingWindow& w : def.match.windows) {
+          if (w.dim < 0 || w.dim >= schema.num_dims()) {
+            return Status::InvalidArgument("measure '" + def.name +
+                                           "': window dim out of range");
+          }
+          if (def.gran.level(w.dim) ==
+              schema.dim(w.dim).hierarchy->all_level()) {
+            return Status::InvalidArgument(
+                "measure '" + def.name +
+                "': sibling window on a dimension at ALL");
+          }
+          if (w.lo > w.hi) {
+            return Status::InvalidArgument("measure '" + def.name +
+                                           "': window lo > hi");
+          }
+        }
+      }
+      CSM_RETURN_NOT_OK(check_where_measure(in->name));
+      break;
+    }
+    case MeasureOp::kCombine: {
+      if (def.combine_inputs.empty()) {
+        return Status::InvalidArgument("measure '" + def.name +
+                                       "': combine needs inputs");
+      }
+      if (def.fc == nullptr) {
+        return Status::InvalidArgument("measure '" + def.name +
+                                       "': combine needs an expression");
+      }
+      std::vector<std::string> names;
+      for (const std::string& input : def.combine_inputs) {
+        CSM_ASSIGN_OR_RETURN(const MeasureDef* in, Find(input));
+        if (in->gran != def.gran) {
+          return Status::InvalidArgument(
+              "measure '" + def.name + "': combine input " + in->name +
+              " has a different granularity");
+        }
+        names.push_back(in->name);
+      }
+      auto bound = BoundExpr::Bind(*def.fc, CombineVars(schema, names));
+      CSM_RETURN_NOT_OK(bound.status().WithContext("measure '" + def.name +
+                                                   "' combine expression"));
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Workflow::AddMeasure(MeasureDef def) {
+  CSM_RETURN_NOT_OK(ValidateMeasure(def));
+  measures_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Result<AwExpr::Ptr> Workflow::ToAlgebra(std::string_view measure,
+                                        bool deep) const {
+  CSM_ASSIGN_OR_RETURN(const MeasureDef* def, Find(measure));
+
+  auto input_expr = [&](const std::string& name) -> Result<AwExpr::Ptr> {
+    CSM_ASSIGN_OR_RETURN(const MeasureDef* in, Find(name));
+    if (deep) return ToAlgebra(in->name, /*deep=*/true);
+    return AwExpr::MeasureRef(schema_, in->name, in->gran);
+  };
+
+  switch (def->op) {
+    case MeasureOp::kBaseAgg: {
+      CSM_ASSIGN_OR_RETURN(AwExpr::Ptr fact, AwExpr::FactTable(schema_));
+      AwExpr::Ptr source = fact;
+      if (def->where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(source, AwExpr::Select(source, def->where));
+      }
+      return AwExpr::Aggregate(source, def->gran, def->agg, def->name);
+    }
+    case MeasureOp::kRollup: {
+      CSM_ASSIGN_OR_RETURN(AwExpr::Ptr source, input_expr(def->input));
+      if (def->where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(source, AwExpr::Select(source, def->where));
+      }
+      AggSpec agg = def->agg;
+      if (agg.arg > 0) agg.arg = 0;  // measure tables have a single M
+      return AwExpr::Aggregate(source, def->gran, agg, def->name);
+    }
+    case MeasureOp::kMatch: {
+      // S_base = g_{G,none}(D) enumerates the output regions (paper 4.2).
+      CSM_ASSIGN_OR_RETURN(AwExpr::Ptr fact, AwExpr::FactTable(schema_));
+      CSM_ASSIGN_OR_RETURN(
+          AwExpr::Ptr s_base,
+          AwExpr::Aggregate(fact, def->gran, AggSpec{AggKind::kNone, -1},
+                            def->name + "_base"));
+      CSM_ASSIGN_OR_RETURN(AwExpr::Ptr target, input_expr(def->input));
+      if (def->where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(target, AwExpr::Select(target, def->where));
+      }
+      AggSpec agg = def->agg;
+      if (agg.arg > 0) agg.arg = 0;
+      return AwExpr::MatchJoin(s_base, target, def->match, agg, def->name);
+    }
+    case MeasureOp::kCombine: {
+      std::vector<AwExpr::Ptr> targets;
+      CSM_ASSIGN_OR_RETURN(AwExpr::Ptr source,
+                           input_expr(def->combine_inputs[0]));
+      for (size_t i = 1; i < def->combine_inputs.size(); ++i) {
+        CSM_ASSIGN_OR_RETURN(AwExpr::Ptr t,
+                             input_expr(def->combine_inputs[i]));
+        targets.push_back(std::move(t));
+      }
+      return AwExpr::CombineJoin(source, std::move(targets), def->fc,
+                                 def->name);
+    }
+  }
+  return Status::Internal("bad measure op");
+}
+
+std::string Workflow::ToDsl() const {
+  const Schema& schema = *schema_;
+  std::string out;
+  for (const MeasureDef& def : measures_) {
+    out += "measure " + def.name + " at " + def.gran.ToString(schema) +
+           " = ";
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+      case MeasureOp::kRollup: {
+        out += "agg ";
+        out += AggKindName(def.agg.kind);
+        if (def.op == MeasureOp::kBaseAgg) {
+          out += def.agg.arg >= 0
+                     ? "(" + schema.measure_name(def.agg.arg) + ")"
+                     : "(*)";
+          out += " from FACT";
+        } else {
+          out += def.agg.arg >= 0 ? "(M)" : "(*)";
+          out += " from " + def.input;
+        }
+        break;
+      }
+      case MeasureOp::kMatch: {
+        out += "match " + def.input + " using " +
+               def.match.ToString(schema, def.gran) + " agg ";
+        out += AggKindName(def.agg.kind);
+        out += def.agg.arg >= 0 ? "(M)" : "(*)";
+        break;
+      }
+      case MeasureOp::kCombine: {
+        out += "combine(";
+        for (size_t i = 0; i < def.combine_inputs.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += def.combine_inputs[i];
+        }
+        out += ") as " + def.fc->ToString();
+        break;
+      }
+    }
+    if (def.where != nullptr) out += " where " + def.where->ToString();
+    if (!def.is_output) out += " hidden";
+    out += ";\n";
+  }
+  return out;
+}
+
+std::string Workflow::ToDot() const {
+  const Schema& schema = *schema_;
+  std::string out = "digraph workflow {\n  rankdir=BT;\n"
+                    "  node [shape=ellipse, fontsize=10];\n";
+
+  // Group measures by region set — the rectangles.
+  std::map<std::vector<int>, std::vector<const MeasureDef*>> by_gran;
+  for (const MeasureDef& def : measures_) {
+    by_gran[def.gran.levels()].push_back(&def);
+  }
+  int cluster = 0;
+  for (const auto& [levels, defs] : by_gran) {
+    const Granularity gran(levels);
+    out += "  subgraph cluster_" + std::to_string(cluster++) + " {\n";
+    out += "    label=\"" + gran.ToString(schema) + "\";\n";
+    out += "    style=rounded;\n";
+    for (const MeasureDef* def : defs) {
+      std::string label = def->name + "\\n";
+      switch (def->op) {
+        case MeasureOp::kBaseAgg:
+        case MeasureOp::kRollup:
+          label += std::string(AggKindName(def->agg.kind)) +
+                   (def->agg.arg >= 0 ? "(M)" : "(*)");
+          break;
+        case MeasureOp::kMatch:
+          label += std::string(AggKindName(def->agg.kind)) + "(M)";
+          break;
+        case MeasureOp::kCombine:
+          label += def->fc->ToString();
+          break;
+      }
+      if (def->where != nullptr) {
+        label += "\\nwhere " + def->where->ToString();
+      }
+      out += "    \"" + def->name + "\" [label=\"" + label + "\"";
+      if (!def->is_output) out += ", style=dashed";
+      out += "];\n";
+    }
+    out += "  }\n";
+  }
+
+  // Computational arcs.
+  for (const MeasureDef& def : measures_) {
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+        break;  // basic measure: no incoming arc (fed by D)
+      case MeasureOp::kRollup:
+        out += "  \"" + def.input + "\" -> \"" + def.name +
+               "\" [label=\"roll-up\"];\n";
+        break;
+      case MeasureOp::kMatch:
+        out += "  \"" + def.input + "\" -> \"" + def.name +
+               "\" [label=\"" + def.match.ToString(schema, def.gran) +
+               "\"];\n";
+        break;
+      case MeasureOp::kCombine:
+        for (const std::string& input : def.combine_inputs) {
+          out += "  \"" + input + "\" -> \"" + def.name +
+                 "\" [label=\"combine\"];\n";
+        }
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,111 @@
+#ifndef CSM_WORKFLOW_WORKFLOW_H_
+#define CSM_WORKFLOW_WORKFLOW_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/aw_expr.h"
+#include "common/result.h"
+#include "model/granularity.h"
+#include "model/schema.h"
+
+namespace csm {
+
+/// How one measure (one oval of the aggregation workflow) is computed.
+enum class MeasureOp {
+  kBaseAgg,  // basic measure: aggregate the fact table
+  kRollup,   // aggregate another measure to a coarser granularity
+             // (child/parent match join, paper's simplified g form)
+  kMatch,    // match join against another measure (self / parent-child /
+             // sibling / child-parent)
+  kCombine,  // combine join over measures of the same region set
+};
+
+/// One measure definition — an oval attached to a region-set rectangle,
+/// with its computational arcs (paper §4).
+struct MeasureDef {
+  std::string name;
+  Granularity gran;
+  MeasureOp op = MeasureOp::kBaseAgg;
+
+  AggSpec agg;                        // kBaseAgg / kRollup / kMatch
+  std::string input;                  // kRollup / kMatch: source measure
+  std::vector<std::string> combine_inputs;  // kCombine (first is S)
+  MatchCond match;                    // kMatch
+  ScalarExprPtr where;                // optional filter on input rows
+  ScalarExprPtr fc;                   // kCombine function
+  bool is_output = true;              // false = intermediate ("hidden")
+
+  /// Names of the measures this one depends on.
+  std::vector<std::string> Inputs() const;
+};
+
+/// An aggregation workflow: a DAG of measures over one schema. This is the
+/// engine-facing query representation; Theorem 2's translation to AW-RA is
+/// provided by ToAlgebra().
+///
+/// The paper presents workflows pictorially; here the same graph is
+/// written in a small text DSL (one statement per measure):
+///
+///   # basic measure (Example 1)
+///   measure Count at (t:hour, U:ip) = agg count(*) from FACT;
+///   # roll-up with filter (Examples 2 and 3)
+///   measure SCount at (t:hour) = agg count(M) from Count where M > 5;
+///   measure STraffic at (t:hour) = agg sum(M) from Count where M > 5;
+///   # sibling match join — 6-hour moving average (Example 4)
+///   measure AvgCount at (t:hour) =
+///       match SCount using sibling(t in [0, 5]) agg avg(M);
+///   # combine join (Example 5)
+///   measure Ratio at (t:hour) = combine(AvgCount, STraffic, SCount)
+///       as AvgCount / (STraffic / SCount);
+///
+/// `hidden` after a statement marks the measure as intermediate.
+class Workflow {
+ public:
+  explicit Workflow(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  /// Parses the DSL; validates the full graph.
+  static Result<Workflow> Parse(SchemaPtr schema, std::string_view dsl);
+
+  /// Adds one measure (programmatic construction); validates it against
+  /// the measures added so far (inputs must already exist — add in
+  /// dependency order).
+  Status AddMeasure(MeasureDef def);
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<MeasureDef>& measures() const { return measures_; }
+
+  Result<const MeasureDef*> Find(std::string_view name) const;
+
+  /// Measures in a dependency-respecting order (inputs before consumers).
+  /// Construction order already satisfies this; returned for clarity.
+  std::vector<const MeasureDef*> TopoOrder() const;
+
+  /// Theorem 2: the AW-RA expression for `measure`. With `deep` false,
+  /// input measures appear as kMeasureRef leaves (one workflow oval = one
+  /// named table); with `deep` true the references are expanded
+  /// recursively into a single closed expression over D.
+  Result<AwExpr::Ptr> ToAlgebra(std::string_view measure,
+                                bool deep = false) const;
+
+  /// Round-trippable DSL text.
+  std::string ToDsl() const;
+
+  /// Graphviz rendering of the pictorial language (paper Fig. 3): one
+  /// cluster (rectangle) per region set, one oval per measure labelled
+  /// with its aggregation formula and optional selection condition, and
+  /// computational arcs labelled with their match conditions. Render with
+  /// `dot -Tsvg`.
+  std::string ToDot() const;
+
+ private:
+  Status ValidateMeasure(const MeasureDef& def) const;
+
+  SchemaPtr schema_;
+  std::vector<MeasureDef> measures_;  // in insertion (= topological) order
+};
+
+}  // namespace csm
+
+#endif  // CSM_WORKFLOW_WORKFLOW_H_

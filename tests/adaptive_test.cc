@@ -1,0 +1,97 @@
+#include "data/netlog.h"
+#include "data/queries.h"
+#include "exec/adaptive.h"
+#include "exec/single_scan.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+
+TEST(AdaptiveEngineTest, PicksSingleScanForSmallState) {
+  // The Fig. 7(a) situation: tiny intermediate state — skip the sort.
+  auto schema = MakeNetworkLogSchema(/*time_cardinality=*/1e5);
+  auto workflow = MakeEscalationQuery(schema);
+  ASSERT_TRUE(workflow.ok());
+  AdaptiveEngine engine;  // default 256 MB budget
+  auto choice = engine.Decide(*workflow);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  EXPECT_EQ(*choice, AdaptiveEngine::Choice::kSingleScan);
+}
+
+TEST(AdaptiveEngineTest, PicksSortScanForLargeStreamableState) {
+  // Large region sets (hour x /24 x source) but a good order exists.
+  auto schema = MakeNetworkLogSchema(/*time_cardinality=*/1e8,
+                                     /*ip_cardinality=*/1e9);
+  auto workflow = MakeMultiReconQuery(schema);
+  ASSERT_TRUE(workflow.ok());
+  EngineOptions options;
+  options.memory_budget_bytes = 8 << 20;
+  AdaptiveEngine engine(options);
+  auto choice = engine.Decide(*workflow);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(*choice, AdaptiveEngine::Choice::kSortScan);
+}
+
+TEST(AdaptiveEngineTest, PicksMultiPassWhenNoOrderFits) {
+  // Two huge measures on disjoint dimensions and a budget neither fits:
+  // no single order helps -> multiple passes.
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1e6);
+  auto workflow = Workflow::Parse(schema, R"(
+      measure A at (d0:L0, d1:L0) = agg count(*) from FACT;
+      measure B at (d2:L0, d3:L0) = agg count(*) from FACT;)");
+  ASSERT_TRUE(workflow.ok());
+  EngineOptions options;
+  options.memory_budget_bytes = 12 << 20;  // ~128k entries
+  AdaptiveEngine engine(options);
+  auto choice = engine.Decide(*workflow);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(*choice, AdaptiveEngine::Choice::kMultiPass);
+}
+
+TEST(AdaptiveEngineTest, ResultsMatchSingleScanReference) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 3000, 5000, 17);
+  for (const char* dsl :
+       {"measure C at (t:hour, U:ip) = agg count(*) from FACT;",
+        R"(measure D at (t:day) = agg count(*) from FACT;
+           measure H at (t:hour) = agg count(*) from FACT;
+           measure S at (t:hour) = match D using parentchild agg sum(M);
+           measure F at (t:hour) = combine(H, S) as H / S;)"}) {
+    auto workflow = Workflow::Parse(schema, dsl);
+    ASSERT_TRUE(workflow.ok());
+    SingleScanEngine reference;
+    AdaptiveEngine adaptive;
+    auto expect = reference.Run(*workflow, fact);
+    auto got = adaptive.Run(*workflow, fact);
+    ASSERT_TRUE(expect.ok() && got.ok());
+    ASSERT_EQ(expect->tables.size(), got->tables.size());
+    for (auto& [name, table] : expect->tables) {
+      ExpectTablesEqual(table, got->tables.at(name), name);
+    }
+    // The chosen engine is reported.
+    EXPECT_EQ(got->stats.sort_key.front(), '[');
+  }
+}
+
+TEST(AdaptiveEngineTest, HonorsExplicitSortKey) {
+  auto schema = MakeNetworkLogSchema(1e8, 1e9);
+  auto workflow = MakeMultiReconQuery(schema);
+  ASSERT_TRUE(workflow.ok());
+  EngineOptions options;
+  options.memory_budget_bytes = 8 << 20;
+  auto key = SortKey::Parse(*schema, "<t:hour, V:net24, U:ip>");
+  ASSERT_TRUE(key.ok());
+  options.sort_key = *key;
+  AdaptiveEngine engine(options);
+  auto choice = engine.Decide(*workflow);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(*choice, AdaptiveEngine::Choice::kSortScan);
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,171 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace csm {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double RunAgg(AggKind kind, const std::vector<double>& values) {
+  AggState state;
+  AggInit(kind, &state);
+  for (double v : values) AggUpdate(kind, &state, v);
+  return AggFinalize(kind, state);
+}
+
+TEST(AggregateTest, BasicSemantics) {
+  std::vector<double> values{3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kCount, values), 5);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kSum, values), 14);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kMin, values), 1);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kMax, values), 5);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kAvg, values), 2.8);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kCountDistinct, values), 4);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kNone, values), 0);
+}
+
+TEST(AggregateTest, VarianceMatchesTwoPass) {
+  Rng rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<double>(rng.Uniform(1000)) / 7.0);
+  }
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(RunAgg(AggKind::kVar, values), var, 1e-8 * var);
+  EXPECT_NEAR(RunAgg(AggKind::kStddev, values), std::sqrt(var),
+              1e-8 * std::sqrt(var));
+}
+
+TEST(AggregateTest, EmptyAggregates) {
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kCount, {}), 0);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kSum, {}), 0);
+  EXPECT_TRUE(std::isnan(RunAgg(AggKind::kMin, {})));
+  EXPECT_TRUE(std::isnan(RunAgg(AggKind::kMax, {})));
+  EXPECT_TRUE(std::isnan(RunAgg(AggKind::kAvg, {})));
+  EXPECT_TRUE(std::isnan(RunAgg(AggKind::kVar, {})));
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kCountDistinct, {}), 0);
+}
+
+TEST(AggregateTest, NullInputsSkipped) {
+  // SQL semantics: NULL (NaN) is invisible to aggregates.
+  std::vector<double> values{kNaN, 2, kNaN, 4};
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kCount, values), 2);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kSum, values), 6);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kAvg, values), 3);
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kMin, values), 2);
+  std::vector<double> all_null{kNaN, kNaN};
+  EXPECT_TRUE(std::isnan(RunAgg(AggKind::kAvg, all_null)));
+  EXPECT_DOUBLE_EQ(RunAgg(AggKind::kCount, all_null), 0);
+}
+
+TEST(AggregateTest, Classification) {
+  EXPECT_TRUE(IsDistributive(AggKind::kSum));
+  EXPECT_TRUE(IsDistributive(AggKind::kCount));
+  EXPECT_TRUE(IsDistributive(AggKind::kMin));
+  EXPECT_FALSE(IsDistributive(AggKind::kAvg));
+  EXPECT_TRUE(IsAlgebraic(AggKind::kAvg));
+  EXPECT_TRUE(IsAlgebraic(AggKind::kVar));
+  EXPECT_FALSE(IsAlgebraic(AggKind::kCountDistinct));
+}
+
+TEST(AggregateTest, NamesRoundTrip) {
+  for (AggKind kind :
+       {AggKind::kCount, AggKind::kSum, AggKind::kMin, AggKind::kMax,
+        AggKind::kAvg, AggKind::kVar, AggKind::kStddev,
+        AggKind::kCountDistinct, AggKind::kNone}) {
+    auto parsed = AggKindFromName(AggKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(AggKindFromName("median").ok());
+  auto avg = AggKindFromName("AVERAGE");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(*avg, AggKind::kAvg);
+}
+
+// Property test: merging partial aggregates over any split of the input
+// equals aggregating the whole input. This is the invariant the streaming
+// engines rely on when updates arrive out of order across finalized
+// batches.
+class MergePropertyTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(MergePropertyTest, SplitMergeEqualsBulk) {
+  const AggKind kind = GetParam();
+  Rng rng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.Uniform(200);
+    std::vector<double> values;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<double>(rng.Uniform(50)));
+    }
+    // Bulk.
+    double expect = RunAgg(kind, values);
+    // Split into up to 5 chunks, aggregate each, merge.
+    AggState merged;
+    AggInit(kind, &merged);
+    size_t pos = 0;
+    while (pos < n) {
+      size_t len = 1 + rng.Uniform(n - pos > 64 ? 64 : n - pos);
+      AggState part;
+      AggInit(kind, &part);
+      for (size_t i = pos; i < pos + len && i < n; ++i) {
+        AggUpdate(kind, &part, values[i]);
+      }
+      AggMerge(kind, &merged, part);
+      pos += len;
+    }
+    double got = AggFinalize(kind, merged);
+    if (std::isnan(expect)) {
+      EXPECT_TRUE(std::isnan(got));
+    } else {
+      EXPECT_NEAR(got, expect, 1e-9 * (1 + std::fabs(expect)))
+          << AggKindName(kind) << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MergePropertyTest,
+    ::testing::Values(AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                      AggKind::kMax, AggKind::kAvg, AggKind::kVar,
+                      AggKind::kStddev, AggKind::kCountDistinct),
+    [](const ::testing::TestParamInfo<AggKind>& info) {
+      return std::string(AggKindName(info.param));
+    });
+
+TEST(AggregateTest, MergeEmptyIsIdentity) {
+  for (AggKind kind : {AggKind::kSum, AggKind::kAvg, AggKind::kVar,
+                       AggKind::kMin, AggKind::kCountDistinct}) {
+    AggState a;
+    AggInit(kind, &a);
+    AggUpdate(kind, &a, 5);
+    AggUpdate(kind, &a, 7);
+    const double before = AggFinalize(kind, a);
+    AggState empty;
+    AggInit(kind, &empty);
+    AggMerge(kind, &a, empty);
+    EXPECT_DOUBLE_EQ(AggFinalize(kind, a), before)
+        << AggKindName(kind);
+  }
+}
+
+TEST(AggregateTest, StateFootprintGrowsWithDistinct) {
+  AggState s;
+  AggInit(AggKind::kCountDistinct, &s);
+  size_t empty = s.FootprintBytes();
+  for (int i = 0; i < 100; ++i) AggUpdate(AggKind::kCountDistinct, &s, i);
+  EXPECT_GT(s.FootprintBytes(), empty);
+}
+
+}  // namespace
+}  // namespace csm

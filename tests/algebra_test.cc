@@ -1,0 +1,465 @@
+#include <cmath>
+
+#include "algebra/aw_expr.h"
+#include "algebra/evaluator.h"
+#include "algebra/measure_ops.h"
+#include "algebra/rewrite.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+using testing_util::ToMap;
+
+// Builds the Dshield-style dataset used by the paper's running example:
+//   hour 0: source 1 sends 7 packets, source 2 sends 3;
+//   hour 1: source 1 sends 6, source 3 sends 2, source 4 sends 9.
+FactTable MakeExampleFacts(const SchemaPtr& schema) {
+  FactTable fact(schema);
+  auto add = [&](Value hour, Value src, int packets) {
+    for (int i = 0; i < packets; ++i) {
+      Value dims[4] = {hour * 3600 + static_cast<Value>(i), src,
+                       100 + src, 80};
+      double bytes[1] = {100.0 * (i + 1)};
+      fact.AppendRow(dims, bytes);
+    }
+  };
+  add(0, 1, 7);
+  add(0, 2, 3);
+  add(1, 1, 6);
+  add(1, 3, 2);
+  add(1, 4, 9);
+  return fact;
+}
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeNetworkLogSchema();
+    fact_ = std::make_unique<FactTable>(MakeExampleFacts(schema_));
+    auto d = AwExpr::FactTable(schema_);
+    ASSERT_TRUE(d.ok());
+    fact_expr_ = *d;
+  }
+
+  Granularity Gran(const char* text) {
+    auto g = Granularity::Parse(*schema_, text);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return *g;
+  }
+  ScalarExprPtr Expr(const char* text) {
+    auto e = ScalarExpr::Parse(text);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return *e;
+  }
+
+  // Example 1: S_C = g[(t:hour, U:ip), count(*)](D).
+  AwExpr::Ptr CountExpr() {
+    auto agg = AwExpr::Aggregate(fact_expr_, Gran("(t:hour, U:ip)"),
+                                 AggSpec{AggKind::kCount, -1}, "Count");
+    EXPECT_TRUE(agg.ok()) << agg.status().ToString();
+    return *agg;
+  }
+
+  SchemaPtr schema_;
+  std::unique_ptr<FactTable> fact_;
+  AwExpr::Ptr fact_expr_;
+};
+
+TEST_F(PaperExamplesTest, Example1TrafficCounting) {
+  auto result = EvalAwExpr(*CountExpr(), *fact_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto rows = ToMap(*result);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_DOUBLE_EQ(rows.at({0, 1, 0, 0}), 7);
+  EXPECT_DOUBLE_EQ(rows.at({0, 2, 0, 0}), 3);
+  EXPECT_DOUBLE_EQ(rows.at({1, 1, 0, 0}), 6);
+  EXPECT_DOUBLE_EQ(rows.at({1, 3, 0, 0}), 2);
+  EXPECT_DOUBLE_EQ(rows.at({1, 4, 0, 0}), 9);
+}
+
+TEST_F(PaperExamplesTest, Example2BusySourceCount) {
+  // S_S = g[(t:hour), count](σ_{M>5}(S_C)).
+  auto sel = AwExpr::Select(CountExpr(), Expr("M > 5"));
+  ASSERT_TRUE(sel.ok());
+  auto agg = AwExpr::Aggregate(*sel, Gran("(t:hour)"),
+                               AggSpec{AggKind::kCount, 0}, "SCount");
+  ASSERT_TRUE(agg.ok());
+  auto result = EvalAwExpr(**agg, *fact_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto rows = ToMap(*result);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows.at({0, 0, 0, 0}), 1);  // only source 1
+  EXPECT_DOUBLE_EQ(rows.at({1, 0, 0, 0}), 2);  // sources 1 and 4
+}
+
+TEST_F(PaperExamplesTest, Example3BusySourceTraffic) {
+  auto sel = AwExpr::Select(CountExpr(), Expr("M > 5"));
+  ASSERT_TRUE(sel.ok());
+  auto agg = AwExpr::Aggregate(*sel, Gran("(t:hour)"),
+                               AggSpec{AggKind::kSum, 0}, "STraffic");
+  ASSERT_TRUE(agg.ok());
+  auto result = EvalAwExpr(**agg, *fact_);
+  ASSERT_TRUE(result.ok());
+  auto rows = ToMap(*result);
+  EXPECT_DOUBLE_EQ(rows.at({0, 0, 0, 0}), 7);
+  EXPECT_DOUBLE_EQ(rows.at({1, 0, 0, 0}), 15);  // 6 + 9
+}
+
+TEST_F(PaperExamplesTest, Example4MovingAverage) {
+  // SAvg = S_base ⋈_{t' in [t, t+5], avg} SCount.
+  auto scount_sel = AwExpr::Select(CountExpr(), Expr("M > 5"));
+  ASSERT_TRUE(scount_sel.ok());
+  auto scount = AwExpr::Aggregate(*scount_sel, Gran("(t:hour)"),
+                                  AggSpec{AggKind::kCount, 0}, "SCount");
+  ASSERT_TRUE(scount.ok());
+  auto s_base = AwExpr::Aggregate(fact_expr_, Gran("(t:hour)"),
+                                  AggSpec{AggKind::kNone, -1}, "Base");
+  ASSERT_TRUE(s_base.ok());
+  auto avg = AwExpr::MatchJoin(
+      *s_base, *scount, MatchCond::Sibling({{0, 0, 5}}),
+      AggSpec{AggKind::kAvg, 0}, "SAvg");
+  ASSERT_TRUE(avg.ok()) << avg.status().ToString();
+  auto result = EvalAwExpr(**avg, *fact_);
+  ASSERT_TRUE(result.ok());
+  auto rows = ToMap(*result);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows.at({0, 0, 0, 0}), 1.5);  // (1 + 2) / 2
+  EXPECT_DOUBLE_EQ(rows.at({1, 0, 0, 0}), 2.0);  // only hour 1 visible
+}
+
+TEST_F(PaperExamplesTest, Example5Ratio) {
+  auto scount_sel = AwExpr::Select(CountExpr(), Expr("M > 5"));
+  ASSERT_TRUE(scount_sel.ok());
+  auto scount = AwExpr::Aggregate(*scount_sel, Gran("(t:hour)"),
+                                  AggSpec{AggKind::kCount, 0}, "SCount");
+  auto straffic_sel = AwExpr::Select(CountExpr(), Expr("M > 5"));
+  auto straffic = AwExpr::Aggregate(*straffic_sel, Gran("(t:hour)"),
+                                    AggSpec{AggKind::kSum, 0}, "STraffic");
+  auto s_base = AwExpr::Aggregate(fact_expr_, Gran("(t:hour)"),
+                                  AggSpec{AggKind::kNone, -1}, "Base");
+  auto savg = AwExpr::MatchJoin(*s_base, *scount,
+                                MatchCond::Sibling({{0, 0, 5}}),
+                                AggSpec{AggKind::kAvg, 0}, "SAvg");
+  ASSERT_TRUE(savg.ok());
+  auto ratio = AwExpr::CombineJoin(
+      *savg, {*straffic, *scount},
+      Expr("SAvg / (STraffic / SCount)"), "Ratio");
+  ASSERT_TRUE(ratio.ok()) << ratio.status().ToString();
+  auto result = EvalAwExpr(**ratio, *fact_);
+  ASSERT_TRUE(result.ok());
+  auto rows = ToMap(*result);
+  EXPECT_NEAR(rows.at({0, 0, 0, 0}), 1.5 / 7.0, 1e-12);
+  EXPECT_NEAR(rows.at({1, 0, 0, 0}), 2.0 / 7.5, 1e-12);
+}
+
+TEST_F(PaperExamplesTest, ParentChildSlackExample) {
+  // §5.3: S_ratio = S_2 ⋈_{cond_pc, S2/S1} S_1 with S_1 monthly,
+  // S_2 daily — here hour vs day for a smaller value hierarchy.
+  auto s1 = AwExpr::Aggregate(fact_expr_, Gran("(t:day)"),
+                              AggSpec{AggKind::kCount, -1}, "S1");
+  auto s2 = AwExpr::Aggregate(fact_expr_, Gran("(t:hour)"),
+                              AggSpec{AggKind::kCount, -1}, "S2");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  auto parent_sum = AwExpr::MatchJoin(*s2, *s1, MatchCond::ParentChild(),
+                                      AggSpec{AggKind::kSum, 0}, "PSum");
+  ASSERT_TRUE(parent_sum.ok()) << parent_sum.status().ToString();
+  auto ratio = AwExpr::CombineJoin(*s2, {*parent_sum},
+                                   Expr("S2 / PSum"), "Ratio");
+  ASSERT_TRUE(ratio.ok());
+  auto result = EvalAwExpr(**ratio, *fact_);
+  ASSERT_TRUE(result.ok());
+  auto rows = ToMap(*result);
+  // Day 0 total = 27 packets; hour 0 has 10, hour 1 has 17.
+  EXPECT_NEAR(rows.at({0, 0, 0, 0}), 10.0 / 27.0, 1e-12);
+  EXPECT_NEAR(rows.at({1, 0, 0, 0}), 17.0 / 27.0, 1e-12);
+}
+
+TEST_F(PaperExamplesTest, ChildParentEqualsAggregation) {
+  // A child/parent match join is equivalent to the roll-up operator.
+  auto child = CountExpr();
+  auto rolled = AwExpr::Aggregate(child, Gran("(t:hour)"),
+                                  AggSpec{AggKind::kSum, 0}, "Rolled");
+  auto s_base = AwExpr::Aggregate(fact_expr_, Gran("(t:hour)"),
+                                  AggSpec{AggKind::kNone, -1}, "Base");
+  auto matched = AwExpr::MatchJoin(*s_base, child,
+                                   MatchCond::ChildParent(),
+                                   AggSpec{AggKind::kSum, 0}, "Matched");
+  ASSERT_TRUE(rolled.ok() && matched.ok());
+  auto a = EvalAwExpr(**rolled, *fact_);
+  auto b = EvalAwExpr(**matched, *fact_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectTablesEqual(*a, *b, "childparent == rollup");
+}
+
+// --- Operator prerequisite validation (Table 5). ---
+
+TEST_F(PaperExamplesTest, ValidationRejectsBadOperands) {
+  auto count = CountExpr();
+  // Match join over D is banned.
+  auto bad1 = AwExpr::MatchJoin(fact_expr_, count, MatchCond::Self(),
+                                AggSpec{AggKind::kSum, 0}, "x");
+  EXPECT_FALSE(bad1.ok());
+  // ... even when wrapped in σ.
+  auto sel = AwExpr::Select(fact_expr_, Expr("bytes > 0"));
+  ASSERT_TRUE(sel.ok());
+  auto bad2 = AwExpr::MatchJoin(*sel, count, MatchCond::Self(),
+                                AggSpec{AggKind::kSum, 0}, "x");
+  EXPECT_FALSE(bad2.ok());
+  // Aggregation cannot go to a finer granularity.
+  auto bad3 = AwExpr::Aggregate(count, Granularity::Base(*schema_),
+                                AggSpec{AggKind::kSum, 0}, "x");
+  EXPECT_FALSE(bad3.ok());
+  // Self match with mismatched granularities.
+  auto hourly = AwExpr::Aggregate(count, Gran("(t:hour)"),
+                                  AggSpec{AggKind::kSum, 0}, "Hourly");
+  ASSERT_TRUE(hourly.ok());
+  auto bad4 = AwExpr::MatchJoin(*hourly, count, MatchCond::Self(),
+                                AggSpec{AggKind::kSum, 0}, "x");
+  EXPECT_FALSE(bad4.ok());
+  // Combine join requires equal granularities.
+  auto bad5 = AwExpr::CombineJoin(*hourly, {count}, Expr("1"), "x");
+  EXPECT_FALSE(bad5.ok());
+  // Sibling windows: lo > hi, or a window on an ALL dimension.
+  auto bad6 = AwExpr::MatchJoin(*hourly, *hourly,
+                                MatchCond::Sibling({{0, 3, 1}}),
+                                AggSpec{AggKind::kAvg, 0}, "x");
+  EXPECT_FALSE(bad6.ok());
+  auto bad7 = AwExpr::MatchJoin(*hourly, *hourly,
+                                MatchCond::Sibling({{1, 0, 1}}),
+                                AggSpec{AggKind::kAvg, 0}, "x");
+  EXPECT_FALSE(bad7.ok());  // U is at ALL in (t:hour)
+}
+
+TEST_F(PaperExamplesTest, ToStringMentionsStructure) {
+  auto count = CountExpr();
+  std::string text = count->ToString();
+  EXPECT_NE(text.find("g["), std::string::npos);
+  EXPECT_NE(text.find("count"), std::string::npos);
+  EXPECT_NE(text.find("D"), std::string::npos);
+}
+
+// --- Theorem 1 rewrites, verified against the reference evaluator. ---
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeSyntheticSchema(3, 3, 10, 1000);
+    fact_ = std::make_unique<FactTable>(
+        MakeUniformFacts(schema_, 3000, 1000, 77));
+    auto d = AwExpr::FactTable(schema_);
+    ASSERT_TRUE(d.ok());
+    fact_expr_ = *d;
+  }
+
+  Granularity Gran(const char* text) {
+    auto g = Granularity::Parse(*schema_, text);
+    EXPECT_TRUE(g.ok());
+    return *g;
+  }
+  ScalarExprPtr Expr(const char* text) {
+    auto e = ScalarExpr::Parse(text);
+    EXPECT_TRUE(e.ok());
+    return *e;
+  }
+  void ExpectEquivalent(const AwExpr::Ptr& a, const AwExpr::Ptr& b,
+                        const std::string& context) {
+    auto ra = EvalAwExpr(*a, *fact_);
+    auto rb = EvalAwExpr(*b, *fact_);
+    ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+    ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+    ExpectTablesEqual(*ra, *rb, context);
+  }
+
+  SchemaPtr schema_;
+  std::unique_ptr<FactTable> fact_;
+  AwExpr::Ptr fact_expr_;
+};
+
+TEST_F(RewriteTest, Property1SumOfSums) {
+  auto inner = AwExpr::Aggregate(fact_expr_, Gran("(d0:L0, d1:L0)"),
+                                 AggSpec{AggKind::kSum, 0}, "inner");
+  ASSERT_TRUE(inner.ok());
+  auto outer = AwExpr::Aggregate(*inner, Gran("(d0:L1)"),
+                                 AggSpec{AggKind::kSum, 0}, "outer");
+  ASSERT_TRUE(outer.ok());
+  AwExpr::Ptr collapsed = TryCollapseAggregate(*outer);
+  ASSERT_NE(collapsed.get(), outer->get());
+  EXPECT_EQ(collapsed->kind(), AwKind::kAggregate);
+  EXPECT_EQ(collapsed->input()->kind(), AwKind::kFactTable);
+  ExpectEquivalent(*outer, collapsed, "sum of sums");
+}
+
+TEST_F(RewriteTest, Property1SumOfCounts) {
+  auto inner = AwExpr::Aggregate(fact_expr_, Gran("(d0:L0, d2:L0)"),
+                                 AggSpec{AggKind::kCount, -1}, "inner");
+  auto outer = AwExpr::Aggregate(*inner, Gran("(d0:L2)"),
+                                 AggSpec{AggKind::kSum, 0}, "outer");
+  ASSERT_TRUE(outer.ok());
+  AwExpr::Ptr collapsed = TryCollapseAggregate(*outer);
+  ASSERT_NE(collapsed.get(), outer->get());
+  ExpectEquivalent(*outer, collapsed, "sum of counts");
+}
+
+TEST_F(RewriteTest, Property1DoesNotCollapseCountOfCounts) {
+  auto inner = AwExpr::Aggregate(fact_expr_, Gran("(d0:L0)"),
+                                 AggSpec{AggKind::kCount, -1}, "inner");
+  auto outer = AwExpr::Aggregate(*inner, Gran("(d0:L1)"),
+                                 AggSpec{AggKind::kCount, -1}, "outer");
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(TryCollapseAggregate(*outer).get(), outer->get());
+}
+
+TEST_F(RewriteTest, Property1MinAndMax) {
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax}) {
+    auto inner = AwExpr::Aggregate(fact_expr_, Gran("(d0:L0, d1:L1)"),
+                                   AggSpec{kind, 0}, "inner");
+    auto outer = AwExpr::Aggregate(*inner, Gran("(d1:L1)"),
+                                   AggSpec{kind, 0}, "outer");
+    ASSERT_TRUE(outer.ok());
+    AwExpr::Ptr collapsed = TryCollapseAggregate(*outer);
+    ASSERT_NE(collapsed.get(), outer->get());
+    ExpectEquivalent(*outer, collapsed, std::string(AggKindName(kind)));
+  }
+}
+
+TEST_F(RewriteTest, Property2PushDimSelection) {
+  auto agg = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1, d1:L1)"),
+                               AggSpec{AggKind::kSum, 0}, "agg");
+  ASSERT_TRUE(agg.ok());
+  auto sel = AwExpr::Select(*agg, Expr("d0 < 30"));
+  ASSERT_TRUE(sel.ok());
+  AwExpr::Ptr pushed = TryPushSelection(*sel);
+  ASSERT_NE(pushed.get(), sel->get());
+  EXPECT_EQ(pushed->kind(), AwKind::kAggregate);
+  EXPECT_EQ(pushed->input()->kind(), AwKind::kSelect);
+  ExpectEquivalent(*sel, pushed, "pushed selection");
+}
+
+TEST_F(RewriteTest, Property2DoesNotPushMeasureSelection) {
+  auto agg = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                               AggSpec{AggKind::kSum, 0}, "agg");
+  auto sel = AwExpr::Select(*agg, Expr("M > 100"));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(TryPushSelection(*sel).get(), sel->get());
+}
+
+TEST_F(RewriteTest, FixpointHandlesChains) {
+  auto l0 = AwExpr::Aggregate(fact_expr_, Gran("(d0:L0)"),
+                              AggSpec{AggKind::kSum, 0}, "l0");
+  auto l1 = AwExpr::Aggregate(*l0, Gran("(d0:L1)"),
+                              AggSpec{AggKind::kSum, 0}, "l1");
+  auto l2 = AwExpr::Aggregate(*l1, Gran("(d0:L2)"),
+                              AggSpec{AggKind::kSum, 0}, "l2");
+  auto sel = AwExpr::Select(*l2, Expr("d0 < 5"));
+  ASSERT_TRUE(sel.ok());
+  AwExpr::Ptr rewritten = RewriteFixpoint(*sel);
+  ExpectEquivalent(*sel, rewritten, "fixpoint chain");
+  // The chain should have collapsed to a single aggregation of D under a
+  // pushed selection.
+  EXPECT_EQ(rewritten->kind(), AwKind::kAggregate);
+  EXPECT_EQ(rewritten->input()->kind(), AwKind::kSelect);
+  EXPECT_EQ(rewritten->input()->input()->kind(), AwKind::kFactTable);
+}
+
+TEST_F(RewriteTest, Property4CombineReorder) {
+  // Reordering combine-join inputs (with the fc variables renamed
+  // accordingly — a no-op here since fc references inputs by name) keeps
+  // the result.
+  auto a = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                             AggSpec{AggKind::kSum, 0}, "A");
+  auto b = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                             AggSpec{AggKind::kCount, -1}, "B");
+  auto c = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                             AggSpec{AggKind::kMax, 0}, "C");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  auto fc = Expr("A + 2 * B - C");
+  auto forward = AwExpr::CombineJoin(*a, {*b, *c}, fc, "out");
+  auto reversed = AwExpr::CombineJoin(*a, {*c, *b}, fc, "out");
+  ASSERT_TRUE(forward.ok() && reversed.ok());
+  ExpectEquivalent(*forward, *reversed, "combine reorder");
+}
+
+TEST_F(RewriteTest, Property5CombineSplit) {
+  // S ⋈̄_fc(T1, T2) == (S ⋈̄_fc1(T1)) ⋈̄_fc2(T2) with fc decomposed.
+  auto s = AwExpr::Aggregate(fact_expr_, Gran("(d1:L1)"),
+                             AggSpec{AggKind::kSum, 0}, "S");
+  auto t1 = AwExpr::Aggregate(fact_expr_, Gran("(d1:L1)"),
+                              AggSpec{AggKind::kCount, -1}, "T1");
+  auto t2 = AwExpr::Aggregate(fact_expr_, Gran("(d1:L1)"),
+                              AggSpec{AggKind::kMax, 0}, "T2");
+  ASSERT_TRUE(s.ok() && t1.ok() && t2.ok());
+  auto joint = AwExpr::CombineJoin(*s, {*t1, *t2},
+                                   Expr("(S + T1) - T2"), "out");
+  auto stage1 = AwExpr::CombineJoin(*s, {*t1}, Expr("S + T1"), "Stage1");
+  ASSERT_TRUE(stage1.ok());
+  auto stage2 = AwExpr::CombineJoin(*stage1, {*t2},
+                                    Expr("Stage1 - T2"), "out");
+  ASSERT_TRUE(joint.ok() && stage2.ok());
+  ExpectEquivalent(*joint, *stage2, "combine split");
+}
+
+TEST_F(RewriteTest, Property3MatchJoinIsNotAssociative) {
+  // Theorem 1, Property 3: (S ⋈ T) ⋈ U ≠ S ⋈ (T ⋈ U). Demonstrate with
+  // sum-aggregating self matches over tables where regrouping changes
+  // the result.
+  auto s = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                             AggSpec{AggKind::kCount, -1}, "S");
+  auto t = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                             AggSpec{AggKind::kSum, 0}, "T");
+  auto u = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                             AggSpec{AggKind::kMax, 0}, "U");
+  ASSERT_TRUE(s.ok() && t.ok() && u.ok());
+  const MatchCond window = MatchCond::Sibling({{0, 0, 1}});
+  const AggSpec sum{AggKind::kSum, 0};
+  auto st = AwExpr::MatchJoin(*s, *t, window, sum, "ST");
+  ASSERT_TRUE(st.ok());
+  auto left = AwExpr::MatchJoin(*st, *u, window, sum, "L");
+  auto tu = AwExpr::MatchJoin(*t, *u, window, sum, "TU");
+  ASSERT_TRUE(tu.ok());
+  auto right = AwExpr::MatchJoin(*s, *tu, window, sum, "R");
+  ASSERT_TRUE(left.ok() && right.ok());
+  auto lv = EvalAwExpr(**left, *fact_);
+  auto rv = EvalAwExpr(**right, *fact_);
+  ASSERT_TRUE(lv.ok() && rv.ok());
+  // (S⋈T)⋈U aggregates U's values over the window of ST's regions;
+  // S⋈(T⋈U) aggregates window-sums of window-sums — different numbers.
+  bool any_diff = false;
+  auto ml = testing_util::ToMap(*lv);
+  auto mr = testing_util::ToMap(*rv);
+  for (const auto& [key, value] : ml) {
+    auto it = mr.find(key);
+    if (it != mr.end() && value != it->second) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "association order should matter";
+}
+
+TEST_F(RewriteTest, MeasureRefResolution) {
+  auto count = AwExpr::Aggregate(fact_expr_, Gran("(d0:L1)"),
+                                 AggSpec{AggKind::kCount, -1}, "Count");
+  ASSERT_TRUE(count.ok());
+  auto table = EvalAwExpr(**count, *fact_);
+  ASSERT_TRUE(table.ok());
+  auto ref = AwExpr::MeasureRef(schema_, "Count", Gran("(d0:L1)"));
+  ASSERT_TRUE(ref.ok());
+  auto rolled = AwExpr::Aggregate(*ref, Gran("(d0:L2)"),
+                                  AggSpec{AggKind::kSum, 0}, "Rolled");
+  ASSERT_TRUE(rolled.ok());
+  MeasureEnv env{{"Count", &*table}};
+  auto via_ref = EvalAwExpr(**rolled, *fact_, env);
+  ASSERT_TRUE(via_ref.ok()) << via_ref.status().ToString();
+  // Same as the deep expression.
+  auto deep = AwExpr::Aggregate(*count, Gran("(d0:L2)"),
+                                AggSpec{AggKind::kSum, 0}, "Rolled");
+  auto expect = EvalAwExpr(**deep, *fact_);
+  ASSERT_TRUE(expect.ok());
+  ExpectTablesEqual(*via_ref, *expect, "measure ref");
+  // Unresolved refs fail cleanly.
+  EXPECT_FALSE(EvalAwExpr(**rolled, *fact_).ok());
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,185 @@
+#include <set>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+
+namespace csm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status s = Status::IOError("disk gone");
+  Status t = s;
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk gone");
+  // Original unaffected by copies going out of scope.
+  { Status u = t; (void)u; }
+  EXPECT_EQ(s.message(), "disk gone");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::NotFound("x").WithContext("loading y");
+  EXPECT_EQ(s.message(), "loading y: x");
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnimplemented, StatusCode::kIOError,
+        StatusCode::kParseError, StatusCode::kResourceExhausted,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Result<int> HelperReturning(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return x * 2;
+}
+
+Result<int> HelperChained(int x) {
+  CSM_ASSIGN_OR_RETURN(int doubled, HelperReturning(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = HelperChained(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 11);
+  auto err = HelperChained(-1);
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, Split) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, SplitTopLevelRespectsNesting) {
+  auto pieces = SplitTopLevel("f(a,b), [c,d], e", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(StripWhitespace(pieces[0]), "f(a,b)");
+  EXPECT_EQ(StripWhitespace(pieces[1]), "[c,d]");
+  EXPECT_EQ(StripWhitespace(pieces[2]), "e");
+}
+
+TEST(StringUtilTest, ParseNumbers) {
+  int64_t i;
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("12x", &i));
+  EXPECT_FALSE(ParseInt64("", &i));
+  uint64_t u;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u));
+  EXPECT_EQ(u, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("-1", &u));
+  double d;
+  EXPECT_TRUE(ParseDouble(" 3.5e2 ", &d));
+  EXPECT_DOUBLE_EQ(d, 350.0);
+  EXPECT_FALSE(ParseDouble("1.2.3", &d));
+}
+
+TEST(StringUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("measure x", "measure"));
+  EXPECT_FALSE(StartsWith("me", "measure"));
+  EXPECT_TRUE(EndsWith("count.m", ".m"));
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+}
+
+TEST(HashTest, VectorHashDistinguishes) {
+  std::vector<uint64_t> a{1, 2, 3};
+  std::vector<uint64_t> b{1, 2, 4};
+  std::vector<uint64_t> c{3, 2, 1};
+  EXPECT_NE(HashVector(a), HashVector(b));
+  EXPECT_NE(HashVector(a), HashVector(c));
+  EXPECT_EQ(HashVector(a), HashVector({1, 2, 3}));
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardZero) {
+  Rng rng(42);
+  size_t low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.Zipf(1000, 0.9);
+    EXPECT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  // Under heavy skew, a large share of draws land in the first decile of
+  // ranks; uniform would give ~1%.
+  EXPECT_GT(low, static_cast<size_t>(n / 20));
+}
+
+TEST(RngTest, CoverageOfUniform) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(16));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+}  // namespace
+}  // namespace csm

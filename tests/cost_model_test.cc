@@ -1,0 +1,108 @@
+#include "data/queries.h"
+#include "gtest/gtest.h"
+#include "opt/cost_model.h"
+#include "opt/sort_order.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+TEST(CostModelTest, RelationalGrowsWithMeasureCount) {
+  // The Fig. 6(c) shape, predicted by the model: each extra child measure
+  // adds a full scan+sort to the relational plan but only hash updates to
+  // the sort/scan plan.
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  const double rows = 1e6;
+  double prev_db = 0, prev_ss = 0;
+  double db_growth = 0, ss_growth = 0;
+  for (int children : {2, 6}) {
+    auto workflow = MakeQ1ChildParent(schema, children);
+    ASSERT_TRUE(workflow.ok());
+    auto key = BruteForceSortKey(*workflow);
+    ASSERT_TRUE(key.ok());
+    auto db = EstimateRelationalCost(*workflow, rows);
+    auto ss = EstimateSortScanCost(*workflow, *key, rows);
+    ASSERT_TRUE(db.ok() && ss.ok());
+    if (prev_db > 0) {
+      db_growth = db->total() / prev_db;
+      ss_growth = ss->total() / prev_ss;
+    }
+    prev_db = db->total();
+    prev_ss = ss->total();
+  }
+  EXPECT_GT(db_growth, 1.8);  // ~linear in measures
+  // Sort/scan also grows (one more hash table fed per record) but more
+  // slowly, and from a far lower base. The measured Fig. 6(c) growth on
+  // this machine was 2.3x for sort/scan vs 3.2x for the baseline.
+  EXPECT_LT(ss_growth, db_growth);
+  EXPECT_LT(prev_ss, prev_db / 2);
+}
+
+TEST(CostModelTest, SortScanBeatsRelationalOnMultiMeasureQueries) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  auto workflow = MakeQ1ChildParent(schema, 7);
+  ASSERT_TRUE(workflow.ok());
+  auto key = BruteForceSortKey(*workflow);
+  ASSERT_TRUE(key.ok());
+  const double rows = 1e6;
+  auto db = EstimateRelationalCost(*workflow, rows);
+  auto ss = EstimateSortScanCost(*workflow, *key, rows);
+  ASSERT_TRUE(db.ok() && ss.ok());
+  EXPECT_GT(db->total(), 2 * ss->total());
+  EXPECT_GT(db->sort_cost, ss->sort_cost * 5);  // 14 sorts vs 1
+}
+
+TEST(CostModelTest, SingleScanSkipsTheSortButPaysForState) {
+  // Fig. 7(a)'s prediction: with small state, single-scan < sort/scan
+  // (the sort is pure overhead).
+  auto schema = MakeNetworkLogSchema(/*time_cardinality=*/1e5);
+  auto workflow = MakeEscalationQuery(schema);
+  ASSERT_TRUE(workflow.ok());
+  auto key = BruteForceSortKey(*workflow);
+  ASSERT_TRUE(key.ok());
+  const double rows = 1e6;
+  auto single = EstimateSingleScanCost(*workflow, rows);
+  auto sorted = EstimateSortScanCost(*workflow, *key, rows);
+  ASSERT_TRUE(single.ok() && sorted.ok());
+  EXPECT_EQ(single->sort_cost, 0);
+  EXPECT_LT(single->total(), sorted->total());
+
+  // Fig. 7(b)'s prediction: with huge region sets, the cache penalty
+  // erases single-scan's advantage.
+  auto big_schema = MakeNetworkLogSchema(1e8, 1e9);
+  auto recon = MakeMultiReconQuery(big_schema);
+  ASSERT_TRUE(recon.ok());
+  auto recon_key = BruteForceSortKey(*recon);
+  ASSERT_TRUE(recon_key.ok());
+  auto single_big = EstimateSingleScanCost(*recon, rows);
+  auto sorted_big = EstimateSortScanCost(*recon, *recon_key, rows);
+  ASSERT_TRUE(single_big.ok() && sorted_big.ok());
+  EXPECT_GT(single_big->total(), sorted_big->total());
+}
+
+TEST(CostModelTest, SiblingWindowFanOutCharged) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  auto narrow = MakeQ2SiblingChain(schema, 1, /*window=*/1);
+  auto wide = MakeQ2SiblingChain(schema, 1, /*window=*/9);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  auto key = SortKey::Parse(*schema, "<d0:L0>");
+  ASSERT_TRUE(key.ok());
+  auto a = EstimateSortScanCost(*narrow, *key, 1e6);
+  auto b = EstimateSortScanCost(*wide, *key, 1e6);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b->update_cost, a->update_cost);
+}
+
+TEST(CostModelTest, ToStringMentionsComponents) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  auto workflow = MakeQ2SiblingChain(schema, 2);
+  ASSERT_TRUE(workflow.ok());
+  auto cost = EstimateRelationalCost(*workflow, 1000);
+  ASSERT_TRUE(cost.ok());
+  std::string text = cost->ToString();
+  EXPECT_NE(text.find("sort"), std::string::npos);
+  EXPECT_NE(text.find("row-ops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csm

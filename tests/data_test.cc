@@ -1,0 +1,212 @@
+#include <set>
+
+#include "data/netlog.h"
+#include "data/queries.h"
+#include "data/synthetic.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "gtest/gtest.h"
+#include "relational/relational_engine.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+
+TEST(SyntheticDataTest, DeterministicAndInRange) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  SyntheticDataOptions options;
+  options.rows = 5000;
+  options.base_cardinality = 1000;
+  options.seed = 5;
+  FactTable a = GenerateSyntheticFacts(schema, options);
+  FactTable b = GenerateSyntheticFacts(schema, options);
+  ASSERT_EQ(a.num_rows(), 5000u);
+  for (size_t row = 0; row < a.num_rows(); ++row) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(a.dim_row(row)[i], b.dim_row(row)[i]);
+      EXPECT_LT(a.dim_row(row)[i], 1000u);
+    }
+  }
+  options.seed = 6;
+  FactTable c = GenerateSyntheticFacts(schema, options);
+  bool any_diff = false;
+  for (size_t row = 0; row < 100; ++row) {
+    if (a.dim_row(row)[0] != c.dim_row(row)[0]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class NetLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeNetworkLogSchema();
+    options_.rows = 60000;
+    options_.seed = 11;
+    options_.duration_seconds = 2 * 24 * 3600;
+    fact_ = std::make_unique<FactTable>(GenerateNetLog(schema_, options_));
+  }
+  SchemaPtr schema_;
+  NetLogOptions options_;
+  std::unique_ptr<FactTable> fact_;
+};
+
+TEST_F(NetLogTest, ShapeAndDeterminism) {
+  EXPECT_NEAR(static_cast<double>(fact_->num_rows()),
+              static_cast<double>(options_.rows), options_.rows * 0.2);
+  FactTable again = GenerateNetLog(schema_, options_);
+  ASSERT_EQ(again.num_rows(), fact_->num_rows());
+  for (size_t row = 0; row < 200; ++row) {
+    EXPECT_EQ(again.dim_row(row)[1], fact_->dim_row(row)[1]);
+  }
+  // Timestamps within the window; targets inside the monitored /16.
+  for (size_t row = 0; row < fact_->num_rows(); ++row) {
+    EXPECT_LT(fact_->dim_row(row)[0], options_.duration_seconds);
+    EXPECT_EQ(fact_->dim_row(row)[2] >> 16,
+              static_cast<Value>(options_.monitored_net16));
+    EXPECT_LT(fact_->dim_row(row)[3], 65536u);
+  }
+}
+
+TEST_F(NetLogTest, SourcesAreHeavyTailed) {
+  std::map<Value, size_t> by_source;
+  for (size_t row = 0; row < fact_->num_rows(); ++row) {
+    by_source[fact_->dim_row(row)[1]]++;
+  }
+  std::vector<size_t> counts;
+  for (auto& [src, n] : by_source) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+  size_t top_decile = 0, total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i < counts.size() / 10) top_decile += counts[i];
+    total += counts[i];
+  }
+  // Zipf 0.9: the top 10% of sources carry well over half the traffic.
+  EXPECT_GT(top_decile * 2, total);
+}
+
+TEST_F(NetLogTest, EscalationQueryFindsInjectedEvents) {
+  auto workflow = MakeEscalationQuery(schema_);
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  SingleScanEngine engine;
+  auto got = engine.Run(*workflow, *fact_);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const MeasureTable& alerts = got->tables.at("Alerts");
+  double total_alerts = 0;
+  for (size_t row = 0; row < alerts.num_rows(); ++row) {
+    total_alerts += alerts.value(row);
+  }
+  // Each escalation event doubles volume hour over hour for several
+  // hours; at least some ramp hours must trip the 3x growth detector.
+  EXPECT_GE(total_alerts, options_.escalation_events);
+}
+
+TEST_F(NetLogTest, MultiReconQueryFindsInjectedBursts) {
+  auto workflow = MakeMultiReconQuery(schema_);
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  SingleScanEngine engine;
+  auto got = engine.Run(*workflow, *fact_);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const MeasureTable& recon = got->tables.at("Recon");
+  double flagged = 0;
+  for (size_t row = 0; row < recon.num_rows(); ++row) {
+    if (recon.value(row) == 1.0) flagged += 1;
+  }
+  EXPECT_GE(flagged, options_.recon_events);
+}
+
+TEST_F(NetLogTest, CombinedQueryAgreesAcrossEngines) {
+  auto workflow = MakeCombinedNetworkQuery(schema_);
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  SingleScanEngine single;
+  SortScanEngine sortscan;
+  auto a = single.Run(*workflow, *fact_);
+  auto b = sortscan.Run(*workflow, *fact_);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->tables.size(), b->tables.size());
+  for (auto& [name, table] : a->tables) {
+    ExpectTablesEqual(table, b->tables.at(name), name);
+  }
+}
+
+TEST(QueriesTest, Q1BuildsForAllChildCounts) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  for (int n = 1; n <= 7; ++n) {
+    auto workflow = MakeQ1ChildParent(schema, n);
+    ASSERT_TRUE(workflow.ok()) << "n=" << n << ": "
+                               << workflow.status().ToString();
+    // n children + n roll-ups + 1 combine.
+    EXPECT_EQ(workflow->measures().size(), static_cast<size_t>(2 * n + 1));
+  }
+  EXPECT_FALSE(MakeQ1ChildParent(schema, 0).ok());
+  EXPECT_FALSE(MakeQ1ChildParent(schema, 8).ok());
+}
+
+TEST(QueriesTest, Q2ChainLengthMatches) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  for (int chain : {1, 2, 7}) {
+    auto workflow = MakeQ2SiblingChain(schema, chain);
+    ASSERT_TRUE(workflow.ok());
+    EXPECT_EQ(workflow->measures().size(),
+              static_cast<size_t>(chain + 1));
+    // Only the last chain link is an output.
+    int outputs = 0;
+    for (const MeasureDef& def : workflow->measures()) {
+      if (def.is_output) ++outputs;
+    }
+    EXPECT_EQ(outputs, 1);
+  }
+}
+
+TEST(QueriesTest, Q1AgreesAcrossEngines) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  SyntheticDataOptions options;
+  options.rows = 8000;
+  options.base_cardinality = 1000;
+  FactTable fact = GenerateSyntheticFacts(schema, options);
+  auto workflow = MakeQ1ChildParent(schema, 7);
+  ASSERT_TRUE(workflow.ok());
+  SortScanEngine sortscan;
+  RelationalEngine relational;
+  auto a = sortscan.Run(*workflow, fact);
+  auto b = relational.Run(*workflow, fact);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectTablesEqual(a->tables.at("Composite"), b->tables.at("Composite"),
+                    "Q1");
+}
+
+TEST(QueriesTest, Q2AgreesAcrossEngines) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  SyntheticDataOptions options;
+  options.rows = 8000;
+  FactTable fact = GenerateSyntheticFacts(schema, options);
+  auto workflow = MakeQ2SiblingChain(schema, 4);
+  ASSERT_TRUE(workflow.ok());
+  SortScanEngine sortscan;
+  RelationalEngine relational;
+  auto a = sortscan.Run(*workflow, fact);
+  auto b = relational.Run(*workflow, fact);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectTablesEqual(a->tables.at("C4"), b->tables.at("C4"), "Q2");
+}
+
+TEST(QueriesTest, RunningExampleProducesAllFiveMeasures) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = MakeRunningExampleQuery(schema);
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  NetLogOptions options;
+  options.rows = 20000;
+  FactTable fact = GenerateNetLog(schema, options);
+  SortScanEngine engine;
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->tables.count("SCount"));
+  EXPECT_TRUE(got->tables.count("STraffic"));
+  EXPECT_TRUE(got->tables.count("AvgCount"));
+  EXPECT_TRUE(got->tables.count("Ratio"));
+}
+
+}  // namespace
+}  // namespace csm

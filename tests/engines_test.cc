@@ -1,0 +1,259 @@
+#include <memory>
+
+#include "algebra/evaluator.h"
+#include "exec/multi_pass.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "gtest/gtest.h"
+#include "relational/relational_engine.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+
+/// Evaluates every measure of the workflow via the reference algebra
+/// evaluator (measure-by-measure through named refs) — the ground truth
+/// engines are checked against.
+std::map<std::string, MeasureTable> ReferenceResults(
+    const Workflow& workflow, const FactTable& fact, bool include_hidden) {
+  std::map<std::string, MeasureTable> computed;
+  for (const MeasureDef& def : workflow.measures()) {
+    auto expr = workflow.ToAlgebra(def.name, /*deep=*/false);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    MeasureEnv env;
+    for (const auto& [name, table] : computed) env[name] = &table;
+    auto result = EvalAwExpr(**expr, fact, env);
+    EXPECT_TRUE(result.ok()) << def.name << ": "
+                             << result.status().ToString();
+    computed.emplace(def.name, std::move(*result));
+  }
+  if (!include_hidden) {
+    for (const MeasureDef& def : workflow.measures()) {
+      if (!def.is_output) computed.erase(def.name);
+    }
+  }
+  return computed;
+}
+
+void ExpectMatchesReference(Engine& engine, const Workflow& workflow,
+                            const FactTable& fact) {
+  auto expected = ReferenceResults(workflow, fact, false);
+  auto got = engine.Run(workflow, fact);
+  ASSERT_TRUE(got.ok()) << engine.name() << ": "
+                        << got.status().ToString();
+  EXPECT_EQ(got->tables.size(), expected.size()) << engine.name();
+  for (auto& [name, table] : expected) {
+    auto it = got->tables.find(name);
+    if (it == got->tables.end()) {
+      ADD_FAILURE() << engine.name() << " missing output " << name;
+      continue;
+    }
+    ExpectTablesEqual(it->second, table,
+                      std::string(engine.name()) + "/" + name);
+  }
+}
+
+struct EngineCase {
+  const char* label;
+  std::function<std::unique_ptr<Engine>()> make;
+};
+
+class EngineConformanceTest
+    : public ::testing::TestWithParam<EngineCase> {};
+
+// Workflows exercising every operator family.
+const char* const kWorkflows[] = {
+    // Basic aggregation only (Example 1).
+    "measure Count at (t:hour, U:ip) = agg count(*) from FACT;",
+    // Filtered base measure with a raw measure argument.
+    R"(measure Heavy at (U:net24) = agg sum(bytes) from FACT
+         where bytes > 300;)",
+    // Roll-up chains with filters (Examples 2-3).
+    R"(measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure SCount at (t:hour) = agg count(M) from Count where M > 5;
+       measure STraffic at (t:hour) = agg sum(M) from Count where M > 5;)",
+    // Sibling match join (Example 4) plus combine (Example 5).
+    R"(measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure SCount at (t:hour) = agg count(M) from Count where M > 5;
+       measure STraffic at (t:hour) = agg sum(M) from Count where M > 5;
+       measure AvgCount at (t:hour) =
+           match SCount using sibling(t in [0, 5]) agg avg(M);
+       measure Ratio at (t:hour) = combine(AvgCount, STraffic, SCount)
+           as AvgCount / (STraffic / SCount);)",
+    // Parent/child match (the §5.3 slack example).
+    R"(measure Daily at (t:day) = agg count(*) from FACT;
+       measure Hourly at (t:hour) = agg count(*) from FACT;
+       measure Share at (t:hour) = match Daily using parentchild agg sum(M);
+       measure Frac at (t:hour) = combine(Hourly, Share)
+           as Hourly / Share;)",
+    // Child/parent match with filter, plus min/max/avg aggregates.
+    R"(measure PerSrc at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure MaxSrc at (t:hour) = match PerSrc using childparent
+           agg max(M);
+       measure AvgBig at (t:hour) = match PerSrc using childparent
+           agg avg(M) where M >= 2;
+       measure MinSrc at (t:hour) = agg min(M) from PerSrc;)",
+    // Self match and a two-dimensional sibling window.
+    R"(measure Grid at (t:hour, U:net24) = agg count(*) from FACT hidden;
+       measure Same at (t:hour, U:net24) = match Grid using self
+           agg sum(M);
+       measure Neighborhood at (t:hour, U:net24) = match Grid using
+           sibling(t in [-1, 1], U in [0, 1]) agg sum(M);)",
+    // Variance/stddev and count_distinct (holistic) paths.
+    R"(measure Spread at (t:day) = agg stddev(bytes) from FACT;
+       measure Kinds at (t:day) = agg count_distinct(bytes) from FACT;
+       measure Wild at (t:day) = combine(Spread, Kinds)
+           as if(Kinds > 1, Spread, 0);)",
+};
+
+TEST_P(EngineConformanceTest, MatchesReferenceOnAllWorkflows) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 4000, 5000, /*seed=*/101);
+  for (const char* dsl : kWorkflows) {
+    auto workflow = Workflow::Parse(schema, dsl);
+    ASSERT_TRUE(workflow.ok()) << workflow.status().ToString() << "\n"
+                               << dsl;
+    auto engine = GetParam().make();
+    ExpectMatchesReference(*engine, *workflow, fact);
+  }
+}
+
+TEST_P(EngineConformanceTest, RandomizedWorkloads) {
+  // Random uniform data at several cardinalities; the dense case makes
+  // hierarchy levels collide heavily, the sparse case produces empty
+  // matches.
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, kWorkflows[3]);
+  ASSERT_TRUE(workflow.ok());
+  for (uint64_t card : {20ull, 1000ull, 1000000ull}) {
+    FactTable fact = MakeUniformFacts(schema, 1500, card, card);
+    auto engine = GetParam().make();
+    ExpectMatchesReference(*engine, *workflow, fact);
+  }
+}
+
+TEST_P(EngineConformanceTest, EmptyFactTable) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact(schema);
+  auto workflow = Workflow::Parse(schema, kWorkflows[3]);
+  ASSERT_TRUE(workflow.ok());
+  auto engine = GetParam().make();
+  auto got = engine->Run(*workflow, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  for (const auto& [name, table] : got->tables) {
+    EXPECT_EQ(table.num_rows(), 0u) << name;
+  }
+}
+
+TEST_P(EngineConformanceTest, SyntheticSchemaWorkflow) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 3000, 1000, 55);
+  auto workflow = Workflow::Parse(schema, R"(
+      measure C0 at (d0:L0, d1:L1) = agg count(*) from FACT hidden;
+      measure R1 at (d0:L1) = agg sum(M) from C0;
+      measure R2 at (d0:L1) = agg max(M) from C0;
+      measure Mix at (d0:L1) = combine(R1, R2) as R1 - R2;
+      measure Win at (d0:L1) = match R1 using sibling(d0 in [-2, 2])
+          agg avg(M);)");
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  auto engine = GetParam().make();
+  ExpectMatchesReference(*engine, *workflow, fact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineConformanceTest,
+    ::testing::Values(
+        EngineCase{"SingleScan",
+                   [] {
+                     return std::make_unique<SingleScanEngine>();
+                   }},
+        EngineCase{"Relational",
+                   [] {
+                     return std::make_unique<RelationalEngine>();
+                   }},
+        EngineCase{"RelationalTinyMemory",
+                   [] {
+                     EngineOptions options;
+                     options.memory_budget_bytes = 64 << 10;
+                     return std::make_unique<RelationalEngine>(options);
+                   }},
+        EngineCase{"SortScanDefaultKey",
+                   [] {
+                     return std::make_unique<SortScanEngine>();
+                   }},
+        EngineCase{"SortScanTinyMemory",
+                   [] {
+                     EngineOptions options;
+                     options.memory_budget_bytes = 64 << 10;
+                     return std::make_unique<SortScanEngine>(options);
+                   }},
+        EngineCase{"MultiPass",
+                   [] {
+                     return std::make_unique<MultiPassEngine>();
+                   }},
+        EngineCase{"MultiPassTinyMemory",
+                   [] {
+                     EngineOptions options;
+                     // ~340 live entries: forces several passes and the
+                     // post-pass combiner on most workflows.
+                     options.memory_budget_bytes = 32 << 10;
+                     return std::make_unique<MultiPassEngine>(options);
+                   }}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.label;
+    });
+
+TEST(SingleScanStatsTest, ReportsPeakMemoryAndScanCounts) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 2000, 500, 3);
+  auto workflow = Workflow::Parse(schema, kWorkflows[0]);
+  ASSERT_TRUE(workflow.ok());
+  SingleScanEngine engine;
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats.rows_scanned, 2000u);
+  EXPECT_GT(got->stats.peak_hash_entries, 0u);
+  EXPECT_GT(got->stats.peak_hash_bytes, 0u);
+  EXPECT_EQ(got->stats.sort_seconds, 0.0);  // never sorts
+}
+
+TEST(RelationalStatsTest, ChargesMaterializationAndRescans) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 2000, 500, 3);
+  // Two independent base measures: the relational engine must scan the
+  // fact file twice.
+  auto workflow = Workflow::Parse(schema, R"(
+      measure A at (t:hour) = agg count(*) from FACT;
+      measure B at (U:net24) = agg count(*) from FACT;)");
+  ASSERT_TRUE(workflow.ok());
+  RelationalEngine engine;
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->stats.rows_scanned, 4000u);
+  EXPECT_GT(got->stats.materialized_rows, 0u);
+  EXPECT_GT(got->stats.spilled_bytes, 0u);
+}
+
+TEST(EngineOptionsTest, IncludeHiddenReturnsIntermediates) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 500, 100, 9);
+  auto workflow = Workflow::Parse(schema, kWorkflows[2]);
+  ASSERT_TRUE(workflow.ok());
+  EngineOptions options;
+  options.include_hidden = true;
+  SingleScanEngine engine(options);
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->tables.count("Count"));
+  SingleScanEngine plain;
+  auto without = plain.Run(*workflow, fact);
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(without->tables.count("Count"));
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,155 @@
+#include <cmath>
+#include <limits>
+
+#include "expr/scalar_expr.h"
+#include "gtest/gtest.h"
+
+namespace csm {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double EvalWith(const std::string& text,
+                const std::vector<std::string>& vars,
+                const std::vector<double>& slots) {
+  auto parsed = ScalarExpr::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto bound = BoundExpr::Bind(**parsed, vars);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return bound->Eval(slots.data());
+}
+
+double EvalConst(const std::string& text) { return EvalWith(text, {}, {}); }
+
+TEST(ScalarExprTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(EvalConst("1 + 2 * 3"), 7);
+  EXPECT_DOUBLE_EQ(EvalConst("(1 + 2) * 3"), 9);
+  EXPECT_DOUBLE_EQ(EvalConst("10 / 4"), 2.5);
+  EXPECT_DOUBLE_EQ(EvalConst("10 % 3"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("-3 + 5"), 2);
+  EXPECT_DOUBLE_EQ(EvalConst("2 - -3"), 5);
+  EXPECT_DOUBLE_EQ(EvalConst("1.5e2"), 150);
+}
+
+TEST(ScalarExprTest, ComparisonsAndLogic) {
+  EXPECT_DOUBLE_EQ(EvalConst("3 < 4"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("3 >= 4"), 0);
+  EXPECT_DOUBLE_EQ(EvalConst("3 == 3 && 2 != 1"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("0 || 2 > 1"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("!(1 < 2)"), 0);
+  EXPECT_DOUBLE_EQ(EvalConst("1 < 2 and 2 < 3"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("0 or 0"), 0);
+  EXPECT_DOUBLE_EQ(EvalConst("not 0"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("3 <> 4"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("2 = 2"), 1);
+}
+
+TEST(ScalarExprTest, Functions) {
+  EXPECT_DOUBLE_EQ(EvalConst("abs(-5)"), 5);
+  EXPECT_DOUBLE_EQ(EvalConst("sqrt(16)"), 4);
+  EXPECT_DOUBLE_EQ(EvalConst("min(3, 7)"), 3);
+  EXPECT_DOUBLE_EQ(EvalConst("max(3, 7)"), 7);
+  EXPECT_DOUBLE_EQ(EvalConst("pow(2, 10)"), 1024);
+  EXPECT_DOUBLE_EQ(EvalConst("floor(2.7)"), 2);
+  EXPECT_DOUBLE_EQ(EvalConst("ceil(2.1)"), 3);
+  EXPECT_DOUBLE_EQ(EvalConst("if(1 < 2, 10, 20)"), 10);
+  EXPECT_DOUBLE_EQ(EvalConst("if(1 > 2, 10, 20)"), 20);
+  EXPECT_DOUBLE_EQ(EvalConst("isnull(null)"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("isnull(3)"), 0);
+  EXPECT_DOUBLE_EQ(EvalConst("coalesce(null, 9)"), 9);
+  EXPECT_DOUBLE_EQ(EvalConst("coalesce(4, 9)"), 4);
+}
+
+TEST(ScalarExprTest, NullSemantics) {
+  EXPECT_TRUE(std::isnan(EvalConst("null + 1")));
+  // Comparisons with NULL are false.
+  EXPECT_DOUBLE_EQ(EvalConst("null < 1"), 0);
+  EXPECT_DOUBLE_EQ(EvalConst("null == null"), 0);
+  // Logic treats NULL as false.
+  EXPECT_DOUBLE_EQ(EvalConst("null && 1"), 0);
+  EXPECT_DOUBLE_EQ(EvalConst("null || 1"), 1);
+  EXPECT_DOUBLE_EQ(EvalConst("!null"), 1);
+}
+
+TEST(ScalarExprTest, Variables) {
+  EXPECT_DOUBLE_EQ(EvalWith("M * 2 + t", {"t", "M"}, {10, 3}), 16);
+  // Case-insensitive.
+  EXPECT_DOUBLE_EQ(EvalWith("m + 1", {"M"}, {5}), 6);
+  // "X.M" matches a slot named "X".
+  EXPECT_DOUBLE_EQ(EvalWith("Count.M / 2", {"Count"}, {8}), 4);
+}
+
+TEST(ScalarExprTest, BindRejectsUnknownVariable) {
+  auto parsed = ScalarExpr::Parse("mystery + 1");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = BoundExpr::Bind(**parsed, {"M"});
+  EXPECT_FALSE(bound.ok());
+  EXPECT_TRUE(bound.status().IsInvalidArgument());
+}
+
+TEST(ScalarExprTest, ParseErrors) {
+  EXPECT_FALSE(ScalarExpr::Parse("1 +").ok());
+  EXPECT_FALSE(ScalarExpr::Parse("(1").ok());
+  EXPECT_FALSE(ScalarExpr::Parse("1 2").ok());
+  EXPECT_FALSE(ScalarExpr::Parse("foo(1)").ok());
+  EXPECT_FALSE(ScalarExpr::Parse("@").ok());
+  EXPECT_FALSE(ScalarExpr::Parse("").ok());
+}
+
+TEST(ScalarExprTest, ArityCheckedAtBind) {
+  for (const char* text : {"min(1)", "if(1, 2)", "abs(1, 2)"}) {
+    auto parsed = ScalarExpr::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_FALSE(BoundExpr::Bind(**parsed, {}).ok()) << text;
+  }
+}
+
+TEST(ScalarExprTest, CollectVars) {
+  auto parsed = ScalarExpr::Parse("a + B * f.M + min(a, c)");
+  ASSERT_TRUE(parsed.ok());
+  std::vector<std::string> vars;
+  (*parsed)->CollectVars(&vars);
+  ASSERT_EQ(vars.size(), 4u);  // a, B, f.M, c (deduped case-insensitively)
+}
+
+TEST(ScalarExprTest, ToStringIsReparsable) {
+  const char* exprs[] = {"1 + 2 * x", "min(a, b) / 2",
+                         "if(m > 5, m, 0)", "!(a < b) || c == 1"};
+  for (const char* text : exprs) {
+    auto parsed = ScalarExpr::Parse(text);
+    ASSERT_TRUE(parsed.ok());
+    auto reparsed = ScalarExpr::Parse((*parsed)->ToString());
+    ASSERT_TRUE(reparsed.ok()) << (*parsed)->ToString();
+    // Evaluate both with the same bindings and compare.
+    std::vector<std::string> vars{"x", "a", "b", "c", "m"};
+    std::vector<double> slots{2, 3, 1, 1, 7};
+    auto b1 = BoundExpr::Bind(**parsed, vars);
+    auto b2 = BoundExpr::Bind(**reparsed, vars);
+    ASSERT_TRUE(b1.ok() && b2.ok());
+    EXPECT_DOUBLE_EQ(b1->Eval(slots.data()), b2->Eval(slots.data()))
+        << text;
+  }
+}
+
+TEST(ScalarExprTest, DeepNestingDoesNotOverflow) {
+  // Exercises the defensive stack growth in BoundExpr::Eval.
+  std::string text = "1";
+  for (int i = 0; i < 60; ++i) text = "(" + text + " + 1)";
+  EXPECT_DOUBLE_EQ(EvalConst(text), 61);
+  std::string calls = "0";
+  for (int i = 0; i < 30; ++i) calls = "max(" + calls + ", 1)";
+  EXPECT_DOUBLE_EQ(EvalConst(calls), 1);
+}
+
+TEST(ScalarExprTest, ProgrammaticBuilders) {
+  auto expr = ScalarExpr::Binary(ScalarExpr::Op::kAdd,
+                                 ScalarExpr::Var("x"),
+                                 ScalarExpr::Const(4));
+  auto bound = BoundExpr::Bind(*expr, {"x"});
+  ASSERT_TRUE(bound.ok());
+  double slot = 6;
+  EXPECT_DOUBLE_EQ(bound->Eval(&slot), 10);
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,124 @@
+// Property tests over every hierarchy implementation: Proposition 1
+// (monotone generalization), γ-composition consistency, cardinality
+// coherence, and exact-divisor correctness — the invariants the sort/scan
+// engine's frontier arithmetic depends on.
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "model/hierarchy.h"
+
+namespace csm {
+namespace {
+
+struct HierarchyCase {
+  const char* label;
+  std::shared_ptr<Hierarchy> hierarchy;
+  uint64_t value_range;  // base values drawn from [0, range)
+};
+
+class HierarchyPropertyTest
+    : public ::testing::TestWithParam<HierarchyCase> {};
+
+TEST_P(HierarchyPropertyTest, Proposition1Monotonicity) {
+  const auto& h = *GetParam().hierarchy;
+  Rng rng(11);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Value u = rng.Uniform(GetParam().value_range);
+    Value v = rng.Uniform(GetParam().value_range);
+    if (u > v) std::swap(u, v);
+    for (int level = 0; level < h.num_levels(); ++level) {
+      ASSERT_LE(h.Generalize(u, 0, level), h.Generalize(v, 0, level))
+          << GetParam().label << " level " << level << " u=" << u
+          << " v=" << v;
+    }
+  }
+}
+
+TEST_P(HierarchyPropertyTest, GammaComposes) {
+  const auto& h = *GetParam().hierarchy;
+  Rng rng(12);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Value v = rng.Uniform(GetParam().value_range);
+    for (int mid = 0; mid < h.num_levels(); ++mid) {
+      for (int top = mid; top < h.num_levels(); ++top) {
+        Value direct = h.Generalize(v, 0, top);
+        Value via = h.Generalize(h.Generalize(v, 0, mid), mid, top);
+        ASSERT_EQ(direct, via)
+            << GetParam().label << " v=" << v << " via " << mid << "->"
+            << top;
+      }
+    }
+  }
+}
+
+TEST_P(HierarchyPropertyTest, CardinalityDecreasesUpward) {
+  const auto& h = *GetParam().hierarchy;
+  for (int level = 1; level < h.num_levels(); ++level) {
+    EXPECT_LE(h.EstimatedCardinality(level),
+              h.EstimatedCardinality(level - 1))
+        << GetParam().label;
+  }
+  EXPECT_DOUBLE_EQ(h.EstimatedCardinality(h.all_level()), 1.0);
+}
+
+TEST_P(HierarchyPropertyTest, ExactDivisorConsistentWithGamma) {
+  const auto& h = *GetParam().hierarchy;
+  Rng rng(13);
+  for (int from = 0; from < h.num_levels() - 1; ++from) {
+    for (int to = from; to < h.num_levels() - 1; ++to) {
+      const uint64_t div = h.ExactDivisor(from, to);
+      if (div == 0) continue;  // hierarchy declares itself irregular
+      for (int trial = 0; trial < 200; ++trial) {
+        Value v = h.Generalize(rng.Uniform(GetParam().value_range), 0,
+                               from);
+        ASSERT_EQ(h.Generalize(v, from, to), v / div)
+            << GetParam().label << " " << from << "->" << to;
+      }
+    }
+  }
+}
+
+TEST_P(HierarchyPropertyTest, AllLevelCollapsesEverything) {
+  const auto& h = *GetParam().hierarchy;
+  Rng rng(14);
+  for (int trial = 0; trial < 100; ++trial) {
+    Value v = rng.Uniform(GetParam().value_range);
+    EXPECT_EQ(h.Generalize(v, 0, h.all_level()), kAllValue);
+  }
+}
+
+std::shared_ptr<Hierarchy> ScrambledMapped() {
+  // A two-step table-driven hierarchy made monotone via BuildMonotone.
+  std::unordered_map<Value, Value> level0;
+  std::unordered_map<Value, Value> level1;
+  Rng rng(77);
+  for (Value v = 0; v < 64; ++v) level0[v] = 100 + rng.Uniform(8);
+  for (Value p = 100; p < 108; ++p) level1[p] = 200 + (p % 3);
+  auto made =
+      MappedHierarchy::Make({"leaf", "mid", "top", "ALL"},
+                            {std::move(level0), std::move(level1)});
+  CSM_CHECK(made.ok());
+  auto encoded = (*made)->BuildMonotone();
+  CSM_CHECK(encoded.ok());
+  return encoded->hierarchy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHierarchies, HierarchyPropertyTest,
+    ::testing::Values(
+        HierarchyCase{"time", MakeTimeHierarchy(1e8), 100000000},
+        HierarchyCase{"ipv4", MakeIpv4Hierarchy(1e6), 1ull << 32},
+        HierarchyCase{"port", MakePortHierarchy(), 65536},
+        HierarchyCase{"uniform10", MakeUniformHierarchy(4, 10, 10000),
+                      10000},
+        HierarchyCase{"uniform2", MakeUniformHierarchy(6, 2, 64), 64},
+        HierarchyCase{"mapped_monotone", ScrambledMapped(), 64}),
+    [](const ::testing::TestParamInfo<HierarchyCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace csm

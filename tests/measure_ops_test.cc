@@ -1,0 +1,164 @@
+#include <cmath>
+#include <limits>
+
+#include "algebra/measure_ops.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ToMap;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+class MeasureOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeSyntheticSchema(2, 3, 10, 1000);
+    gran_fine_ = Parse("(d0:L0, d1:L0)");
+    gran_d0_ = Parse("(d0:L0)");
+    gran_coarse_ = Parse("(d0:L1)");
+  }
+  Granularity Parse(const char* text) {
+    auto g = Granularity::Parse(*schema_, text);
+    EXPECT_TRUE(g.ok());
+    return *g;
+  }
+  MeasureTable Table(const Granularity& gran, const char* name,
+                     std::vector<std::pair<RegionKey, double>> rows) {
+    MeasureTable t(schema_, gran, name);
+    for (auto& [key, value] : rows) t.Append(key, value);
+    return t;
+  }
+
+  SchemaPtr schema_;
+  Granularity gran_fine_, gran_d0_, gran_coarse_;
+};
+
+TEST_F(MeasureOpsTest, FilterMeasureOnValueAndDims) {
+  MeasureTable input = Table(gran_fine_, "T",
+                             {{{1, 2}, 10}, {{3, 4}, 5}, {{5, 6}, 20}});
+  auto cond = ScalarExpr::Parse("M >= 10 && d0 < 5");
+  ASSERT_TRUE(cond.ok());
+  auto out = FilterMeasure(input, **cond, nullptr, "F");
+  ASSERT_TRUE(out.ok());
+  auto rows = ToMap(*out);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows.at({1, 2}), 10);
+}
+
+TEST_F(MeasureOpsTest, FilterMeasureAtCoarserGranularity) {
+  // cond_gran: the dim variable is evaluated rolled up to L1 (blocks of
+  // 10), Property 2's pushed-down form.
+  MeasureTable input = Table(gran_d0_, "T",
+                             {{{7, 0}, 1}, {{12, 0}, 2}, {{25, 0}, 3}});
+  auto cond = ScalarExpr::Parse("d0 == 1");  // L1 block 1 = values 10..19
+  ASSERT_TRUE(cond.ok());
+  auto out = FilterMeasure(input, **cond, &gran_coarse_, "F");
+  ASSERT_TRUE(out.ok());
+  auto rows = ToMap(*out);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows.at({12, 0}), 2);
+}
+
+TEST_F(MeasureOpsTest, HashRollupCountVsSum) {
+  MeasureTable input = Table(gran_d0_, "T",
+                             {{{1, 0}, 5}, {{2, 0}, 7}, {{11, 0}, 3}});
+  auto sum = HashRollup(input, gran_coarse_, {AggKind::kSum, 0}, "S");
+  auto count = HashRollup(input, gran_coarse_, {AggKind::kCount, -1}, "C");
+  ASSERT_TRUE(sum.ok() && count.ok());
+  EXPECT_DOUBLE_EQ(ToMap(*sum).at({0, 0}), 12);
+  EXPECT_DOUBLE_EQ(ToMap(*sum).at({1, 0}), 3);
+  EXPECT_DOUBLE_EQ(ToMap(*count).at({0, 0}), 2);
+  // Rolling to a finer granularity is rejected.
+  EXPECT_FALSE(HashRollup(*sum, gran_d0_, {AggKind::kSum, 0}, "x").ok());
+}
+
+TEST_F(MeasureOpsTest, MatchJoinEmptyMatches) {
+  MeasureTable source = Table(gran_d0_, "S", {{{1, 0}, 0}, {{2, 0}, 0}});
+  MeasureTable target = Table(gran_d0_, "T", {{{1, 0}, 42}});
+  // count over an empty match -> 0; avg -> NaN (SQL outer-join
+  // semantics).
+  auto counted = HashMatchJoin(source, target, MatchCond::Self(),
+                               {AggKind::kCount, 0}, "C");
+  auto averaged = HashMatchJoin(source, target, MatchCond::Self(),
+                                {AggKind::kAvg, 0}, "A");
+  ASSERT_TRUE(counted.ok() && averaged.ok());
+  EXPECT_DOUBLE_EQ(ToMap(*counted).at({1, 0}), 1);
+  EXPECT_DOUBLE_EQ(ToMap(*counted).at({2, 0}), 0);
+  EXPECT_DOUBLE_EQ(ToMap(*averaged).at({1, 0}), 42);
+  EXPECT_TRUE(std::isnan(ToMap(*averaged).at({2, 0})));
+}
+
+TEST_F(MeasureOpsTest, SiblingWindowAtDomainBoundary) {
+  // Window [-2, 0] near key 0 must not probe negative coordinates.
+  MeasureTable source = Table(gran_d0_, "S",
+                              {{{0, 0}, 0}, {{1, 0}, 0}, {{2, 0}, 0}});
+  MeasureTable target = Table(gran_d0_, "T",
+                              {{{0, 0}, 1}, {{1, 0}, 2}, {{2, 0}, 4}});
+  auto out = HashMatchJoin(source, target,
+                           MatchCond::Sibling({{0, -2, 0}}),
+                           {AggKind::kSum, 0}, "W");
+  ASSERT_TRUE(out.ok());
+  auto rows = ToMap(*out);
+  EXPECT_DOUBLE_EQ(rows.at({0, 0}), 1);      // only t=0
+  EXPECT_DOUBLE_EQ(rows.at({1, 0}), 3);      // t=0,1
+  EXPECT_DOUBLE_EQ(rows.at({2, 0}), 7);      // t=0,1,2
+}
+
+TEST_F(MeasureOpsTest, CombineMissingInputGivesNaNSlot) {
+  MeasureTable s = Table(gran_d0_, "S", {{{1, 0}, 10}, {{2, 0}, 20}});
+  MeasureTable t = Table(gran_d0_, "T", {{{1, 0}, 5}});
+  auto fc = ScalarExpr::Parse("coalesce(T, -1) + S");
+  ASSERT_TRUE(fc.ok());
+  auto out = HashCombine({&s, &t}, **fc, "Z");
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(ToMap(*out).at({1, 0}), 15);
+  EXPECT_DOUBLE_EQ(ToMap(*out).at({2, 0}), 19);  // T missing -> -1
+  // Regions present only in T never appear (left outer from S).
+  MeasureTable extra = Table(gran_d0_, "T", {{{9, 0}, 1}});
+  auto out2 = HashCombine({&s, &extra}, **fc, "Z");
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2->num_rows(), 2u);
+}
+
+TEST_F(MeasureOpsTest, CombineNaNValuesPropagate) {
+  MeasureTable s = Table(gran_d0_, "S", {{{1, 0}, kNaN}});
+  MeasureTable t = Table(gran_d0_, "T", {{{1, 0}, 3}});
+  auto fc = ScalarExpr::Parse("S + T");
+  ASSERT_TRUE(fc.ok());
+  auto out = HashCombine({&s, &t}, **fc, "Z");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::isnan(out->value(0)));
+}
+
+TEST_F(MeasureOpsTest, SiblingProbeOdometerCoversTheBox) {
+  MatchCond cond = MatchCond::Sibling({{0, -1, 1}, {1, 0, 2}});
+  RegionKey base{5, 5};
+  RegionKey probe(2);
+  std::set<std::pair<Value, Value>> seen;
+  ForEachSiblingProbe(base.data(), 2, cond, &probe,
+                      [&](const RegionKey& k) {
+                        seen.insert({k[0], k[1]});
+                      });
+  EXPECT_EQ(seen.size(), 9u);  // 3 x 3 box
+  EXPECT_TRUE(seen.count({4, 5}));
+  EXPECT_TRUE(seen.count({6, 7}));
+  EXPECT_FALSE(seen.count({5, 4}));
+}
+
+TEST_F(MeasureOpsTest, ParentChildMatchFindsUniqueAncestor) {
+  MeasureTable source = Table(gran_d0_, "S",
+                              {{{3, 0}, 0}, {{17, 0}, 0}});
+  MeasureTable parent = Table(gran_coarse_, "P",
+                              {{{0, 0}, 100}, {{1, 0}, 200}});
+  auto out = HashMatchJoin(source, parent, MatchCond::ParentChild(),
+                           {AggKind::kSum, 0}, "X");
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(ToMap(*out).at({3, 0}), 100);
+  EXPECT_DOUBLE_EQ(ToMap(*out).at({17, 0}), 200);
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,259 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "model/granularity.h"
+#include "model/hierarchy.h"
+#include "model/schema.h"
+#include "model/sort_key.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+using testing_util::MakeUniformFacts;
+
+TEST(SteppedHierarchyTest, GeneralizeDividesByCumulativeFanout) {
+  auto time = MakeTimeHierarchy(1e6);
+  // second -> hour -> day -> month -> year -> ALL
+  EXPECT_EQ(time->num_levels(), 6);
+  EXPECT_EQ(time->Generalize(7200, 0, 1), 2u);     // 2 hours
+  EXPECT_EQ(time->Generalize(7200, 0, 2), 0u);     // day 0
+  EXPECT_EQ(time->Generalize(86400, 1, 2), 3600u);  // hours -> days
+  EXPECT_EQ(time->Generalize(49, 1, 2), 2u);       // hour 49 = day 2
+  EXPECT_EQ(time->Generalize(12345, 0, 5), kAllValue);
+  EXPECT_EQ(time->Generalize(77, 3, 3), 77u);      // identity
+}
+
+TEST(SteppedHierarchyTest, LevelNamesAndLookup) {
+  auto time = MakeTimeHierarchy(1e6);
+  EXPECT_EQ(time->level_name(0), "second");
+  EXPECT_EQ(time->level_name(5), "ALL");
+  auto day = time->LevelByName("Day");
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(*day, 2);
+  EXPECT_FALSE(time->LevelByName("fortnight").ok());
+}
+
+TEST(SteppedHierarchyTest, MonotoneGeneralization) {
+  // Proposition 1: u < v implies γ(u) <= γ(v) for all coarser levels.
+  auto h = MakeUniformHierarchy(4, 10, 10000);
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Value u = rng.Uniform(10000);
+    Value v = rng.Uniform(10000);
+    if (u > v) std::swap(u, v);
+    for (int level = 0; level < h->num_levels(); ++level) {
+      EXPECT_LE(h->Generalize(u, 0, level), h->Generalize(v, 0, level));
+    }
+  }
+}
+
+TEST(SteppedHierarchyTest, GeneralizationComposes) {
+  // γ consistency: going base->L2 equals base->L1->L2.
+  auto h = MakeUniformHierarchy(4, 7, 7 * 7 * 7);
+  for (Value v = 0; v < 343; ++v) {
+    Value via = h->Generalize(h->Generalize(v, 0, 1), 1, 2);
+    EXPECT_EQ(via, h->Generalize(v, 0, 2));
+  }
+}
+
+TEST(SteppedHierarchyTest, FanOutAndCardinality) {
+  auto h = MakeUniformHierarchy(4, 10, 1000.0);
+  EXPECT_DOUBLE_EQ(h->FanOut(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(h->FanOut(0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(h->FanOut(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(h->EstimatedCardinality(0), 1000.0);
+  EXPECT_DOUBLE_EQ(h->EstimatedCardinality(2), 10.0);
+  EXPECT_DOUBLE_EQ(h->EstimatedCardinality(h->all_level()), 1.0);
+}
+
+TEST(SteppedHierarchyTest, MakeRejectsBadShape) {
+  EXPECT_FALSE(SteppedHierarchy::Make({"only"}, {}, 10).ok());
+  EXPECT_FALSE(SteppedHierarchy::Make({"a", "b", "ALL"}, {}, 10).ok());
+  EXPECT_FALSE(SteppedHierarchy::Make({"a", "b", "ALL"}, {0}, 10).ok());
+  EXPECT_FALSE(SteppedHierarchy::Make({"a", "ALL"}, {}, -1).ok());
+  EXPECT_TRUE(SteppedHierarchy::Make({"a", "b", "ALL"}, {4}, 10).ok());
+}
+
+TEST(Ipv4HierarchyTest, PrefixCollapse) {
+  auto ip = MakeIpv4Hierarchy(1e6);
+  const Value addr = (10u << 24) | (1u << 16) | (2u << 8) | 3u;
+  EXPECT_EQ(ip->Generalize(addr, 0, 1), addr >> 8);    // /24
+  EXPECT_EQ(ip->Generalize(addr, 0, 2), addr >> 16);   // /16
+  EXPECT_EQ(ip->Generalize(addr, 0, 3), addr >> 24);   // /8
+}
+
+TEST(MappedHierarchyTest, ExplicitParents) {
+  // values 0..5 -> groups {0,1,2}->10, {3,4}->11, {5}->12; top is ALL.
+  std::unordered_map<Value, Value> parents{{0, 10}, {1, 10}, {2, 10},
+                                           {3, 11}, {4, 11}, {5, 12}};
+  auto made = MappedHierarchy::Make({"base", "group", "ALL"}, {parents});
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto h = *made;
+  EXPECT_EQ(h->Generalize(4, 0, 1), 11u);
+  EXPECT_EQ(h->Generalize(4, 0, 2), kAllValue);
+  EXPECT_TRUE(h->IsMonotone());
+  EXPECT_DOUBLE_EQ(h->EstimatedCardinality(0), 6.0);
+  EXPECT_DOUBLE_EQ(h->EstimatedCardinality(1), 3.0);
+}
+
+TEST(MappedHierarchyTest, DetectsNonMonotone) {
+  // 0 -> 20, 1 -> 10: parents decrease while children increase.
+  std::unordered_map<Value, Value> parents{{0, 20}, {1, 10}};
+  auto made = MappedHierarchy::Make({"base", "group", "ALL"}, {parents});
+  ASSERT_TRUE(made.ok());
+  EXPECT_FALSE((*made)->IsMonotone());
+}
+
+TEST(MappedHierarchyTest, BuildMonotoneRestoresProposition1) {
+  // A deliberately scrambled two-step hierarchy.
+  std::unordered_map<Value, Value> level0{{0, 7}, {1, 5}, {2, 7},
+                                          {3, 5}, {4, 9}};
+  std::unordered_map<Value, Value> level1{{5, 100}, {7, 50}, {9, 100}};
+  auto made = MappedHierarchy::Make({"base", "mid", "top", "ALL"},
+                                    {level0, level1});
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  EXPECT_FALSE((*made)->IsMonotone());
+
+  auto encoded = (*made)->BuildMonotone();
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  EXPECT_TRUE(encoded->hierarchy->IsMonotone());
+  // Every original value has a translation, and the translated hierarchy
+  // preserves co-membership: two base values share a mid parent iff they
+  // did originally.
+  const auto& tr = encoded->value_translation;
+  ASSERT_EQ(tr.size(), 3u);
+  for (Value a = 0; a < 5; ++a) {
+    for (Value b = 0; b < 5; ++b) {
+      bool orig_same = level0.at(a) == level0.at(b);
+      Value ta = tr[0].at(a), tb = tr[0].at(b);
+      bool new_same = encoded->hierarchy->Generalize(ta, 0, 1) ==
+                      encoded->hierarchy->Generalize(tb, 0, 1);
+      EXPECT_EQ(orig_same, new_same);
+    }
+  }
+}
+
+TEST(MappedHierarchyTest, RejectsDanglingParent) {
+  std::unordered_map<Value, Value> level0{{0, 5}};
+  std::unordered_map<Value, Value> level1{{6, 9}};  // 5 missing
+  EXPECT_FALSE(MappedHierarchy::Make({"a", "b", "c", "ALL"},
+                                     {level0, level1})
+                   .ok());
+}
+
+TEST(SchemaTest, LookupAndValidation) {
+  auto schema = MakeNetworkLogSchema();
+  EXPECT_EQ(schema->num_dims(), 4);
+  EXPECT_EQ(schema->num_measures(), 1);
+  auto t = schema->DimIndex("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 0);
+  EXPECT_TRUE(schema->DimIndex("U").ok());
+  EXPECT_FALSE(schema->DimIndex("zz").ok());
+  EXPECT_TRUE(schema->MeasureIndex("bytes").ok());
+
+  // Duplicate names rejected.
+  auto h = MakeUniformHierarchy(2, 10, 100);
+  EXPECT_FALSE(Schema::Make({{"a", h}, {"A", h}}, {}).ok());
+  EXPECT_FALSE(Schema::Make({{"a", h}}, {"a"}).ok());
+  EXPECT_FALSE(Schema::Make({}, {}).ok());
+  EXPECT_FALSE(Schema::Make({{"a", nullptr}}, {}).ok());
+}
+
+TEST(GranularityTest, ParseDefaultsToAll) {
+  auto schema = MakeNetworkLogSchema();
+  auto g = Granularity::Parse(*schema, "(t:hour, U:ip)");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->level(0), 1);  // hour
+  EXPECT_EQ(g->level(1), 0);  // ip
+  EXPECT_EQ(g->level(2), schema->dim(2).hierarchy->all_level());
+  EXPECT_EQ(g->level(3), schema->dim(3).hierarchy->all_level());
+  EXPECT_EQ(g->ToString(*schema), "(t:hour, U:ip)");
+
+  auto all = Granularity::Parse(*schema, "(ALL)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->IsAll(*schema));
+  EXPECT_EQ(all->ToString(*schema), "(ALL)");
+
+  EXPECT_FALSE(Granularity::Parse(*schema, "(t:fortnight)").ok());
+  EXPECT_FALSE(Granularity::Parse(*schema, "(bogus:hour)").ok());
+  EXPECT_FALSE(Granularity::Parse(*schema, "(t=hour)").ok());
+}
+
+TEST(GranularityTest, PartialOrder) {
+  auto schema = MakeNetworkLogSchema();
+  auto parse = [&](const char* text) {
+    auto r = Granularity::Parse(*schema, text);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  Granularity fine = parse("(t:hour, U:ip)");
+  Granularity coarse = parse("(t:day)");
+  Granularity other = parse("(U:ip)");
+  EXPECT_TRUE(fine.FinerOrEqual(coarse));
+  EXPECT_FALSE(coarse.FinerOrEqual(fine));
+  EXPECT_TRUE(fine.FinerOrEqual(fine));
+  EXPECT_TRUE(fine.FinerOrEqual(other));
+  EXPECT_FALSE(other.FinerOrEqual(coarse));
+  EXPECT_TRUE(Granularity::Base(*schema).FinerOrEqual(fine));
+  EXPECT_TRUE(fine.FinerOrEqual(Granularity::All(*schema)));
+}
+
+TEST(GranularityTest, GeneralizeKey) {
+  auto schema = MakeNetworkLogSchema();
+  Granularity base = Granularity::Base(*schema);
+  auto hour_u24 = Granularity::Parse(*schema, "(t:hour, U:net24)");
+  ASSERT_TRUE(hour_u24.ok());
+  RegionKey key{7200, 0x0a010203, 0x0b010203, 80};
+  RegionKey up = GeneralizeKey(*schema, key, base, *hour_u24);
+  EXPECT_EQ(up[0], 2u);
+  EXPECT_EQ(up[1], 0x0a010203u >> 8);
+  EXPECT_EQ(up[2], kAllValue);
+  EXPECT_EQ(up[3], kAllValue);
+}
+
+TEST(SortKeyTest, ParseAndPrint) {
+  auto schema = MakeNetworkLogSchema();
+  auto key = SortKey::Parse(*schema, "<t:day, V:ip, U:ip>");
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_EQ(key->size(), 3);
+  EXPECT_EQ(key->part(0).dim, 0);
+  EXPECT_EQ(key->part(0).level, 2);
+  EXPECT_EQ(key->ToString(*schema), "<t:day, V:ip, U:ip>");
+  EXPECT_TRUE(SortKey::Parse(*schema, "").ok());
+  EXPECT_FALSE(SortKey::Parse(*schema, "<t>").ok());
+}
+
+TEST(SortKeyTest, CompareBaseKeys) {
+  auto schema = MakeNetworkLogSchema();
+  auto key = SortKey::Parse(*schema, "<t:hour, U:ip>");
+  ASSERT_TRUE(key.ok());
+  Value a[4] = {100, 5, 0, 0};
+  Value b[4] = {3700, 1, 0, 0};  // later hour wins even with smaller U
+  EXPECT_LT(key->CompareBaseKeys(*schema, a, b), 0);
+  Value c[4] = {200, 5, 9, 9};   // same hour, same U: equal under the key
+  EXPECT_EQ(key->CompareBaseKeys(*schema, a, c), 0);
+  Value e[4] = {200, 6, 0, 0};
+  EXPECT_LT(key->CompareBaseKeys(*schema, a, e), 0);
+}
+
+TEST(SortKeyTest, CompatibleWithGranularity) {
+  auto schema = MakeNetworkLogSchema();
+  auto key = SortKey::Parse(*schema, "<t:day, U:net24>");
+  ASSERT_TRUE(key.ok());
+  auto parse = [&](const char* text) {
+    auto r = Granularity::Parse(*schema, text);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  // Streams at hour granularity can be ordered by day.
+  EXPECT_TRUE(key->CompatibleWith(*schema, parse("(t:hour, U:ip)")));
+  // A stream at month granularity cannot follow a day order.
+  EXPECT_FALSE(key->CompatibleWith(*schema, parse("(t:month)")));
+  // Rolled-away dims are fine.
+  EXPECT_TRUE(key->CompatibleWith(*schema, parse("(U:net24)")));
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,212 @@
+#include "exec/multi_pass.h"
+#include "exec/sort_scan.h"
+#include "gtest/gtest.h"
+#include "opt/footprint.h"
+#include "opt/pass_planner.h"
+#include "opt/sort_order.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::MakeUniformFacts;
+
+Workflow ParseOrDie(const SchemaPtr& schema, const char* dsl) {
+  auto workflow = Workflow::Parse(schema, dsl);
+  EXPECT_TRUE(workflow.ok()) << workflow.status().ToString();
+  return std::move(*workflow);
+}
+
+SortKey KeyOrDie(const Schema& schema, const char* text) {
+  auto key = SortKey::Parse(schema, text);
+  EXPECT_TRUE(key.ok()) << key.status().ToString();
+  return *key;
+}
+
+TEST(FootprintTest, SortedDimensionShrinksTheEstimate) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  Workflow workflow = ParseOrDie(
+      schema, "measure C at (d0:L0, d1:L0) = agg count(*) from FACT;");
+  auto with = EstimateFootprint(workflow, KeyOrDie(*schema, "<d0:L0>"));
+  auto without = EstimateFootprint(workflow, KeyOrDie(*schema, "<>"));
+  ASSERT_TRUE(with.ok() && without.ok());
+  // Sorting by d0 leaves only one d0 value live (times d1's cardinality);
+  // no order leaves the full d0 x d1 product.
+  EXPECT_LT(with->total_entries, without->total_entries / 100);
+}
+
+TEST(FootprintTest, CoarserSortComponentLeavesBlockLive) {
+  // Table 6's worked example: data sorted by month, measure at day ->
+  // ~30 entries live; sorted by day -> ~1.
+  auto schema = MakeNetworkLogSchema(/*time_cardinality=*/1e7);
+  Workflow workflow =
+      ParseOrDie(schema, "measure C at (t:day) = agg count(*) from FACT;");
+  auto by_month = EstimateFootprint(workflow, KeyOrDie(*schema, "<t:month>"));
+  auto by_day = EstimateFootprint(workflow, KeyOrDie(*schema, "<t:day>"));
+  ASSERT_TRUE(by_month.ok() && by_day.ok());
+  EXPECT_GT(by_month->total_entries, 20);
+  EXPECT_LT(by_month->total_entries, 80);
+  EXPECT_LT(by_day->total_entries, 5);
+}
+
+TEST(FootprintTest, SiblingSlackInflatesTheEstimate) {
+  auto schema = MakeNetworkLogSchema(1e7);
+  Workflow plain = ParseOrDie(schema, R"(
+      measure C at (t:hour) = agg count(*) from FACT;)");
+  Workflow windowed = ParseOrDie(schema, R"(
+      measure C at (t:hour) = agg count(*) from FACT hidden;
+      measure W at (t:hour) = match C using sibling(t in [0, 23])
+          agg avg(M);)");
+  SortKey key = KeyOrDie(*schema, "<t:hour>");
+  auto a = EstimateFootprint(plain, key);
+  auto b = EstimateFootprint(windowed, key);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // The windowed measure must account for ~24 hours of in-flight state.
+  EXPECT_GT(b->total_entries, a->total_entries + 20);
+}
+
+TEST(FootprintTest, ParentChildSlackMatchesThePaperExample) {
+  // §5.3: S_ratio at day depending on the monthly aggregate has slack
+  // about one month (30 days here).
+  auto schema = MakeNetworkLogSchema(1e8);
+  Workflow workflow = ParseOrDie(schema, R"(
+      measure Monthly at (t:month) = agg count(*) from FACT;
+      measure Daily at (t:day) = agg count(*) from FACT;
+      measure Share at (t:day) = match Monthly using parentchild
+          agg sum(M);)");
+  auto report =
+      EstimateFootprint(workflow, KeyOrDie(*schema, "<t:day>"));
+  ASSERT_TRUE(report.ok());
+  const MeasureFootprint* share = nullptr;
+  for (const auto& fp : report->measures) {
+    if (fp.name == "Share") share = &fp;
+  }
+  ASSERT_NE(share, nullptr);
+  EXPECT_NEAR(share->slack[0], 29.0, 1.0);  // fan-out(day->month) - 1
+  EXPECT_GT(share->entries, 25);
+  EXPECT_LT(share->entries, 40);
+}
+
+TEST(SortOrderSearchTest, BruteForcePicksAUsefulOrder) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  Workflow workflow = ParseOrDie(schema, R"(
+      measure Big at (d0:L0, d1:L0) = agg count(*) from FACT;
+      measure Side at (d2:L1) = agg count(*) from FACT;)");
+  auto best = BruteForceSortKey(workflow);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  // The chosen order must cover the large measure's dimensions.
+  auto chosen = EstimateFootprint(workflow, *best);
+  auto empty = EstimateFootprint(workflow, SortKey());
+  ASSERT_TRUE(chosen.ok() && empty.ok());
+  EXPECT_LT(chosen->total_entries, empty->total_entries / 50);
+}
+
+TEST(SortOrderSearchTest, GreedyCloseToBruteForce) {
+  auto schema = MakeNetworkLogSchema(1e7, 1e5);
+  Workflow workflow = ParseOrDie(schema, R"(
+      measure Count at (t:hour, U:net24) = agg count(*) from FACT hidden;
+      measure Busy at (t:hour) = agg count(M) from Count where M > 3;
+      measure Avg at (t:hour) = match Busy using sibling(t in [0, 5])
+          agg avg(M);
+      measure ByNet at (V:net16, t:day) = agg count(*) from FACT;)");
+  auto brute = BruteForceSortKey(workflow);
+  auto greedy = GreedySortKey(workflow);
+  ASSERT_TRUE(brute.ok() && greedy.ok());
+  auto brute_cost = EstimateFootprint(workflow, *brute);
+  auto greedy_cost = EstimateFootprint(workflow, *greedy);
+  ASSERT_TRUE(brute_cost.ok() && greedy_cost.ok());
+  EXPECT_LE(brute_cost->total_entries, greedy_cost->total_entries);
+  // Greedy should be within a small factor of optimal on this workload.
+  EXPECT_LT(greedy_cost->total_entries,
+            brute_cost->total_entries * 10 + 100);
+}
+
+TEST(SortOrderSearchTest, ChosenOrderActuallyReducesRuntimeMemory) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 20000, 1000, 71);
+  Workflow workflow = ParseOrDie(
+      schema, "measure C at (d0:L0, d1:L0) = agg count(*) from FACT;");
+  auto best = BruteForceSortKey(workflow);
+  ASSERT_TRUE(best.ok());
+
+  auto run = [&](const SortKey& key) {
+    EngineOptions options;
+    options.sort_key = key;
+    SortScanEngine engine(options);
+    auto got = engine.Run(workflow, fact);
+    EXPECT_TRUE(got.ok());
+    return got->stats.peak_hash_entries;
+  };
+  const uint64_t best_peak = run(*best);
+  const uint64_t bad_peak = run(KeyOrDie(*schema, "<d2:L0>"));
+  EXPECT_LT(best_peak, bad_peak / 10);
+}
+
+TEST(PassPlannerTest, SinglePassWhenBudgetIsAmple) {
+  auto schema = MakeNetworkLogSchema();
+  Workflow workflow = ParseOrDie(schema, R"(
+      measure A at (t:hour) = agg count(*) from FACT;
+      measure B at (t:day) = agg sum(M) from A;)");
+  auto plan = PlanPasses(workflow, 1e9);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->passes.size(), 1u);
+  EXPECT_TRUE(plan->post_pass_indices.empty());
+  EXPECT_EQ(plan->passes[0].measure_indices.size(), 2u);
+}
+
+TEST(PassPlannerTest, SplitsConflictingOrdersUnderPressure) {
+  // Two large measures on disjoint dimensions: one sort order cannot
+  // serve both within a small budget, so they land in separate passes.
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  Workflow workflow = ParseOrDie(schema, R"(
+      measure A at (d0:L0, d1:L0) = agg count(*) from FACT;
+      measure B at (d2:L0, d3:L0) = agg count(*) from FACT;)");
+  auto tight = PlanPasses(workflow, 2000);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GE(tight->passes.size(), 2u);
+  // Every measure still gets evaluated exactly once.
+  size_t assigned = tight->post_pass_indices.size();
+  for (const auto& pass : tight->passes) {
+    assigned += pass.measure_indices.size();
+  }
+  EXPECT_EQ(assigned, 2u);
+}
+
+TEST(PassPlannerTest, CrossPassDependentsAreDeferred) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  Workflow workflow = ParseOrDie(schema, R"(
+      measure A at (d0:L0, d1:L0) = agg count(*) from FACT;
+      measure B at (d2:L0, d3:L0) = agg count(*) from FACT;
+      measure RollA at (d0:L1) = agg sum(M) from A;)");
+  auto plan = PlanPasses(workflow, 2000);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_GE(plan->passes.size(), 2u);
+  // RollA's input A lives in pass 1; RollA itself cannot stream in pass 2
+  // and must be combined post-pass.
+  bool rolla_deferred = false;
+  for (int idx : plan->post_pass_indices) {
+    if (workflow.measures()[idx].name == "RollA") rolla_deferred = true;
+  }
+  EXPECT_TRUE(rolla_deferred);
+}
+
+TEST(MultiPassEngineTest, ReportsMultiplePassesUnderPressure) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 8000, 1000, 77);
+  Workflow workflow = ParseOrDie(schema, R"(
+      measure A at (d0:L0, d1:L0) = agg count(*) from FACT;
+      measure B at (d2:L0, d3:L0) = agg count(*) from FACT;
+      measure RollA at (d0:L1) = agg sum(M) from A;)");
+  EngineOptions options;
+  options.memory_budget_bytes = 128 << 10;
+  MultiPassEngine engine(options);
+  auto got = engine.Run(workflow, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GE(got->stats.passes, 2);
+  EXPECT_EQ(got->tables.size(), 3u);
+  EXPECT_GT(got->stats.rows_scanned, fact.num_rows());  // several scans
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,106 @@
+#include "data/queries.h"
+#include "exec/parallel.h"
+#include "exec/sort_scan.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+
+void ExpectMatchesSequential(const Workflow& workflow,
+                             const FactTable& fact, int threads) {
+  SortScanEngine sequential;
+  ParallelSortScanEngine parallel({}, threads);
+  auto expect = sequential.Run(workflow, fact);
+  auto got = parallel.Run(workflow, fact);
+  ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(expect->tables.size(), got->tables.size());
+  for (auto& [name, table] : expect->tables) {
+    ExpectTablesEqual(table, got->tables.at(name),
+                      name + " @" + std::to_string(threads) + "t");
+  }
+}
+
+TEST(ParallelSortScanTest, PlanPicksAPartitionableDimension) {
+  auto schema = MakeNetworkLogSchema();
+  // Multi-recon: every measure keeps V (and t) below ALL; no windows.
+  auto recon = MakeMultiReconQuery(schema);
+  ASSERT_TRUE(recon.ok());
+  auto dim = ParallelSortScanEngine::PlanPartitionDim(*recon);
+  ASSERT_TRUE(dim.ok()) << dim.status().ToString();
+  // U is rolled to ALL by the parent measures; t carries no window but V
+  // is also valid — the planner prefers higher cardinality.
+  EXPECT_TRUE(*dim == 0 || *dim == 2);
+
+  // The running example windows over t and rolls U away above Count:
+  // nothing qualifies.
+  auto running = MakeRunningExampleQuery(schema);
+  ASSERT_TRUE(running.ok());
+  EXPECT_FALSE(
+      ParallelSortScanEngine::PlanPartitionDim(*running).ok());
+}
+
+TEST(ParallelSortScanTest, MatchesSequentialOnPartitionableWorkflows) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 6000, 30000, 41);
+  auto recon = MakeMultiReconQuery(schema, /*min_sources=*/2);
+  ASSERT_TRUE(recon.ok());
+  for (int threads : {2, 3, 8}) {
+    ExpectMatchesSequential(*recon, fact, threads);
+  }
+}
+
+TEST(ParallelSortScanTest, SiblingWindowsOnOtherDimsAreFine) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 5000, 1000, 43);
+  // Windows over d1; partition on d0 (or d2) is still valid.
+  auto workflow = Workflow::Parse(schema, R"(
+      measure C at (d0:L0, d1:L0) = agg count(*) from FACT hidden;
+      measure W at (d0:L0, d1:L0) = match C using
+          sibling(d1 in [-1, 1]) agg sum(M);
+      measure R at (d0:L0, d1:L1) = agg sum(M) from C;)");
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  auto dim = ParallelSortScanEngine::PlanPartitionDim(*workflow);
+  ASSERT_TRUE(dim.ok());
+  EXPECT_EQ(*dim, 0);
+  ExpectMatchesSequential(*workflow, fact, 4);
+}
+
+TEST(ParallelSortScanTest, FallsBackWhenNotPartitionable) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 2000, 5000, 45);
+  auto running = MakeRunningExampleQuery(schema);
+  ASSERT_TRUE(running.ok());
+  ParallelSortScanEngine parallel({}, 4);
+  auto got = parallel.Run(*running, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_NE(got->stats.sort_key.find("[sequential]"), std::string::npos);
+  // Still correct.
+  SortScanEngine sequential;
+  auto expect = sequential.Run(*running, fact);
+  ASSERT_TRUE(expect.ok());
+  for (auto& [name, table] : expect->tables) {
+    ExpectTablesEqual(table, got->tables.at(name), name);
+  }
+}
+
+TEST(ParallelSortScanTest, EmptyInput) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact(schema);
+  auto recon = MakeMultiReconQuery(schema);
+  ASSERT_TRUE(recon.ok());
+  ParallelSortScanEngine parallel({}, 4);
+  auto got = parallel.Run(*recon, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  for (auto& [name, table] : got->tables) {
+    EXPECT_EQ(table.num_rows(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,139 @@
+#include <cmath>
+
+#include "exec/single_scan.h"
+#include "gtest/gtest.h"
+#include "relational/relational_engine.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+using testing_util::ToMap;
+
+class RelationalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { schema_ = MakeSyntheticSchema(3, 3, 10, 100); }
+
+  void ExpectAgrees(const char* dsl, size_t rows = 2000,
+                    uint64_t seed = 5) {
+    auto workflow = Workflow::Parse(schema_, dsl);
+    ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+    FactTable fact = MakeUniformFacts(schema_, rows, 100, seed);
+    SingleScanEngine reference;
+    RelationalEngine relational;
+    auto expect = reference.Run(*workflow, fact);
+    auto got = relational.Run(*workflow, fact);
+    ASSERT_TRUE(expect.ok() && got.ok())
+        << expect.status().ToString() << " / "
+        << got.status().ToString();
+    for (auto& [name, table] : expect->tables) {
+      ExpectTablesEqual(table, got->tables.at(name), name);
+    }
+  }
+
+  SchemaPtr schema_;
+};
+
+TEST_F(RelationalTest, WhereOnMatchTargetFiltersUpdates) {
+  ExpectAgrees(R"(
+      measure C at (d0:L0, d1:L0) = agg count(*) from FACT hidden;
+      measure Big at (d0:L0) = match C using childparent agg count(M)
+          where M >= 3;
+      measure AvgBig at (d0:L0) = match C using childparent agg avg(M)
+          where M >= 3;)");
+}
+
+TEST_F(RelationalTest, ParentChildThroughSelection) {
+  ExpectAgrees(R"(
+      measure Coarse at (d0:L2) = agg sum(m) from FACT hidden;
+      measure Fine at (d0:L0) = match Coarse using parentchild agg sum(M)
+          where M > 100;)");
+}
+
+TEST_F(RelationalTest, MultiWindowSibling) {
+  ExpectAgrees(R"(
+      measure G at (d0:L1, d1:L1) = agg count(*) from FACT hidden;
+      measure W at (d0:L1, d1:L1) = match G using
+          sibling(d0 in [-1, 1], d1 in [-2, 0]) agg sum(M);)");
+}
+
+TEST_F(RelationalTest, CombineChains) {
+  ExpectAgrees(R"(
+      measure A at (d0:L1) = agg sum(m) from FACT hidden;
+      measure B at (d0:L1) = agg count(*) from FACT hidden;
+      measure AB at (d0:L1) = combine(A, B) as A / B hidden;
+      measure ABB at (d0:L1) = combine(AB, B) as AB * B;)");
+}
+
+TEST_F(RelationalTest, NaNMeasuresSurviveMaterialization) {
+  // avg over an empty match is NULL; the combine must read it back from
+  // disk as NULL, not 0.
+  auto workflow = Workflow::Parse(schema_, R"(
+      measure C at (d0:L0) = agg count(*) from FACT hidden;
+      measure Rare at (d0:L0) = match C using self agg avg(M)
+          where M > 1000000;
+      measure Guard at (d0:L0) = combine(Rare, C)
+          as if(isnull(Rare), -1, Rare);)");
+  ASSERT_TRUE(workflow.ok());
+  FactTable fact = MakeUniformFacts(schema_, 500, 100, 7);
+  RelationalEngine engine;
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const MeasureTable& rare = got->tables.at("Rare");
+  const MeasureTable& guard = got->tables.at("Guard");
+  ASSERT_GT(rare.num_rows(), 0u);
+  for (size_t row = 0; row < rare.num_rows(); ++row) {
+    EXPECT_TRUE(std::isnan(rare.value(row)));
+  }
+  for (size_t row = 0; row < guard.num_rows(); ++row) {
+    EXPECT_DOUBLE_EQ(guard.value(row), -1.0);
+  }
+}
+
+TEST_F(RelationalTest, HiddenMeasuresRespectIncludeFlag) {
+  auto workflow = Workflow::Parse(schema_, R"(
+      measure C at (d0:L1) = agg count(*) from FACT hidden;
+      measure R at (d0:L2) = agg sum(M) from C;)");
+  ASSERT_TRUE(workflow.ok());
+  FactTable fact = MakeUniformFacts(schema_, 300, 100, 9);
+  RelationalEngine plain;
+  auto without = plain.Run(*workflow, fact);
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(without->tables.count("C"));
+  EngineOptions options;
+  options.include_hidden = true;
+  RelationalEngine with(options);
+  auto got = with.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->tables.count("C"));
+}
+
+TEST_F(RelationalTest, StatsExposeThePerQueryArchitecture) {
+  // Q with 3 base measures and 1 match: 3 + 1 (enumerator) fact scans.
+  auto workflow = Workflow::Parse(schema_, R"(
+      measure A at (d0:L0) = agg count(*) from FACT;
+      measure B at (d1:L0) = agg count(*) from FACT;
+      measure C at (d2:L0) = agg count(*) from FACT hidden;
+      measure W at (d2:L0) = match C using self agg sum(M);)");
+  ASSERT_TRUE(workflow.ok());
+  FactTable fact = MakeUniformFacts(schema_, 1000, 100, 11);
+  RelationalEngine engine;
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats.rows_scanned, 4000u);
+  EXPECT_GT(got->stats.sort_seconds, 0.0);
+  EXPECT_GT(got->stats.materialized_rows, 0u);
+}
+
+TEST_F(RelationalTest, VarAndCountDistinct) {
+  ExpectAgrees(R"(
+      measure V at (d0:L1) = agg var(m) from FACT;
+      measure S at (d0:L1) = agg stddev(m) from FACT;
+      measure D at (d0:L1) = agg count_distinct(m) from FACT;)");
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,339 @@
+#include <memory>
+
+#include "algebra/evaluator.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "gtest/gtest.h"
+#include "storage/table_io.h"
+#include "storage/temp_file.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+
+std::map<std::string, MeasureTable> Reference(const Workflow& workflow,
+                                              const FactTable& fact) {
+  std::map<std::string, MeasureTable> computed;
+  for (const MeasureDef& def : workflow.measures()) {
+    auto expr = workflow.ToAlgebra(def.name, /*deep=*/false);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    MeasureEnv env;
+    for (const auto& [name, table] : computed) env[name] = &table;
+    auto result = EvalAwExpr(**expr, fact, env);
+    EXPECT_TRUE(result.ok()) << def.name << ": "
+                             << result.status().ToString();
+    computed.emplace(def.name, std::move(*result));
+  }
+  return computed;
+}
+
+void ExpectConforms(const Workflow& workflow, const FactTable& fact,
+                    const SortKey& sort_key, const std::string& context) {
+  EngineOptions options;
+  options.sort_key = sort_key;
+  SortScanEngine engine(options);
+  auto got = engine.Run(workflow, fact);
+  ASSERT_TRUE(got.ok()) << context << ": " << got.status().ToString();
+  auto expected = Reference(workflow, fact);
+  for (const MeasureDef& def : workflow.measures()) {
+    if (!def.is_output) continue;
+    ExpectTablesEqual(got->tables.at(def.name), expected.at(def.name),
+                      context + "/" + def.name);
+  }
+}
+
+// The streaming machinery must be correct for EVERY sort order — the
+// order only changes memory, never results (Theorem 3). Sweep random
+// orders over a workflow mixing every arc kind.
+TEST(SortScanOrderSweepTest, AnySortOrderGivesTheSameAnswer) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 3000, 20000, 7);
+  auto workflow = Workflow::Parse(schema, R"(
+      measure Count at (t:hour, U:net24) = agg count(*) from FACT hidden;
+      measure Daily at (t:day) = agg count(*) from FACT;
+      measure Busy at (t:hour) = agg count(M) from Count where M > 1;
+      measure Avg6 at (t:hour) =
+          match Busy using sibling(t in [0, 5]) agg avg(M);
+      measure Share at (t:hour) = match Daily using parentchild agg sum(M);
+      measure MaxNet at (t:hour) = match Count using childparent agg max(M);
+      measure Mix at (t:hour) = combine(Busy, Avg6, Share, MaxNet)
+          as Busy * 100 + coalesce(Avg6, 0) + Share / 100 +
+             coalesce(MaxNet, -1);)");
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+
+  const char* keys[] = {
+      "<>",
+      "<t:second>",
+      "<t:hour>",
+      "<t:day>",
+      "<t:month>",
+      "<t:hour, U:net24>",
+      "<U:net24, t:hour>",
+      "<U:ip, t:second>",
+      "<t:day, U:net24, V:ip>",
+      "<P:port, t:hour>",
+      "<V:net16, P:range, t:hour, U:net24>",
+  };
+  for (const char* text : keys) {
+    auto key = SortKey::Parse(*schema, text);
+    ASSERT_TRUE(key.ok()) << text;
+    ExpectConforms(*workflow, fact, *key, text);
+  }
+}
+
+TEST(SortScanOrderSweepTest, RandomOrdersOnSyntheticSchema) {
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 2500, 1000, 31);
+  auto workflow = Workflow::Parse(schema, R"(
+      measure C at (d0:L0, d1:L0) = agg sum(m) from FACT hidden;
+      measure R at (d0:L1) = agg sum(M) from C;
+      measure W at (d0:L0, d1:L0) = match C using
+          sibling(d0 in [-1, 1], d1 in [0, 2]) agg sum(M);
+      measure P at (d0:L0, d1:L0) = match R using parentchild agg sum(M);
+      measure Z at (d0:L0, d1:L0) = combine(W, P) as W / (P + 1);)");
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random permutation of dimensions, random levels.
+    std::vector<int> dims{0, 1, 2, 3};
+    for (size_t i = dims.size(); i > 1; --i) {
+      std::swap(dims[i - 1], dims[rng.Uniform(i)]);
+    }
+    const int prefix = 1 + static_cast<int>(rng.Uniform(4));
+    std::vector<SortKeyPart> parts;
+    for (int i = 0; i < prefix; ++i) {
+      parts.push_back(
+          {dims[i], static_cast<int>(rng.Uniform(3))});  // L0..L2
+    }
+    SortKey key(parts);
+    ExpectConforms(*workflow, fact, key,
+                   "trial " + std::to_string(trial) + " " +
+                       key.ToString(*schema));
+  }
+}
+
+// The paper's central memory claim (§5.3): with the right sort order the
+// engine flushes finalized entries early, so the peak footprint is a
+// small fraction of the total number of regions.
+TEST(SortScanMemoryTest, EarlyFlushBoundsThePeakFootprint) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 20000, 1000, 13);
+  auto workflow = Workflow::Parse(
+      *&schema, "measure C at (d0:L0, d1:L0) = agg count(*) from FACT;");
+  ASSERT_TRUE(workflow.ok());
+
+  auto run = [&](const char* key_text) {
+    EngineOptions options;
+    auto key = SortKey::Parse(*schema, key_text);
+    EXPECT_TRUE(key.ok());
+    options.sort_key = *key;
+    SortScanEngine engine(options);
+    auto got = engine.Run(*workflow, fact);
+    EXPECT_TRUE(got.ok()) << got.status().ToString();
+    return std::move(*got);
+  };
+
+  EvalOutput sorted = run("<d0:L0, d1:L0>");
+  // A sort order on a dimension the measure rolls away gives the stream
+  // no usable order: nothing finalizes before the end of the scan.
+  EvalOutput useless = run("<d2:L0>");
+  const uint64_t total_regions = sorted.tables.at("C").num_rows();
+  ASSERT_GT(total_regions, 100u);
+  EXPECT_LT(sorted.stats.peak_hash_entries, total_regions / 10)
+      << "sorted run should flush early";
+  EXPECT_GE(useless.stats.peak_hash_entries, total_regions);
+  // Both still produce the same number of result rows.
+  EXPECT_EQ(useless.tables.at("C").num_rows(), total_regions);
+}
+
+TEST(SortScanMemoryTest, CoarserOrderStillBoundsMemory) {
+  // Table 6's worked example: data sorted by <t:month, ...> finalizes
+  // day-level entries whenever the coarser prefix advances. Here: sort by
+  // d0:L1 (blocks of 10), aggregate at (d0:L0) — at most one block's
+  // entries are in flight.
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 20000, 1000, 17);
+  auto workflow = Workflow::Parse(
+      schema, "measure C at (d0:L0) = agg count(*) from FACT;");
+  ASSERT_TRUE(workflow.ok());
+  EngineOptions options;
+  auto key = SortKey::Parse(*schema, "<d0:L1>");
+  ASSERT_TRUE(key.ok());
+  options.sort_key = *key;
+  SortScanEngine engine(options);
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok());
+  const uint64_t total = got->tables.at("C").num_rows();
+  ASSERT_GT(total, 500u);
+  // One L1 block covers 10 L0 values; allow slack for the batch interval.
+  EXPECT_LT(got->stats.peak_hash_entries, 64u) << "of " << total;
+}
+
+TEST(SortScanMemoryTest, SiblingChainStaysBounded) {
+  // Moving-window chains pipeline without materializing whole levels
+  // (Fig. 6(b)'s flat-cost claim rests on this).
+  auto schema = MakeSyntheticSchema(2, 3, 10, 100000);
+  FactTable fact = MakeUniformFacts(schema, 30000, 100000, 23);
+  std::string dsl =
+      "measure C0 at (d0:L0) = agg count(*) from FACT hidden;\n";
+  for (int i = 1; i <= 5; ++i) {
+    dsl += "measure C" + std::to_string(i) + " at (d0:L0) = match C" +
+           std::to_string(i - 1) +
+           " using sibling(d0 in [0, 3]) agg avg(M)" +
+           (i < 5 ? " hidden;\n" : ";\n");
+  }
+  auto workflow = Workflow::Parse(schema, dsl);
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  EngineOptions options;
+  auto key = SortKey::Parse(*schema, "<d0:L0>");
+  ASSERT_TRUE(key.ok());
+  options.sort_key = *key;
+  SortScanEngine engine(options);
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const uint64_t total = got->tables.at("C5").num_rows();
+  ASSERT_GT(total, 5000u);
+  // Each chain stage holds only the window reach plus batch slack.
+  EXPECT_LT(got->stats.peak_hash_entries, total / 4);
+}
+
+TEST(SortScanBatchTest, PropagationIntervalNeverChangesResults) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 2500, 8000, 63);
+  auto workflow = Workflow::Parse(schema, R"(
+      measure C at (t:hour, U:net24) = agg count(*) from FACT hidden;
+      measure W at (t:hour, U:net24) = match C using
+          sibling(t in [-1, 1]) agg sum(M);
+      measure R at (t:day) = agg sum(M) from C;)");
+  ASSERT_TRUE(workflow.ok());
+  auto expected = Reference(*workflow, fact);
+  uint64_t prev_peak = 0;
+  for (size_t batch : {size_t{1}, size_t{64}, size_t{1024},
+                       size_t{100000}}) {
+    EngineOptions options;
+    options.propagation_batch_records = batch;
+    SortScanEngine engine(options);
+    auto got = engine.Run(*workflow, fact);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (const char* name : {"W", "R"}) {
+      ExpectTablesEqual(got->tables.at(name), expected.at(name),
+                        std::string(name) + " batch " +
+                            std::to_string(batch));
+    }
+    // Larger batches can only hold entries longer, never shorter.
+    EXPECT_GE(got->stats.peak_hash_entries + 64, prev_peak)
+        << "batch " << batch;
+    prev_peak = got->stats.peak_hash_entries;
+  }
+}
+
+TEST(SortScanFileTest, OutOfCoreRunMatchesInMemoryRun) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 20000, 50000, 93);
+  auto workflow = Workflow::Parse(schema, R"(
+      measure Count at (t:hour, U:net24) = agg count(*) from FACT hidden;
+      measure Busy at (t:hour) = agg count(M) from Count where M > 1;
+      measure Avg at (t:hour) = match Busy using sibling(t in [0, 3])
+          agg avg(M);)");
+  ASSERT_TRUE(workflow.ok());
+
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("facts");
+  ASSERT_TRUE(WriteFactTableBinary(fact, path).ok());
+
+  SortScanEngine in_memory;
+  auto expected = in_memory.Run(*workflow, fact);
+  ASSERT_TRUE(expected.ok());
+
+  // Tiny budget: the file is split into many runs and merged lazily.
+  for (size_t budget : {size_t{64} << 10, size_t{256} << 20}) {
+    EngineOptions options;
+    options.memory_budget_bytes = budget;
+    SortScanEngine streaming(options);
+    auto got = streaming.RunFile(*workflow, path);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->stats.rows_scanned, fact.num_rows());
+    for (const char* name : {"Busy", "Avg"}) {
+      ExpectTablesEqual(got->tables.at(name), expected->tables.at(name),
+                        std::string(name) + " @budget " +
+                            std::to_string(budget));
+    }
+    if (budget == (size_t{64} << 10)) {
+      EXPECT_GT(got->stats.spilled_bytes, 0u);
+    }
+  }
+}
+
+TEST(SortScanFileTest, RejectsMismatchedFile) {
+  auto schema2 = MakeSyntheticSchema(2, 3, 10, 1000);
+  auto schema3 = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema2, 100, 100, 1);
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("facts");
+  ASSERT_TRUE(WriteFactTableBinary(fact, path).ok());
+  auto workflow = Workflow::Parse(
+      schema3, "measure C at (d0:L0) = agg count(*) from FACT;");
+  ASSERT_TRUE(workflow.ok());
+  SortScanEngine engine;
+  EXPECT_FALSE(engine.RunFile(*workflow, path).ok());
+  EXPECT_FALSE(engine.RunFile(*workflow, "/nonexistent.bin").ok());
+}
+
+TEST(SortScanStatsTest, ReportsSortAndScanPhases) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 5000, 1000, 3);
+  auto workflow = Workflow::Parse(
+      schema, "measure C at (d0:L0, d1:L0) = agg count(*) from FACT;");
+  ASSERT_TRUE(workflow.ok());
+  SortScanEngine engine;
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats.rows_scanned, 5000u);
+  EXPECT_GT(got->stats.total_seconds, 0.0);
+  EXPECT_FALSE(got->stats.sort_key.empty());
+  EXPECT_EQ(got->stats.passes, 1);
+  // Default key covers the dims the query uses.
+  EXPECT_NE(got->stats.sort_key.find("d0"), std::string::npos);
+}
+
+TEST(SortScanDefaultKeyTest, UsesFinestQueriedLevels) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, R"(
+      measure A at (t:day, U:net16) = agg count(*) from FACT;
+      measure B at (t:hour) = agg count(*) from FACT;)");
+  ASSERT_TRUE(workflow.ok());
+  SortKey key = SortScanEngine::DefaultSortKey(*workflow);
+  // t appears at hour (finest of day/hour); U at net16; V and P unused.
+  EXPECT_EQ(key.ToString(*schema), "<t:hour, U:net16>");
+}
+
+TEST(SortScanFilterTest, WhereClausesApplyPerArc) {
+  // The same source measure feeds two consumers with different filters.
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 4000, 1000, 41);
+  auto workflow = Workflow::Parse(schema, R"(
+      measure C at (d0:L0) = agg count(*) from FACT hidden;
+      measure Big at (d0:L1) = agg count(M) from C where M >= 4;
+      measure Small at (d0:L1) = agg count(M) from C where M < 4;
+      measure All at (d0:L1) = agg count(M) from C;
+      measure Check at (d0:L1) = combine(All, Big, Small)
+          as All - Big - Small;)");
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  SortScanEngine engine;
+  auto got = engine.Run(*workflow, fact);
+  ASSERT_TRUE(got.ok());
+  const MeasureTable& check = got->tables.at("Check");
+  for (size_t row = 0; row < check.num_rows(); ++row) {
+    EXPECT_DOUBLE_EQ(check.value(row), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,253 @@
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "storage/external_sorter.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+#include "storage/table_io.h"
+#include "storage/temp_file.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+using testing_util::MakeUniformFacts;
+
+TEST(FactTableTest, AppendAndAccess) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact(schema);
+  Value dims[3] = {1, 2, 3};
+  double m[1] = {7.5};
+  fact.AppendRow(dims, m);
+  dims[0] = 9;
+  fact.AppendRow(dims, m);
+  ASSERT_EQ(fact.num_rows(), 2u);
+  EXPECT_EQ(fact.dim_row(0)[0], 1u);
+  EXPECT_EQ(fact.dim_row(1)[0], 9u);
+  EXPECT_DOUBLE_EQ(fact.measure_row(1)[0], 7.5);
+  EXPECT_EQ(fact.RowBytes(), 3 * 8 + 8u);
+}
+
+TEST(FactTableTest, Permute) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact(schema);
+  for (Value v = 0; v < 5; ++v) {
+    Value dims[2] = {v, 10 + v};
+    double m[1] = {static_cast<double>(v)};
+    fact.AppendRow(dims, m);
+  }
+  fact.Permute({4, 3, 2, 1, 0});
+  EXPECT_EQ(fact.dim_row(0)[0], 4u);
+  EXPECT_EQ(fact.dim_row(4)[0], 0u);
+  EXPECT_DOUBLE_EQ(fact.measure_row(0)[0], 4.0);
+}
+
+TEST(MeasureTableTest, SortByKeyLex) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  MeasureTable t(schema, Granularity::Base(*schema), "m");
+  t.Append(RegionKey{2, 1}, 10);
+  t.Append(RegionKey{1, 9}, 20);
+  t.Append(RegionKey{1, 2}, 30);
+  t.SortByKeyLex();
+  EXPECT_EQ(t.key_row(0)[0], 1u);
+  EXPECT_EQ(t.key_row(0)[1], 2u);
+  EXPECT_DOUBLE_EQ(t.value(0), 30);
+  EXPECT_EQ(t.key_row(2)[0], 2u);
+}
+
+TEST(MeasureTableTest, SortByGeneralizedKey) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  MeasureTable t(schema, Granularity::Base(*schema), "m");
+  // Under <d0:L1> (fan-out 10), 15 and 12 share bucket 1; 5 is bucket 0.
+  t.Append(RegionKey{15, 0}, 1);
+  t.Append(RegionKey{5, 0}, 2);
+  t.Append(RegionKey{12, 0}, 3);
+  auto key = SortKey::Parse(*schema, "<d0:L1>");
+  ASSERT_TRUE(key.ok());
+  t.SortBy(*key);
+  EXPECT_EQ(t.key_row(0)[0], 5u);
+  // Tie within bucket 1 broken by full key: 12 before 15.
+  EXPECT_EQ(t.key_row(1)[0], 12u);
+  EXPECT_EQ(t.key_row(2)[0], 15u);
+}
+
+TEST(MeasureTableTest, CloneIsDeep) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  MeasureTable t(schema, Granularity::Base(*schema), "m");
+  t.Append(RegionKey{1, 1}, 5);
+  MeasureTable copy = t.Clone();
+  copy.set_value(0, 9);
+  EXPECT_DOUBLE_EQ(t.value(0), 5);
+  EXPECT_DOUBLE_EQ(copy.value(0), 9);
+}
+
+TEST(TempDirTest, CreatesAndRemoves) {
+  std::string path;
+  {
+    auto dir = TempDir::Make();
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    path = dir->path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::string f1 = dir->NewFilePath("x");
+    std::string f2 = dir->NewFilePath("x");
+    EXPECT_NE(f1, f2);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(SpillIoTest, WriteReadRoundTrip) {
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("t");
+  SpillWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  uint64_t data[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(writer.Write(data, sizeof(data)).ok());
+  EXPECT_EQ(writer.bytes_written(), sizeof(data));
+  ASSERT_TRUE(writer.Close().ok());
+
+  SpillReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  uint64_t got[4] = {};
+  Status status;
+  ASSERT_TRUE(reader.Read(got, sizeof(got), &status));
+  EXPECT_EQ(got[3], 4u);
+  EXPECT_FALSE(reader.Read(got, 8, &status));  // clean EOF
+  EXPECT_TRUE(status.ok());
+}
+
+class ExternalSortTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ExternalSortTest, SortsUnderAnyBudget) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 5000, 1000, /*seed=*/3);
+  auto key = SortKey::Parse(*schema, "<d0:L1, d1:L0>");
+  ASSERT_TRUE(key.ok());
+
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  SortStats stats;
+  // GetParam() is the memory budget: tiny budgets force the external path.
+  auto sorted = SortFactTable(MakeUniformFacts(schema, 5000, 1000, 3),
+                              *key, GetParam(), &*dir, &stats);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  ASSERT_EQ(sorted->num_rows(), fact.num_rows());
+
+  // Sorted under the order vector.
+  for (size_t row = 1; row < sorted->num_rows(); ++row) {
+    EXPECT_LE(key->CompareBaseKeys(*schema, sorted->dim_row(row - 1),
+                                   sorted->dim_row(row)),
+              0)
+        << "row " << row;
+  }
+  // Same multiset of rows: compare row checksums.
+  auto checksum = [&](const FactTable& t) {
+    uint64_t sum = 0;
+    for (size_t row = 0; row < t.num_rows(); ++row) {
+      uint64_t h = HashSpan(t.dim_row(row), 3);
+      h = HashCombine(h, static_cast<uint64_t>(t.measure_row(row)[0]));
+      sum += h;
+    }
+    return sum;
+  };
+  EXPECT_EQ(checksum(fact), checksum(*sorted));
+  if (GetParam() < 100000) {
+    EXPECT_GT(stats.runs, 1u) << "small budget should spill runs";
+    EXPECT_GT(stats.spilled_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ExternalSortTest,
+                         ::testing::Values<size_t>(16ull << 20,  // in-memory
+                                                   64 << 10,     // a few runs
+                                                   16 << 10));   // many runs
+
+TEST(ExternalSortTest, EmptyAndSingleRow) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  auto key = SortKey::Parse(*schema, "<d0:L0>");
+  ASSERT_TRUE(key.ok());
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+
+  auto empty = SortFactTable(FactTable(schema), *key, 1 << 20, &*dir,
+                             nullptr);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+
+  FactTable one(schema);
+  Value dims[2] = {5, 6};
+  double m[1] = {1.0};
+  one.AppendRow(dims, m);
+  auto sorted = SortFactTable(std::move(one), *key, 1 << 20, &*dir,
+                              nullptr);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->num_rows(), 1u);
+  EXPECT_EQ(sorted->dim_row(0)[0], 5u);
+}
+
+TEST(TableIoTest, FactBinaryRoundTrip) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 200, 1000, 11);
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("fact");
+  ASSERT_TRUE(WriteFactTableBinary(fact, path).ok());
+  auto loaded = ReadFactTableBinary(schema, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), fact.num_rows());
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(loaded->dim_row(row)[i], fact.dim_row(row)[i]);
+    }
+    EXPECT_DOUBLE_EQ(loaded->measure_row(row)[0],
+                     fact.measure_row(row)[0]);
+  }
+}
+
+TEST(TableIoTest, FactCsvRoundTrip) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 50, 100, 13);
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("fact_csv");
+  ASSERT_TRUE(WriteFactTableCsv(fact, path).ok());
+  auto loaded = ReadFactTableCsv(schema, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), fact.num_rows());
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    EXPECT_EQ(loaded->dim_row(row)[1], fact.dim_row(row)[1]);
+  }
+}
+
+TEST(TableIoTest, MeasureBinaryRoundTrip) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  auto gran = Granularity::Parse(*schema, "(d0:L1)");
+  ASSERT_TRUE(gran.ok());
+  MeasureTable t(schema, *gran, "count");
+  t.Append(RegionKey{3, 0}, 42);
+  t.Append(RegionKey{5, 0}, std::nan(""));
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("measure");
+  ASSERT_TRUE(WriteMeasureTableBinary(t, path).ok());
+  auto loaded = ReadMeasureTableBinary(schema, *gran, "count", path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->value(0), 42);
+  EXPECT_TRUE(std::isnan(loaded->value(1)));
+  EXPECT_EQ(loaded->key_row(0)[0], 3u);
+}
+
+TEST(TableIoTest, RejectsWrongSchema) {
+  auto schema2 = MakeSyntheticSchema(2, 3, 10, 1000);
+  auto schema3 = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema2, 10, 100, 1);
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("fact");
+  ASSERT_TRUE(WriteFactTableBinary(fact, path).ok());
+  EXPECT_FALSE(ReadFactTableBinary(schema3, path).ok());
+}
+
+}  // namespace
+}  // namespace csm

@@ -1,0 +1,107 @@
+#ifndef CSM_TESTS_TEST_UTIL_H_
+#define CSM_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "model/schema.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+
+namespace csm {
+namespace testing_util {
+
+/// Asserts a Status / Result is OK with a useful failure message.
+#define CSM_ASSERT_OK(expr)                                 \
+  do {                                                      \
+    const auto& _s = (expr);                                \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                  \
+  } while (false)
+
+#define CSM_ASSERT_RESULT_OK(expr)                          \
+  do {                                                      \
+    const auto& _r = (expr);                                \
+    ASSERT_TRUE(_r.ok()) << _r.status().ToString();         \
+  } while (false)
+
+#define CSM_EXPECT_OK(expr)                                 \
+  do {                                                      \
+    const auto& _s = (expr);                                \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                  \
+  } while (false)
+
+/// Unwraps a Result<T> inside a test, failing fatally on error.
+#define CSM_ASSERT_OK_AND_ASSIGN(lhs, expr)                 \
+  CSM_ASSERT_OK_AND_ASSIGN_IMPL(                            \
+      CSM_TEST_CONCAT(_csm_test_result_, __LINE__), lhs, expr)
+#define CSM_TEST_CONCAT_(a, b) a##b
+#define CSM_TEST_CONCAT(a, b) CSM_TEST_CONCAT_(a, b)
+#define CSM_ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)       \
+  auto tmp = (expr);                                        \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();         \
+  lhs = std::move(tmp).ValueOrDie()
+
+/// Generates `rows` uniform records over the synthetic schema (dims in
+/// [0, card)), measure = small integers. Deterministic per seed.
+inline FactTable MakeUniformFacts(SchemaPtr schema, size_t rows,
+                                  uint64_t card, uint64_t seed) {
+  Rng rng(seed);
+  FactTable fact(schema);
+  fact.Reserve(rows);
+  const int d = schema->num_dims();
+  const int m = schema->num_measures();
+  std::vector<Value> dims(d);
+  std::vector<double> measures(m);
+  for (size_t row = 0; row < rows; ++row) {
+    for (int i = 0; i < d; ++i) dims[i] = rng.Uniform(card);
+    for (int i = 0; i < m; ++i) {
+      measures[i] = static_cast<double>(rng.Uniform(100));
+    }
+    fact.AppendRow(dims.data(), measures.data());
+  }
+  return fact;
+}
+
+/// Canonical map form of a measure table: key -> value, for comparisons.
+inline std::map<std::vector<Value>, double> ToMap(const MeasureTable& t) {
+  std::map<std::vector<Value>, double> out;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::vector<Value> key(t.key_row(row), t.key_row(row) + t.num_dims());
+    out[key] = t.value(row);
+  }
+  return out;
+}
+
+/// Expects two measure tables to hold the same regions and values
+/// (NaN == NaN; doubles compared with a small tolerance).
+inline void ExpectTablesEqual(const MeasureTable& a, const MeasureTable& b,
+                              const std::string& context = "") {
+  auto ma = ToMap(a);
+  auto mb = ToMap(b);
+  EXPECT_EQ(ma.size(), mb.size())
+      << context << ": row count " << ma.size() << " vs " << mb.size();
+  for (const auto& [key, va] : ma) {
+    auto it = mb.find(key);
+    if (it == mb.end()) {
+      ADD_FAILURE() << context << ": key missing from second table";
+      continue;
+    }
+    const double vb = it->second;
+    if (std::isnan(va) || std::isnan(vb)) {
+      EXPECT_TRUE(std::isnan(va) && std::isnan(vb))
+          << context << ": " << va << " vs " << vb;
+    } else {
+      EXPECT_NEAR(va, vb, 1e-9 * (1.0 + std::fabs(va)))
+          << context << ": value mismatch";
+    }
+  }
+}
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,135 @@
+// End-to-end test of the csm_query CLI: writes a CSV fact file and a DSL
+// query to a scratch directory, invokes the tool for every engine, and
+// checks the produced measure CSVs.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "model/schema.h"
+#include "storage/table_io.h"
+#include "storage/temp_file.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ToolPath() {
+  // ctest runs tests with CWD = build/tests; the tool lives beside it.
+  for (const char* candidate :
+       {"../tools/csm_query", "tools/csm_query", "./csm_query"}) {
+    if (fs::exists(candidate)) return candidate;
+  }
+  return "";
+}
+
+class ToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tool_ = ToolPath();
+    if (tool_.empty()) GTEST_SKIP() << "csm_query binary not found";
+    auto dir = TempDir::Make();
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+
+    auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+    SyntheticDataOptions options;
+    options.rows = 2000;
+    options.seed = 77;
+    FactTable fact = GenerateSyntheticFacts(schema, options);
+    facts_csv_ = dir_->path() + "/facts.csv";
+    ASSERT_TRUE(WriteFactTableCsv(fact, facts_csv_).ok());
+    facts_bin_ = dir_->path() + "/facts.bin";
+    ASSERT_TRUE(WriteFactTableBinary(fact, facts_bin_).ok());
+
+    query_path_ = dir_->path() + "/query.dsl";
+    std::ofstream query(query_path_);
+    query << R"(
+      measure C at (d0:L0, d1:L1) = agg count(*) from FACT hidden;
+      measure R at (d0:L1) = agg sum(M) from C;
+      measure W at (d0:L1) = match R using sibling(d0 in [0, 2])
+          agg avg(M);
+    )";
+  }
+
+  int RunTool(const std::string& args) {
+    std::string cmd = tool_ + " --schema synthetic:3,3,10,1000 " + args +
+                      " > " + dir_->path() + "/stdout.txt 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  std::string Stdout() {
+    std::ifstream in(dir_->path() + "/stdout.txt");
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::string tool_;
+  std::unique_ptr<TempDir> dir_;
+  std::string facts_csv_, facts_bin_, query_path_;
+};
+
+TEST_F(ToolTest, RunsEveryEngineOverCsvFacts) {
+  for (const char* engine :
+       {"adaptive", "sortscan", "singlescan", "multipass", "relational"}) {
+    const std::string out_dir = dir_->path() + "/out_" + engine;
+    int rc = RunTool("--facts " + facts_csv_ + " --query " + query_path_ +
+                     " --engine " + engine + " --out " + out_dir);
+    EXPECT_EQ(rc, 0) << engine << "\n" << Stdout();
+    EXPECT_TRUE(fs::exists(out_dir + "/R.csv")) << engine;
+    EXPECT_TRUE(fs::exists(out_dir + "/W.csv")) << engine;
+    EXPECT_FALSE(fs::exists(out_dir + "/C.csv")) << "hidden measure leaked";
+  }
+}
+
+TEST_F(ToolTest, BinaryFactsAndExplain) {
+  int rc = RunTool("--facts " + facts_bin_ + " --query " + query_path_ +
+                   " --explain --include-hidden --out " + dir_->path() +
+                   "/out_bin");
+  ASSERT_EQ(rc, 0) << Stdout();
+  std::string out = Stdout();
+  EXPECT_NE(out.find("sort order:"), std::string::npos);
+  EXPECT_NE(out.find("adaptive engine choice:"), std::string::npos);
+  EXPECT_TRUE(fs::exists(dir_->path() + "/out_bin/C.csv"))
+      << "--include-hidden should emit intermediates";
+}
+
+TEST_F(ToolTest, StreamingModeOverBinaryFacts) {
+  const std::string out_dir = dir_->path() + "/out_stream";
+  int rc = RunTool("--facts " + facts_bin_ + " --query " + query_path_ +
+                   " --engine sortscan --stream --budget-mb 1 --out " +
+                   out_dir);
+  ASSERT_EQ(rc, 0) << Stdout();
+  EXPECT_NE(Stdout().find("streaming"), std::string::npos);
+  EXPECT_TRUE(fs::exists(out_dir + "/R.csv"));
+  // Streaming over CSV is rejected.
+  EXPECT_NE(RunTool("--facts " + facts_csv_ + " --query " + query_path_ +
+                    " --engine sortscan --stream"),
+            0);
+}
+
+TEST_F(ToolTest, ExplicitSortKeyIsHonored) {
+  int rc = RunTool("--facts " + facts_csv_ + " --query " + query_path_ +
+                   " --engine sortscan --sort-key \"<d0:L0>\"");
+  ASSERT_EQ(rc, 0) << Stdout();
+  EXPECT_NE(Stdout().find("<d0:L0>"), std::string::npos);
+}
+
+TEST_F(ToolTest, FailsCleanlyOnBadInput) {
+  EXPECT_NE(RunTool("--facts /nonexistent.csv --query " + query_path_), 0);
+  // Malformed query file.
+  std::string bad_query = dir_->path() + "/bad.dsl";
+  std::ofstream(bad_query) << "measure broken at";
+  EXPECT_NE(RunTool("--facts " + facts_csv_ + " --query " + bad_query), 0);
+  // Unknown engine.
+  EXPECT_NE(RunTool("--facts " + facts_csv_ + " --query " + query_path_ +
+                    " --engine quantum"),
+            0);
+}
+
+}  // namespace
+}  // namespace csm

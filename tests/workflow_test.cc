@@ -1,0 +1,303 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "algebra/evaluator.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+
+// The paper's running example (Examples 1-5) as DSL.
+constexpr char kExampleDsl[] = R"(
+  # Example 1: hourly per-source packet counts.
+  measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+  # Example 2: number of busy sources per hour.
+  measure SCount at (t:hour) = agg count(M) from Count where M > 5;
+  # Example 3: traffic from busy sources per hour.
+  measure STraffic at (t:hour) = agg sum(M) from Count where M > 5;
+  # Example 4: six-hour moving average of the busy-source count.
+  measure AvgCount at (t:hour) =
+      match SCount using sibling(t in [0, 5]) agg avg(M);
+  # Example 5: ratio of the moving average to per-source traffic.
+  measure Ratio at (t:hour) = combine(AvgCount, STraffic, SCount)
+      as AvgCount / (STraffic / SCount);
+)";
+
+TEST(WorkflowParseTest, ParsesTheRunningExample) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, kExampleDsl);
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  ASSERT_EQ(workflow->measures().size(), 5u);
+
+  auto count = workflow->Find("Count");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ((*count)->op, MeasureOp::kBaseAgg);
+  EXPECT_EQ((*count)->agg.kind, AggKind::kCount);
+  EXPECT_EQ((*count)->agg.arg, -1);
+  EXPECT_FALSE((*count)->is_output);
+
+  auto scount = workflow->Find("SCount");
+  ASSERT_TRUE(scount.ok());
+  EXPECT_EQ((*scount)->op, MeasureOp::kRollup);
+  EXPECT_EQ((*scount)->input, "Count");
+  ASSERT_NE((*scount)->where, nullptr);
+  EXPECT_TRUE((*scount)->is_output);
+
+  auto avg = workflow->Find("AvgCount");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ((*avg)->op, MeasureOp::kMatch);
+  EXPECT_EQ((*avg)->match.type, MatchType::kSibling);
+  ASSERT_EQ((*avg)->match.windows.size(), 1u);
+  EXPECT_EQ((*avg)->match.windows[0].dim, 0);
+  EXPECT_EQ((*avg)->match.windows[0].lo, 0);
+  EXPECT_EQ((*avg)->match.windows[0].hi, 5);
+  EXPECT_EQ((*avg)->agg.kind, AggKind::kAvg);
+
+  auto ratio = workflow->Find("Ratio");
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_EQ((*ratio)->op, MeasureOp::kCombine);
+  ASSERT_EQ((*ratio)->combine_inputs.size(), 3u);
+  EXPECT_EQ((*ratio)->combine_inputs[0], "AvgCount");
+}
+
+TEST(WorkflowParseTest, DslRoundTrip) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, kExampleDsl);
+  ASSERT_TRUE(workflow.ok());
+  std::string dsl = workflow->ToDsl();
+  auto reparsed = Workflow::Parse(schema, dsl);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << dsl;
+  EXPECT_EQ(reparsed->measures().size(), workflow->measures().size());
+  // Semantically identical: evaluate both via the algebra and compare.
+  FactTable fact = MakeUniformFacts(schema, 500, 50, 5);
+  for (const MeasureDef& def : workflow->measures()) {
+    auto ea = workflow->ToAlgebra(def.name, /*deep=*/true);
+    auto eb = reparsed->ToAlgebra(def.name, /*deep=*/true);
+    ASSERT_TRUE(ea.ok() && eb.ok());
+    auto ra = EvalAwExpr(**ea, fact);
+    auto rb = EvalAwExpr(**eb, fact);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ExpectTablesEqual(*ra, *rb, def.name);
+  }
+}
+
+TEST(WorkflowParseTest, CaseInsensitiveKeywords) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(
+      schema,
+      "MEASURE C AT (t:Hour) = AGG Count(*) FROM fact WHERE bytes > 10;");
+  ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+  EXPECT_EQ(workflow->measures()[0].name, "C");
+}
+
+TEST(WorkflowParseTest, RejectsMalformedStatements) {
+  auto schema = MakeNetworkLogSchema();
+  const char* bad[] = {
+      "count at (t:hour) = agg count(*) from FACT;",   // missing 'measure'
+      "measure X = agg count(*) from FACT;",           // missing 'at'
+      "measure X at (t:hour) agg count(*) from FACT;", // missing '='
+      "measure X at (t:hour) = agg count(*);",         // missing 'from'
+      "measure X at (t:hour) = agg count(*) from Nope;",  // unknown input
+      "measure X at (t:hour) = blend(A, B) as 1;",     // unknown op
+      "measure X at (t:hour) = agg median(*) from FACT;",  // unknown fn
+      "measure X at (t:zzz) = agg count(*) from FACT;",    // bad level
+      "measure X at (t:hour) = agg count(*) from FACT extra;",
+      "measure X at (t:hour) = match Y using self agg sum(M);",  // no Y
+  };
+  for (const char* dsl : bad) {
+    EXPECT_FALSE(Workflow::Parse(schema, dsl).ok()) << dsl;
+  }
+}
+
+TEST(WorkflowValidationTest, GranularityRules) {
+  auto schema = MakeNetworkLogSchema();
+  // Roll-up must go coarser.
+  EXPECT_FALSE(Workflow::Parse(schema, R"(
+      measure A at (t:day) = agg count(*) from FACT;
+      measure B at (t:hour) = agg sum(M) from A;)")
+                   .ok());
+  // Sibling requires equal granularity.
+  EXPECT_FALSE(Workflow::Parse(schema, R"(
+      measure A at (t:day) = agg count(*) from FACT;
+      measure B at (t:hour) = match A using sibling(t in [0,1]) agg avg(M);)")
+                   .ok());
+  // Sibling window on a rolled-away dimension.
+  EXPECT_FALSE(Workflow::Parse(schema, R"(
+      measure A at (t:day) = agg count(*) from FACT;
+      measure B at (t:day) = match A using sibling(U in [0,1]) agg avg(M);)")
+                   .ok());
+  // Parent/child requires the input to be coarser.
+  EXPECT_FALSE(Workflow::Parse(schema, R"(
+      measure A at (t:hour) = agg count(*) from FACT;
+      measure B at (t:day) = match A using parentchild agg sum(M);)")
+                   .ok());
+  // The same statement the right way round parses.
+  EXPECT_TRUE(Workflow::Parse(schema, R"(
+      measure A at (t:day) = agg count(*) from FACT;
+      measure B at (t:hour) = match A using parentchild agg sum(M);)")
+                  .ok());
+}
+
+TEST(WorkflowValidationTest, NameRules) {
+  auto schema = MakeNetworkLogSchema();
+  // Duplicate measure.
+  EXPECT_FALSE(Workflow::Parse(schema, R"(
+      measure A at (t:day) = agg count(*) from FACT;
+      measure A at (t:day) = agg count(*) from FACT;)")
+                   .ok());
+  // Collides with a dimension.
+  EXPECT_FALSE(Workflow::Parse(
+                   schema, "measure t at (t:day) = agg count(*) from FACT;")
+                   .ok());
+  // Reserved.
+  EXPECT_FALSE(Workflow::Parse(
+                   schema, "measure M at (t:day) = agg count(*) from FACT;")
+                   .ok());
+  // Unknown variable in where.
+  EXPECT_FALSE(Workflow::Parse(schema, R"(
+      measure A at (t:day) = agg count(*) from FACT where nonsense > 1;)")
+                   .ok());
+  // Combine expression referencing a non-input measure.
+  EXPECT_FALSE(Workflow::Parse(schema, R"(
+      measure A at (t:day) = agg count(*) from FACT;
+      measure B at (t:day) = agg sum(bytes) from FACT;
+      measure C at (t:day) = combine(A) as A + B;)")
+                   .ok());
+}
+
+TEST(WorkflowAlgebraTest, ShallowTranslationUsesRefs) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, kExampleDsl);
+  ASSERT_TRUE(workflow.ok());
+  auto shallow = workflow->ToAlgebra("SCount", /*deep=*/false);
+  ASSERT_TRUE(shallow.ok()) << shallow.status().ToString();
+  EXPECT_EQ((*shallow)->kind(), AwKind::kAggregate);
+  // Input should be σ over a measure ref, not over D.
+  const auto& input = (*shallow)->input();
+  ASSERT_EQ(input->kind(), AwKind::kSelect);
+  EXPECT_EQ(input->input()->kind(), AwKind::kMeasureRef);
+  EXPECT_EQ(input->input()->name(), "Count");
+}
+
+TEST(WorkflowAlgebraTest, DeepTranslationMatchesComposedEvaluation) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, kExampleDsl);
+  ASSERT_TRUE(workflow.ok());
+  FactTable fact = MakeUniformFacts(schema, 2000, 40, 21);
+
+  // Evaluate measure-by-measure through refs (workflow semantics)...
+  std::map<std::string, MeasureTable> computed;
+  for (const MeasureDef& def : workflow->measures()) {
+    auto expr = workflow->ToAlgebra(def.name, /*deep=*/false);
+    ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+    MeasureEnv env;
+    for (const auto& [name, table] : computed) env[name] = &table;
+    auto result = EvalAwExpr(**expr, fact, env);
+    ASSERT_TRUE(result.ok()) << def.name << ": "
+                             << result.status().ToString();
+    computed.emplace(def.name, std::move(*result));
+  }
+  // ... and compare with the fully expanded expression per measure.
+  for (const MeasureDef& def : workflow->measures()) {
+    auto deep = workflow->ToAlgebra(def.name, /*deep=*/true);
+    ASSERT_TRUE(deep.ok());
+    auto result = EvalAwExpr(**deep, fact);
+    ASSERT_TRUE(result.ok()) << def.name;
+    ExpectTablesEqual(computed.at(def.name), *result, def.name);
+  }
+}
+
+TEST(WorkflowAlgebraTest, MatchTranslationBuildsSBase) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, kExampleDsl);
+  ASSERT_TRUE(workflow.ok());
+  auto expr = workflow->ToAlgebra("AvgCount", /*deep=*/false);
+  ASSERT_TRUE(expr.ok());
+  ASSERT_EQ((*expr)->kind(), AwKind::kMatchJoin);
+  // Theorem 2 translation: S = g_{G,0}(D).
+  const auto& s = (*expr)->source();
+  EXPECT_EQ(s->kind(), AwKind::kAggregate);
+  EXPECT_EQ(s->agg().kind, AggKind::kNone);
+  EXPECT_EQ(s->input()->kind(), AwKind::kFactTable);
+}
+
+TEST(WorkflowTest, ToDotRendersThePictorialForm) {
+  auto schema = MakeNetworkLogSchema();
+  auto workflow = Workflow::Parse(schema, kExampleDsl);
+  ASSERT_TRUE(workflow.ok());
+  std::string dot = workflow->ToDot();
+  // One cluster per region set: (t:hour, U:ip) and (t:hour).
+  EXPECT_NE(dot.find("digraph workflow"), std::string::npos);
+  EXPECT_NE(dot.find("(t:hour, U:ip)"), std::string::npos);
+  EXPECT_NE(dot.find("(t:hour)"), std::string::npos);
+  // Measures appear as nodes; hidden ones dashed.
+  EXPECT_NE(dot.find("\"Count\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // Arcs carry their conditions.
+  EXPECT_NE(dot.find("sibling(t in [0, 5])"), std::string::npos);
+  EXPECT_NE(dot.find("\"SCount\" -> \"AvgCount\""), std::string::npos);
+  EXPECT_NE(dot.find("combine"), std::string::npos);
+  // Balanced braces (a cheap well-formedness check).
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(WorkflowTest, ShippedQueryFilesParse) {
+  // The sample DSL files under examples/queries must stay valid against
+  // the network schema.
+  namespace fs = std::filesystem;
+  std::string dir;
+  for (const char* candidate :
+       {"../../examples/queries", "../examples/queries",
+        "examples/queries"}) {
+    if (fs::exists(candidate)) {
+      dir = candidate;
+      break;
+    }
+  }
+  if (dir.empty()) GTEST_SKIP() << "examples/queries not found from cwd";
+  auto schema = MakeNetworkLogSchema();
+  int parsed = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dsl") continue;
+    std::ifstream in(entry.path());
+    std::string dsl(std::istreambuf_iterator<char>(in), {});
+    auto workflow = Workflow::Parse(schema, dsl);
+    EXPECT_TRUE(workflow.ok())
+        << entry.path() << ": " << workflow.status().ToString();
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 3);
+}
+
+TEST(WorkflowTest, ProgrammaticConstruction) {
+  auto schema = MakeSyntheticSchema();
+  Workflow workflow(schema);
+  MeasureDef base;
+  base.name = "Total";
+  auto gran = Granularity::Parse(*schema, "(d0:L1)");
+  ASSERT_TRUE(gran.ok());
+  base.gran = *gran;
+  base.op = MeasureOp::kBaseAgg;
+  base.agg = {AggKind::kSum, 0};
+  ASSERT_TRUE(workflow.AddMeasure(base).ok());
+  // Forward references are rejected (insertion order is dependency
+  // order).
+  MeasureDef dependent;
+  dependent.name = "FromFuture";
+  dependent.gran = Granularity::All(*schema);
+  dependent.op = MeasureOp::kRollup;
+  dependent.agg = {AggKind::kSum, 0};
+  dependent.input = "NotYet";
+  EXPECT_FALSE(workflow.AddMeasure(dependent).ok());
+}
+
+}  // namespace
+}  // namespace csm

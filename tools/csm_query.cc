@@ -1,0 +1,273 @@
+// csm_query — the standalone, lightweight analysis tool the paper's
+// introduction calls for: evaluate an aggregation-workflow query over a
+// flat fact file without importing anything into a DBMS.
+//
+// Usage:
+//   csm_query --schema net --facts log.csv --query query.dsl
+//             [--engine adaptive] [--budget-mb 256] [--sort-key K]
+//             [--out results_dir] [--dot workflow.dot] [--explain]
+//             [--stream] [--include-hidden]
+//
+// Schemas:
+//   net                      the Table-1 network log schema
+//                            (t, U, V, P + bytes)
+//   synthetic[:d,l,f,c]      d dims, l non-ALL levels, fan-out f, base
+//                            cardinality c (defaults 4,3,10,1000)
+//
+// Fact files: .csv (header row) or .bin (WriteFactTableBinary format).
+// Each output measure is written to <out>/<measure>.csv; stats go to
+// stdout.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "exec/adaptive.h"
+#include "exec/multi_pass.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "model/schema.h"
+#include "opt/cost_model.h"
+#include "opt/footprint.h"
+#include "opt/sort_order.h"
+#include "relational/relational_engine.h"
+#include "storage/table_io.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --schema net|synthetic[:d,l,f,c] --facts FILE.csv|.bin\n"
+      "          --query FILE.dsl [--engine adaptive|sortscan|singlescan|\n"
+      "          multipass|relational] [--budget-mb N] [--sort-key K]\n"
+      "          [--out DIR] [--dot FILE] [--explain] [--stream]\n"
+      "          [--include-hidden]\n",
+      argv0);
+  return 2;
+}
+
+Result<SchemaPtr> ParseSchemaSpec(const std::string& spec) {
+  if (spec == "net") return MakeNetworkLogSchema();
+  if (StartsWith(spec, "synthetic")) {
+    int dims = 4, levels = 3;
+    uint64_t fanout = 10, card = 1000;
+    size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+      auto parts = Split(spec.substr(colon + 1), ',');
+      if (parts.size() != 4) {
+        return Status::InvalidArgument(
+            "synthetic schema spec needs 4 parameters: d,l,f,c");
+      }
+      int64_t d, l;
+      if (!ParseInt64(parts[0], &d) || !ParseInt64(parts[1], &l) ||
+          !ParseUint64(parts[2], &fanout) ||
+          !ParseUint64(parts[3], &card)) {
+        return Status::InvalidArgument("bad synthetic schema parameters");
+      }
+      dims = static_cast<int>(d);
+      levels = static_cast<int>(l);
+    }
+    return MakeSyntheticSchema(dims, levels, fanout,
+                               static_cast<double>(card));
+  }
+  return Status::InvalidArgument("unknown schema '" + spec + "'");
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int RealMain(int argc, char** argv) {
+  std::string schema_spec, facts_path, query_path, engine_name = "adaptive";
+  std::string out_dir, sort_key_text, dot_path;
+  size_t budget_mb = 256;
+  bool explain = false, include_hidden = false, stream = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--schema")) {
+      if (const char* v = next()) schema_spec = v;
+    } else if (!std::strcmp(argv[i], "--facts")) {
+      if (const char* v = next()) facts_path = v;
+    } else if (!std::strcmp(argv[i], "--query")) {
+      if (const char* v = next()) query_path = v;
+    } else if (!std::strcmp(argv[i], "--engine")) {
+      if (const char* v = next()) engine_name = v;
+    } else if (!std::strcmp(argv[i], "--out")) {
+      if (const char* v = next()) out_dir = v;
+    } else if (!std::strcmp(argv[i], "--sort-key")) {
+      if (const char* v = next()) sort_key_text = v;
+    } else if (!std::strcmp(argv[i], "--dot")) {
+      if (const char* v = next()) dot_path = v;
+    } else if (!std::strcmp(argv[i], "--budget-mb")) {
+      if (const char* v = next()) budget_mb = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--explain")) {
+      explain = true;
+    } else if (!std::strcmp(argv[i], "--stream")) {
+      stream = true;
+    } else if (!std::strcmp(argv[i], "--include-hidden")) {
+      include_hidden = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+  if (schema_spec.empty() || facts_path.empty() || query_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  auto report = [](const Status& status) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  };
+
+  auto schema = ParseSchemaSpec(schema_spec);
+  if (!schema.ok()) return report(schema.status());
+
+  auto dsl = ReadFile(query_path);
+  if (!dsl.ok()) return report(dsl.status());
+  auto workflow = Workflow::Parse(*schema, *dsl);
+  if (!workflow.ok()) return report(workflow.status());
+
+  if (!dot_path.empty()) {
+    // Export the pictorial workflow (paper Fig. 3) for `dot -Tsvg`.
+    std::ofstream dot(dot_path);
+    if (!dot) return report(Status::IOError("cannot write " + dot_path));
+    dot << workflow->ToDot();
+    std::printf("wrote workflow graph to %s\n", dot_path.c_str());
+  }
+
+  EngineOptions options;
+  options.memory_budget_bytes = budget_mb << 20;
+  options.include_hidden = include_hidden;
+  if (!sort_key_text.empty()) {
+    auto key = SortKey::Parse(**schema, sort_key_text);
+    if (!key.ok()) return report(key.status());
+    options.sort_key = *key;
+  }
+
+  if (explain) {
+    auto key = options.sort_key.empty()
+                   ? BruteForceSortKey(*workflow)
+                   : Result<SortKey>(options.sort_key);
+    if (!key.ok()) return report(key.status());
+    auto footprint = EstimateFootprint(*workflow, *key);
+    if (!footprint.ok()) return report(footprint.status());
+    std::printf("query plan:\n%s", workflow->ToDsl().c_str());
+    std::printf("\nsort order: %s\nestimated footprint:\n%s\n",
+                key->ToString(**schema).c_str(),
+                footprint->ToString(**schema).c_str());
+    // §6 cost factors for each strategy (abstract row-op units).
+    const double rows = 1e6;  // nominal; ratios are what matter
+    auto ss = EstimateSortScanCost(*workflow, *key, rows);
+    auto single = EstimateSingleScanCost(*workflow, rows);
+    auto db = EstimateRelationalCost(*workflow, rows);
+    if (ss.ok() && single.ok() && db.ok()) {
+      std::printf("estimated cost per 1M records:\n");
+      std::printf("  sort/scan:   %s\n", ss->ToString().c_str());
+      std::printf("  single-scan: %s\n", single->ToString().c_str());
+      std::printf("  relational:  %s\n", db->ToString().c_str());
+    }
+    AdaptiveEngine adaptive(options);
+    auto choice = adaptive.Decide(*workflow);
+    if (choice.ok()) {
+      std::printf("adaptive engine choice: %s\n\n",
+                  std::string(AdaptiveChoiceName(*choice)).c_str());
+    }
+  }
+
+  std::string lower = ToLower(engine_name);
+  Result<EvalOutput> result = Status::Internal("unreachable");
+  std::string engine_label = lower;
+
+  if (stream) {
+    // Out-of-core path: the dataset is never fully resident. Requires a
+    // binary fact file and the sort/scan engine.
+    if (!EndsWith(facts_path, ".bin")) {
+      std::fprintf(stderr, "--stream requires a .bin fact file\n");
+      return 2;
+    }
+    if (lower != "sortscan" && lower != "sort-scan" &&
+        lower != "adaptive") {
+      std::fprintf(stderr, "--stream supports the sortscan engine only\n");
+      return 2;
+    }
+    SortScanEngine engine(options);
+    engine_label = "sort-scan (streaming)";
+    result = engine.RunFile(*workflow, facts_path);
+  } else {
+    Result<FactTable> fact = Status::InvalidArgument(
+        "fact file must end in .csv or .bin: " + facts_path);
+    if (EndsWith(facts_path, ".csv")) {
+      fact = ReadFactTableCsv(*schema, facts_path);
+    } else if (EndsWith(facts_path, ".bin")) {
+      fact = ReadFactTableBinary(*schema, facts_path);
+    }
+    if (!fact.ok()) return report(fact.status());
+    std::printf("loaded %zu records from %s\n", fact->num_rows(),
+                facts_path.c_str());
+
+    std::unique_ptr<Engine> engine;
+    if (lower == "adaptive") {
+      engine = std::make_unique<AdaptiveEngine>(options);
+    } else if (lower == "sortscan" || lower == "sort-scan") {
+      engine = std::make_unique<SortScanEngine>(options);
+    } else if (lower == "singlescan" || lower == "single-scan") {
+      engine = std::make_unique<SingleScanEngine>(options);
+    } else if (lower == "multipass" || lower == "multi-pass") {
+      engine = std::make_unique<MultiPassEngine>(options);
+    } else if (lower == "relational" || lower == "db") {
+      engine = std::make_unique<RelationalEngine>(options);
+    } else {
+      std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+      return Usage(argv[0]);
+    }
+    engine_label = std::string(engine->name());
+    result = engine->Run(*workflow, *fact);
+  }
+  if (!result.ok()) return report(result.status());
+
+  std::printf("engine %s: total %.3fs (sort %.3fs, scan %.3fs, combine "
+              "%.3fs), %d pass(es)\n",
+              engine_label.c_str(),
+              result->stats.total_seconds, result->stats.sort_seconds,
+              result->stats.scan_seconds, result->stats.combine_seconds,
+              result->stats.passes);
+  std::printf("order: %s | peak hash entries %llu (~%.1f MB)\n",
+              result->stats.sort_key.c_str(),
+              static_cast<unsigned long long>(
+                  result->stats.peak_hash_entries),
+              result->stats.peak_hash_bytes / 1048576.0);
+
+  for (const auto& [name, table] : result->tables) {
+    std::printf("  %-16s %8zu regions", name.c_str(), table.num_rows());
+    if (!out_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      std::string path = out_dir + "/" + name + ".csv";
+      Status status = WriteMeasureTableCsv(table, path);
+      if (!status.ok()) return report(status);
+      std::printf("  -> %s", path.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace csm
+
+int main(int argc, char** argv) { return csm::RealMain(argc, argv); }
