@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_childparent.dir/fig6a_childparent.cc.o"
+  "CMakeFiles/fig6a_childparent.dir/fig6a_childparent.cc.o.d"
+  "fig6a_childparent"
+  "fig6a_childparent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_childparent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_sibling.dir/fig6b_sibling.cc.o"
+  "CMakeFiles/fig6b_sibling.dir/fig6b_sibling.cc.o.d"
+  "fig6b_sibling"
+  "fig6b_sibling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_sibling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

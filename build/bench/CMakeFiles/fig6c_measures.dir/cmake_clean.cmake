@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_measures.dir/fig6c_measures.cc.o"
+  "CMakeFiles/fig6c_measures.dir/fig6c_measures.cc.o.d"
+  "fig6c_measures"
+  "fig6c_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

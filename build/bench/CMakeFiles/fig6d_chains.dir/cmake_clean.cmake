@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6d_chains.dir/fig6d_chains.cc.o"
+  "CMakeFiles/fig6d_chains.dir/fig6d_chains.cc.o.d"
+  "fig6d_chains"
+  "fig6d_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

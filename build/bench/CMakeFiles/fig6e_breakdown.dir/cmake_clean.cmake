@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6e_breakdown.dir/fig6e_breakdown.cc.o"
+  "CMakeFiles/fig6e_breakdown.dir/fig6e_breakdown.cc.o.d"
+  "fig6e_breakdown"
+  "fig6e_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6e_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

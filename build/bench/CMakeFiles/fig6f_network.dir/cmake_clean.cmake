@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6f_network.dir/fig6f_network.cc.o"
+  "CMakeFiles/fig6f_network.dir/fig6f_network.cc.o.d"
+  "fig6f_network"
+  "fig6f_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6f_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

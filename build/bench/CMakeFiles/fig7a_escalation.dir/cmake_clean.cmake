@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_escalation.dir/fig7a_escalation.cc.o"
+  "CMakeFiles/fig7a_escalation.dir/fig7a_escalation.cc.o.d"
+  "fig7a_escalation"
+  "fig7a_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_multirecon.dir/fig7b_multirecon.cc.o"
+  "CMakeFiles/fig7b_multirecon.dir/fig7b_multirecon.cc.o.d"
+  "fig7b_multirecon"
+  "fig7b_multirecon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_multirecon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

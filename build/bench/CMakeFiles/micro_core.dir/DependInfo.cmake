@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_core.cc" "bench/CMakeFiles/micro_core.dir/micro_core.cc.o" "gcc" "bench/CMakeFiles/micro_core.dir/micro_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/csm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/csm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/csm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/csm_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/csm_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/csm_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/csm_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/csm_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/csm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/csm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_sortorder.dir/opt_sortorder.cc.o"
+  "CMakeFiles/opt_sortorder.dir/opt_sortorder.cc.o.d"
+  "opt_sortorder"
+  "opt_sortorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_sortorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

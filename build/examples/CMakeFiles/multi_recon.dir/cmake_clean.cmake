@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_recon.dir/multi_recon.cpp.o"
+  "CMakeFiles/multi_recon.dir/multi_recon.cpp.o.d"
+  "multi_recon"
+  "multi_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_escalation.dir/network_escalation.cpp.o"
+  "CMakeFiles/network_escalation.dir/network_escalation.cpp.o.d"
+  "network_escalation"
+  "network_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_agg.dir/aggregate.cc.o"
+  "CMakeFiles/csm_agg.dir/aggregate.cc.o.d"
+  "libcsm_agg.a"
+  "libcsm_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_algebra.dir/aw_expr.cc.o"
+  "CMakeFiles/csm_algebra.dir/aw_expr.cc.o.d"
+  "CMakeFiles/csm_algebra.dir/evaluator.cc.o"
+  "CMakeFiles/csm_algebra.dir/evaluator.cc.o.d"
+  "CMakeFiles/csm_algebra.dir/measure_ops.cc.o"
+  "CMakeFiles/csm_algebra.dir/measure_ops.cc.o.d"
+  "CMakeFiles/csm_algebra.dir/rewrite.cc.o"
+  "CMakeFiles/csm_algebra.dir/rewrite.cc.o.d"
+  "libcsm_algebra.a"
+  "libcsm_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_common.dir/logging.cc.o"
+  "CMakeFiles/csm_common.dir/logging.cc.o.d"
+  "CMakeFiles/csm_common.dir/status.cc.o"
+  "CMakeFiles/csm_common.dir/status.cc.o.d"
+  "CMakeFiles/csm_common.dir/string_util.cc.o"
+  "CMakeFiles/csm_common.dir/string_util.cc.o.d"
+  "libcsm_common.a"
+  "libcsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

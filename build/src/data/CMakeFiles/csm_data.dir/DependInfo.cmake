@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/netlog.cc" "src/data/CMakeFiles/csm_data.dir/netlog.cc.o" "gcc" "src/data/CMakeFiles/csm_data.dir/netlog.cc.o.d"
+  "/root/repo/src/data/queries.cc" "src/data/CMakeFiles/csm_data.dir/queries.cc.o" "gcc" "src/data/CMakeFiles/csm_data.dir/queries.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/csm_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/csm_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/csm_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/csm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/csm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/csm_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/csm_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/csm_agg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

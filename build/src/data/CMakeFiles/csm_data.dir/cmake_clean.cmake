@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_data.dir/netlog.cc.o"
+  "CMakeFiles/csm_data.dir/netlog.cc.o.d"
+  "CMakeFiles/csm_data.dir/queries.cc.o"
+  "CMakeFiles/csm_data.dir/queries.cc.o.d"
+  "CMakeFiles/csm_data.dir/synthetic.cc.o"
+  "CMakeFiles/csm_data.dir/synthetic.cc.o.d"
+  "libcsm_data.a"
+  "libcsm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

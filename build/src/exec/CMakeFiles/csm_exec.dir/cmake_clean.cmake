@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_exec.dir/adaptive.cc.o"
+  "CMakeFiles/csm_exec.dir/adaptive.cc.o.d"
+  "CMakeFiles/csm_exec.dir/multi_pass.cc.o"
+  "CMakeFiles/csm_exec.dir/multi_pass.cc.o.d"
+  "CMakeFiles/csm_exec.dir/parallel.cc.o"
+  "CMakeFiles/csm_exec.dir/parallel.cc.o.d"
+  "CMakeFiles/csm_exec.dir/single_scan.cc.o"
+  "CMakeFiles/csm_exec.dir/single_scan.cc.o.d"
+  "CMakeFiles/csm_exec.dir/sort_scan.cc.o"
+  "CMakeFiles/csm_exec.dir/sort_scan.cc.o.d"
+  "libcsm_exec.a"
+  "libcsm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_expr.dir/scalar_expr.cc.o"
+  "CMakeFiles/csm_expr.dir/scalar_expr.cc.o.d"
+  "libcsm_expr.a"
+  "libcsm_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/granularity.cc" "src/model/CMakeFiles/csm_model.dir/granularity.cc.o" "gcc" "src/model/CMakeFiles/csm_model.dir/granularity.cc.o.d"
+  "/root/repo/src/model/hierarchy.cc" "src/model/CMakeFiles/csm_model.dir/hierarchy.cc.o" "gcc" "src/model/CMakeFiles/csm_model.dir/hierarchy.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/model/CMakeFiles/csm_model.dir/schema.cc.o" "gcc" "src/model/CMakeFiles/csm_model.dir/schema.cc.o.d"
+  "/root/repo/src/model/sort_key.cc" "src/model/CMakeFiles/csm_model.dir/sort_key.cc.o" "gcc" "src/model/CMakeFiles/csm_model.dir/sort_key.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

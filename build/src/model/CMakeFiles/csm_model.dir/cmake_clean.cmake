@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_model.dir/granularity.cc.o"
+  "CMakeFiles/csm_model.dir/granularity.cc.o.d"
+  "CMakeFiles/csm_model.dir/hierarchy.cc.o"
+  "CMakeFiles/csm_model.dir/hierarchy.cc.o.d"
+  "CMakeFiles/csm_model.dir/schema.cc.o"
+  "CMakeFiles/csm_model.dir/schema.cc.o.d"
+  "CMakeFiles/csm_model.dir/sort_key.cc.o"
+  "CMakeFiles/csm_model.dir/sort_key.cc.o.d"
+  "libcsm_model.a"
+  "libcsm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_opt.dir/cost_model.cc.o"
+  "CMakeFiles/csm_opt.dir/cost_model.cc.o.d"
+  "CMakeFiles/csm_opt.dir/footprint.cc.o"
+  "CMakeFiles/csm_opt.dir/footprint.cc.o.d"
+  "CMakeFiles/csm_opt.dir/pass_planner.cc.o"
+  "CMakeFiles/csm_opt.dir/pass_planner.cc.o.d"
+  "CMakeFiles/csm_opt.dir/sort_order.cc.o"
+  "CMakeFiles/csm_opt.dir/sort_order.cc.o.d"
+  "libcsm_opt.a"
+  "libcsm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_relational.dir/relational_engine.cc.o"
+  "CMakeFiles/csm_relational.dir/relational_engine.cc.o.d"
+  "libcsm_relational.a"
+  "libcsm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

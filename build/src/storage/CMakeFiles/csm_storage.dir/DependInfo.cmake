@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/external_sorter.cc" "src/storage/CMakeFiles/csm_storage.dir/external_sorter.cc.o" "gcc" "src/storage/CMakeFiles/csm_storage.dir/external_sorter.cc.o.d"
+  "/root/repo/src/storage/fact_table.cc" "src/storage/CMakeFiles/csm_storage.dir/fact_table.cc.o" "gcc" "src/storage/CMakeFiles/csm_storage.dir/fact_table.cc.o.d"
+  "/root/repo/src/storage/measure_table.cc" "src/storage/CMakeFiles/csm_storage.dir/measure_table.cc.o" "gcc" "src/storage/CMakeFiles/csm_storage.dir/measure_table.cc.o.d"
+  "/root/repo/src/storage/record_cursor.cc" "src/storage/CMakeFiles/csm_storage.dir/record_cursor.cc.o" "gcc" "src/storage/CMakeFiles/csm_storage.dir/record_cursor.cc.o.d"
+  "/root/repo/src/storage/table_io.cc" "src/storage/CMakeFiles/csm_storage.dir/table_io.cc.o" "gcc" "src/storage/CMakeFiles/csm_storage.dir/table_io.cc.o.d"
+  "/root/repo/src/storage/temp_file.cc" "src/storage/CMakeFiles/csm_storage.dir/temp_file.cc.o" "gcc" "src/storage/CMakeFiles/csm_storage.dir/temp_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/csm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

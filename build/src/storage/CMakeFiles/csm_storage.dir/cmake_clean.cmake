@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_storage.dir/external_sorter.cc.o"
+  "CMakeFiles/csm_storage.dir/external_sorter.cc.o.d"
+  "CMakeFiles/csm_storage.dir/fact_table.cc.o"
+  "CMakeFiles/csm_storage.dir/fact_table.cc.o.d"
+  "CMakeFiles/csm_storage.dir/measure_table.cc.o"
+  "CMakeFiles/csm_storage.dir/measure_table.cc.o.d"
+  "CMakeFiles/csm_storage.dir/record_cursor.cc.o"
+  "CMakeFiles/csm_storage.dir/record_cursor.cc.o.d"
+  "CMakeFiles/csm_storage.dir/table_io.cc.o"
+  "CMakeFiles/csm_storage.dir/table_io.cc.o.d"
+  "CMakeFiles/csm_storage.dir/temp_file.cc.o"
+  "CMakeFiles/csm_storage.dir/temp_file.cc.o.d"
+  "libcsm_storage.a"
+  "libcsm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_workflow.dir/parser.cc.o"
+  "CMakeFiles/csm_workflow.dir/parser.cc.o.d"
+  "CMakeFiles/csm_workflow.dir/workflow.cc.o"
+  "CMakeFiles/csm_workflow.dir/workflow.cc.o.d"
+  "libcsm_workflow.a"
+  "libcsm_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

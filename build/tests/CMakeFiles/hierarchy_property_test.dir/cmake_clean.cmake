@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_property_test.dir/hierarchy_property_test.cc.o"
+  "CMakeFiles/hierarchy_property_test.dir/hierarchy_property_test.cc.o.d"
+  "hierarchy_property_test"
+  "hierarchy_property_test.pdb"
+  "hierarchy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

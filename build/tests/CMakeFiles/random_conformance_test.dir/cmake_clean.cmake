@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_conformance_test.dir/random_conformance_test.cc.o"
+  "CMakeFiles/random_conformance_test.dir/random_conformance_test.cc.o.d"
+  "random_conformance_test"
+  "random_conformance_test.pdb"
+  "random_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_scan_test.dir/sort_scan_test.cc.o"
+  "CMakeFiles/sort_scan_test.dir/sort_scan_test.cc.o.d"
+  "sort_scan_test"
+  "sort_scan_test.pdb"
+  "sort_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

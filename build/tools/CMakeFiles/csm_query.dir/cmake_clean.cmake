@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_query.dir/csm_query.cc.o"
+  "CMakeFiles/csm_query.dir/csm_query.cc.o.d"
+  "csm_query"
+  "csm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
