@@ -3,10 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "common/timer.h"
 #include "exec/engine.h"
+#include "exec/exec_context.h"
+#include "obs/trace.h"
 
 namespace csm {
 namespace bench {
@@ -55,14 +61,31 @@ struct RunResult {
   bool ok = false;
   double seconds = 0;
   ExecStats stats;
+  std::shared_ptr<Tracer> trace;  // full span tree of the run
+  SpanId root = kNoSpan;          // the engine's root span
+
+  /// Exclusive duration sum of the named spans under the run root —
+  /// breakdown benches read phase costs straight from the span tree.
+  double PhaseSeconds(std::initializer_list<std::string_view> names) const {
+    return trace != nullptr && root != kNoSpan
+               ? trace->SumDurationExclusive(root, names)
+               : 0.0;
+  }
 };
 
 inline RunResult TimeEngine(Engine& engine, const Workflow& workflow,
-                            const FactTable& fact) {
+                            const FactTable& fact,
+                            EngineOptions options = {}) {
   RunResult out;
+  out.trace = std::make_shared<Tracer>();
+  ExecContext ctx;
+  ctx.options = std::move(options);
+  ctx.tracer = out.trace.get();
   Timer timer;
-  auto result = engine.Run(workflow, fact);
+  auto result = engine.Run(workflow, fact, ctx);
   out.seconds = timer.Seconds();
+  auto roots = out.trace->RootSpans();
+  if (!roots.empty()) out.root = roots.front();
   if (!result.ok()) {
     std::fprintf(stderr, "engine %s failed: %s\n",
                  std::string(engine.name()).c_str(),

@@ -39,11 +39,12 @@ int main() {
       SortScanEngine engine;
       RunResult run = TimeEngine(engine, *c.workflow, fact);
       if (!run.ok) return 1;
+      // Phase costs read straight from the recorded span tree.
+      const double sort = run.PhaseSeconds({"sort", "plan"});
+      const double scan = run.PhaseSeconds({"scan"});
       std::printf("%6s %10s %10.3f %10.3f %10.2f\n", c.label,
-                  FmtRows(fact.num_rows()).c_str(),
-                  run.stats.sort_seconds, run.stats.scan_seconds,
-                  run.stats.scan_seconds /
-                      std::max(run.stats.sort_seconds, 1e-9));
+                  FmtRows(fact.num_rows()).c_str(), sort, scan,
+                  scan / std::max(sort, 1e-9));
     }
   }
   return 0;

@@ -54,8 +54,8 @@ int main() {
     if (!estimate.ok()) return 1;
     EngineOptions options;
     options.sort_key = c.key;
-    SortScanEngine engine(options);
-    RunResult run = TimeEngine(engine, *workflow, fact);
+    SortScanEngine engine;
+    RunResult run = TimeEngine(engine, *workflow, fact, options);
     if (!run.ok) return 1;
     std::printf("%12s %-26s %14llu %14llu %10.3f\n", c.label,
                 c.key.ToString(*schema).c_str(),

@@ -34,8 +34,10 @@ int main() {
   std::printf("%10s %10s %10s\n", "threads", "seconds", "speedup");
   std::printf("%10s %10.3f %10s\n", "(seq)", base.seconds, "1.00");
   for (int threads : {2, 4, 8}) {
-    ParallelSortScanEngine parallel({}, threads);
-    RunResult run = TimeEngine(parallel, *workflow, fact);
+    ParallelSortScanEngine parallel;
+    EngineOptions options;
+    options.parallel_threads = threads;
+    RunResult run = TimeEngine(parallel, *workflow, fact, options);
     if (!run.ok) return 1;
     std::printf("%10d %10.3f %10.2f\n", threads, run.seconds,
                 base.seconds / run.seconds);

@@ -12,6 +12,7 @@
 
 #include "data/netlog.h"
 #include "data/queries.h"
+#include "exec/exec_context.h"
 #include "exec/sort_scan.h"
 #include "model/schema.h"
 #include "opt/footprint.h"
@@ -49,12 +50,12 @@ int main() {
   std::printf("estimated footprint:\n%s\n",
               footprint->ToString(*schema).c_str());
 
-  EngineOptions options;
-  options.sort_key = *best_key;
-  SortScanEngine sort_scan(options);
+  ExecContext ctx;
+  ctx.options.sort_key = *best_key;
+  SortScanEngine sort_scan;
   RelationalEngine relational;
 
-  auto streamed = sort_scan.Run(*workflow, fact);
+  auto streamed = sort_scan.Run(*workflow, fact, ctx);
   auto baseline = relational.Run(*workflow, fact);
   if (!streamed.ok() || !baseline.ok()) {
     std::fprintf(stderr, "execution failed\n");

@@ -8,12 +8,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "data/netlog.h"
 #include "data/queries.h"
-#include "exec/single_scan.h"
-#include "exec/sort_scan.h"
+#include "exec/factory.h"
 #include "model/schema.h"
 
 int main() {
@@ -37,10 +37,8 @@ int main() {
     return 1;
   }
 
-  SingleScanEngine single_scan;
-  SortScanEngine sort_scan;
-  for (Engine* engine :
-       std::vector<Engine*>{&single_scan, &sort_scan}) {
+  for (EngineKind kind : {EngineKind::kSingleScan, EngineKind::kSortScan}) {
+    std::unique_ptr<Engine> engine = MakeEngine(kind);
     auto result = engine->Run(*workflow, fact);
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", std::string(engine->name()).c_str(),
@@ -55,7 +53,7 @@ int main() {
                 static_cast<unsigned long long>(
                     result->stats.peak_hash_entries));
 
-    if (engine == &sort_scan) {
+    if (kind == EngineKind::kSortScan) {
       // Report the alerting networks once.
       const MeasureTable& alerts = result->tables.at("Alerts");
       std::vector<std::pair<double, Value>> hot;

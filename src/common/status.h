@@ -25,6 +25,7 @@ enum class StatusCode {
   kParseError,
   kResourceExhausted,
   kInternal,
+  kCancelled,
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -81,6 +82,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -97,6 +101,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,5 +1,6 @@
 #include "exec/adaptive.h"
 
+#include "exec/exec_context.h"
 #include "exec/multi_pass.h"
 #include "exec/single_scan.h"
 #include "exec/sort_scan.h"
@@ -29,9 +30,9 @@ std::string_view AdaptiveChoiceName(AdaptiveEngine::Choice choice) {
 }
 
 Result<AdaptiveEngine::Choice> AdaptiveEngine::Decide(
-    const Workflow& workflow) const {
+    const Workflow& workflow, const EngineOptions& options) {
   const double budget_entries =
-      static_cast<double>(options_.memory_budget_bytes) / kBytesPerEntry;
+      static_cast<double>(options.memory_budget_bytes) / kBytesPerEntry;
 
   // Footprint with no usable order = what single-scan would hold.
   CSM_ASSIGN_OR_RETURN(FootprintReport unsorted,
@@ -40,7 +41,7 @@ Result<AdaptiveEngine::Choice> AdaptiveEngine::Decide(
     return Choice::kSingleScan;
   }
 
-  SortKey key = options_.sort_key;
+  SortKey key = options.sort_key;
   if (key.empty()) {
     CSM_ASSIGN_OR_RETURN(key, BruteForceSortKey(workflow, 20000));
   }
@@ -53,34 +54,44 @@ Result<AdaptiveEngine::Choice> AdaptiveEngine::Decide(
 }
 
 Result<EvalOutput> AdaptiveEngine::Run(const Workflow& workflow,
-                                       const FactTable& fact) {
-  CSM_ASSIGN_OR_RETURN(Choice choice, Decide(workflow));
-  EngineOptions options = options_;
+                                       const FactTable& fact,
+                                       ExecContext& ctx) {
+  RunScope rs(ctx, name());
+
+  ScopedSpan plan_span(&rs.tracer(), "plan", rs.root());
+  CSM_ASSIGN_OR_RETURN(Choice choice, Decide(workflow, ctx.options));
+  ExecContext child = rs.Child(rs.root());
+  if (choice == Choice::kSortScan && child.options.sort_key.empty()) {
+    CSM_ASSIGN_OR_RETURN(child.options.sort_key,
+                         BruteForceSortKey(workflow, 20000));
+  }
+  rs.tracer().SetAttr(plan_span.id(), "choice",
+                      std::string(AdaptiveChoiceName(choice)));
+  plan_span.End();
+
   Result<EvalOutput> result = Status::Internal("unreachable");
   switch (choice) {
     case Choice::kSingleScan: {
-      SingleScanEngine engine(options);
-      result = engine.Run(workflow, fact);
+      SingleScanEngine engine;
+      result = engine.Run(workflow, fact, child);
       break;
     }
     case Choice::kSortScan: {
-      if (options.sort_key.empty()) {
-        CSM_ASSIGN_OR_RETURN(options.sort_key,
-                             BruteForceSortKey(workflow, 20000));
-      }
-      SortScanEngine engine(options);
-      result = engine.Run(workflow, fact);
+      SortScanEngine engine;
+      result = engine.Run(workflow, fact, child);
       break;
     }
     case Choice::kMultiPass: {
-      MultiPassEngine engine(options);
-      result = engine.Run(workflow, fact);
+      MultiPassEngine engine;
+      result = engine.Run(workflow, fact, child);
       break;
     }
   }
   CSM_RETURN_NOT_OK(result.status());
-  result->stats.sort_key = "[" + std::string(AdaptiveChoiceName(choice)) +
-                           "] " + result->stats.sort_key;
+  rs.tracer().SetAttr(rs.root(), "sort_key",
+                      "[" + std::string(AdaptiveChoiceName(choice)) + "] " +
+                          result->stats.sort_key);
+  result->stats = rs.Finish();
   return result;
 }
 

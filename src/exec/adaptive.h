@@ -22,20 +22,18 @@ namespace csm {
 /// ("[single-scan] ...", "[sort-scan] ...", "[multi-pass] ...").
 class AdaptiveEngine : public Engine {
  public:
-  explicit AdaptiveEngine(EngineOptions options = {})
-      : options_(std::move(options)) {}
+  AdaptiveEngine() = default;
 
   std::string_view name() const override { return "adaptive"; }
 
-  Result<EvalOutput> Run(const Workflow& workflow,
-                         const FactTable& fact) override;
+  using Engine::Run;
+  Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
+                         ExecContext& ctx) override;
 
   /// The decision without executing (for tests and EXPLAIN output).
   enum class Choice { kSingleScan, kSortScan, kMultiPass };
-  Result<Choice> Decide(const Workflow& workflow) const;
-
- private:
-  EngineOptions options_;
+  static Result<Choice> Decide(const Workflow& workflow,
+                               const EngineOptions& options);
 };
 
 std::string_view AdaptiveChoiceName(AdaptiveEngine::Choice choice);

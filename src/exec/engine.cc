@@ -1,0 +1,55 @@
+#include "exec/engine.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "exec/exec_context.h"
+
+namespace csm {
+
+std::string ExecStats::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"total_seconds\":%.6f,\"sort_seconds\":%.6f,"
+      "\"scan_seconds\":%.6f,\"combine_seconds\":%.6f,"
+      "\"rows_scanned\":%" PRIu64 ",\"peak_hash_entries\":%" PRIu64
+      ",\"peak_hash_bytes\":%" PRIu64 ",\"spilled_bytes\":%" PRIu64
+      ",\"materialized_rows\":%" PRIu64 ",\"passes\":%d",
+      total_seconds, sort_seconds, scan_seconds, combine_seconds,
+      rows_scanned, peak_hash_entries, peak_hash_bytes, spilled_bytes,
+      materialized_rows, passes);
+  std::string out = buf;
+  out += ",\"sort_key\":\"";
+  for (char c : sort_key) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"}";
+  return out;
+}
+
+std::string ExecStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%.3fs total (sort %.3fs, scan %.3fs, combine %.3fs), "
+                "%d pass(es)\n"
+                "rows %" PRIu64 " | peak hash %" PRIu64 " entries / %.1f MB"
+                " | spilled %.1f MB | materialized %" PRIu64
+                " rows | order: %s",
+                total_seconds, sort_seconds, scan_seconds, combine_seconds,
+                passes, rows_scanned, peak_hash_entries,
+                static_cast<double>(peak_hash_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(spilled_bytes) / (1024.0 * 1024.0),
+                materialized_rows,
+                sort_key.empty() ? "(none)" : sort_key.c_str());
+  return buf;
+}
+
+Result<EvalOutput> Engine::Run(const Workflow& workflow,
+                               const FactTable& fact) {
+  ExecContext ctx;
+  return Run(workflow, fact, ctx);
+}
+
+}  // namespace csm

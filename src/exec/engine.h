@@ -12,11 +12,18 @@
 
 namespace csm {
 
-/// Counters reported by every engine; the Fig. 6(e) cost-breakdown bench
+struct ExecContext;
+
+/// Compatibility summary of a run; the Fig. 6(e) cost-breakdown bench
 /// reads sort_seconds/scan_seconds, the memory experiments read
 /// peak_hash_entries/bytes.
+///
+/// Since the observability redesign this is a *view* derived from the
+/// span tree recorded by the run's Tracer (see src/obs/trace.h and
+/// DeriveExecStats in exec/exec_context.h) — engines no longer fill it
+/// field by field.
 struct ExecStats {
-  double sort_seconds = 0;      // sorting the fact table (all passes)
+  double sort_seconds = 0;      // sorting + planning (all passes)
   double scan_seconds = 0;      // scanning + in-memory operator updates
   double combine_seconds = 0;   // post-scan composite evaluation
   double total_seconds = 0;
@@ -28,6 +35,12 @@ struct ExecStats {
   uint64_t materialized_rows = 0;      // intermediate rows written to disk
   int passes = 1;
   std::string sort_key;                // human-readable chosen order
+
+  /// One JSON object with every field above.
+  std::string ToJson() const;
+
+  /// Two-line human-readable summary (phase timings, then volumes).
+  std::string ToString() const;
 };
 
 /// Result of running a workflow: the output measure tables by name, plus
@@ -37,7 +50,7 @@ struct EvalOutput {
   ExecStats stats;
 };
 
-/// Engine tuning knobs shared by all engines.
+/// Engine tuning knobs shared by all engines, carried by ExecContext.
 struct EngineOptions {
   /// Working-memory target. The sort/scan engines use it for external-sort
   /// run sizing and the multi-pass planner for pass assignment; the
@@ -59,22 +72,37 @@ struct EngineOptions {
   /// finalization is merely deferred — so it trades per-record
   /// bookkeeping against peak footprint. See bench/ablation_batch.
   size_t propagation_batch_records = 256;
+
+  /// ParallelSortScanEngine: worker threads (0 = hardware concurrency).
+  int parallel_threads = 0;
 };
 
 /// A query engine: evaluates all measures of an aggregation workflow over
 /// a fact table. Implementations: SingleScanEngine (§5.1), SortScanEngine
 /// (§5.3), MultiPassEngine (§5.4), RelationalEngine (the paper's DBMS
-/// baseline, reimplemented as a sort/merge query processor).
+/// baseline, reimplemented as a sort/merge query processor), plus the
+/// AdaptiveEngine / ParallelSortScanEngine wrappers.
+///
+/// Engines are stateless: tuning (EngineOptions), telemetry (Tracer) and
+/// cancellation all flow through the ExecContext argument, so one engine
+/// instance can serve concurrent runs with different settings.
 class Engine {
  public:
   virtual ~Engine() = default;
 
   virtual std::string_view name() const = 0;
 
-  /// Evaluates `workflow` over `fact`. The fact table is not modified
-  /// (sorting engines work on a copy, as a DBMS would on its own files).
+  /// Evaluates `workflow` over `fact` under `ctx`. The fact table is not
+  /// modified (sorting engines work on a copy, as a DBMS would on its own
+  /// files). Spans/counters are recorded on ctx.tracer when set; stats in
+  /// the result are derived from them either way. Returns
+  /// Status::Cancelled when ctx.cancel is set mid-run.
   virtual Result<EvalOutput> Run(const Workflow& workflow,
-                                 const FactTable& fact) = 0;
+                                 const FactTable& fact,
+                                 ExecContext& ctx) = 0;
+
+  /// Convenience overload: runs with a default context.
+  Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact);
 };
 
 }  // namespace csm

@@ -1,0 +1,65 @@
+#include "exec/exec_context.h"
+
+#include <string>
+
+namespace csm {
+
+Status ExecContext::CheckCancelled(std::string_view where) const {
+  if (!cancelled()) return Status::OK();
+  return Status::Cancelled("run cancelled during " + std::string(where));
+}
+
+ExecStats DeriveExecStats(const Tracer& tracer, SpanId root) {
+  ExecStats stats;
+  stats.total_seconds = tracer.GetSpan(root).duration_seconds;
+  stats.sort_seconds = tracer.SumDurationExclusive(root, {"sort", "plan"});
+  stats.scan_seconds =
+      tracer.SumDurationExclusive(root, {"scan", "partition"});
+  stats.combine_seconds = tracer.SumDurationExclusive(root, {"combine"});
+  stats.rows_scanned =
+      static_cast<uint64_t>(tracer.SumCounter(root, "rows_scanned"));
+  stats.peak_hash_entries =
+      static_cast<uint64_t>(tracer.MaxGauge(root, "peak_hash_entries"));
+  stats.peak_hash_bytes =
+      static_cast<uint64_t>(tracer.MaxGauge(root, "peak_hash_bytes"));
+  stats.spilled_bytes =
+      static_cast<uint64_t>(tracer.SumCounter(root, "spilled_bytes"));
+  stats.materialized_rows =
+      static_cast<uint64_t>(tracer.SumCounter(root, "materialized_rows"));
+  const int passes = static_cast<int>(tracer.SumCounter(root, "passes"));
+  stats.passes = passes > 0 ? passes : 1;
+  stats.sort_key = tracer.AttrOrEmpty(root, "sort_key");
+  return stats;
+}
+
+RunScope::RunScope(const ExecContext& ctx, std::string_view engine_name)
+    : ctx_(&ctx) {
+  if (ctx.tracer != nullptr) {
+    tracer_ = ctx.tracer;
+  } else {
+    owned_ = std::make_unique<Tracer>();
+    tracer_ = owned_.get();
+  }
+  root_ = tracer_->BeginSpan(engine_name, ctx.trace_parent);
+}
+
+RunScope::~RunScope() {
+  if (!finished_) tracer_->EndSpan(root_);
+}
+
+ExecContext RunScope::Child(SpanId parent) const {
+  ExecContext child;
+  child.options = ctx_->options;
+  child.tracer = tracer_;
+  child.trace_parent = parent;
+  child.cancel = ctx_->cancel;
+  return child;
+}
+
+ExecStats RunScope::Finish() {
+  tracer_->EndSpan(root_);
+  finished_ = true;
+  return DeriveExecStats(*tracer_, root_);
+}
+
+}  // namespace csm

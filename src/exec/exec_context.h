@@ -1,0 +1,78 @@
+#ifndef CSM_EXEC_EXEC_CONTEXT_H_
+#define CSM_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <memory>
+#include <string_view>
+
+#include "exec/engine.h"
+#include "obs/trace.h"
+
+namespace csm {
+
+/// Everything a single Engine::Run needs beyond the query and the data:
+/// tuning knobs, the tracer collecting spans/metrics, and a cooperative
+/// cancellation flag. Replaces the old pattern of per-engine constructor
+/// options — engines are stateless and contexts are per-run.
+struct ExecContext {
+  EngineOptions options;
+
+  /// Span/metric sink. May be null: the engine then records into a
+  /// private tracer just to derive ExecStats, and no telemetry escapes.
+  Tracer* tracer = nullptr;
+
+  /// Span under which the engine opens its root span (kNoSpan = the
+  /// engine's root is a root of the trace forest). Set by wrapper engines
+  /// (adaptive / multi-pass / parallel) when delegating.
+  SpanId trace_parent = kNoSpan;
+
+  /// Cooperative cancellation: engines poll this at batch boundaries and
+  /// return Status::Cancelled. Null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// OK, or Status::Cancelled mentioning `where`.
+  Status CheckCancelled(std::string_view where) const;
+};
+
+/// Derives the legacy ExecStats view from the span subtree rooted at
+/// `root` (an engine root span): phase buckets from span names, volume
+/// counters summed, high-water gauges maxed, sort_key from the root attr.
+ExecStats DeriveExecStats(const Tracer& tracer, SpanId root);
+
+/// Per-Run scaffolding used by every engine: guarantees a tracer exists
+/// (owning a private one when ctx.tracer is null), opens the engine root
+/// span, hands out child contexts for delegated runs, and on Finish()
+/// closes the root and derives the ExecStats view. The destructor closes
+/// the root span on error paths so exported trees are never left open.
+class RunScope {
+ public:
+  RunScope(const ExecContext& ctx, std::string_view engine_name);
+  ~RunScope();
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+  Tracer& tracer() { return *tracer_; }
+  SpanId root() const { return root_; }
+
+  /// Context for a nested engine run, rooted under `parent` and sharing
+  /// this scope's effective tracer, options and cancellation flag.
+  ExecContext Child(SpanId parent) const;
+
+  /// Ends the root span and returns the derived stats. Call once.
+  ExecStats Finish();
+
+ private:
+  const ExecContext* ctx_;
+  std::unique_ptr<Tracer> owned_;  // set when ctx.tracer was null
+  Tracer* tracer_;
+  SpanId root_;
+  bool finished_ = false;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,70 @@
+#include "exec/factory.h"
+
+#include <algorithm>
+#include <string>
+
+#include "exec/adaptive.h"
+#include "exec/multi_pass.h"
+#include "exec/parallel.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "relational/relational_engine.h"
+
+namespace csm {
+
+std::string_view EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSingleScan:
+      return "singlescan";
+    case EngineKind::kSortScan:
+      return "sortscan";
+    case EngineKind::kMultiPass:
+      return "multipass";
+    case EngineKind::kAdaptive:
+      return "adaptive";
+    case EngineKind::kParallel:
+      return "parallel";
+    case EngineKind::kRelational:
+      return "relational";
+  }
+  return "unknown";
+}
+
+Result<EngineKind> ParseEngineKind(std::string_view text) {
+  std::string lower;
+  for (char c : text) {
+    if (c == '-' || c == '_') continue;  // accept sort-scan / sort_scan
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "singlescan") return EngineKind::kSingleScan;
+  if (lower == "sortscan") return EngineKind::kSortScan;
+  if (lower == "multipass") return EngineKind::kMultiPass;
+  if (lower == "adaptive") return EngineKind::kAdaptive;
+  if (lower == "parallel") return EngineKind::kParallel;
+  if (lower == "relational" || lower == "db") return EngineKind::kRelational;
+  return Status::InvalidArgument(
+      "unknown engine '" + std::string(text) +
+      "' (expected adaptive, sortscan, singlescan, multipass, parallel or "
+      "relational)");
+}
+
+std::unique_ptr<Engine> MakeEngine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSingleScan:
+      return std::make_unique<SingleScanEngine>();
+    case EngineKind::kSortScan:
+      return std::make_unique<SortScanEngine>();
+    case EngineKind::kMultiPass:
+      return std::make_unique<MultiPassEngine>();
+    case EngineKind::kAdaptive:
+      return std::make_unique<AdaptiveEngine>();
+    case EngineKind::kParallel:
+      return std::make_unique<ParallelSortScanEngine>();
+    case EngineKind::kRelational:
+      return std::make_unique<RelationalEngine>();
+  }
+  return nullptr;
+}
+
+}  // namespace csm

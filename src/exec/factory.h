@@ -1,0 +1,38 @@
+#ifndef CSM_EXEC_FACTORY_H_
+#define CSM_EXEC_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "exec/engine.h"
+
+namespace csm {
+
+/// Every engine the system ships. One enum so tools, benches and tests
+/// select engines by name instead of hard-coding constructors.
+enum class EngineKind {
+  kSingleScan,
+  kSortScan,
+  kMultiPass,
+  kAdaptive,
+  kParallel,
+  kRelational,
+};
+
+/// Canonical lowercase name ("sortscan", "adaptive", ...).
+std::string_view EngineKindName(EngineKind kind);
+
+/// Parses an engine name as accepted by csm_query --engine. Tolerates
+/// "sort-scan"/"sort_scan" style separators. InvalidArgument on unknown
+/// names, with the list of valid ones in the message.
+Result<EngineKind> ParseEngineKind(std::string_view text);
+
+/// Constructs the engine. Engines are stateless — all tuning flows
+/// through the ExecContext passed to Run — so the factory takes no
+/// options.
+std::unique_ptr<Engine> MakeEngine(EngineKind kind);
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_FACTORY_H_

@@ -6,7 +6,7 @@
 #include "algebra/measure_ops.h"
 #include "common/logging.h"
 #include "common/string_util.h"
-#include "common/timer.h"
+#include "exec/exec_context.h"
 #include "exec/sort_scan.h"
 #include "opt/pass_planner.h"
 
@@ -21,14 +21,20 @@ constexpr double kBytesPerEntry = 96.0;
 }  // namespace
 
 Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
-                                        const FactTable& fact) {
-  Timer total_timer;
+                                        const FactTable& fact,
+                                        ExecContext& ctx) {
+  RunScope rs(ctx, name());
+  Tracer& tracer = rs.tracer();
   EvalOutput out;
   const Schema& schema = *workflow.schema();
 
+  ScopedSpan plan_span(&tracer, "plan", rs.root());
   const double entry_budget =
-      static_cast<double>(options_.memory_budget_bytes) / kBytesPerEntry;
+      static_cast<double>(ctx.options.memory_budget_bytes) / kBytesPerEntry;
   CSM_ASSIGN_OR_RETURN(PassPlan plan, PlanPasses(workflow, entry_budget));
+  plan_span.End();
+  tracer.AddCounter(rs.root(), "passes",
+                    static_cast<double>(plan.passes.size()));
 
   // Region enumerators needed by post-pass match joins must be produced by
   // some pass; attach them to the first pass.
@@ -55,8 +61,10 @@ Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
   };
 
   // ---- Run the Sort/Scan iterations.
+  std::string sort_key_label;
   bool first_pass = true;
   for (const PassPlan::Pass& pass : plan.passes) {
+    CSM_RETURN_NOT_OK(ctx.CheckCancelled("multi-pass"));
     Workflow sub(workflow.schema());
     for (int idx : pass.measure_indices) {
       MeasureDef def = workflow.measures()[idx];
@@ -76,32 +84,27 @@ Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
     }
     if (sub.measures().empty()) continue;
 
-    EngineOptions pass_options = options_;
-    pass_options.sort_key = pass.sort_key;
-    pass_options.include_hidden = true;
-    SortScanEngine engine(pass_options);
-    CSM_ASSIGN_OR_RETURN(EvalOutput pass_out, engine.Run(sub, fact));
+    ScopedSpan pass_span(&tracer, "pass", rs.root());
+    ExecContext pass_ctx = rs.Child(pass_span.id());
+    pass_ctx.options.sort_key = pass.sort_key;
+    pass_ctx.options.include_hidden = true;
+    SortScanEngine engine;
+    CSM_ASSIGN_OR_RETURN(EvalOutput pass_out,
+                         engine.Run(sub, fact, pass_ctx));
 
-    out.stats.sort_seconds += pass_out.stats.sort_seconds;
-    out.stats.scan_seconds += pass_out.stats.scan_seconds;
-    out.stats.rows_scanned += pass_out.stats.rows_scanned;
-    out.stats.spilled_bytes += pass_out.stats.spilled_bytes;
-    out.stats.materialized_rows += pass_out.stats.materialized_rows;
-    out.stats.peak_hash_entries = std::max(
-        out.stats.peak_hash_entries, pass_out.stats.peak_hash_entries);
-    out.stats.peak_hash_bytes = std::max(out.stats.peak_hash_bytes,
-                                         pass_out.stats.peak_hash_bytes);
-    if (!out.stats.sort_key.empty()) out.stats.sort_key += " | ";
-    out.stats.sort_key += pass_out.stats.sort_key;
+    if (!sort_key_label.empty()) sort_key_label += " | ";
+    sort_key_label += pass_out.stats.sort_key;
 
     for (auto& [name, table] : pass_out.tables) store(std::move(table));
   }
-  out.stats.passes = static_cast<int>(plan.passes.size());
+
+  CSM_RETURN_NOT_OK(ctx.CheckCancelled("multi-pass combine"));
 
   // ---- Combine cross-pass measures with traditional join strategies.
-  Timer combine_timer;
+  ScopedSpan combine_span(&tracer, "combine", rs.root());
   for (int idx : plan.post_pass_indices) {
     const MeasureDef& def = workflow.measures()[idx];
+    MeasureTable* stored = nullptr;
     switch (def.op) {
       case MeasureOp::kBaseAgg:
         return Status::Internal("base measures are never deferred");
@@ -157,18 +160,26 @@ Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
         break;
       }
     }
+    auto it = materialized.find(ToLower(def.name));
+    stored = it != materialized.end() ? &it->second : nullptr;
+    if (stored != nullptr) {
+      tracer.SetGaugeMax(combine_span.id(),
+                         "hash_entries_hw/" + def.name,
+                         static_cast<double>(stored->num_rows()));
+    }
   }
-  out.stats.combine_seconds = combine_timer.Seconds();
+  combine_span.End();
 
   // ---- Select the requested outputs.
   for (const MeasureDef& def : workflow.measures()) {
-    if (!def.is_output && !options_.include_hidden) continue;
+    if (!def.is_output && !ctx.options.include_hidden) continue;
     auto it = materialized.find(ToLower(def.name));
     CSM_CHECK(it != materialized.end());
     out.tables.emplace(def.name, std::move(it->second));
     materialized.erase(it);
   }
-  out.stats.total_seconds = total_timer.Seconds();
+  tracer.SetAttr(rs.root(), "sort_key", sort_key_label);
+  out.stats = rs.Finish();
   return out;
 }
 

@@ -17,16 +17,13 @@ namespace csm {
 /// sorting continues to spill through the external sorter independently.
 class MultiPassEngine : public Engine {
  public:
-  explicit MultiPassEngine(EngineOptions options = {})
-      : options_(std::move(options)) {}
+  MultiPassEngine() = default;
 
   std::string_view name() const override { return "multi-pass"; }
 
-  Result<EvalOutput> Run(const Workflow& workflow,
-                         const FactTable& fact) override;
-
- private:
-  EngineOptions options_;
+  using Engine::Run;
+  Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
+                         ExecContext& ctx) override;
 };
 
 }  // namespace csm

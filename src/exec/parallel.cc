@@ -5,7 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
-#include "common/timer.h"
+#include "exec/exec_context.h"
 #include "exec/sort_scan.h"
 
 namespace csm {
@@ -38,15 +38,13 @@ bool HasSiblingWindowOn(const Workflow& workflow, int dim) {
   return false;
 }
 
-}  // namespace
+int ResolveThreads(const EngineOptions& options) {
+  if (options.parallel_threads > 0) return options.parallel_threads;
+  return static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+}
 
-ParallelSortScanEngine::ParallelSortScanEngine(EngineOptions options,
-                                               int num_threads)
-    : options_(std::move(options)),
-      num_threads_(num_threads > 0
-                       ? num_threads
-                       : std::max(2u,
-                                  std::thread::hardware_concurrency())) {}
+}  // namespace
 
 Result<int> ParallelSortScanEngine::PlanPartitionDim(
     const Workflow& workflow) {
@@ -76,40 +74,53 @@ Result<int> ParallelSortScanEngine::PlanPartitionDim(
 }
 
 Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
-                                               const FactTable& fact) {
-  Timer total_timer;
+                                               const FactTable& fact,
+                                               ExecContext& ctx) {
+  RunScope rs(ctx, name());
+  Tracer& tracer = rs.tracer();
+
+  ScopedSpan plan_span(&tracer, "plan", rs.root());
   auto plan = PlanPartitionDim(workflow);
+  plan_span.End();
   if (!plan.ok()) {
     // Not partitionable: degrade gracefully to the sequential engine.
-    SortScanEngine sequential(options_);
-    CSM_ASSIGN_OR_RETURN(EvalOutput out, sequential.Run(workflow, fact));
-    out.stats.sort_key = "[sequential] " + out.stats.sort_key;
+    SortScanEngine sequential;
+    ExecContext child = rs.Child(rs.root());
+    CSM_ASSIGN_OR_RETURN(EvalOutput out,
+                         sequential.Run(workflow, fact, child));
+    tracer.SetAttr(rs.root(), "sort_key",
+                   "[sequential] " + out.stats.sort_key);
+    out.stats = rs.Finish();
     return out;
   }
   const int pdim = *plan;
   const Schema& schema = *workflow.schema();
   const int plevel = CoarsestUsedLevel(workflow, pdim);
   const Hierarchy& ph = *schema.dim(pdim).hierarchy;
-  const int shards = num_threads_;
+  const int shards = ResolveThreads(ctx.options);
 
   // ---- Partition: every region's rows land in exactly one shard because
   // the hash key is the dimension value at the coarsest level any measure
   // groups it by (finer regions nest inside).
+  ScopedSpan partition_span(&tracer, "partition", rs.root());
   std::vector<FactTable> parts;
   parts.reserve(shards);
   for (int i = 0; i < shards; ++i) parts.emplace_back(workflow.schema());
   for (size_t row = 0; row < fact.num_rows(); ++row) {
+    if ((row & 4095) == 0 && ctx.cancelled()) {
+      return ctx.CheckCancelled("parallel partition");
+    }
     const Value* dims = fact.dim_row(row);
     const Value block = ph.Generalize(dims[pdim], 0, plevel);
     parts[Mix64(block) % shards].AppendRow(dims,
                                            fact.measure_row(row));
   }
+  partition_span.End();
 
-  // ---- Independent sort/scan per shard.
-  EngineOptions shard_options = options_;
-  // Budgets are per machine, not per shard.
-  shard_options.memory_budget_bytes =
-      std::max<size_t>(options_.memory_budget_bytes / shards, 4 << 20);
+  // ---- Independent sort/scan per shard. Each worker opens its own shard
+  // span from its own thread, so thread attribution lands on the worker.
+  const size_t shard_budget =
+      std::max<size_t>(ctx.options.memory_budget_bytes / shards, 4 << 20);
   std::vector<Result<EvalOutput>> results;
   results.reserve(shards);
   for (int i = 0; i < shards; ++i) {
@@ -120,30 +131,35 @@ Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
     threads.reserve(shards);
     for (int i = 0; i < shards; ++i) {
       threads.emplace_back([&, i] {
-        SortScanEngine engine(shard_options);
-        results[i] = engine.Run(workflow, parts[i]);
+        ScopedSpan shard_span(&tracer, "shard", rs.root());
+        ExecContext shard_ctx = rs.Child(shard_span.id());
+        // Budgets are per machine, not per shard.
+        shard_ctx.options.memory_budget_bytes = shard_budget;
+        SortScanEngine engine;
+        results[i] = engine.Run(workflow, parts[i], shard_ctx);
       });
     }
     for (std::thread& t : threads) t.join();
   }
 
-  // ---- Merge: concatenate the disjoint tables, combine the stats.
+  // ---- Merge: concatenate the disjoint tables.
+  ScopedSpan combine_span(&tracer, "combine", rs.root());
   EvalOutput out;
+  // Shards run concurrently, so the machine-wide peak is the *sum* of the
+  // per-shard peaks; record it on the root where it dominates the
+  // subtree maximum the stats derivation takes.
+  uint64_t total_peak_entries = 0;
+  uint64_t total_peak_bytes = 0;
+  std::string sort_key_label;
   for (int i = 0; i < shards; ++i) {
     CSM_RETURN_NOT_OK(results[i].status().WithContext(
         "shard " + std::to_string(i)));
     EvalOutput& shard = *results[i];
-    out.stats.rows_scanned += shard.stats.rows_scanned;
-    out.stats.sort_seconds += shard.stats.sort_seconds;
-    out.stats.scan_seconds += shard.stats.scan_seconds;
-    out.stats.spilled_bytes += shard.stats.spilled_bytes;
-    out.stats.materialized_rows += shard.stats.materialized_rows;
-    out.stats.peak_hash_entries += shard.stats.peak_hash_entries;
-    out.stats.peak_hash_bytes += shard.stats.peak_hash_bytes;
-    if (out.stats.sort_key.empty()) {
-      out.stats.sort_key = "[" + std::to_string(shards) + " shards on " +
-                           schema.dim(pdim).name + "] " +
-                           shard.stats.sort_key;
+    total_peak_entries += shard.stats.peak_hash_entries;
+    total_peak_bytes += shard.stats.peak_hash_bytes;
+    if (sort_key_label.empty()) {
+      sort_key_label = "[" + std::to_string(shards) + " shards on " +
+                       schema.dim(pdim).name + "] " + shard.stats.sort_key;
     }
     for (auto& [name, table] : shard.tables) {
       auto it = out.tables.find(name);
@@ -157,7 +173,14 @@ Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
     }
   }
   for (auto& [name, table] : out.tables) table.SortByKeyLex();
-  out.stats.total_seconds = total_timer.Seconds();
+  combine_span.End();
+
+  tracer.SetGaugeMax(rs.root(), "peak_hash_entries",
+                     static_cast<double>(total_peak_entries));
+  tracer.SetGaugeMax(rs.root(), "peak_hash_bytes",
+                     static_cast<double>(total_peak_bytes));
+  tracer.SetAttr(rs.root(), "sort_key", sort_key_label);
+  out.stats = rs.Finish();
   return out;
 }
 

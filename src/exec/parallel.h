@@ -14,7 +14,8 @@ namespace csm {
 /// measure lies entirely inside one partition. Each partition then runs
 /// the ordinary one-pass sort/scan engine independently (its own sort,
 /// scan, watermarks, and flushing) on a worker thread, and the disjoint
-/// result tables are concatenated.
+/// result tables are concatenated. The worker count comes from
+/// EngineOptions::parallel_threads (0 = hardware concurrency).
 ///
 /// A workflow is partition-parallelizable on dimension p iff
 ///  - every measure keeps p below ALL (otherwise its regions span
@@ -26,21 +27,17 @@ namespace csm {
 /// exists; Run falls back to the sequential engine in that case.
 class ParallelSortScanEngine : public Engine {
  public:
-  explicit ParallelSortScanEngine(EngineOptions options = {},
-                                  int num_threads = 0);
+  ParallelSortScanEngine() = default;
 
   std::string_view name() const override { return "parallel-sort-scan"; }
 
-  Result<EvalOutput> Run(const Workflow& workflow,
-                         const FactTable& fact) override;
+  using Engine::Run;
+  Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
+                         ExecContext& ctx) override;
 
   /// The partitioning decision: dimension index, or NotFound with the
   /// reason no dimension qualifies.
   static Result<int> PlanPartitionDim(const Workflow& workflow);
-
- private:
-  EngineOptions options_;
-  int num_threads_;
 };
 
 }  // namespace csm

@@ -6,7 +6,7 @@
 #include "algebra/measure_ops.h"
 #include "common/hash.h"
 #include "common/logging.h"
-#include "common/timer.h"
+#include "exec/exec_context.h"
 
 namespace csm {
 
@@ -40,12 +40,18 @@ size_t StatesBytes(const StateMap& states, int d) {
 }  // namespace
 
 Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
-                                         const FactTable& fact) {
-  Timer total_timer;
+                                         const FactTable& fact,
+                                         ExecContext& ctx) {
+  RunScope rs(ctx, name());
+  Tracer& tracer = rs.tracer();
   EvalOutput out;
   const Schema& schema = *workflow.schema();
   const int d = schema.num_dims();
   const int m = schema.num_measures();
+
+  // The scan span also covers job planning: for this engine "scan" is the
+  // whole streaming phase, and there is no sort to attribute setup to.
+  ScopedSpan scan_span(&tracer, "scan", rs.root());
 
   // ---- Plan: collect every hash table the scan must maintain.
   std::vector<BaseJob> jobs;
@@ -82,11 +88,13 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
   }
 
   // ---- The single scan (no sort).
-  Timer scan_timer;
   std::vector<double> slots(d + m);
   RegionKey key(d);
   const Granularity base = Granularity::Base(schema);
   for (size_t row = 0; row < fact.num_rows(); ++row) {
+    if ((row & 1023) == 0 && ctx.cancelled()) {
+      return ctx.CheckCancelled("single-scan scan");
+    }
     const Value* dims = fact.dim_row(row);
     const double* measures = fact.measure_row(row);
     bool slots_filled = false;
@@ -108,17 +116,31 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
                 job.agg.arg >= 0 ? measures[job.agg.arg] : 1.0);
     }
   }
-  out.stats.rows_scanned = fact.num_rows();
-  out.stats.scan_seconds = scan_timer.Seconds();
+  tracer.AddCounter(scan_span.id(), "rows_scanned",
+                    static_cast<double>(fact.num_rows()));
 
   // Peak memory: all hash tables coexist at end of scan.
-  for (const BaseJob& job : jobs) {
-    out.stats.peak_hash_entries += job.states.size();
-    out.stats.peak_hash_bytes += StatesBytes(job.states, d);
+  {
+    uint64_t peak_entries = 0;
+    uint64_t peak_bytes = 0;
+    for (const BaseJob& job : jobs) {
+      peak_entries += job.states.size();
+      peak_bytes += StatesBytes(job.states, d);
+      tracer.SetGaugeMax(scan_span.id(),
+                         "hash_entries_hw/" + job.table_name,
+                         static_cast<double>(job.states.size()));
+    }
+    tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",
+                       static_cast<double>(peak_entries));
+    tracer.SetGaugeMax(scan_span.id(), "peak_hash_bytes",
+                       static_cast<double>(peak_bytes));
   }
+  scan_span.End();
 
-  // ---- Finalize base tables.
-  Timer combine_timer;
+  CSM_RETURN_NOT_OK(ctx.CheckCancelled("single-scan combine"));
+
+  // ---- Finalize base tables and evaluate composites.
+  ScopedSpan combine_span(&tracer, "combine", rs.root());
   std::map<std::string, MeasureTable> tables;  // all computed measures
   auto materialize = [&](BaseJob& job) {
     MeasureTable table(workflow.schema(), job.gran, job.table_name);
@@ -155,6 +177,9 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
         if (agg.arg > 0) agg.arg = 0;
         CSM_ASSIGN_OR_RETURN(MeasureTable result,
                              HashRollup(*source, def.gran, agg, def.name));
+        tracer.SetGaugeMax(combine_span.id(),
+                           "hash_entries_hw/" + def.name,
+                           static_cast<double>(result.num_rows()));
         tables.emplace(def.name, std::move(result));
         break;
       }
@@ -178,6 +203,9 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
         CSM_ASSIGN_OR_RETURN(
             MeasureTable result,
             HashMatchJoin(regions, *target, def.match, agg, def.name));
+        tracer.SetGaugeMax(combine_span.id(),
+                           "hash_entries_hw/" + def.name,
+                           static_cast<double>(result.num_rows()));
         tables.emplace(def.name, std::move(result));
         break;
       }
@@ -190,23 +218,27 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
         }
         CSM_ASSIGN_OR_RETURN(MeasureTable result,
                              HashCombine(inputs, *def.fc, def.name));
+        tracer.SetGaugeMax(combine_span.id(),
+                           "hash_entries_hw/" + def.name,
+                           static_cast<double>(result.num_rows()));
         tables.emplace(def.name, std::move(result));
         break;
       }
     }
   }
-  out.stats.combine_seconds = combine_timer.Seconds();
 
   // ---- Keep only requested outputs.
   for (const MeasureDef& def : workflow.measures()) {
-    if (!def.is_output && !options_.include_hidden) continue;
+    if (!def.is_output && !ctx.options.include_hidden) continue;
     auto it = tables.find(def.name);
     CSM_CHECK(it != tables.end());
     out.tables.emplace(def.name, std::move(it->second));
     tables.erase(it);
   }
-  out.stats.total_seconds = total_timer.Seconds();
-  out.stats.sort_key = "(unsorted)";
+  combine_span.End();
+
+  tracer.SetAttr(rs.root(), "sort_key", "(unsorted)");
+  out.stats = rs.Finish();
   return out;
 }
 

@@ -17,16 +17,13 @@ namespace csm {
 /// the cliff.
 class SingleScanEngine : public Engine {
  public:
-  explicit SingleScanEngine(EngineOptions options = {})
-      : options_(std::move(options)) {}
+  SingleScanEngine() = default;
 
   std::string_view name() const override { return "single-scan"; }
 
-  Result<EvalOutput> Run(const Workflow& workflow,
-                         const FactTable& fact) override;
-
- private:
-  EngineOptions options_;
+  using Engine::Run;
+  Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
+                         ExecContext& ctx) override;
 };
 
 }  // namespace csm

@@ -1,6 +1,7 @@
 #include "exec/sort_scan.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "exec/exec_context.h"
 #include "storage/external_sorter.h"
 #include "storage/record_cursor.h"
 #include "storage/temp_file.h"
@@ -188,33 +190,37 @@ struct Emission {
 
 class SortScanRun {
  public:
-  SortScanRun(const Workflow& workflow, const EngineOptions& options)
+  SortScanRun(const Workflow& workflow, ExecContext& ctx)
       : workflow_(workflow),
-        options_(options),
+        ctx_(ctx),
+        options_(ctx.options),
         schema_ptr_(workflow.schema()),
         schema_(*schema_ptr_),
         d_(schema_.num_dims()) {}
 
   /// In-memory input: clone, sort, scan.
   Result<EvalOutput> Execute(const FactTable& fact) {
-    Timer total_timer;
+    RunScope rs(ctx_, "sort-scan");
     EvalOutput out;
+
+    ScopedSpan sort_span(&rs.tracer(), "sort", rs.root());
     CSM_RETURN_NOT_OK(Prepare());
     CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
-
     SortStats sort_stats;
     CSM_ASSIGN_OR_RETURN(
         FactTable sorted,
         SortFactTable(fact.Clone(), sort_key_,
-                      options_.memory_budget_bytes, &temp, &sort_stats));
-    out.stats.sort_seconds = sort_stats.seconds;
-    out.stats.spilled_bytes = sort_stats.spilled_bytes;
-    out.stats.sort_key = sort_key_.ToString(schema_);
+                      options_.memory_budget_bytes, &temp, &sort_stats,
+                      ctx_.cancel));
+    RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
+    sort_span.End();
 
     std::unique_ptr<RecordCursor> cursor = MakeFactTableCursor(sorted);
-    CSM_RETURN_NOT_OK(Scan(*cursor, &out.stats));
-    CSM_RETURN_NOT_OK(Collect(&out));
-    out.stats.total_seconds = total_timer.Seconds();
+    CSM_RETURN_NOT_OK(Scan(*cursor, rs));
+    CSM_RETURN_NOT_OK(Collect(&out, rs));
+    rs.tracer().SetAttr(rs.root(), "sort_key",
+                        sort_key_.ToString(schema_));
+    out.stats = rs.Finish();
     return out;
   }
 
@@ -222,28 +228,40 @@ class SortScanRun {
   /// the merged records straight into the computation graph — the full
   /// dataset is never memory-resident.
   Result<EvalOutput> ExecuteFile(const std::string& fact_path) {
-    Timer total_timer;
+    RunScope rs(ctx_, "sort-scan");
     EvalOutput out;
+
+    ScopedSpan sort_span(&rs.tracer(), "sort", rs.root());
     CSM_RETURN_NOT_OK(Prepare());
     CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
-
     SortStats sort_stats;
     CSM_ASSIGN_OR_RETURN(
         std::unique_ptr<RecordCursor> cursor,
         SortFactFileCursor(schema_ptr_, fact_path, sort_key_,
                            options_.memory_budget_bytes, &temp,
-                           &sort_stats));
-    out.stats.sort_seconds = sort_stats.seconds;
-    out.stats.spilled_bytes = sort_stats.spilled_bytes;
-    out.stats.sort_key = sort_key_.ToString(schema_);
+                           &sort_stats, ctx_.cancel));
+    RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
+    sort_span.End();
 
-    CSM_RETURN_NOT_OK(Scan(*cursor, &out.stats));
-    CSM_RETURN_NOT_OK(Collect(&out));
-    out.stats.total_seconds = total_timer.Seconds();
+    CSM_RETURN_NOT_OK(Scan(*cursor, rs));
+    CSM_RETURN_NOT_OK(Collect(&out, rs));
+    rs.tracer().SetAttr(rs.root(), "sort_key",
+                        sort_key_.ToString(schema_));
+    out.stats = rs.Finish();
     return out;
   }
 
  private:
+  static void RecordSortMetrics(Tracer& tracer, SpanId span,
+                                const SortStats& sort_stats) {
+    tracer.AddCounter(span, "rows_sorted",
+                      static_cast<double>(sort_stats.rows));
+    tracer.AddCounter(span, "sort_runs",
+                      static_cast<double>(sort_stats.runs));
+    tracer.AddCounter(span, "spilled_bytes",
+                      static_cast<double>(sort_stats.spilled_bytes));
+  }
+
   Status Prepare() {
     sort_key_ = options_.sort_key.empty()
                     ? SortScanEngine::DefaultSortKey(workflow_)
@@ -254,8 +272,10 @@ class SortScanRun {
   /// The coordinated scan over an already-sorted record stream. Keeps a
   /// one-record lookahead so the propagation rounds can use the *next*
   /// record as the scan frontier.
-  Status Scan(RecordCursor& cursor, ExecStats* stats) {
+  Status Scan(RecordCursor& cursor, RunScope& rs) {
+    ScopedSpan scan_span(&rs.tracer(), "scan", rs.root());
     Timer scan_timer;
+    node_peak_entries_.assign(nodes_.size(), 0);
     const int m = schema_.num_measures();
     std::vector<double> slots(d_ + m);
     RegionKey gen_key(d_);
@@ -304,22 +324,48 @@ class SortScanRun {
       }
 
       ++row;
+      if ((row & 1023) == 0 && ctx_.cancelled()) {
+        return ctx_.CheckCancelled("sort-scan scan");
+      }
       if (row % batch == 0 && has_next) {
-        SampleMemory(stats);
+        SampleMemory();
         CSM_RETURN_NOT_OK(Propagate(next_dims.data()));
       }
       std::swap(cur_dims, next_dims);
       std::swap(cur_measures, next_measures);
       has = has_next;
     }
-    SampleMemory(stats);
+    SampleMemory();
     CSM_RETURN_NOT_OK(Propagate(nullptr));  // close all streams
-    stats->rows_scanned = row;
-    stats->scan_seconds = scan_timer.Seconds();
+
+    // Flush the locally tracked high-water marks to the span: sampling
+    // runs per propagation batch, so it must not touch the tracer mutex.
+    Tracer& tracer = rs.tracer();
+    tracer.AddCounter(scan_span.id(), "rows_scanned",
+                      static_cast<double>(row));
+    tracer.AddCounter(scan_span.id(), "materialized_rows",
+                      static_cast<double>(rows_flushed_));
+    tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",
+                       static_cast<double>(peak_entries_));
+    tracer.SetGaugeMax(scan_span.id(), "peak_hash_bytes",
+                       static_cast<double>(peak_bytes_));
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      tracer.SetGaugeMax(scan_span.id(),
+                         "hash_entries_hw/" + nodes_[i]->name,
+                         static_cast<double>(node_peak_entries_[i]));
+    }
+    const double seconds = scan_timer.Seconds();
+    if (seconds > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f",
+                    static_cast<double>(row) / seconds);
+      tracer.SetAttr(scan_span.id(), "rows_per_sec", buf);
+    }
     return Status::OK();
   }
 
-  Status Collect(EvalOutput* out) {
+  Status Collect(EvalOutput* out, RunScope& rs) {
+    ScopedSpan combine_span(&rs.tracer(), "combine", rs.root());
     for (auto& node : nodes_) {
       CSM_CHECK(node->entries.empty())
           << "node " << node->name << " retained entries after close";
@@ -328,7 +374,6 @@ class SortScanRun {
         out->tables.emplace(node->name, std::move(*node->output));
       }
     }
-    out->stats.materialized_rows = rows_flushed_;
     return Status::OK();
   }
 
@@ -837,10 +882,16 @@ class SortScanRun {
                            nodes_[edge.consumer]->pos);
   }
 
-  void SampleMemory(ExecStats* stats) {
+  /// Tracks high-water marks in plain members — called once per
+  /// propagation batch, so it stays off the tracer mutex; the peaks are
+  /// flushed to the scan span once at end of scan.
+  void SampleMemory() {
     uint64_t entries = 0;
     uint64_t bytes = 0;
-    for (const auto& node : nodes_) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const auto& node = nodes_[i];
+      node_peak_entries_[i] =
+          std::max<uint64_t>(node_peak_entries_[i], node->entries.size());
       entries += node->entries.size();
       const size_t per_entry =
           (node->pos.len() + d_) * sizeof(Value) + sizeof(NodeEntry) +
@@ -862,11 +913,12 @@ class SortScanRun {
       bytes += edge.parent_values.size() *
                ((edge.producer_pos.len() + d_) * sizeof(Value) + 56);
     }
-    stats->peak_hash_entries = std::max(stats->peak_hash_entries, entries);
-    stats->peak_hash_bytes = std::max(stats->peak_hash_bytes, bytes);
+    peak_entries_ = std::max(peak_entries_, entries);
+    peak_bytes_ = std::max(peak_bytes_, bytes);
   }
 
   const Workflow& workflow_;
+  ExecContext& ctx_;
   const EngineOptions& options_;
   SchemaPtr schema_ptr_;
   const Schema& schema_;
@@ -877,6 +929,9 @@ class SortScanRun {
   std::vector<EdgeRt> edges_;
   std::vector<int> scan_nodes_;  // kBase / kEnum, fed by the scan
   uint64_t rows_flushed_ = 0;
+  uint64_t peak_entries_ = 0;
+  uint64_t peak_bytes_ = 0;
+  std::vector<uint64_t> node_peak_entries_;
   std::vector<double> combine_slots_;
 };
 
@@ -898,15 +953,23 @@ SortKey SortScanEngine::DefaultSortKey(const Workflow& workflow) {
 }
 
 Result<EvalOutput> SortScanEngine::Run(const Workflow& workflow,
-                                       const FactTable& fact) {
-  SortScanRun run(workflow, options_);
+                                       const FactTable& fact,
+                                       ExecContext& ctx) {
+  SortScanRun run(workflow, ctx);
   return run.Execute(fact);
 }
 
 Result<EvalOutput> SortScanEngine::RunFile(const Workflow& workflow,
-                                           const std::string& fact_path) {
-  SortScanRun run(workflow, options_);
+                                           const std::string& fact_path,
+                                           ExecContext& ctx) {
+  SortScanRun run(workflow, ctx);
   return run.ExecuteFile(fact_path);
+}
+
+Result<EvalOutput> SortScanEngine::RunFile(const Workflow& workflow,
+                                           const std::string& fact_path) {
+  ExecContext ctx;
+  return RunFile(workflow, fact_path, ctx);
 }
 
 }  // namespace csm

@@ -1,9 +1,13 @@
 #ifndef CSM_EXEC_SORT_SCAN_H_
 #define CSM_EXEC_SORT_SCAN_H_
 
+#include <string>
+
 #include "exec/engine.h"
 
 namespace csm {
+
+struct ExecContext;
 
 /// The one-pass sort/scan engine — the paper's core contribution (§5.2,
 /// §5.3). The fact table is sorted once by an order vector; every measure
@@ -23,19 +27,19 @@ namespace csm {
 ///    order, and removed — bounding the memory footprint;
 ///  - at end of scan all streams close and everything flushes.
 ///
-/// The sort order comes from EngineOptions::sort_key, or (when empty) from
-/// a default that sorts by every dimension used by the query at its
-/// finest queried level; the optimizer (src/opt) can search for better
-/// orders using the static footprint model.
+/// The sort order comes from ExecContext options (sort_key), or (when
+/// empty) from a default that sorts by every dimension used by the query
+/// at its finest queried level; the optimizer (src/opt) can search for
+/// better orders using the static footprint model.
 class SortScanEngine : public Engine {
  public:
-  explicit SortScanEngine(EngineOptions options = {})
-      : options_(std::move(options)) {}
+  SortScanEngine() = default;
 
   std::string_view name() const override { return "sort-scan"; }
 
-  Result<EvalOutput> Run(const Workflow& workflow,
-                         const FactTable& fact) override;
+  using Engine::Run;
+  Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
+                         ExecContext& ctx) override;
 
   /// Out-of-core entry point: evaluates the workflow directly over a
   /// binary fact file (WriteFactTableBinary format). The file is sorted
@@ -43,16 +47,16 @@ class SortScanEngine : public Engine {
   /// the computation graph — the dataset is never fully resident, so
   /// datasets larger than RAM work end to end.
   Result<EvalOutput> RunFile(const Workflow& workflow,
+                             const std::string& fact_path,
+                             ExecContext& ctx);
+  Result<EvalOutput> RunFile(const Workflow& workflow,
                              const std::string& fact_path);
 
-  /// The default order vector used when options.sort_key is empty: every
-  /// dimension some measure needs, in schema order, at the finest level
-  /// any measure granularity requests. Exposed for the optimizer and
-  /// benches.
+  /// The default order vector used when the context's sort_key is empty:
+  /// every dimension some measure needs, in schema order, at the finest
+  /// level any measure granularity requests. Exposed for the optimizer
+  /// and benches.
   static SortKey DefaultSortKey(const Workflow& workflow);
-
- private:
-  EngineOptions options_;
 };
 
 }  // namespace csm

@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace csm {
+
+namespace {
+
+uint64_t ThisThreadHash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+TraceMetric* FindMetric(std::vector<TraceMetric>& metrics,
+                        std::string_view name) {
+  for (TraceMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SpanId Tracer::BeginSpan(std::string_view name, SpanId parent) {
+  const uint64_t thread_hash = ThisThreadHash();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanData span;
+  span.name = std::string(name);
+  span.id = static_cast<SpanId>(spans_.size());
+  span.parent = parent;
+  span.start_seconds = timer_.Seconds();
+  span.thread_hash = thread_hash;
+  if (parent >= 0 && parent < static_cast<SpanId>(spans_.size())) {
+    spans_[parent].children.push_back(span.id);
+  } else {
+    span.parent = kNoSpan;
+  }
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(SpanId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  SpanData& span = spans_[id];
+  if (!span.open) return;
+  span.duration_seconds = timer_.Seconds() - span.start_seconds;
+  span.open = false;
+}
+
+void Tracer::AddCounter(SpanId id, std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  if (TraceMetric* m = FindMetric(spans_[id].counters, name)) {
+    m->value += delta;
+  } else {
+    spans_[id].counters.push_back({std::string(name), delta});
+  }
+}
+
+void Tracer::SetGaugeMax(SpanId id, std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  if (TraceMetric* m = FindMetric(spans_[id].gauges, name)) {
+    m->value = std::max(m->value, value);
+  } else {
+    spans_[id].gauges.push_back({std::string(name), value});
+  }
+}
+
+void Tracer::SetAttr(SpanId id, std::string_view name, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  for (TraceAttr& a : spans_[id].attrs) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  spans_[id].attrs.push_back({std::string(name), std::move(value)});
+}
+
+size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+SpanData Tracer::GetSpan(SpanId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return SpanData();
+  return spans_[id];
+}
+
+std::vector<SpanId> Tracer::RootSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanId> roots;
+  for (const SpanData& span : spans_) {
+    if (span.parent == kNoSpan) roots.push_back(span.id);
+  }
+  return roots;
+}
+
+std::vector<SpanData> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SpanData>(spans_.begin(), spans_.end());
+}
+
+double Tracer::SumCounter(SpanId root, std::string_view name) const {
+  std::vector<SpanData> spans = Snapshot();
+  if (root < 0 || root >= static_cast<SpanId>(spans.size())) return 0;
+  double total = 0;
+  std::vector<SpanId> stack = {root};
+  while (!stack.empty()) {
+    const SpanData& span = spans[stack.back()];
+    stack.pop_back();
+    for (const TraceMetric& m : span.counters) {
+      if (m.name == name) total += m.value;
+    }
+    stack.insert(stack.end(), span.children.begin(), span.children.end());
+  }
+  return total;
+}
+
+double Tracer::MaxGauge(SpanId root, std::string_view name,
+                        double fallback) const {
+  std::vector<SpanData> spans = Snapshot();
+  if (root < 0 || root >= static_cast<SpanId>(spans.size())) return fallback;
+  double best = fallback;
+  bool found = false;
+  std::vector<SpanId> stack = {root};
+  while (!stack.empty()) {
+    const SpanData& span = spans[stack.back()];
+    stack.pop_back();
+    for (const TraceMetric& m : span.gauges) {
+      if (m.name == name) {
+        best = found ? std::max(best, m.value) : m.value;
+        found = true;
+      }
+    }
+    stack.insert(stack.end(), span.children.begin(), span.children.end());
+  }
+  return found ? best : fallback;
+}
+
+double Tracer::SumDurationExclusive(
+    SpanId root, std::initializer_list<std::string_view> names) const {
+  std::vector<SpanData> spans = Snapshot();
+  if (root < 0 || root >= static_cast<SpanId>(spans.size())) return 0;
+  auto named = [&names](const SpanData& span) {
+    return std::find(names.begin(), names.end(), span.name) != names.end();
+  };
+  double total = 0;
+  // (id, inside-counted-ancestor) pairs.
+  std::vector<std::pair<SpanId, bool>> stack = {{root, false}};
+  while (!stack.empty()) {
+    auto [id, covered] = stack.back();
+    stack.pop_back();
+    const SpanData& span = spans[id];
+    bool counts = !covered && named(span);
+    if (counts) total += span.duration_seconds;
+    for (SpanId child : span.children) {
+      stack.push_back({child, covered || counts});
+    }
+  }
+  return total;
+}
+
+std::string Tracer::AttrOrEmpty(SpanId id, std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return "";
+  for (const TraceAttr& a : spans_[id].attrs) {
+    if (a.name == name) return a.value;
+  }
+  return "";
+}
+
+}  // namespace csm

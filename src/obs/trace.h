@@ -1,0 +1,155 @@
+#ifndef CSM_OBS_TRACE_H_
+#define CSM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace csm {
+
+/// Index of a span within its Tracer. Spans are never deleted, so ids stay
+/// valid for the lifetime of the tracer.
+using SpanId = int32_t;
+inline constexpr SpanId kNoSpan = -1;
+
+/// A named numeric annotation on a span. Counters accumulate deltas;
+/// gauges keep the high-water maximum.
+struct TraceMetric {
+  std::string name;
+  double value = 0;
+};
+
+/// A named string annotation on a span (sort keys, engine choices, ...).
+struct TraceAttr {
+  std::string name;
+  std::string value;
+};
+
+/// One node of the span tree: a wall-clock interval attributed to the
+/// thread that opened it, with counters/gauges/attrs attached.
+struct SpanData {
+  std::string name;
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  double start_seconds = 0;     // relative to tracer construction
+  double duration_seconds = 0;  // 0 until EndSpan
+  bool open = true;
+  uint64_t thread_hash = 0;  // hashed std::thread::id of the opener
+  std::vector<TraceMetric> counters;
+  std::vector<TraceMetric> gauges;
+  std::vector<TraceAttr> attrs;
+  std::vector<SpanId> children;
+};
+
+/// Thread-safe span/metric recorder for one (or more) engine runs.
+///
+/// Engines open a root span per Run and nest phase spans (sort, scan,
+/// combine, ...) beneath it; worker threads open their own shard spans
+/// under the shared root. All mutation goes through a single mutex — the
+/// engines are careful to record at batch granularity, not per row, so
+/// contention is negligible.
+///
+/// After the run, the tree can be queried (SumCounter / MaxGauge /
+/// SumDurationExclusive) or exported (ToJson / ToTreeString). The legacy
+/// ExecStats view is derived from exactly these queries.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span. `parent` == kNoSpan makes it a root of the forest.
+  SpanId BeginSpan(std::string_view name, SpanId parent = kNoSpan);
+
+  /// Closes a span, fixing its duration. Ending twice is a no-op.
+  void EndSpan(SpanId id);
+
+  /// Adds `delta` to the named monotonic counter on `id`.
+  void AddCounter(SpanId id, std::string_view name, double delta);
+
+  /// Raises the named high-water gauge on `id` to at least `value`.
+  void SetGaugeMax(SpanId id, std::string_view name, double value);
+
+  /// Sets (or overwrites) a string attribute on `id`.
+  void SetAttr(SpanId id, std::string_view name, std::string value);
+
+  // --- post-hoc queries (safe while other threads still record) ---
+
+  size_t num_spans() const;
+
+  /// Copy of one span's data; invalid ids return a default SpanData.
+  SpanData GetSpan(SpanId id) const;
+
+  /// Ids of all spans with no parent, in creation order.
+  std::vector<SpanId> RootSpans() const;
+
+  /// Sum of the named counter over `root`'s subtree (root included).
+  double SumCounter(SpanId root, std::string_view name) const;
+
+  /// Max of the named gauge over `root`'s subtree; `fallback` if absent.
+  double MaxGauge(SpanId root, std::string_view name,
+                  double fallback = 0) const;
+
+  /// Sum of durations of spans in `root`'s subtree whose name is in
+  /// `names`, skipping spans with an ancestor already counted — nested
+  /// same-bucket spans contribute only their outermost interval.
+  double SumDurationExclusive(SpanId root,
+                              std::initializer_list<std::string_view> names)
+      const;
+
+  /// Value of a string attribute on `id`, or "" if absent.
+  std::string AttrOrEmpty(SpanId id, std::string_view name) const;
+
+  // --- exporters ---
+
+  /// The span forest as a JSON array of nested span objects.
+  std::string ToJson() const;
+
+  /// Indented human-readable tree, one span per line with duration,
+  /// counters, gauges and attrs.
+  std::string ToTreeString() const;
+
+ private:
+  std::vector<SpanData> Snapshot() const;
+
+  mutable std::mutex mu_;
+  Timer timer_;                  // epoch for start_seconds
+  std::deque<SpanData> spans_;   // deque: stable ids, no realloc moves
+};
+
+/// RAII span: opens on construction, closes on destruction (or End()).
+/// A null tracer makes every operation a no-op, so call sites don't need
+/// "is tracing on" branches.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name, SpanId parent = kNoSpan)
+      : tracer_(tracer),
+        id_(tracer ? tracer->BeginSpan(name, parent) : kNoSpan) {}
+  ~ScopedSpan() { End(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void End() {
+    if (tracer_ != nullptr && !ended_) {
+      tracer_->EndSpan(id_);
+      ended_ = true;
+    }
+  }
+
+  SpanId id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_;
+  bool ended_ = false;
+};
+
+}  // namespace csm
+
+#endif  // CSM_OBS_TRACE_H_

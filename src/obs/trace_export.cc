@@ -1,0 +1,167 @@
+// JSON and human-readable exporters for the span tree. No external JSON
+// dependency: output is assembled by hand and kept deliberately simple
+// (objects, arrays, strings, numbers).
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace csm {
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void AppendMetricMap(std::string* out, const char* key,
+                     const std::vector<TraceMetric>& metrics) {
+  if (metrics.empty()) return;
+  *out += ",\"";
+  *out += key;
+  *out += "\":{";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(out, metrics[i].name);
+    out->push_back(':');
+    AppendJsonNumber(out, metrics[i].value);
+  }
+  out->push_back('}');
+}
+
+void AppendSpanJson(std::string* out, const std::vector<SpanData>& spans,
+                    SpanId id) {
+  const SpanData& span = spans[id];
+  *out += "{\"name\":";
+  AppendJsonString(out, span.name);
+  *out += ",\"start_seconds\":";
+  AppendJsonNumber(out, span.start_seconds);
+  *out += ",\"duration_seconds\":";
+  AppendJsonNumber(out, span.duration_seconds);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ",\"thread\":\"%016" PRIx64 "\"",
+                span.thread_hash);
+  *out += buf;
+  AppendMetricMap(out, "counters", span.counters);
+  AppendMetricMap(out, "gauges", span.gauges);
+  if (!span.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendJsonString(out, span.attrs[i].name);
+      out->push_back(':');
+      AppendJsonString(out, span.attrs[i].value);
+    }
+    out->push_back('}');
+  }
+  if (!span.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendSpanJson(out, spans, span.children[i]);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+void AppendSpanTree(std::string* out, const std::vector<SpanData>& spans,
+                    SpanId id, int depth) {
+  const SpanData& span = spans[id];
+  for (int i = 0; i < depth; ++i) *out += "  ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", span.duration_seconds);
+  *out += span.name;
+  *out += span.open ? " (open)" : " ";
+  if (!span.open) *out += buf;
+  for (const TraceMetric& m : span.counters) {
+    std::snprintf(buf, sizeof(buf), " %s=%.0f", m.name.c_str(), m.value);
+    *out += buf;
+  }
+  for (const TraceMetric& m : span.gauges) {
+    std::snprintf(buf, sizeof(buf), " %s^%.0f", m.name.c_str(), m.value);
+    *out += buf;
+  }
+  for (const TraceAttr& a : span.attrs) {
+    *out += " ";
+    *out += a.name;
+    *out += "=";
+    *out += a.value;
+  }
+  *out += "\n";
+  for (SpanId child : span.children) {
+    AppendSpanTree(out, spans, child, depth + 1);
+  }
+}
+
+std::vector<SpanData> CopyAll(const Tracer& tracer) {
+  std::vector<SpanData> spans;
+  const size_t n = tracer.num_spans();
+  spans.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    spans.push_back(tracer.GetSpan(static_cast<SpanId>(i)));
+  }
+  return spans;
+}
+
+}  // namespace
+
+std::string Tracer::ToJson() const {
+  std::vector<SpanData> spans = CopyAll(*this);
+  std::string out = "[";
+  bool first = true;
+  for (const SpanData& span : spans) {
+    if (span.parent != kNoSpan) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendSpanJson(&out, spans, span.id);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string Tracer::ToTreeString() const {
+  std::vector<SpanData> spans = CopyAll(*this);
+  std::string out;
+  for (const SpanData& span : spans) {
+    if (span.parent != kNoSpan) continue;
+    AppendSpanTree(&out, spans, span.id, 0);
+  }
+  return out;
+}
+
+}  // namespace csm

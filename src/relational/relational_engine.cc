@@ -8,7 +8,8 @@
 #include "algebra/evaluator.h"
 #include "algebra/measure_ops.h"
 #include "common/logging.h"
-#include "common/timer.h"
+#include "exec/exec_context.h"
+#include "obs/trace.h"
 #include "storage/external_sorter.h"
 #include "storage/table_io.h"
 #include "storage/temp_file.h"
@@ -38,13 +39,15 @@ struct RunContext {
   TempDir* temp = nullptr;
   std::string fact_path;  // the fact table's on-disk home
   size_t memory_budget = 0;
-  ExecStats* stats = nullptr;
+  Tracer* tracer = nullptr;
+  SpanId span = kNoSpan;  // current "measure:<name>" span
+  const std::atomic<bool>* cancel = nullptr;
   // Disk locations of already-computed measures.
   std::map<std::string, std::string> measure_paths;
 
   void ChargePeakRows(size_t rows) {
-    stats->peak_hash_entries = std::max(stats->peak_hash_entries,
-                                        static_cast<uint64_t>(rows));
+    tracer->SetGaugeMax(span, "peak_hash_entries",
+                        static_cast<double>(rows));
   }
 };
 
@@ -65,10 +68,14 @@ Status StoreMeasure(RunContext& ctx, const MeasureTable& table) {
   std::string path = ctx.temp->NewFilePath("rel-" + table.name());
   CSM_RETURN_NOT_OK(WriteMeasureTableBinary(table, path));
   ctx.measure_paths[table.name()] = path;
-  ctx.stats->materialized_rows += table.num_rows();
-  ctx.stats->spilled_bytes +=
-      table.num_rows() * (table.num_dims() * sizeof(Value) +
-                          sizeof(double)) + 24;
+  ctx.tracer->AddCounter(ctx.span, "materialized_rows",
+                         static_cast<double>(table.num_rows()));
+  ctx.tracer->AddCounter(
+      ctx.span, "spilled_bytes",
+      static_cast<double>(table.num_rows() *
+                              (table.num_dims() * sizeof(Value) +
+                               sizeof(double)) +
+                          24));
   return Status::OK();
 }
 
@@ -84,10 +91,11 @@ Result<MeasureTable> SortGroupByFact(RunContext& ctx,
   const int m = schema.num_measures();
 
   // Scan from disk (every query re-reads the base table).
-  Timer scan_timer;
+  ScopedSpan scan_span(ctx.tracer, "scan", ctx.span);
   CSM_ASSIGN_OR_RETURN(FactTable fact,
                        ReadFactTableBinary(ctx.schema_ptr, ctx.fact_path));
-  ctx.stats->rows_scanned += fact.num_rows();
+  ctx.tracer->AddCounter(scan_span.id(), "rows_scanned",
+                         static_cast<double>(fact.num_rows()));
 
   if (where != nullptr) {
     CSM_ASSIGN_OR_RETURN(BoundExpr cond,
@@ -104,19 +112,23 @@ Result<MeasureTable> SortGroupByFact(RunContext& ctx,
     fact = std::move(filtered);
   }
   ctx.ChargePeakRows(fact.num_rows());
-  ctx.stats->scan_seconds += scan_timer.Seconds();
+  scan_span.End();
 
   SortKey order = GroupOrder(schema, gran);
+  ScopedSpan sort_span(ctx.tracer, "sort", ctx.span);
   SortStats sort_stats;
   CSM_ASSIGN_OR_RETURN(fact,
                        SortFactTable(std::move(fact), order,
                                      ctx.memory_budget, ctx.temp,
-                                     &sort_stats));
-  ctx.stats->sort_seconds += sort_stats.seconds;
-  ctx.stats->spilled_bytes += sort_stats.spilled_bytes;
+                                     &sort_stats, ctx.cancel));
+  ctx.tracer->AddCounter(sort_span.id(), "spilled_bytes",
+                         static_cast<double>(sort_stats.spilled_bytes));
+  ctx.tracer->AddCounter(sort_span.id(), "sort_runs",
+                         static_cast<double>(sort_stats.runs));
+  sort_span.End();
 
   // Streaming aggregation over the sorted run.
-  Timer agg_timer;
+  ScopedSpan agg_span(ctx.tracer, "scan", ctx.span);
   MeasureTable out(ctx.schema_ptr, gran, name);
   const Granularity base = Granularity::Base(schema);
   RegionKey current(d), key(d);
@@ -134,7 +146,6 @@ Result<MeasureTable> SortGroupByFact(RunContext& ctx,
               agg.arg >= 0 ? fact.measure_row(row)[agg.arg] : 1.0);
   }
   if (open) out.Append(current, AggFinalize(agg.kind, state));
-  ctx.stats->scan_seconds += agg_timer.Seconds();
   return out;
 }
 
@@ -146,12 +157,13 @@ Result<MeasureTable> SortGroupByMeasure(RunContext& ctx,
                                         const std::string& name) {
   const Schema& schema = *ctx.schema;
   const int d = schema.num_dims();
-  Timer sort_timer;
-  input.SortBy(GroupOrder(schema, gran));
-  ctx.stats->sort_seconds += sort_timer.Seconds();
+  {
+    ScopedSpan sort_span(ctx.tracer, "sort", ctx.span);
+    input.SortBy(GroupOrder(schema, gran));
+  }
   ctx.ChargePeakRows(input.num_rows());
 
-  Timer agg_timer;
+  ScopedSpan agg_span(ctx.tracer, "combine", ctx.span);
   MeasureTable out(ctx.schema_ptr, gran, name);
   RegionKey current(d), key(d);
   AggState state;
@@ -169,7 +181,6 @@ Result<MeasureTable> SortGroupByMeasure(RunContext& ctx,
               agg.arg >= 0 ? input.value(row) : 1.0);
   }
   if (open) out.Append(current, AggFinalize(agg.kind, state));
-  ctx.stats->combine_seconds += agg_timer.Seconds();
   return out;
 }
 
@@ -208,7 +219,6 @@ Result<MeasureTable> MergeMatchJoin(RunContext& ctx, MeasureTable source,
   const Schema& schema = *ctx.schema;
   const int d = schema.num_dims();
   const AggKind kind = agg.kind;
-  Timer sort_timer;
 
   if (cond.type == MatchType::kChildParent) {
     // Roll the finer target up to the source granularity first.
@@ -218,12 +228,14 @@ Result<MeasureTable> MergeMatchJoin(RunContext& ctx, MeasureTable source,
     // Now a plain self merge below.
   }
 
-  source.SortByKeyLex();
-  target.SortByKeyLex();
-  ctx.stats->sort_seconds += sort_timer.Seconds();
+  {
+    ScopedSpan sort_span(ctx.tracer, "sort", ctx.span);
+    source.SortByKeyLex();
+    target.SortByKeyLex();
+  }
   ctx.ChargePeakRows(source.num_rows() + target.num_rows());
 
-  Timer join_timer;
+  ScopedSpan join_span(ctx.tracer, "combine", ctx.span);
   MeasureTable out(ctx.schema_ptr, source.granularity(), name);
   out.Reserve(source.num_rows());
 
@@ -295,7 +307,6 @@ Result<MeasureTable> MergeMatchJoin(RunContext& ctx, MeasureTable source,
       break;
     }
   }
-  ctx.stats->combine_seconds += join_timer.Seconds();
   return out;
 }
 
@@ -307,18 +318,19 @@ Result<MeasureTable> MergeCombine(RunContext& ctx,
                                   const std::string& name) {
   const Schema& schema = *ctx.schema;
   const int d = schema.num_dims();
-  Timer sort_timer;
   size_t total_rows = 0;
   std::vector<std::string> names;
-  for (MeasureTable& t : inputs) {
-    t.SortByKeyLex();
-    total_rows += t.num_rows();
-    names.push_back(t.name());
+  {
+    ScopedSpan sort_span(ctx.tracer, "sort", ctx.span);
+    for (MeasureTable& t : inputs) {
+      t.SortByKeyLex();
+      total_rows += t.num_rows();
+      names.push_back(t.name());
+    }
   }
-  ctx.stats->sort_seconds += sort_timer.Seconds();
   ctx.ChargePeakRows(total_rows);
 
-  Timer join_timer;
+  ScopedSpan join_span(ctx.tracer, "combine", ctx.span);
   CSM_ASSIGN_OR_RETURN(BoundExpr bound,
                        BoundExpr::Bind(*fc, CombineVars(schema, names)));
   const MeasureTable& source = inputs[0];
@@ -344,31 +356,42 @@ Result<MeasureTable> MergeCombine(RunContext& ctx,
     }
     out.Append(skey, bound.Eval(slots.data()));
   }
-  ctx.stats->combine_seconds += join_timer.Seconds();
   return out;
 }
 
 }  // namespace
 
 Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
-                                         const FactTable& fact) {
-  Timer total_timer;
+                                         const FactTable& fact,
+                                         ExecContext& exec_ctx) {
+  RunScope rs(exec_ctx, name());
+  Tracer& tracer = rs.tracer();
   EvalOutput out;
-  CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
+  CSM_ASSIGN_OR_RETURN(TempDir temp,
+                       TempDir::Make(exec_ctx.options.temp_dir));
 
   RunContext ctx;
   ctx.workflow = &workflow;
   ctx.schema_ptr = workflow.schema();
   ctx.schema = ctx.schema_ptr.get();
   ctx.temp = &temp;
-  ctx.memory_budget = options_.memory_budget_bytes;
-  ctx.stats = &out.stats;
+  ctx.memory_budget = exec_ctx.options.memory_budget_bytes;
+  ctx.tracer = &tracer;
+  ctx.span = rs.root();
+  ctx.cancel = exec_ctx.cancel;
 
   // "Load" the base table into database storage.
-  ctx.fact_path = temp.NewFilePath("fact");
-  CSM_RETURN_NOT_OK(WriteFactTableBinary(fact, ctx.fact_path));
+  {
+    ScopedSpan load_span(&tracer, "materialize", rs.root());
+    ctx.fact_path = temp.NewFilePath("fact");
+    CSM_RETURN_NOT_OK(WriteFactTableBinary(fact, ctx.fact_path));
+  }
 
   for (const MeasureDef& def : workflow.measures()) {
+    CSM_RETURN_NOT_OK(exec_ctx.CheckCancelled("relational measure '" +
+                                              def.name + "'"));
+    ScopedSpan measure_span(&tracer, "measure:" + def.name, rs.root());
+    ctx.span = measure_span.id();
     MeasureTable result(ctx.schema_ptr, def.gran, def.name);
     switch (def.op) {
       case MeasureOp::kBaseAgg: {
@@ -418,17 +441,21 @@ Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
       }
     }
     CSM_RETURN_NOT_OK(StoreMeasure(ctx, result));
+    tracer.SetGaugeMax(measure_span.id(),
+                       "hash_entries_hw/" + def.name,
+                       static_cast<double>(result.num_rows()));
   }
+  ctx.span = rs.root();
 
   // Fetch requested outputs back from disk.
   for (const MeasureDef& def : workflow.measures()) {
-    if (!def.is_output && !options_.include_hidden) continue;
+    if (!def.is_output && !exec_ctx.options.include_hidden) continue;
     CSM_ASSIGN_OR_RETURN(MeasureTable table, LoadMeasure(ctx, def.name));
     table.SortByKeyLex();
     out.tables.emplace(def.name, std::move(table));
   }
-  out.stats.total_seconds = total_timer.Seconds();
-  out.stats.sort_key = "(per-query group-by sorts)";
+  tracer.SetAttr(rs.root(), "sort_key", "(per-query group-by sorts)");
+  out.stats = rs.Finish();
   return out;
 }
 

@@ -30,16 +30,13 @@ namespace csm {
 /// which this engine preserves.
 class RelationalEngine : public Engine {
  public:
-  explicit RelationalEngine(EngineOptions options = {})
-      : options_(std::move(options)) {}
+  RelationalEngine() = default;
 
   std::string_view name() const override { return "relational"; }
 
-  Result<EvalOutput> Run(const Workflow& workflow,
-                         const FactTable& fact) override;
-
- private:
-  EngineOptions options_;
+  using Engine::Run;
+  Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
+                         ExecContext& ctx) override;
 };
 
 }  // namespace csm

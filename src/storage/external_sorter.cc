@@ -70,8 +70,13 @@ struct RowCursor {
 
 Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
                                 size_t memory_budget_bytes,
-                                TempDir* temp_dir, SortStats* stats) {
+                                TempDir* temp_dir, SortStats* stats,
+                                const std::atomic<bool>* cancel) {
   Timer timer;
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) return Status::Cancelled("sort cancelled before start");
   SortStats local;
   local.rows = input.num_rows();
   const Schema& schema = *input.schema();
@@ -113,6 +118,10 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
     chunk.Reserve(run_rows);
     size_t row = 0;
     while (row < input.num_rows()) {
+      if (cancelled()) {
+        for (const auto& path : run_paths) RemoveFileIfExists(path);
+        return Status::Cancelled("sort cancelled while spilling runs");
+      }
       chunk.Clear();
       const size_t end = std::min(input.num_rows(), row + run_rows);
       for (; row < end; ++row) {
@@ -176,7 +185,12 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
 
   FactTable out(input.schema());
   out.Reserve(local.rows);
+  size_t merged = 0;
   while (!heap.empty()) {
+    if ((merged++ & 4095) == 0 && cancelled()) {
+      for (const auto& path : run_paths) RemoveFileIfExists(path);
+      return Status::Cancelled("sort cancelled during merge");
+    }
     size_t i = heap.top();
     heap.pop();
     out.AppendRow(cursors[i].dims.data(), cursors[i].measures.data());

@@ -1,6 +1,7 @@
 #ifndef CSM_STORAGE_EXTERNAL_SORTER_H_
 #define CSM_STORAGE_EXTERNAL_SORTER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/result.h"
@@ -27,9 +28,13 @@ struct SortStats {
 /// ~budget/2 bytes are spilled into `temp_dir` and merged in one multi-way
 /// pass. The paper's evaluation framework assumes exactly this sort
 /// machinery between scan passes (§5.2).
+///
+/// `cancel` (optional) is polled between runs and merge batches; when it
+/// becomes true the sort stops and returns Status::Cancelled.
 Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
                                 size_t memory_budget_bytes,
-                                TempDir* temp_dir, SortStats* stats);
+                                TempDir* temp_dir, SortStats* stats,
+                                const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace csm
 

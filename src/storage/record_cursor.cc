@@ -149,8 +149,12 @@ std::unique_ptr<RecordCursor> MakeFactTableCursor(const FactTable& table) {
 
 Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
     SchemaPtr schema, const std::string& path, const SortKey& key,
-    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats) {
+    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
+    const std::atomic<bool>* cancel) {
   Timer timer;
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
   SortStats local;
   const int d = schema->num_dims();
   const int m = schema->num_measures();
@@ -185,6 +189,10 @@ Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
 
   auto flush_chunk = [&]() -> Status {
     if (chunk.num_rows() == 0) return Status::OK();
+    if (cancelled()) {
+      for (const auto& rp : run_paths) RemoveFileIfExists(rp);
+      return Status::Cancelled("file sort cancelled while spilling runs");
+    }
     SortStats chunk_stats;
     // In-memory sort of the chunk (no temp dir: never spills here).
     auto sorted = SortFactTable(std::move(chunk), key,

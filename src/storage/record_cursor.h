@@ -40,9 +40,13 @@ std::unique_ptr<RecordCursor> MakeFactTableCursor(const FactTable& table);
 ///
 /// This is the paper's out-of-core configuration: data lives in flat
 /// files and the engine streams it, never a DBMS.
+///
+/// `cancel` (optional) is polled between run chunks; when it becomes true
+/// the sort stops and returns Status::Cancelled.
 Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
     SchemaPtr schema, const std::string& path, const SortKey& key,
-    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats);
+    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
+    const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace csm
 

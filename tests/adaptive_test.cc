@@ -17,8 +17,8 @@ TEST(AdaptiveEngineTest, PicksSingleScanForSmallState) {
   auto schema = MakeNetworkLogSchema(/*time_cardinality=*/1e5);
   auto workflow = MakeEscalationQuery(schema);
   ASSERT_TRUE(workflow.ok());
-  AdaptiveEngine engine;  // default 256 MB budget
-  auto choice = engine.Decide(*workflow);
+  // Default 256 MB budget.
+  auto choice = AdaptiveEngine::Decide(*workflow, EngineOptions{});
   ASSERT_TRUE(choice.ok()) << choice.status().ToString();
   EXPECT_EQ(*choice, AdaptiveEngine::Choice::kSingleScan);
 }
@@ -31,8 +31,7 @@ TEST(AdaptiveEngineTest, PicksSortScanForLargeStreamableState) {
   ASSERT_TRUE(workflow.ok());
   EngineOptions options;
   options.memory_budget_bytes = 8 << 20;
-  AdaptiveEngine engine(options);
-  auto choice = engine.Decide(*workflow);
+  auto choice = AdaptiveEngine::Decide(*workflow, options);
   ASSERT_TRUE(choice.ok());
   EXPECT_EQ(*choice, AdaptiveEngine::Choice::kSortScan);
 }
@@ -47,8 +46,7 @@ TEST(AdaptiveEngineTest, PicksMultiPassWhenNoOrderFits) {
   ASSERT_TRUE(workflow.ok());
   EngineOptions options;
   options.memory_budget_bytes = 12 << 20;  // ~128k entries
-  AdaptiveEngine engine(options);
-  auto choice = engine.Decide(*workflow);
+  auto choice = AdaptiveEngine::Decide(*workflow, options);
   ASSERT_TRUE(choice.ok());
   EXPECT_EQ(*choice, AdaptiveEngine::Choice::kMultiPass);
 }
@@ -87,8 +85,7 @@ TEST(AdaptiveEngineTest, HonorsExplicitSortKey) {
   auto key = SortKey::Parse(*schema, "<t:hour, V:net24, U:ip>");
   ASSERT_TRUE(key.ok());
   options.sort_key = *key;
-  AdaptiveEngine engine(options);
-  auto choice = engine.Decide(*workflow);
+  auto choice = AdaptiveEngine::Decide(*workflow, options);
   ASSERT_TRUE(choice.ok());
   EXPECT_EQ(*choice, AdaptiveEngine::Choice::kSortScan);
 }

@@ -40,9 +40,10 @@ std::map<std::string, MeasureTable> ReferenceResults(
 }
 
 void ExpectMatchesReference(Engine& engine, const Workflow& workflow,
-                            const FactTable& fact) {
+                            const FactTable& fact,
+                            const EngineOptions& options = {}) {
   auto expected = ReferenceResults(workflow, fact, false);
-  auto got = engine.Run(workflow, fact);
+  auto got = testing_util::RunWith(engine, workflow, fact, options);
   ASSERT_TRUE(got.ok()) << engine.name() << ": "
                         << got.status().ToString();
   EXPECT_EQ(got->tables.size(), expected.size()) << engine.name();
@@ -60,6 +61,15 @@ void ExpectMatchesReference(Engine& engine, const Workflow& workflow,
 struct EngineCase {
   const char* label;
   std::function<std::unique_ptr<Engine>()> make;
+  uint64_t memory_budget_bytes = 0;  // 0 = engine default
+
+  EngineOptions options() const {
+    EngineOptions options;
+    if (memory_budget_bytes != 0) {
+      options.memory_budget_bytes = memory_budget_bytes;
+    }
+    return options;
+  }
 };
 
 class EngineConformanceTest
@@ -118,7 +128,7 @@ TEST_P(EngineConformanceTest, MatchesReferenceOnAllWorkflows) {
     ASSERT_TRUE(workflow.ok()) << workflow.status().ToString() << "\n"
                                << dsl;
     auto engine = GetParam().make();
-    ExpectMatchesReference(*engine, *workflow, fact);
+    ExpectMatchesReference(*engine, *workflow, fact, GetParam().options());
   }
 }
 
@@ -132,7 +142,7 @@ TEST_P(EngineConformanceTest, RandomizedWorkloads) {
   for (uint64_t card : {20ull, 1000ull, 1000000ull}) {
     FactTable fact = MakeUniformFacts(schema, 1500, card, card);
     auto engine = GetParam().make();
-    ExpectMatchesReference(*engine, *workflow, fact);
+    ExpectMatchesReference(*engine, *workflow, fact, GetParam().options());
   }
 }
 
@@ -142,7 +152,8 @@ TEST_P(EngineConformanceTest, EmptyFactTable) {
   auto workflow = Workflow::Parse(schema, kWorkflows[3]);
   ASSERT_TRUE(workflow.ok());
   auto engine = GetParam().make();
-  auto got = engine->Run(*workflow, fact);
+  auto got =
+      testing_util::RunWith(*engine, *workflow, fact, GetParam().options());
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   for (const auto& [name, table] : got->tables) {
     EXPECT_EQ(table.num_rows(), 0u) << name;
@@ -161,7 +172,7 @@ TEST_P(EngineConformanceTest, SyntheticSchemaWorkflow) {
           agg avg(M);)");
   ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
   auto engine = GetParam().make();
-  ExpectMatchesReference(*engine, *workflow, fact);
+  ExpectMatchesReference(*engine, *workflow, fact, GetParam().options());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -177,32 +188,29 @@ INSTANTIATE_TEST_SUITE_P(
                    }},
         EngineCase{"RelationalTinyMemory",
                    [] {
-                     EngineOptions options;
-                     options.memory_budget_bytes = 64 << 10;
-                     return std::make_unique<RelationalEngine>(options);
-                   }},
+                     return std::make_unique<RelationalEngine>();
+                   },
+                   64 << 10},
         EngineCase{"SortScanDefaultKey",
                    [] {
                      return std::make_unique<SortScanEngine>();
                    }},
         EngineCase{"SortScanTinyMemory",
                    [] {
-                     EngineOptions options;
-                     options.memory_budget_bytes = 64 << 10;
-                     return std::make_unique<SortScanEngine>(options);
-                   }},
+                     return std::make_unique<SortScanEngine>();
+                   },
+                   64 << 10},
         EngineCase{"MultiPass",
                    [] {
                      return std::make_unique<MultiPassEngine>();
                    }},
         EngineCase{"MultiPassTinyMemory",
                    [] {
-                     EngineOptions options;
-                     // ~340 live entries: forces several passes and the
-                     // post-pass combiner on most workflows.
-                     options.memory_budget_bytes = 32 << 10;
-                     return std::make_unique<MultiPassEngine>(options);
-                   }}),
+                     return std::make_unique<MultiPassEngine>();
+                   },
+                   // ~340 live entries: forces several passes and the
+                   // post-pass combiner on most workflows.
+                   32 << 10}),
     [](const ::testing::TestParamInfo<EngineCase>& info) {
       return info.param.label;
     });
@@ -245,8 +253,8 @@ TEST(EngineOptionsTest, IncludeHiddenReturnsIntermediates) {
   ASSERT_TRUE(workflow.ok());
   EngineOptions options;
   options.include_hidden = true;
-  SingleScanEngine engine(options);
-  auto got = engine.Run(*workflow, fact);
+  SingleScanEngine engine;
+  auto got = testing_util::RunWith(engine, *workflow, fact, options);
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(got->tables.count("Count"));
   SingleScanEngine plain;

@@ -1,0 +1,318 @@
+// Tests for the observability layer (src/obs) and its integration with
+// the engines through ExecContext: span nesting, cross-thread metric
+// aggregation, exporter output, the derived ExecStats view, cooperative
+// cancellation, and traced-vs-untraced conformance.
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/factory.h"
+#include "exec/sort_scan.h"
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+#include "storage/table_io.h"
+#include "storage/temp_file.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+
+TEST(TracerTest, SpanNestingAndDurations) {
+  Tracer tracer;
+  SpanId root = tracer.BeginSpan("run");
+  SpanId sort = tracer.BeginSpan("sort", root);
+  tracer.EndSpan(sort);
+  SpanId scan = tracer.BeginSpan("scan", root);
+  SpanId inner = tracer.BeginSpan("scan", scan);  // nested same name
+  tracer.EndSpan(inner);
+  tracer.EndSpan(scan);
+  tracer.EndSpan(root);
+
+  ASSERT_EQ(tracer.num_spans(), 4u);
+  SpanData r = tracer.GetSpan(root);
+  EXPECT_EQ(r.parent, kNoSpan);
+  ASSERT_EQ(r.children.size(), 2u);
+  EXPECT_EQ(tracer.GetSpan(r.children[0]).name, "sort");
+  EXPECT_EQ(tracer.GetSpan(r.children[1]).name, "scan");
+  EXPECT_FALSE(r.open);
+  EXPECT_GE(r.duration_seconds, tracer.GetSpan(sort).duration_seconds);
+  ASSERT_EQ(tracer.RootSpans().size(), 1u);
+  EXPECT_EQ(tracer.RootSpans()[0], root);
+
+  // The nested "scan" span must not double-count in the exclusive sum.
+  const double outer_scan = tracer.GetSpan(scan).duration_seconds;
+  EXPECT_DOUBLE_EQ(tracer.SumDurationExclusive(root, {"scan"}),
+                   outer_scan);
+}
+
+TEST(TracerTest, EndingTwiceIsANoOp) {
+  Tracer tracer;
+  SpanId s = tracer.BeginSpan("s");
+  tracer.EndSpan(s);
+  const double d = tracer.GetSpan(s).duration_seconds;
+  tracer.EndSpan(s);
+  EXPECT_DOUBLE_EQ(tracer.GetSpan(s).duration_seconds, d);
+}
+
+TEST(TracerTest, CountersAggregateAcrossThreads) {
+  Tracer tracer;
+  SpanId root = tracer.BeginSpan("run");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, root] {
+      SpanId shard = tracer.BeginSpan("shard", root);
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        tracer.AddCounter(shard, "rows", 1);
+      }
+      tracer.SetGaugeMax(shard, "peak", kAddsPerThread);
+      tracer.EndSpan(shard);
+    });
+  }
+  for (auto& t : threads) t.join();
+  tracer.EndSpan(root);
+
+  EXPECT_DOUBLE_EQ(tracer.SumCounter(root, "rows"),
+                   kThreads * kAddsPerThread);
+  EXPECT_DOUBLE_EQ(tracer.MaxGauge(root, "peak"), kAddsPerThread);
+  // Worker spans carry the worker's thread hash, not the opener's.
+  SpanData r = tracer.GetSpan(root);
+  ASSERT_EQ(r.children.size(), static_cast<size_t>(kThreads));
+  bool found_foreign = false;
+  for (SpanId child : r.children) {
+    if (tracer.GetSpan(child).thread_hash != r.thread_hash) {
+      found_foreign = true;
+    }
+  }
+  EXPECT_TRUE(found_foreign);
+}
+
+TEST(TracerTest, GaugeKeepsHighWater) {
+  Tracer tracer;
+  SpanId s = tracer.BeginSpan("s");
+  tracer.SetGaugeMax(s, "g", 10);
+  tracer.SetGaugeMax(s, "g", 3);
+  tracer.SetGaugeMax(s, "g", 7);
+  tracer.EndSpan(s);
+  EXPECT_DOUBLE_EQ(tracer.MaxGauge(s, "g"), 10.0);
+  EXPECT_DOUBLE_EQ(tracer.MaxGauge(s, "missing", 42.0), 42.0);
+}
+
+TEST(TracerTest, JsonExportContainsTheTree) {
+  Tracer tracer;
+  SpanId root = tracer.BeginSpan("sort-scan");
+  SpanId sort = tracer.BeginSpan("sort", root);
+  tracer.AddCounter(sort, "spilled_bytes", 1024);
+  tracer.EndSpan(sort);
+  tracer.SetGaugeMax(root, "peak_hash_entries", 99);
+  tracer.SetAttr(root, "sort_key", "<d0:L0> \"quoted\"");
+  tracer.EndSpan(root);
+
+  std::string json = tracer.ToJson();
+  // Structural round-trip: balanced brackets/braces outside strings.
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  // Content checks.
+  EXPECT_NE(json.find("\"name\":\"sort-scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"spilled_bytes\":1024"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_hash_entries\":99"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+
+  std::string tree = tracer.ToTreeString();
+  EXPECT_NE(tree.find("sort-scan"), std::string::npos);
+  EXPECT_NE(tree.find("  sort"), std::string::npos) << tree;
+}
+
+TEST(DeriveExecStatsTest, BucketsAndVolumesFromSpans) {
+  Tracer tracer;
+  SpanId root = tracer.BeginSpan("engine");
+  SpanId sort = tracer.BeginSpan("sort", root);
+  tracer.AddCounter(sort, "spilled_bytes", 500);
+  tracer.EndSpan(sort);
+  SpanId scan = tracer.BeginSpan("scan", root);
+  tracer.AddCounter(scan, "rows_scanned", 1234);
+  tracer.SetGaugeMax(scan, "peak_hash_entries", 55);
+  tracer.EndSpan(scan);
+  tracer.AddCounter(root, "passes", 3);
+  tracer.SetAttr(root, "sort_key", "<k>");
+  tracer.EndSpan(root);
+
+  ExecStats stats = DeriveExecStats(tracer, root);
+  EXPECT_EQ(stats.rows_scanned, 1234u);
+  EXPECT_EQ(stats.spilled_bytes, 500u);
+  EXPECT_EQ(stats.peak_hash_entries, 55u);
+  EXPECT_EQ(stats.passes, 3);
+  EXPECT_EQ(stats.sort_key, "<k>");
+  EXPECT_GT(stats.sort_seconds, 0.0);
+  EXPECT_GT(stats.scan_seconds, 0.0);
+  EXPECT_GE(stats.total_seconds,
+            stats.sort_seconds + stats.scan_seconds - 1e-9);
+}
+
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeSyntheticSchema(3, 3, 10, 1000);
+    fact_ = std::make_unique<FactTable>(
+        MakeUniformFacts(schema_, 4000, 1000, 19));
+    auto workflow = Workflow::Parse(schema_, R"(
+        measure C at (d0:L0, d1:L1) = agg count(*) from FACT hidden;
+        measure R at (d0:L1) = agg sum(M) from C;
+        measure W at (d0:L1) = match R using sibling(d0 in [0, 2])
+            agg avg(M);)");
+    ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+    workflow_ = std::make_unique<Workflow>(std::move(*workflow));
+  }
+
+  SchemaPtr schema_;
+  std::unique_ptr<FactTable> fact_;
+  std::unique_ptr<Workflow> workflow_;
+};
+
+TEST_F(ObsEngineTest, TracedAndUntracedRunsAgreeOnEveryEngine) {
+  for (EngineKind kind :
+       {EngineKind::kSingleScan, EngineKind::kSortScan,
+        EngineKind::kMultiPass, EngineKind::kAdaptive, EngineKind::kParallel,
+        EngineKind::kRelational}) {
+    auto engine = MakeEngine(kind);
+    const std::string label = std::string(EngineKindName(kind));
+    // Untraced: null tracer in the default context.
+    auto plain = engine->Run(*workflow_, *fact_);
+    ASSERT_TRUE(plain.ok()) << label << ": " << plain.status().ToString();
+    // Traced: external tracer.
+    Tracer tracer;
+    ExecContext ctx;
+    ctx.tracer = &tracer;
+    auto traced = engine->Run(*workflow_, *fact_, ctx);
+    ASSERT_TRUE(traced.ok()) << label << ": " << traced.status().ToString();
+    ASSERT_EQ(plain->tables.size(), traced->tables.size()) << label;
+    for (auto& [name, table] : plain->tables) {
+      ExpectTablesEqual(table, traced->tables.at(name), label + "/" + name);
+    }
+    // The trace carries exactly one engine root, named after the engine.
+    ASSERT_EQ(tracer.RootSpans().size(), 1u) << label;
+    SpanData root = tracer.GetSpan(tracer.RootSpans()[0]);
+    EXPECT_FALSE(root.open) << label;
+    // Stats must be derivable in both modes (private tracer when null).
+    EXPECT_EQ(plain->stats.rows_scanned, traced->stats.rows_scanned)
+        << label;
+    EXPECT_GT(traced->stats.total_seconds, 0.0) << label;
+  }
+}
+
+TEST_F(ObsEngineTest, PerMeasureHashGaugesArePresent) {
+  for (EngineKind kind : {EngineKind::kSortScan, EngineKind::kSingleScan,
+                          EngineKind::kRelational}) {
+    auto engine = MakeEngine(kind);
+    Tracer tracer;
+    ExecContext ctx;
+    ctx.options.include_hidden = true;
+    ctx.tracer = &tracer;
+    auto result = engine->Run(*workflow_, *fact_, ctx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    SpanId root = tracer.RootSpans()[0];
+    for (const char* measure : {"C", "R", "W"}) {
+      EXPECT_GT(tracer.MaxGauge(root, std::string("hash_entries_hw/") +
+                                          measure),
+                0.0)
+          << EngineKindName(kind) << "/" << measure;
+    }
+  }
+}
+
+TEST_F(ObsEngineTest, PhaseSpansCoverMostOfTheRun) {
+  auto engine = MakeEngine(EngineKind::kSortScan);
+  Tracer tracer;
+  ExecContext ctx;
+  ctx.tracer = &tracer;
+  auto result = engine->Run(*workflow_, *fact_, ctx);
+  ASSERT_TRUE(result.ok());
+  const ExecStats& s = result->stats;
+  const double phases = s.sort_seconds + s.scan_seconds + s.combine_seconds;
+  EXPECT_GT(phases, 0.0);
+  EXPECT_LE(phases, s.total_seconds + 1e-9);
+  // The acceptance bar: phases account for >=95% of the wall time.
+  EXPECT_GT(phases, 0.95 * s.total_seconds)
+      << "total " << s.total_seconds << " phases " << phases;
+}
+
+TEST_F(ObsEngineTest, CancellationStopsEveryEngineMidRun) {
+  // A pre-set flag must cancel promptly regardless of engine.
+  std::atomic<bool> cancel{true};
+  for (EngineKind kind :
+       {EngineKind::kSingleScan, EngineKind::kSortScan,
+        EngineKind::kMultiPass, EngineKind::kParallel,
+        EngineKind::kRelational}) {
+    auto engine = MakeEngine(kind);
+    ExecContext ctx;
+    ctx.cancel = &cancel;
+    auto result = engine->Run(*workflow_, *fact_, ctx);
+    ASSERT_FALSE(result.ok()) << EngineKindName(kind);
+    EXPECT_TRUE(result.status().IsCancelled())
+        << EngineKindName(kind) << ": " << result.status().ToString();
+  }
+}
+
+TEST_F(ObsEngineTest, CancellationDuringSpillingSort) {
+  // Out-of-core path with a tiny budget: cancellation must abort inside
+  // the external sort and clean up its run files.
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("facts");
+  ASSERT_TRUE(WriteFactTableBinary(*fact_, path).ok());
+
+  std::atomic<bool> cancel{true};
+  SortScanEngine engine;
+  ExecContext ctx;
+  ctx.options.memory_budget_bytes = 64 << 10;
+  ctx.cancel = &cancel;
+  auto result = engine.RunFile(*workflow_, path, ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled())
+      << result.status().ToString();
+}
+
+TEST_F(ObsEngineTest, UncancelledFlagChangesNothing) {
+  std::atomic<bool> cancel{false};
+  SortScanEngine engine;
+  auto plain = engine.Run(*workflow_, *fact_);
+  ASSERT_TRUE(plain.ok());
+  ExecContext ctx;
+  ctx.cancel = &cancel;
+  auto flagged = engine.Run(*workflow_, *fact_, ctx);
+  ASSERT_TRUE(flagged.ok());
+  for (auto& [name, table] : plain->tables) {
+    ExpectTablesEqual(table, flagged->tables.at(name), name);
+  }
+}
+
+}  // namespace
+}  // namespace csm

@@ -133,8 +133,8 @@ TEST(SortOrderSearchTest, ChosenOrderActuallyReducesRuntimeMemory) {
   auto run = [&](const SortKey& key) {
     EngineOptions options;
     options.sort_key = key;
-    SortScanEngine engine(options);
-    auto got = engine.Run(workflow, fact);
+    SortScanEngine engine;
+    auto got = testing_util::RunWith(engine, workflow, fact, options);
     EXPECT_TRUE(got.ok());
     return got->stats.peak_hash_entries;
   };
@@ -200,8 +200,8 @@ TEST(MultiPassEngineTest, ReportsMultiplePassesUnderPressure) {
       measure RollA at (d0:L1) = agg sum(M) from A;)");
   EngineOptions options;
   options.memory_budget_bytes = 128 << 10;
-  MultiPassEngine engine(options);
-  auto got = engine.Run(workflow, fact);
+  MultiPassEngine engine;
+  auto got = testing_util::RunWith(engine, workflow, fact, options);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_GE(got->stats.passes, 2);
   EXPECT_EQ(got->tables.size(), 3u);

@@ -14,9 +14,11 @@ using testing_util::MakeUniformFacts;
 void ExpectMatchesSequential(const Workflow& workflow,
                              const FactTable& fact, int threads) {
   SortScanEngine sequential;
-  ParallelSortScanEngine parallel({}, threads);
+  ParallelSortScanEngine parallel;
+  EngineOptions options;
+  options.parallel_threads = threads;
   auto expect = sequential.Run(workflow, fact);
-  auto got = parallel.Run(workflow, fact);
+  auto got = testing_util::RunWith(parallel, workflow, fact, options);
   ASSERT_TRUE(expect.ok()) << expect.status().ToString();
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   ASSERT_EQ(expect->tables.size(), got->tables.size());
@@ -76,8 +78,10 @@ TEST(ParallelSortScanTest, FallsBackWhenNotPartitionable) {
   FactTable fact = MakeUniformFacts(schema, 2000, 5000, 45);
   auto running = MakeRunningExampleQuery(schema);
   ASSERT_TRUE(running.ok());
-  ParallelSortScanEngine parallel({}, 4);
-  auto got = parallel.Run(*running, fact);
+  ParallelSortScanEngine parallel;
+  EngineOptions options;
+  options.parallel_threads = 4;
+  auto got = testing_util::RunWith(parallel, *running, fact, options);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_NE(got->stats.sort_key.find("[sequential]"), std::string::npos);
   // Still correct.
@@ -94,8 +98,10 @@ TEST(ParallelSortScanTest, EmptyInput) {
   FactTable fact(schema);
   auto recon = MakeMultiReconQuery(schema);
   ASSERT_TRUE(recon.ok());
-  ParallelSortScanEngine parallel({}, 4);
-  auto got = parallel.Run(*recon, fact);
+  ParallelSortScanEngine parallel;
+  EngineOptions options;
+  options.parallel_threads = 4;
+  auto got = testing_util::RunWith(parallel, *recon, fact, options);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   for (auto& [name, table] : got->tables) {
     EXPECT_EQ(table.num_rows(), 0u) << name;

@@ -40,8 +40,9 @@ std::map<std::string, MeasureTable> Reference(const Workflow& workflow,
 void CheckEngine(Engine& engine, const Workflow& workflow,
                  const FactTable& fact,
                  const std::map<std::string, MeasureTable>& expected,
-                 const std::string& context) {
-  auto got = engine.Run(workflow, fact);
+                 const std::string& context,
+                 EngineOptions options = {}) {
+  auto got = testing_util::RunWith(engine, workflow, fact, options);
   ASSERT_TRUE(got.ok()) << context << ": " << got.status().ToString()
                         << "\nworkflow:\n"
                         << workflow.ToDsl();
@@ -90,16 +91,16 @@ TEST_P(RandomConformanceTest, AllEnginesAgreeOnRandomWorkflows) {
     }
     EngineOptions options;
     options.sort_key = SortKey(parts);
-    SortScanEngine engine(options);
+    SortScanEngine engine;
     CheckEngine(engine, workflow, fact, expected,
-                "sort-scan " + options.sort_key.ToString(*schema));
+                "sort-scan " + options.sort_key.ToString(*schema), options);
   }
 
   // Multi-pass at a random tight budget, and adaptive.
   EngineOptions tight;
   tight.memory_budget_bytes = (16 + rng.Uniform(512)) << 10;
-  MultiPassEngine multi_pass(tight);
-  CheckEngine(multi_pass, workflow, fact, expected, "multi-pass");
+  MultiPassEngine multi_pass;
+  CheckEngine(multi_pass, workflow, fact, expected, "multi-pass", tight);
   AdaptiveEngine adaptive;
   CheckEngine(adaptive, workflow, fact, expected, "adaptive");
 }

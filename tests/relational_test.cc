@@ -105,8 +105,8 @@ TEST_F(RelationalTest, HiddenMeasuresRespectIncludeFlag) {
   EXPECT_FALSE(without->tables.count("C"));
   EngineOptions options;
   options.include_hidden = true;
-  RelationalEngine with(options);
-  auto got = with.Run(*workflow, fact);
+  RelationalEngine with;
+  auto got = testing_util::RunWith(with, *workflow, fact, options);
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(got->tables.count("C"));
 }

@@ -35,8 +35,8 @@ void ExpectConforms(const Workflow& workflow, const FactTable& fact,
                     const SortKey& sort_key, const std::string& context) {
   EngineOptions options;
   options.sort_key = sort_key;
-  SortScanEngine engine(options);
-  auto got = engine.Run(workflow, fact);
+  SortScanEngine engine;
+  auto got = testing_util::RunWith(engine, workflow, fact, options);
   ASSERT_TRUE(got.ok()) << context << ": " << got.status().ToString();
   auto expected = Reference(workflow, fact);
   for (const MeasureDef& def : workflow.measures()) {
@@ -132,8 +132,8 @@ TEST(SortScanMemoryTest, EarlyFlushBoundsThePeakFootprint) {
     auto key = SortKey::Parse(*schema, key_text);
     EXPECT_TRUE(key.ok());
     options.sort_key = *key;
-    SortScanEngine engine(options);
-    auto got = engine.Run(*workflow, fact);
+    SortScanEngine engine;
+    auto got = testing_util::RunWith(engine, *workflow, fact, options);
     EXPECT_TRUE(got.ok()) << got.status().ToString();
     return std::move(*got);
   };
@@ -165,8 +165,8 @@ TEST(SortScanMemoryTest, CoarserOrderStillBoundsMemory) {
   auto key = SortKey::Parse(*schema, "<d0:L1>");
   ASSERT_TRUE(key.ok());
   options.sort_key = *key;
-  SortScanEngine engine(options);
-  auto got = engine.Run(*workflow, fact);
+  SortScanEngine engine;
+  auto got = testing_util::RunWith(engine, *workflow, fact, options);
   ASSERT_TRUE(got.ok());
   const uint64_t total = got->tables.at("C").num_rows();
   ASSERT_GT(total, 500u);
@@ -193,8 +193,8 @@ TEST(SortScanMemoryTest, SiblingChainStaysBounded) {
   auto key = SortKey::Parse(*schema, "<d0:L0>");
   ASSERT_TRUE(key.ok());
   options.sort_key = *key;
-  SortScanEngine engine(options);
-  auto got = engine.Run(*workflow, fact);
+  SortScanEngine engine;
+  auto got = testing_util::RunWith(engine, *workflow, fact, options);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   const uint64_t total = got->tables.at("C5").num_rows();
   ASSERT_GT(total, 5000u);
@@ -217,8 +217,8 @@ TEST(SortScanBatchTest, PropagationIntervalNeverChangesResults) {
                        size_t{100000}}) {
     EngineOptions options;
     options.propagation_batch_records = batch;
-    SortScanEngine engine(options);
-    auto got = engine.Run(*workflow, fact);
+    SortScanEngine engine;
+    auto got = testing_util::RunWith(engine, *workflow, fact, options);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     for (const char* name : {"W", "R"}) {
       ExpectTablesEqual(got->tables.at(name), expected.at(name),
@@ -253,10 +253,10 @@ TEST(SortScanFileTest, OutOfCoreRunMatchesInMemoryRun) {
 
   // Tiny budget: the file is split into many runs and merged lazily.
   for (size_t budget : {size_t{64} << 10, size_t{256} << 20}) {
-    EngineOptions options;
-    options.memory_budget_bytes = budget;
-    SortScanEngine streaming(options);
-    auto got = streaming.RunFile(*workflow, path);
+    ExecContext ctx;
+    ctx.options.memory_budget_bytes = budget;
+    SortScanEngine streaming;
+    auto got = streaming.RunFile(*workflow, path, ctx);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     EXPECT_EQ(got->stats.rows_scanned, fact.num_rows());
     for (const char* name : {"Busy", "Avg"}) {

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/engine.h"
+#include "exec/exec_context.h"
 #include "gtest/gtest.h"
 #include "model/schema.h"
 #include "storage/fact_table.h"
@@ -14,6 +17,16 @@
 
 namespace csm {
 namespace testing_util {
+
+/// Runs a (stateless) engine under a fresh ExecContext carrying `options`
+/// — the test-side replacement for the old per-engine options ctors.
+inline Result<EvalOutput> RunWith(Engine& engine, const Workflow& workflow,
+                                  const FactTable& fact,
+                                  EngineOptions options = {}) {
+  ExecContext ctx;
+  ctx.options = std::move(options);
+  return engine.Run(workflow, fact, ctx);
+}
 
 /// Asserts a Status / Result is OK with a useful failure message.
 #define CSM_ASSERT_OK(expr)                                 \

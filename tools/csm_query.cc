@@ -5,8 +5,9 @@
 // Usage:
 //   csm_query --schema net --facts log.csv --query query.dsl
 //             [--engine adaptive] [--budget-mb 256] [--sort-key K]
-//             [--out results_dir] [--dot workflow.dot] [--explain]
-//             [--stream] [--include-hidden]
+//             [--threads N] [--out results_dir] [--dot workflow.dot]
+//             [--metrics out.json] [--trace] [--explain] [--stream]
+//             [--include-hidden]
 //
 // Schemas:
 //   net                      the Table-1 network log schema
@@ -16,7 +17,8 @@
 //
 // Fact files: .csv (header row) or .bin (WriteFactTableBinary format).
 // Each output measure is written to <out>/<measure>.csv; stats go to
-// stdout.
+// stdout. --metrics writes the full span tree + summary as JSON;
+// --trace prints the human-readable span tree to stderr.
 
 #include <cstdio>
 #include <cstring>
@@ -27,14 +29,14 @@
 
 #include "common/string_util.h"
 #include "exec/adaptive.h"
-#include "exec/multi_pass.h"
-#include "exec/single_scan.h"
+#include "exec/exec_context.h"
+#include "exec/factory.h"
 #include "exec/sort_scan.h"
 #include "model/schema.h"
+#include "obs/trace.h"
 #include "opt/cost_model.h"
 #include "opt/footprint.h"
 #include "opt/sort_order.h"
-#include "relational/relational_engine.h"
 #include "storage/table_io.h"
 #include "workflow/workflow.h"
 
@@ -46,8 +48,9 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --schema net|synthetic[:d,l,f,c] --facts FILE.csv|.bin\n"
       "          --query FILE.dsl [--engine adaptive|sortscan|singlescan|\n"
-      "          multipass|relational] [--budget-mb N] [--sort-key K]\n"
-      "          [--out DIR] [--dot FILE] [--explain] [--stream]\n"
+      "          multipass|parallel|relational] [--budget-mb N]\n"
+      "          [--sort-key K] [--threads N] [--out DIR] [--dot FILE]\n"
+      "          [--metrics FILE.json] [--trace] [--explain] [--stream]\n"
       "          [--include-hidden]\n",
       argv0);
   return 2;
@@ -90,9 +93,11 @@ Result<std::string> ReadFile(const std::string& path) {
 
 int RealMain(int argc, char** argv) {
   std::string schema_spec, facts_path, query_path, engine_name = "adaptive";
-  std::string out_dir, sort_key_text, dot_path;
+  std::string out_dir, sort_key_text, dot_path, metrics_path;
   size_t budget_mb = 256;
+  int threads = 0;
   bool explain = false, include_hidden = false, stream = false;
+  bool trace = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -112,8 +117,14 @@ int RealMain(int argc, char** argv) {
       if (const char* v = next()) sort_key_text = v;
     } else if (!std::strcmp(argv[i], "--dot")) {
       if (const char* v = next()) dot_path = v;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      if (const char* v = next()) metrics_path = v;
     } else if (!std::strcmp(argv[i], "--budget-mb")) {
       if (const char* v = next()) budget_mb = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      if (const char* v = next()) threads = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace = true;
     } else if (!std::strcmp(argv[i], "--explain")) {
       explain = true;
     } else if (!std::strcmp(argv[i], "--stream")) {
@@ -153,6 +164,7 @@ int RealMain(int argc, char** argv) {
   EngineOptions options;
   options.memory_budget_bytes = budget_mb << 20;
   options.include_hidden = include_hidden;
+  options.parallel_threads = threads;
   if (!sort_key_text.empty()) {
     auto key = SortKey::Parse(**schema, sort_key_text);
     if (!key.ok()) return report(key.status());
@@ -181,17 +193,21 @@ int RealMain(int argc, char** argv) {
       std::printf("  single-scan: %s\n", single->ToString().c_str());
       std::printf("  relational:  %s\n", db->ToString().c_str());
     }
-    AdaptiveEngine adaptive(options);
-    auto choice = adaptive.Decide(*workflow);
+    auto choice = AdaptiveEngine::Decide(*workflow, options);
     if (choice.ok()) {
       std::printf("adaptive engine choice: %s\n\n",
                   std::string(AdaptiveChoiceName(*choice)).c_str());
     }
   }
 
-  std::string lower = ToLower(engine_name);
+  // Every run records into one tracer; --metrics/--trace export it.
+  Tracer tracer;
+  ExecContext ctx;
+  ctx.options = options;
+  ctx.tracer = &tracer;
+
   Result<EvalOutput> result = Status::Internal("unreachable");
-  std::string engine_label = lower;
+  std::string engine_label;
 
   if (stream) {
     // Out-of-core path: the dataset is never fully resident. Requires a
@@ -200,14 +216,15 @@ int RealMain(int argc, char** argv) {
       std::fprintf(stderr, "--stream requires a .bin fact file\n");
       return 2;
     }
-    if (lower != "sortscan" && lower != "sort-scan" &&
-        lower != "adaptive") {
+    auto kind = ParseEngineKind(engine_name);
+    if (!kind.ok()) return report(kind.status());
+    if (*kind != EngineKind::kSortScan && *kind != EngineKind::kAdaptive) {
       std::fprintf(stderr, "--stream supports the sortscan engine only\n");
       return 2;
     }
-    SortScanEngine engine(options);
+    SortScanEngine engine;
     engine_label = "sort-scan (streaming)";
-    result = engine.RunFile(*workflow, facts_path);
+    result = engine.RunFile(*workflow, facts_path, ctx);
   } else {
     Result<FactTable> fact = Status::InvalidArgument(
         "fact file must end in .csv or .bin: " + facts_path);
@@ -220,37 +237,31 @@ int RealMain(int argc, char** argv) {
     std::printf("loaded %zu records from %s\n", fact->num_rows(),
                 facts_path.c_str());
 
-    std::unique_ptr<Engine> engine;
-    if (lower == "adaptive") {
-      engine = std::make_unique<AdaptiveEngine>(options);
-    } else if (lower == "sortscan" || lower == "sort-scan") {
-      engine = std::make_unique<SortScanEngine>(options);
-    } else if (lower == "singlescan" || lower == "single-scan") {
-      engine = std::make_unique<SingleScanEngine>(options);
-    } else if (lower == "multipass" || lower == "multi-pass") {
-      engine = std::make_unique<MultiPassEngine>(options);
-    } else if (lower == "relational" || lower == "db") {
-      engine = std::make_unique<RelationalEngine>(options);
-    } else {
-      std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+    auto kind = ParseEngineKind(engine_name);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
       return Usage(argv[0]);
     }
+    std::unique_ptr<Engine> engine = MakeEngine(*kind);
     engine_label = std::string(engine->name());
-    result = engine->Run(*workflow, *fact);
+    result = engine->Run(*workflow, *fact, ctx);
   }
   if (!result.ok()) return report(result.status());
 
-  std::printf("engine %s: total %.3fs (sort %.3fs, scan %.3fs, combine "
-              "%.3fs), %d pass(es)\n",
-              engine_label.c_str(),
-              result->stats.total_seconds, result->stats.sort_seconds,
-              result->stats.scan_seconds, result->stats.combine_seconds,
-              result->stats.passes);
-  std::printf("order: %s | peak hash entries %llu (~%.1f MB)\n",
-              result->stats.sort_key.c_str(),
-              static_cast<unsigned long long>(
-                  result->stats.peak_hash_entries),
-              result->stats.peak_hash_bytes / 1048576.0);
+  std::printf("engine %s: %s\n", engine_label.c_str(),
+              result->stats.ToString().c_str());
+
+  if (trace) std::fputs(tracer.ToTreeString().c_str(), stderr);
+  if (!metrics_path.empty()) {
+    std::ofstream metrics(metrics_path);
+    if (!metrics) {
+      return report(Status::IOError("cannot write " + metrics_path));
+    }
+    metrics << "{\"engine\":\"" << engine_label << "\",\n\"summary\":"
+            << result->stats.ToJson() << ",\n\"spans\":" << tracer.ToJson()
+            << "}\n";
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
 
   for (const auto& [name, table] : result->tables) {
     std::printf("  %-16s %8zu regions", name.c_str(), table.num_rows());
