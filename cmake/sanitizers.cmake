@@ -1,0 +1,41 @@
+# Sanitizer presets: -DCSM_SANITIZE=address|undefined|thread (or a
+# comma-separated combination like "address,undefined"). Applied globally
+# so every library, test and tool in the build is instrumented — a
+# half-instrumented binary reports false positives under TSan and misses
+# container-overflow checks under ASan.
+#
+# address + undefined compose; thread composes with neither.
+set(CSM_SANITIZE "" CACHE STRING
+    "Sanitizer(s) to instrument with: address, undefined, thread, or a comma list")
+
+if(CSM_SANITIZE)
+  string(REPLACE "," ";" _csm_sanitizers "${CSM_SANITIZE}")
+
+  if("thread" IN_LIST _csm_sanitizers AND
+     ("address" IN_LIST _csm_sanitizers OR "undefined" IN_LIST _csm_sanitizers))
+    message(FATAL_ERROR "CSM_SANITIZE: thread cannot be combined with address/undefined")
+  endif()
+
+  set(_csm_san_flags "")
+  foreach(_san IN LISTS _csm_sanitizers)
+    if(_san STREQUAL "address")
+      list(APPEND _csm_san_flags -fsanitize=address)
+    elseif(_san STREQUAL "undefined")
+      # Promote UB findings to hard failures so CI cannot scroll past them.
+      list(APPEND _csm_san_flags -fsanitize=undefined -fno-sanitize-recover=all)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _csm_san_flags -fsanitize=thread)
+    else()
+      message(FATAL_ERROR "CSM_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected address, undefined, or thread)")
+    endif()
+  endforeach()
+
+  # Keep frame pointers and some debug info so sanitizer reports carry
+  # usable stacks even in Release builds.
+  list(APPEND _csm_san_flags -fno-omit-frame-pointer -g)
+
+  add_compile_options(${_csm_san_flags})
+  add_link_options(${_csm_san_flags})
+  message(STATUS "Sanitizers enabled: ${CSM_SANITIZE}")
+endif()

@@ -90,6 +90,8 @@ Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
                          sequential.Run(workflow, fact, child));
     tracer.SetAttr(rs.root(), "sort_key",
                    "[sequential] " + out.stats.sort_key);
+    tracer.SetAttr(rs.root(), "fallback", "sequential");
+    tracer.SetAttr(rs.root(), "fallback_reason", plan.status().message());
     out.stats = rs.Finish();
     return out;
   }

@@ -76,4 +76,39 @@ SchemaPtr MakeSyntheticSchema(int num_dims, int non_all_levels,
   return std::move(result).ValueOrDie();
 }
 
+Result<SchemaPtr> ParseSchemaSpec(std::string_view spec) {
+  if (spec == "net") return MakeNetworkLogSchema();
+  if (StartsWith(spec, "synthetic")) {
+    int dims = 4, levels = 3;
+    uint64_t fanout = 10, card = 1000;
+    const size_t colon = spec.find(':');
+    if (colon != std::string_view::npos) {
+      auto parts = Split(spec.substr(colon + 1), ',');
+      if (parts.size() != 4) {
+        return Status::InvalidArgument(
+            "synthetic schema spec needs 4 parameters: d,l,f,c");
+      }
+      int64_t d, l;
+      if (!ParseInt64(parts[0], &d) || !ParseInt64(parts[1], &l) ||
+          !ParseUint64(parts[2], &fanout) || !ParseUint64(parts[3], &card) ||
+          d < 1 || l < 1 || fanout < 1 || card < 1) {
+        return Status::InvalidArgument("bad synthetic schema parameters");
+      }
+      dims = static_cast<int>(d);
+      levels = static_cast<int>(l);
+    }
+    return MakeSyntheticSchema(dims, levels, fanout,
+                               static_cast<double>(card));
+  }
+  return Status::InvalidArgument("unknown schema '" + std::string(spec) +
+                                 "' (expected net or synthetic[:d,l,f,c])");
+}
+
+std::string SyntheticSchemaSpec(int num_dims, int non_all_levels,
+                                uint64_t fanout, uint64_t base_cardinality) {
+  return "synthetic:" + std::to_string(num_dims) + "," +
+         std::to_string(non_all_levels) + "," + std::to_string(fanout) +
+         "," + std::to_string(base_cardinality);
+}
+
 }  // namespace csm

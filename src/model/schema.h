@@ -62,6 +62,17 @@ SchemaPtr MakeSyntheticSchema(int num_dims = 4, int non_all_levels = 3,
                               uint64_t fanout = 10,
                               double base_cardinality = 1000.0);
 
+/// Parses a schema spec as accepted by the CLI tools (csm_query, csm_fuzz)
+/// and fuzz repro files: "net" for the Table-1 network-log schema, or
+/// "synthetic[:d,l,f,c]" (dims, non-ALL levels, fan-out, base
+/// cardinality; defaults 4,3,10,1000).
+Result<SchemaPtr> ParseSchemaSpec(std::string_view spec);
+
+/// The round-trippable spec text for a synthetic schema, e.g.
+/// "synthetic:3,3,8,512".
+std::string SyntheticSchemaSpec(int num_dims, int non_all_levels,
+                                uint64_t fanout, uint64_t base_cardinality);
+
 }  // namespace csm
 
 #endif  // CSM_MODEL_SCHEMA_H_

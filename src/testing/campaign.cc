@@ -1,0 +1,140 @@
+#include "testing/campaign.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "testing/data_gen.h"
+#include "testing/random_workflow.h"
+#include "testing/repro.h"
+#include "testing/shrink.h"
+
+namespace csm {
+namespace testing_util {
+
+std::string CampaignStats::Summary() const {
+  return std::to_string(runs_completed) + " runs, " +
+         std::to_string(configs_checked) + " configs checked, " +
+         std::to_string(rows_generated) + " rows generated, " +
+         std::to_string(findings.size()) + " divergence(s)";
+}
+
+Result<CampaignStats> RunCampaign(const CampaignOptions& options) {
+  CampaignStats stats;
+  Timer timer;
+  Tracer* tracer = options.tracer;
+  ScopedSpan campaign_span(tracer, "fuzz-campaign");
+  if (tracer != nullptr) {
+    tracer->SetAttr(campaign_span.id(), "seed",
+                    std::to_string(options.seed));
+    if (options.fault.enabled) {
+      tracer->SetAttr(campaign_span.id(), "fault",
+                      options.fault.ToText());
+    }
+  }
+
+  for (int run = 0; run < options.runs; ++run) {
+    if (options.max_seconds > 0 && timer.Seconds() > options.max_seconds) {
+      break;
+    }
+    // One independent generator per run: campaigns replay run-for-run
+    // from the seed alone, and a single run can be re-derived without
+    // replaying its predecessors.
+    Rng rng(Mix64(options.seed) ^ Mix64(0x5eedf00d + run));
+
+    // Random small schema. Low fan-outs and shallow hierarchies keep
+    // regions colliding, which is where frontier bugs hide.
+    const int dims = 2 + static_cast<int>(rng.Uniform(2));
+    const int levels = 2 + static_cast<int>(rng.Uniform(2));
+    const uint64_t fanout = 2 + rng.Uniform(7);
+    const uint64_t card = 64ull << rng.Uniform(4);
+    const std::string spec =
+        SyntheticSchemaSpec(dims, levels, fanout, card);
+    CSM_ASSIGN_OR_RETURN(SchemaPtr schema, ParseSchemaSpec(spec));
+
+    const FactGenOptions data_options =
+        RandomFactOptions(options.max_rows, card, rng);
+    const FactTable fact = GenerateFacts(schema, data_options);
+    RandomWorkflowGen gen(schema, rng.Next());
+    const Workflow workflow =
+        gen.Generate(options.measures_per_workflow);
+
+    ScopedSpan run_span(tracer, "fuzz-run", campaign_span.id());
+    if (tracer != nullptr) {
+      tracer->SetAttr(run_span.id(), "schema", spec);
+      tracer->SetAttr(run_span.id(), "rows",
+                      std::to_string(fact.num_rows()));
+      tracer->SetAttr(run_span.id(), "measures",
+                      std::to_string(workflow.measures().size()));
+    }
+    stats.rows_generated += fact.num_rows();
+
+    auto reference = ComputeReference(workflow, fact);
+    CSM_RETURN_NOT_OK(reference.status().WithContext(
+        "run " + std::to_string(run) + " reference"));
+
+    bool stop = false;
+    int config_index = -1;
+    for (const EngineConfig& config :
+         BuildConfigMatrix(schema, rng)) {
+      ++config_index;
+      CSM_ASSIGN_OR_RETURN(
+          std::optional<Divergence> divergence,
+          CheckConfig(workflow, fact, *reference, config, options.fault));
+      ++stats.configs_checked;
+      if (tracer != nullptr) {
+        tracer->AddCounter(run_span.id(), "configs_checked", 1);
+      }
+      if (!divergence.has_value()) continue;
+
+      CampaignFinding finding;
+      finding.run = run;
+      finding.divergence = *divergence;
+      if (tracer != nullptr) {
+        tracer->AddCounter(campaign_span.id(), "divergences", 1);
+        tracer->SetAttr(run_span.id(), "divergence",
+                        divergence->ToString());
+      }
+
+      // Minimize, then persist a replayable reproducer.
+      const Workflow* repro_workflow = &workflow;
+      const FactTable* repro_fact = &fact;
+      Result<ShrunkCase> shrunk = Status::Internal("shrink disabled");
+      if (options.shrink) {
+        shrunk = ShrinkCase(workflow, fact, config, options.fault);
+        if (shrunk.ok()) {
+          repro_workflow = &shrunk->workflow;
+          repro_fact = &shrunk->fact;
+          finding.divergence = shrunk->divergence;
+          finding.shrink_summary = shrunk->stats.ToString();
+        }
+      }
+      const std::string dir = options.repro_dir + "/fuzz-repro-" +
+                              std::to_string(options.seed) + "-" +
+                              std::to_string(run) + "-" +
+                              std::to_string(config_index);
+      CSM_ASSIGN_OR_RETURN(
+          finding.repro_path,
+          WriteRepro(dir, *repro_workflow, *repro_fact, config,
+                     options.fault, options.seed, spec));
+      stats.findings.push_back(std::move(finding));
+      if (!options.keep_going) {
+        stop = true;
+        break;
+      }
+    }
+    ++stats.runs_completed;
+    run_span.End();
+    if (stop) break;
+  }
+
+  if (tracer != nullptr) {
+    tracer->AddCounter(campaign_span.id(), "runs",
+                       static_cast<double>(stats.runs_completed));
+    tracer->SetAttr(campaign_span.id(), "summary", stats.Summary());
+  }
+  return stats;
+}
+
+}  // namespace testing_util
+}  // namespace csm

@@ -1,0 +1,60 @@
+#ifndef CSM_TESTING_CAMPAIGN_H_
+#define CSM_TESTING_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/trace.h"
+#include "testing/differential.h"
+
+namespace csm {
+namespace testing_util {
+
+/// Knobs of one differential fuzzing campaign. Campaigns are
+/// seed-deterministic: the same (seed, runs) pair replays the same
+/// schemas, datasets, workflows and config matrices.
+struct CampaignOptions {
+  uint64_t seed = 1;
+  int runs = 100;
+  double max_seconds = 0;  // wall-clock cap; 0 = no cap (CI smoke uses 30)
+  int measures_per_workflow = 8;
+  size_t max_rows = 2000;          // rows per run drawn from [1, max_rows]
+  std::string repro_dir = ".";     // parent dir for fuzz-repro-* output
+  bool keep_going = false;         // continue past the first divergence
+  bool shrink = true;              // minimize failing cases before writing
+  FaultSpec fault;                 // test hook (csm_fuzz --inject-fault)
+  Tracer* tracer = nullptr;        // per-run spans/counters land here
+};
+
+/// One divergence found by a campaign, with where its reproducer went.
+struct CampaignFinding {
+  int run = 0;
+  Divergence divergence;
+  std::string repro_path;  // repro.txt of the written reproducer
+  std::string shrink_summary;
+};
+
+struct CampaignStats {
+  int runs_completed = 0;
+  int64_t configs_checked = 0;
+  uint64_t rows_generated = 0;
+  std::vector<CampaignFinding> findings;
+
+  /// One-line human summary.
+  std::string Summary() const;
+};
+
+/// Runs a randomized differential campaign: per run, a random synthetic
+/// schema, a random skewed/edge-case dataset, a random workflow, and the
+/// full engine-config matrix checked against the reference evaluator. On
+/// divergence the case is shrunk to a minimal reproducer and written as a
+/// fuzz-repro-<seed>-<run>/ directory under repro_dir. Per-run spans and
+/// campaign counters are recorded on options.tracer.
+Result<CampaignStats> RunCampaign(const CampaignOptions& options);
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTING_CAMPAIGN_H_

@@ -1,0 +1,119 @@
+#include "testing/data_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "model/hierarchy.h"
+
+namespace csm {
+namespace testing_util {
+
+namespace {
+
+/// A boundary-flavored value: domain extremes and hierarchy block edges,
+/// where generalization changes parents and frontier math is most fragile.
+Value EdgeValue(const Hierarchy& h, uint64_t card, Rng& rng) {
+  const uint64_t divisor =
+      h.num_levels() > 2 ? std::max<uint64_t>(h.ExactDivisor(0, 1), 1) : 1;
+  switch (rng.Uniform(5)) {
+    case 0:
+      return 0;
+    case 1:
+      return card - 1;
+    case 2: {  // first value of a random block
+      const uint64_t blocks = std::max<uint64_t>(card / divisor, 1);
+      return std::min<Value>(rng.Uniform(blocks) * divisor, card - 1);
+    }
+    case 3: {  // last value of a random block
+      const uint64_t blocks = std::max<uint64_t>(card / divisor, 1);
+      const uint64_t block = rng.Uniform(blocks);
+      return std::min<Value>(block * divisor + divisor - 1, card - 1);
+    }
+    default:
+      return rng.Uniform(card);
+  }
+}
+
+}  // namespace
+
+FactTable GenerateFacts(const SchemaPtr& schema,
+                        const FactGenOptions& options) {
+  Rng rng(options.seed);
+  FactTable fact(schema);
+  fact.Reserve(options.rows);
+  const int d = schema->num_dims();
+  const int m = schema->num_measures();
+  const uint64_t card = std::max<uint64_t>(options.cardinality, 1);
+
+  std::vector<Value> dims(d, 0);
+  std::vector<Value> cluster_center(d, 0);
+  std::vector<double> measures(m, 0);
+  size_t cluster_left = 0;
+
+  for (size_t row = 0; row < options.rows; ++row) {
+    const bool duplicate =
+        row > 0 && rng.Bernoulli(options.duplicate_fraction);
+    if (!duplicate) {
+      switch (options.dist) {
+        case FactDist::kUniform:
+          for (int i = 0; i < d; ++i) dims[i] = rng.Uniform(card);
+          break;
+        case FactDist::kZipf:
+          for (int i = 0; i < d; ++i) {
+            dims[i] = rng.Zipf(card, options.zipf_theta);
+          }
+          break;
+        case FactDist::kClustered:
+          if (cluster_left == 0) {
+            cluster_left = 1 + rng.Uniform(16);
+            for (int i = 0; i < d; ++i) {
+              cluster_center[i] = rng.Uniform(card);
+            }
+          }
+          --cluster_left;
+          for (int i = 0; i < d; ++i) {
+            const uint64_t jitter = rng.Uniform(4);
+            dims[i] = std::min<Value>(cluster_center[i] + jitter, card - 1);
+          }
+          break;
+        case FactDist::kEdgeHeavy:
+          for (int i = 0; i < d; ++i) {
+            dims[i] = rng.Bernoulli(options.edge_fraction)
+                          ? EdgeValue(*schema->dim(i).hierarchy, card, rng)
+                          : rng.Uniform(card);
+          }
+          break;
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      // Integer-valued doubles keep every aggregate exactly reproducible
+      // across engines regardless of accumulation order.
+      measures[i] =
+          options.negative_measures
+              ? static_cast<double>(rng.UniformInt(-50, 49))
+              : static_cast<double>(rng.Uniform(100));
+    }
+    fact.AppendRow(dims.data(), measures.data());
+  }
+  return fact;
+}
+
+FactGenOptions RandomFactOptions(size_t max_rows, uint64_t cardinality,
+                                 Rng& rng) {
+  FactGenOptions options;
+  options.rows = 1 + rng.Uniform(std::max<size_t>(max_rows, 1));
+  options.cardinality = cardinality;
+  options.seed = rng.Next();
+  static const FactDist kDists[] = {FactDist::kUniform, FactDist::kZipf,
+                                    FactDist::kClustered,
+                                    FactDist::kEdgeHeavy};
+  options.dist = kDists[rng.Uniform(std::size(kDists))];
+  options.zipf_theta = 0.5 + 0.4 * rng.NextDouble();
+  options.duplicate_fraction = 0.1 * rng.NextDouble();
+  options.edge_fraction = 0.1 + 0.4 * rng.NextDouble();
+  options.negative_measures = rng.Bernoulli(0.3);
+  return options;
+}
+
+}  // namespace testing_util
+}  // namespace csm

@@ -1,0 +1,50 @@
+#ifndef CSM_TESTING_DATA_GEN_H_
+#define CSM_TESTING_DATA_GEN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/fact_table.h"
+
+namespace csm {
+namespace testing_util {
+
+/// Shape of the dimension-value distribution a generated fact table uses.
+/// Uniform data rarely tickles frontier/watermark corner cases; the skewed
+/// and edge-heavy shapes concentrate rows on hierarchy block boundaries and
+/// hot keys where off-by-one bugs in the streaming machinery live.
+enum class FactDist {
+  kUniform,    // independent uniform draws (the §7.1 evaluation shape)
+  kZipf,       // heavy skew: a few hot values dominate every dimension
+  kClustered,  // rows arrive in runs of near-identical keys (pre-sorted-ish)
+  kEdgeHeavy,  // boundary values: 0, card-1, hierarchy block edges
+};
+
+struct FactGenOptions {
+  size_t rows = 2000;
+  uint64_t cardinality = 512;  // base-domain values per dimension
+  uint64_t seed = 1;
+  FactDist dist = FactDist::kUniform;
+  double zipf_theta = 0.8;          // skew for kZipf
+  double duplicate_fraction = 0.05; // chance a row repeats its predecessor
+  double edge_fraction = 0.25;      // kEdgeHeavy: boundary-value density
+  bool negative_measures = false;   // draw measures from [-50, 50)
+};
+
+/// Generates a fact table for any schema whose base domains accept values
+/// in [0, cardinality). Measure attributes are always integer-valued
+/// doubles, so sums are exact in any accumulation order and differential
+/// comparisons never trip over floating-point associativity.
+/// Deterministic per options (including seed).
+FactTable GenerateFacts(const SchemaPtr& schema,
+                        const FactGenOptions& options);
+
+/// Seed-derived random generation options for one fuzz-campaign run: rows
+/// in [1, max_rows], a random distribution, random skew/duplicate knobs.
+FactGenOptions RandomFactOptions(size_t max_rows, uint64_t cardinality,
+                                 Rng& rng);
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTING_DATA_GEN_H_

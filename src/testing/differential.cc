@@ -1,0 +1,298 @@
+#include "testing/differential.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "algebra/evaluator.h"
+#include "exec/exec_context.h"
+#include "exec/sort_scan.h"
+#include "storage/table_io.h"
+#include "storage/temp_file.h"
+
+namespace csm {
+namespace testing_util {
+
+namespace {
+
+std::string FormatBudget(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zuKB", bytes >> 10);
+  return buf;
+}
+
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatKey(const MeasureTable& table, const Value* key) {
+  const Schema& schema = *table.schema();
+  std::string out = "(";
+  for (int i = 0; i < table.num_dims(); ++i) {
+    if (i > 0) out += ",";
+    if (table.granularity().level(i) >=
+        schema.dim(i).hierarchy->all_level()) {
+      out += "*";
+    } else {
+      out += std::to_string(key[i]);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+bool ValuesMatch(double got, double want) {
+  if (std::isnan(got) || std::isnan(want)) {
+    return std::isnan(got) && std::isnan(want);
+  }
+  return std::fabs(got - want) <= 1e-9 * (1.0 + std::fabs(want));
+}
+
+/// The test hook: corrupts the first row of the target measure. A "*"
+/// measure resolves to the first non-empty output table, so random
+/// workflows can be faulted without knowing their measure names.
+void ApplyFault(const FaultSpec& fault, const EngineConfig& config,
+                const Workflow& workflow, EvalOutput* out) {
+  if (!fault.enabled || fault.kind != config.kind) return;
+  std::string target = fault.measure;
+  if (target == "*") {
+    for (const MeasureDef& def : workflow.measures()) {
+      if (!def.is_output) continue;
+      auto it = out->tables.find(def.name);
+      if (it != out->tables.end() && it->second.num_rows() > 0) {
+        target = def.name;
+        break;
+      }
+    }
+  }
+  auto it = out->tables.find(target);
+  if (it == out->tables.end() || it->second.num_rows() == 0) return;
+  it->second.set_value(0, it->second.value(0) + 1.0);
+}
+
+}  // namespace
+
+std::string EngineConfig::Label(const Schema& schema) const {
+  std::string label(EngineKindName(kind));
+  if (!sort_key.empty()) label += "@" + sort_key.ToString(schema);
+  if (run_file) label += "+runfile";
+  if (threads > 0) label += "/t" + std::to_string(threads);
+  if (memory_budget_bytes > 0) {
+    label += "/" + FormatBudget(memory_budget_bytes);
+  }
+  return label;
+}
+
+std::string FaultSpec::ToText() const {
+  if (!enabled) return "";
+  return std::string(EngineKindName(kind)) + ":" + measure;
+}
+
+Result<FaultSpec> FaultSpec::Parse(std::string_view text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon + 1 >= text.size()) {
+    return Status::InvalidArgument(
+        "fault spec must be ENGINE:MEASURE, got '" + std::string(text) +
+        "'");
+  }
+  FaultSpec fault;
+  CSM_ASSIGN_OR_RETURN(fault.kind, ParseEngineKind(text.substr(0, colon)));
+  fault.measure = std::string(text.substr(colon + 1));
+  fault.enabled = true;
+  return fault;
+}
+
+std::string Divergence::ToString() const {
+  std::string out = config_label;
+  out += measure.empty() ? " failed" : " diverged on " + measure;
+  out += ": " + detail;
+  return out;
+}
+
+Result<std::map<std::string, MeasureTable>> ComputeReference(
+    const Workflow& workflow, const FactTable& fact) {
+  std::map<std::string, MeasureTable> computed;
+  for (const MeasureDef& def : workflow.measures()) {
+    CSM_ASSIGN_OR_RETURN(AwExpr::Ptr expr,
+                         workflow.ToAlgebra(def.name, /*deep=*/false));
+    MeasureEnv env;
+    for (const auto& [name, table] : computed) env[name] = &table;
+    auto result = EvalAwExpr(*expr, fact, env);
+    CSM_RETURN_NOT_OK(
+        result.status().WithContext("reference eval of " + def.name));
+    computed.emplace(def.name, std::move(*result));
+  }
+  return computed;
+}
+
+std::optional<std::string> DiffTables(const MeasureTable& got,
+                                      const MeasureTable& expected) {
+  // Region sets are keyed uniquely, so canonical maps give a stable,
+  // order-independent comparison.
+  std::map<std::vector<Value>, double> mg, me;
+  for (size_t row = 0; row < got.num_rows(); ++row) {
+    mg.emplace(std::vector<Value>(got.key_row(row),
+                                  got.key_row(row) + got.num_dims()),
+               got.value(row));
+  }
+  for (size_t row = 0; row < expected.num_rows(); ++row) {
+    me.emplace(std::vector<Value>(
+                   expected.key_row(row),
+                   expected.key_row(row) + expected.num_dims()),
+               expected.value(row));
+  }
+  if (mg.size() != me.size()) {
+    return "row count: got " + std::to_string(mg.size()) + " want " +
+           std::to_string(me.size());
+  }
+  size_t mismatches = 0;
+  std::string first;
+  for (const auto& [key, want] : me) {
+    auto it = mg.find(key);
+    if (it == mg.end()) {
+      if (first.empty()) {
+        first = "region " + FormatKey(expected, key.data()) + " missing";
+      }
+      ++mismatches;
+      continue;
+    }
+    if (!ValuesMatch(it->second, want)) {
+      if (first.empty()) {
+        first = "region " + FormatKey(expected, key.data()) + ": got " +
+                FormatValue(it->second) + " want " + FormatValue(want);
+      }
+      ++mismatches;
+    }
+  }
+  if (mismatches == 0) return std::nullopt;
+  return first + " (" + std::to_string(mismatches) + " of " +
+         std::to_string(me.size()) + " regions differ)";
+}
+
+Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
+                                   const FactTable& fact,
+                                   const EngineConfig& config,
+                                   const FaultSpec& fault, Tracer* tracer,
+                                   SpanId parent) {
+  ExecContext ctx;
+  ctx.tracer = tracer;
+  ctx.trace_parent = parent;
+  if (config.memory_budget_bytes > 0) {
+    ctx.options.memory_budget_bytes = config.memory_budget_bytes;
+  }
+  ctx.options.sort_key = config.sort_key;
+  ctx.options.parallel_threads = config.threads;
+
+  Result<EvalOutput> result = Status::Internal("config not run");
+  if (config.run_file) {
+    // Out-of-core path: dump the facts to a scratch binary file and
+    // stream it back through RunFile's external sort.
+    CSM_ASSIGN_OR_RETURN(TempDir scratch, TempDir::Make());
+    const std::string path = scratch.NewFilePath("fuzz-facts");
+    CSM_RETURN_NOT_OK(WriteFactTableBinary(fact, path));
+    SortScanEngine engine;
+    result = engine.RunFile(workflow, path, ctx);
+  } else {
+    std::unique_ptr<Engine> engine = MakeEngine(config.kind);
+    result = engine->Run(workflow, fact, ctx);
+  }
+  if (result.ok()) ApplyFault(fault, config, workflow, &*result);
+  return result;
+}
+
+Result<std::optional<Divergence>> CheckConfig(
+    const Workflow& workflow, const FactTable& fact,
+    const std::map<std::string, MeasureTable>& reference,
+    const EngineConfig& config, const FaultSpec& fault, Tracer* tracer,
+    SpanId parent) {
+  const std::string label = config.Label(*workflow.schema());
+  auto got = RunEngineConfig(workflow, fact, config, fault, tracer, parent);
+  if (!got.ok()) {
+    // Scratch-file trouble is an infrastructure error; anything the
+    // engine itself reports on oracle-clean input is a finding.
+    if (got.status().IsIOError()) return got.status();
+    return std::optional<Divergence>(
+        Divergence{label, "", got.status().ToString()});
+  }
+  for (const MeasureDef& def : workflow.measures()) {
+    if (!def.is_output) continue;
+    auto it = got->tables.find(def.name);
+    if (it == got->tables.end()) {
+      return std::optional<Divergence>(
+          Divergence{label, def.name, "output table missing"});
+    }
+    auto diff = DiffTables(it->second, reference.at(def.name));
+    if (diff.has_value()) {
+      return std::optional<Divergence>(
+          Divergence{label, def.name, *diff});
+    }
+  }
+  return std::optional<Divergence>(std::nullopt);
+}
+
+std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
+                                            Rng& rng) {
+  std::vector<EngineConfig> configs;
+  auto with_kind = [](EngineKind kind) {
+    EngineConfig config;
+    config.kind = kind;
+    return config;
+  };
+  configs.push_back(with_kind(EngineKind::kSingleScan));
+  configs.push_back(with_kind(EngineKind::kRelational));
+  configs.push_back(with_kind(EngineKind::kAdaptive));
+  // Optimizer-chosen order.
+  configs.push_back(with_kind(EngineKind::kSortScan));
+
+  // Sort/scan under random explicit orders: random dimension prefix,
+  // random non-ALL level per component.
+  const int d = schema->num_dims();
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<int> dims(d);
+    for (int i = 0; i < d; ++i) dims[i] = i;
+    for (int i = d; i > 1; --i) {
+      std::swap(dims[i - 1], dims[rng.Uniform(i)]);
+    }
+    EngineConfig config = with_kind(EngineKind::kSortScan);
+    std::vector<SortKeyPart> parts;
+    const int prefix = 1 + static_cast<int>(rng.Uniform(d));
+    for (int i = 0; i < prefix; ++i) {
+      const int non_all = schema->dim(dims[i]).hierarchy->all_level();
+      parts.push_back(
+          {dims[i], static_cast<int>(rng.Uniform(std::max(non_all, 1)))});
+    }
+    config.sort_key = SortKey(parts);
+    configs.push_back(std::move(config));
+  }
+
+  // Out-of-core RunFile under a small budget: forces external sort runs
+  // and the merged-stream scan.
+  {
+    EngineConfig config = with_kind(EngineKind::kSortScan);
+    config.run_file = true;
+    config.memory_budget_bytes = (64 + rng.Uniform(192)) << 10;
+    configs.push_back(std::move(config));
+  }
+
+  // Multi-pass at a tight random budget.
+  {
+    EngineConfig config = with_kind(EngineKind::kMultiPass);
+    config.memory_budget_bytes = (16 + rng.Uniform(512)) << 10;
+    configs.push_back(std::move(config));
+  }
+
+  // Parallel at several worker counts (1 = degenerate single shard).
+  for (int threads : {1, 2, 8}) {
+    EngineConfig config = with_kind(EngineKind::kParallel);
+    config.threads = threads;
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+}  // namespace testing_util
+}  // namespace csm

@@ -1,0 +1,106 @@
+#ifndef CSM_TESTING_DIFFERENTIAL_H_
+#define CSM_TESTING_DIFFERENTIAL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "exec/factory.h"
+#include "obs/trace.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace testing_util {
+
+/// One cell of the differential matrix: an engine plus the execution
+/// variant under test — explicit sort order, the out-of-core RunFile path,
+/// worker-thread count, memory budget.
+struct EngineConfig {
+  EngineKind kind = EngineKind::kSortScan;
+  bool run_file = false;           // SortScanEngine::RunFile out-of-core
+  SortKey sort_key;                // sortscan: explicit order (empty = default)
+  int threads = 0;                 // parallel: workers (0 = hardware)
+  size_t memory_budget_bytes = 0;  // 0 = EngineOptions default
+
+  /// Stable human-readable label, e.g. "sortscan@<d0:L1>+runfile/64KB"
+  /// or "parallel/t8". Doubles as the config's serialized identity in
+  /// divergence reports.
+  std::string Label(const Schema& schema) const;
+};
+
+/// Deliberate post-run corruption, the test hook behind
+/// `csm_fuzz --inject-fault`: adds +1.0 to the first row of `measure` in
+/// the output of engines of kind `kind`. Measure "*" targets the first
+/// output measure the engine produced, whatever the random workflow named
+/// it. Exercises the divergence / shrink / repro pipeline end to end
+/// without planting a real engine bug.
+struct FaultSpec {
+  bool enabled = false;
+  EngineKind kind = EngineKind::kSortScan;
+  std::string measure;
+
+  /// "engine:measure", or "" when disabled.
+  std::string ToText() const;
+
+  /// Parses "engine:measure" (e.g. "sortscan:m0", "parallel:*").
+  static Result<FaultSpec> Parse(std::string_view text);
+};
+
+/// One observed disagreement with the reference evaluator.
+struct Divergence {
+  std::string config_label;  // EngineConfig::Label of the failing cell
+  std::string measure;       // diverging measure; "" = the run itself failed
+  std::string detail;        // deterministic description of the first diff
+
+  std::string ToString() const;
+};
+
+/// Reference results for every measure of the workflow, computed by the
+/// AW-RA evaluator measure by measure — the oracle all engines must match.
+Result<std::map<std::string, MeasureTable>> ComputeReference(
+    const Workflow& workflow, const FactTable& fact);
+
+/// Deterministic table diff: nullopt when equal (NaN == NaN, values
+/// compared with 1e-9 relative tolerance), otherwise a description of the
+/// row-count mismatch or the first differing region.
+std::optional<std::string> DiffTables(const MeasureTable& got,
+                                      const MeasureTable& expected);
+
+/// Runs one config. For run_file configs the fact table is dumped to a
+/// scratch binary file and evaluated through SortScanEngine::RunFile, so
+/// the external-sort streaming path is exercised. The fault hook is
+/// applied to the output before returning. Engine spans land under
+/// `parent` when `tracer` is set.
+Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
+                                   const FactTable& fact,
+                                   const EngineConfig& config,
+                                   const FaultSpec& fault,
+                                   Tracer* tracer = nullptr,
+                                   SpanId parent = kNoSpan);
+
+/// Runs one config and compares every output measure against the
+/// reference. An engine error is itself a divergence (the oracle
+/// succeeded); infrastructure failures (scratch-file IO) are errors.
+Result<std::optional<Divergence>> CheckConfig(
+    const Workflow& workflow, const FactTable& fact,
+    const std::map<std::string, MeasureTable>& reference,
+    const EngineConfig& config, const FaultSpec& fault,
+    Tracer* tracer = nullptr, SpanId parent = kNoSpan);
+
+/// The campaign matrix for one run: every engine, the sort/scan engine
+/// under several random sort orders, the RunFile out-of-core path under a
+/// small budget, the parallel engine at 1/2/8 threads, and a tight-budget
+/// multi-pass. Randomized parts draw from `rng` (seed-deterministic).
+std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
+                                            Rng& rng);
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,118 @@
+#include "testing/mutate.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csm {
+namespace testing_util {
+
+namespace {
+
+/// Pushes the rebuild of `defs` onto `out` when it validates.
+void TryCandidate(const SchemaPtr& schema,
+                  const std::vector<MeasureDef>& defs,
+                  std::vector<Workflow>* out) {
+  auto rebuilt = RebuildWorkflow(schema, defs);
+  if (rebuilt.ok()) out->push_back(std::move(*rebuilt));
+}
+
+}  // namespace
+
+Result<Workflow> RebuildWorkflow(const SchemaPtr& schema,
+                                 const std::vector<MeasureDef>& defs) {
+  Workflow workflow(schema);
+  for (const MeasureDef& def : defs) {
+    CSM_RETURN_NOT_OK(workflow.AddMeasure(def));
+  }
+  if (workflow.measures().empty()) {
+    return Status::InvalidArgument("workflow would become empty");
+  }
+  return workflow;
+}
+
+std::vector<Workflow> ShrinkWorkflowCandidates(const Workflow& workflow) {
+  const SchemaPtr& schema = workflow.schema();
+  const std::vector<MeasureDef>& defs = workflow.measures();
+  std::vector<Workflow> out;
+
+  // 1. Drop one measure. Rebuild validation rejects drops of measures
+  // that still have dependents, so only true leaves succeed. Later
+  // measures are more likely to be leaves — iterate in reverse.
+  for (size_t i = defs.size(); i-- > 0;) {
+    std::vector<MeasureDef> candidate;
+    candidate.reserve(defs.size() - 1);
+    for (size_t j = 0; j < defs.size(); ++j) {
+      if (j != i) candidate.push_back(defs[j]);
+    }
+    if (!candidate.empty()) TryCandidate(schema, candidate, &out);
+  }
+
+  // 2. Remove one filter.
+  for (size_t i = 0; i < defs.size(); ++i) {
+    if (defs[i].where == nullptr) continue;
+    std::vector<MeasureDef> candidate = defs;
+    candidate[i].where = nullptr;
+    TryCandidate(schema, candidate, &out);
+  }
+
+  // 3. Drop one sibling window, or narrow one toward a point window.
+  for (size_t i = 0; i < defs.size(); ++i) {
+    const MeasureDef& def = defs[i];
+    if (def.op != MeasureOp::kMatch ||
+        def.match.type != MatchType::kSibling) {
+      continue;
+    }
+    for (size_t w = 0; w < def.match.windows.size(); ++w) {
+      {  // drop window w entirely (Self when it was the last one)
+        std::vector<MeasureDef> candidate = defs;
+        std::vector<SiblingWindow> windows = def.match.windows;
+        windows.erase(windows.begin() + w);
+        candidate[i].match = windows.empty()
+                                 ? MatchCond::Self()
+                                 : MatchCond::Sibling(std::move(windows));
+        TryCandidate(schema, candidate, &out);
+      }
+      const SiblingWindow& win = def.match.windows[w];
+      if (win.lo < 0 && win.lo + 1 <= win.hi) {  // pull lower edge in
+        std::vector<MeasureDef> candidate = defs;
+        candidate[i].match.windows[w].lo = win.lo + 1;
+        TryCandidate(schema, candidate, &out);
+      }
+      if (win.hi > win.lo) {  // pull the upper edge in
+        std::vector<MeasureDef> candidate = defs;
+        candidate[i].match.windows[w].hi = win.hi - 1;
+        TryCandidate(schema, candidate, &out);
+      }
+    }
+  }
+
+  // 4. Coarsen one measure's granularity on one dimension by one level.
+  // Coarser granularities mean fewer regions and shallower hierarchies in
+  // the reproducer; invalid coarsenings (dependents need the finer form)
+  // fail the rebuild and drop out.
+  for (size_t i = 0; i < defs.size(); ++i) {
+    for (int dim = 0; dim < schema->num_dims(); ++dim) {
+      const int all = schema->dim(dim).hierarchy->all_level();
+      if (defs[i].gran.level(dim) >= all) continue;
+      std::vector<MeasureDef> candidate = defs;
+      candidate[i].gran.set_level(dim, defs[i].gran.level(dim) + 1);
+      TryCandidate(schema, candidate, &out);
+    }
+  }
+
+  return out;
+}
+
+FactTable DropRows(const FactTable& fact, size_t begin, size_t count) {
+  FactTable out(fact.schema());
+  const size_t end = std::min(begin + count, fact.num_rows());
+  out.Reserve(fact.num_rows() - (end - begin));
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    if (row >= begin && row < end) continue;
+    out.AppendRow(fact.dim_row(row), fact.measure_row(row));
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace csm

@@ -1,0 +1,33 @@
+#ifndef CSM_TESTING_MUTATE_H_
+#define CSM_TESTING_MUTATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "storage/fact_table.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace testing_util {
+
+/// Rebuilds a workflow from an explicit measure list (in dependency
+/// order). Fails when the list is invalid — dangling inputs, granularity
+/// violations — which is how the shrinker discards illegal mutations.
+Result<Workflow> RebuildWorkflow(const SchemaPtr& schema,
+                                 const std::vector<MeasureDef>& defs);
+
+/// All valid one-step simplifications of `workflow`, most aggressive
+/// first: drop one measure (only succeeds for measures nothing depends
+/// on), remove one filter, narrow or drop one sibling window, coarsen one
+/// measure's granularity on one dimension by one level. The shrinker
+/// accepts the first candidate that still diverges and iterates to a
+/// fixed point.
+std::vector<Workflow> ShrinkWorkflowCandidates(const Workflow& workflow);
+
+/// Copy of `fact` without rows [begin, begin + count).
+FactTable DropRows(const FactTable& fact, size_t begin, size_t count);
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTING_MUTATE_H_

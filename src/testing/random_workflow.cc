@@ -1,0 +1,195 @@
+#include "testing/random_workflow.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace csm {
+namespace testing_util {
+
+Workflow RandomWorkflowGen::Generate(int num_measures) {
+  Workflow workflow(schema_);
+  defined_.clear();
+  int added = 0;
+  int attempts = 0;
+  while (added < num_measures && attempts < num_measures * 20) {
+    ++attempts;
+    MeasureDef def = ProposeMeasure(added);
+    if (workflow.AddMeasure(def).ok()) {
+      defined_.push_back({def.name, def.gran});
+      ++added;
+    }
+  }
+  // Guarantee at least one measure.
+  if (workflow.measures().empty()) {
+    MeasureDef def;
+    def.name = "m0";
+    def.gran = RandomGran();
+    def.op = MeasureOp::kBaseAgg;
+    def.agg = {AggKind::kCount, -1};
+    CSM_CHECK(workflow.AddMeasure(def).ok());
+  }
+  return workflow;
+}
+
+Granularity RandomWorkflowGen::RandomGran() {
+  std::vector<int> levels(schema_->num_dims());
+  bool any_non_all = false;
+  for (int i = 0; i < schema_->num_dims(); ++i) {
+    const int all = schema_->dim(i).hierarchy->all_level();
+    levels[i] = static_cast<int>(rng_.Uniform(all + 1));
+    if (levels[i] < all) any_non_all = true;
+  }
+  if (!any_non_all) levels[0] = 0;  // keep at least one real dimension
+  return Granularity(std::move(levels));
+}
+
+Granularity RandomWorkflowGen::Coarsen(const Granularity& gran,
+                                       bool strict) {
+  std::vector<int> levels(gran.levels());
+  for (int i = 0; i < schema_->num_dims(); ++i) {
+    const int all = schema_->dim(i).hierarchy->all_level();
+    levels[i] = gran.level(i) +
+                static_cast<int>(rng_.Uniform(all - gran.level(i) + 1));
+  }
+  Granularity out(std::move(levels));
+  if (strict && out == gran) {
+    // Force at least one coarsening if possible.
+    for (int i = 0; i < schema_->num_dims(); ++i) {
+      const int all = schema_->dim(i).hierarchy->all_level();
+      if (out.level(i) < all) {
+        out.set_level(i, out.level(i) + 1);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Granularity RandomWorkflowGen::Refine(const Granularity& gran) {
+  std::vector<int> levels(gran.levels());
+  for (int i = 0; i < schema_->num_dims(); ++i) {
+    levels[i] = static_cast<int>(rng_.Uniform(gran.level(i) + 1));
+  }
+  return Granularity(std::move(levels));
+}
+
+AggSpec RandomWorkflowGen::RandomAgg(bool over_fact) {
+  static const AggKind kKinds[] = {AggKind::kCount, AggKind::kSum,
+                                   AggKind::kMin, AggKind::kMax,
+                                   AggKind::kAvg};
+  AggSpec agg;
+  agg.kind = kKinds[rng_.Uniform(std::size(kKinds))];
+  if (agg.kind == AggKind::kCount) {
+    agg.arg = -1;
+  } else {
+    agg.arg = over_fact && schema_->num_measures() > 0
+                  ? static_cast<int>(rng_.Uniform(schema_->num_measures()))
+                  : 0;
+  }
+  return agg;
+}
+
+ScalarExprPtr RandomWorkflowGen::MaybeWhere(bool over_fact) {
+  if (!rng_.Bernoulli(0.4)) return nullptr;
+  std::string var;
+  if (over_fact && schema_->num_measures() > 0 && rng_.Bernoulli(0.5)) {
+    var = schema_->measure_name(0);
+  } else if (!over_fact) {
+    var = "M";
+  } else {
+    var = schema_->dim(0).name;
+  }
+  const char* op = rng_.Bernoulli(0.5) ? ">" : "<=";
+  auto expr = ScalarExpr::Parse(var + " " + op + " " +
+                                std::to_string(rng_.Uniform(50)));
+  CSM_CHECK(expr.ok());
+  return *expr;
+}
+
+MeasureDef RandomWorkflowGen::ProposeMeasure(int index) {
+  MeasureDef def;
+  def.name = "m" + std::to_string(index);
+  def.is_output = rng_.Bernoulli(0.7);
+  const int roll =
+      defined_.empty() ? 0 : static_cast<int>(rng_.Uniform(10));
+  if (roll < 3) {  // base measure
+    def.op = MeasureOp::kBaseAgg;
+    def.gran = RandomGran();
+    def.agg = RandomAgg(/*over_fact=*/true);
+    def.where = MaybeWhere(/*over_fact=*/true);
+    return def;
+  }
+  const Defined& input = defined_[rng_.Uniform(defined_.size())];
+  def.input = input.name;
+  if (roll < 5) {  // roll-up
+    def.op = MeasureOp::kRollup;
+    def.gran = Coarsen(input.gran, /*strict=*/false);
+    def.agg = RandomAgg(/*over_fact=*/false);
+    def.where = MaybeWhere(/*over_fact=*/false);
+    return def;
+  }
+  if (roll < 9) {  // match join
+    def.op = MeasureOp::kMatch;
+    def.agg = RandomAgg(/*over_fact=*/false);
+    def.where = MaybeWhere(/*over_fact=*/false);
+    switch (rng_.Uniform(4)) {
+      case 0:
+        def.match = MatchCond::Self();
+        def.gran = input.gran;
+        break;
+      case 1:
+        def.match = MatchCond::ChildParent();
+        def.gran = Coarsen(input.gran, /*strict=*/false);
+        break;
+      case 2:
+        def.match = MatchCond::ParentChild();
+        def.gran = Refine(input.gran);
+        break;
+      default: {
+        def.gran = input.gran;
+        std::vector<SiblingWindow> windows;
+        for (int i = 0; i < schema_->num_dims(); ++i) {
+          if (def.gran.level(i) ==
+              schema_->dim(i).hierarchy->all_level()) {
+            continue;
+          }
+          if (!windows.empty() && !rng_.Bernoulli(0.4)) continue;
+          SiblingWindow w;
+          w.dim = i;
+          w.lo = rng_.UniformInt(-2, 0);
+          w.hi = w.lo + rng_.UniformInt(0, 3);
+          windows.push_back(w);
+          if (windows.size() == 2) break;
+        }
+        if (windows.empty()) {
+          def.match = MatchCond::Self();
+        } else {
+          def.match = MatchCond::Sibling(std::move(windows));
+        }
+        break;
+      }
+    }
+    return def;
+  }
+  // Combine join over measures sharing the input's granularity.
+  def.op = MeasureOp::kCombine;
+  def.gran = input.gran;
+  std::string expr = input.name;
+  def.combine_inputs.push_back(input.name);
+  for (const Defined& other : defined_) {
+    if (other.name != input.name && other.gran == input.gran &&
+        def.combine_inputs.size() < 3 && rng_.Bernoulli(0.6)) {
+      def.combine_inputs.push_back(other.name);
+      expr += rng_.Bernoulli(0.5) ? " + coalesce(" + other.name + ", 0)"
+                                  : " - coalesce(" + other.name + ", 1)";
+    }
+  }
+  auto parsed = ScalarExpr::Parse(expr);
+  CSM_CHECK(parsed.ok());
+  def.fc = *parsed;
+  return def;
+}
+
+}  // namespace testing_util
+}  // namespace csm

@@ -1,0 +1,48 @@
+#ifndef CSM_TESTING_RANDOM_WORKFLOW_H_
+#define CSM_TESTING_RANDOM_WORKFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace testing_util {
+
+/// Generates random — but always valid — aggregation workflows over an
+/// arbitrary schema: random granularities, every operator family, random
+/// aggregates, filters, sibling windows, and combine expressions. The
+/// property-based conformance tests and the differential fuzzer both rely
+/// on the invariant that for any workflow this produces, all engines must
+/// agree with the reference evaluator.
+class RandomWorkflowGen {
+ public:
+  RandomWorkflowGen(SchemaPtr schema, uint64_t seed)
+      : schema_(std::move(schema)), rng_(seed) {}
+
+  /// Produces a workflow with up to `num_measures` measures (at least one).
+  Workflow Generate(int num_measures);
+
+ private:
+  struct Defined {
+    std::string name;
+    Granularity gran;
+  };
+
+  Granularity RandomGran();
+  Granularity Coarsen(const Granularity& gran, bool strict);
+  Granularity Refine(const Granularity& gran);
+  AggSpec RandomAgg(bool over_fact);
+  ScalarExprPtr MaybeWhere(bool over_fact);
+  MeasureDef ProposeMeasure(int index);
+
+  SchemaPtr schema_;
+  Rng rng_;
+  std::vector<Defined> defined_;
+};
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTING_RANDOM_WORKFLOW_H_

@@ -1,0 +1,190 @@
+#include "testing/repro.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/table_io.h"
+
+namespace csm {
+namespace testing_util {
+
+namespace {
+
+constexpr std::string_view kMagic = "csm-fuzz-repro v1";
+constexpr std::string_view kFactsFileName = "case.facts.bin";
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<std::string> WriteRepro(const std::string& dir,
+                               const Workflow& workflow,
+                               const FactTable& fact,
+                               const EngineConfig& config,
+                               const FaultSpec& fault, uint64_t seed,
+                               const std::string& schema_spec) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create repro dir " + dir + ": " +
+                           ec.message());
+  }
+  const std::string facts_path = dir + "/" + std::string(kFactsFileName);
+  CSM_RETURN_NOT_OK(WriteFactTableBinary(fact, facts_path));
+
+  const std::string repro_path = dir + "/repro.txt";
+  std::ofstream out(repro_path);
+  if (!out) return Status::IOError("cannot write " + repro_path);
+  out << kMagic << "\n";
+  out << "seed: " << seed << "\n";
+  out << "schema: " << schema_spec << "\n";
+  out << "engine: " << EngineKindName(config.kind) << "\n";
+  out << "path: " << (config.run_file ? "runfile" : "memory") << "\n";
+  out << "threads: " << config.threads << "\n";
+  out << "budget_bytes: " << config.memory_budget_bytes << "\n";
+  if (!config.sort_key.empty()) {
+    out << "sort_key: " << config.sort_key.ToString(*workflow.schema())
+        << "\n";
+  }
+  if (fault.enabled) out << "fault: " << fault.ToText() << "\n";
+  out << "facts: " << kFactsFileName << "\n";
+  out << "workflow:\n";
+  out << workflow.ToDsl();
+  out.close();
+  if (!out) return Status::IOError("short write to " + repro_path);
+  return repro_path;
+}
+
+Result<ReproCase> LoadRepro(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::string repro_path = path;
+  if (fs::is_directory(repro_path)) repro_path += "/repro.txt";
+  std::ifstream in(repro_path);
+  if (!in) return Status::IOError("cannot open " + repro_path);
+  const std::string base_dir =
+      fs::path(repro_path).parent_path().string();
+
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kMagic) {
+    return Status::ParseError(repro_path + ": not a " +
+                              std::string(kMagic) + " file");
+  }
+
+  std::string schema_spec, engine = "sortscan", path_kind = "memory";
+  std::string sort_key_text, fault_text, facts_name;
+  uint64_t seed = 0, budget = 0;
+  int64_t threads = 0;
+  std::ostringstream dsl;
+  bool in_workflow = false;
+  while (std::getline(in, line)) {
+    if (in_workflow) {
+      dsl << line << "\n";
+      continue;
+    }
+    std::string_view view = Trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    if (view == "workflow:") {
+      in_workflow = true;
+      continue;
+    }
+    const size_t colon = view.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError(repro_path + ": bad line '" + line + "'");
+    }
+    const std::string key(Trim(view.substr(0, colon)));
+    const std::string value(Trim(view.substr(colon + 1)));
+    if (key == "seed") {
+      if (!ParseUint64(value, &seed)) {
+        return Status::ParseError("bad seed: " + value);
+      }
+    } else if (key == "schema") {
+      schema_spec = value;
+    } else if (key == "engine") {
+      engine = value;
+    } else if (key == "path") {
+      path_kind = value;
+    } else if (key == "threads") {
+      if (!ParseInt64(value, &threads)) {
+        return Status::ParseError("bad threads: " + value);
+      }
+    } else if (key == "budget_bytes") {
+      if (!ParseUint64(value, &budget)) {
+        return Status::ParseError("bad budget_bytes: " + value);
+      }
+    } else if (key == "sort_key") {
+      sort_key_text = value;
+    } else if (key == "fault") {
+      fault_text = value;
+    } else if (key == "facts") {
+      facts_name = value;
+    } else {
+      return Status::ParseError(repro_path + ": unknown key '" + key +
+                                "'");
+    }
+  }
+  if (!in_workflow) {
+    return Status::ParseError(repro_path + ": missing workflow section");
+  }
+  if (schema_spec.empty()) {
+    return Status::ParseError(repro_path + ": missing schema spec");
+  }
+  if (facts_name.empty()) facts_name = std::string(kFactsFileName);
+
+  CSM_ASSIGN_OR_RETURN(SchemaPtr schema, ParseSchemaSpec(schema_spec));
+  std::string workflow_dsl = dsl.str();
+  CSM_ASSIGN_OR_RETURN(Workflow workflow,
+                       Workflow::Parse(schema, workflow_dsl));
+  EngineConfig config;
+  CSM_ASSIGN_OR_RETURN(config.kind, ParseEngineKind(engine));
+  if (path_kind == "runfile") {
+    config.run_file = true;
+  } else if (path_kind != "memory") {
+    return Status::ParseError("bad path kind: " + path_kind);
+  }
+  config.threads = static_cast<int>(threads);
+  config.memory_budget_bytes = budget;
+  if (!sort_key_text.empty()) {
+    CSM_ASSIGN_OR_RETURN(config.sort_key,
+                         SortKey::Parse(*schema, sort_key_text));
+  }
+  FaultSpec fault;
+  if (!fault_text.empty()) {
+    CSM_ASSIGN_OR_RETURN(fault, FaultSpec::Parse(fault_text));
+  }
+  CSM_ASSIGN_OR_RETURN(
+      FactTable fact,
+      ReadFactTableBinary(schema, base_dir.empty()
+                                      ? facts_name
+                                      : base_dir + "/" + facts_name));
+  return ReproCase{schema_spec,
+                   std::move(schema),
+                   std::move(workflow_dsl),
+                   std::move(workflow),
+                   config,
+                   fault,
+                   seed,
+                   std::move(fact)};
+}
+
+Result<std::optional<Divergence>> ReplayRepro(const ReproCase& repro,
+                                              Tracer* tracer) {
+  CSM_ASSIGN_OR_RETURN(auto reference,
+                       ComputeReference(repro.workflow, repro.fact));
+  return CheckConfig(repro.workflow, repro.fact, reference, repro.config,
+                     repro.fault, tracer);
+}
+
+}  // namespace testing_util
+}  // namespace csm

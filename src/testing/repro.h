@@ -1,0 +1,58 @@
+#ifndef CSM_TESTING_REPRO_H_
+#define CSM_TESTING_REPRO_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "obs/trace.h"
+#include "storage/fact_table.h"
+#include "testing/differential.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace testing_util {
+
+/// A self-contained reproducer loaded from disk: everything needed to
+/// replay one failing differential case without the campaign that found
+/// it — schema spec, workflow DSL, engine config, optional fault hook,
+/// and the (shrunken) fact rows.
+struct ReproCase {
+  std::string schema_spec;
+  SchemaPtr schema;
+  std::string workflow_dsl;
+  Workflow workflow;
+  EngineConfig config;
+  FaultSpec fault;
+  uint64_t seed = 0;  // campaign seed that found the case (informational)
+  FactTable fact;
+};
+
+/// Writes a repro directory: `dir/repro.txt` (a small "key: value" header
+/// followed by the workflow DSL) plus `dir/case.facts.bin`
+/// (WriteFactTableBinary). Creates `dir` (and parents). Returns the path
+/// to repro.txt. The format is plain text so a reproducer can be read,
+/// edited and mailed around; see docs/fuzzing.md.
+Result<std::string> WriteRepro(const std::string& dir,
+                               const Workflow& workflow,
+                               const FactTable& fact,
+                               const EngineConfig& config,
+                               const FaultSpec& fault, uint64_t seed,
+                               const std::string& schema_spec);
+
+/// Loads a reproducer. `path` may name the repro.txt file or its
+/// directory.
+Result<ReproCase> LoadRepro(const std::string& path);
+
+/// Replays a reproducer: recomputes the reference and re-checks the
+/// case's config. Returns the divergence, or nullopt when the case no
+/// longer diverges (i.e. the bug is fixed). Deterministic: identical
+/// calls produce byte-identical divergence text. Engine spans land on
+/// `tracer` when set.
+Result<std::optional<Divergence>> ReplayRepro(const ReproCase& repro,
+                                              Tracer* tracer = nullptr);
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTING_REPRO_H_

@@ -1,0 +1,118 @@
+#include "testing/shrink.h"
+
+#include <optional>
+#include <utility>
+
+#include "testing/mutate.h"
+
+namespace csm {
+namespace testing_util {
+
+namespace {
+
+/// Re-derives the oracle and re-checks the failing config on a candidate.
+/// nullopt = candidate does not diverge (or is not even evaluable) and
+/// must be rejected.
+std::optional<Divergence> Diverges(const Workflow& workflow,
+                                   const FactTable& fact,
+                                   const EngineConfig& config,
+                                   const FaultSpec& fault) {
+  auto reference = ComputeReference(workflow, fact);
+  if (!reference.ok()) return std::nullopt;
+  auto check = CheckConfig(workflow, fact, *reference, config, fault);
+  if (!check.ok()) return std::nullopt;
+  return *check;
+}
+
+}  // namespace
+
+std::string ShrinkStats::ToString() const {
+  return "measures " + std::to_string(measures_before) + " -> " +
+         std::to_string(measures_after) + ", rows " +
+         std::to_string(rows_before) + " -> " +
+         std::to_string(rows_after) + " (" +
+         std::to_string(candidates_tried) + " candidates, " +
+         std::to_string(accepted) + " accepted)";
+}
+
+Result<ShrunkCase> ShrinkCase(const Workflow& workflow,
+                              const FactTable& fact,
+                              const EngineConfig& config,
+                              const FaultSpec& fault,
+                              const ShrinkOptions& options) {
+  auto initial = Diverges(workflow, fact, config, fault);
+  if (!initial.has_value()) {
+    return Status::InvalidArgument(
+        "ShrinkCase called on a case that does not diverge");
+  }
+
+  ShrinkStats stats;
+  stats.measures_before = workflow.measures().size();
+  stats.rows_before = fact.num_rows();
+
+  Workflow current = workflow;
+  FactTable rows = fact.Clone();
+  Divergence divergence = *initial;
+  const auto budget_left = [&] {
+    return stats.candidates_tried < options.max_candidates;
+  };
+
+  bool progress = true;
+  while (progress && budget_left()) {
+    progress = false;
+
+    // Workflow pass: accept the first simplification that still diverges
+    // and restart, so drops compound until a fixed point.
+    bool workflow_progress = true;
+    while (workflow_progress && budget_left()) {
+      workflow_progress = false;
+      for (Workflow& candidate : ShrinkWorkflowCandidates(current)) {
+        if (!budget_left()) break;
+        ++stats.candidates_tried;
+        auto d = Diverges(candidate, rows, config, fault);
+        if (d.has_value()) {
+          current = std::move(candidate);
+          divergence = std::move(*d);
+          ++stats.accepted;
+          workflow_progress = true;
+          progress = true;
+          break;
+        }
+      }
+    }
+
+    // Data pass: classic ddmin over row chunks, largest chunks first.
+    for (size_t chunk = std::max<size_t>(rows.num_rows() / 2, 1);
+         chunk >= 1 && rows.num_rows() > 1 && budget_left();
+         chunk = chunk / 2) {
+      bool dropped = true;
+      while (dropped && budget_left()) {
+        dropped = false;
+        for (size_t begin = 0;
+             begin < rows.num_rows() && budget_left();
+             begin += chunk) {
+          FactTable candidate = DropRows(rows, begin, chunk);
+          if (candidate.num_rows() == 0) continue;
+          ++stats.candidates_tried;
+          auto d = Diverges(current, candidate, config, fault);
+          if (d.has_value()) {
+            rows = std::move(candidate);
+            divergence = std::move(*d);
+            ++stats.accepted;
+            dropped = true;
+            progress = true;
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  stats.measures_after = current.measures().size();
+  stats.rows_after = rows.num_rows();
+  return ShrunkCase{std::move(current), std::move(rows),
+                    std::move(divergence), stats};
+}
+
+}  // namespace testing_util
+}  // namespace csm

@@ -1,0 +1,57 @@
+#ifndef CSM_TESTING_SHRINK_H_
+#define CSM_TESTING_SHRINK_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "storage/fact_table.h"
+#include "testing/differential.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace testing_util {
+
+struct ShrinkOptions {
+  /// Cap on candidate evaluations (each one re-derives the reference and
+  /// re-runs the failing config), bounding shrink time on pathological
+  /// cases.
+  int max_candidates = 400;
+};
+
+struct ShrinkStats {
+  size_t measures_before = 0;
+  size_t measures_after = 0;
+  size_t rows_before = 0;
+  size_t rows_after = 0;
+  int candidates_tried = 0;
+  int accepted = 0;
+
+  std::string ToString() const;
+};
+
+/// A minimized failing case: the divergence still reproduces on
+/// (workflow, fact) under the original config/fault.
+struct ShrunkCase {
+  Workflow workflow;
+  FactTable fact;
+  Divergence divergence;
+  ShrinkStats stats;
+};
+
+/// Greedy fixed-point minimization of a known-divergent case: repeatedly
+/// applies the first workflow simplification (drop measure, drop filter,
+/// narrow window, coarsen granularity — see ShrinkWorkflowCandidates)
+/// that still diverges, then delta-debugs the fact rows in halving chunks,
+/// until no single step reduces the case further. InvalidArgument when
+/// the input does not diverge in the first place.
+Result<ShrunkCase> ShrinkCase(const Workflow& workflow,
+                              const FactTable& fact,
+                              const EngineConfig& config,
+                              const FaultSpec& fault,
+                              const ShrinkOptions& options = {});
+
+}  // namespace testing_util
+}  // namespace csm
+
+#endif  // CSM_TESTING_SHRINK_H_

@@ -1,0 +1,204 @@
+// The shrink / repro half of the fuzzing subsystem, exercised through the
+// --inject-fault hook: a seeded "divergence" (deliberate output
+// corruption) must shrink to a minimal case, persist as a repro file, and
+// replay from that file to the byte-identical divergence.
+
+#include <string>
+
+#include "common/logging.h"
+#include "gtest/gtest.h"
+#include "model/schema.h"
+#include "storage/temp_file.h"
+#include "test_util.h"
+#include "testing/campaign.h"
+#include "testing/data_gen.h"
+#include "testing/differential.h"
+#include "testing/repro.h"
+#include "testing/shrink.h"
+
+namespace csm {
+namespace {
+
+using testing_util::CampaignOptions;
+using testing_util::CheckConfig;
+using testing_util::ComputeReference;
+using testing_util::EngineConfig;
+using testing_util::FactGenOptions;
+using testing_util::FaultSpec;
+using testing_util::GenerateFacts;
+using testing_util::LoadRepro;
+using testing_util::ReplayRepro;
+using testing_util::RunCampaign;
+using testing_util::ShrinkCase;
+using testing_util::WriteRepro;
+
+constexpr char kSchemaSpec[] = "synthetic:2,2,4,64";
+
+// Three measures across the operator families; the fault targets only A,
+// so B and W are shrinkable noise.
+constexpr char kWorkflowDsl[] = R"(
+    measure A at (d0:L0, d1:L0) = agg sum(m) from FACT;
+    measure B at (d0:L1, d1:L1) = agg sum(M) from A;
+    measure W at (d0:L0, d1:L0) = match A using
+        sibling(d0 in [-1, 1]) agg sum(M);)";
+
+struct Fixture {
+  SchemaPtr schema;
+  Workflow workflow;
+  FactTable fact;
+  EngineConfig config;
+  FaultSpec fault;
+};
+
+Fixture MakeFixture() {
+  auto schema = ParseSchemaSpec(kSchemaSpec);
+  CSM_CHECK(schema.ok());
+  auto workflow = Workflow::Parse(*schema, kWorkflowDsl);
+  CSM_CHECK(workflow.ok()) << workflow.status().ToString();
+  FactGenOptions data;
+  data.rows = 400;
+  data.cardinality = 64;
+  data.seed = 2024;
+  FactTable fact = GenerateFacts(*schema, data);
+  EngineConfig config;
+  config.kind = EngineKind::kSingleScan;
+  auto fault = FaultSpec::Parse("singlescan:A");
+  CSM_CHECK(fault.ok());
+  return {*schema, std::move(*workflow), std::move(fact), config, *fault};
+}
+
+TEST(FuzzShrinkTest, InjectedFaultDiverges) {
+  Fixture fx = MakeFixture();
+  CSM_ASSERT_OK_AND_ASSIGN(auto reference,
+                           ComputeReference(fx.workflow, fx.fact));
+  // Clean run: no divergence.
+  CSM_ASSERT_OK_AND_ASSIGN(
+      auto clean, CheckConfig(fx.workflow, fx.fact, reference, fx.config,
+                              FaultSpec{}));
+  EXPECT_FALSE(clean.has_value());
+  // Faulted run diverges on A, and only A.
+  CSM_ASSERT_OK_AND_ASSIGN(
+      auto faulted, CheckConfig(fx.workflow, fx.fact, reference, fx.config,
+                                fx.fault));
+  ASSERT_TRUE(faulted.has_value());
+  EXPECT_EQ(faulted->measure, "A");
+  EXPECT_EQ(faulted->config_label, "singlescan");
+}
+
+TEST(FuzzShrinkTest, ShrinkConvergesToMinimalCase) {
+  Fixture fx = MakeFixture();
+  CSM_ASSERT_OK_AND_ASSIGN(
+      auto shrunk, ShrinkCase(fx.workflow, fx.fact, fx.config, fx.fault));
+  // The corruption touches one row of one measure: the minimal divergent
+  // case is a single measure over a single fact row.
+  EXPECT_EQ(shrunk.workflow.measures().size(), 1u);
+  EXPECT_EQ(shrunk.workflow.measures()[0].name, "A");
+  EXPECT_EQ(shrunk.fact.num_rows(), 1u);
+  EXPECT_EQ(shrunk.divergence.measure, "A");
+  EXPECT_EQ(shrunk.stats.measures_before, 3u);
+  EXPECT_EQ(shrunk.stats.rows_before, 400u);
+  EXPECT_GT(shrunk.stats.accepted, 0);
+
+  // A non-divergent input is an error, not a silent no-op.
+  auto no_fault =
+      ShrinkCase(fx.workflow, fx.fact, fx.config, FaultSpec{});
+  EXPECT_FALSE(no_fault.ok());
+}
+
+TEST(FuzzShrinkTest, ReproRoundTripsAndReplaysIdentically) {
+  Fixture fx = MakeFixture();
+  CSM_ASSERT_OK_AND_ASSIGN(
+      auto shrunk, ShrinkCase(fx.workflow, fx.fact, fx.config, fx.fault));
+
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::string path,
+      WriteRepro(dir.path() + "/case", shrunk.workflow, shrunk.fact,
+                 fx.config, fx.fault, /*seed=*/2024, kSchemaSpec));
+
+  CSM_ASSERT_OK_AND_ASSIGN(auto repro, LoadRepro(path));
+  EXPECT_EQ(repro.schema_spec, kSchemaSpec);
+  EXPECT_EQ(repro.seed, 2024u);
+  EXPECT_EQ(repro.fact.num_rows(), shrunk.fact.num_rows());
+  EXPECT_EQ(repro.workflow.measures().size(),
+            shrunk.workflow.measures().size());
+
+  // Replaying reproduces the shrunk divergence, byte for byte, every time.
+  CSM_ASSERT_OK_AND_ASSIGN(auto replay1, ReplayRepro(repro));
+  CSM_ASSERT_OK_AND_ASSIGN(auto replay2, ReplayRepro(repro));
+  ASSERT_TRUE(replay1.has_value());
+  ASSERT_TRUE(replay2.has_value());
+  EXPECT_EQ(replay1->ToString(), replay2->ToString());
+  EXPECT_EQ(replay1->ToString(), shrunk.divergence.ToString());
+
+  // Loading by directory works too.
+  CSM_ASSERT_OK_AND_ASSIGN(auto by_dir, LoadRepro(dir.path() + "/case"));
+  EXPECT_EQ(by_dir.workflow_dsl, repro.workflow_dsl);
+
+  // Clearing the fault simulates the bug getting fixed: the case must
+  // stop diverging, which is how --repro reports "fixed".
+  repro.fault = FaultSpec{};
+  CSM_ASSERT_OK_AND_ASSIGN(auto fixed, ReplayRepro(repro));
+  EXPECT_FALSE(fixed.has_value());
+}
+
+TEST(FuzzCampaignTest, DeterministicAndFindsInjectedFault) {
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir1, TempDir::Make());
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir2, TempDir::Make());
+  CampaignOptions options;
+  options.seed = 11;
+  options.runs = 2;
+  options.max_rows = 200;
+  options.measures_per_workflow = 4;
+  auto fault = FaultSpec::Parse("parallel:*");
+  ASSERT_TRUE(fault.ok());
+  options.fault = *fault;
+
+  options.repro_dir = dir1.path();
+  CSM_ASSERT_OK_AND_ASSIGN(auto stats1, RunCampaign(options));
+  options.repro_dir = dir2.path();
+  CSM_ASSERT_OK_AND_ASSIGN(auto stats2, RunCampaign(options));
+
+  // The injected fault is found, shrunk, and persisted.
+  ASSERT_EQ(stats1.findings.size(), 1u);
+  EXPECT_FALSE(stats1.findings[0].shrink_summary.empty());
+  CSM_ASSERT_OK_AND_ASSIGN(auto repro,
+                           LoadRepro(stats1.findings[0].repro_path));
+  CSM_ASSERT_OK_AND_ASSIGN(auto replay, ReplayRepro(repro));
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->ToString(),
+            stats1.findings[0].divergence.ToString());
+
+  // Same seed, same campaign: identical stats and findings.
+  EXPECT_EQ(stats1.Summary(), stats2.Summary());
+  ASSERT_EQ(stats2.findings.size(), 1u);
+  EXPECT_EQ(stats1.findings[0].divergence.ToString(),
+            stats2.findings[0].divergence.ToString());
+
+  // No fault, same seeds: every engine agrees with the reference.
+  options.fault = FaultSpec{};
+  CSM_ASSERT_OK_AND_ASSIGN(auto clean, RunCampaign(options));
+  EXPECT_TRUE(clean.findings.empty());
+  EXPECT_EQ(clean.runs_completed, 2);
+}
+
+TEST(FaultSpecTest, ParseAndRoundTrip) {
+  auto fault = FaultSpec::Parse("sortscan:m0");
+  ASSERT_TRUE(fault.ok());
+  EXPECT_TRUE(fault->enabled);
+  EXPECT_EQ(fault->kind, EngineKind::kSortScan);
+  EXPECT_EQ(fault->measure, "m0");
+  EXPECT_EQ(fault->ToText(), "sortscan:m0");
+
+  auto wildcard = FaultSpec::Parse("parallel:*");
+  ASSERT_TRUE(wildcard.ok());
+  EXPECT_EQ(wildcard->measure, "*");
+
+  EXPECT_FALSE(FaultSpec::Parse("nocolon").ok());
+  EXPECT_FALSE(FaultSpec::Parse("sortscan:").ok());
+  EXPECT_FALSE(FaultSpec::Parse("warpdrive:m0").ok());
+  EXPECT_EQ(FaultSpec{}.ToText(), "");
+}
+
+}  // namespace
+}  // namespace csm

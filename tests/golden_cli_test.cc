@@ -1,0 +1,110 @@
+// Golden-file regression for the csm_query CLI: a fixed schema, dataset
+// seed, and workflow must keep producing the same text output and measure
+// CSVs. Volatile parts (timings, memory sizes, scratch paths) are masked
+// before comparison. Regenerate with:
+//   CSM_UPDATE_GOLDEN=1 ctest -R GoldenCli
+// and commit the updated tests/golden/csm_query_output.golden.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "model/schema.h"
+#include "storage/table_io.h"
+#include "storage/temp_file.h"
+#include "test_util.h"
+
+namespace csm {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kGoldenRelPath[] = "/golden/csm_query_output.golden";
+
+std::string ToolPath() {
+  // ctest runs tests with CWD = build/tests; the tool lives beside it.
+  for (const char* candidate :
+       {"../tools/csm_query", "tools/csm_query", "./csm_query"}) {
+    if (fs::exists(candidate)) return candidate;
+  }
+  return "";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+/// Masks everything legitimately run-dependent so the rest must match
+/// byte for byte: wall-clock timings, memory megabytes, scratch paths.
+std::string Normalize(std::string text, const std::string& tmp_dir) {
+  size_t at;
+  while ((at = text.find(tmp_dir)) != std::string::npos) {
+    text.replace(at, tmp_dir.size(), "<TMP>");
+  }
+  text = std::regex_replace(text, std::regex(R"(\d+\.\d+s)"), "<TIME>");
+  text = std::regex_replace(text, std::regex(R"(\d+\.\d+ MB)"), "<MB>");
+  return text;
+}
+
+TEST(GoldenCliTest, QueryOutputMatchesGolden) {
+  const std::string tool = ToolPath();
+  if (tool.empty()) GTEST_SKIP() << "csm_query binary not found";
+
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  SyntheticDataOptions options;
+  options.rows = 2000;
+  options.seed = 77;
+  FactTable fact = GenerateSyntheticFacts(schema, options);
+  const std::string facts_csv = dir.path() + "/facts.csv";
+  ASSERT_TRUE(WriteFactTableCsv(fact, facts_csv).ok());
+
+  const std::string query_path = dir.path() + "/query.dsl";
+  std::ofstream(query_path) << R"(
+      measure C at (d0:L0, d1:L1) = agg count(*) from FACT hidden;
+      measure R at (d0:L1) = agg sum(M) from C;
+      measure W at (d0:L1) = match R using sibling(d0 in [0, 2])
+          agg avg(M);
+    )";
+
+  const std::string out_dir = dir.path() + "/out";
+  const std::string cmd = tool +
+                          " --schema synthetic:3,3,10,1000 --facts " +
+                          facts_csv + " --query " + query_path +
+                          " --engine sortscan --out " + out_dir + " > " +
+                          dir.path() + "/stdout.txt 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0)
+      << ReadFileOrEmpty(dir.path() + "/stdout.txt");
+
+  // Golden = masked stdout + the produced output CSVs, one document.
+  std::string actual =
+      Normalize(ReadFileOrEmpty(dir.path() + "/stdout.txt"), dir.path());
+  actual += "=== R.csv ===\n" + ReadFileOrEmpty(out_dir + "/R.csv");
+  actual += "=== W.csv ===\n" + ReadFileOrEmpty(out_dir + "/W.csv");
+
+  const std::string golden_path =
+      std::string(CSM_TEST_SOURCE_DIR) + kGoldenRelPath;
+  if (std::getenv("CSM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream golden(golden_path);
+    ASSERT_TRUE(golden.good()) << "cannot write " << golden_path;
+    golden << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  const std::string expected = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(expected.empty())
+      << golden_path
+      << " missing or empty; run with CSM_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(actual, expected)
+      << "csm_query output drifted from the golden file. If the change "
+         "is intentional, regenerate with CSM_UPDATE_GOLDEN=1.";
+}
+
+}  // namespace
+}  // namespace csm

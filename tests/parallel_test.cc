@@ -2,6 +2,7 @@
 #include "exec/parallel.h"
 #include "exec/sort_scan.h"
 #include "gtest/gtest.h"
+#include "obs/trace.h"
 #include "test_util.h"
 #include "workflow/workflow.h"
 
@@ -79,11 +80,24 @@ TEST(ParallelSortScanTest, FallsBackWhenNotPartitionable) {
   auto running = MakeRunningExampleQuery(schema);
   ASSERT_TRUE(running.ok());
   ParallelSortScanEngine parallel;
-  EngineOptions options;
-  options.parallel_threads = 4;
-  auto got = testing_util::RunWith(parallel, *running, fact, options);
+  Tracer tracer;
+  ExecContext ctx;
+  ctx.options.parallel_threads = 4;
+  ctx.tracer = &tracer;
+  auto got = parallel.Run(*running, fact, ctx);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_NE(got->stats.sort_key.find("[sequential]"), std::string::npos);
+
+  // The fallback is recorded on the engine's root span, so operators can
+  // tell a degraded run from a parallel one without diffing timings.
+  auto roots = tracer.RootSpans();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(tracer.GetSpan(roots[0]).name, "parallel-sort-scan");
+  EXPECT_EQ(tracer.AttrOrEmpty(roots[0], "fallback"), "sequential");
+  EXPECT_NE(tracer.AttrOrEmpty(roots[0], "fallback_reason")
+                .find("no partitionable dimension"),
+            std::string::npos);
+
   // Still correct.
   SortScanEngine sequential;
   auto expect = sequential.Run(*running, fact);
@@ -91,6 +105,18 @@ TEST(ParallelSortScanTest, FallsBackWhenNotPartitionable) {
   for (auto& [name, table] : expect->tables) {
     ExpectTablesEqual(table, got->tables.at(name), name);
   }
+
+  // A partitionable workflow must NOT carry the fallback marker.
+  Tracer tracer2;
+  ExecContext ctx2;
+  ctx2.options.parallel_threads = 4;
+  ctx2.tracer = &tracer2;
+  auto recon = MakeMultiReconQuery(schema);
+  ASSERT_TRUE(recon.ok());
+  ASSERT_TRUE(parallel.Run(*recon, fact, ctx2).ok());
+  auto roots2 = tracer2.RootSpans();
+  ASSERT_EQ(roots2.size(), 1u);
+  EXPECT_EQ(tracer2.AttrOrEmpty(roots2[0], "fallback"), "");
 }
 
 TEST(ParallelSortScanTest, EmptyInput) {

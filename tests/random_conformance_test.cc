@@ -3,22 +3,32 @@
 // sort order. This is the strongest single check of the streaming
 // machinery — any frontier, slack, or watermark bug shows up as a value
 // or region diff against the reference evaluator.
+//
+// The generators live in src/testing/ (shared with the csm_fuzz driver);
+// this suite pins a fixed corpus of seeds so failures are addressable by
+// name, while csm_fuzz explores fresh seeds every campaign.
 
 #include "algebra/evaluator.h"
 #include "exec/adaptive.h"
 #include "exec/multi_pass.h"
+#include "exec/parallel.h"
 #include "exec/single_scan.h"
 #include "exec/sort_scan.h"
 #include "gtest/gtest.h"
-#include "random_workflow.h"
 #include "relational/relational_engine.h"
+#include "storage/table_io.h"
+#include "storage/temp_file.h"
 #include "test_util.h"
+#include "testing/data_gen.h"
+#include "testing/random_workflow.h"
 
 namespace csm {
 namespace {
 
 using testing_util::ExpectTablesEqual;
-using testing_util::MakeUniformFacts;
+using testing_util::FactDist;
+using testing_util::FactGenOptions;
+using testing_util::GenerateFacts;
 using testing_util::RandomWorkflowGen;
 
 std::map<std::string, MeasureTable> Reference(const Workflow& workflow,
@@ -37,12 +47,9 @@ std::map<std::string, MeasureTable> Reference(const Workflow& workflow,
   return computed;
 }
 
-void CheckEngine(Engine& engine, const Workflow& workflow,
-                 const FactTable& fact,
+void CheckOutput(const Result<EvalOutput>& got, const Workflow& workflow,
                  const std::map<std::string, MeasureTable>& expected,
-                 const std::string& context,
-                 EngineOptions options = {}) {
-  auto got = testing_util::RunWith(engine, workflow, fact, options);
+                 const std::string& context) {
   ASSERT_TRUE(got.ok()) << context << ": " << got.status().ToString()
                         << "\nworkflow:\n"
                         << workflow.ToDsl();
@@ -59,12 +66,33 @@ void CheckEngine(Engine& engine, const Workflow& workflow,
   }
 }
 
+void CheckEngine(Engine& engine, const Workflow& workflow,
+                 const FactTable& fact,
+                 const std::map<std::string, MeasureTable>& expected,
+                 const std::string& context,
+                 EngineOptions options = {}) {
+  CheckOutput(testing_util::RunWith(engine, workflow, fact, options),
+              workflow, expected, context);
+}
+
+// Each seed gets a different data distribution so the fixed corpus also
+// exercises skew, duplicates, and hierarchy-boundary values.
+FactTable CorpusFacts(const SchemaPtr& schema, uint64_t seed) {
+  FactGenOptions options;
+  options.rows = 2000;
+  options.cardinality = 512;
+  options.seed = seed * 31 + 7;
+  options.dist = static_cast<FactDist>(seed % 4);
+  options.negative_measures = (seed % 5) == 0;
+  return GenerateFacts(schema, options);
+}
+
 class RandomConformanceTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomConformanceTest, AllEnginesAgreeOnRandomWorkflows) {
   const uint64_t seed = GetParam();
   auto schema = MakeSyntheticSchema(3, 3, 8, 512);
-  FactTable fact = MakeUniformFacts(schema, 2000, 512, seed * 31 + 7);
+  FactTable fact = CorpusFacts(schema, seed);
   RandomWorkflowGen gen(schema, seed);
   Workflow workflow = gen.Generate(8);
   auto expected = Reference(workflow, fact);
@@ -103,6 +131,29 @@ TEST_P(RandomConformanceTest, AllEnginesAgreeOnRandomWorkflows) {
   CheckEngine(multi_pass, workflow, fact, expected, "multi-pass", tight);
   AdaptiveEngine adaptive;
   CheckEngine(adaptive, workflow, fact, expected, "adaptive");
+
+  // Parallel at 1 (degenerate single shard), 2, and 8 workers — covers
+  // both the partitioned path and the sequential fallback, depending on
+  // what the random workflow allows.
+  ParallelSortScanEngine parallel;
+  for (int threads : {1, 2, 8}) {
+    EngineOptions options;
+    options.parallel_threads = threads;
+    CheckEngine(parallel, workflow, fact, expected,
+                "parallel/t" + std::to_string(threads), options);
+  }
+
+  // Out-of-core: the same facts streamed from a binary file through
+  // RunFile's external sort under a budget small enough to force spills.
+  auto scratch = TempDir::Make();
+  ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
+  const std::string path = scratch->NewFilePath("conformance-facts");
+  ASSERT_TRUE(WriteFactTableBinary(fact, path).ok());
+  ExecContext ctx;
+  ctx.options.memory_budget_bytes = 64 << 10;
+  SortScanEngine streaming;
+  CheckOutput(streaming.RunFile(workflow, path, ctx), workflow, expected,
+              "sort-scan-runfile/64KB");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomConformanceTest,
@@ -128,6 +179,30 @@ TEST(RandomWorkflowGenTest, ProducesValidVariedWorkflows) {
   EXPECT_GT(ops_seen[1], 0) << "rollup";
   EXPECT_GT(ops_seen[2], 0) << "match";
   EXPECT_GT(ops_seen[3], 0) << "combine";
+}
+
+TEST(FactGenTest, DistributionsAreDeterministicAndInRange) {
+  auto schema = MakeSyntheticSchema(3, 3, 8, 512);
+  for (int dist = 0; dist < 4; ++dist) {
+    FactGenOptions options;
+    options.rows = 500;
+    options.cardinality = 512;
+    options.seed = 99 + dist;
+    options.dist = static_cast<FactDist>(dist);
+    FactTable a = GenerateFacts(schema, options);
+    FactTable b = GenerateFacts(schema, options);
+    ASSERT_EQ(a.num_rows(), 500u);
+    ASSERT_EQ(b.num_rows(), 500u);
+    for (size_t row = 0; row < a.num_rows(); ++row) {
+      for (int i = 0; i < schema->num_dims(); ++i) {
+        EXPECT_EQ(a.dim_row(row)[i], b.dim_row(row)[i]);
+        EXPECT_LT(a.dim_row(row)[i], 512u);
+      }
+      for (int i = 0; i < schema->num_measures(); ++i) {
+        EXPECT_EQ(a.measure_row(row)[i], b.measure_row(row)[i]);
+      }
+    }
+  }
 }
 
 }  // namespace

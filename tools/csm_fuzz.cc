@@ -1,0 +1,193 @@
+// csm_fuzz — differential fuzzing driver: randomized campaigns that run
+// every engine (and the out-of-core RunFile path) against the reference
+// evaluator, shrink any divergence to a minimal case, and write a
+// self-contained reproducer that --repro replays.
+//
+// Usage:
+//   csm_fuzz --campaign [--seed S] [--runs N] [--rows R] [--measures M]
+//            [--max-seconds T] [--repro-dir DIR] [--keep-going]
+//            [--no-shrink] [--inject-fault ENGINE:MEASURE]
+//            [--metrics FILE.json] [--trace]
+//   csm_fuzz --repro PATH [--trace]
+//
+// Campaigns are seed-deterministic: the same --seed/--runs pair replays
+// the same schemas, datasets, workflows and engine configs. Exit codes:
+// campaign — 0 no divergence, 1 divergence(s) found (reproducers
+// written), 2 usage; repro — 0 the divergence reproduces, 1 it does not
+// (fixed), 2 usage. --inject-fault corrupts the named engine's output
+// post-run, for exercising the shrink/repro pipeline and CI smoke.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/trace.h"
+#include "testing/campaign.h"
+#include "testing/repro.h"
+
+namespace csm {
+namespace {
+
+using testing_util::CampaignFinding;
+using testing_util::CampaignOptions;
+using testing_util::CampaignStats;
+using testing_util::FaultSpec;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --campaign [--seed S] [--runs N] [--rows R]\n"
+      "          [--measures M] [--max-seconds T] [--repro-dir DIR]\n"
+      "          [--keep-going] [--no-shrink]\n"
+      "          [--inject-fault ENGINE:MEASURE]\n"
+      "          [--metrics FILE.json] [--trace]\n"
+      "       %s --repro PATH [--trace]\n",
+      argv0, argv0);
+  return 2;
+}
+
+int Report(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void WriteMetrics(const std::string& path, const std::string& mode,
+                  const std::string& summary, const Tracer& tracer) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"mode\":\"" << mode << "\",\n\"summary\":\"";
+  for (char c : summary) {
+    if (c == '"' || c == '\\') out.put('\\');
+    out.put(c);
+  }
+  out << "\",\n\"spans\":" << tracer.ToJson() << "}\n";
+  std::printf("wrote metrics to %s\n", path.c_str());
+}
+
+int RunCampaignMode(const CampaignOptions& options, bool trace,
+                    const std::string& metrics_path, Tracer& tracer) {
+  auto stats = testing_util::RunCampaign(options);
+  if (trace) std::fputs(tracer.ToTreeString().c_str(), stderr);
+  if (!stats.ok()) return Report(stats.status());
+  std::printf("campaign seed %llu: %s\n",
+              static_cast<unsigned long long>(options.seed),
+              stats->Summary().c_str());
+  for (const CampaignFinding& finding : stats->findings) {
+    std::printf("run %d: %s\n", finding.run,
+                finding.divergence.ToString().c_str());
+    if (!finding.shrink_summary.empty()) {
+      std::printf("  shrunk: %s\n", finding.shrink_summary.c_str());
+    }
+    std::printf("  repro: %s\n", finding.repro_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    WriteMetrics(metrics_path, "campaign", stats->Summary(), tracer);
+  }
+  return stats->findings.empty() ? 0 : 1;
+}
+
+int RunReproMode(const std::string& path, bool trace,
+                 const std::string& metrics_path, Tracer& tracer) {
+  auto repro = testing_util::LoadRepro(path);
+  if (!repro.ok()) return Report(repro.status());
+  std::printf("replaying %s: schema %s, %zu measure(s), %zu row(s)\n",
+              path.c_str(), repro->schema_spec.c_str(),
+              repro->workflow.measures().size(), repro->fact.num_rows());
+  auto divergence = testing_util::ReplayRepro(*repro, &tracer);
+  if (trace) std::fputs(tracer.ToTreeString().c_str(), stderr);
+  if (!divergence.ok()) return Report(divergence.status());
+  std::string summary;
+  int rc;
+  if (divergence->has_value()) {
+    summary = (*divergence)->ToString();
+    std::printf("divergence reproduces: %s\n", summary.c_str());
+    rc = 0;
+  } else {
+    summary = "no divergence (fixed?)";
+    std::printf("%s\n", summary.c_str());
+    rc = 1;
+  }
+  if (!metrics_path.empty()) {
+    WriteMetrics(metrics_path, "repro", summary, tracer);
+  }
+  return rc;
+}
+
+int RealMain(int argc, char** argv) {
+  bool campaign = false, trace = false;
+  std::string repro_path, metrics_path, fault_text;
+  CampaignOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--campaign")) {
+      campaign = true;
+    } else if (!std::strcmp(argv[i], "--repro")) {
+      if (const char* v = next()) repro_path = v;
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      if (const char* v = next()) {
+        options.seed = std::strtoull(v, nullptr, 10);
+      }
+    } else if (!std::strcmp(argv[i], "--runs")) {
+      if (const char* v = next()) options.runs = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--rows")) {
+      if (const char* v = next()) {
+        options.max_rows = std::strtoull(v, nullptr, 10);
+      }
+    } else if (!std::strcmp(argv[i], "--measures")) {
+      if (const char* v = next()) {
+        options.measures_per_workflow = std::atoi(v);
+      }
+    } else if (!std::strcmp(argv[i], "--max-seconds")) {
+      if (const char* v = next()) {
+        options.max_seconds = std::strtod(v, nullptr);
+      }
+    } else if (!std::strcmp(argv[i], "--repro-dir")) {
+      if (const char* v = next()) options.repro_dir = v;
+    } else if (!std::strcmp(argv[i], "--keep-going")) {
+      options.keep_going = true;
+    } else if (!std::strcmp(argv[i], "--no-shrink")) {
+      options.shrink = false;
+    } else if (!std::strcmp(argv[i], "--inject-fault")) {
+      if (const char* v = next()) fault_text = v;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      if (const char* v = next()) metrics_path = v;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+  if (campaign == !repro_path.empty()) return Usage(argv[0]);
+  if (options.runs < 1 || options.max_rows < 1 ||
+      options.measures_per_workflow < 1) {
+    return Usage(argv[0]);
+  }
+
+  if (!fault_text.empty()) {
+    auto fault = FaultSpec::Parse(fault_text);
+    if (!fault.ok()) {
+      std::fprintf(stderr, "%s\n", fault.status().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    options.fault = *fault;
+  }
+
+  Tracer tracer;
+  options.tracer = &tracer;
+  return campaign
+             ? RunCampaignMode(options, trace, metrics_path, tracer)
+             : RunReproMode(repro_path, trace, metrics_path, tracer);
+}
+
+}  // namespace
+}  // namespace csm
+
+int main(int argc, char** argv) { return csm::RealMain(argc, argv); }

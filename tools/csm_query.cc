@@ -56,33 +56,6 @@ int Usage(const char* argv0) {
   return 2;
 }
 
-Result<SchemaPtr> ParseSchemaSpec(const std::string& spec) {
-  if (spec == "net") return MakeNetworkLogSchema();
-  if (StartsWith(spec, "synthetic")) {
-    int dims = 4, levels = 3;
-    uint64_t fanout = 10, card = 1000;
-    size_t colon = spec.find(':');
-    if (colon != std::string::npos) {
-      auto parts = Split(spec.substr(colon + 1), ',');
-      if (parts.size() != 4) {
-        return Status::InvalidArgument(
-            "synthetic schema spec needs 4 parameters: d,l,f,c");
-      }
-      int64_t d, l;
-      if (!ParseInt64(parts[0], &d) || !ParseInt64(parts[1], &l) ||
-          !ParseUint64(parts[2], &fanout) ||
-          !ParseUint64(parts[3], &card)) {
-        return Status::InvalidArgument("bad synthetic schema parameters");
-      }
-      dims = static_cast<int>(d);
-      levels = static_cast<int>(l);
-    }
-    return MakeSyntheticSchema(dims, levels, fanout,
-                               static_cast<double>(card));
-  }
-  return Status::InvalidArgument("unknown schema '" + spec + "'");
-}
-
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
