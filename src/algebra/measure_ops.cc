@@ -94,7 +94,9 @@ Result<MeasureTable> HashMatchJoin(const MeasureTable& source,
       GeneralizeKeyInto(schema, target.key_row(row), target.granularity(),
                         source.granularity(), &key);
       AggState& state = Touch(states, key, kind);
-      AggUpdate(kind, &state, target.value(row));
+      // count(*) counts matched partner regions even when their value is
+      // NULL; count(M) and friends skip NULLs inside AggUpdate.
+      AggUpdate(kind, &state, agg.arg >= 0 ? target.value(row) : 1.0);
     }
     for (size_t row = 0; row < source.num_rows(); ++row) {
       RegionKey skey(source.key_row(row), source.key_row(row) + d);
@@ -126,7 +128,9 @@ Result<MeasureTable> HashMatchJoin(const MeasureTable& source,
     auto fold = [&](const RegionKey& k) {
       auto it = by_key.find(k);
       if (it == by_key.end()) return;
-      for (double v : it->second) AggUpdate(kind, &state, v);
+      for (double v : it->second) {
+        AggUpdate(kind, &state, agg.arg >= 0 ? v : 1.0);
+      }
     };
     switch (cond.type) {
       case MatchType::kSelf:

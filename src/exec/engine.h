@@ -70,8 +70,17 @@ struct EngineOptions {
   /// Sort/scan engine: how many fact records are scanned between
   /// watermark-propagation rounds. Correctness never depends on it —
   /// finalization is merely deferred — so it trades per-record
-  /// bookkeeping against peak footprint. See bench/ablation_batch.
+  /// bookkeeping against peak footprint. Rounds fire at scan-batch
+  /// boundaries, so the effective interval is rounded up to a multiple
+  /// of scan_batch_rows. See bench/ablation_batch.
   size_t propagation_batch_records = 256;
+
+  /// Rows per RecordBatch in the batched scan pipeline (all engines).
+  /// Hierarchy mapping runs as one column sweep per dimension per batch,
+  /// so larger batches amortize per-record dispatch; 1 degenerates to
+  /// record-at-a-time execution (the differential fuzzer exercises 1 and
+  /// other batch-boundary-hostile values against the default).
+  size_t scan_batch_rows = 1024;
 
   /// ParallelSortScanEngine: worker threads (0 = hardware concurrency).
   int parallel_threads = 0;

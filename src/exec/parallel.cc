@@ -104,19 +104,36 @@ Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
   // ---- Partition: every region's rows land in exactly one shard because
   // the hash key is the dimension value at the coarsest level any measure
   // groups it by (finer regions nest inside).
+  // The partition-key mapping is hoisted into a per-chunk column sweep:
+  // gather the partition dimension, generalize the whole column at once,
+  // then append rows to their shards. Chunks follow scan_batch_rows.
   ScopedSpan partition_span(&tracer, "partition", rs.root());
   std::vector<FactTable> parts;
   parts.reserve(shards);
   for (int i = 0; i < shards; ++i) parts.emplace_back(workflow.schema());
-  for (size_t row = 0; row < fact.num_rows(); ++row) {
-    if ((row & 4095) == 0 && ctx.cancelled()) {
+  const size_t chunk_rows =
+      std::max<size_t>(1, ctx.options.scan_batch_rows);
+  std::vector<Value> block_col(chunk_rows);
+  uint64_t chunks = 0;
+  for (size_t begin = 0; begin < fact.num_rows(); begin += chunk_rows) {
+    if (ctx.cancelled()) {
       return ctx.CheckCancelled("parallel partition");
     }
-    const Value* dims = fact.dim_row(row);
-    const Value block = ph.Generalize(dims[pdim], 0, plevel);
-    parts[Mix64(block) % shards].AppendRow(dims,
-                                           fact.measure_row(row));
+    const size_t n = std::min(chunk_rows, fact.num_rows() - begin);
+    ++chunks;
+    for (size_t r = 0; r < n; ++r) {
+      block_col[r] = fact.dim_row(begin + r)[pdim];
+    }
+    ph.GeneralizeColumn(block_col.data(), n, 0, plevel, block_col.data());
+    for (size_t r = 0; r < n; ++r) {
+      parts[Mix64(block_col[r]) % shards].AppendRow(
+          fact.dim_row(begin + r), fact.measure_row(begin + r));
+    }
   }
+  tracer.AddCounter(partition_span.id(), "batches",
+                    static_cast<double>(chunks));
+  tracer.SetAttr(partition_span.id(), "batch_rows",
+                 std::to_string(chunk_rows));
   partition_span.End();
 
   // ---- Independent sort/scan per shard. Each worker opens its own shard

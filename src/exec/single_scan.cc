@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "exec/exec_context.h"
+#include "storage/record_batch.h"
 
 namespace csm {
 
@@ -87,37 +88,81 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
     }
   }
 
-  // ---- The single scan (no sort).
+  // ---- The single scan (no sort), batch-at-a-time: the fact table is
+  // streamed as columnar RecordBatches and hierarchy mapping runs as one
+  // column sweep per dimension per distinct job granularity per batch,
+  // not per row per job.
+  const size_t cap = std::max<size_t>(1, ctx.options.scan_batch_rows);
+  struct GranPass {
+    Granularity gran;
+    std::vector<std::vector<Value>> cols;
+    std::vector<Value*> col_ptrs;
+  };
+  std::vector<GranPass> passes;
+  std::vector<size_t> job_pass(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    size_t p = 0;
+    while (p < passes.size() && passes[p].gran != jobs[j].gran) ++p;
+    if (p == passes.size()) {
+      GranPass pass;
+      pass.gran = jobs[j].gran;
+      pass.cols.assign(d, std::vector<Value>(cap));
+      for (auto& col : pass.cols) pass.col_ptrs.push_back(col.data());
+      passes.push_back(std::move(pass));
+    }
+    job_pass[j] = p;
+  }
+
   std::vector<double> slots(d + m);
   RegionKey key(d);
   const Granularity base = Granularity::Base(schema);
-  for (size_t row = 0; row < fact.num_rows(); ++row) {
-    if ((row & 1023) == 0 && ctx.cancelled()) {
-      return ctx.CheckCancelled("single-scan scan");
+  std::unique_ptr<BatchCursor> cursor = MakeFactTableBatchCursor(fact);
+  RecordBatch batch(d, m, cap);
+  std::vector<const Value*> in_ptrs(d);
+  uint64_t batches = 0, adapter_batches = 0;
+  for (;;) {
+    CSM_ASSIGN_OR_RETURN(size_t n, cursor->NextBatch(&batch));
+    if (n == 0) break;
+    ++batches;
+    if (cursor->per_record_fallback()) ++adapter_batches;
+    if (ctx.cancelled()) return ctx.CheckCancelled("single-scan scan");
+
+    for (int i = 0; i < d; ++i) in_ptrs[i] = batch.dim_col(i);
+    for (GranPass& pass : passes) {
+      GeneralizeColumns(schema, base, pass.gran, in_ptrs.data(), n,
+                        pass.col_ptrs.data());
     }
-    const Value* dims = fact.dim_row(row);
-    const double* measures = fact.measure_row(row);
-    bool slots_filled = false;
-    for (BaseJob& job : jobs) {
-      if (job.has_where) {
-        if (!slots_filled) {
+
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      BaseJob& job = jobs[j];
+      const GranPass& pass = passes[job_pass[j]];
+      const double* arg_col =
+          job.agg.arg >= 0 ? batch.measure_col(job.agg.arg) : nullptr;
+      for (size_t r = 0; r < n; ++r) {
+        if (job.has_where) {
           for (int i = 0; i < d; ++i) {
-            slots[i] = static_cast<double>(dims[i]);
+            slots[i] = static_cast<double>(batch.dim_col(i)[r]);
           }
-          for (int i = 0; i < m; ++i) slots[d + i] = measures[i];
-          slots_filled = true;
+          for (int i = 0; i < m; ++i) {
+            slots[d + i] = batch.measure_col(i)[r];
+          }
+          if (!job.where.EvalBool(slots.data())) continue;
         }
-        if (!job.where.EvalBool(slots.data())) continue;
+        for (int i = 0; i < d; ++i) key[i] = pass.cols[i][r];
+        auto [it, inserted] = job.states.try_emplace(key);
+        if (inserted) AggInit(job.agg.kind, &it->second);
+        AggUpdate(job.agg.kind, &it->second,
+                  arg_col != nullptr ? arg_col[r] : 1.0);
       }
-      GeneralizeKeyInto(schema, dims, base, job.gran, &key);
-      auto [it, inserted] = job.states.try_emplace(key);
-      if (inserted) AggInit(job.agg.kind, &it->second);
-      AggUpdate(job.agg.kind, &it->second,
-                job.agg.arg >= 0 ? measures[job.agg.arg] : 1.0);
     }
   }
   tracer.AddCounter(scan_span.id(), "rows_scanned",
                     static_cast<double>(fact.num_rows()));
+  tracer.AddCounter(scan_span.id(), "batches",
+                    static_cast<double>(batches));
+  tracer.AddCounter(scan_span.id(), "adapter_batches",
+                    static_cast<double>(adapter_batches));
+  tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(cap));
 
   // Peak memory: all hash tables coexist at end of scan.
   {

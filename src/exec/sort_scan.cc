@@ -215,7 +215,7 @@ class SortScanRun {
     RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
     sort_span.End();
 
-    std::unique_ptr<RecordCursor> cursor = MakeFactTableCursor(sorted);
+    std::unique_ptr<BatchCursor> cursor = MakeFactTableBatchCursor(sorted);
     CSM_RETURN_NOT_OK(Scan(*cursor, rs));
     CSM_RETURN_NOT_OK(Collect(&out, rs));
     rs.tracer().SetAttr(rs.root(), "sort_key",
@@ -236,10 +236,10 @@ class SortScanRun {
     CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
     SortStats sort_stats;
     CSM_ASSIGN_OR_RETURN(
-        std::unique_ptr<RecordCursor> cursor,
-        SortFactFileCursor(schema_ptr_, fact_path, sort_key_,
-                           options_.memory_budget_bytes, &temp,
-                           &sort_stats, ctx_.cancel));
+        std::unique_ptr<BatchCursor> cursor,
+        SortFactFileBatchCursor(schema_ptr_, fact_path, sort_key_,
+                                options_.memory_budget_bytes, &temp,
+                                &sort_stats, ctx_.cancel));
     RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
     sort_span.End();
 
@@ -269,71 +269,105 @@ class SortScanRun {
     return BuildGraph();
   }
 
-  /// The coordinated scan over an already-sorted record stream. Keeps a
-  /// one-record lookahead so the propagation rounds can use the *next*
-  /// record as the scan frontier.
-  Status Scan(RecordCursor& cursor, RunScope& rs) {
+  /// The coordinated scan over an already-sorted batch stream. Keeps a
+  /// one-batch lookahead so the propagation rounds can use the first
+  /// record of the *next* batch as the scan frontier; rounds fire at
+  /// batch boundaries once propagation_batch_records rows have been
+  /// scanned since the previous round.
+  Status Scan(BatchCursor& cursor, RunScope& rs) {
     ScopedSpan scan_span(&rs.tracer(), "scan", rs.root());
     Timer scan_timer;
     node_peak_entries_.assign(nodes_.size(), 0);
     const int m = schema_.num_measures();
-    std::vector<double> slots(d_ + m);
-    RegionKey gen_key(d_);
-    std::vector<Value> map_key;
-    const Granularity base_gran = Granularity::Base(schema_);
-    const size_t batch =
+    const size_t cap = std::max<size_t>(1, options_.scan_batch_rows);
+    const size_t prop_batch =
         std::max<size_t>(1, options_.propagation_batch_records);
+    const Granularity base_gran = Granularity::Base(schema_);
 
-    std::vector<Value> cur_dims(d_), next_dims(d_);
-    std::vector<double> cur_measures(m), next_measures(m);
-    CSM_ASSIGN_OR_RETURN(bool has, cursor.Next());
-    if (has) {
-      std::copy(cursor.dims(), cursor.dims() + d_, cur_dims.begin());
-      std::copy(cursor.measures(), cursor.measures() + m,
-                cur_measures.begin());
+    // Scan nodes sharing a granularity share one generalized key-column
+    // pass per batch: one hierarchy sweep per dimension per distinct
+    // granularity instead of one γ call per node per record.
+    struct GranPass {
+      Granularity gran;
+      std::vector<std::vector<Value>> cols;
+      std::vector<Value*> col_ptrs;
+    };
+    std::vector<GranPass> passes;
+    std::vector<size_t> node_pass(scan_nodes_.size());
+    for (size_t s = 0; s < scan_nodes_.size(); ++s) {
+      const Granularity& g = nodes_[scan_nodes_[s]]->gran;
+      size_t j = 0;
+      while (j < passes.size() && passes[j].gran != g) ++j;
+      if (j == passes.size()) {
+        GranPass pass;
+        pass.gran = g;
+        pass.cols.assign(d_, std::vector<Value>(cap));
+        for (auto& col : pass.cols) pass.col_ptrs.push_back(col.data());
+        passes.push_back(std::move(pass));
+      }
+      node_pass[s] = j;
     }
-    uint64_t row = 0;
-    while (has) {
-      CSM_ASSIGN_OR_RETURN(bool has_next, cursor.Next());
-      if (has_next) {
-        std::copy(cursor.dims(), cursor.dims() + d_, next_dims.begin());
-        std::copy(cursor.measures(), cursor.measures() + m,
-                  next_measures.begin());
+
+    RecordBatch cur(d_, m, cap), next(d_, m, cap);
+    std::vector<const Value*> in_ptrs(d_);
+    std::vector<double> slots(d_ + m);
+    RegionKey gen_key(d_), prev_key(d_), frontier(d_);
+    std::vector<Value> map_key;
+    uint64_t rows = 0, batches = 0, adapter_batches = 0;
+    size_t rows_since_prop = 0;
+
+    CSM_ASSIGN_OR_RETURN(size_t cur_rows, cursor.NextBatch(&cur));
+    while (cur_rows > 0) {
+      CSM_ASSIGN_OR_RETURN(size_t next_rows, cursor.NextBatch(&next));
+      ++batches;
+      if (cursor.per_record_fallback()) ++adapter_batches;
+      if (ctx_.cancelled()) return ctx_.CheckCancelled("sort-scan scan");
+
+      for (int i = 0; i < d_; ++i) in_ptrs[i] = cur.dim_col(i);
+      for (GranPass& pass : passes) {
+        GeneralizeColumns(schema_, base_gran, pass.gran, in_ptrs.data(),
+                          cur_rows, pass.col_ptrs.data());
       }
 
-      // Feed the record to every scan-side node.
-      const Value* dims = cur_dims.data();
-      const double* measures = cur_measures.data();
-      bool slots_filled = false;
-      for (int node_idx : scan_nodes_) {
-        NodeRt& node = *nodes_[node_idx];
-        if (node.has_where) {
-          if (!slots_filled) {
+      // Feed the batch to every scan-side node. The stream is sorted, so
+      // generalized keys arrive in runs; reusing the entry while the key
+      // repeats skips most of the map probes.
+      for (size_t s = 0; s < scan_nodes_.size(); ++s) {
+        NodeRt& node = *nodes_[scan_nodes_[s]];
+        const GranPass& pass = passes[node_pass[s]];
+        const double* arg_col =
+            node.agg.arg >= 0 ? cur.measure_col(node.agg.arg) : nullptr;
+        NodeEntry* entry = nullptr;
+        for (size_t r = 0; r < cur_rows; ++r) {
+          if (node.has_where) {
             for (int i = 0; i < d_; ++i) {
-              slots[i] = static_cast<double>(dims[i]);
+              slots[i] = static_cast<double>(cur.dim_col(i)[r]);
             }
-            for (int i = 0; i < m; ++i) slots[d_ + i] = measures[i];
-            slots_filled = true;
+            for (int i = 0; i < m; ++i) {
+              slots[d_ + i] = cur.measure_col(i)[r];
+            }
+            if (!node.where.EvalBool(slots.data())) continue;
           }
-          if (!node.where.EvalBool(slots.data())) continue;
+          for (int i = 0; i < d_; ++i) gen_key[i] = pass.cols[i][r];
+          if (entry == nullptr || gen_key != prev_key) {
+            entry = &Touch(node, gen_key, &map_key);
+            prev_key = gen_key;
+          }
+          AggUpdate(node.agg.kind, &entry->state,
+                    arg_col != nullptr ? arg_col[r] : 1.0);
         }
-        GeneralizeKeyInto(schema_, dims, base_gran, node.gran, &gen_key);
-        NodeEntry& entry = Touch(node, gen_key, &map_key);
-        AggUpdate(node.agg.kind, &entry.state,
-                  node.agg.arg >= 0 ? measures[node.agg.arg] : 1.0);
       }
 
-      ++row;
-      if ((row & 1023) == 0 && ctx_.cancelled()) {
-        return ctx_.CheckCancelled("sort-scan scan");
-      }
-      if (row % batch == 0 && has_next) {
+      rows += cur_rows;
+      rows_since_prop += cur_rows;
+      if (rows_since_prop >= prop_batch && next_rows > 0) {
+        rows_since_prop = 0;
         SampleMemory();
-        CSM_RETURN_NOT_OK(Propagate(next_dims.data()));
+        for (int i = 0; i < d_; ++i) frontier[i] = next.dim_col(i)[0];
+        CSM_RETURN_NOT_OK(Propagate(frontier.data()));
       }
-      std::swap(cur_dims, next_dims);
-      std::swap(cur_measures, next_measures);
-      has = has_next;
+      std::swap(cur, next);
+      cur_rows = next_rows;
     }
     SampleMemory();
     CSM_RETURN_NOT_OK(Propagate(nullptr));  // close all streams
@@ -342,7 +376,12 @@ class SortScanRun {
     // runs per propagation batch, so it must not touch the tracer mutex.
     Tracer& tracer = rs.tracer();
     tracer.AddCounter(scan_span.id(), "rows_scanned",
-                      static_cast<double>(row));
+                      static_cast<double>(rows));
+    tracer.AddCounter(scan_span.id(), "batches",
+                      static_cast<double>(batches));
+    tracer.AddCounter(scan_span.id(), "adapter_batches",
+                      static_cast<double>(adapter_batches));
+    tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(cap));
     tracer.AddCounter(scan_span.id(), "materialized_rows",
                       static_cast<double>(rows_flushed_));
     tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",
@@ -358,7 +397,7 @@ class SortScanRun {
     if (seconds > 0) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.0f",
-                    static_cast<double>(row) / seconds);
+                    static_cast<double>(rows) / seconds);
       tracer.SetAttr(scan_span.id(), "rows_per_sec", buf);
     }
     return Status::OK();
@@ -739,7 +778,9 @@ class SortScanRun {
       map_key.insert(map_key.end(), pkey.begin(), pkey.end());
       auto it = edge.parent_values.find(map_key);
       if (it != edge.parent_values.end()) {
-        AggUpdate(node.agg.kind, &state, it->second);
+        // count(*) counts the matched parent even when its value is NULL.
+        AggUpdate(node.agg.kind, &state,
+                  node.agg.arg >= 0 ? it->second : 1.0);
       }
     }
     return AggFinalize(node.agg.kind, state);
@@ -756,7 +797,8 @@ class SortScanRun {
       }
       case ArcKind::kSelf: {
         NodeEntry& entry = Touch(consumer, emission.key, &map_key);
-        AggUpdate(consumer.agg.kind, &entry.state, emission.value);
+        AggUpdate(consumer.agg.kind, &entry.state,
+                  consumer.agg.arg >= 0 ? emission.value : 1.0);
         break;
       }
       case ArcKind::kRollup: {
@@ -798,7 +840,8 @@ class SortScanRun {
           }
           if (valid) {
             NodeEntry& entry = Touch(consumer, skey, &map_key);
-            AggUpdate(consumer.agg.kind, &entry.state, emission.value);
+            AggUpdate(consumer.agg.kind, &entry.state,
+                      consumer.agg.arg >= 0 ? emission.value : 1.0);
           }
           size_t i = 0;
           for (; i < windows.size(); ++i) {

@@ -101,4 +101,15 @@ void GeneralizeKeyInto(const Schema& schema, const Value* key,
   }
 }
 
+void GeneralizeColumns(const Schema& schema, const Granularity& from,
+                       const Granularity& to, const Value* const* in_cols,
+                       size_t n, Value* const* out_cols) {
+  const int d = schema.num_dims();
+  for (int i = 0; i < d; ++i) {
+    CSM_DCHECK(from.level(i) <= to.level(i));
+    schema.dim(i).hierarchy->GeneralizeColumn(in_cols[i], n, from.level(i),
+                                              to.level(i), out_cols[i]);
+  }
+}
+
 }  // namespace csm

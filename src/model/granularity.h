@@ -76,6 +76,15 @@ void GeneralizeKeyInto(const Schema& schema, const Value* key,
                        const Granularity& from, const Granularity& to,
                        RegionKey* out);
 
+/// Columnar variant for the batched scan pipeline: rolls `n` region keys,
+/// laid out as one column per dimension (`in_cols[i]` / `out_cols[i]`
+/// hold n values of dimension i), from `from` up to `to` with one
+/// hierarchy sweep per dimension instead of one virtual γ call per key
+/// component. in_cols[i] may equal out_cols[i] (in-place per column).
+void GeneralizeColumns(const Schema& schema, const Granularity& from,
+                       const Granularity& to, const Value* const* in_cols,
+                       size_t n, Value* const* out_cols);
+
 }  // namespace csm
 
 #endif  // CSM_MODEL_GRANULARITY_H_

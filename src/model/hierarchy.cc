@@ -8,6 +8,14 @@
 
 namespace csm {
 
+void Hierarchy::GeneralizeColumn(const Value* in, size_t n,
+                                 int from_level, int to_level,
+                                 Value* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Generalize(in[i], from_level, to_level);
+  }
+}
+
 Result<int> Hierarchy::LevelByName(std::string_view name) const {
   std::string lower = ToLower(name);
   for (int i = 0; i < num_levels(); ++i) {
@@ -67,6 +75,23 @@ Value SteppedHierarchy::Generalize(Value value, int from_level,
   if (to_level == all_level()) return kAllValue;
   if (from_level == to_level) return value;
   return value / Divisor(from_level, to_level);
+}
+
+void SteppedHierarchy::GeneralizeColumn(const Value* in, size_t n,
+                                        int from_level, int to_level,
+                                        Value* out) const {
+  CSM_DCHECK(0 <= from_level && from_level <= to_level &&
+             to_level < num_levels());
+  if (to_level == all_level()) {
+    std::fill_n(out, n, kAllValue);
+    return;
+  }
+  if (from_level == to_level) {
+    if (out != in) std::copy_n(in, n, out);
+    return;
+  }
+  const uint64_t div = Divisor(from_level, to_level);
+  for (size_t i = 0; i < n; ++i) out[i] = in[i] / div;
 }
 
 double SteppedHierarchy::FanOut(int from_level, int to_level) const {

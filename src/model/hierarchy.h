@@ -47,6 +47,15 @@ class Hierarchy {
   virtual Value Generalize(Value value, int from_level,
                            int to_level) const = 0;
 
+  /// Columnar γ: maps `n` values in one sweep, `out[i] =
+  /// Generalize(in[i], from_level, to_level)`. `in` and `out` may alias
+  /// exactly (in == out) but must not otherwise overlap. The default
+  /// loops over Generalize; SteppedHierarchy overrides it to hoist the
+  /// level arithmetic out of the loop — the batched scan pipeline calls
+  /// this once per dimension per batch instead of γ once per record.
+  virtual void GeneralizeColumn(const Value* in, size_t n, int from_level,
+                                int to_level, Value* out) const;
+
   /// card(D_from, D_to) from Table 6: the (typical) number of values of the
   /// finer domain `from_level` that map to one value of `to_level`. Used
   /// only for memory-footprint estimation, never for correctness.
@@ -94,6 +103,8 @@ class SteppedHierarchy : public Hierarchy {
     return level_names_[level];
   }
   Value Generalize(Value value, int from_level, int to_level) const override;
+  void GeneralizeColumn(const Value* in, size_t n, int from_level,
+                        int to_level, Value* out) const override;
   double FanOut(int from_level, int to_level) const override;
   double EstimatedCardinality(int level) const override;
   uint64_t ExactDivisor(int from_level, int to_level) const override {

@@ -11,6 +11,7 @@
 #include "exec/exec_context.h"
 #include "obs/trace.h"
 #include "storage/external_sorter.h"
+#include "storage/record_batch.h"
 #include "storage/table_io.h"
 #include "storage/temp_file.h"
 
@@ -39,6 +40,7 @@ struct RunContext {
   TempDir* temp = nullptr;
   std::string fact_path;  // the fact table's on-disk home
   size_t memory_budget = 0;
+  size_t batch_rows = 1024;
   Tracer* tracer = nullptr;
   SpanId span = kNoSpan;  // current "measure:<name>" span
   const std::atomic<bool>* cancel = nullptr;
@@ -127,25 +129,47 @@ Result<MeasureTable> SortGroupByFact(RunContext& ctx,
                          static_cast<double>(sort_stats.runs));
   sort_span.End();
 
-  // Streaming aggregation over the sorted run.
+  // Streaming aggregation over the sorted run, batch-at-a-time: the
+  // grouping key is generalized with one column sweep per dimension per
+  // batch, then group boundaries are detected on the key columns.
   ScopedSpan agg_span(ctx.tracer, "scan", ctx.span);
   MeasureTable out(ctx.schema_ptr, gran, name);
   const Granularity base = Granularity::Base(schema);
+  const size_t cap = std::max<size_t>(1, ctx.batch_rows);
+  std::unique_ptr<BatchCursor> cursor = MakeFactTableBatchCursor(fact);
+  RecordBatch batch(d, m, cap);
+  std::vector<std::vector<Value>> key_cols(d, std::vector<Value>(cap));
+  std::vector<const Value*> in_ptrs(d);
+  std::vector<Value*> out_ptrs(d);
+  for (int i = 0; i < d; ++i) out_ptrs[i] = key_cols[i].data();
   RegionKey current(d), key(d);
   AggState state;
   bool open = false;
-  for (size_t row = 0; row < fact.num_rows(); ++row) {
-    GeneralizeKeyInto(schema, fact.dim_row(row), base, gran, &key);
-    if (!open || key != current) {
-      if (open) out.Append(current, AggFinalize(agg.kind, state));
-      current = key;
-      AggInit(agg.kind, &state);
-      open = true;
+  uint64_t batches = 0;
+  for (;;) {
+    CSM_ASSIGN_OR_RETURN(size_t n, cursor->NextBatch(&batch));
+    if (n == 0) break;
+    ++batches;
+    for (int i = 0; i < d; ++i) in_ptrs[i] = batch.dim_col(i);
+    GeneralizeColumns(schema, base, gran, in_ptrs.data(), n,
+                      out_ptrs.data());
+    const double* arg_col =
+        agg.arg >= 0 ? batch.measure_col(agg.arg) : nullptr;
+    for (size_t r = 0; r < n; ++r) {
+      for (int i = 0; i < d; ++i) key[i] = key_cols[i][r];
+      if (!open || key != current) {
+        if (open) out.Append(current, AggFinalize(agg.kind, state));
+        current = key;
+        AggInit(agg.kind, &state);
+        open = true;
+      }
+      AggUpdate(agg.kind, &state, arg_col != nullptr ? arg_col[r] : 1.0);
     }
-    AggUpdate(agg.kind, &state,
-              agg.arg >= 0 ? fact.measure_row(row)[agg.arg] : 1.0);
   }
   if (open) out.Append(current, AggFinalize(agg.kind, state));
+  ctx.tracer->AddCounter(agg_span.id(), "batches",
+                         static_cast<double>(batches));
+  ctx.tracer->SetAttr(agg_span.id(), "batch_rows", std::to_string(cap));
   return out;
 }
 
@@ -163,22 +187,35 @@ Result<MeasureTable> SortGroupByMeasure(RunContext& ctx,
   }
   ctx.ChargePeakRows(input.num_rows());
 
+  // Chunked roll-up: gather the sorted keys into per-dimension columns,
+  // generalize each column in one hierarchy sweep, then stream group
+  // boundaries off the generalized columns.
   ScopedSpan agg_span(ctx.tracer, "combine", ctx.span);
   MeasureTable out(ctx.schema_ptr, gran, name);
+  const size_t cap = std::max<size_t>(1, ctx.batch_rows);
+  std::vector<std::vector<Value>> key_cols(d, std::vector<Value>(cap));
   RegionKey current(d), key(d);
   AggState state;
   bool open = false;
-  for (size_t row = 0; row < input.num_rows(); ++row) {
-    GeneralizeKeyInto(schema, input.key_row(row), input.granularity(),
-                      gran, &key);
-    if (!open || key != current) {
-      if (open) out.Append(current, AggFinalize(agg.kind, state));
-      current = key;
-      AggInit(agg.kind, &state);
-      open = true;
+  for (size_t begin = 0; begin < input.num_rows(); begin += cap) {
+    const size_t n = std::min(cap, input.num_rows() - begin);
+    for (int i = 0; i < d; ++i) {
+      Value* col = key_cols[i].data();
+      for (size_t r = 0; r < n; ++r) col[r] = input.key_row(begin + r)[i];
+      schema.dim(i).hierarchy->GeneralizeColumn(
+          col, n, input.granularity().level(i), gran.level(i), col);
     }
-    AggUpdate(agg.kind, &state,
-              agg.arg >= 0 ? input.value(row) : 1.0);
+    for (size_t r = 0; r < n; ++r) {
+      for (int i = 0; i < d; ++i) key[i] = key_cols[i][r];
+      if (!open || key != current) {
+        if (open) out.Append(current, AggFinalize(agg.kind, state));
+        current = key;
+        AggInit(agg.kind, &state);
+        open = true;
+      }
+      AggUpdate(agg.kind, &state,
+                agg.arg >= 0 ? input.value(begin + r) : 1.0);
+    }
   }
   if (open) out.Append(current, AggFinalize(agg.kind, state));
   return out;
@@ -264,7 +301,9 @@ Result<MeasureTable> MergeMatchJoin(RunContext& ctx, MeasureTable source,
           size_t probe = t_row;
           while (probe < target.num_rows() &&
                  CompareKeys(target.key_row(probe), skey, d) == 0) {
-            AggUpdate(kind, &state, target.value(probe));
+            // count(*) counts NULL-valued partners; count(M) skips them.
+            AggUpdate(kind, &state,
+                      agg.arg >= 0 ? target.value(probe) : 1.0);
             ++probe;
           }
           out.Append(skey, AggFinalize(kind, state));
@@ -284,7 +323,10 @@ Result<MeasureTable> MergeMatchJoin(RunContext& ctx, MeasureTable source,
         AggState state;
         AggInit(kind, &state);
         int64_t row = FindRow(target, probe);
-        if (row >= 0) AggUpdate(kind, &state, target.value(row));
+        if (row >= 0) {
+          AggUpdate(kind, &state,
+                    agg.arg >= 0 ? target.value(row) : 1.0);
+        }
         out.Append(skey, AggFinalize(kind, state));
       }
       break;
@@ -299,7 +341,9 @@ Result<MeasureTable> MergeMatchJoin(RunContext& ctx, MeasureTable source,
                             [&](const RegionKey& k) {
                               int64_t row = FindRow(target, k);
                               if (row >= 0) {
-                                AggUpdate(kind, &state, target.value(row));
+                                AggUpdate(kind, &state,
+                                          agg.arg >= 0 ? target.value(row)
+                                                       : 1.0);
                               }
                             });
         out.Append(skey, AggFinalize(kind, state));
@@ -376,6 +420,7 @@ Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
   ctx.schema = ctx.schema_ptr.get();
   ctx.temp = &temp;
   ctx.memory_budget = exec_ctx.options.memory_budget_bytes;
+  ctx.batch_rows = exec_ctx.options.scan_batch_rows;
   ctx.tracer = &tracer;
   ctx.span = rs.root();
   ctx.cancel = exec_ctx.cancel;

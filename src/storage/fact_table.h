@@ -26,12 +26,16 @@ class FactTable {
   FactTable& operator=(const FactTable&) = delete;
 
   /// Deep copy (explicit; the copy constructor is deleted so accidental
-  /// copies of multi-gigabyte tables cannot happen silently).
+  /// copies of multi-gigabyte tables cannot happen silently). Reserves
+  /// the exact row count up front before copying, so the clone's
+  /// capacity — and therefore MemoryBytes() — is the tight fit for its
+  /// rows, never the source's (possibly padded) growth capacity.
   FactTable Clone() const {
     FactTable copy(schema_);
+    copy.Reserve(num_rows_);
     copy.num_rows_ = num_rows_;
-    copy.dims_ = dims_;
-    copy.measures_ = measures_;
+    copy.dims_.assign(dims_.begin(), dims_.end());
+    copy.measures_.assign(measures_.begin(), measures_.end());
     return copy;
   }
 
@@ -72,7 +76,10 @@ class FactTable {
     return num_dims_ * sizeof(Value) + num_measures_ * sizeof(double);
   }
 
-  /// Approximate resident size.
+  /// Approximate resident size: allocated (capacity) bytes of the dim
+  /// and measure arrays, not just the bytes in use — a table grown
+  /// through AppendRow can hold up to 2x RowBytes() * num_rows(), while
+  /// a Clone() holds exactly RowBytes() * num_rows() (see Clone()).
   size_t MemoryBytes() const {
     return dims_.capacity() * sizeof(Value) +
            measures_.capacity() * sizeof(double);

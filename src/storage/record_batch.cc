@@ -1,0 +1,126 @@
+#include "storage/record_batch.h"
+
+#include <algorithm>
+
+#include "storage/record_cursor.h"
+
+namespace csm {
+
+namespace {
+
+/// Transposes row-major table ranges into columns, one batch per call.
+/// Writes are contiguous per column (reads stride over the row layout),
+/// which keeps the transpose a small fraction of batch fill cost.
+class FactTableBatchCursor : public BatchCursor {
+ public:
+  explicit FactTableBatchCursor(const FactTable& table) : table_(table) {}
+
+  Result<size_t> NextBatch(RecordBatch* batch) override {
+    const size_t n =
+        std::min(batch->capacity(), table_.num_rows() - row_);
+    const int d = table_.num_dims();
+    const int m = table_.num_measures();
+    for (int i = 0; i < d; ++i) {
+      Value* col = batch->dim_col(i);
+      for (size_t r = 0; r < n; ++r) col[r] = table_.dim_row(row_ + r)[i];
+    }
+    for (int i = 0; i < m; ++i) {
+      double* col = batch->measure_col(i);
+      for (size_t r = 0; r < n; ++r) {
+        col[r] = table_.measure_row(row_ + r)[i];
+      }
+    }
+    row_ += n;
+    batch->set_num_rows(n);
+    return n;
+  }
+
+ private:
+  const FactTable& table_;
+  size_t row_ = 0;
+};
+
+class RecordToBatchAdapter : public BatchCursor {
+ public:
+  RecordToBatchAdapter(std::unique_ptr<RecordCursor> records, int d, int m)
+      : records_(std::move(records)), d_(d), m_(m) {}
+
+  Result<size_t> NextBatch(RecordBatch* batch) override {
+    size_t n = 0;
+    const size_t cap = batch->capacity();
+    while (n < cap) {
+      CSM_ASSIGN_OR_RETURN(bool has, records_->Next());
+      if (!has) break;
+      const Value* dims = records_->dims();
+      const double* measures = records_->measures();
+      for (int i = 0; i < d_; ++i) batch->dim_col(i)[n] = dims[i];
+      for (int i = 0; i < m_; ++i) {
+        batch->measure_col(i)[n] = measures[i];
+      }
+      ++n;
+    }
+    batch->set_num_rows(n);
+    return n;
+  }
+
+  bool per_record_fallback() const override { return true; }
+
+ private:
+  std::unique_ptr<RecordCursor> records_;
+  int d_;
+  int m_;
+};
+
+class BatchToRecordAdapter : public RecordCursor {
+ public:
+  BatchToRecordAdapter(std::unique_ptr<BatchCursor> batches, int d, int m,
+                       size_t capacity)
+      : batches_(std::move(batches)),
+        batch_(d, m, capacity),
+        dims_(d),
+        measures_(m) {}
+
+  Result<bool> Next() override {
+    if (row_ + 1 >= batch_.num_rows()) {
+      CSM_ASSIGN_OR_RETURN(size_t n, batches_->NextBatch(&batch_));
+      if (n == 0) return false;
+      row_ = static_cast<size_t>(-1);
+    }
+    ++row_;
+    batch_.GatherRow(row_, dims_.data(), measures_.data());
+    return true;
+  }
+
+  const Value* dims() const override { return dims_.data(); }
+  const double* measures() const override { return measures_.data(); }
+
+ private:
+  std::unique_ptr<BatchCursor> batches_;
+  RecordBatch batch_;
+  std::vector<Value> dims_;
+  std::vector<double> measures_;
+  size_t row_ = static_cast<size_t>(-1);
+};
+
+}  // namespace
+
+std::unique_ptr<BatchCursor> MakeFactTableBatchCursor(
+    const FactTable& table) {
+  return std::make_unique<FactTableBatchCursor>(table);
+}
+
+std::unique_ptr<BatchCursor> MakeBatchCursorOverRecords(
+    std::unique_ptr<RecordCursor> records, int num_dims,
+    int num_measures) {
+  return std::make_unique<RecordToBatchAdapter>(std::move(records),
+                                                num_dims, num_measures);
+}
+
+std::unique_ptr<RecordCursor> MakeRecordCursorOverBatches(
+    std::unique_ptr<BatchCursor> batches, int num_dims, int num_measures,
+    size_t batch_capacity) {
+  return std::make_unique<BatchToRecordAdapter>(
+      std::move(batches), num_dims, num_measures, batch_capacity);
+}
+
+}  // namespace csm

@@ -1,0 +1,117 @@
+#ifndef CSM_STORAGE_RECORD_BATCH_H_
+#define CSM_STORAGE_RECORD_BATCH_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/fact_table.h"
+
+namespace csm {
+
+class RecordCursor;
+
+/// A columnar chunk of fact records: one contiguous `Value` array per
+/// dimension and one contiguous `double` array per measure, typically
+/// ~1024 rows (EngineOptions::scan_batch_rows). The batch is the unit of
+/// work of the scan pipeline — engines hoist per-record virtual dispatch
+/// (cursor calls, hierarchy mapping) into one pass per column per batch,
+/// which is where the scan-throughput win over row-at-a-time execution
+/// comes from.
+///
+/// Storage is column-major with a fixed capacity; a batch is reused
+/// across NextBatch() calls without reallocating.
+class RecordBatch {
+ public:
+  RecordBatch(int num_dims, int num_measures, size_t capacity)
+      : d_(num_dims),
+        m_(num_measures),
+        capacity_(capacity == 0 ? 1 : capacity),
+        dims_(static_cast<size_t>(d_) * capacity_),
+        measures_(static_cast<size_t>(m_) * capacity_) {}
+
+  int num_dims() const { return d_; }
+  int num_measures() const { return m_; }
+  size_t capacity() const { return capacity_; }
+  size_t num_rows() const { return num_rows_; }
+  void set_num_rows(size_t n) { num_rows_ = n; }
+
+  Value* dim_col(int i) { return dims_.data() + i * capacity_; }
+  const Value* dim_col(int i) const {
+    return dims_.data() + i * capacity_;
+  }
+  double* measure_col(int i) {
+    return measures_.data() + i * capacity_;
+  }
+  const double* measure_col(int i) const {
+    return measures_.data() + i * capacity_;
+  }
+
+  /// Scatters one row-major record into column position `row`.
+  void ScatterRow(size_t row, const Value* dims, const double* measures) {
+    for (int i = 0; i < d_; ++i) dim_col(i)[row] = dims[i];
+    for (int i = 0; i < m_; ++i) measure_col(i)[row] = measures[i];
+  }
+
+  /// Gathers column position `row` into row-major buffers (`dims` holds
+  /// num_dims() values, `measures` num_measures(); either may be null
+  /// when the corresponding width is 0).
+  void GatherRow(size_t row, Value* dims, double* measures) const {
+    for (int i = 0; i < d_; ++i) dims[i] = dim_col(i)[row];
+    for (int i = 0; i < m_; ++i) measures[i] = measure_col(i)[row];
+  }
+
+ private:
+  int d_;
+  int m_;
+  size_t capacity_;
+  size_t num_rows_ = 0;
+  std::vector<Value> dims_;      // column-major: d_ runs of capacity_
+  std::vector<double> measures_;  // column-major: m_ runs of capacity_
+};
+
+/// Pull-based batch stream: the batched counterpart of RecordCursor.
+/// Engines consume the fact stream through this interface whether it
+/// comes from an in-memory table, the external-sort merge, or (via the
+/// per-record adapter) any legacy RecordCursor.
+class BatchCursor {
+ public:
+  virtual ~BatchCursor() = default;
+
+  /// Fills `batch` with up to batch->capacity() records (setting
+  /// batch->set_num_rows) and returns the number of rows produced.
+  /// 0 means clean end of stream; short batches before the end are not
+  /// produced except by adapters with slow sources.
+  virtual Result<size_t> NextBatch(RecordBatch* batch) = 0;
+
+  /// True when the stream is served row-at-a-time through the
+  /// per-record adapter; engines count such batches so the
+  /// `adapter_batches` span counter exposes unconverted sources.
+  virtual bool per_record_fallback() const { return false; }
+};
+
+/// Batch cursor over a (typically already sorted) in-memory fact table:
+/// transposes row-major ranges into columns, one batch per call. The
+/// table must outlive the cursor.
+std::unique_ptr<BatchCursor> MakeFactTableBatchCursor(
+    const FactTable& table);
+
+/// Thin per-record adapter: serves any RecordCursor through the batch
+/// interface by pulling one record at a time. Keeps unconverted sources
+/// working at the cost of a virtual call per row;
+/// per_record_fallback() reports true so the fallback is observable.
+std::unique_ptr<BatchCursor> MakeBatchCursorOverRecords(
+    std::unique_ptr<RecordCursor> records, int num_dims,
+    int num_measures);
+
+/// The inverse adapter: serves a BatchCursor record-at-a-time for
+/// consumers that still walk rows (e.g. the legacy SortFactFileCursor
+/// API). Gathers each row out of the current batch.
+std::unique_ptr<RecordCursor> MakeRecordCursorOverBatches(
+    std::unique_ptr<BatchCursor> batches, int num_dims, int num_measures,
+    size_t batch_capacity);
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_RECORD_BATCH_H_

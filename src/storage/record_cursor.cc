@@ -67,16 +67,17 @@ struct RunReader {
   }
 };
 
-/// Merges sorted run files lazily; deletes them on destruction.
-class MergingCursor : public RecordCursor {
+/// Merges sorted run files lazily, draining the heap straight into
+/// RecordBatch columns; deletes the runs on destruction.
+class MergingBatchCursor : public BatchCursor {
  public:
-  MergingCursor(SchemaPtr schema, SortKey key,
-                std::vector<std::string> run_paths)
+  MergingBatchCursor(SchemaPtr schema, SortKey key,
+                     std::vector<std::string> run_paths)
       : schema_(std::move(schema)),
         key_(std::move(key)),
         run_paths_(std::move(run_paths)) {}
 
-  ~MergingCursor() override {
+  ~MergingBatchCursor() override {
     for (const std::string& path : run_paths_) RemoveFileIfExists(path);
   }
 
@@ -98,29 +99,30 @@ class MergingCursor : public RecordCursor {
     return Status::OK();
   }
 
-  Result<bool> Next() override {
+  Result<size_t> NextBatch(RecordBatch* batch) override {
     auto cmp = [this](size_t x, size_t y) { return Greater(x, y); };
-    if (current_ != static_cast<size_t>(-1)) {
-      // Refill from the run we consumed last.
-      CSM_RETURN_NOT_OK(readers_[current_].Advance(*schema_, key_));
-      if (!readers_[current_].exhausted) {
-        heap_.push_back(current_);
+    const int d = schema_->num_dims();
+    const int m = schema_->num_measures();
+    const size_t cap = batch->capacity();
+    size_t n = 0;
+    while (n < cap && !heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      const size_t src = heap_.back();
+      heap_.pop_back();
+      RunReader& run = readers_[src];
+      for (int i = 0; i < d; ++i) batch->dim_col(i)[n] = run.dims[i];
+      for (int i = 0; i < m; ++i) {
+        batch->measure_col(i)[n] = run.measures[i];
+      }
+      ++n;
+      CSM_RETURN_NOT_OK(run.Advance(*schema_, key_));
+      if (!run.exhausted) {
+        heap_.push_back(src);
         std::push_heap(heap_.begin(), heap_.end(), cmp);
       }
-      current_ = static_cast<size_t>(-1);
     }
-    if (heap_.empty()) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), cmp);
-    current_ = heap_.back();
-    heap_.pop_back();
-    return true;
-  }
-
-  const Value* dims() const override {
-    return readers_[current_].dims.data();
-  }
-  const double* measures() const override {
-    return readers_[current_].measures.data();
+    batch->set_num_rows(n);
+    return n;
   }
 
  private:
@@ -138,7 +140,6 @@ class MergingCursor : public RecordCursor {
   std::vector<std::string> run_paths_;
   std::vector<RunReader> readers_;
   std::vector<size_t> heap_;
-  size_t current_ = static_cast<size_t>(-1);
 };
 
 }  // namespace
@@ -147,7 +148,7 @@ std::unique_ptr<RecordCursor> MakeFactTableCursor(const FactTable& table) {
   return std::make_unique<FactTableCursor>(table);
 }
 
-Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
+Result<std::unique_ptr<BatchCursor>> SortFactFileBatchCursor(
     SchemaPtr schema, const std::string& path, const SortKey& key,
     size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
     const std::atomic<bool>* cancel) {
@@ -235,12 +236,27 @@ Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
   CSM_RETURN_NOT_OK(reader.Close());
   local.runs = run_paths.size();
 
-  auto cursor = std::make_unique<MergingCursor>(std::move(schema), key,
-                                                std::move(run_paths));
+  auto cursor = std::make_unique<MergingBatchCursor>(
+      std::move(schema), key, std::move(run_paths));
   CSM_RETURN_NOT_OK(cursor->Open());
   local.seconds = timer.Seconds();
   if (stats != nullptr) *stats = local;
-  return std::unique_ptr<RecordCursor>(std::move(cursor));
+  return std::unique_ptr<BatchCursor>(std::move(cursor));
+}
+
+Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
+    SchemaPtr schema, const std::string& path, const SortKey& key,
+    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
+    const std::atomic<bool>* cancel) {
+  const int d = schema->num_dims();
+  const int m = schema->num_measures();
+  CSM_ASSIGN_OR_RETURN(
+      std::unique_ptr<BatchCursor> batches,
+      SortFactFileBatchCursor(std::move(schema), path, key,
+                              memory_budget_bytes, temp_dir, stats,
+                              cancel));
+  return MakeRecordCursorOverBatches(std::move(batches), d, m,
+                                     /*batch_capacity=*/1024);
 }
 
 }  // namespace csm

@@ -8,6 +8,7 @@
 #include "model/sort_key.h"
 #include "storage/fact_table.h"
 #include "storage/external_sorter.h"
+#include "storage/record_batch.h"
 
 namespace csm {
 
@@ -43,7 +44,21 @@ std::unique_ptr<RecordCursor> MakeFactTableCursor(const FactTable& table);
 ///
 /// `cancel` (optional) is polled between run chunks; when it becomes true
 /// the sort stops and returns Status::Cancelled.
+///
+/// The merge itself is batch-at-a-time (SortFactFileBatchCursor); this
+/// entry point wraps it in the per-record adapter for callers that still
+/// walk rows.
 Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
+    SchemaPtr schema, const std::string& path, const SortKey& key,
+    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
+    const std::atomic<bool>* cancel = nullptr);
+
+/// Batched variant of SortFactFileCursor: the run merge drains straight
+/// into RecordBatch columns (no per-record virtual dispatch on the
+/// consumer side). The final batch of the stream is short when the row
+/// count is not a multiple of the batch capacity. This is the engines'
+/// out-of-core scan input.
+Result<std::unique_ptr<BatchCursor>> SortFactFileBatchCursor(
     SchemaPtr schema, const std::string& path, const SortKey& key,
     size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
     const std::atomic<bool>* cancel = nullptr);

@@ -84,6 +84,9 @@ std::string EngineConfig::Label(const Schema& schema) const {
   if (memory_budget_bytes > 0) {
     label += "/" + FormatBudget(memory_budget_bytes);
   }
+  if (scan_batch_rows > 0) {
+    label += "/b" + std::to_string(scan_batch_rows);
+  }
   return label;
 }
 
@@ -186,6 +189,9 @@ Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
   }
   ctx.options.sort_key = config.sort_key;
   ctx.options.parallel_threads = config.threads;
+  if (config.scan_batch_rows > 0) {
+    ctx.options.scan_batch_rows = config.scan_batch_rows;
+  }
 
   Result<EvalOutput> result = Status::Internal("config not run");
   if (config.run_file) {
@@ -269,12 +275,33 @@ std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
     configs.push_back(std::move(config));
   }
 
+  // Batch-boundary sweep: record-at-a-time (b1), a deliberately awkward
+  // batch size that never divides typical row counts (b7), and the
+  // default-sized batch stated explicitly (b1024). Any disagreement
+  // between these cells is a batch-boundary bug (entry caching,
+  // propagation alignment, short final batches).
+  for (size_t batch_rows : {size_t{1}, size_t{7}, size_t{1024}}) {
+    EngineConfig config = with_kind(EngineKind::kSortScan);
+    config.scan_batch_rows = batch_rows;
+    configs.push_back(std::move(config));
+  }
+
   // Out-of-core RunFile under a small budget: forces external sort runs
   // and the merged-stream scan.
   {
     EngineConfig config = with_kind(EngineKind::kSortScan);
     config.run_file = true;
     config.memory_budget_bytes = (64 + rng.Uniform(192)) << 10;
+    configs.push_back(std::move(config));
+  }
+
+  // RunFile with a tiny odd batch: merge-stream batches end mid-run, so
+  // the short-final-batch path of the external merge is on the hot path.
+  {
+    EngineConfig config = with_kind(EngineKind::kSortScan);
+    config.run_file = true;
+    config.memory_budget_bytes = (64 + rng.Uniform(192)) << 10;
+    config.scan_batch_rows = 7;
     configs.push_back(std::move(config));
   }
 

@@ -27,10 +27,12 @@ struct EngineConfig {
   SortKey sort_key;                // sortscan: explicit order (empty = default)
   int threads = 0;                 // parallel: workers (0 = hardware)
   size_t memory_budget_bytes = 0;  // 0 = EngineOptions default
+  size_t scan_batch_rows = 0;      // 0 = EngineOptions default; 1 =
+                                   // record-at-a-time execution
 
   /// Stable human-readable label, e.g. "sortscan@<d0:L1>+runfile/64KB"
-  /// or "parallel/t8". Doubles as the config's serialized identity in
-  /// divergence reports.
+  /// or "parallel/t8" or "sortscan/b1". Doubles as the config's
+  /// serialized identity in divergence reports.
   std::string Label(const Schema& schema) const;
 };
 

@@ -1,7 +1,9 @@
 #include "testing/mutate.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
+#include <vector>
 
 namespace csm {
 namespace testing_util {
@@ -111,6 +113,33 @@ FactTable DropRows(const FactTable& fact, size_t begin, size_t count) {
     if (row >= begin && row < end) continue;
     out.AppendRow(fact.dim_row(row), fact.measure_row(row));
   }
+  return out;
+}
+
+std::optional<FactTable> CollapseDimToLevel(const FactTable& fact, int dim,
+                                            int level) {
+  const Schema& schema = *fact.schema();
+  if (dim < 0 || dim >= schema.num_dims()) return std::nullopt;
+  const Hierarchy& h = *schema.dim(dim).hierarchy;
+  if (level <= 0 || level >= h.all_level()) return std::nullopt;
+  // The representative of an ancestor block is its first base value:
+  // (v / div) * div. Only regular (stepped) hierarchies expose the block
+  // width; irregular ones report 0 and cannot be collapsed this way.
+  const uint64_t div = h.ExactDivisor(0, level);
+  if (div == 0) return std::nullopt;
+  FactTable out(fact.schema());
+  out.Reserve(fact.num_rows());
+  std::vector<Value> dims(schema.num_dims());
+  bool changed = false;
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    const Value* in = fact.dim_row(row);
+    for (int i = 0; i < schema.num_dims(); ++i) dims[i] = in[i];
+    const Value collapsed = (dims[dim] / div) * div;
+    if (collapsed != dims[dim]) changed = true;
+    dims[dim] = collapsed;
+    out.AppendRow(dims.data(), fact.measure_row(row));
+  }
+  if (!changed) return std::nullopt;  // no-op collapse: nothing to try
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef CSM_TESTING_MUTATE_H_
 #define CSM_TESTING_MUTATE_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -26,6 +27,17 @@ std::vector<Workflow> ShrinkWorkflowCandidates(const Workflow& workflow);
 
 /// Copy of `fact` without rows [begin, begin + count).
 FactTable DropRows(const FactTable& fact, size_t begin, size_t count);
+
+/// Coarsens the hierarchy *inside the data*: every base value of `dim` is
+/// replaced by a canonical representative of its level-`level` ancestor
+/// (the first base value of that ancestor's block), so the dimension
+/// effectively has the level-`level` domain while staying a valid base
+/// column. Shrinks the distinct-value count without dropping rows —
+/// reproducers keep their row pattern but the hierarchy collapses.
+/// Returns nullopt when the hierarchy is irregular (no exact divisor) or
+/// `level` is not a real coarsening (level 0 or >= ALL).
+std::optional<FactTable> CollapseDimToLevel(const FactTable& fact, int dim,
+                                            int level);
 
 }  // namespace testing_util
 }  // namespace csm

@@ -75,9 +75,14 @@ Granularity RandomWorkflowGen::Refine(const Granularity& gran) {
 }
 
 AggSpec RandomWorkflowGen::RandomAgg(bool over_fact) {
-  static const AggKind kKinds[] = {AggKind::kCount, AggKind::kSum,
-                                   AggKind::kMin, AggKind::kMax,
-                                   AggKind::kAvg};
+  // Holistic / multi-register aggregates (count_distinct, stddev, var)
+  // are deliberately over-weighted: their per-entry state (distinct sets,
+  // sum-of-squares registers) is where batched hash-table update loops
+  // and entry caching are most likely to go wrong.
+  static const AggKind kKinds[] = {
+      AggKind::kCount,  AggKind::kSum,           AggKind::kMin,
+      AggKind::kMax,    AggKind::kAvg,           AggKind::kCountDistinct,
+      AggKind::kStddev, AggKind::kCountDistinct, AggKind::kVar};
   AggSpec agg;
   agg.kind = kKinds[rng_.Uniform(std::size(kKinds))];
   if (agg.kind == AggKind::kCount) {

@@ -54,6 +54,9 @@ Result<std::string> WriteRepro(const std::string& dir,
   out << "path: " << (config.run_file ? "runfile" : "memory") << "\n";
   out << "threads: " << config.threads << "\n";
   out << "budget_bytes: " << config.memory_budget_bytes << "\n";
+  if (config.scan_batch_rows > 0) {
+    out << "batch_rows: " << config.scan_batch_rows << "\n";
+  }
   if (!config.sort_key.empty()) {
     out << "sort_key: " << config.sort_key.ToString(*workflow.schema())
         << "\n";
@@ -84,7 +87,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
 
   std::string schema_spec, engine = "sortscan", path_kind = "memory";
   std::string sort_key_text, fault_text, facts_name;
-  uint64_t seed = 0, budget = 0;
+  uint64_t seed = 0, budget = 0, batch_rows = 0;
   int64_t threads = 0;
   std::ostringstream dsl;
   bool in_workflow = false;
@@ -123,6 +126,10 @@ Result<ReproCase> LoadRepro(const std::string& path) {
       if (!ParseUint64(value, &budget)) {
         return Status::ParseError("bad budget_bytes: " + value);
       }
+    } else if (key == "batch_rows") {
+      if (!ParseUint64(value, &batch_rows)) {
+        return Status::ParseError("bad batch_rows: " + value);
+      }
     } else if (key == "sort_key") {
       sort_key_text = value;
     } else if (key == "fault") {
@@ -155,6 +162,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   }
   config.threads = static_cast<int>(threads);
   config.memory_budget_bytes = budget;
+  config.scan_batch_rows = batch_rows;
   if (!sort_key_text.empty()) {
     CSM_ASSIGN_OR_RETURN(config.sort_key,
                          SortKey::Parse(*schema, sort_key_text));

@@ -106,6 +106,33 @@ Result<ShrunkCase> ShrinkCase(const Workflow& workflow,
       }
       if (chunk == 1) break;
     }
+
+    // Hierarchy pass: coarsen the hierarchy *inside* the fact data.
+    // Collapsing a dimension's base values onto level-k representatives
+    // leaves the row count alone but crushes the distinct-value structure
+    // — often the real trigger of a divergence is a hierarchy boundary,
+    // and the collapsed reproducer makes that obvious. Try the coarsest
+    // collapse first (deepest level), per dimension.
+    {
+      const Schema& schema = *current.schema();
+      for (int dim = 0; dim < schema.num_dims() && budget_left(); ++dim) {
+        const int all = schema.dim(dim).hierarchy->all_level();
+        for (int level = all - 1; level >= 1 && budget_left(); --level) {
+          std::optional<FactTable> candidate =
+              CollapseDimToLevel(rows, dim, level);
+          if (!candidate.has_value()) continue;
+          ++stats.candidates_tried;
+          auto d = Diverges(current, *candidate, config, fault);
+          if (d.has_value()) {
+            rows = std::move(*candidate);
+            divergence = std::move(*d);
+            ++stats.accepted;
+            progress = true;
+            break;  // coarsest accepted collapse wins for this dim
+          }
+        }
+      }
+    }
   }
 
   stats.measures_after = current.measures().size();

@@ -62,11 +62,15 @@ struct EngineCase {
   const char* label;
   std::function<std::unique_ptr<Engine>()> make;
   uint64_t memory_budget_bytes = 0;  // 0 = engine default
+  size_t scan_batch_rows = 0;        // 0 = engine default
 
   EngineOptions options() const {
     EngineOptions options;
     if (memory_budget_bytes != 0) {
       options.memory_budget_bytes = memory_budget_bytes;
+    }
+    if (scan_batch_rows != 0) {
+      options.scan_batch_rows = scan_batch_rows;
     }
     return options;
   }
@@ -118,6 +122,15 @@ const char* const kWorkflows[] = {
        measure Kinds at (t:day) = agg count_distinct(bytes) from FACT;
        measure Wild at (t:day) = combine(Spread, Kinds)
            as if(Kinds > 1, Spread, 0);)",
+    // NULL-valued match partners: the self-excluding sibling window gives
+    // the first hour an empty match (NULL, by outer-join semantics).
+    // Downstream, count(*) must count that region while count(M) skips
+    // it — the SQL NULL rule every engine has to agree on.
+    R"(measure Var0 at (t:hour) = agg var(bytes) from FACT hidden;
+       measure Prev at (t:hour) = match Var0 using sibling(t in [-1, -1])
+           agg stddev(M) hidden;
+       measure Rows at (ALL) = match Prev using childparent agg count(*);
+       measure Vals at (ALL) = match Prev using childparent agg count(M);)",
 };
 
 TEST_P(EngineConformanceTest, MatchesReferenceOnAllWorkflows) {
@@ -200,6 +213,29 @@ INSTANTIATE_TEST_SUITE_P(
                      return std::make_unique<SortScanEngine>();
                    },
                    64 << 10},
+        // batch=1 degenerates the columnar pipeline to record-at-a-time;
+        // batch=7 never divides the test row counts, so every scan ends
+        // on a short final batch and propagation fires mid-stream.
+        EngineCase{"SortScanBatch1",
+                   [] {
+                     return std::make_unique<SortScanEngine>();
+                   },
+                   0, 1},
+        EngineCase{"SortScanBatch7",
+                   [] {
+                     return std::make_unique<SortScanEngine>();
+                   },
+                   0, 7},
+        EngineCase{"SingleScanBatch7",
+                   [] {
+                     return std::make_unique<SingleScanEngine>();
+                   },
+                   0, 7},
+        EngineCase{"RelationalBatch7",
+                   [] {
+                     return std::make_unique<RelationalEngine>();
+                   },
+                   0, 7},
         EngineCase{"MultiPass",
                    [] {
                      return std::make_unique<MultiPassEngine>();

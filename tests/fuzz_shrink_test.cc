@@ -13,6 +13,7 @@
 #include "testing/campaign.h"
 #include "testing/data_gen.h"
 #include "testing/differential.h"
+#include "testing/mutate.h"
 #include "testing/repro.h"
 #include "testing/shrink.h"
 
@@ -21,6 +22,7 @@ namespace {
 
 using testing_util::CampaignOptions;
 using testing_util::CheckConfig;
+using testing_util::CollapseDimToLevel;
 using testing_util::ComputeReference;
 using testing_util::EngineConfig;
 using testing_util::FactGenOptions;
@@ -180,6 +182,87 @@ TEST(FuzzCampaignTest, DeterministicAndFindsInjectedFault) {
   CSM_ASSERT_OK_AND_ASSIGN(auto clean, RunCampaign(options));
   EXPECT_TRUE(clean.findings.empty());
   EXPECT_EQ(clean.runs_completed, 2);
+}
+
+TEST(CollapseDimTest, ReplacesValuesWithBlockRepresentatives) {
+  auto schema = ParseSchemaSpec("synthetic:2,3,4,64");
+  ASSERT_TRUE(schema.ok());
+  FactGenOptions data;
+  data.rows = 100;
+  data.cardinality = 64;
+  data.seed = 7;
+  FactTable fact = GenerateFacts(*schema, data);
+
+  // Level 1 of a fan-out-4 stepped hierarchy: representatives are
+  // multiples of 4, other dims and measures untouched.
+  auto collapsed = CollapseDimToLevel(fact, 0, 1);
+  ASSERT_TRUE(collapsed.has_value());
+  ASSERT_EQ(collapsed->num_rows(), fact.num_rows());
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    EXPECT_EQ(collapsed->dim_row(row)[0], (fact.dim_row(row)[0] / 4) * 4);
+    EXPECT_EQ(collapsed->dim_row(row)[1], fact.dim_row(row)[1]);
+    EXPECT_DOUBLE_EQ(collapsed->measure_row(row)[0],
+                     fact.measure_row(row)[0]);
+  }
+
+  // Level 2 collapses harder (blocks of 16); still never touches ALL.
+  auto deeper = CollapseDimToLevel(fact, 0, 2);
+  ASSERT_TRUE(deeper.has_value());
+  for (size_t row = 0; row < deeper->num_rows(); ++row) {
+    EXPECT_EQ(deeper->dim_row(row)[0] % 16, 0u);
+  }
+
+  // Rejected: level 0 (identity), the ALL level, bad dim, and a
+  // no-op collapse (all values already representatives).
+  EXPECT_FALSE(CollapseDimToLevel(fact, 0, 0).has_value());
+  EXPECT_FALSE(
+      CollapseDimToLevel(
+          fact, 0, (*schema)->dim(0).hierarchy->all_level()).has_value());
+  EXPECT_FALSE(CollapseDimToLevel(fact, 9, 1).has_value());
+  ASSERT_TRUE(collapsed.has_value());
+  EXPECT_FALSE(CollapseDimToLevel(*collapsed, 0, 1).has_value());
+}
+
+TEST(CollapseDimTest, ShrinkerCoarsensHierarchyInsideData) {
+  Fixture fx = MakeFixture();
+  CSM_ASSERT_OK_AND_ASSIGN(
+      auto shrunk, ShrinkCase(fx.workflow, fx.fact, fx.config, fx.fault));
+  // The injected fault survives any data, so the coarsening pass must
+  // have collapsed the surviving row onto block representatives: every
+  // remaining base value is a multiple of the level-1 block width.
+  const Schema& schema = *shrunk.workflow.schema();
+  for (size_t row = 0; row < shrunk.fact.num_rows(); ++row) {
+    for (int dim = 0; dim < schema.num_dims(); ++dim) {
+      const uint64_t div =
+          schema.dim(dim).hierarchy->ExactDivisor(0, 1);
+      if (div == 0) continue;
+      EXPECT_EQ(shrunk.fact.dim_row(row)[dim] % div, 0u)
+          << "dim " << dim << " row " << row;
+    }
+  }
+}
+
+TEST(FuzzShrinkTest, ReproRoundTripsBatchRows) {
+  Fixture fx = MakeFixture();
+  fx.config.scan_batch_rows = 7;
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::string path,
+      WriteRepro(dir.path() + "/case", fx.workflow, fx.fact, fx.config,
+                 fx.fault, /*seed=*/7, kSchemaSpec));
+  CSM_ASSERT_OK_AND_ASSIGN(auto repro, LoadRepro(path));
+  EXPECT_EQ(repro.config.scan_batch_rows, 7u);
+  EXPECT_EQ(repro.config.Label(*repro.workflow.schema()),
+            "singlescan/b7");
+
+  // Absent key = 0 = engine default, preserving pre-batching repro files.
+  fx.config.scan_batch_rows = 0;
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::string legacy_path,
+      WriteRepro(dir.path() + "/legacy", fx.workflow, fx.fact, fx.config,
+                 fx.fault, /*seed=*/7, kSchemaSpec));
+  CSM_ASSERT_OK_AND_ASSIGN(auto legacy, LoadRepro(legacy_path));
+  EXPECT_EQ(legacy.config.scan_batch_rows, 0u);
 }
 
 TEST(FaultSpecTest, ParseAndRoundTrip) {

@@ -124,6 +124,16 @@ TEST_P(RandomConformanceTest, AllEnginesAgreeOnRandomWorkflows) {
                 "sort-scan " + options.sort_key.ToString(*schema), options);
   }
 
+  // Batch-boundary sweep: record-at-a-time (1), a batch size that never
+  // divides the 2000-row corpus (7), and the default made explicit.
+  for (size_t batch_rows : {size_t{1}, size_t{7}, size_t{1024}}) {
+    EngineOptions options;
+    options.scan_batch_rows = batch_rows;
+    SortScanEngine engine;
+    CheckEngine(engine, workflow, fact, expected,
+                "sort-scan/b" + std::to_string(batch_rows), options);
+  }
+
   // Multi-pass at a random tight budget, and adaptive.
   EngineOptions tight;
   tight.memory_budget_bytes = (16 + rng.Uniform(512)) << 10;
@@ -154,6 +164,15 @@ TEST_P(RandomConformanceTest, AllEnginesAgreeOnRandomWorkflows) {
   SortScanEngine streaming;
   CheckOutput(streaming.RunFile(workflow, path, ctx), workflow, expected,
               "sort-scan-runfile/64KB");
+
+  // Same out-of-core stream with a tiny odd batch, so merge batches end
+  // mid-run and the scan sees many short batches.
+  ExecContext tiny_batch_ctx;
+  tiny_batch_ctx.options.memory_budget_bytes = 64 << 10;
+  tiny_batch_ctx.options.scan_batch_rows = 7;
+  SortScanEngine streaming_b7;
+  CheckOutput(streaming_b7.RunFile(workflow, path, tiny_batch_ctx),
+              workflow, expected, "sort-scan-runfile/64KB/b7");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomConformanceTest,

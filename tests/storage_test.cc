@@ -4,6 +4,8 @@
 #include "storage/external_sorter.h"
 #include "storage/fact_table.h"
 #include "storage/measure_table.h"
+#include "storage/record_batch.h"
+#include "storage/record_cursor.h"
 #include "storage/table_io.h"
 #include "storage/temp_file.h"
 #include "test_util.h"
@@ -236,6 +238,212 @@ TEST(TableIoTest, MeasureBinaryRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded->value(0), 42);
   EXPECT_TRUE(std::isnan(loaded->value(1)));
   EXPECT_EQ(loaded->key_row(0)[0], 3u);
+}
+
+TEST(FactTableTest, CloneCapacityIsTightFit) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact(schema);
+  // Grown row by row, so the vectors carry geometric-growth padding.
+  for (Value v = 0; v < 100; ++v) {
+    Value dims[3] = {v, v + 1, v + 2};
+    double m[1] = {static_cast<double>(v)};
+    fact.AppendRow(dims, m);
+  }
+  EXPECT_GE(fact.MemoryBytes(), fact.RowBytes() * fact.num_rows());
+
+  FactTable copy = fact.Clone();
+  ASSERT_EQ(copy.num_rows(), fact.num_rows());
+  // The clone reserves the exact row count before copying: its resident
+  // size is the tight fit, no growth padding.
+  EXPECT_EQ(copy.MemoryBytes(), copy.RowBytes() * copy.num_rows());
+  // Deep: appending to the copy leaves the source untouched.
+  Value dims[3] = {7, 7, 7};
+  double m[1] = {7.0};
+  copy.AppendRow(dims, m);
+  EXPECT_EQ(fact.num_rows(), 100u);
+  EXPECT_EQ(copy.dim_row(42)[0], fact.dim_row(42)[0]);
+}
+
+TEST(RecordBatchTest, ScatterGatherRoundTrip) {
+  RecordBatch batch(2, 1, 4);
+  EXPECT_EQ(batch.capacity(), 4u);
+  Value dims[2] = {10, 20};
+  double m[1] = {1.5};
+  batch.ScatterRow(0, dims, m);
+  dims[0] = 11;
+  m[0] = 2.5;
+  batch.ScatterRow(1, dims, m);
+  batch.set_num_rows(2);
+
+  EXPECT_EQ(batch.dim_col(0)[0], 10u);
+  EXPECT_EQ(batch.dim_col(0)[1], 11u);
+  EXPECT_EQ(batch.dim_col(1)[0], 20u);
+  EXPECT_DOUBLE_EQ(batch.measure_col(0)[1], 2.5);
+
+  Value got_dims[2];
+  double got_m[1];
+  batch.GatherRow(0, got_dims, got_m);
+  EXPECT_EQ(got_dims[0], 10u);
+  EXPECT_EQ(got_dims[1], 20u);
+  EXPECT_DOUBLE_EQ(got_m[0], 1.5);
+}
+
+TEST(RecordBatchTest, ZeroCapacityClampsToOne) {
+  RecordBatch batch(1, 0, 0);
+  EXPECT_EQ(batch.capacity(), 1u);
+}
+
+TEST(FactTableBatchCursorTest, ShortFinalBatch) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact(schema);
+  for (Value v = 0; v < 10; ++v) {
+    Value dims[2] = {v, 100 + v};
+    double m[1] = {static_cast<double>(v) * 0.5};
+    fact.AppendRow(dims, m);
+  }
+  auto cursor = MakeFactTableBatchCursor(fact);
+  EXPECT_FALSE(cursor->per_record_fallback());
+  RecordBatch batch(2, 1, 4);
+  size_t total = 0;
+  std::vector<size_t> sizes;
+  for (;;) {
+    auto n = cursor->NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    ASSERT_EQ(batch.num_rows(), *n);
+    for (size_t r = 0; r < *n; ++r) {
+      EXPECT_EQ(batch.dim_col(0)[r], total + r);
+      EXPECT_EQ(batch.dim_col(1)[r], 100 + total + r);
+      EXPECT_DOUBLE_EQ(batch.measure_col(0)[r], (total + r) * 0.5);
+    }
+    sizes.push_back(*n);
+    total += *n;
+  }
+  EXPECT_EQ(total, 10u);
+  // 10 rows at capacity 4: two full batches and a short final one.
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[2], 2u);
+  // The stream stays ended on repeated calls.
+  auto again = cursor->NextBatch(&batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST(FactTableBatchCursorTest, EmptyTable) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact(schema);
+  auto cursor = MakeFactTableBatchCursor(fact);
+  RecordBatch batch(2, 1, 8);
+  auto n = cursor->NextBatch(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(FactTableBatchCursorTest, CapacityOneIsPerRecordExecution) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 5, 100, 17);
+  auto cursor = MakeFactTableBatchCursor(fact);
+  RecordBatch batch(2, 1, 1);
+  size_t rows = 0;
+  for (;;) {
+    auto n = cursor->NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    EXPECT_EQ(*n, 1u);
+    EXPECT_EQ(batch.dim_col(0)[0], fact.dim_row(rows)[0]);
+    ++rows;
+  }
+  EXPECT_EQ(rows, fact.num_rows());
+}
+
+TEST(BatchAdapterTest, RecordsToBatchesReportsFallback) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 23, 500, 19);
+  auto cursor = MakeBatchCursorOverRecords(MakeFactTableCursor(fact),
+                                           fact.num_dims(),
+                                           fact.num_measures());
+  EXPECT_TRUE(cursor->per_record_fallback());
+  RecordBatch batch(3, 1, 8);
+  size_t row = 0;
+  for (;;) {
+    auto n = cursor->NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    for (size_t r = 0; r < *n; ++r, ++row) {
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(batch.dim_col(i)[r], fact.dim_row(row)[i]);
+      }
+      EXPECT_DOUBLE_EQ(batch.measure_col(0)[r],
+                       fact.measure_row(row)[0]);
+    }
+  }
+  EXPECT_EQ(row, fact.num_rows());  // 23 = 2 full batches + short 7
+}
+
+TEST(BatchAdapterTest, BatchesToRecordsRoundTrip) {
+  auto schema = MakeSyntheticSchema(2, 3, 10, 1000);
+  FactTable fact = MakeUniformFacts(schema, 10, 100, 23);
+  // Odd capacity 3 over 10 rows: the adapter crosses three batch
+  // boundaries and ends on a short batch.
+  auto records = MakeRecordCursorOverBatches(
+      MakeFactTableBatchCursor(fact), fact.num_dims(),
+      fact.num_measures(), /*batch_capacity=*/3);
+  size_t row = 0;
+  for (;;) {
+    auto more = records->Next();
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ASSERT_LT(row, fact.num_rows());
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(records->dims()[i], fact.dim_row(row)[i]);
+    }
+    EXPECT_DOUBLE_EQ(records->measures()[0], fact.measure_row(row)[0]);
+    ++row;
+  }
+  EXPECT_EQ(row, fact.num_rows());
+}
+
+TEST(SortFactFileBatchCursorTest, MergedRunsEndWithShortBatch) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  // Run chunks have a 1024-row floor; 5003 rows under a tiny budget give
+  // five spilled runs and a 5003 % 64 = 11-row final merge batch.
+  FactTable fact = MakeUniformFacts(schema, 5003, 1000, 29);
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewFilePath("facts");
+  ASSERT_TRUE(WriteFactTableBinary(fact, path).ok());
+
+  auto key = SortKey::Parse(*schema, "<d0:L1, d1:L0>");
+  ASSERT_TRUE(key.ok());
+  SortStats stats;
+  // A tiny budget forces several spilled runs, so batches drain through
+  // the k-way merge rather than a single sorted run.
+  auto cursor = SortFactFileBatchCursor(schema, path, *key, 16 << 10,
+                                        &*dir, &stats);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  EXPECT_GT(stats.runs, 1u);
+
+  RecordBatch batch(3, 1, 64);
+  size_t total = 0;
+  size_t last_n = 0;
+  std::vector<Value> prev(3);
+  for (;;) {
+    auto n = (*cursor)->NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    for (size_t r = 0; r < *n; ++r) {
+      Value row[3] = {batch.dim_col(0)[r], batch.dim_col(1)[r],
+                      batch.dim_col(2)[r]};
+      if (total + r > 0) {
+        EXPECT_LE(key->CompareBaseKeys(*schema, prev.data(), row), 0);
+      }
+      prev.assign(row, row + 3);
+    }
+    last_n = *n;
+    total += *n;
+  }
+  EXPECT_EQ(total, 5003u);
+  EXPECT_EQ(last_n, 5003u % 64);  // short final batch from the merge
 }
 
 TEST(TableIoTest, RejectsWrongSchema) {

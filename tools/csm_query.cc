@@ -5,9 +5,9 @@
 // Usage:
 //   csm_query --schema net --facts log.csv --query query.dsl
 //             [--engine adaptive] [--budget-mb 256] [--sort-key K]
-//             [--threads N] [--out results_dir] [--dot workflow.dot]
-//             [--metrics out.json] [--trace] [--explain] [--stream]
-//             [--include-hidden]
+//             [--threads N] [--batch-rows N] [--out results_dir]
+//             [--dot workflow.dot] [--metrics out.json] [--trace]
+//             [--explain] [--stream] [--include-hidden]
 //
 // Schemas:
 //   net                      the Table-1 network log schema
@@ -49,9 +49,9 @@ int Usage(const char* argv0) {
       "usage: %s --schema net|synthetic[:d,l,f,c] --facts FILE.csv|.bin\n"
       "          --query FILE.dsl [--engine adaptive|sortscan|singlescan|\n"
       "          multipass|parallel|relational] [--budget-mb N]\n"
-      "          [--sort-key K] [--threads N] [--out DIR] [--dot FILE]\n"
-      "          [--metrics FILE.json] [--trace] [--explain] [--stream]\n"
-      "          [--include-hidden]\n",
+      "          [--sort-key K] [--threads N] [--batch-rows N]\n"
+      "          [--out DIR] [--dot FILE] [--metrics FILE.json]\n"
+      "          [--trace] [--explain] [--stream] [--include-hidden]\n",
       argv0);
   return 2;
 }
@@ -68,6 +68,7 @@ int RealMain(int argc, char** argv) {
   std::string schema_spec, facts_path, query_path, engine_name = "adaptive";
   std::string out_dir, sort_key_text, dot_path, metrics_path;
   size_t budget_mb = 256;
+  size_t batch_rows = 0;  // 0 = EngineOptions default
   int threads = 0;
   bool explain = false, include_hidden = false, stream = false;
   bool trace = false;
@@ -96,6 +97,8 @@ int RealMain(int argc, char** argv) {
       if (const char* v = next()) budget_mb = std::strtoull(v, nullptr, 10);
     } else if (!std::strcmp(argv[i], "--threads")) {
       if (const char* v = next()) threads = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--batch-rows")) {
+      if (const char* v = next()) batch_rows = std::strtoull(v, nullptr, 10);
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
     } else if (!std::strcmp(argv[i], "--explain")) {
@@ -138,6 +141,7 @@ int RealMain(int argc, char** argv) {
   options.memory_budget_bytes = budget_mb << 20;
   options.include_hidden = include_hidden;
   options.parallel_threads = threads;
+  if (batch_rows > 0) options.scan_batch_rows = batch_rows;
   if (!sort_key_text.empty()) {
     auto key = SortKey::Parse(**schema, sort_key_text);
     if (!key.ok()) return report(key.status());
