@@ -1,0 +1,213 @@
+// Ablation: flat aggregation hash tables + parallel external sort (the
+// measure hot path).
+//
+// Runs the PR-3 reference workload — 400k synthetic rows, 4 dims,
+// Q1(7 children) — through sort/scan and single-scan with the flat
+// open-addressing AggTable/FlatKeyMap state (vs the std::map /
+// vector-keyed unordered_map state it replaced) and reports best-of-N
+// end-to-end and scan-phase times. The committed pr3_* constants are the
+// same workload measured on the same machine at the PR 3 head, so the
+// speedup_* fields are the tentpole's acceptance numbers
+// (>=1.3x sort/scan end-to-end, >=1.5x single-scan scan phase).
+//
+// Flags:
+//   --json FILE          write the flat result JSON (BENCH_pr4.json)
+//   --reps N             best-of-N repetitions (default 3)
+//   --baseline FILE      committed BENCH_pr4.json to compare against
+//   --max-regress FRAC   fail (exit 1) if sort/scan end-to-end per-row
+//                        time regresses more than FRAC vs the baseline
+//                        (default 0.10)
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "data/queries.h"
+#include "data/synthetic.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+
+namespace {
+
+// PR 3 head, this machine, Release, CSM_BENCH_SCALE=1 (400k rows),
+// batch_rows=1024: the std::map-based sort/scan and the
+// unordered_map<vector<Value>>-based single-scan.
+constexpr double kPr3SortScanSeconds = 0.852;
+constexpr double kPr3SortScanScanSeconds = 0.667;
+constexpr double kPr3SingleScanSeconds = 1.736;
+constexpr double kPr3SingleScanScanSeconds = 1.094;
+
+// Minimal flat-JSON number lookup ("\"key\": <number>"), enough for the
+// files this bench writes itself.
+bool JsonNumber(const std::string& text, const std::string& key,
+                double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  using namespace csm::bench;
+
+  std::string json_path, baseline_path;
+  int reps = 3;
+  double max_regress = 0.10;
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--json")) {
+      if (const char* v = next()) json_path = v;
+    } else if (!std::strcmp(argv[i], "--baseline")) {
+      if (const char* v = next()) baseline_path = v;
+    } else if (!std::strcmp(argv[i], "--reps")) {
+      if (const char* v = next()) reps = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--max-regress")) {
+      if (const char* v = next()) max_regress = std::atof(v);
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  PrintHeader("Ablation", "flat agg hash tables + parallel external sort",
+              "flat open-addressing state beats node-based maps on both "
+              "streaming engines; sort runs generate on parallel workers");
+
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  auto workflow = MakeQ1ChildParent(schema, 7);
+  if (!workflow.ok()) return 1;
+
+  SyntheticDataOptions data;
+  data.rows = Rows(400e3);
+  data.seed = 8100;
+  FactTable fact = GenerateSyntheticFacts(schema, data);
+  std::printf("dataset: %s records, 4 dims, Q1(7 children), "
+              "batch=1024, best of %d\n\n",
+              FmtRows(fact.num_rows()).c_str(), reps);
+
+  struct EngineCase {
+    const char* label;
+    Engine* engine;
+    double pr3_seconds;
+    double pr3_scan_seconds;
+    double seconds = 0;
+    double scan_seconds = 0;
+  };
+  SortScanEngine sort_scan;
+  SingleScanEngine single_scan;
+  EngineCase engines[] = {
+      {"sortscan", &sort_scan, kPr3SortScanSeconds,
+       kPr3SortScanScanSeconds},
+      {"singlescan", &single_scan, kPr3SingleScanSeconds,
+       kPr3SingleScanScanSeconds}};
+
+  std::printf("%12s %10s %10s %14s %14s\n", "engine", "seconds", "scan s",
+              "pr3 end2end", "pr3 scan");
+  for (EngineCase& e : engines) {
+    for (int rep = 0; rep < reps; ++rep) {
+      EngineOptions options;
+      options.scan_batch_rows = 1024;
+      RunResult run = TimeEngine(*e.engine, *workflow, fact, options);
+      if (!run.ok) return 1;
+      if (trace && rep == 0)
+        std::printf("%s\n", run.trace->ToTreeString().c_str());
+      const double scan = run.PhaseSeconds({"scan"});
+      if (rep == 0 || run.seconds < e.seconds) e.seconds = run.seconds;
+      if (rep == 0 || scan < e.scan_seconds) e.scan_seconds = scan;
+    }
+    std::printf("%12s %10.3f %10.3f %13.2fx %13.2fx\n", e.label,
+                e.seconds, e.scan_seconds, e.pr3_seconds / e.seconds,
+                e.pr3_scan_seconds / e.scan_seconds);
+  }
+  const double speedup_sortscan = engines[0].pr3_seconds /
+                                  engines[0].seconds;
+  const double speedup_singlescan_scan =
+      engines[1].pr3_scan_seconds / engines[1].scan_seconds;
+  std::printf("\nsort/scan end-to-end speedup vs PR3: %.2fx "
+              "(target >= 1.30x)\n", speedup_sortscan);
+  std::printf("single-scan scan-phase speedup vs PR3: %.2fx "
+              "(target >= 1.50x)\n", speedup_singlescan_scan);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"ablation_agg_table\",\n"
+        "  \"rows\": %zu,\n"
+        "  \"batch_rows\": 1024,\n"
+        "  \"reps\": %d,\n"
+        "  \"sortscan_seconds\": %.4f,\n"
+        "  \"sortscan_scan_seconds\": %.4f,\n"
+        "  \"singlescan_seconds\": %.4f,\n"
+        "  \"singlescan_scan_seconds\": %.4f,\n"
+        "  \"pr3_sortscan_seconds\": %.4f,\n"
+        "  \"pr3_sortscan_scan_seconds\": %.4f,\n"
+        "  \"pr3_singlescan_seconds\": %.4f,\n"
+        "  \"pr3_singlescan_scan_seconds\": %.4f,\n"
+        "  \"speedup_sortscan_end_to_end\": %.3f,\n"
+        "  \"speedup_singlescan_scan\": %.3f\n"
+        "}\n",
+        fact.num_rows(), reps, engines[0].seconds,
+        engines[0].scan_seconds, engines[1].seconds,
+        engines[1].scan_seconds, kPr3SortScanSeconds,
+        kPr3SortScanScanSeconds, kPr3SingleScanSeconds,
+        kPr3SingleScanScanSeconds, speedup_sortscan,
+        speedup_singlescan_scan);
+    out << buf;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    double base_seconds = 0, base_rows = 0;
+    if (!JsonNumber(buffer.str(), "sortscan_seconds", &base_seconds) ||
+        !JsonNumber(buffer.str(), "rows", &base_rows) || base_rows <= 0) {
+      std::fprintf(stderr, "baseline %s lacks sortscan_seconds/rows\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    // Per-row normalization so a CSM_BENCH_SCALE difference between the
+    // baseline machine and this one doesn't read as a regression.
+    const double base_per_row = base_seconds / base_rows;
+    const double cur_per_row =
+        engines[0].seconds / static_cast<double>(fact.num_rows());
+    const double ratio = cur_per_row / base_per_row;
+    std::printf("sort/scan vs committed baseline: %.2fx per-row "
+                "(max allowed %.2fx)\n", ratio, 1.0 + max_regress);
+    if (ratio > 1.0 + max_regress) {
+      std::fprintf(stderr,
+                   "REGRESSION: sort/scan per-row time %.3gs is %.0f%% "
+                   "over the committed baseline %.3gs\n",
+                   cur_per_row, (ratio - 1.0) * 100, base_per_row);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "algebra/measure_ops.h"
+#include "common/flat_hash.h"
 #include "common/hash.h"
 #include "common/logging.h"
 
@@ -12,8 +12,9 @@ namespace csm {
 
 namespace {
 
-using StateMap =
-    std::unordered_map<std::vector<Value>, AggState, VectorHash>;
+// Packed-key aggregation table: probes take the raw key pointer, so the
+// reference evaluator's inner loop does not allocate.
+using StateMap = FlatKeyMap<AggState>;
 
 /// Evaluates `expr` to a measure table, recursively materializing inputs.
 /// Per-operator semantics live in algebra/measure_ops.*; this class only
@@ -82,7 +83,7 @@ class Evaluator {
     const int d = schema.num_dims();
     const int m = schema.num_measures();
     const Granularity& gran = expr.granularity();
-    StateMap states;
+    StateMap states(d);
     RegionKey key(d);
 
     struct FactCond {
@@ -125,17 +126,18 @@ class Evaluator {
         if (!pass) continue;
       }
       GeneralizeKeyInto(schema, dims, base, gran, &key);
-      auto [it, inserted] = states.try_emplace(key);
-      if (inserted) AggInit(expr.agg().kind, &it->second);
-      AggUpdate(expr.agg().kind, &it->second,
+      bool inserted = false;
+      AggState& state = states.FindOrInsert(key.data(), &inserted);
+      if (inserted) AggInit(expr.agg().kind, &state);
+      AggUpdate(expr.agg().kind, &state,
                 expr.agg().arg >= 0 ? measures[expr.agg().arg] : 1.0);
     }
 
     MeasureTable out(expr.schema(), gran, expr.name());
     out.Reserve(states.size());
-    for (const auto& [k, state] : states) {
-      out.Append(k.data(), AggFinalize(expr.agg().kind, state));
-    }
+    states.ForEach([&](const Value* k, AggState& state) {
+      out.Append(k, AggFinalize(expr.agg().kind, state));
+    });
     out.SortByKeyLex();
     return out;
   }

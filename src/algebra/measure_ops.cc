@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "algebra/evaluator.h"
+#include "common/flat_hash.h"
 #include "common/hash.h"
 #include "common/logging.h"
 
@@ -13,13 +13,15 @@ namespace csm {
 namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-using StateMap =
-    std::unordered_map<std::vector<Value>, AggState, VectorHash>;
+// Group states keyed by packed d-wide region keys; probes take the raw
+// key pointer, so the per-row lookup allocates nothing.
+using StateMap = FlatKeyMap<AggState>;
 
-AggState& Touch(StateMap& states, const RegionKey& key, AggKind kind) {
-  auto [it, inserted] = states.try_emplace(key);
-  if (inserted) AggInit(kind, &it->second);
-  return it->second;
+AggState& Touch(StateMap& states, const Value* key, AggKind kind) {
+  bool inserted = false;
+  AggState& state = states.FindOrInsert(key, &inserted);
+  if (inserted) AggInit(kind, &state);
+  return state;
 }
 }  // namespace
 
@@ -59,19 +61,19 @@ Result<MeasureTable> HashRollup(const MeasureTable& input,
     return Status::InvalidArgument(
         "roll-up input granularity must be finer than the target");
   }
-  StateMap states;
+  StateMap states(d);
   RegionKey key(d);
   for (size_t row = 0; row < input.num_rows(); ++row) {
     GeneralizeKeyInto(schema, input.key_row(row), input.granularity(),
                       gran, &key);
-    AggState& state = Touch(states, key, agg.kind);
+    AggState& state = Touch(states, key.data(), agg.kind);
     AggUpdate(agg.kind, &state, agg.arg >= 0 ? input.value(row) : 1.0);
   }
   MeasureTable out(input.schema(), gran, std::move(name));
   out.Reserve(states.size());
-  for (const auto& [k, state] : states) {
-    out.Append(k.data(), AggFinalize(agg.kind, state));
-  }
+  states.ForEach([&](const Value* k, AggState& state) {
+    out.Append(k, AggFinalize(agg.kind, state));
+  });
   out.SortByKeyLex();
   return out;
 }
@@ -88,36 +90,38 @@ Result<MeasureTable> HashMatchJoin(const MeasureTable& source,
 
   if (cond.type == MatchType::kChildParent) {
     // Pre-aggregate the finer target up to the source granularity.
-    StateMap states;
+    StateMap states(d);
     RegionKey key(d);
     for (size_t row = 0; row < target.num_rows(); ++row) {
       GeneralizeKeyInto(schema, target.key_row(row), target.granularity(),
                         source.granularity(), &key);
-      AggState& state = Touch(states, key, kind);
+      AggState& state = Touch(states, key.data(), kind);
       // count(*) counts matched partner regions even when their value is
       // NULL; count(M) and friends skip NULLs inside AggUpdate.
       AggUpdate(kind, &state, agg.arg >= 0 ? target.value(row) : 1.0);
     }
     for (size_t row = 0; row < source.num_rows(); ++row) {
-      RegionKey skey(source.key_row(row), source.key_row(row) + d);
-      auto it = states.find(skey);
-      if (it == states.end()) {
+      const Value* skey = source.key_row(row);
+      const AggState* state = states.Find(skey);
+      if (state == nullptr) {
         AggState empty;
         AggInit(kind, &empty);
         out.Append(skey, AggFinalize(kind, empty));
       } else {
-        out.Append(skey, AggFinalize(kind, it->second));
+        out.Append(skey, AggFinalize(kind, *state));
       }
     }
     out.SortByKeyLex();
     return out;
   }
 
-  std::unordered_map<std::vector<Value>, std::vector<double>, VectorHash>
-      by_key;
-  for (size_t row = 0; row < target.num_rows(); ++row) {
-    RegionKey tkey(target.key_row(row), target.key_row(row) + d);
-    by_key[tkey].push_back(target.value(row));
+  FlatKeyMap<std::vector<double>> by_key(d);
+  {
+    bool inserted = false;
+    for (size_t row = 0; row < target.num_rows(); ++row) {
+      by_key.FindOrInsert(target.key_row(row), &inserted)
+          .push_back(target.value(row));
+    }
   }
 
   RegionKey probe(d);
@@ -125,25 +129,25 @@ Result<MeasureTable> HashMatchJoin(const MeasureTable& source,
     const Value* skey = source.key_row(row);
     AggState state;
     AggInit(kind, &state);
-    auto fold = [&](const RegionKey& k) {
-      auto it = by_key.find(k);
-      if (it == by_key.end()) return;
-      for (double v : it->second) {
+    auto fold = [&](const Value* k) {
+      const std::vector<double>* values = by_key.Find(k);
+      if (values == nullptr) return;
+      for (double v : *values) {
         AggUpdate(kind, &state, agg.arg >= 0 ? v : 1.0);
       }
     };
     switch (cond.type) {
       case MatchType::kSelf:
-        probe.assign(skey, skey + d);
-        fold(probe);
+        fold(skey);
         break;
       case MatchType::kParentChild:
         GeneralizeKeyInto(schema, skey, source.granularity(),
                           target.granularity(), &probe);
-        fold(probe);
+        fold(probe.data());
         break;
       case MatchType::kSibling:
-        ForEachSiblingProbe(skey, d, cond, &probe, fold);
+        ForEachSiblingProbe(skey, d, cond, &probe,
+                            [&](const RegionKey& k) { fold(k.data()); });
         break;
       case MatchType::kChildParent:
         CSM_CHECK(false) << "handled above";
@@ -172,12 +176,16 @@ Result<MeasureTable> HashCombine(
   CSM_ASSIGN_OR_RETURN(BoundExpr bound,
                        BoundExpr::Bind(fc, CombineVars(schema, names)));
 
-  std::vector<std::unordered_map<std::vector<Value>, double, VectorHash>>
-      lookups(inputs.size());
-  for (size_t i = 1; i < inputs.size(); ++i) {
-    for (size_t row = 0; row < inputs[i]->num_rows(); ++row) {
-      RegionKey key(inputs[i]->key_row(row), inputs[i]->key_row(row) + d);
-      lookups[i][key] = inputs[i]->value(row);
+  std::vector<FlatKeyMap<double>> lookups;
+  lookups.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) lookups.emplace_back(d);
+  {
+    bool inserted = false;
+    for (size_t i = 1; i < inputs.size(); ++i) {
+      for (size_t row = 0; row < inputs[i]->num_rows(); ++row) {
+        lookups[i].FindOrInsert(inputs[i]->key_row(row), &inserted) =
+            inputs[i]->value(row);
+      }
     }
   }
 
@@ -188,10 +196,9 @@ Result<MeasureTable> HashCombine(
     const Value* key = source.key_row(row);
     for (int i = 0; i < d; ++i) slots[i] = static_cast<double>(key[i]);
     slots[d] = source.value(row);
-    RegionKey k(key, key + d);
     for (size_t i = 1; i < inputs.size(); ++i) {
-      auto it = lookups[i].find(k);
-      slots[d + i] = it == lookups[i].end() ? kNaN : it->second;
+      const double* v = lookups[i].Find(key);
+      slots[d + i] = v == nullptr ? kNaN : *v;
     }
     out.Append(key, bound.Eval(slots.data()));
   }

@@ -1,0 +1,289 @@
+#ifndef CSM_COMMON_FLAT_HASH_H_
+#define CSM_COMMON_FLAT_HASH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace csm {
+
+/// Open-addressing aggregation hash table with inline fixed-width keys.
+///
+/// The key of every entry is a fixed-length span of `uint64_t` values
+/// (region keys and order positions have a width known per measure), stored
+/// inline in one flat arena — no per-entry heap allocation and no pointer
+/// chase on probe, unlike `std::unordered_map<std::vector<uint64_t>, V>`.
+/// The full 64-bit hash of every occupied slot is cached next to it:
+/// probes compare the cached hash before touching the key arena, growth
+/// rehashes by cached hash without re-mixing any key, and hash 0 doubles
+/// as the empty-slot marker (real hashes are forced non-zero).
+///
+/// Collisions use linear probing; deletion is tombstone-free backward-shift
+/// (displaced entries slide toward their home slot), so long-lived tables
+/// that drain entries continuously — the sort/scan watermark-finalization
+/// path — never degrade into tombstone chains and never pay a rehash to
+/// stay clean. `FlushIf` is that drain: it pops every entry matching a
+/// predicate in one sweep, optionally delivering them in lexicographic key
+/// order (matching the `std::map` iteration order the sort/scan engine's
+/// emission semantics were written against).
+///
+/// V must be default-constructible and movable. References returned by
+/// FindOrInsert are invalidated by the next insertion (growth may move
+/// slots), like every open-addressing table.
+template <typename V>
+class FlatKeyMap {
+ public:
+  using Value64 = uint64_t;
+
+  FlatKeyMap() : FlatKeyMap(1) {}
+
+  explicit FlatKeyMap(size_t key_width, size_t initial_capacity = 0)
+      : width_(key_width == 0 ? 1 : key_width) {
+    size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    Rebuild(cap);
+  }
+
+  FlatKeyMap(FlatKeyMap&&) = default;
+  FlatKeyMap& operator=(FlatKeyMap&&) = default;
+  FlatKeyMap(const FlatKeyMap&) = delete;
+  FlatKeyMap& operator=(const FlatKeyMap&) = delete;
+
+  size_t key_width() const { return width_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Non-zero 64-bit hash of a key span (0 marks an empty slot).
+  uint64_t HashKey(const Value64* key) const {
+    const uint64_t h = HashSpan(key, width_);
+    return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+  }
+
+  /// Returns the value for `key`, or nullptr.
+  V* Find(const Value64* key) { return FindHashed(key, HashKey(key)); }
+  const V* Find(const Value64* key) const {
+    return const_cast<FlatKeyMap*>(this)->FindHashed(key, HashKey(key));
+  }
+
+  V* FindHashed(const Value64* key, uint64_t hash) {
+    size_t i = hash & mask_;
+    while (hashes_[i] != 0) {
+      if (hashes_[i] == hash && KeyEquals(i, key)) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Finds or default-inserts `key`; `*inserted` reports which happened.
+  V& FindOrInsert(const Value64* key, bool* inserted) {
+    return FindOrInsertHashed(key, HashKey(key), inserted);
+  }
+
+  V& FindOrInsertHashed(const Value64* key, uint64_t hash,
+                        bool* inserted) {
+    size_t i = hash & mask_;
+    while (hashes_[i] != 0) {
+      if (hashes_[i] == hash && KeyEquals(i, key)) {
+        *inserted = false;
+        return values_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+    if ((size_ + 1) * 10 > capacity_ * 7) {  // keep load factor under 0.7
+      Grow(capacity_ * 2);
+      i = hash & mask_;
+      while (hashes_[i] != 0) i = (i + 1) & mask_;
+    }
+    hashes_[i] = hash;
+    std::copy(key, key + width_, keys_.data() + i * width_);
+    ++size_;
+    *inserted = true;
+    return values_[i];
+  }
+
+  /// Removes `key` if present (backward-shift, no tombstone).
+  bool Erase(const Value64* key) {
+    const uint64_t hash = HashKey(key);
+    size_t i = hash & mask_;
+    while (hashes_[i] != 0) {
+      if (hashes_[i] == hash && KeyEquals(i, key)) {
+        EraseSlot(i);
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Visits every entry as fn(const Value64* key, V& value) in slot order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (hashes_[i] != 0) fn(keys_.data() + i * width_, values_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (hashes_[i] != 0) fn(keys_.data() + i * width_, values_[i]);
+    }
+  }
+
+  /// Pops every entry where pred(key, value) is true and hands it to
+  /// emit(key, value&&), with the table already consistent when emit runs
+  /// (emitting code may insert into *other* tables freely). When
+  /// `sorted_by_key`, entries are emitted in lexicographic key order.
+  /// Returns the number of entries flushed. The popped entries are
+  /// removed by backward-shift and the table is shrunk when it became
+  /// mostly empty, so a long scan's drain never rehashes on the hot path
+  /// and never leaves a sparse table behind.
+  template <typename Pred, typename Emit>
+  size_t FlushIf(Pred&& pred, Emit&& emit, bool sorted_by_key = false) {
+    flush_keys_.clear();
+    flush_values_.clear();
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (hashes_[i] == 0) continue;
+      const Value64* k = keys_.data() + i * width_;
+      if (!pred(k, const_cast<const V&>(values_[i]))) continue;
+      flush_keys_.insert(flush_keys_.end(), k, k + width_);
+      flush_values_.push_back(std::move(values_[i]));
+    }
+    const size_t n = flush_values_.size();
+    for (size_t e = 0; e < n; ++e) {
+      Erase(flush_keys_.data() + e * width_);
+    }
+    MaybeShrink();
+    if (n == 0) return 0;
+    if (!sorted_by_key) {
+      for (size_t e = 0; e < n; ++e) {
+        emit(flush_keys_.data() + e * width_, std::move(flush_values_[e]));
+      }
+      return n;
+    }
+    flush_order_.resize(n);
+    for (size_t e = 0; e < n; ++e) flush_order_[e] = e;
+    std::sort(flush_order_.begin(), flush_order_.end(),
+              [this](size_t a, size_t b) {
+                const Value64* ka = flush_keys_.data() + a * width_;
+                const Value64* kb = flush_keys_.data() + b * width_;
+                for (size_t i = 0; i < width_; ++i) {
+                  if (ka[i] != kb[i]) return ka[i] < kb[i];
+                }
+                return false;
+              });
+    for (size_t e : flush_order_) {
+      emit(flush_keys_.data() + e * width_, std::move(flush_values_[e]));
+    }
+    return n;
+  }
+
+  void Clear() {
+    std::fill(hashes_.begin(), hashes_.end(), 0);
+    for (auto& v : values_) v = V();
+    size_ = 0;
+  }
+
+  void Reserve(size_t n) {
+    size_t cap = capacity_;
+    while (n * 10 > cap * 7) cap <<= 1;
+    if (cap != capacity_) Grow(cap);
+  }
+
+  /// Approximate resident bytes of the slot arrays (excludes heap owned
+  /// by the values themselves).
+  size_t MemoryBytes() const {
+    return capacity_ * (sizeof(uint64_t) + width_ * sizeof(Value64) +
+                        sizeof(V)) +
+           flush_keys_.capacity() * sizeof(Value64) +
+           flush_values_.capacity() * sizeof(V);
+  }
+
+ private:
+  bool KeyEquals(size_t slot, const Value64* key) const {
+    const Value64* k = keys_.data() + slot * width_;
+    for (size_t i = 0; i < width_; ++i) {
+      if (k[i] != key[i]) return false;
+    }
+    return true;
+  }
+
+  void Rebuild(size_t cap) {
+    capacity_ = cap;
+    mask_ = cap - 1;
+    hashes_.assign(cap, 0);
+    keys_.assign(cap * width_, 0);
+    values_.clear();
+    values_.resize(cap);
+  }
+
+  void Grow(size_t new_cap) {
+    std::vector<uint64_t> old_hashes = std::move(hashes_);
+    std::vector<Value64> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    const size_t old_cap = capacity_;
+    Rebuild(new_cap);
+    // Reinsert by cached hash — keys are copied, never re-mixed.
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_hashes[i] == 0) continue;
+      size_t j = old_hashes[i] & mask_;
+      while (hashes_[j] != 0) j = (j + 1) & mask_;
+      hashes_[j] = old_hashes[i];
+      std::copy(old_keys.data() + i * width_,
+                old_keys.data() + (i + 1) * width_,
+                keys_.data() + j * width_);
+      values_[j] = std::move(old_values[i]);
+    }
+  }
+
+  void MaybeShrink() {
+    if (capacity_ <= 1024 || size_ * 8 >= capacity_) return;
+    size_t cap = 16;
+    while (size_ * 10 > cap * 7 || cap < 16) cap <<= 1;
+    Grow(std::max<size_t>(cap, 16));
+  }
+
+  /// Backward-shift deletion: close the probe chain over `slot` by
+  /// sliding displaced entries toward their home buckets.
+  void EraseSlot(size_t slot) {
+    size_t i = slot;
+    size_t j = slot;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (hashes_[j] == 0) break;
+      const size_t home = hashes_[j] & mask_;
+      // Entry j may move to i iff i lies in the cyclic range [home, j).
+      if (((j - home) & mask_) >= ((j - i) & mask_)) {
+        hashes_[i] = hashes_[j];
+        std::copy(keys_.data() + j * width_,
+                  keys_.data() + (j + 1) * width_,
+                  keys_.data() + i * width_);
+        values_[i] = std::move(values_[j]);
+        i = j;
+      }
+    }
+    hashes_[i] = 0;
+    values_[i] = V();
+    --size_;
+  }
+
+  size_t width_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  std::vector<uint64_t> hashes_;  // 0 = empty; cached full hash otherwise
+  std::vector<Value64> keys_;     // capacity_ runs of width_ values
+  std::vector<V> values_;
+  // FlushIf scratch, reused across rounds so the drain does not allocate.
+  std::vector<Value64> flush_keys_;
+  std::vector<V> flush_values_;
+  std::vector<size_t> flush_order_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_FLAT_HASH_H_

@@ -1,0 +1,28 @@
+#include "exec/agg_table.h"
+
+namespace csm {
+
+size_t AggTable::ApproxBytes() const {
+  size_t bytes = map_.MemoryBytes();
+  if (kind_ == AggKind::kCountDistinct) {
+    map_.ForEach([&bytes](const Value*, const AggState& s) {
+      if (s.distinct) bytes += s.distinct->size() * 16 + 64;
+    });
+  }
+  return bytes;
+}
+
+MeasureTable AggTable::Materialize(SchemaPtr schema,
+                                   const Granularity& gran,
+                                   const std::string& name) {
+  MeasureTable table(schema, gran, name);
+  table.Reserve(map_.size());
+  map_.ForEach([&](const Value* key, AggState& state) {
+    table.Append(key, AggFinalize(kind_, state));
+  });
+  table.SortByKeyLex();
+  map_ = FlatKeyMap<AggState>(map_.key_width());
+  return table;
+}
+
+}  // namespace csm

@@ -1,0 +1,57 @@
+#ifndef CSM_EXEC_AGG_TABLE_H_
+#define CSM_EXEC_AGG_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "agg/aggregate.h"
+#include "common/flat_hash.h"
+#include "storage/measure_table.h"
+
+namespace csm {
+
+/// Engine-facing aggregation table: one measure's group-by states keyed by
+/// fixed-width packed region keys, backed by FlatKeyMap. This is the hash
+/// table every scan loop updates per record, so Update is branch-light:
+/// probe by cached hash, AggInit on first touch, AggUpdate in place.
+class AggTable {
+ public:
+  AggTable() : AggTable(AggKind::kCount, 1) {}
+  AggTable(AggKind kind, size_t key_width)
+      : kind_(kind), map_(key_width) {}
+
+  AggTable(AggTable&&) = default;
+  AggTable& operator=(AggTable&&) = default;
+
+  AggKind kind() const { return kind_; }
+  size_t size() const { return map_.size(); }
+  size_t key_width() const { return map_.key_width(); }
+
+  /// Folds one input value into the group of `key` (width key_width()).
+  void Update(const Value* key, double value) {
+    bool inserted = false;
+    AggState& state = map_.FindOrInsert(key, &inserted);
+    if (inserted) AggInit(kind_, &state);
+    AggUpdate(kind_, &state, value);
+  }
+
+  /// Approximate resident bytes including COUNT DISTINCT sets.
+  size_t ApproxBytes() const;
+
+  /// Finalizes every group into a key-sorted MeasureTable and clears the
+  /// table.
+  MeasureTable Materialize(SchemaPtr schema, const Granularity& gran,
+                           const std::string& name);
+
+  FlatKeyMap<AggState>& map() { return map_; }
+  const FlatKeyMap<AggState>& map() const { return map_; }
+
+ private:
+  AggKind kind_;
+  FlatKeyMap<AggState> map_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_AGG_TABLE_H_

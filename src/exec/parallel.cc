@@ -154,6 +154,9 @@ Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
         ExecContext shard_ctx = rs.Child(shard_span.id());
         // Budgets are per machine, not per shard.
         shard_ctx.options.memory_budget_bytes = shard_budget;
+        // One sort worker per shard: the shards already occupy every
+        // engine thread, so a parallel per-shard sort would oversubscribe.
+        shard_ctx.options.parallel_threads = 1;
         SortScanEngine engine;
         results[i] = engine.Run(workflow, parts[i], shard_ctx);
       });

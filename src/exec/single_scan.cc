@@ -6,15 +6,13 @@
 #include "algebra/measure_ops.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/agg_table.h"
 #include "exec/exec_context.h"
 #include "storage/record_batch.h"
 
 namespace csm {
 
 namespace {
-
-using StateMap =
-    std::unordered_map<std::vector<Value>, AggState, VectorHash>;
 
 /// One hash table maintained during the scan: either a user-declared basic
 /// measure or the implicit region enumerator (S_base) of a match join.
@@ -24,19 +22,8 @@ struct BaseJob {
   AggSpec agg;
   BoundExpr where;  // empty => no filter
   bool has_where = false;
-  StateMap states;
+  AggTable states;
 };
-
-size_t StatesBytes(const StateMap& states, int d) {
-  // Key vector + state registers + hash bucket overhead, approximate.
-  size_t per_entry = sizeof(AggState) +
-                     static_cast<size_t>(d) * sizeof(Value) + 48;
-  size_t bytes = states.size() * per_entry;
-  for (const auto& [k, s] : states) {
-    if (s.distinct) bytes += s.distinct->size() * 16;
-  }
-  return bytes;
-}
 
 }  // namespace
 
@@ -68,6 +55,7 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
       job.table_name = def.name;
       job.gran = def.gran;
       job.agg = def.agg;
+      job.states = AggTable(def.agg.kind, d);
       if (def.where != nullptr) {
         CSM_ASSIGN_OR_RETURN(job.where,
                              BoundExpr::Bind(*def.where, fact_vars));
@@ -82,6 +70,7 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
         job.table_name = "__regions" + def.gran.ToString(schema);
         job.gran = def.gran;
         job.agg = AggSpec{AggKind::kNone, -1};
+        job.states = AggTable(AggKind::kNone, d);
         enumerator_by_gran[key] = jobs.size();
         jobs.push_back(std::move(job));
       }
@@ -149,10 +138,8 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
           if (!job.where.EvalBool(slots.data())) continue;
         }
         for (int i = 0; i < d; ++i) key[i] = pass.cols[i][r];
-        auto [it, inserted] = job.states.try_emplace(key);
-        if (inserted) AggInit(job.agg.kind, &it->second);
-        AggUpdate(job.agg.kind, &it->second,
-                  arg_col != nullptr ? arg_col[r] : 1.0);
+        job.states.Update(key.data(),
+                          arg_col != nullptr ? arg_col[r] : 1.0);
       }
     }
   }
@@ -170,7 +157,7 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
     uint64_t peak_bytes = 0;
     for (const BaseJob& job : jobs) {
       peak_entries += job.states.size();
-      peak_bytes += StatesBytes(job.states, d);
+      peak_bytes += job.states.ApproxBytes();
       tracer.SetGaugeMax(scan_span.id(),
                          "hash_entries_hw/" + job.table_name,
                          static_cast<double>(job.states.size()));
@@ -187,18 +174,10 @@ Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
   // ---- Finalize base tables and evaluate composites.
   ScopedSpan combine_span(&tracer, "combine", rs.root());
   std::map<std::string, MeasureTable> tables;  // all computed measures
-  auto materialize = [&](BaseJob& job) {
-    MeasureTable table(workflow.schema(), job.gran, job.table_name);
-    table.Reserve(job.states.size());
-    for (const auto& [k, state] : job.states) {
-      table.Append(k.data(), AggFinalize(job.agg.kind, state));
-    }
-    table.SortByKeyLex();
-    job.states.clear();
-    return table;
-  };
   for (BaseJob& job : jobs) {
-    tables.emplace(job.table_name, materialize(job));
+    tables.emplace(job.table_name,
+                   job.states.Materialize(workflow.schema(), job.gran,
+                                          job.table_name));
   }
 
   // ---- Composite measures in topological order.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "algebra/evaluator.h"
+#include "common/flat_hash.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -100,6 +101,35 @@ bool StrictlyBefore(const Value* pos, size_t pos_len, const Frontier& f) {
   return false;
 }
 
+bool LexLess(const Value* a, const Value* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+/// Lexicographic minimum of the position prefixes in a table, maintained
+/// incrementally so propagation rounds can prove "no entry is finalized
+/// yet" in O(1) instead of sweeping the whole table. StrictlyBefore is
+/// monotone in the position order, so if the minimum position is not
+/// strictly before the watermark, no entry is.
+struct MinPos {
+  std::vector<Value> vals;
+  bool valid = false;
+
+  void Observe(const Value* pos, size_t len) {
+    if (!valid) {
+      vals.assign(pos, pos + len);
+      valid = true;
+    } else if (LexLess(pos, vals.data(), len)) {
+      vals.assign(pos, pos + len);
+    }
+  }
+  bool MayFlush(size_t len, const Frontier& f) const {
+    return valid && StrictlyBefore(vals.data(), len, f);
+  }
+};
+
 /// Conservative minimum: the frontier that finalizes no entry the other
 /// would keep. On a tie over the common prefix the shorter frontier wins
 /// (it finalizes less).
@@ -156,7 +186,8 @@ struct EdgeRt {
   std::vector<int64_t> sibling_shift;
   // kParentChild: parent values awaiting children, keyed by
   // parent-pos ++ parent-key; evicted once the consumer watermark passes.
-  std::map<std::vector<Value>, double> parent_values;
+  FlatKeyMap<double> parent_values;
+  MinPos min_pos;  // over parent_values' position prefixes
   PosCalc producer_pos;
 };
 
@@ -172,7 +203,8 @@ struct NodeRt {
   BoundExpr where;  // base nodes: fact-row filter
 
   PosCalc pos;
-  std::map<std::vector<Value>, NodeEntry> entries;  // pos ++ region key
+  FlatKeyMap<NodeEntry> entries;  // keyed pos ++ region key
+  MinPos min_pos;                 // over entries' position prefixes
   Frontier watermark;
 
   std::vector<int> in_edges;
@@ -180,12 +212,6 @@ struct NodeRt {
 
   bool keep_output = false;
   std::unique_ptr<MeasureTable> output;
-};
-
-struct Emission {
-  // Region key at the node's granularity, then the finalized value.
-  std::vector<Value> key;
-  double value;
 };
 
 class SortScanRun {
@@ -207,11 +233,14 @@ class SortScanRun {
     CSM_RETURN_NOT_OK(Prepare());
     CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
     SortStats sort_stats;
+    SortOptions sort_options;
+    sort_options.memory_budget_bytes = options_.memory_budget_bytes;
+    sort_options.temp_dir = &temp;
+    sort_options.threads = options_.parallel_threads;
+    sort_options.cancel = ctx_.cancel;
     CSM_ASSIGN_OR_RETURN(
         FactTable sorted,
-        SortFactTable(fact.Clone(), sort_key_,
-                      options_.memory_budget_bytes, &temp, &sort_stats,
-                      ctx_.cancel));
+        SortFactTable(fact.Clone(), sort_key_, sort_options, &sort_stats));
     RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
     sort_span.End();
 
@@ -235,11 +264,15 @@ class SortScanRun {
     CSM_RETURN_NOT_OK(Prepare());
     CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
     SortStats sort_stats;
+    SortOptions sort_options;
+    sort_options.memory_budget_bytes = options_.memory_budget_bytes;
+    sort_options.temp_dir = &temp;
+    sort_options.threads = options_.parallel_threads;
+    sort_options.cancel = ctx_.cancel;
     CSM_ASSIGN_OR_RETURN(
         std::unique_ptr<BatchCursor> cursor,
         SortFactFileBatchCursor(schema_ptr_, fact_path, sort_key_,
-                                options_.memory_budget_bytes, &temp,
-                                &sort_stats, ctx_.cancel));
+                                sort_options, &sort_stats));
     RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
     sort_span.End();
 
@@ -260,6 +293,10 @@ class SortScanRun {
                       static_cast<double>(sort_stats.runs));
     tracer.AddCounter(span, "spilled_bytes",
                       static_cast<double>(sort_stats.spilled_bytes));
+    tracer.AddCounter(span, "overlapped_runs",
+                      static_cast<double>(sort_stats.overlapped_runs));
+    tracer.SetAttr(span, "sort_threads",
+                   std::to_string(sort_stats.threads_used));
   }
 
   Status Prepare() {
@@ -350,7 +387,7 @@ class SortScanRun {
           }
           for (int i = 0; i < d_; ++i) gen_key[i] = pass.cols[i][r];
           if (entry == nullptr || gen_key != prev_key) {
-            entry = &Touch(node, gen_key, &map_key);
+            entry = &Touch(node, gen_key.data(), &map_key);
             prev_key = gen_key;
           }
           AggUpdate(node.agg.kind, &entry->state,
@@ -430,6 +467,10 @@ class SortScanRun {
       const int idx = static_cast<int>(edges_.size());
       nodes_[edge.producer]->out_edges.push_back(idx);
       nodes_[edge.consumer]->in_edges.push_back(idx);
+      if (edge.kind == ArcKind::kParentChild) {
+        edge.parent_values =
+            FlatKeyMap<double>(edge.producer_pos.len() + d_);
+      }
       edges_.push_back(std::move(edge));
       return idx;
     };
@@ -442,6 +483,7 @@ class SortScanRun {
       node->gran = gran;
       node->agg = AggSpec{AggKind::kNone, -1};
       node->pos = PosCalc(schema_, sort_key_, gran);
+      node->entries = FlatKeyMap<NodeEntry>(node->pos.len() + d_);
       int idx = add_node(std::move(node));
       scan_nodes_.push_back(idx);
       enum_by_gran[gran.levels()] = idx;
@@ -458,6 +500,7 @@ class SortScanRun {
       }
       node->match = def.match;
       node->pos = PosCalc(schema_, sort_key_, def.gran);
+      node->entries = FlatKeyMap<NodeEntry>(node->pos.len() + d_);
       node->keep_output = def.is_output || options_.include_hidden;
 
       switch (def.op) {
@@ -619,18 +662,21 @@ class SortScanRun {
 
   // ---- Scan-side entry maintenance ---------------------------------------
 
-  NodeEntry& Touch(NodeRt& node, const RegionKey& key,
+  NodeEntry& Touch(NodeRt& node, const Value* key,
                    std::vector<Value>* map_key) {
-    node.pos.Compute(schema_, key.data(), map_key);
-    map_key->insert(map_key->end(), key.begin(), key.end());
-    auto [it, inserted] = node.entries.try_emplace(*map_key);
+    node.pos.Compute(schema_, key, map_key);
+    map_key->insert(map_key->end(), key, key + d_);
+    bool inserted = false;
+    NodeEntry& entry = node.entries.FindOrInsert(map_key->data(),
+                                                 &inserted);
     if (inserted) {
-      AggInit(node.agg.kind, &it->second.state);
+      AggInit(node.agg.kind, &entry.state);
       if (node.kind == NodeKind::kCombine) {
-        it->second.slots.assign(node.n_slots, kNaN);
+        entry.slots.assign(node.n_slots, kNaN);
       }
+      node.min_pos.Observe(map_key->data(), node.pos.len());
     }
-    return it->second;
+    return entry;
   }
 
   // ---- Watermark propagation ----------------------------------------------
@@ -643,7 +689,6 @@ class SortScanRun {
   Status Propagate(const Value* next_dims) {
     RegionKey gen_key(d_);
     const Granularity base_gran = Granularity::Base(schema_);
-    std::vector<Emission> emissions;
     std::vector<double> filter_slots(d_ + 2);
 
     for (size_t node_idx = 0; node_idx < nodes_.size(); ++node_idx) {
@@ -668,78 +713,99 @@ class SortScanRun {
         node.watermark = wm;
       }
 
-      // -- Pop finalized entries.
-      emissions.clear();
+      // -- Pop finalized entries. The flush is sorted by map key so
+      // downstream updates arrive in the same lexicographic (pos ++ key)
+      // order the engine emitted with ordered maps — float accumulation
+      // order, and thus results, stay bit-identical.
+      // Emissions live in flat member buffers (keys packed d_ at a time)
+      // so a million finalized regions cost zero per-region allocations.
+      emit_keys_.clear();
+      emit_vals_.clear();
       const size_t pos_len = node.pos.len();
-      auto it = node.entries.begin();
-      while (it != node.entries.end() &&
-             StrictlyBefore(it->first.data(), pos_len, node.watermark)) {
-        const Value* rkey = it->first.data() + pos_len;
-        bool emit = true;
-        double value = 0;
-        switch (node.kind) {
-          case NodeKind::kBase:
-          case NodeKind::kEnum:
-          case NodeKind::kRollup:
-            value = AggFinalize(node.agg.kind, it->second.state);
-            break;
-          case NodeKind::kMatch: {
-            if (!it->second.exists) {
-              emit = false;
-              break;
-            }
-            if (node.match.type == MatchType::kParentChild) {
-              value = FoldParent(node, rkey);
-            } else {
-              value = AggFinalize(node.agg.kind, it->second.state);
-            }
-            break;
-          }
-          case NodeKind::kCombine: {
-            if (!it->second.exists) {
-              emit = false;
-              break;
-            }
-            combine_slots_.resize(d_ + node.n_slots);
-            for (int i = 0; i < d_; ++i) {
-              combine_slots_[i] = static_cast<double>(rkey[i]);
-            }
-            for (size_t i = 0; i < node.n_slots; ++i) {
-              combine_slots_[d_ + i] = it->second.slots[i];
-            }
-            value = node.fc.Eval(combine_slots_.data());
-            break;
-          }
-        }
-        if (emit) {
-          emissions.push_back(
-              {std::vector<Value>(rkey, rkey + d_), value});
-        }
-        it = node.entries.erase(it);
+      // Most rounds finalize nothing on most nodes (the watermark only
+      // crosses a position boundary every so often); the minimum-position
+      // bound proves that without touching the table.
+      if (node.min_pos.MayFlush(pos_len, node.watermark)) {
+        MinPos survivors_min;
+        node.entries.FlushIf(
+            [&](const Value* map_key, const NodeEntry&) {
+              if (StrictlyBefore(map_key, pos_len, node.watermark)) {
+                return true;
+              }
+              survivors_min.Observe(map_key, pos_len);
+              return false;
+            },
+            [&](const Value* map_key, NodeEntry&& entry) {
+              const Value* rkey = map_key + pos_len;
+              bool emit = true;
+              double value = 0;
+              switch (node.kind) {
+                case NodeKind::kBase:
+                case NodeKind::kEnum:
+                case NodeKind::kRollup:
+                  value = AggFinalize(node.agg.kind, entry.state);
+                  break;
+                case NodeKind::kMatch: {
+                  if (!entry.exists) {
+                    emit = false;
+                    break;
+                  }
+                  if (node.match.type == MatchType::kParentChild) {
+                    value = FoldParent(node, rkey);
+                  } else {
+                    value = AggFinalize(node.agg.kind, entry.state);
+                  }
+                  break;
+                }
+                case NodeKind::kCombine: {
+                  if (!entry.exists) {
+                    emit = false;
+                    break;
+                  }
+                  combine_slots_.resize(d_ + node.n_slots);
+                  for (int i = 0; i < d_; ++i) {
+                    combine_slots_[i] = static_cast<double>(rkey[i]);
+                  }
+                  for (size_t i = 0; i < node.n_slots; ++i) {
+                    combine_slots_[d_ + i] = entry.slots[i];
+                  }
+                  value = node.fc.Eval(combine_slots_.data());
+                  break;
+                }
+              }
+              if (emit) {
+                emit_keys_.insert(emit_keys_.end(), rkey, rkey + d_);
+                emit_vals_.push_back(value);
+              }
+            },
+            /*sorted_by_key=*/true);
+        node.min_pos = std::move(survivors_min);
       }
 
       // -- Keep output rows.
+      const size_t n_emit = emit_vals_.size();
       if (node.keep_output) {
-        for (const Emission& e : emissions) {
-          node.output->Append(e.key.data(), e.value);
+        for (size_t i = 0; i < n_emit; ++i) {
+          node.output->Append(&emit_keys_[i * d_], emit_vals_[i]);
         }
       }
-      rows_flushed_ += emissions.size();
+      rows_flushed_ += n_emit;
 
       // -- Push downstream and advance edge frontiers.
       for (int e : node.out_edges) {
         EdgeRt& edge = edges_[e];
         NodeRt& consumer = *nodes_[edge.consumer];
-        for (const Emission& emission : emissions) {
+        for (size_t i = 0; i < n_emit; ++i) {
+          const Value* key = &emit_keys_[i * d_];
+          const double value = emit_vals_[i];
           if (edge.has_filter) {
-            const Value* key = emission.key.data();
-            for (int i = 0; i < d_; ++i) {
-              filter_slots[i] = static_cast<double>(key[i]);
+            for (int j = 0; j < d_; ++j) {
+              filter_slots[j] = static_cast<double>(key[j]);
             }
-            filter_slots[d_] = filter_slots[d_ + 1] = emission.value;
+            filter_slots[d_] = filter_slots[d_ + 1] = value;
             if (!edge.filter.EvalBool(filter_slots.data())) continue;
           }
-          CSM_RETURN_NOT_OK(ApplyUpdate(edge, consumer, emission));
+          CSM_RETURN_NOT_OK(ApplyUpdate(edge, consumer, key, value));
         }
         edge.frontier = TransformFrontier(node.watermark, edge);
       }
@@ -753,11 +819,16 @@ class SortScanRun {
         const Frontier parent_wm =
             ConvertFrontier(node.watermark, node.pos, edge.producer_pos);
         const size_t plen = edge.producer_pos.len();
-        auto pit = edge.parent_values.begin();
-        while (pit != edge.parent_values.end() &&
-               StrictlyBefore(pit->first.data(), plen, parent_wm)) {
-          pit = edge.parent_values.erase(pit);
-        }
+        if (!edge.min_pos.MayFlush(plen, parent_wm)) continue;
+        MinPos survivors_min;
+        edge.parent_values.FlushIf(
+            [&](const Value* map_key, const double&) {
+              if (StrictlyBefore(map_key, plen, parent_wm)) return true;
+              survivors_min.Observe(map_key, plen);
+              return false;
+            },
+            [](const Value*, double&&) {});
+        edge.min_pos = std::move(survivors_min);
       }
     }
     return Status::OK();
@@ -771,56 +842,61 @@ class SortScanRun {
       EdgeRt& edge = edges_[e];
       if (edge.kind != ArcKind::kParentChild) continue;
       const NodeRt& producer = *nodes_[edge.producer];
-      RegionKey pkey(d_);
+      fold_pkey_.resize(d_);
+      RegionKey& pkey = fold_pkey_;
       GeneralizeKeyInto(schema_, rkey, node.gran, producer.gran, &pkey);
-      std::vector<Value> map_key;
+      std::vector<Value>& map_key = fold_key_;
       edge.producer_pos.Compute(schema_, pkey.data(), &map_key);
       map_key.insert(map_key.end(), pkey.begin(), pkey.end());
-      auto it = edge.parent_values.find(map_key);
-      if (it != edge.parent_values.end()) {
+      const double* parent = edge.parent_values.Find(map_key.data());
+      if (parent != nullptr) {
         // count(*) counts the matched parent even when its value is NULL.
         AggUpdate(node.agg.kind, &state,
-                  node.agg.arg >= 0 ? it->second : 1.0);
+                  node.agg.arg >= 0 ? *parent : 1.0);
       }
     }
     return AggFinalize(node.agg.kind, state);
   }
 
-  Status ApplyUpdate(EdgeRt& edge, NodeRt& consumer,
-                     const Emission& emission) {
-    std::vector<Value> map_key;
+  Status ApplyUpdate(EdgeRt& edge, NodeRt& consumer, const Value* key,
+                     double value) {
+    std::vector<Value>& map_key = apply_key_;
     switch (edge.kind) {
       case ArcKind::kExists: {
-        NodeEntry& entry = Touch(consumer, emission.key, &map_key);
+        NodeEntry& entry = Touch(consumer, key, &map_key);
         entry.exists = true;
         break;
       }
       case ArcKind::kSelf: {
-        NodeEntry& entry = Touch(consumer, emission.key, &map_key);
+        NodeEntry& entry = Touch(consumer, key, &map_key);
         AggUpdate(consumer.agg.kind, &entry.state,
-                  consumer.agg.arg >= 0 ? emission.value : 1.0);
+                  consumer.agg.arg >= 0 ? value : 1.0);
         break;
       }
       case ArcKind::kRollup: {
-        RegionKey up(d_);
-        GeneralizeKeyInto(schema_, emission.key.data(),
-                          nodes_[edge.producer]->gran, consumer.gran, &up);
-        NodeEntry& entry = Touch(consumer, up, &map_key);
+        apply_up_.resize(d_);
+        GeneralizeKeyInto(schema_, key, nodes_[edge.producer]->gran,
+                          consumer.gran, &apply_up_);
+        NodeEntry& entry = Touch(consumer, apply_up_.data(), &map_key);
         AggUpdate(consumer.agg.kind, &entry.state,
-                  consumer.agg.arg >= 0 ? emission.value : 1.0);
+                  consumer.agg.arg >= 0 ? value : 1.0);
         if (consumer.kind == NodeKind::kRollup) entry.exists = true;
         break;
       }
       case ArcKind::kParentChild: {
-        edge.producer_pos.Compute(schema_, emission.key.data(), &map_key);
-        map_key.insert(map_key.end(), emission.key.begin(),
-                       emission.key.end());
-        edge.parent_values[std::move(map_key)] = emission.value;
+        edge.producer_pos.Compute(schema_, key, &map_key);
+        map_key.insert(map_key.end(), key, key + d_);
+        bool inserted = false;
+        edge.parent_values.FindOrInsert(map_key.data(), &inserted) =
+            value;
+        if (inserted) {
+          edge.min_pos.Observe(map_key.data(), edge.producer_pos.len());
+        }
         break;
       }
       case ArcKind::kSibling: {
         // Fan the value out to every region whose window covers this key.
-        RegionKey skey = emission.key;
+        RegionKey skey(key, key + d_);
         const auto& windows = consumer.match.windows;
         std::vector<int64_t> offset(windows.size());
         for (size_t i = 0; i < windows.size(); ++i) {
@@ -830,8 +906,7 @@ class SortScanRun {
           bool valid = true;
           for (size_t i = 0; i < windows.size(); ++i) {
             const int64_t v =
-                static_cast<int64_t>(emission.key[windows[i].dim]) -
-                offset[i];
+                static_cast<int64_t>(key[windows[i].dim]) - offset[i];
             if (v < 0) {
               valid = false;
               break;
@@ -839,9 +914,9 @@ class SortScanRun {
             skey[windows[i].dim] = static_cast<Value>(v);
           }
           if (valid) {
-            NodeEntry& entry = Touch(consumer, skey, &map_key);
+            NodeEntry& entry = Touch(consumer, skey.data(), &map_key);
             AggUpdate(consumer.agg.kind, &entry.state,
-                      consumer.agg.arg >= 0 ? emission.value : 1.0);
+                      consumer.agg.arg >= 0 ? value : 1.0);
           }
           size_t i = 0;
           for (; i < windows.size(); ++i) {
@@ -853,8 +928,8 @@ class SortScanRun {
         break;
       }
       case ArcKind::kCombineSlot: {
-        NodeEntry& entry = Touch(consumer, emission.key, &map_key);
-        entry.slots[edge.slot] = emission.value;
+        NodeEntry& entry = Touch(consumer, key, &map_key);
+        entry.slots[edge.slot] = value;
         if (edge.slot == 0) entry.exists = true;
         break;
       }
@@ -936,25 +1011,22 @@ class SortScanRun {
       node_peak_entries_[i] =
           std::max<uint64_t>(node_peak_entries_[i], node->entries.size());
       entries += node->entries.size();
-      const size_t per_entry =
-          (node->pos.len() + d_) * sizeof(Value) + sizeof(NodeEntry) +
-          node->n_slots * sizeof(double) + 48;
-      bytes += node->entries.size() * per_entry;
+      bytes += node->entries.MemoryBytes() +
+               node->entries.size() * node->n_slots * sizeof(double);
       // Only holistic aggregates carry per-entry heap state; walking the
       // entries of every node per sample would make sampling O(footprint)
       // and dominate badly-ordered runs.
       if (node->agg.kind == AggKind::kCountDistinct) {
-        for (const auto& [key, entry] : node->entries) {
+        node->entries.ForEach([&](const Value*, const NodeEntry& entry) {
           if (entry.state.distinct) {
             bytes += entry.state.distinct->size() * 16;
           }
-        }
+        });
       }
     }
     for (const auto& edge : edges_) {
       entries += edge.parent_values.size();
-      bytes += edge.parent_values.size() *
-               ((edge.producer_pos.len() + d_) * sizeof(Value) + 56);
+      bytes += edge.parent_values.MemoryBytes();
     }
     peak_entries_ = std::max(peak_entries_, entries);
     peak_bytes_ = std::max(peak_bytes_, bytes);
@@ -976,6 +1048,18 @@ class SortScanRun {
   uint64_t peak_bytes_ = 0;
   std::vector<uint64_t> node_peak_entries_;
   std::vector<double> combine_slots_;
+
+  // Propagation scratch, reused across rounds: flat emission buffers
+  // (keys packed d_ values at a time, value i at emit_vals_[i]) and the
+  // key-building temporaries for ApplyUpdate / FoldParent. Keeping them
+  // as members removes every per-emission heap allocation from the
+  // finalize/push-downstream hot path.
+  std::vector<Value> emit_keys_;
+  std::vector<double> emit_vals_;
+  std::vector<Value> apply_key_;
+  RegionKey apply_up_;
+  RegionKey fold_pkey_;
+  std::vector<Value> fold_key_;
 };
 
 }  // namespace

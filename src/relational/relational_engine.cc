@@ -41,6 +41,7 @@ struct RunContext {
   std::string fact_path;  // the fact table's on-disk home
   size_t memory_budget = 0;
   size_t batch_rows = 1024;
+  int sort_threads = 1;
   Tracer* tracer = nullptr;
   SpanId span = kNoSpan;  // current "measure:<name>" span
   const std::atomic<bool>* cancel = nullptr;
@@ -119,14 +120,21 @@ Result<MeasureTable> SortGroupByFact(RunContext& ctx,
   SortKey order = GroupOrder(schema, gran);
   ScopedSpan sort_span(ctx.tracer, "sort", ctx.span);
   SortStats sort_stats;
-  CSM_ASSIGN_OR_RETURN(fact,
-                       SortFactTable(std::move(fact), order,
-                                     ctx.memory_budget, ctx.temp,
-                                     &sort_stats, ctx.cancel));
+  SortOptions sort_options;
+  sort_options.memory_budget_bytes = ctx.memory_budget;
+  sort_options.temp_dir = ctx.temp;
+  sort_options.threads = ctx.sort_threads;
+  sort_options.cancel = ctx.cancel;
+  CSM_ASSIGN_OR_RETURN(
+      fact, SortFactTable(std::move(fact), order, sort_options, &sort_stats));
   ctx.tracer->AddCounter(sort_span.id(), "spilled_bytes",
                          static_cast<double>(sort_stats.spilled_bytes));
   ctx.tracer->AddCounter(sort_span.id(), "sort_runs",
                          static_cast<double>(sort_stats.runs));
+  ctx.tracer->AddCounter(sort_span.id(), "overlapped_runs",
+                         static_cast<double>(sort_stats.overlapped_runs));
+  ctx.tracer->SetAttr(sort_span.id(), "sort_threads",
+                      std::to_string(sort_stats.threads_used));
   sort_span.End();
 
   // Streaming aggregation over the sorted run, batch-at-a-time: the
@@ -421,6 +429,7 @@ Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
   ctx.temp = &temp;
   ctx.memory_budget = exec_ctx.options.memory_budget_bytes;
   ctx.batch_rows = exec_ctx.options.scan_batch_rows;
+  ctx.sort_threads = exec_ctx.options.parallel_threads;
   ctx.tracer = &tracer;
   ctx.span = rs.root();
   ctx.cancel = exec_ctx.cancel;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <queue>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -11,20 +12,28 @@ namespace csm {
 
 namespace {
 
-/// Precomputes, for every row, the generalized sort-key columns followed by
-/// the full base dim tuple (tie breaker). Column-major layout would save
-/// nothing here; the comparator touches a prefix most of the time.
-std::vector<Value> BuildSortColumns(const FactTable& table,
-                                    const SortKey& key, int* width_out) {
+int ResolveSortThreads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Precomputes, for rows [begin, end), the generalized sort-key columns
+/// followed by the full base dim tuple (tie breaker). Column-major layout
+/// would save nothing here; the comparator touches a prefix most of the
+/// time.
+void BuildSortColumnsRange(const FactTable& table, const SortKey& key,
+                           size_t begin, size_t end,
+                           std::vector<Value>* cols, int* width_out) {
   const Schema& schema = *table.schema();
   const int k = key.size();
   const int d = table.num_dims();
   const int width = k + d;
   *width_out = width;
-  std::vector<Value> cols(table.num_rows() * static_cast<size_t>(width));
-  for (size_t row = 0; row < table.num_rows(); ++row) {
+  cols->resize((end - begin) * static_cast<size_t>(width));
+  for (size_t row = begin; row < end; ++row) {
     const Value* dims = table.dim_row(row);
-    Value* out = cols.data() + row * static_cast<size_t>(width);
+    Value* out = cols->data() + (row - begin) * static_cast<size_t>(width);
     for (int i = 0; i < k; ++i) {
       const SortKeyPart& p = key.part(i);
       out[i] = schema.dim(p.dim).hierarchy->Generalize(dims[p.dim], 0,
@@ -32,7 +41,6 @@ std::vector<Value> BuildSortColumns(const FactTable& table,
     }
     std::copy(dims, dims + d, out + k);
   }
-  return cols;
 }
 
 struct RowCursor {
@@ -69,10 +77,10 @@ struct RowCursor {
 }  // namespace
 
 Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
-                                size_t memory_budget_bytes,
-                                TempDir* temp_dir, SortStats* stats,
-                                const std::atomic<bool>* cancel) {
+                                const SortOptions& options,
+                                SortStats* stats) {
   Timer timer;
+  const std::atomic<bool>* cancel = options.cancel;
   auto cancelled = [cancel] {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   };
@@ -89,73 +97,190 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
   const size_t in_memory_need =
       input.num_rows() * row_bytes * 5 / 2 + (1 << 20);
 
-  if (in_memory_need <= memory_budget_bytes || temp_dir == nullptr) {
+  if (in_memory_need <= options.memory_budget_bytes ||
+      options.temp_dir == nullptr) {
     int width = 0;
-    std::vector<Value> cols = BuildSortColumns(input, key, &width);
+    std::vector<Value> cols;
+    BuildSortColumnsRange(input, key, 0, input.num_rows(), &cols, &width);
     std::vector<uint32_t> perm(input.num_rows());
     std::iota(perm.begin(), perm.end(), 0);
-    std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+    // Row-index tie-break makes this the stable sort of the input, so the
+    // partitioned path below (and the external path) reproduce it exactly.
+    auto less = [&](uint32_t x, uint32_t y) {
       const Value* a = cols.data() + static_cast<size_t>(x) * width;
       const Value* b = cols.data() + static_cast<size_t>(y) * width;
       for (int i = 0; i < width; ++i) {
         if (a[i] != b[i]) return a[i] < b[i];
       }
-      return false;
-    });
-    input.Permute(perm);
-    local.seconds = timer.Seconds();
-    if (stats != nullptr) *stats = local;
-    return std::move(input);
-  }
-
-  // External path: spill sorted runs of ~budget/2, then k-way merge.
-  const size_t run_rows =
-      std::max<size_t>(1024, memory_budget_bytes / 2 / row_bytes);
-  std::vector<std::string> run_paths;
-
-  {
-    FactTable chunk(input.schema());
-    chunk.Reserve(run_rows);
-    size_t row = 0;
-    while (row < input.num_rows()) {
-      if (cancelled()) {
-        for (const auto& path : run_paths) RemoveFileIfExists(path);
-        return Status::Cancelled("sort cancelled while spilling runs");
+      return x < y;
+    };
+    const size_t n = perm.size();
+    size_t t = static_cast<size_t>(ResolveSortThreads(options.threads));
+    t = std::min(t, n / 4096);  // below ~4k rows/worker threads cost more
+    if (t > 1) {
+      std::vector<size_t> bounds(t + 1);
+      for (size_t i = 0; i <= t; ++i) bounds[i] = n * i / t;
+      std::vector<std::thread> workers;
+      workers.reserve(t - 1);
+      for (size_t i = 1; i < t; ++i) {
+        workers.emplace_back([&, i] {
+          std::sort(perm.begin() + bounds[i], perm.begin() + bounds[i + 1],
+                    less);
+        });
       }
-      chunk.Clear();
-      const size_t end = std::min(input.num_rows(), row + run_rows);
-      for (; row < end; ++row) {
-        chunk.AppendRow(input.dim_row(row), input.measure_row(row));
-      }
-      int width = 0;
-      std::vector<Value> cols = BuildSortColumns(chunk, key, &width);
-      std::vector<uint32_t> perm(chunk.num_rows());
-      std::iota(perm.begin(), perm.end(), 0);
-      std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+      std::sort(perm.begin() + bounds[0], perm.begin() + bounds[1], less);
+      for (std::thread& w : workers) w.join();
+      // Pairwise stable merges: each range holds a contiguous block of
+      // row indices, so left-biased ties keep the global row order —
+      // identical output to the single sort with the index tie-break.
+      auto cols_less = [&](uint32_t x, uint32_t y) {
         const Value* a = cols.data() + static_cast<size_t>(x) * width;
         const Value* b = cols.data() + static_cast<size_t>(y) * width;
         for (int i = 0; i < width; ++i) {
           if (a[i] != b[i]) return a[i] < b[i];
         }
         return false;
-      });
-      SpillWriter writer;
-      std::string path = temp_dir->NewFilePath("sort-run");
-      CSM_RETURN_NOT_OK(writer.Open(path));
-      for (uint32_t src : perm) {
-        CSM_RETURN_NOT_OK(
-            writer.Write(chunk.dim_row(src), d * sizeof(Value)));
-        if (m > 0) {
-          CSM_RETURN_NOT_OK(
-              writer.Write(chunk.measure_row(src), m * sizeof(double)));
+      };
+      for (size_t step = 1; step < t; step *= 2) {
+        if (cancelled()) {
+          return Status::Cancelled("sort cancelled during merge");
+        }
+        for (size_t i = 0; i + step < t; i += 2 * step) {
+          std::inplace_merge(perm.begin() + bounds[i],
+                             perm.begin() + bounds[i + step],
+                             perm.begin() + bounds[std::min(i + 2 * step, t)],
+                             cols_less);
         }
       }
-      local.spilled_bytes += writer.bytes_written();
-      CSM_RETURN_NOT_OK(writer.Close());
-      run_paths.push_back(std::move(path));
+      local.threads_used = static_cast<int>(t);
+    } else {
+      std::sort(perm.begin(), perm.end(), less);
+    }
+    input.Permute(perm);
+    local.seconds = timer.Seconds();
+    if (stats != nullptr) *stats = local;
+    return std::move(input);
+  }
+
+  // External path: workers pull fixed row ranges of the input, sort them
+  // via a local permutation (the chunk rows are never copied), and spill
+  // sorted runs concurrently — one worker's spill I/O overlaps another's
+  // sort. A single multi-way merge pass follows.
+  const size_t rows = input.num_rows();
+  if (rows == 0) {
+    local.seconds = timer.Seconds();
+    if (stats != nullptr) *stats = local;
+    return std::move(input);
+  }
+  int t = ResolveSortThreads(options.threads);
+  const size_t run_rows = std::max<size_t>(
+      1024, options.memory_budget_bytes / 2 / row_bytes /
+                static_cast<size_t>(t));
+  const size_t num_chunks = (rows + run_rows - 1) / run_rows;
+  t = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(t), num_chunks));
+  local.threads_used = t;
+
+  std::vector<std::string> run_paths(num_chunks);
+  for (size_t g = 0; g < num_chunks; ++g) {
+    run_paths[g] = options.temp_dir->NewFilePath("sort-run");
+  }
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<int> active_workers{0};
+  std::atomic<uint64_t> spilled_bytes{0};
+  std::atomic<uint64_t> overlapped_runs{0};
+  std::atomic<bool> failed{false};
+
+  auto run_worker = [&]() -> Status {
+    std::vector<Value> cols;
+    std::vector<uint32_t> perm;
+    for (;;) {
+      if (cancelled() || failed.load(std::memory_order_relaxed)) {
+        return Status::OK();
+      }
+      const size_t g = next_chunk.fetch_add(1);
+      if (g >= num_chunks) return Status::OK();
+      active_workers.fetch_add(1);
+      const size_t begin = g * run_rows;
+      const size_t end = std::min(rows, begin + run_rows);
+      int width = 0;
+      BuildSortColumnsRange(input, key, begin, end, &cols, &width);
+      perm.resize(end - begin);
+      std::iota(perm.begin(), perm.end(), 0);
+      // Local-index ties equal global row order (the chunk is one
+      // contiguous row range), and the merge breaks ties by run index,
+      // so the merged output is the stable sort of the whole input —
+      // byte-identical for any thread count or budget.
+      std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+        const Value* a = cols.data() + static_cast<size_t>(x) * width;
+        const Value* b = cols.data() + static_cast<size_t>(y) * width;
+        for (int i = 0; i < width; ++i) {
+          if (a[i] != b[i]) return a[i] < b[i];
+        }
+        return x < y;
+      });
+      Status status = [&]() -> Status {
+        SpillWriter writer;
+        CSM_RETURN_NOT_OK(writer.Open(run_paths[g]));
+        if (active_workers.load(std::memory_order_relaxed) > 1) {
+          overlapped_runs.fetch_add(1, std::memory_order_relaxed);
+        }
+        size_t written = 0;
+        for (uint32_t src : perm) {
+          if ((written++ & 4095) == 4095 && cancelled()) {
+            return Status::Cancelled("sort cancelled while spilling runs");
+          }
+          CSM_RETURN_NOT_OK(writer.Write(input.dim_row(begin + src),
+                                         d * sizeof(Value)));
+          if (m > 0) {
+            CSM_RETURN_NOT_OK(writer.Write(
+                input.measure_row(begin + src), m * sizeof(double)));
+          }
+        }
+        spilled_bytes.fetch_add(writer.bytes_written(),
+                                std::memory_order_relaxed);
+        return writer.Close();
+      }();
+      active_workers.fetch_sub(1);
+      if (!status.ok()) return status;
+    }
+  };
+
+  std::vector<Status> worker_status(t);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(t - 1);
+    for (int i = 1; i < t; ++i) {
+      workers.emplace_back([&, i] {
+        worker_status[i] = run_worker();
+        if (!worker_status[i].ok()) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    worker_status[0] = run_worker();
+    if (!worker_status[0].ok()) {
+      failed.store(true, std::memory_order_relaxed);
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  auto cleanup_runs = [&] {
+    for (const auto& path : run_paths) RemoveFileIfExists(path);
+  };
+  for (const Status& status : worker_status) {
+    if (!status.ok() && !status.IsCancelled()) {
+      cleanup_runs();
+      return status;
     }
   }
-  local.runs = run_paths.size();
+  if (cancelled() || failed.load()) {
+    cleanup_runs();
+    return Status::Cancelled("sort cancelled while spilling runs");
+  }
+  local.runs = num_chunks;
+  local.spilled_bytes = spilled_bytes.load();
+  local.overlapped_runs = overlapped_runs.load();
   input.Clear();
 
   // Merge.
@@ -175,7 +300,7 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
     for (int i = 0; i < width; ++i) {
       if (a[i] != b[i]) return a[i] > b[i];
     }
-    return x > y;
+    return x > y;  // run index order = global row order on full ties
   };
   std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(
       greater);
@@ -188,7 +313,7 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
   size_t merged = 0;
   while (!heap.empty()) {
     if ((merged++ & 4095) == 0 && cancelled()) {
-      for (const auto& path : run_paths) RemoveFileIfExists(path);
+      cleanup_runs();
       return Status::Cancelled("sort cancelled during merge");
     }
     size_t i = heap.top();
@@ -200,7 +325,7 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
   for (auto& cursor : cursors) {
     CSM_RETURN_NOT_OK(cursor.reader.Close());
   }
-  for (const auto& path : run_paths) RemoveFileIfExists(path);
+  cleanup_runs();
 
   local.seconds = timer.Seconds();
   if (stats != nullptr) *stats = local;

@@ -16,25 +16,51 @@ struct SortStats {
   uint64_t rows = 0;
   uint64_t runs = 0;           // 0 for a pure in-memory sort
   uint64_t spilled_bytes = 0;  // run files written
+  uint64_t overlapped_runs = 0;  // runs written while another worker was
+                                 // sorting or spilling concurrently
+  int threads_used = 1;  // run-generation workers actually spawned
   double seconds = 0;
 };
 
+/// Knobs of a sort. `threads` controls run generation: chunks are sorted
+/// (and their spill I/O overlapped) on this many workers; 0 means hardware
+/// concurrency. The merge stays single-pass regardless.
+struct SortOptions {
+  size_t memory_budget_bytes = 256ull << 20;
+  TempDir* temp_dir = nullptr;
+  int threads = 1;
+  /// Polled between chunks and merge batches; when it becomes true the
+  /// sort stops and returns Status::Cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 /// Sorts a fact table by `key` (an order vector over generalized dimension
-/// values; ties broken by the full base-level dimension tuple so the result
-/// order is total and deterministic).
+/// values; ties broken by the full base-level dimension tuple, then by
+/// source row index, so the result is the *stable* sort of the input and
+/// identical across thread counts and budgets).
 ///
-/// When the table fits in `memory_budget_bytes` the sort happens in memory;
-/// otherwise the classic external merge sort is used: sorted runs of
-/// ~budget/2 bytes are spilled into `temp_dir` and merged in one multi-way
-/// pass. The paper's evaluation framework assumes exactly this sort
-/// machinery between scan passes (§5.2).
-///
-/// `cancel` (optional) is polled between runs and merge batches; when it
-/// becomes true the sort stops and returns Status::Cancelled.
+/// When the table fits in `memory_budget_bytes` the sort happens in memory
+/// (partitioned across workers and merged when options.threads > 1);
+/// otherwise the classic external merge sort is used: workers pull chunks
+/// of the input, sort them in place (no copy of the chunk rows), and spill
+/// sorted runs into `temp_dir` concurrently, then one multi-way merge pass
+/// produces the output. The paper's evaluation framework assumes exactly
+/// this sort machinery between scan passes (§5.2).
 Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
-                                size_t memory_budget_bytes,
-                                TempDir* temp_dir, SortStats* stats,
-                                const std::atomic<bool>* cancel = nullptr);
+                                const SortOptions& options,
+                                SortStats* stats = nullptr);
+
+/// Single-threaded convenience overload (the pre-parallel signature).
+inline Result<FactTable> SortFactTable(
+    FactTable&& input, const SortKey& key, size_t memory_budget_bytes,
+    TempDir* temp_dir, SortStats* stats,
+    const std::atomic<bool>* cancel = nullptr) {
+  SortOptions options;
+  options.memory_budget_bytes = memory_budget_bytes;
+  options.temp_dir = temp_dir;
+  options.cancel = cancel;
+  return SortFactTable(std::move(input), key, options, stats);
+}
 
 }  // namespace csm
 

@@ -1,9 +1,13 @@
 #include "storage/record_cursor.h"
 
 #include <algorithm>
-#include <numeric>
+#include <condition_variable>
+#include <deque>
 #include <limits>
+#include <mutex>
+#include <numeric>
 #include <queue>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -148,11 +152,72 @@ std::unique_ptr<RecordCursor> MakeFactTableCursor(const FactTable& table) {
   return std::make_unique<FactTableCursor>(table);
 }
 
+namespace {
+
+/// One run-sized slice of the fact file, tagged with its run index so
+/// workers can write run files in input order no matter who sorts what.
+struct PendingChunk {
+  size_t index = 0;
+  std::unique_ptr<FactTable> table;
+};
+
+/// The reader/sorter hand-off of the pipelined file sort: the caller
+/// thread pushes chunks (blocking while the queue is full, which bounds
+/// memory) and sort workers pop them. Close() wakes everyone up.
+class BoundedChunkQueue {
+ public:
+  explicit BoundedChunkQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Push(PendingChunk chunk) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return items_.size() < capacity_ || closed_;
+    });
+    if (closed_) return;  // shutting down: drop the chunk
+    items_.push_back(std::move(chunk));
+    not_empty_.notify_one();
+  }
+
+  bool Pop(PendingChunk* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool HasBacklog() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !items_.empty();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<PendingChunk> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
 Result<std::unique_ptr<BatchCursor>> SortFactFileBatchCursor(
     SchemaPtr schema, const std::string& path, const SortKey& key,
-    size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
-    const std::atomic<bool>* cancel) {
+    const SortOptions& options, SortStats* stats) {
   Timer timer;
+  const std::atomic<bool>* cancel = options.cancel;
+  TempDir* temp_dir = options.temp_dir;
   auto cancelled = [cancel] {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   };
@@ -162,9 +227,18 @@ Result<std::unique_ptr<BatchCursor>> SortFactFileBatchCursor(
   const size_t row_bytes =
       static_cast<size_t>(d) * sizeof(Value) +
       static_cast<size_t>(m) * sizeof(double);
-  // Run-size the chunks so chunk + sort columns + permutation fit.
+  int threads = options.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  constexpr size_t kQueueDepth = 2;
+  // Run-size the chunks so every chunk in flight (queued + being sorted,
+  // each charged chunk + sort columns + permutation) fits the budget.
   const size_t run_rows = std::max<size_t>(
-      1024, memory_budget_bytes / 3 / std::max<size_t>(row_bytes, 1));
+      1024, options.memory_budget_bytes / 3 /
+                std::max<size_t>(row_bytes, 1) /
+                (static_cast<size_t>(threads) + kQueueDepth));
 
   SpillReader reader;
   CSM_RETURN_NOT_OK(reader.Open(path));
@@ -181,60 +255,137 @@ Result<std::unique_ptr<BatchCursor>> SortFactFileBatchCursor(
   }
   const uint64_t total_rows = header[3];
   local.rows = total_rows;
+  const size_t num_chunks =
+      static_cast<size_t>((total_rows + run_rows - 1) / run_rows);
+  threads = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(threads), std::max<size_t>(num_chunks, 1)));
+  local.threads_used = threads;
 
-  std::vector<std::string> run_paths;
-  FactTable chunk(schema);
-  chunk.Reserve(std::min<uint64_t>(run_rows, total_rows));
-  std::vector<Value> dims(d);
-  std::vector<double> measures(m);
+  std::vector<std::string> run_paths(num_chunks);
+  for (size_t g = 0; g < num_chunks; ++g) {
+    run_paths[g] = temp_dir->NewFilePath("scan-run");
+  }
 
-  auto flush_chunk = [&]() -> Status {
-    if (chunk.num_rows() == 0) return Status::OK();
-    if (cancelled()) {
-      for (const auto& rp : run_paths) RemoveFileIfExists(rp);
-      return Status::Cancelled("file sort cancelled while spilling runs");
-    }
-    SortStats chunk_stats;
-    // In-memory sort of the chunk (no temp dir: never spills here).
-    auto sorted = SortFactTable(std::move(chunk), key,
-                                std::numeric_limits<size_t>::max(),
-                                nullptr, &chunk_stats);
-    CSM_RETURN_NOT_OK(sorted.status());
-    SpillWriter writer;
-    std::string run_path = temp_dir->NewFilePath("scan-run");
-    CSM_RETURN_NOT_OK(writer.Open(run_path));
-    for (size_t row = 0; row < sorted->num_rows(); ++row) {
-      CSM_RETURN_NOT_OK(
-          writer.Write(sorted->dim_row(row), d * sizeof(Value)));
-      if (m > 0) {
-        CSM_RETURN_NOT_OK(
-            writer.Write(sorted->measure_row(row), m * sizeof(double)));
+  BoundedChunkQueue queue(kQueueDepth);
+  std::atomic<int> active_workers{0};
+  std::atomic<uint64_t> spilled_bytes{0};
+  std::atomic<uint64_t> overlapped_runs{0};
+  std::atomic<bool> failed{false};
+
+  // Sort worker: pops a chunk, sorts it in memory (stable: ties keep the
+  // chunk's input order), and spills one run file. Runs whose write
+  // happens while another chunk is queued or being sorted overlapped
+  // useful work — that is the pipelining the bounded queue buys.
+  auto sort_worker = [&]() -> Status {
+    Status first_error;
+    PendingChunk chunk;
+    while (queue.Pop(&chunk)) {
+      // After a failure (ours or a peer's) keep draining so the reader
+      // never blocks forever in Push against a full queue.
+      if (cancelled() || failed.load(std::memory_order_relaxed)) continue;
+      active_workers.fetch_add(1);
+      Status chunk_status = [&]() -> Status {
+        auto sorted = SortFactTable(std::move(*chunk.table), key,
+                                    std::numeric_limits<size_t>::max(),
+                                    nullptr, nullptr);
+        CSM_RETURN_NOT_OK(sorted.status());
+        SpillWriter writer;
+        CSM_RETURN_NOT_OK(writer.Open(run_paths[chunk.index]));
+        if (queue.HasBacklog() ||
+            active_workers.load(std::memory_order_relaxed) > 1) {
+          overlapped_runs.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (size_t row = 0; row < sorted->num_rows(); ++row) {
+          CSM_RETURN_NOT_OK(
+              writer.Write(sorted->dim_row(row), d * sizeof(Value)));
+          if (m > 0) {
+            CSM_RETURN_NOT_OK(writer.Write(sorted->measure_row(row),
+                                           m * sizeof(double)));
+          }
+        }
+        spilled_bytes.fetch_add(writer.bytes_written(),
+                                std::memory_order_relaxed);
+        return writer.Close();
+      }();
+      active_workers.fetch_sub(1);
+      if (!chunk_status.ok() && first_error.ok()) {
+        first_error = std::move(chunk_status);
+        failed.store(true, std::memory_order_relaxed);
       }
     }
-    local.spilled_bytes += writer.bytes_written();
-    CSM_RETURN_NOT_OK(writer.Close());
-    run_paths.push_back(std::move(run_path));
-    chunk = FactTable(schema);
-    chunk.Reserve(run_rows);
-    return Status::OK();
+    return first_error;
   };
 
-  for (uint64_t row = 0; row < total_rows; ++row) {
-    if (!reader.Read(dims.data(), d * sizeof(Value), &status)) {
-      return status.ok() ? Status::IOError("fact file truncated: " + path)
-                         : status;
-    }
-    if (m > 0 &&
-        !reader.Read(measures.data(), m * sizeof(double), &status)) {
-      return status.ok() ? Status::IOError("fact file truncated: " + path)
-                         : status;
-    }
-    chunk.AppendRow(dims.data(), measures.data());
-    if (chunk.num_rows() >= run_rows) CSM_RETURN_NOT_OK(flush_chunk());
+  std::vector<Status> worker_status(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] { worker_status[i] = sort_worker(); });
   }
-  CSM_RETURN_NOT_OK(flush_chunk());
-  CSM_RETURN_NOT_OK(reader.Close());
-  local.runs = run_paths.size();
+
+  // Reader loop (caller thread): stream the file into run-sized chunks.
+  Status read_status = [&]() -> Status {
+    FactTable chunk(schema);
+    chunk.Reserve(std::min<uint64_t>(run_rows, total_rows));
+    std::vector<Value> dims(d);
+    std::vector<double> measures(m);
+    size_t chunk_index = 0;
+    for (uint64_t row = 0; row < total_rows; ++row) {
+      if (!reader.Read(dims.data(), d * sizeof(Value), &status)) {
+        return status.ok()
+                   ? Status::IOError("fact file truncated: " + path)
+                   : status;
+      }
+      if (m > 0 &&
+          !reader.Read(measures.data(), m * sizeof(double), &status)) {
+        return status.ok()
+                   ? Status::IOError("fact file truncated: " + path)
+                   : status;
+      }
+      chunk.AppendRow(dims.data(), measures.data());
+      if (chunk.num_rows() >= run_rows) {
+        if (cancelled() || failed.load(std::memory_order_relaxed)) {
+          return Status::Cancelled(
+              "file sort cancelled while spilling runs");
+        }
+        queue.Push(PendingChunk{
+            chunk_index++, std::make_unique<FactTable>(std::move(chunk))});
+        chunk = FactTable(schema);
+        chunk.Reserve(run_rows);
+      }
+    }
+    if (chunk.num_rows() > 0) {
+      if (cancelled() || failed.load(std::memory_order_relaxed)) {
+        return Status::Cancelled("file sort cancelled while spilling runs");
+      }
+      queue.Push(PendingChunk{
+          chunk_index++, std::make_unique<FactTable>(std::move(chunk))});
+    }
+    return reader.Close();
+  }();
+  queue.Close();
+  for (std::thread& w : workers) w.join();
+
+  auto cleanup_runs = [&] {
+    for (const auto& rp : run_paths) RemoveFileIfExists(rp);
+  };
+  for (const Status& ws : worker_status) {
+    if (!ws.ok()) {
+      cleanup_runs();
+      return ws;
+    }
+  }
+  if (!read_status.ok()) {
+    cleanup_runs();
+    return read_status;
+  }
+  if (cancelled()) {
+    cleanup_runs();
+    return Status::Cancelled("file sort cancelled while spilling runs");
+  }
+  local.runs = num_chunks;
+  local.spilled_bytes = spilled_bytes.load();
+  local.overlapped_runs = overlapped_runs.load();
 
   auto cursor = std::make_unique<MergingBatchCursor>(
       std::move(schema), key, std::move(run_paths));

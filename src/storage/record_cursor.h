@@ -58,10 +58,29 @@ Result<std::unique_ptr<RecordCursor>> SortFactFileCursor(
 /// consumer side). The final batch of the stream is short when the row
 /// count is not a multiple of the batch capacity. This is the engines'
 /// out-of-core scan input.
+///
+/// Run generation is pipelined: the caller thread reads chunks of the
+/// fact file into a bounded queue while options.threads workers pull
+/// chunks, sort them, and spill runs — so spill I/O overlaps both file
+/// reading and sorting. Chunk sorts are stable and the merge breaks ties
+/// by run index, so the streamed order is identical for any thread count
+/// or budget.
 Result<std::unique_ptr<BatchCursor>> SortFactFileBatchCursor(
     SchemaPtr schema, const std::string& path, const SortKey& key,
+    const SortOptions& options, SortStats* stats = nullptr);
+
+/// Single-threaded convenience overload (the pre-parallel signature).
+inline Result<std::unique_ptr<BatchCursor>> SortFactFileBatchCursor(
+    SchemaPtr schema, const std::string& path, const SortKey& key,
     size_t memory_budget_bytes, TempDir* temp_dir, SortStats* stats,
-    const std::atomic<bool>* cancel = nullptr);
+    const std::atomic<bool>* cancel = nullptr) {
+  SortOptions options;
+  options.memory_budget_bytes = memory_budget_bytes;
+  options.temp_dir = temp_dir;
+  options.cancel = cancel;
+  return SortFactFileBatchCursor(std::move(schema), path, key, options,
+                                 stats);
+}
 
 }  // namespace csm
 

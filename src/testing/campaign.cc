@@ -1,5 +1,8 @@
 #include "testing/campaign.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/hash.h"
@@ -12,35 +15,150 @@
 namespace csm {
 namespace testing_util {
 
+namespace {
+constexpr char kCheckpointHeader[] = "csm-fuzz-checkpoint v1";
+}  // namespace
+
 std::string CampaignStats::Summary() const {
   return std::to_string(runs_completed) + " runs, " +
          std::to_string(configs_checked) + " configs checked, " +
          std::to_string(rows_generated) + " rows generated, " +
-         std::to_string(findings.size()) + " divergence(s)";
+         std::to_string(prior_findings + findings.size()) +
+         " divergence(s)";
+}
+
+Result<CampaignCheckpoint> CampaignCheckpoint::Load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open checkpoint: " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header) || header != kCheckpointHeader) {
+    return Status::InvalidArgument("not a fuzz checkpoint: " + path);
+  }
+  CampaignCheckpoint cp;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string name;
+    long long value = 0;
+    if (!(fields >> name >> value)) {
+      return Status::InvalidArgument("malformed checkpoint line: " + line);
+    }
+    if (name == "seed") {
+      cp.seed = static_cast<uint64_t>(value);
+    } else if (name == "runs") {
+      cp.runs = static_cast<int>(value);
+    } else if (name == "next_run") {
+      cp.next_run = static_cast<int>(value);
+    } else if (name == "next_config") {
+      cp.next_config = static_cast<int>(value);
+    } else if (name == "runs_completed") {
+      cp.runs_completed = static_cast<int>(value);
+    } else if (name == "configs_checked") {
+      cp.configs_checked = value;
+    } else if (name == "rows_generated") {
+      cp.rows_generated = static_cast<uint64_t>(value);
+    } else if (name == "findings") {
+      cp.findings = static_cast<int>(value);
+    }
+    // Unknown keys are ignored so newer writers stay readable.
+  }
+  return cp;
+}
+
+Status CampaignCheckpoint::Save(const std::string& path) const {
+  // Write-then-rename so an interrupt mid-write never corrupts the
+  // checkpoint being replaced.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot write checkpoint: " + tmp);
+    }
+    out << kCheckpointHeader << "\n"
+        << "seed " << seed << "\n"
+        << "runs " << runs << "\n"
+        << "next_run " << next_run << "\n"
+        << "next_config " << next_config << "\n"
+        << "runs_completed " << runs_completed << "\n"
+        << "configs_checked " << configs_checked << "\n"
+        << "rows_generated " << rows_generated << "\n"
+        << "findings " << findings << "\n";
+    if (!out.flush()) {
+      return Status::IOError("cannot write checkpoint: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename checkpoint into place: " + path);
+  }
+  return Status::OK();
 }
 
 Result<CampaignStats> RunCampaign(const CampaignOptions& options) {
   CampaignStats stats;
   Timer timer;
   Tracer* tracer = options.tracer;
+
+  uint64_t seed = options.seed;
+  int runs = options.runs;
+  int start_run = 0;
+  int start_config = 0;
+  if (options.resume) {
+    if (options.checkpoint_path.empty()) {
+      return Status::InvalidArgument(
+          "campaign resume requires a checkpoint path");
+    }
+    CSM_ASSIGN_OR_RETURN(CampaignCheckpoint cp,
+                         CampaignCheckpoint::Load(options.checkpoint_path));
+    seed = cp.seed;
+    runs = cp.runs;
+    start_run = cp.next_run;
+    start_config = cp.next_config;
+    stats.runs_completed = cp.runs_completed;
+    stats.configs_checked = cp.configs_checked;
+    stats.rows_generated = cp.rows_generated;
+    stats.prior_findings = cp.findings;
+  }
+  auto save_checkpoint = [&](int next_run, int next_config) -> Status {
+    if (options.checkpoint_path.empty()) return Status::OK();
+    CampaignCheckpoint cp;
+    cp.seed = seed;
+    cp.runs = runs;
+    cp.next_run = next_run;
+    cp.next_config = next_config;
+    cp.runs_completed = stats.runs_completed;
+    cp.configs_checked = stats.configs_checked;
+    cp.rows_generated = stats.rows_generated;
+    cp.findings =
+        stats.prior_findings + static_cast<int>(stats.findings.size());
+    return cp.Save(options.checkpoint_path);
+  };
+
   ScopedSpan campaign_span(tracer, "fuzz-campaign");
   if (tracer != nullptr) {
-    tracer->SetAttr(campaign_span.id(), "seed",
-                    std::to_string(options.seed));
+    tracer->SetAttr(campaign_span.id(), "seed", std::to_string(seed));
+    if (options.resume) {
+      tracer->SetAttr(campaign_span.id(), "resumed_from",
+                      std::to_string(start_run) + ":" +
+                          std::to_string(start_config));
+    }
     if (options.fault.enabled) {
       tracer->SetAttr(campaign_span.id(), "fault",
                       options.fault.ToText());
     }
   }
 
-  for (int run = 0; run < options.runs; ++run) {
+  for (int run = start_run; run < runs; ++run) {
     if (options.max_seconds > 0 && timer.Seconds() > options.max_seconds) {
       break;
     }
     // One independent generator per run: campaigns replay run-for-run
     // from the seed alone, and a single run can be re-derived without
     // replaying its predecessors.
-    Rng rng(Mix64(options.seed) ^ Mix64(0x5eedf00d + run));
+    Rng rng(Mix64(seed) ^ Mix64(0x5eedf00d + run));
 
     // Random small schema. Low fan-outs and shallow hierarchies keep
     // regions colliding, which is where frontier bugs hide.
@@ -67,7 +185,10 @@ Result<CampaignStats> RunCampaign(const CampaignOptions& options) {
       tracer->SetAttr(run_span.id(), "measures",
                       std::to_string(workflow.measures().size()));
     }
-    stats.rows_generated += fact.num_rows();
+    // On a mid-run resume the previous segment already counted this
+    // run's rows when it first generated them.
+    const bool resumed_mid_run = run == start_run && start_config > 0;
+    if (!resumed_mid_run) stats.rows_generated += fact.num_rows();
 
     auto reference = ComputeReference(workflow, fact);
     CSM_RETURN_NOT_OK(reference.status().WithContext(
@@ -78,6 +199,7 @@ Result<CampaignStats> RunCampaign(const CampaignOptions& options) {
     for (const EngineConfig& config :
          BuildConfigMatrix(schema, rng)) {
       ++config_index;
+      if (resumed_mid_run && config_index < start_config) continue;
       CSM_ASSIGN_OR_RETURN(
           std::optional<Divergence> divergence,
           CheckConfig(workflow, fact, *reference, config, options.fault));
@@ -85,7 +207,10 @@ Result<CampaignStats> RunCampaign(const CampaignOptions& options) {
       if (tracer != nullptr) {
         tracer->AddCounter(run_span.id(), "configs_checked", 1);
       }
-      if (!divergence.has_value()) continue;
+      if (!divergence.has_value()) {
+        CSM_RETURN_NOT_OK(save_checkpoint(run, config_index + 1));
+        continue;
+      }
 
       CampaignFinding finding;
       finding.run = run;
@@ -110,20 +235,26 @@ Result<CampaignStats> RunCampaign(const CampaignOptions& options) {
         }
       }
       const std::string dir = options.repro_dir + "/fuzz-repro-" +
-                              std::to_string(options.seed) + "-" +
+                              std::to_string(seed) + "-" +
                               std::to_string(run) + "-" +
                               std::to_string(config_index);
       CSM_ASSIGN_OR_RETURN(
           finding.repro_path,
           WriteRepro(dir, *repro_workflow, *repro_fact, config,
-                     options.fault, options.seed, spec));
+                     options.fault, seed, spec));
       stats.findings.push_back(std::move(finding));
+      // The checkpoint already points past this cell, so a later resume
+      // continues the campaign instead of rediscovering the divergence.
+      CSM_RETURN_NOT_OK(save_checkpoint(run, config_index + 1));
       if (!options.keep_going) {
         stop = true;
         break;
       }
     }
-    ++stats.runs_completed;
+    if (!stop) {
+      ++stats.runs_completed;
+      CSM_RETURN_NOT_OK(save_checkpoint(run + 1, 0));
+    }
     run_span.End();
     if (stop) break;
   }

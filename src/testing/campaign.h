@@ -26,6 +26,34 @@ struct CampaignOptions {
   bool shrink = true;              // minimize failing cases before writing
   FaultSpec fault;                 // test hook (csm_fuzz --inject-fault)
   Tracer* tracer = nullptr;        // per-run spans/counters land here
+
+  /// When non-empty, campaign progress (seed, run index, config-matrix
+  /// cursor, cumulative counters) is persisted here after every config
+  /// cell, so an interrupted campaign can resume exactly where it left
+  /// off (runs are seed-deterministic, so skipped work is never redone
+  /// differently).
+  std::string checkpoint_path;
+  /// When true, checkpoint_path is loaded before the campaign starts:
+  /// seed and runs are taken from the checkpoint, runs before its cursor
+  /// are skipped, and the cumulative counters carry over.
+  bool resume = false;
+};
+
+/// Persistent cursor of a campaign, written to options.checkpoint_path.
+/// Text format ("csm-fuzz-checkpoint v1" header + key/value lines) so a
+/// human can inspect or hand-edit it.
+struct CampaignCheckpoint {
+  uint64_t seed = 1;
+  int runs = 0;          // the campaign's --runs (sanity check on resume)
+  int next_run = 0;      // first run not yet fully checked
+  int next_config = 0;   // first config cell of next_run not yet checked
+  int runs_completed = 0;
+  int64_t configs_checked = 0;
+  uint64_t rows_generated = 0;
+  int findings = 0;      // cumulative divergences across segments
+
+  static Result<CampaignCheckpoint> Load(const std::string& path);
+  Status Save(const std::string& path) const;
 };
 
 /// One divergence found by a campaign, with where its reproducer went.
@@ -40,6 +68,7 @@ struct CampaignStats {
   int runs_completed = 0;
   int64_t configs_checked = 0;
   uint64_t rows_generated = 0;
+  int prior_findings = 0;  // divergences from segments before a resume
   std::vector<CampaignFinding> findings;
 
   /// One-line human summary.

@@ -1,0 +1,203 @@
+#include "common/flat_hash.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace csm {
+namespace {
+
+using Key = std::vector<uint64_t>;
+
+TEST(FlatKeyMapTest, InsertFindErase) {
+  FlatKeyMap<int> map(3);
+  uint64_t a[3] = {1, 2, 3};
+  uint64_t b[3] = {1, 2, 4};
+
+  bool inserted = false;
+  map.FindOrInsert(a, &inserted) = 10;
+  EXPECT_TRUE(inserted);
+  map.FindOrInsert(b, &inserted) = 20;
+  EXPECT_TRUE(inserted);
+  map.FindOrInsert(a, &inserted) += 1;
+  EXPECT_FALSE(inserted);
+
+  ASSERT_NE(map.Find(a), nullptr);
+  EXPECT_EQ(*map.Find(a), 11);
+  EXPECT_EQ(*map.Find(b), 20);
+  EXPECT_EQ(map.size(), 2u);
+
+  EXPECT_TRUE(map.Erase(a));
+  EXPECT_FALSE(map.Erase(a));
+  EXPECT_EQ(map.Find(a), nullptr);
+  ASSERT_NE(map.Find(b), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatKeyMapTest, GrowthKeepsEveryEntry) {
+  FlatKeyMap<uint64_t> map(2);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    uint64_t key[2] = {i % 97, i};
+    bool inserted = false;
+    map.FindOrInsert(key, &inserted) = i;
+    ASSERT_TRUE(inserted);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    uint64_t key[2] = {i % 97, i};
+    auto* v = map.Find(key);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FlatKeyMapTest, FlushIfSortedMatchesMapOrder) {
+  FlatKeyMap<int> map(2);
+  std::map<Key, int> reference;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t key[2] = {rng.Uniform(16), rng.Uniform(16)};
+    bool inserted = false;
+    map.FindOrInsert(key, &inserted) = i;
+    reference[Key(key, key + 2)] = i;
+  }
+  ASSERT_EQ(map.size(), reference.size());
+
+  // Flush entries whose first key component is below the "watermark" 8,
+  // in lexicographic order — exactly what the sort/scan engine's
+  // frontier finalization does.
+  std::vector<Key> flushed;
+  const size_t n = map.FlushIf(
+      [](const uint64_t* k, const int&) { return k[0] < 8; },
+      [&](const uint64_t* k, int&& v) {
+        flushed.push_back(Key(k, k + 2));
+        auto it = reference.find(flushed.back());
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ(it->second, v);
+      },
+      /*sorted_by_key=*/true);
+
+  std::vector<Key> expected;
+  for (auto it = reference.begin(); it != reference.end();) {
+    if (it->first[0] < 8) {
+      expected.push_back(it->first);
+      it = reference.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(n, expected.size());
+  ASSERT_EQ(flushed, expected);  // same entries, same (sorted) order
+
+  // Survivors are intact and the flushed ones are really gone.
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto* v = map.Find(key.data());
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, value);
+  }
+  for (const Key& key : expected) {
+    EXPECT_EQ(map.Find(key.data()), nullptr);
+  }
+}
+
+TEST(FlatKeyMapTest, FlushEverythingShrinksCapacity) {
+  FlatKeyMap<int> map(1);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    uint64_t key[1] = {i};
+    bool inserted = false;
+    map.FindOrInsert(key, &inserted) = 1;
+  }
+  const size_t grown = map.capacity();
+  size_t flushed = map.FlushIf(
+      [](const uint64_t*, const int&) { return true; },
+      [](const uint64_t*, int&&) {});
+  EXPECT_EQ(flushed, 100000u);
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_LT(map.capacity(), grown);
+
+  // The shrunk table still works.
+  uint64_t key[1] = {7};
+  bool inserted = false;
+  map.FindOrInsert(key, &inserted) = 9;
+  EXPECT_TRUE(inserted);
+  ASSERT_NE(map.Find(key), nullptr);
+}
+
+// Randomized differential test: a long mixed stream of inserts, updates,
+// erases and flushes must agree with std::map at every checkpoint.
+// Backward-shift deletion is where open-addressing bugs live, so erases
+// are frequent.
+TEST(FlatKeyMapTest, RandomizedAgainstReference) {
+  for (size_t width : {1u, 2u, 4u}) {
+    FlatKeyMap<uint64_t> map(width);
+    std::map<Key, uint64_t> reference;
+    Rng rng(0xC0FFEE + width);
+    Key key(width);
+    for (int step = 0; step < 50000; ++step) {
+      // Small key space => constant collisions and probe displacement.
+      for (size_t i = 0; i < width; ++i) key[i] = rng.Uniform(12);
+      const uint64_t op = rng.Uniform(100);
+      if (op < 55) {
+        bool inserted = false;
+        uint64_t& v = map.FindOrInsert(key.data(), &inserted);
+        auto [it, ref_inserted] = reference.emplace(key, 0);
+        ASSERT_EQ(inserted, ref_inserted);
+        if (inserted) v = 0;
+        v += step;
+        it->second += step;
+      } else if (op < 85) {
+        ASSERT_EQ(map.Erase(key.data()), reference.erase(key) > 0);
+      } else if (op < 95) {
+        const uint64_t* found = map.Find(key.data());
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          ASSERT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          ASSERT_EQ(*found, it->second);
+        }
+      } else {
+        // Flush a random prefix of the key space.
+        const uint64_t cut = rng.Uniform(12);
+        map.FlushIf(
+            [&](const uint64_t* k, const uint64_t&) { return k[0] < cut; },
+            [&](const uint64_t* k, uint64_t&& v) {
+              auto it = reference.find(Key(k, k + width));
+              ASSERT_NE(it, reference.end());
+              ASSERT_EQ(it->second, v);
+              reference.erase(it);
+            });
+      }
+      ASSERT_EQ(map.size(), reference.size()) << "step " << step;
+    }
+    // Final sweep: identical contents.
+    size_t seen = 0;
+    map.ForEach([&](const uint64_t* k, uint64_t& v) {
+      auto it = reference.find(Key(k, k + width));
+      ASSERT_NE(it, reference.end());
+      EXPECT_EQ(it->second, v);
+      ++seen;
+    });
+    EXPECT_EQ(seen, reference.size());
+  }
+}
+
+TEST(FlatKeyMapTest, MoveTransfersContents) {
+  FlatKeyMap<int> map(2);
+  uint64_t key[2] = {3, 4};
+  bool inserted = false;
+  map.FindOrInsert(key, &inserted) = 5;
+
+  FlatKeyMap<int> moved(std::move(map));
+  ASSERT_NE(moved.Find(key), nullptr);
+  EXPECT_EQ(*moved.Find(key), 5);
+  EXPECT_EQ(moved.key_width(), 2u);
+}
+
+}  // namespace
+}  // namespace csm

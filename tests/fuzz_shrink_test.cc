@@ -3,6 +3,7 @@
 // corruption) must shrink to a minimal case, persist as a repro file, and
 // replay from that file to the byte-identical divergence.
 
+#include <fstream>
 #include <string>
 
 #include "common/logging.h"
@@ -20,6 +21,7 @@
 namespace csm {
 namespace {
 
+using testing_util::CampaignCheckpoint;
 using testing_util::CampaignOptions;
 using testing_util::CheckConfig;
 using testing_util::CollapseDimToLevel;
@@ -182,6 +184,124 @@ TEST(FuzzCampaignTest, DeterministicAndFindsInjectedFault) {
   CSM_ASSERT_OK_AND_ASSIGN(auto clean, RunCampaign(options));
   EXPECT_TRUE(clean.findings.empty());
   EXPECT_EQ(clean.runs_completed, 2);
+}
+
+TEST(FuzzCheckpointTest, SaveLoadRoundTrip) {
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+  const std::string path = dir.path() + "/ck.txt";
+
+  CampaignCheckpoint cp;
+  cp.seed = 99;
+  cp.runs = 40;
+  cp.next_run = 7;
+  cp.next_config = 3;
+  cp.runs_completed = 7;
+  cp.configs_checked = 115;
+  cp.rows_generated = 12345;
+  cp.findings = 2;
+  ASSERT_TRUE(cp.Save(path).ok());
+
+  CSM_ASSERT_OK_AND_ASSIGN(CampaignCheckpoint loaded,
+                           CampaignCheckpoint::Load(path));
+  EXPECT_EQ(loaded.seed, 99u);
+  EXPECT_EQ(loaded.runs, 40);
+  EXPECT_EQ(loaded.next_run, 7);
+  EXPECT_EQ(loaded.next_config, 3);
+  EXPECT_EQ(loaded.runs_completed, 7);
+  EXPECT_EQ(loaded.configs_checked, 115);
+  EXPECT_EQ(loaded.rows_generated, 12345u);
+  EXPECT_EQ(loaded.findings, 2);
+
+  // Garbage is rejected, not misparsed.
+  EXPECT_FALSE(CampaignCheckpoint::Load(dir.path() + "/absent").ok());
+  {
+    std::ofstream bad(dir.path() + "/bad.txt");
+    bad << "not a checkpoint\n";
+  }
+  EXPECT_FALSE(CampaignCheckpoint::Load(dir.path() + "/bad.txt").ok());
+}
+
+// A campaign split across an interrupt must do exactly the work of a
+// straight-through campaign: runs are seed-deterministic, so a prefix
+// segment plus a resumed segment land on the same cumulative summary.
+TEST(FuzzCheckpointTest, ResumedCampaignMatchesStraightThrough) {
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+  CampaignOptions options;
+  options.seed = 21;
+  options.runs = 4;
+  options.max_rows = 150;
+  options.measures_per_workflow = 3;
+  options.repro_dir = dir.path();
+
+  CSM_ASSERT_OK_AND_ASSIGN(auto full, RunCampaign(options));
+
+  // Segment 1: the first half of the campaign, checkpointed.
+  const std::string ck = dir.path() + "/ck.txt";
+  CampaignOptions seg = options;
+  seg.runs = 2;
+  seg.checkpoint_path = ck;
+  CSM_ASSERT_OK_AND_ASSIGN(auto prefix, RunCampaign(seg));
+  EXPECT_EQ(prefix.runs_completed, 2);
+
+  // Simulate the interrupt: the checkpoint says the campaign had 4 runs
+  // and stopped after 2 (Save wrote runs=2, the segment's own budget).
+  CSM_ASSERT_OK_AND_ASSIGN(CampaignCheckpoint cp,
+                           CampaignCheckpoint::Load(ck));
+  EXPECT_EQ(cp.next_run, 2);
+  EXPECT_EQ(cp.next_config, 0);
+  cp.runs = 4;
+  ASSERT_TRUE(cp.Save(ck).ok());
+
+  // Segment 2: resume finishes runs 2..3 and carries the counters.
+  CampaignOptions resume = options;
+  resume.checkpoint_path = ck;
+  resume.resume = true;
+  CSM_ASSERT_OK_AND_ASSIGN(auto resumed, RunCampaign(resume));
+  EXPECT_EQ(resumed.Summary(), full.Summary());
+
+  // The checkpoint now marks the campaign complete.
+  CSM_ASSERT_OK_AND_ASSIGN(cp, CampaignCheckpoint::Load(ck));
+  EXPECT_EQ(cp.next_run, 4);
+  EXPECT_EQ(cp.next_config, 0);
+}
+
+// With an injected fault the campaign stops mid-run at the first
+// divergence; resuming must pick up at the *next config cell*, not
+// rediscover the same divergence forever.
+TEST(FuzzCheckpointTest, ResumeAdvancesPastDivergence) {
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+  CampaignOptions options;
+  options.seed = 11;
+  options.runs = 2;
+  options.max_rows = 150;
+  options.measures_per_workflow = 3;
+  options.repro_dir = dir.path();
+  options.shrink = false;  // keep the test fast
+  options.checkpoint_path = dir.path() + "/ck.txt";
+  auto fault = FaultSpec::Parse("parallel:*");
+  ASSERT_TRUE(fault.ok());
+  options.fault = *fault;
+
+  CSM_ASSERT_OK_AND_ASSIGN(auto first, RunCampaign(options));
+  ASSERT_EQ(first.findings.size(), 1u);
+  CSM_ASSERT_OK_AND_ASSIGN(
+      CampaignCheckpoint cp,
+      CampaignCheckpoint::Load(options.checkpoint_path));
+  const int stopped_run = cp.next_run;
+  const int stopped_config = cp.next_config;
+  EXPECT_GT(stopped_config, 0);  // stopped mid-run, past the divergence
+
+  options.resume = true;
+  CSM_ASSERT_OK_AND_ASSIGN(auto second, RunCampaign(options));
+  EXPECT_EQ(second.prior_findings, 1);
+  CSM_ASSERT_OK_AND_ASSIGN(
+      cp, CampaignCheckpoint::Load(options.checkpoint_path));
+  // The cursor moved: either a later cell of the same run or a later run.
+  EXPECT_TRUE(cp.next_run > stopped_run ||
+              (cp.next_run == stopped_run &&
+               cp.next_config > stopped_config))
+      << "resume did not advance (" << cp.next_run << ":"
+      << cp.next_config << ")";
 }
 
 TEST(CollapseDimTest, ReplacesValuesWithBlockRepresentatives) {

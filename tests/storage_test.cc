@@ -1,4 +1,6 @@
+#include <atomic>
 #include <filesystem>
+#include <thread>
 
 #include "gtest/gtest.h"
 #include "storage/external_sorter.h"
@@ -444,6 +446,145 @@ TEST(SortFactFileBatchCursorTest, MergedRunsEndWithShortBatch) {
   }
   EXPECT_EQ(total, 5003u);
   EXPECT_EQ(last_n, 5003u % 64);  // short final batch from the merge
+}
+
+// Identical contents + identical key + stable ties => the sorted output
+// is the stable sort of the input, so it cannot depend on how many
+// workers generated runs or whether the sort spilled at all.
+TEST(ExternalSortTest, OneThreadEqualsManyThreads) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  auto key = SortKey::Parse(*schema, "<d0:L1, d1:L0>");
+  ASSERT_TRUE(key.ok());
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+
+  // In-memory reference (single-threaded, no spilling).
+  SortOptions reference_options;
+  reference_options.temp_dir = &*dir;
+  auto reference = SortFactTable(MakeUniformFacts(schema, 7001, 1000, 11),
+                                 *key, reference_options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {1, 2, 8}) {
+    for (size_t budget : {size_t{64} << 20, size_t{24} << 10}) {
+      SortOptions options;
+      options.memory_budget_bytes = budget;
+      options.temp_dir = &*dir;
+      options.threads = threads;
+      SortStats stats;
+      auto sorted = SortFactTable(MakeUniformFacts(schema, 7001, 1000, 11),
+                                  *key, options, &stats);
+      ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+      ASSERT_EQ(sorted->num_rows(), reference->num_rows());
+      for (size_t row = 0; row < sorted->num_rows(); ++row) {
+        for (int i = 0; i < 3; ++i) {
+          ASSERT_EQ(sorted->dim_row(row)[i], reference->dim_row(row)[i])
+              << "threads " << threads << " budget " << budget << " row "
+              << row;
+        }
+        ASSERT_EQ(sorted->measure_row(row)[0],
+                  reference->measure_row(row)[0])
+            << "threads " << threads << " budget " << budget << " row "
+            << row;
+      }
+    }
+  }
+}
+
+// A budget smaller than a single row's footprint must still sort: the
+// run size clamps to its floor instead of dividing to zero rows.
+TEST(ExternalSortTest, BudgetSmallerThanOneRow) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  auto key = SortKey::Parse(*schema, "<d0:L0>");
+  ASSERT_TRUE(key.ok());
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+
+  SortOptions options;
+  options.memory_budget_bytes = 1;  // less than one row
+  options.temp_dir = &*dir;
+  SortStats stats;
+  auto sorted = SortFactTable(MakeUniformFacts(schema, 5000, 1000, 17),
+                              *key, options, &stats);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  ASSERT_EQ(sorted->num_rows(), 5000u);
+  EXPECT_GT(stats.runs, 1u);
+
+  SortOptions big;
+  big.temp_dir = &*dir;
+  auto reference = SortFactTable(MakeUniformFacts(schema, 5000, 1000, 17),
+                                 *key, big);
+  ASSERT_TRUE(reference.ok());
+  for (size_t row = 0; row < sorted->num_rows(); ++row) {
+    ASSERT_EQ(sorted->dim_row(row)[0], reference->dim_row(row)[0]);
+    ASSERT_EQ(sorted->measure_row(row)[0], reference->measure_row(row)[0]);
+  }
+
+  // Same floor on the file-sort path.
+  std::string path = dir->NewFilePath("facts");
+  ASSERT_TRUE(WriteFactTableBinary(*reference, path).ok());
+  auto cursor = SortFactFileBatchCursor(schema, path, *key, options);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  RecordBatch batch(3, 1, 256);
+  size_t total = 0;
+  for (;;) {
+    auto n = (*cursor)->NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    total += *n;
+  }
+  EXPECT_EQ(total, 5000u);
+}
+
+// Flip the cancel flag once the first run file lands in the temp dir, so
+// the sort is cancelled in the middle of run generation (not before it
+// starts, not during the merge).
+TEST(ExternalSortTest, CancellationMidRunGeneration) {
+  auto schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  auto key = SortKey::Parse(*schema, "<d0:L0>");
+  ASSERT_TRUE(key.ok());
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> done{false};
+  std::thread watcher([&] {
+    // Poll for the first spilled run, then cancel. The fallback timeout
+    // only matters if the sort finishes faster than we can see a file.
+    for (int i = 0; i < 100000 && !done.load(); ++i) {
+      bool has_run = false;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(dir->path())) {
+        (void)entry;
+        has_run = true;
+        break;
+      }
+      if (has_run) break;
+      std::this_thread::yield();
+    }
+    cancel.store(true);
+  });
+
+  SortOptions options;
+  options.memory_budget_bytes = 16 << 10;  // many runs => a long spill
+  options.temp_dir = &*dir;
+  options.cancel = &cancel;
+  auto sorted = SortFactTable(MakeUniformFacts(schema, 200000, 1000, 23),
+                              *key, options);
+  done.store(true);
+  watcher.join();
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_TRUE(sorted.status().IsCancelled())
+      << sorted.status().ToString();
+
+  // All spilled run files were cleaned up on the cancel path.
+  size_t leftover = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir->path())) {
+    (void)entry;
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
 }
 
 TEST(TableIoTest, RejectsWrongSchema) {

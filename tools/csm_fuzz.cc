@@ -7,7 +7,8 @@
 //   csm_fuzz --campaign [--seed S] [--runs N] [--rows R] [--measures M]
 //            [--max-seconds T] [--repro-dir DIR] [--keep-going]
 //            [--no-shrink] [--inject-fault ENGINE:MEASURE]
-//            [--metrics FILE.json] [--trace]
+//            [--checkpoint FILE] [--metrics FILE.json] [--trace]
+//   csm_fuzz --resume FILE [--max-seconds T] [--repro-dir DIR] ...
 //   csm_fuzz --repro PATH [--trace]
 //
 // Campaigns are seed-deterministic: the same --seed/--runs pair replays
@@ -16,6 +17,13 @@
 // written), 2 usage; repro — 0 the divergence reproduces, 1 it does not
 // (fixed), 2 usage. --inject-fault corrupts the named engine's output
 // post-run, for exercising the shrink/repro pipeline and CI smoke.
+//
+// --checkpoint FILE persists the campaign cursor (seed, run index,
+// config-matrix cell, counters) after every engine config checked.
+// --resume FILE picks a campaign back up from such a checkpoint: the
+// seed and run budget come from the file, already-checked cells are
+// skipped (determinism makes the skip exact), and progress keeps being
+// saved to the same file.
 
 #include <cstdio>
 #include <cstring>
@@ -41,9 +49,10 @@ int Usage(const char* argv0) {
       "          [--measures M] [--max-seconds T] [--repro-dir DIR]\n"
       "          [--keep-going] [--no-shrink]\n"
       "          [--inject-fault ENGINE:MEASURE]\n"
-      "          [--metrics FILE.json] [--trace]\n"
+      "          [--checkpoint FILE] [--metrics FILE.json] [--trace]\n"
+      "       %s --resume FILE [common campaign flags]\n"
       "       %s --repro PATH [--trace]\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -73,9 +82,15 @@ int RunCampaignMode(const CampaignOptions& options, bool trace,
   auto stats = testing_util::RunCampaign(options);
   if (trace) std::fputs(tracer.ToTreeString().c_str(), stderr);
   if (!stats.ok()) return Report(stats.status());
-  std::printf("campaign seed %llu: %s\n",
-              static_cast<unsigned long long>(options.seed),
-              stats->Summary().c_str());
+  if (options.resume) {
+    std::printf("campaign resumed from %s: %s\n",
+                options.checkpoint_path.c_str(),
+                stats->Summary().c_str());
+  } else {
+    std::printf("campaign seed %llu: %s\n",
+                static_cast<unsigned long long>(options.seed),
+                stats->Summary().c_str());
+  }
   for (const CampaignFinding& finding : stats->findings) {
     std::printf("run %d: %s\n", finding.run,
                 finding.divergence.ToString().c_str());
@@ -128,6 +143,12 @@ int RealMain(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--campaign")) {
       campaign = true;
+    } else if (!std::strcmp(argv[i], "--checkpoint")) {
+      if (const char* v = next()) options.checkpoint_path = v;
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      campaign = true;
+      options.resume = true;
+      if (const char* v = next()) options.checkpoint_path = v;
     } else if (!std::strcmp(argv[i], "--repro")) {
       if (const char* v = next()) repro_path = v;
     } else if (!std::strcmp(argv[i], "--seed")) {

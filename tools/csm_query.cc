@@ -4,7 +4,8 @@
 //
 // Usage:
 //   csm_query --schema net --facts log.csv --query query.dsl
-//             [--engine adaptive] [--budget-mb 256] [--sort-key K]
+//             [--engine adaptive] [--budget-mb 256] [--sort-budget BYTES]
+//             [--sort-key K]
 //             [--threads N] [--batch-rows N] [--out results_dir]
 //             [--dot workflow.dot] [--metrics out.json] [--trace]
 //             [--explain] [--stream] [--include-hidden]
@@ -49,7 +50,8 @@ int Usage(const char* argv0) {
       "usage: %s --schema net|synthetic[:d,l,f,c] --facts FILE.csv|.bin\n"
       "          --query FILE.dsl [--engine adaptive|sortscan|singlescan|\n"
       "          multipass|parallel|relational] [--budget-mb N]\n"
-      "          [--sort-key K] [--threads N] [--batch-rows N]\n"
+      "          [--sort-budget BYTES] [--sort-key K] [--threads N]\n"
+      "          [--batch-rows N]\n"
       "          [--out DIR] [--dot FILE] [--metrics FILE.json]\n"
       "          [--trace] [--explain] [--stream] [--include-hidden]\n",
       argv0);
@@ -68,7 +70,8 @@ int RealMain(int argc, char** argv) {
   std::string schema_spec, facts_path, query_path, engine_name = "adaptive";
   std::string out_dir, sort_key_text, dot_path, metrics_path;
   size_t budget_mb = 256;
-  size_t batch_rows = 0;  // 0 = EngineOptions default
+  size_t sort_budget_bytes = 0;  // 0 = derive from --budget-mb
+  size_t batch_rows = 0;         // 0 = EngineOptions default
   int threads = 0;
   bool explain = false, include_hidden = false, stream = false;
   bool trace = false;
@@ -95,6 +98,12 @@ int RealMain(int argc, char** argv) {
       if (const char* v = next()) metrics_path = v;
     } else if (!std::strcmp(argv[i], "--budget-mb")) {
       if (const char* v = next()) budget_mb = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--sort-budget")) {
+      // Raw bytes: lets experiments force external sorting at exact
+      // thresholds (e.g. smaller than one run, or one row).
+      if (const char* v = next()) {
+        sort_budget_bytes = std::strtoull(v, nullptr, 10);
+      }
     } else if (!std::strcmp(argv[i], "--threads")) {
       if (const char* v = next()) threads = std::atoi(v);
     } else if (!std::strcmp(argv[i], "--batch-rows")) {
@@ -139,6 +148,9 @@ int RealMain(int argc, char** argv) {
 
   EngineOptions options;
   options.memory_budget_bytes = budget_mb << 20;
+  if (sort_budget_bytes > 0) {
+    options.memory_budget_bytes = sort_budget_bytes;
+  }
   options.include_hidden = include_hidden;
   options.parallel_threads = threads;
   if (batch_rows > 0) options.scan_batch_rows = batch_rows;
