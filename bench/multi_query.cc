@@ -1,0 +1,272 @@
+// Multi-query sessions: N concurrent workflows through one fused
+// sort/scan vs N independent engine runs (the PR-6 tentpole's acceptance
+// workload).
+//
+// Four overlapping monitoring queries over a synthetic network log — all
+// four build the same hidden per-(hour, source) count, then ask different
+// questions of it. Independently each run pays its own sort and
+// recomputes the shared base; a QuerySession fingerprints the common
+// subgraph away, plans one order for the union, and scans once. The bench
+// reports the fused-vs-independent speedup (target >= 1.5x for 4
+// overlapping queries) and, separately, the latency of answering the
+// whole batch from the session's result cache.
+//
+// Flags:
+//   --json FILE          write the result JSON (BENCH_pr6.json)
+//   --reps N             best-of-N repetitions (default 3)
+//   --baseline FILE      committed BENCH_pr6.json to compare against
+//   --max-regress FRAC   fail (exit 1) if the fused per-row time
+//                        regresses more than FRAC vs the baseline
+//                        (default 0.10)
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/netlog.h"
+#include "exec/factory.h"
+#include "exec/session.h"
+#include "model/schema.h"
+#include "workflow/workflow.h"
+
+namespace {
+
+// Four dashboard-style queries sharing the per-(hour, source) count.
+const char* kQueries[] = {
+    // Q0: how many loud sources per hour?
+    R"(measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure Busy at (t:hour) = agg count(M) from Count where M > 2;)",
+    // Q1: total events from tracked sources per hour.
+    R"(measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure Traffic at (t:hour) = agg sum(M) from Count;)",
+    // Q2: hottest source per hour + daily average load.
+    R"(measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure Peak at (t:hour) = agg max(M) from Count;
+       measure AvgLoad at (t:day) = agg avg(M) from Count;)",
+    // Q3: hourly share of the day's volume.
+    R"(measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure Hourly at (t:hour) = agg sum(M) from Count;
+       measure Daily at (t:day) = agg sum(M) from Count;
+       measure Share at (t:hour) = match Daily using parentchild agg sum(M);
+       measure Frac at (t:hour) = combine(Hourly, Share)
+           as Hourly / Share;)",
+};
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+bool JsonNumber(const std::string& text, const std::string& key,
+                double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  using namespace csm::bench;
+
+  std::string json_path, baseline_path;
+  int reps = 3;
+  double max_regress = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--json")) {
+      if (const char* v = next()) json_path = v;
+    } else if (!std::strcmp(argv[i], "--baseline")) {
+      if (const char* v = next()) baseline_path = v;
+    } else if (!std::strcmp(argv[i], "--reps")) {
+      if (const char* v = next()) reps = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--max-regress")) {
+      if (const char* v = next()) max_regress = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  PrintHeader("Multi-query", "fused session vs independent runs",
+              "4 overlapping queries share one sort and one scan when "
+              "fused; independent runs pay the sort 4x");
+
+  SchemaPtr schema = MakeNetworkLogSchema();
+  NetLogOptions data;
+  data.rows = Rows(400e3);
+  data.duration_seconds = 3 * 24 * 3600;
+  FactTable fact = GenerateNetLog(schema, data);
+
+  std::vector<Workflow> queries;
+  size_t total_measures = 0;
+  for (const char* dsl : kQueries) {
+    auto workflow = Workflow::Parse(schema, dsl);
+    if (!workflow.ok()) {
+      std::fprintf(stderr, "%s\n", workflow.status().ToString().c_str());
+      return 1;
+    }
+    total_measures += workflow->measures().size();
+    queries.push_back(std::move(*workflow));
+  }
+  std::printf("dataset: %s records; %zu queries, %zu measures total, "
+              "best of %d\n\n",
+              FmtRows(fact.num_rows()).c_str(), kNumQueries,
+              total_measures, reps);
+
+  // --- independent: each query through its own sort/scan run.
+  auto engine = MakeEngine(EngineKind::kSortScan);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  double independent_seconds = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    double total = 0;
+    for (const Workflow& workflow : queries) {
+      RunResult run = TimeEngine(**engine, workflow, fact);
+      if (!run.ok) return 1;
+      total += run.seconds;
+    }
+    if (rep == 0 || total < independent_seconds) {
+      independent_seconds = total;
+    }
+  }
+
+  // --- fused: one session run; cache_capacity covers the batch so a
+  // second RunPending answers entirely from cache.
+  SessionOptions session_options;
+  session_options.cache_capacity = kNumQueries;
+  double fused_seconds = 0, cached_seconds = 0;
+  SessionReport report;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto session =
+        QuerySession::Create(EngineKind::kSortScan, session_options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    auto submit_all = [&]() -> bool {
+      for (const Workflow& workflow : queries) {
+        auto index = (*session)->Submit(workflow);
+        if (!index.ok()) {
+          std::fprintf(stderr, "%s\n",
+                       index.status().ToString().c_str());
+          return false;
+        }
+      }
+      return true;
+    };
+
+    if (!submit_all()) return 1;
+    Timer timer;
+    auto cold = (*session)->RunPending(fact);
+    const double cold_seconds = timer.Seconds();
+    if (!cold.ok()) {
+      std::fprintf(stderr, "%s\n", cold.status().ToString().c_str());
+      return 1;
+    }
+    if (rep == 0 || cold_seconds < fused_seconds) {
+      fused_seconds = cold_seconds;
+      report = (*session)->last_report();
+    }
+
+    if (!submit_all()) return 1;
+    timer.Reset();
+    auto warm = (*session)->RunPending(fact);
+    const double warm_seconds = timer.Seconds();
+    if (!warm.ok()) {
+      std::fprintf(stderr, "%s\n", warm.status().ToString().c_str());
+      return 1;
+    }
+    if ((*session)->last_report().cache_hits != kNumQueries) {
+      std::fprintf(stderr, "warm batch was not fully cache-served\n");
+      return 1;
+    }
+    if (rep == 0 || warm_seconds < cached_seconds) {
+      cached_seconds = warm_seconds;
+    }
+  }
+
+  const double speedup = independent_seconds / fused_seconds;
+  std::printf("%22s %10s\n", "mode", "seconds");
+  std::printf("%22s %10.3f\n", "independent (4 runs)", independent_seconds);
+  std::printf("%22s %10.3f   (%zu measures fused, %zu shared)\n",
+              "fused session", fused_seconds, report.fused_measures,
+              report.shared_measures);
+  std::printf("%22s %10.4f   (all %zu queries from cache)\n",
+              "cache-hit batch", cached_seconds, kNumQueries);
+  std::printf("\nfused vs independent speedup: %.2fx (target >= 1.50x)\n",
+              speedup);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"multi_query\",\n"
+                  "  \"rows\": %zu,\n"
+                  "  \"queries\": %zu,\n"
+                  "  \"total_measures\": %zu,\n"
+                  "  \"fused_measures\": %zu,\n"
+                  "  \"shared_measures\": %zu,\n"
+                  "  \"reps\": %d,\n"
+                  "  \"independent_seconds\": %.4f,\n"
+                  "  \"fused_seconds\": %.4f,\n"
+                  "  \"cache_hit_seconds\": %.5f,\n"
+                  "  \"speedup_fused\": %.3f\n"
+                  "}\n",
+                  fact.num_rows(), kNumQueries, total_measures,
+                  report.fused_measures, report.shared_measures, reps,
+                  independent_seconds, fused_seconds, cached_seconds,
+                  speedup);
+    out << buf;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    double base_seconds = 0, base_rows = 0;
+    if (!JsonNumber(buffer.str(), "fused_seconds", &base_seconds) ||
+        !JsonNumber(buffer.str(), "rows", &base_rows) || base_rows <= 0) {
+      std::fprintf(stderr, "baseline %s lacks fused_seconds/rows\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    // Per-row normalization so a CSM_BENCH_SCALE difference between the
+    // baseline machine and this one doesn't read as a regression.
+    const double base_per_row = base_seconds / base_rows;
+    const double cur_per_row =
+        fused_seconds / static_cast<double>(fact.num_rows());
+    const double ratio = cur_per_row / base_per_row;
+    std::printf("fused session vs committed baseline: %.2fx per-row "
+                "(max allowed %.2fx)\n", ratio, 1.0 + max_regress);
+    if (ratio > 1.0 + max_regress) {
+      std::fprintf(stderr,
+                   "REGRESSION: fused per-row time %.3gs is %.0f%% over "
+                   "the committed baseline %.3gs\n",
+                   cur_per_row, (ratio - 1.0) * 100, base_per_row);
+      return 1;
+    }
+  }
+  return 0;
+}

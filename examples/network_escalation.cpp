@@ -38,7 +38,12 @@ int main() {
   }
 
   for (EngineKind kind : {EngineKind::kSingleScan, EngineKind::kSortScan}) {
-    std::unique_ptr<Engine> engine = MakeEngine(kind);
+    auto made = MakeEngine(kind);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<Engine> engine = std::move(*made);
     auto result = engine->Run(*workflow, fact);
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", std::string(engine->name()).c_str(),

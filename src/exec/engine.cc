@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/string_util.h"
 #include "exec/exec_context.h"
 
 namespace csm {
@@ -44,6 +45,51 @@ std::string ExecStats::ToString() const {
                 materialized_rows,
                 sort_key.empty() ? "(none)" : sort_key.c_str());
   return buf;
+}
+
+const MeasureTable* EvalOutput::FindTable(std::string_view name) const {
+  // Exact hit first (the common case — callers usually pass the name the
+  // engine emitted), then the case-insensitive scan the rest of the
+  // measure-name API promises. Maps are output-measure sized, so the
+  // scan is a handful of comparisons.
+  auto it = tables.find(std::string(name));
+  if (it != tables.end()) return &it->second;
+  const std::string lower = ToLower(name);
+  for (auto& [key, table] : tables) {
+    if (ToLower(key) == lower) return &table;
+  }
+  return nullptr;
+}
+
+MeasureTable* EvalOutput::FindTable(std::string_view name) {
+  return const_cast<MeasureTable*>(
+      static_cast<const EvalOutput*>(this)->FindTable(name));
+}
+
+std::vector<std::string> EvalOutput::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables.size());
+  for (const auto& [name, table] : tables) names.push_back(name);
+  return names;
+}
+
+Status EngineOptions::Validate() const {
+  if (memory_budget_bytes == 0) {
+    return Status::InvalidArgument(
+        "EngineOptions: memory_budget_bytes must be > 0 (external-sort "
+        "run sizing and pass planning divide by the budget)");
+  }
+  if (scan_batch_rows == 0) {
+    return Status::InvalidArgument(
+        "EngineOptions: scan_batch_rows must be > 0 (1 = record-at-a-time "
+        "execution)");
+  }
+  if (parallel_threads < 0) {
+    return Status::InvalidArgument(
+        "EngineOptions: parallel_threads must be >= 0 (0 = hardware "
+        "concurrency), got " + std::to_string(parallel_threads));
+  }
+  return Status::OK();
 }
 
 Result<EvalOutput> Engine::Run(const Workflow& workflow,

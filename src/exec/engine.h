@@ -3,6 +3,8 @@
 
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "model/sort_key.h"
@@ -45,9 +47,25 @@ struct ExecStats {
 
 /// Result of running a workflow: the output measure tables by name, plus
 /// execution counters.
+///
+/// Iteration over `tables` is deterministic (std::map, name-sorted) and
+/// part of the API contract. Callers should use FindTable / table_names
+/// to look up measures rather than poking the map directly — lookup
+/// through the map is case-sensitive, while measure names everywhere
+/// else in the system (Workflow::Find, the DSL) are case-insensitive;
+/// direct `tables.find`/`tables.at` access is deprecated for lookups
+/// (docs/architecture.md).
 struct EvalOutput {
   std::map<std::string, MeasureTable> tables;
   ExecStats stats;
+
+  /// The named measure table, matched case-insensitively like every
+  /// other measure lookup; nullptr when the run did not emit it.
+  const MeasureTable* FindTable(std::string_view name) const;
+  MeasureTable* FindTable(std::string_view name);
+
+  /// Emitted measure names in deterministic (name-sorted) order.
+  std::vector<std::string> table_names() const;
 };
 
 /// Engine tuning knobs shared by all engines, carried by ExecContext.
@@ -84,6 +102,15 @@ struct EngineOptions {
 
   /// ParallelSortScanEngine: worker threads (0 = hardware concurrency).
   int parallel_threads = 0;
+
+  /// Rejects option combinations the engines would otherwise silently
+  /// misbehave on: a zero memory budget (external sort run sizing and
+  /// multi-pass planning divide by it), scan_batch_rows == 0 (the batch
+  /// pipeline would spin on empty batches), and negative
+  /// parallel_threads (0 means hardware concurrency; negatives mean
+  /// nothing). MakeEngine validates at construction time; call this
+  /// directly when building an ExecContext by hand.
+  Status Validate() const;
 };
 
 /// A query engine: evaluates all measures of an aggregation workflow over

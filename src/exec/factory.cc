@@ -49,22 +49,38 @@ Result<EngineKind> ParseEngineKind(std::string_view text) {
       "relational)");
 }
 
-std::unique_ptr<Engine> MakeEngine(EngineKind kind) {
+Result<std::unique_ptr<Engine>> MakeEngine(EngineKind kind,
+                                           const EngineOptions& options) {
+  Status st = options.Validate();
+  if (!st.ok()) {
+    return st.WithContext("MakeEngine(" +
+                          std::string(EngineKindName(kind)) + ")");
+  }
+  std::unique_ptr<Engine> engine;
   switch (kind) {
     case EngineKind::kSingleScan:
-      return std::make_unique<SingleScanEngine>();
+      engine = std::make_unique<SingleScanEngine>();
+      break;
     case EngineKind::kSortScan:
-      return std::make_unique<SortScanEngine>();
+      engine = std::make_unique<SortScanEngine>();
+      break;
     case EngineKind::kMultiPass:
-      return std::make_unique<MultiPassEngine>();
+      engine = std::make_unique<MultiPassEngine>();
+      break;
     case EngineKind::kAdaptive:
-      return std::make_unique<AdaptiveEngine>();
+      engine = std::make_unique<AdaptiveEngine>();
+      break;
     case EngineKind::kParallel:
-      return std::make_unique<ParallelSortScanEngine>();
+      engine = std::make_unique<ParallelSortScanEngine>();
+      break;
     case EngineKind::kRelational:
-      return std::make_unique<RelationalEngine>();
+      engine = std::make_unique<RelationalEngine>();
+      break;
   }
-  return nullptr;
+  if (engine == nullptr) {
+    return Status::InvalidArgument("MakeEngine: unknown EngineKind");
+  }
+  return engine;
 }
 
 }  // namespace csm

@@ -28,10 +28,15 @@ std::string_view EngineKindName(EngineKind kind);
 /// names, with the list of valid ones in the message.
 Result<EngineKind> ParseEngineKind(std::string_view text);
 
-/// Constructs the engine. Engines are stateless — all tuning flows
-/// through the ExecContext passed to Run — so the factory takes no
-/// options.
-std::unique_ptr<Engine> MakeEngine(EngineKind kind);
+/// Constructs the engine after validating `options`
+/// (EngineOptions::Validate), so misconfigurations surface at
+/// construction instead of as silent misbehavior mid-run. Engines are
+/// stateless — tuning still flows through the ExecContext passed to
+/// Run — so the options are validated, not stored; pass the same
+/// options object in the ExecContext. Returns InvalidArgument when
+/// validation fails.
+Result<std::unique_ptr<Engine>> MakeEngine(
+    EngineKind kind, const EngineOptions& options = EngineOptions{});
 
 }  // namespace csm
 

@@ -1,0 +1,214 @@
+#include "exec/session.h"
+
+#include <string>
+
+#include "exec/exec_context.h"
+#include "opt/sort_order.h"
+
+namespace csm {
+
+Result<std::unique_ptr<QuerySession>> QuerySession::Create(
+    EngineKind kind, SessionOptions options) {
+  CSM_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                       MakeEngine(kind, options.engine_options));
+  return std::make_unique<QuerySession>(std::move(engine),
+                                        std::move(options));
+}
+
+QuerySession::QuerySession(std::unique_ptr<Engine> engine,
+                           SessionOptions options)
+    : engine_(std::move(engine)), options_(std::move(options)) {}
+
+Result<size_t> QuerySession::Submit(Workflow workflow) {
+  if (workflow.measures().empty()) {
+    return Status::InvalidArgument("QuerySession::Submit: empty workflow");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_.empty() &&
+      pending_.front().schema() != workflow.schema()) {
+    return Status::InvalidArgument(
+        "QuerySession::Submit: workflow is over a different schema object "
+        "than the batch");
+  }
+  pending_.push_back(std::move(workflow));
+  return pending_.size() - 1;
+}
+
+size_t QuerySession::num_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+SessionReport QuerySession::last_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+size_t QuerySession::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void QuerySession::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  cache_index_.clear();
+}
+
+EvalOutput QuerySession::CloneOutput(const EvalOutput& src) {
+  EvalOutput out;
+  out.stats = src.stats;
+  for (const auto& [name, table] : src.tables) {
+    out.tables.emplace(name, table.Clone());
+  }
+  return out;
+}
+
+const EvalOutput* QuerySession::CacheLookup(const CacheKey& key) {
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) return nullptr;
+  cache_.splice(cache_.begin(), cache_, it->second);  // mark used
+  it->second = cache_.begin();
+  return &cache_.front().output;
+}
+
+void QuerySession::CacheInsert(const CacheKey& key,
+                               const EvalOutput& output) {
+  if (options_.cache_capacity == 0) return;
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    cache_.splice(cache_.begin(), cache_, it->second);  // refresh
+    it->second = cache_.begin();
+    return;
+  }
+  cache_.push_front(CacheEntry{key, CloneOutput(output)});
+  cache_index_[key] = cache_.begin();
+  while (cache_.size() > options_.cache_capacity) {
+    cache_index_.erase(cache_.back().key);
+    cache_.pop_back();
+  }
+}
+
+Result<std::vector<EvalOutput>> QuerySession::RunPending(
+    const FactTable& fact) {
+  ExecContext ctx;
+  ctx.options = options_.engine_options;
+  return RunPending(fact, ctx);
+}
+
+Result<std::vector<EvalOutput>> QuerySession::RunPending(
+    const FactTable& fact, ExecContext& ctx) {
+  // Drain the batch that exists right now; Submits racing with this run
+  // land in the next batch.
+  std::vector<Workflow> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(pending_);
+  }
+  std::vector<EvalOutput> results(batch.size());
+  SessionReport report;
+  report.queries = batch.size();
+  if (batch.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    report_ = report;
+    return results;
+  }
+
+  ScopedSpan session_span(ctx.tracer, "session", ctx.trace_parent);
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->SetAttr(session_span.id(), "queries",
+                        std::to_string(batch.size()));
+  }
+
+  // Result-cache pass: a query whose (fingerprint, fact content) pair is
+  // cached skips the run entirely.
+  const uint64_t fact_hash = fact.ContentHash();
+  std::vector<CacheKey> keys(batch.size());
+  std::vector<size_t> to_run;  // batch indices that missed
+  for (size_t i = 0; i < batch.size(); ++i) {
+    keys[i] = {QueryFingerprint(batch[i], options_.include_hidden),
+               fact_hash};
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const EvalOutput* cached = CacheLookup(keys[i]);
+      if (cached != nullptr) {
+        results[i] = CloneOutput(*cached);
+        hit = true;
+      }
+    }
+    if (hit) {
+      ++report.cache_hits;
+    } else {
+      ++report.cache_misses;
+      to_run.push_back(i);
+    }
+    ScopedSpan query_span(ctx.tracer, "session.query", session_span.id());
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->SetAttr(query_span.id(), "index", std::to_string(i));
+      ctx.tracer->SetAttr(query_span.id(), "cache", hit ? "hit" : "miss");
+    }
+  }
+
+  if (!to_run.empty()) {
+    std::vector<const Workflow*> queries;
+    queries.reserve(to_run.size());
+    for (size_t i : to_run) queries.push_back(&batch[i]);
+    CSM_ASSIGN_OR_RETURN(FusedPlan plan, FuseWorkflows(queries));
+    report.total_measures = plan.total_measures;
+    report.shared_measures = plan.shared_measures;
+    report.fused_measures = plan.combined.measures().size();
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->SetAttr(session_span.id(), "fused_measures",
+                          std::to_string(report.fused_measures));
+      ctx.tracer->SetAttr(session_span.id(), "shared_measures",
+                          std::to_string(report.shared_measures));
+    }
+
+    // One engine run under one sort order planned for the COMBINED
+    // workflow (§6 over the union of measures). An explicit caller key
+    // wins; otherwise brute force, falling back to greedy when the
+    // candidate space overflows the enumeration cap.
+    ExecContext run_ctx = ctx;
+    run_ctx.trace_parent = session_span.id();
+    if (options_.include_hidden) run_ctx.options.include_hidden = true;
+    if (run_ctx.options.sort_key.empty()) {
+      Result<SortKey> planned = BruteForceSortKey(plan.combined);
+      if (!planned.ok()) planned = GreedySortKey(plan.combined);
+      CSM_ASSIGN_OR_RETURN(run_ctx.options.sort_key, std::move(planned));
+    }
+    CSM_ASSIGN_OR_RETURN(EvalOutput fused_out,
+                         engine_->Run(plan.combined, fact, run_ctx));
+    report.run_stats = fused_out.stats;
+
+    // Demultiplex: hand each query its tables back under its own measure
+    // names. Deduplicated measures clone the one shared fused table.
+    for (size_t qi = 0; qi < to_run.size(); ++qi) {
+      const FusedQuery& mapping = plan.queries[qi];
+      const auto& wanted =
+          options_.include_hidden ? mapping.measures : mapping.outputs;
+      EvalOutput& out = results[to_run[qi]];
+      out.stats = fused_out.stats;
+      for (const auto& [orig, fused] : wanted) {
+        const MeasureTable* table = fused_out.FindTable(fused);
+        if (table == nullptr) {
+          return Status::Internal(
+              "QuerySession::RunPending: fused run did not emit '" + fused +
+              "' needed by query measure '" + orig + "'");
+        }
+        out.tables.emplace(orig, table->CloneAs(orig));
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!to_run.empty()) {
+      for (size_t i : to_run) CacheInsert(keys[i], results[i]);
+    }
+    report_ = report;
+  }
+  return results;
+}
+
+}  // namespace csm

@@ -1,0 +1,130 @@
+#ifndef CSM_EXEC_SESSION_H_
+#define CSM_EXEC_SESSION_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/engine.h"
+#include "exec/factory.h"
+#include "storage/fact_table.h"
+#include "workflow/fuse.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+struct ExecContext;
+
+/// Session-level knobs, on top of the per-run EngineOptions.
+struct SessionOptions {
+  /// Tuning for the fused engine run (and, at Create time, the options
+  /// MakeEngine validates). An empty sort_key lets the session plan one
+  /// order for the combined workflow (src/opt, §6).
+  EngineOptions engine_options;
+
+  /// Demultiplex hidden (intermediate) measures back to each query too.
+  bool include_hidden = false;
+
+  /// Result-cache capacity in entries (queries). 0 disables the cache.
+  size_t cache_capacity = 0;
+};
+
+/// What the last RunPending did — fusion and cache effectiveness.
+struct SessionReport {
+  size_t queries = 0;          // queries in the batch
+  size_t total_measures = 0;   // sum of their measure counts
+  size_t fused_measures = 0;   // measures the fused run executed
+  size_t shared_measures = 0;  // deduplicated against an earlier query
+  size_t cache_hits = 0;       // queries served from the result cache
+  size_t cache_misses = 0;     // queries that joined the fused run
+  ExecStats run_stats;         // the single fused run (zeros on all-hit)
+};
+
+/// A multi-query session over one fact table (the shared-scan argument of
+/// §5 lifted across queries): Submit N workflows, RunPending fuses them —
+/// deduplicating structurally identical measures via fingerprints
+/// (workflow/fuse.h) — plans ONE sort order for the combined DAG, runs
+/// the engine ONCE, and demultiplexes the output tables back into one
+/// EvalOutput per query under the queries' own measure names.
+///
+/// Results are bit-identical to running each workflow through its own
+/// Engine::Run: fusion only renames measures and shares identical
+/// subgraphs, never changes what is computed (the differential fuzzer's
+/// session cells check exactly this).
+///
+/// An optional fingerprint-keyed LRU cache short-circuits repeated
+/// queries: the key is (QueryFingerprint, FactTable::ContentHash()), so
+/// entries invalidate themselves when the fact table's content changes.
+/// Cache hits keep the ExecStats of the run that produced the entry.
+///
+/// Thread safety: Submit may be called concurrently with other Submits
+/// and with RunPending (late submissions land in the next batch).
+/// RunPending itself may also run concurrently — each call drains the
+/// batch that existed when it started. The session is not movable.
+class QuerySession {
+ public:
+  /// Builds the engine via MakeEngine (validating
+  /// options.engine_options) and wraps it in a session.
+  static Result<std::unique_ptr<QuerySession>> Create(
+      EngineKind kind, SessionOptions options = SessionOptions{});
+
+  QuerySession(std::unique_ptr<Engine> engine,
+               SessionOptions options = SessionOptions{});
+
+  /// Queues one workflow; returns its index within the current batch
+  /// (= its position in the vector RunPending returns). All workflows of
+  /// a batch must share the first one's schema object, and must have at
+  /// least one measure.
+  Result<size_t> Submit(Workflow workflow);
+
+  /// Queued queries not yet run.
+  size_t num_pending() const;
+
+  /// Fuses and runs every pending query over `fact`; returns one
+  /// EvalOutput per query in Submit order. The convenience overload runs
+  /// under a default context carrying options.engine_options; the other
+  /// respects the caller's tracer / cancellation / tuning, opening the
+  /// fused run plus one bookkeeping span per query under a shared
+  /// "session" root span.
+  Result<std::vector<EvalOutput>> RunPending(const FactTable& fact);
+  Result<std::vector<EvalOutput>> RunPending(const FactTable& fact,
+                                             ExecContext& ctx);
+
+  /// Fusion/cache report for the most recent RunPending.
+  SessionReport last_report() const;
+
+  size_t cache_size() const;
+  void ClearCache();
+
+ private:
+  using CacheKey = std::pair<uint64_t, uint64_t>;  // (query fp, fact hash)
+  struct CacheEntry {
+    CacheKey key;
+    EvalOutput output;  // tables under the query's own measure names
+  };
+
+  /// Deep copy (MeasureTable has no copy constructor).
+  static EvalOutput CloneOutput(const EvalOutput& src);
+
+  /// LRU get/put; callers hold mu_.
+  const EvalOutput* CacheLookup(const CacheKey& key);
+  void CacheInsert(const CacheKey& key, const EvalOutput& output);
+
+  std::unique_ptr<Engine> engine_;
+  SessionOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Workflow> pending_;
+  std::list<CacheEntry> cache_;  // most recently used first
+  std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
+  SessionReport report_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_SESSION_H_

@@ -39,6 +39,15 @@ std::shared_ptr<const ScalarExpr> ScalarExpr::Var(std::string name) {
   return e;
 }
 
+std::shared_ptr<const ScalarExpr> ScalarExpr::Unary(
+    Op op, std::shared_ptr<const ScalarExpr> operand) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = Kind::kUnary;
+  e->op_ = op;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
 std::shared_ptr<const ScalarExpr> ScalarExpr::Binary(
     Op op, std::shared_ptr<const ScalarExpr> lhs,
     std::shared_ptr<const ScalarExpr> rhs) {
@@ -46,6 +55,16 @@ std::shared_ptr<const ScalarExpr> ScalarExpr::Binary(
   e->kind_ = Kind::kBinary;
   e->op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+std::shared_ptr<const ScalarExpr> ScalarExpr::Call(
+    std::string name,
+    std::vector<std::shared_ptr<const ScalarExpr>> args) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->kind_ = Kind::kCall;
+  e->name_ = std::move(name);
+  e->children_ = std::move(args);
   return e;
 }
 
@@ -514,6 +533,59 @@ double BoundExpr::Eval(const double* slots) const {
     }
   }
   return sp > stack_.data() ? sp[-1] : kNaN;
+}
+
+// ---------------------------------------------------------------------------
+// Variable renaming
+
+ScalarExprPtr RenameVars(
+    const ScalarExprPtr& expr,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  if (expr == nullptr) return nullptr;
+  switch (expr->kind()) {
+    case ScalarExpr::Kind::kConst:
+      return expr;
+    case ScalarExpr::Kind::kVar: {
+      const std::string& name = expr->var_name();
+      std::string lower = ToLower(name);
+      // "X.M" renames on its "X" part, mirroring BoundExpr::Bind's rule
+      // that a variable "X.M" matches a slot named "X".
+      std::string_view base = lower;
+      std::string_view suffix;
+      if (base.size() > 2 && base.substr(base.size() - 2) == ".m") {
+        base = base.substr(0, base.size() - 2);
+        suffix = ".M";
+      }
+      for (const auto& [from, to] : renames) {
+        if (ToLower(from) == base) {
+          return ScalarExpr::Var(to + std::string(suffix));
+        }
+      }
+      return expr;
+    }
+    case ScalarExpr::Kind::kUnary:
+    case ScalarExpr::Kind::kBinary:
+    case ScalarExpr::Kind::kCall: {
+      bool changed = false;
+      std::vector<ScalarExprPtr> children;
+      children.reserve(expr->children().size());
+      for (const ScalarExprPtr& child : expr->children()) {
+        ScalarExprPtr renamed = RenameVars(child, renames);
+        changed |= renamed != child;
+        children.push_back(std::move(renamed));
+      }
+      if (!changed) return expr;  // share untouched subtrees
+      if (expr->kind() == ScalarExpr::Kind::kUnary) {
+        return ScalarExpr::Unary(expr->op(), std::move(children[0]));
+      }
+      if (expr->kind() == ScalarExpr::Kind::kBinary) {
+        return ScalarExpr::Binary(expr->op(), std::move(children[0]),
+                                  std::move(children[1]));
+      }
+      return ScalarExpr::Call(expr->call_name(), std::move(children));
+    }
+  }
+  return expr;
 }
 
 }  // namespace csm

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -59,9 +60,14 @@ class ScalarExpr {
   /// Convenience constructors used by programmatic query builders.
   static std::shared_ptr<const ScalarExpr> Const(double v);
   static std::shared_ptr<const ScalarExpr> Var(std::string name);
+  static std::shared_ptr<const ScalarExpr> Unary(
+      Op op, std::shared_ptr<const ScalarExpr> operand);
   static std::shared_ptr<const ScalarExpr> Binary(
       Op op, std::shared_ptr<const ScalarExpr> lhs,
       std::shared_ptr<const ScalarExpr> rhs);
+  static std::shared_ptr<const ScalarExpr> Call(
+      std::string name,
+      std::vector<std::shared_ptr<const ScalarExpr>> args);
 
   Kind kind() const { return kind_; }
   Op op() const { return op_; }
@@ -90,6 +96,17 @@ class ScalarExpr {
 };
 
 using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+
+/// Returns `expr` with every variable reference renamed through `renames`
+/// (old name -> new name, matched case-insensitively). A reference of the
+/// form "X.M" is renamed on its "X" part, preserving the ".M" suffix —
+/// the same matching rule BoundExpr::Bind applies to slots. Variables not
+/// in the map are kept as-is; subtrees without renamed variables are
+/// shared, not copied. Used by workflow fusion to re-point measure
+/// references at namespaced measure names.
+ScalarExprPtr RenameVars(
+    const ScalarExprPtr& expr,
+    const std::vector<std::pair<std::string, std::string>>& renames);
 
 /// A ScalarExpr compiled against a variable layout: variable references
 /// become slot indices and the tree is flattened into a postfix program, so

@@ -1,8 +1,25 @@
 #include "storage/fact_table.h"
 
+#include <cstring>
+
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace csm {
+
+uint64_t FactTable::ContentHash() const {
+  uint64_t h = Mix64(0xfac7ab1eull);
+  h = HashCombine(h, num_rows_);
+  h = HashCombine(h, static_cast<uint64_t>(num_dims_));
+  h = HashCombine(h, static_cast<uint64_t>(num_measures_));
+  for (Value v : dims_) h = HashCombine(h, static_cast<uint64_t>(v));
+  for (double m : measures_) {
+    uint64_t bits;
+    std::memcpy(&bits, &m, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
+  return h;
+}
 
 void FactTable::Permute(const std::vector<uint32_t>& perm) {
   CSM_CHECK(perm.size() == num_rows_);

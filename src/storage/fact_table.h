@@ -71,6 +71,13 @@ class FactTable {
   /// i). Used by the in-memory sort path.
   void Permute(const std::vector<uint32_t>& perm);
 
+  /// 64-bit hash of the table's contents (shape + every dimension value +
+  /// the bit patterns of every raw measure, so NaN payloads count). Two
+  /// tables with equal hashes hold the same rows in the same order, up to
+  /// hash collisions. O(rows); the session result cache keys on it so
+  /// cached results die with the data that produced them.
+  uint64_t ContentHash() const;
+
   /// Bytes per serialized row (dims + measures), for spill accounting.
   size_t RowBytes() const {
     return num_dims_ * sizeof(Value) + num_measures_ * sizeof(double);

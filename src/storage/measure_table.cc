@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace csm {
 
 MeasureTable MeasureTable::Clone() const {
-  MeasureTable copy(schema_, gran_, name_);
+  return CloneAs(name_);
+}
+
+MeasureTable MeasureTable::CloneAs(std::string name) const {
+  MeasureTable copy(schema_, gran_, std::move(name));
   copy.keys_ = keys_;
   copy.values_ = values_;
   copy.num_rows_ = num_rows_;

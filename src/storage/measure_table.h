@@ -30,6 +30,11 @@ class MeasureTable {
   /// Deep copy (explicit, since the copy constructor is deleted).
   MeasureTable Clone() const;
 
+  /// Deep copy under a different table name — the session demultiplexer
+  /// hands a fused measure back to each query under the query's own
+  /// measure name.
+  MeasureTable CloneAs(std::string name) const;
+
   const SchemaPtr& schema() const { return schema_; }
   const Granularity& granularity() const { return gran_; }
   const std::string& name() const { return name_; }

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/timer.h"
 #include "testing/data_gen.h"
+#include "testing/mutate.h"
 #include "testing/random_workflow.h"
 #include "testing/repro.h"
 #include "testing/shrink.h"
@@ -174,8 +175,14 @@ Result<CampaignStats> RunCampaign(const CampaignOptions& options) {
         RandomFactOptions(options.max_rows, card, rng);
     const FactTable fact = GenerateFacts(schema, data_options);
     RandomWorkflowGen gen(schema, rng.Next());
-    const Workflow workflow =
-        gen.Generate(options.measures_per_workflow);
+    Workflow workflow = gen.Generate(options.measures_per_workflow);
+    // Holistic-pressure pass on half the runs: retarget aggregates to
+    // count_distinct/stddev/var and inject holistic roll-up/match arcs,
+    // beyond what the generator's own weighting produces. Deterministic
+    // per seed, so checkpoints replay run-for-run.
+    if (rng.Bernoulli(0.5)) {
+      workflow = MutateHolistic(workflow, rng, /*max_mutations=*/2);
+    }
 
     ScopedSpan run_span(tracer, "fuzz-run", campaign_span.id());
     if (tracer != nullptr) {

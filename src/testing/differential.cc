@@ -1,5 +1,6 @@
 #include "testing/differential.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -7,6 +8,7 @@
 
 #include "algebra/evaluator.h"
 #include "exec/exec_context.h"
+#include "exec/session.h"
 #include "exec/sort_scan.h"
 #include "storage/table_io.h"
 #include "storage/temp_file.h"
@@ -62,16 +64,57 @@ void ApplyFault(const FaultSpec& fault, const EngineConfig& config,
   if (target == "*") {
     for (const MeasureDef& def : workflow.measures()) {
       if (!def.is_output) continue;
-      auto it = out->tables.find(def.name);
-      if (it != out->tables.end() && it->second.num_rows() > 0) {
+      const MeasureTable* table = out->FindTable(def.name);
+      if (table != nullptr && table->num_rows() > 0) {
         target = def.name;
         break;
       }
     }
   }
-  auto it = out->tables.find(target);
-  if (it == out->tables.end() || it->second.num_rows() == 0) return;
-  it->second.set_value(0, it->second.value(0) + 1.0);
+  MeasureTable* table = out->FindTable(target);
+  if (table == nullptr || table->num_rows() == 0) return;
+  table->set_value(0, table->value(0) + 1.0);
+}
+
+/// The session cell: splits the workflow into `config.session_queries`
+/// overlapping prefix queries (prefixes are always valid — measures are
+/// in dependency order; the last query is the whole workflow), fuses
+/// them through a QuerySession, and returns the union of the
+/// demultiplexed per-query outputs. Matching the reference therefore
+/// checks both the fused execution and the demux mapping.
+Result<EvalOutput> RunAsSession(const Workflow& workflow,
+                                const FactTable& fact,
+                                const EngineConfig& config,
+                                ExecContext& ctx) {
+  const size_t n = workflow.measures().size();
+  const size_t k = static_cast<size_t>(config.session_queries);
+  SessionOptions options;
+  options.engine_options = ctx.options;
+  CSM_ASSIGN_OR_RETURN(std::unique_ptr<QuerySession> session,
+                       QuerySession::Create(config.kind, options));
+  for (size_t j = 0; j < k; ++j) {
+    const size_t take =
+        std::max<size_t>(1, std::min(n, (n * (j + 1) + k - 1) / k));
+    Workflow query(workflow.schema());
+    for (size_t m = 0; m < take; ++m) {
+      CSM_RETURN_NOT_OK(query.AddMeasure(workflow.measures()[m]));
+    }
+    CSM_RETURN_NOT_OK(session->Submit(std::move(query)).status());
+  }
+  CSM_ASSIGN_OR_RETURN(std::vector<EvalOutput> outs,
+                       session->RunPending(fact, ctx));
+  // Union of the demuxed outputs; prefix queries share measure names and
+  // fused measures, so first-wins merging is exact.
+  EvalOutput merged;
+  for (EvalOutput& out : outs) {
+    merged.stats = out.stats;
+    for (auto& [name, table] : out.tables) {
+      if (merged.FindTable(name) == nullptr) {
+        merged.tables.emplace(name, std::move(table));
+      }
+    }
+  }
+  return merged;
 }
 
 }  // namespace
@@ -80,6 +123,9 @@ std::string EngineConfig::Label(const Schema& schema) const {
   std::string label(EngineKindName(kind));
   if (!sort_key.empty()) label += "@" + sort_key.ToString(schema);
   if (run_file) label += "+runfile";
+  if (session_queries > 1) {
+    label += "+session/q" + std::to_string(session_queries);
+  }
   if (threads > 0) label += "/t" + std::to_string(threads);
   if (memory_budget_bytes > 0) {
     label += "/" + FormatBudget(memory_budget_bytes);
@@ -202,8 +248,11 @@ Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
     CSM_RETURN_NOT_OK(WriteFactTableBinary(fact, path));
     SortScanEngine engine;
     result = engine.RunFile(workflow, path, ctx);
+  } else if (config.session_queries > 1) {
+    result = RunAsSession(workflow, fact, config, ctx);
   } else {
-    std::unique_ptr<Engine> engine = MakeEngine(config.kind);
+    CSM_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                         MakeEngine(config.kind, ctx.options));
     result = engine->Run(workflow, fact, ctx);
   }
   if (result.ok()) ApplyFault(fault, config, workflow, &*result);
@@ -226,12 +275,12 @@ Result<std::optional<Divergence>> CheckConfig(
   }
   for (const MeasureDef& def : workflow.measures()) {
     if (!def.is_output) continue;
-    auto it = got->tables.find(def.name);
-    if (it == got->tables.end()) {
+    const MeasureTable* table = got->FindTable(def.name);
+    if (table == nullptr) {
       return std::optional<Divergence>(
           Divergence{label, def.name, "output table missing"});
     }
-    auto diff = DiffTables(it->second, reference.at(def.name));
+    auto diff = DiffTables(*table, reference.at(def.name));
     if (diff.has_value()) {
       return std::optional<Divergence>(
           Divergence{label, def.name, *diff});
@@ -316,6 +365,15 @@ std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
   for (int threads : {1, 2, 8}) {
     EngineConfig config = with_kind(EngineKind::kParallel);
     config.threads = threads;
+    configs.push_back(std::move(config));
+  }
+
+  // Multi-query sessions: the workflow as 2 and 4 overlapping prefix
+  // queries fused into one run. Any disagreement with the reference is a
+  // fusion bug (fingerprint collision, bad rename, demux mix-up).
+  for (int session_queries : {2, 4}) {
+    EngineConfig config = with_kind(EngineKind::kSortScan);
+    config.session_queries = session_queries;
     configs.push_back(std::move(config));
   }
   return configs;

@@ -29,10 +29,12 @@ struct EngineConfig {
   size_t memory_budget_bytes = 0;  // 0 = EngineOptions default
   size_t scan_batch_rows = 0;      // 0 = EngineOptions default; 1 =
                                    // record-at-a-time execution
+  int session_queries = 0;         // > 1: run through QuerySession as N
+                                   // fused prefix queries (0/1 = direct)
 
   /// Stable human-readable label, e.g. "sortscan@<d0:L1>+runfile/64KB"
-  /// or "parallel/t8" or "sortscan/b1". Doubles as the config's
-  /// serialized identity in divergence reports.
+  /// or "parallel/t8" or "sortscan/b1" or "adaptive+session/q4". Doubles
+  /// as the config's serialized identity in divergence reports.
   std::string Label(const Schema& schema) const;
 };
 
@@ -97,8 +99,11 @@ Result<std::optional<Divergence>> CheckConfig(
 
 /// The campaign matrix for one run: every engine, the sort/scan engine
 /// under several random sort orders, the RunFile out-of-core path under a
-/// small budget, the parallel engine at 1/2/8 threads, and a tight-budget
-/// multi-pass. Randomized parts draw from `rng` (seed-deterministic).
+/// small budget, the parallel engine at 1/2/8 threads, a tight-budget
+/// multi-pass, and multi-query sessions fusing 2 and 4 overlapping
+/// prefix queries of the workflow (fused results must match independent
+/// runs bit-for-bit). Randomized parts draw from `rng`
+/// (seed-deterministic).
 std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
                                             Rng& rng);
 

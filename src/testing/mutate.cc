@@ -105,6 +105,106 @@ std::vector<Workflow> ShrinkWorkflowCandidates(const Workflow& workflow) {
   return out;
 }
 
+namespace {
+
+AggKind RandomHolisticKind(Rng& rng) {
+  static const AggKind kKinds[] = {AggKind::kCountDistinct,
+                                   AggKind::kStddev, AggKind::kVar};
+  return kKinds[rng.Uniform(std::size(kKinds))];
+}
+
+/// Retargets the aggregate of one random base-agg / roll-up / match
+/// measure to a holistic kind. Returns false when the workflow has no
+/// eligible measure.
+bool ProposeRetarget(const std::vector<MeasureDef>& defs, Rng& rng,
+                     std::vector<MeasureDef>* out) {
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < defs.size(); ++i) {
+    if (defs[i].op != MeasureOp::kCombine) eligible.push_back(i);
+  }
+  if (eligible.empty()) return false;
+  const size_t i = eligible[rng.Uniform(eligible.size())];
+  *out = defs;
+  MeasureDef& def = (*out)[i];
+  def.agg.kind = RandomHolisticKind(rng);
+  // count(*)-style arg (-1) becomes an explicit column: holistic
+  // aggregates need a value stream (the distinct set / Welford
+  // registers fold actual inputs, not row counts).
+  if (def.agg.arg < 0) def.agg.arg = 0;
+  return true;
+}
+
+/// Appends a new holistic roll-up or self/sibling-match measure over a
+/// random existing measure.
+bool ProposeInject(const SchemaPtr& schema,
+                   const std::vector<MeasureDef>& defs, Rng& rng,
+                   std::vector<MeasureDef>* out) {
+  const MeasureDef& input = defs[rng.Uniform(defs.size())];
+  MeasureDef def;
+  def.name = "hz" + std::to_string(defs.size());
+  def.input = input.name;
+  def.agg = {RandomHolisticKind(rng), 0};
+  if (rng.Bernoulli(0.5)) {
+    // Roll-up arc: coarsen each dimension by a random amount.
+    def.op = MeasureOp::kRollup;
+    std::vector<int> levels(input.gran.levels());
+    for (int d = 0; d < schema->num_dims(); ++d) {
+      const int all = schema->dim(d).hierarchy->all_level();
+      levels[d] += static_cast<int>(rng.Uniform(all - levels[d] + 1));
+    }
+    def.gran = Granularity(std::move(levels));
+  } else {
+    // Match arc at the input's own granularity: a sibling window on the
+    // first non-ALL dimension when one exists, self-match otherwise.
+    def.op = MeasureOp::kMatch;
+    def.gran = input.gran;
+    def.match = MatchCond::Self();
+    for (int d = 0; d < schema->num_dims(); ++d) {
+      if (def.gran.level(d) >= schema->dim(d).hierarchy->all_level()) {
+        continue;
+      }
+      SiblingWindow w;
+      w.dim = d;
+      w.lo = static_cast<int>(rng.UniformInt(-2, 0));
+      w.hi = w.lo + static_cast<int>(rng.UniformInt(0, 2));
+      def.match = MatchCond::Sibling({w});
+      break;
+    }
+  }
+  *out = defs;
+  out->push_back(std::move(def));
+  return true;
+}
+
+}  // namespace
+
+Workflow MutateHolistic(const Workflow& workflow, Rng& rng,
+                        int max_mutations) {
+  Workflow current = workflow;
+  for (int applied = 0; applied < max_mutations;) {
+    bool progressed = false;
+    // A handful of attempts per slot: most rejections are validation
+    // failures (e.g. a roll-up target coarser than a dependent needs),
+    // and a different random draw usually lands.
+    for (int attempt = 0; attempt < 4 && !progressed; ++attempt) {
+      std::vector<MeasureDef> candidate;
+      const bool proposed =
+          rng.Bernoulli(0.5)
+              ? ProposeRetarget(current.measures(), rng, &candidate)
+              : ProposeInject(current.schema(), current.measures(), rng,
+                              &candidate);
+      if (!proposed) continue;
+      auto rebuilt = RebuildWorkflow(current.schema(), candidate);
+      if (!rebuilt.ok()) continue;
+      current = std::move(*rebuilt);
+      progressed = true;
+    }
+    if (!progressed) break;
+    ++applied;
+  }
+  return current;
+}
+
 FactTable DropRows(const FactTable& fact, size_t begin, size_t count) {
   FactTable out(fact.schema());
   const size_t end = std::min(begin + count, fact.num_rows());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "storage/fact_table.h"
 #include "workflow/workflow.h"
 
@@ -24,6 +25,28 @@ Result<Workflow> RebuildWorkflow(const SchemaPtr& schema,
 /// accepts the first candidate that still diverges and iterates to a
 /// fixed point.
 std::vector<Workflow> ShrinkWorkflowCandidates(const Workflow& workflow);
+
+/// Seed-deterministic mutation pass pushing the holistic /
+/// multi-register aggregates — count_distinct, stddev, var — onto more
+/// arcs of an existing workflow (the aggressive-coverage half of the
+/// ROADMAP fuzzer item; RandomWorkflowGen already over-weights them at
+/// generation time). Applies up to `max_mutations` of:
+///
+///   - retarget: switch the aggregate of an existing base-agg / roll-up /
+///     match measure to a holistic kind (distinct sets and Welford
+///     registers then flow through whatever arc shape the generator
+///     built);
+///   - inject roll-up arc: add a new coarser holistic roll-up over a
+///     random existing measure;
+///   - inject match arc: add a new self- or sibling-match measure with a
+///     holistic aggregate over a random existing measure.
+///
+/// Candidates that fail workflow validation are discarded and retried;
+/// the returned workflow is always valid (the input workflow when
+/// nothing applies). Mutations draw only from `rng`, so campaigns stay
+/// replayable from their seed.
+Workflow MutateHolistic(const Workflow& workflow, Rng& rng,
+                        int max_mutations = 2);
 
 /// Copy of `fact` without rows [begin, begin + count).
 FactTable DropRows(const FactTable& fact, size_t begin, size_t count);

@@ -57,6 +57,9 @@ Result<std::string> WriteRepro(const std::string& dir,
   if (config.scan_batch_rows > 0) {
     out << "batch_rows: " << config.scan_batch_rows << "\n";
   }
+  if (config.session_queries > 1) {
+    out << "session_queries: " << config.session_queries << "\n";
+  }
   if (!config.sort_key.empty()) {
     out << "sort_key: " << config.sort_key.ToString(*workflow.schema())
         << "\n";
@@ -88,7 +91,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   std::string schema_spec, engine = "sortscan", path_kind = "memory";
   std::string sort_key_text, fault_text, facts_name;
   uint64_t seed = 0, budget = 0, batch_rows = 0;
-  int64_t threads = 0;
+  int64_t threads = 0, session_queries = 0;
   std::ostringstream dsl;
   bool in_workflow = false;
   while (std::getline(in, line)) {
@@ -130,6 +133,10 @@ Result<ReproCase> LoadRepro(const std::string& path) {
       if (!ParseUint64(value, &batch_rows)) {
         return Status::ParseError("bad batch_rows: " + value);
       }
+    } else if (key == "session_queries") {
+      if (!ParseInt64(value, &session_queries)) {
+        return Status::ParseError("bad session_queries: " + value);
+      }
     } else if (key == "sort_key") {
       sort_key_text = value;
     } else if (key == "fault") {
@@ -163,6 +170,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   config.threads = static_cast<int>(threads);
   config.memory_budget_bytes = budget;
   config.scan_batch_rows = batch_rows;
+  config.session_queries = static_cast<int>(session_queries);
   if (!sort_key_text.empty()) {
     CSM_ASSIGN_OR_RETURN(config.sort_key,
                          SortKey::Parse(*schema, sort_key_text));

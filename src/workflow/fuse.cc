@@ -1,0 +1,211 @@
+#include "workflow/fuse.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+namespace {
+
+uint64_t HashStr(uint64_t h, std::string_view s) {
+  h = HashCombine(h, s.size());
+  for (char c : s) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+/// Canonical text of a filter / combine expression: measure references
+/// replaced by positional placeholders, everything lower-cased. Two
+/// expressions with the same canonical text compute the same function of
+/// the same inputs regardless of what the inputs are named.
+std::string CanonicalExpr(
+    const ScalarExprPtr& expr,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  if (expr == nullptr) return "";
+  return ToLower(RenameVars(expr, renames)->ToString());
+}
+
+/// The canonical aggregate argument: every non-fact operator reads the
+/// single "M" column of its input table, so ToAlgebra clamps arg > 0 to 0
+/// — fingerprints hash the clamped form so spelling differences ("agg
+/// sum(M)" parsed with arg 0 vs a programmatic arg 1) cannot split
+/// structurally identical measures.
+int CanonicalAggArg(const MeasureDef& def) {
+  if (def.op == MeasureOp::kBaseAgg) return def.agg.arg;
+  return def.agg.arg > 0 ? 0 : def.agg.arg;
+}
+
+uint64_t FingerprintDef(const MeasureDef& def,
+                        const std::vector<uint64_t>& input_fps) {
+  uint64_t h = Mix64(0xc5a4f05eull ^ static_cast<uint64_t>(def.op));
+  for (int level : def.gran.levels()) {
+    h = HashCombine(h, static_cast<uint64_t>(level));
+  }
+  h = HashCombine(h, static_cast<uint64_t>(def.agg.kind));
+  h = HashCombine(h, static_cast<uint64_t>(CanonicalAggArg(def) + 1));
+  h = HashCombine(h, static_cast<uint64_t>(def.match.type));
+  for (const SiblingWindow& w : def.match.windows) {
+    h = HashCombine(h, static_cast<uint64_t>(w.dim));
+    h = HashCombine(h, static_cast<uint64_t>(w.lo));
+    h = HashCombine(h, static_cast<uint64_t>(w.hi));
+  }
+
+  // Expression canonicalization: references to the input measure(s) —
+  // by name or via the interchangeable "M" alias — become positional
+  // placeholders.
+  std::vector<std::pair<std::string, std::string>> renames;
+  if (def.op == MeasureOp::kRollup || def.op == MeasureOp::kMatch) {
+    renames.emplace_back(def.input, "$0");
+    renames.emplace_back("M", "$0");
+  } else if (def.op == MeasureOp::kCombine) {
+    for (size_t i = 0; i < def.combine_inputs.size(); ++i) {
+      renames.emplace_back(def.combine_inputs[i],
+                           "$" + std::to_string(i));
+    }
+  }
+  h = HashStr(h, CanonicalExpr(def.where, renames));
+  h = HashStr(h, CanonicalExpr(def.fc, renames));
+
+  for (uint64_t fp : input_fps) h = HashCombine(h, fp);
+  return h;
+}
+
+std::vector<uint64_t> InputFingerprints(
+    const MeasureDef& def, const std::map<std::string, uint64_t>& by_name) {
+  std::vector<uint64_t> fps;
+  for (const std::string& input : def.Inputs()) {
+    auto it = by_name.find(ToLower(input));
+    // Inputs always precede their consumers (Workflow validates at
+    // AddMeasure time), so a miss cannot happen on a valid workflow.
+    fps.push_back(it == by_name.end() ? 0 : it->second);
+  }
+  return fps;
+}
+
+}  // namespace
+
+std::map<std::string, uint64_t> WorkflowFingerprints(
+    const Workflow& workflow) {
+  std::map<std::string, uint64_t> by_name;
+  for (const MeasureDef& def : workflow.measures()) {
+    by_name[ToLower(def.name)] =
+        FingerprintDef(def, InputFingerprints(def, by_name));
+  }
+  return by_name;
+}
+
+Result<uint64_t> MeasureFingerprint(const Workflow& workflow,
+                                    std::string_view measure) {
+  CSM_ASSIGN_OR_RETURN(const MeasureDef* def, workflow.Find(measure));
+  auto by_name = WorkflowFingerprints(workflow);
+  return by_name.at(ToLower(def->name));
+}
+
+uint64_t QueryFingerprint(const Workflow& workflow, bool include_hidden) {
+  const auto by_name = WorkflowFingerprints(workflow);
+  // (name, fingerprint) of every emitted measure, in name-sorted order so
+  // the hash is independent of definition order.
+  std::vector<std::pair<std::string, uint64_t>> emitted;
+  for (const MeasureDef& def : workflow.measures()) {
+    if (!def.is_output && !include_hidden) continue;
+    emitted.emplace_back(ToLower(def.name), by_name.at(ToLower(def.name)));
+  }
+  std::sort(emitted.begin(), emitted.end());
+  uint64_t h = Mix64(0x9e5e5510ull + emitted.size());
+  for (const auto& [name, fp] : emitted) {
+    h = HashStr(h, name);
+    h = HashCombine(h, fp);
+  }
+  return h;
+}
+
+Result<FusedPlan> FuseWorkflows(
+    const std::vector<const Workflow*>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("FuseWorkflows: no queries");
+  }
+  const SchemaPtr& schema = queries[0]->schema();
+  for (size_t i = 1; i < queries.size(); ++i) {
+    if (queries[i]->schema() != schema) {
+      return Status::InvalidArgument(
+          "FuseWorkflows: query " + std::to_string(i) +
+          " is over a different schema object");
+    }
+  }
+
+  FusedPlan plan{Workflow(schema), {}, 0, 0};
+  std::map<uint64_t, size_t> fused_by_fp;  // fingerprint -> fused def idx
+  std::vector<MeasureDef> fused_defs;      // built first so is_output can
+                                           // be widened on dedup hits
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Workflow& query = *queries[qi];
+    FusedQuery mapping;
+    std::map<std::string, uint64_t> fp_by_name;   // this query, by name
+    std::map<std::string, std::string> fused_name;  // orig -> fused
+
+    for (const MeasureDef& def : query.measures()) {
+      ++plan.total_measures;
+      const uint64_t fp =
+          FingerprintDef(def, InputFingerprints(def, fp_by_name));
+      fp_by_name[ToLower(def.name)] = fp;
+
+      std::string name;
+      auto hit = fused_by_fp.find(fp);
+      if (hit != fused_by_fp.end()) {
+        // Structurally identical measure already fused: reuse it, and
+        // widen its visibility if this query emits it.
+        ++plan.shared_measures;
+        MeasureDef& fused = fused_defs[hit->second];
+        fused.is_output |= def.is_output;
+        name = fused.name;
+      } else {
+        MeasureDef fused = def;
+        fused.name = "q" + std::to_string(qi) + "_" + def.name;
+        // Re-point input references (and the variable references inside
+        // filter / combine expressions) at the fused measure names.
+        std::vector<std::pair<std::string, std::string>> renames;
+        if (!fused.input.empty()) {
+          auto it = fused_name.find(ToLower(fused.input));
+          if (it == fused_name.end()) {
+            return Status::Internal("FuseWorkflows: dangling input '" +
+                                    fused.input + "'");
+          }
+          renames.emplace_back(fused.input, it->second);
+          fused.input = it->second;
+        }
+        for (std::string& input : fused.combine_inputs) {
+          auto it = fused_name.find(ToLower(input));
+          if (it == fused_name.end()) {
+            return Status::Internal("FuseWorkflows: dangling input '" +
+                                    input + "'");
+          }
+          renames.emplace_back(input, it->second);
+          input = it->second;
+        }
+        fused.where = RenameVars(fused.where, renames);
+        fused.fc = RenameVars(fused.fc, renames);
+        fused_by_fp.emplace(fp, fused_defs.size());
+        name = fused.name;
+        fused_defs.push_back(std::move(fused));
+      }
+
+      fused_name[ToLower(def.name)] = name;
+      mapping.measures.emplace_back(def.name, name);
+      if (def.is_output) mapping.outputs.emplace_back(def.name, name);
+    }
+    plan.queries.push_back(std::move(mapping));
+  }
+
+  for (MeasureDef& def : fused_defs) {
+    CSM_RETURN_NOT_OK(plan.combined.AddMeasure(std::move(def))
+                          .WithContext("FuseWorkflows"));
+  }
+  return plan;
+}
+
+}  // namespace csm

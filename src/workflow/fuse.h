@@ -1,0 +1,80 @@
+#ifndef CSM_WORKFLOW_FUSE_H_
+#define CSM_WORKFLOW_FUSE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// Workflow fusion: canonicalize a batch of workflows over one schema,
+/// deduplicate structurally identical measures across them, and merge the
+/// remainder into one combined workflow DAG whose single sorted scan
+/// serves every query — the paper's shared-scan argument (§5) lifted from
+/// "all measures of one workflow" to "all measures of all concurrent
+/// workflows". QuerySession (src/exec/session.h) executes the fused graph
+/// once and demultiplexes the outputs.
+
+/// Stable structural fingerprint of one measure: a 64-bit hash over the
+/// measure's operator, granularity, aggregate, match condition, canonical
+/// filter/combine expressions, and — recursively — the fingerprints of
+/// its inputs. Names do not participate (input references hash as their
+/// own fingerprints; expression references to the input measures are
+/// replaced by positional placeholders), so the fingerprint is invariant
+/// under measure renaming and under reordering of unrelated measures.
+/// Two measures with equal fingerprints compute identical tables over any
+/// fact table. `is_output` is not hashed: hidden-ness affects emission,
+/// not values.
+///
+/// Fingerprints for every measure of `workflow`, keyed by lower-cased
+/// measure name.
+std::map<std::string, uint64_t> WorkflowFingerprints(
+    const Workflow& workflow);
+
+/// Fingerprint of one measure (convenience over WorkflowFingerprints).
+Result<uint64_t> MeasureFingerprint(const Workflow& workflow,
+                                    std::string_view measure);
+
+/// Identity of a whole query for result caching: hashes the (name,
+/// fingerprint) pairs of every measure the query would emit —
+/// output measures, or all measures when `include_hidden` — in
+/// name-sorted order. Names are included because cached results are keyed
+/// tables: the same structure under different output names is a
+/// different result.
+uint64_t QueryFingerprint(const Workflow& workflow, bool include_hidden);
+
+/// Where one input query's measures ended up in the fused workflow.
+struct FusedQuery {
+  /// Original measure name -> fused (namespaced or deduplicated) name,
+  /// for every measure of the query, in the query's definition order.
+  std::vector<std::pair<std::string, std::string>> measures;
+
+  /// Subset of `measures` the query emits (is_output, in order).
+  std::vector<std::pair<std::string, std::string>> outputs;
+};
+
+/// A fused multi-query plan.
+struct FusedPlan {
+  Workflow combined;              // the merged DAG, one measure per
+                                  // distinct fingerprint
+  std::vector<FusedQuery> queries;  // one mapping per input query
+  size_t total_measures = 0;      // sum of input measure counts
+  size_t shared_measures = 0;     // measures deduplicated away
+};
+
+/// Fuses `queries` (all over the same schema object) into one combined
+/// workflow. Measures are namespaced "q<i>_<name>" after the first query
+/// that defines their structure; a measure whose fingerprint was already
+/// fused maps to the existing fused measure instead of being added again.
+/// A fused measure is an output iff any query outputs it. Input
+/// references — including variable references inside filter and combine
+/// expressions — are rewritten to the fused names.
+Result<FusedPlan> FuseWorkflows(const std::vector<const Workflow*>& queries);
+
+}  // namespace csm
+
+#endif  // CSM_WORKFLOW_FUSE_H_

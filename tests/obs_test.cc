@@ -202,7 +202,7 @@ TEST_F(ObsEngineTest, TracedAndUntracedRunsAgreeOnEveryEngine) {
        {EngineKind::kSingleScan, EngineKind::kSortScan,
         EngineKind::kMultiPass, EngineKind::kAdaptive, EngineKind::kParallel,
         EngineKind::kRelational}) {
-    auto engine = MakeEngine(kind);
+    CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(kind));
     const std::string label = std::string(EngineKindName(kind));
     // Untraced: null tracer in the default context.
     auto plain = engine->Run(*workflow_, *fact_);
@@ -231,7 +231,7 @@ TEST_F(ObsEngineTest, TracedAndUntracedRunsAgreeOnEveryEngine) {
 TEST_F(ObsEngineTest, PerMeasureHashGaugesArePresent) {
   for (EngineKind kind : {EngineKind::kSortScan, EngineKind::kSingleScan,
                           EngineKind::kRelational}) {
-    auto engine = MakeEngine(kind);
+    CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(kind));
     Tracer tracer;
     ExecContext ctx;
     ctx.options.include_hidden = true;
@@ -249,7 +249,7 @@ TEST_F(ObsEngineTest, PerMeasureHashGaugesArePresent) {
 }
 
 TEST_F(ObsEngineTest, PhaseSpansCoverMostOfTheRun) {
-  auto engine = MakeEngine(EngineKind::kSortScan);
+  CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(EngineKind::kSortScan));
   Tracer tracer;
   ExecContext ctx;
   ctx.tracer = &tracer;
@@ -271,7 +271,7 @@ TEST_F(ObsEngineTest, CancellationStopsEveryEngineMidRun) {
        {EngineKind::kSingleScan, EngineKind::kSortScan,
         EngineKind::kMultiPass, EngineKind::kParallel,
         EngineKind::kRelational}) {
-    auto engine = MakeEngine(kind);
+    CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(kind));
     ExecContext ctx;
     ctx.cancel = &cancel;
     auto result = engine->Run(*workflow_, *fact_, ctx);

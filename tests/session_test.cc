@@ -1,0 +1,519 @@
+// QuerySession / workflow-fusion tests: fingerprint stability, cross-query
+// deduplication, fused-vs-independent conformance, result-cache behavior,
+// hidden-measure demultiplexing, concurrent Submit (run under TSan in CI),
+// and the validated MakeEngine factory.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/factory.h"
+#include "exec/session.h"
+#include "gtest/gtest.h"
+#include "model/schema.h"
+#include "test_util.h"
+#include "workflow/fuse.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+
+Workflow ParseOrDie(const SchemaPtr& schema, const std::string& dsl) {
+  auto workflow = Workflow::Parse(schema, dsl);
+  EXPECT_TRUE(workflow.ok()) << workflow.status().ToString();
+  return std::move(workflow).ValueOrDie();
+}
+
+// Two overlapping queries: both build the same hidden per-source count,
+// then emit different roll-ups of it. Fusion should share `Count`.
+constexpr char kQueryA[] = R"(
+  measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+  measure Busy at (t:hour) = agg count(M) from Count where M > 2;)";
+
+constexpr char kQueryB[] = R"(
+  measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+  measure Traffic at (t:hour) = agg sum(M) from Count where M > 2;)";
+
+// Disjoint third query exercising match + combine arcs.
+constexpr char kQueryC[] = R"(
+  measure Daily at (t:day) = agg count(*) from FACT;
+  measure Hourly at (t:hour) = agg count(*) from FACT;
+  measure Share at (t:hour) = match Daily using parentchild agg sum(M);
+  measure Frac at (t:hour) = combine(Hourly, Share)
+      as Hourly / Share;)";
+
+// Reference: each workflow through its own engine run, same options.
+std::vector<EvalOutput> IndependentRuns(
+    const std::vector<const Workflow*>& queries, const FactTable& fact,
+    EngineOptions options = {}) {
+  std::vector<EvalOutput> out;
+  for (const Workflow* workflow : queries) {
+    auto engine = MakeEngine(EngineKind::kSortScan, options);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    auto result = testing_util::RunWith(**engine, *workflow, fact, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.push_back(std::move(*result));
+  }
+  return out;
+}
+
+void ExpectOutputsEqual(const EvalOutput& got, const EvalOutput& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.table_names(), want.table_names()) << context;
+  for (const std::string& name : want.table_names()) {
+    const MeasureTable* gt = got.FindTable(name);
+    const MeasureTable* wt = want.FindTable(name);
+    ASSERT_NE(gt, nullptr) << context << "/" << name;
+    ASSERT_NE(wt, nullptr) << context << "/" << name;
+    ExpectTablesEqual(*gt, *wt, context + "/" + name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Measure / query fingerprints.
+
+TEST(SessionFingerprintTest, InvariantUnderRenaming) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow a = ParseOrDie(schema, kQueryA);
+  Workflow renamed = ParseOrDie(schema, R"(
+    measure PerSrc at (t:hour, U:ip) = agg count(*) from FACT hidden;
+    measure Loud at (t:hour) = agg count(M) from PerSrc where M > 2;)");
+
+  CSM_ASSERT_OK_AND_ASSIGN(uint64_t base_a, MeasureFingerprint(a, "Count"));
+  CSM_ASSERT_OK_AND_ASSIGN(uint64_t base_r,
+                           MeasureFingerprint(renamed, "PerSrc"));
+  EXPECT_EQ(base_a, base_r);
+
+  CSM_ASSERT_OK_AND_ASSIGN(uint64_t top_a, MeasureFingerprint(a, "Busy"));
+  CSM_ASSERT_OK_AND_ASSIGN(uint64_t top_r,
+                           MeasureFingerprint(renamed, "Loud"));
+  EXPECT_EQ(top_a, top_r);
+
+  // Different structure (filter constant) must not collide.
+  Workflow different = ParseOrDie(schema, R"(
+    measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+    measure Busy at (t:hour) = agg count(M) from Count where M > 3;)");
+  CSM_ASSERT_OK_AND_ASSIGN(uint64_t top_d,
+                           MeasureFingerprint(different, "Busy"));
+  EXPECT_NE(top_a, top_d);
+  CSM_ASSERT_OK_AND_ASSIGN(uint64_t base_d,
+                           MeasureFingerprint(different, "Count"));
+  EXPECT_EQ(base_a, base_d);  // the shared base is still identical
+}
+
+TEST(SessionFingerprintTest, InvariantUnderReorderingUnrelatedMeasures) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow xy = ParseOrDie(schema, R"(
+    measure X at (t:hour) = agg sum(bytes) from FACT;
+    measure Y at (U:net24) = agg count(*) from FACT;)");
+  Workflow yx = ParseOrDie(schema, R"(
+    measure Y at (U:net24) = agg count(*) from FACT;
+    measure X at (t:hour) = agg sum(bytes) from FACT;)");
+
+  auto fp_xy = WorkflowFingerprints(xy);
+  auto fp_yx = WorkflowFingerprints(yx);
+  EXPECT_EQ(fp_xy, fp_yx);  // keyed by lower-cased name, order-free
+}
+
+TEST(SessionFingerprintTest, QueryFingerprintIgnoresHiddenNames) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow a = ParseOrDie(schema, kQueryA);
+  // Renaming only the HIDDEN intermediate does not change what the query
+  // emits, so the cache identity is unchanged...
+  Workflow hidden_renamed = ParseOrDie(schema, R"(
+    measure PerSrc at (t:hour, U:ip) = agg count(*) from FACT hidden;
+    measure Busy at (t:hour) = agg count(M) from PerSrc where M > 2;)");
+  EXPECT_EQ(QueryFingerprint(a, false),
+            QueryFingerprint(hidden_renamed, false));
+
+  // ...but renaming an OUTPUT is a different keyed result.
+  Workflow output_renamed = ParseOrDie(schema, R"(
+    measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+    measure Loud at (t:hour) = agg count(M) from Count where M > 2;)");
+  EXPECT_NE(QueryFingerprint(a, false),
+            QueryFingerprint(output_renamed, false));
+
+  // Under include_hidden the intermediate's name is emitted too.
+  EXPECT_NE(QueryFingerprint(a, true),
+            QueryFingerprint(hidden_renamed, true));
+}
+
+// ---------------------------------------------------------------------------
+// Fusion.
+
+TEST(SessionFuseTest, DedupesSharedMeasuresAcrossQueries) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow a = ParseOrDie(schema, kQueryA);
+  Workflow b = ParseOrDie(schema, kQueryB);
+
+  CSM_ASSERT_OK_AND_ASSIGN(FusedPlan plan, FuseWorkflows({&a, &b}));
+  EXPECT_EQ(plan.total_measures, 4u);
+  EXPECT_EQ(plan.shared_measures, 1u);  // the hidden Count
+  EXPECT_EQ(plan.combined.measures().size(), 3u);
+  ASSERT_EQ(plan.queries.size(), 2u);
+  // Both queries' Count measures map to the same fused name.
+  EXPECT_EQ(plan.queries[0].measures[0].second,
+            plan.queries[1].measures[0].second);
+  // Outputs stay per-query.
+  ASSERT_EQ(plan.queries[0].outputs.size(), 1u);
+  EXPECT_EQ(plan.queries[0].outputs[0].first, "Busy");
+  ASSERT_EQ(plan.queries[1].outputs.size(), 1u);
+  EXPECT_EQ(plan.queries[1].outputs[0].first, "Traffic");
+}
+
+TEST(SessionFuseTest, IdenticalQueryFusesToNothingNew) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow a1 = ParseOrDie(schema, kQueryA);
+  Workflow a2 = ParseOrDie(schema, kQueryA);
+  CSM_ASSERT_OK_AND_ASSIGN(FusedPlan plan, FuseWorkflows({&a1, &a2}));
+  EXPECT_EQ(plan.shared_measures, 2u);
+  EXPECT_EQ(plan.combined.measures().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Session execution = independent execution.
+
+TEST(SessionTest, FusedRunMatchesIndependentRuns) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 4000, 64, /*seed=*/7);
+  Workflow a = ParseOrDie(schema, kQueryA);
+  Workflow b = ParseOrDie(schema, kQueryB);
+  Workflow c = ParseOrDie(schema, kQueryC);
+
+  CSM_ASSERT_OK_AND_ASSIGN(auto session,
+                           QuerySession::Create(EngineKind::kSortScan));
+  CSM_ASSERT_OK(session->Submit(a).status());
+  CSM_ASSERT_OK(session->Submit(b).status());
+  CSM_ASSERT_OK(session->Submit(c).status());
+  EXPECT_EQ(session->num_pending(), 3u);
+
+  CSM_ASSERT_OK_AND_ASSIGN(std::vector<EvalOutput> fused,
+                           session->RunPending(fact));
+  EXPECT_EQ(session->num_pending(), 0u);
+  ASSERT_EQ(fused.size(), 3u);
+
+  std::vector<EvalOutput> independent = IndependentRuns({&a, &b, &c}, fact);
+  ASSERT_EQ(independent.size(), 3u);
+  ExpectOutputsEqual(fused[0], independent[0], "queryA");
+  ExpectOutputsEqual(fused[1], independent[1], "queryB");
+  ExpectOutputsEqual(fused[2], independent[2], "queryC");
+
+  const SessionReport report = session->last_report();
+  EXPECT_EQ(report.queries, 3u);
+  EXPECT_EQ(report.total_measures, 8u);
+  EXPECT_EQ(report.shared_measures, 1u);
+  EXPECT_EQ(report.fused_measures, 7u);
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 3u);
+  EXPECT_GT(report.run_stats.total_seconds, 0.0);
+}
+
+TEST(SessionTest, RespectsExplicitSortKey) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 1500, 32, /*seed=*/11);
+  Workflow a = ParseOrDie(schema, kQueryA);
+
+  SessionOptions options;
+  CSM_ASSERT_OK_AND_ASSIGN(options.engine_options.sort_key,
+                           SortKey::Parse(*schema, "<t:hour, U:ip>"));
+  CSM_ASSERT_OK_AND_ASSIGN(
+      auto session, QuerySession::Create(EngineKind::kSortScan, options));
+  CSM_ASSERT_OK(session->Submit(a).status());
+  CSM_ASSERT_OK_AND_ASSIGN(auto fused, session->RunPending(fact));
+  ASSERT_EQ(fused.size(), 1u);
+
+  std::vector<EvalOutput> independent =
+      IndependentRuns({&a}, fact, options.engine_options);
+  ExpectOutputsEqual(fused[0], independent[0], "explicit-sort-key");
+}
+
+TEST(SessionTest, DemuxesHiddenMeasuresWhenRequested) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 1200, 32, /*seed=*/3);
+  Workflow a = ParseOrDie(schema, kQueryA);
+  Workflow b = ParseOrDie(schema, kQueryB);
+
+  SessionOptions options;
+  options.include_hidden = true;
+  CSM_ASSERT_OK_AND_ASSIGN(
+      auto session, QuerySession::Create(EngineKind::kSortScan, options));
+  CSM_ASSERT_OK(session->Submit(a).status());
+  CSM_ASSERT_OK(session->Submit(b).status());
+  CSM_ASSERT_OK_AND_ASSIGN(auto fused, session->RunPending(fact));
+  ASSERT_EQ(fused.size(), 2u);
+
+  // Each query gets its hidden intermediate back under its OWN name, even
+  // though the fused run computed the shared table only once.
+  EXPECT_EQ(fused[0].table_names(),
+            (std::vector<std::string>{"Busy", "Count"}));
+  EXPECT_EQ(fused[1].table_names(),
+            (std::vector<std::string>{"Count", "Traffic"}));
+  ExpectTablesEqual(*fused[0].FindTable("Count"),
+                    *fused[1].FindTable("Count"), "shared hidden Count");
+
+  EngineOptions run_options;
+  run_options.include_hidden = true;
+  std::vector<EvalOutput> independent =
+      IndependentRuns({&a, &b}, fact, run_options);
+  ExpectOutputsEqual(fused[0], independent[0], "hidden/queryA");
+  ExpectOutputsEqual(fused[1], independent[1], "hidden/queryB");
+}
+
+TEST(SessionTest, SubmitValidatesWorkflows) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  CSM_ASSERT_OK_AND_ASSIGN(auto session,
+                           QuerySession::Create(EngineKind::kSortScan));
+  EXPECT_FALSE(session->Submit(Workflow(schema)).ok());  // no measures
+
+  CSM_ASSERT_OK(session->Submit(ParseOrDie(schema, kQueryA)).status());
+  // Structurally equal schema, different object: rejected (fusion relies
+  // on one shared schema instance).
+  SchemaPtr other_schema = MakeNetworkLogSchema();
+  EXPECT_FALSE(
+      session->Submit(ParseOrDie(other_schema, kQueryB)).ok());
+}
+
+TEST(SessionTest, RunPendingOnEmptyBatchReturnsNothing) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 100, 16, /*seed=*/1);
+  CSM_ASSERT_OK_AND_ASSIGN(auto session,
+                           QuerySession::Create(EngineKind::kSortScan));
+  CSM_ASSERT_OK_AND_ASSIGN(auto outputs, session->RunPending(fact));
+  EXPECT_TRUE(outputs.empty());
+  EXPECT_EQ(session->last_report().queries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache.
+
+class SessionCacheTest : public ::testing::Test {
+ protected:
+  SessionCacheTest()
+      : schema_(MakeNetworkLogSchema()),
+        fact_(MakeUniformFacts(schema_, 1000, 32, /*seed=*/5)) {}
+
+  std::unique_ptr<QuerySession> MakeSession(size_t capacity) {
+    SessionOptions options;
+    options.cache_capacity = capacity;
+    auto session = QuerySession::Create(EngineKind::kSortScan, options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return std::move(session).ValueOrDie();
+  }
+
+  // Submits A and B and runs them, returning the outputs.
+  std::vector<EvalOutput> RunBatch(QuerySession& session,
+                                   const FactTable& fact) {
+    EXPECT_TRUE(session.Submit(ParseOrDie(schema_, kQueryA)).ok());
+    EXPECT_TRUE(session.Submit(ParseOrDie(schema_, kQueryB)).ok());
+    auto outputs = session.RunPending(fact);
+    EXPECT_TRUE(outputs.ok()) << outputs.status().ToString();
+    return std::move(outputs).ValueOrDie();
+  }
+
+  SchemaPtr schema_;
+  FactTable fact_;
+};
+
+TEST_F(SessionCacheTest, HitsOnRepeatAndServesIdenticalResults) {
+  auto session = MakeSession(/*capacity=*/8);
+
+  std::vector<EvalOutput> cold = RunBatch(*session, fact_);
+  SessionReport report = session->last_report();
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 2u);
+  EXPECT_EQ(session->cache_size(), 2u);
+
+  std::vector<EvalOutput> warm = RunBatch(*session, fact_);
+  report = session->last_report();
+  EXPECT_EQ(report.cache_hits, 2u);
+  EXPECT_EQ(report.cache_misses, 0u);
+  EXPECT_EQ(report.fused_measures, 0u);  // nothing executed
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    ExpectOutputsEqual(warm[i], cold[i], "warm vs cold");
+  }
+}
+
+TEST_F(SessionCacheTest, InvalidatesWhenFactContentChanges) {
+  auto session = MakeSession(/*capacity=*/8);
+  RunBatch(*session, fact_);
+  EXPECT_EQ(session->cache_size(), 2u);
+
+  // Same rows plus one appended: a different content hash, so every
+  // cached entry misses against the mutated table.
+  FactTable mutated(schema_);
+  mutated.Reserve(fact_.num_rows() + 1);
+  for (size_t row = 0; row < fact_.num_rows(); ++row) {
+    mutated.AppendRow(fact_.dim_row(row), fact_.measure_row(row));
+  }
+  mutated.AppendRow(fact_.dim_row(0), fact_.measure_row(0));
+  ASSERT_NE(fact_.ContentHash(), mutated.ContentHash());
+
+  std::vector<EvalOutput> fresh = RunBatch(*session, mutated);
+  SessionReport report = session->last_report();
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 2u);
+
+  // And the fresh results really reflect the mutated data.
+  Workflow a = ParseOrDie(schema_, kQueryA);
+  std::vector<EvalOutput> independent = IndependentRuns({&a}, mutated);
+  ExpectOutputsEqual(fresh[0], independent[0], "mutated fact");
+}
+
+TEST_F(SessionCacheTest, EvictsLeastRecentlyUsed) {
+  auto session = MakeSession(/*capacity=*/1);
+  RunBatch(*session, fact_);  // B lands last -> A evicted
+  EXPECT_EQ(session->cache_size(), 1u);
+
+  // A misses (evicted), B would hit — submit A only.
+  CSM_ASSERT_OK(session->Submit(ParseOrDie(schema_, kQueryA)).status());
+  CSM_ASSERT_OK(session->RunPending(fact_).status());
+  EXPECT_EQ(session->last_report().cache_hits, 0u);
+  EXPECT_EQ(session->last_report().cache_misses, 1u);
+
+  // Now A occupies the single slot.
+  CSM_ASSERT_OK(session->Submit(ParseOrDie(schema_, kQueryA)).status());
+  CSM_ASSERT_OK(session->RunPending(fact_).status());
+  EXPECT_EQ(session->last_report().cache_hits, 1u);
+}
+
+TEST_F(SessionCacheTest, ClearCacheForgetsEverything) {
+  auto session = MakeSession(/*capacity=*/8);
+  RunBatch(*session, fact_);
+  EXPECT_EQ(session->cache_size(), 2u);
+  session->ClearCache();
+  EXPECT_EQ(session->cache_size(), 0u);
+  RunBatch(*session, fact_);
+  EXPECT_EQ(session->last_report().cache_misses, 2u);
+}
+
+TEST_F(SessionCacheTest, DisabledByDefault) {
+  auto session = MakeSession(/*capacity=*/0);
+  RunBatch(*session, fact_);
+  EXPECT_EQ(session->cache_size(), 0u);
+  RunBatch(*session, fact_);
+  EXPECT_EQ(session->last_report().cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (exercised under TSan in CI).
+
+TEST(SessionConcurrencyTest, ConcurrentSubmitThenRun) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 600, 16, /*seed=*/17);
+  CSM_ASSERT_OK_AND_ASSIGN(auto session,
+                           QuerySession::Create(EngineKind::kSortScan));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const char* dsl = (t + i) % 2 == 0 ? kQueryA : kQueryB;
+        auto index = session->Submit(ParseOrDie(schema, dsl));
+        EXPECT_TRUE(index.ok()) << index.status().ToString();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(session->num_pending(),
+            static_cast<size_t>(kThreads * kPerThread));
+
+  CSM_ASSERT_OK_AND_ASSIGN(auto outputs, session->RunPending(fact));
+  ASSERT_EQ(outputs.size(), static_cast<size_t>(kThreads * kPerThread));
+
+  // Every output matches the corresponding single-query run; with only
+  // two distinct structures, the fused DAG collapses to their union.
+  Workflow a = ParseOrDie(schema, kQueryA);
+  Workflow b = ParseOrDie(schema, kQueryB);
+  std::vector<EvalOutput> independent = IndependentRuns({&a, &b}, fact);
+  for (const EvalOutput& out : outputs) {
+    const bool is_a = out.FindTable("Busy") != nullptr;
+    ExpectOutputsEqual(out, independent[is_a ? 0 : 1],
+                       is_a ? "concurrent/A" : "concurrent/B");
+  }
+  EXPECT_EQ(session->last_report().fused_measures, 3u);
+}
+
+TEST(SessionConcurrencyTest, SubmitRacingRunPendingLandsSomewhere) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 400, 16, /*seed=*/23);
+  CSM_ASSERT_OK_AND_ASSIGN(auto session,
+                           QuerySession::Create(EngineKind::kSortScan));
+  CSM_ASSERT_OK(session->Submit(ParseOrDie(schema, kQueryA)).status());
+
+  size_t raced = 0;
+  std::thread submitter([&] {
+    for (int i = 0; i < 4; ++i) {
+      if (session->Submit(ParseOrDie(schema, kQueryB)).ok()) ++raced;
+    }
+  });
+  CSM_ASSERT_OK_AND_ASSIGN(auto first, session->RunPending(fact));
+  submitter.join();
+  EXPECT_GE(first.size(), 1u);
+
+  // Whatever missed the first batch is still pending and runs cleanly.
+  CSM_ASSERT_OK_AND_ASSIGN(auto second, session->RunPending(fact));
+  EXPECT_EQ(first.size() + second.size(), 1u + raced);
+}
+
+// ---------------------------------------------------------------------------
+// MakeEngine / EngineOptions validation, EvalOutput accessors.
+
+TEST(SessionEngineFactoryTest, ValidatesOptions) {
+  EngineOptions bad_batch;
+  bad_batch.scan_batch_rows = 0;
+  EXPECT_FALSE(bad_batch.Validate().ok());
+  EXPECT_FALSE(MakeEngine(EngineKind::kSortScan, bad_batch).ok());
+
+  EngineOptions bad_budget;
+  bad_budget.memory_budget_bytes = 0;
+  EXPECT_FALSE(bad_budget.Validate().ok());
+  EXPECT_FALSE(MakeEngine(EngineKind::kSingleScan, bad_budget).ok());
+
+  EngineOptions bad_threads;
+  bad_threads.parallel_threads = -1;
+  EXPECT_FALSE(bad_threads.Validate().ok());
+  EXPECT_FALSE(MakeEngine(EngineKind::kMultiPass, bad_threads).ok());
+
+  CSM_ASSERT_OK(EngineOptions{}.Validate());
+  for (EngineKind kind :
+       {EngineKind::kSingleScan, EngineKind::kSortScan,
+        EngineKind::kMultiPass, EngineKind::kRelational}) {
+    CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(kind));
+    EXPECT_NE(engine, nullptr);
+  }
+}
+
+TEST(SessionEngineFactoryTest, SessionCreateRejectsBadOptions) {
+  SessionOptions options;
+  options.engine_options.scan_batch_rows = 0;
+  EXPECT_FALSE(QuerySession::Create(EngineKind::kSortScan, options).ok());
+}
+
+TEST(SessionEvalOutputTest, FindTableAndDeterministicNames) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 300, 16, /*seed=*/9);
+  Workflow c = ParseOrDie(schema, kQueryC);
+  CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(EngineKind::kSortScan));
+  CSM_ASSERT_OK_AND_ASSIGN(auto output,
+                           testing_util::RunWith(*engine, c, fact));
+
+  // Name-sorted, so iteration order never depends on insertion order.
+  EXPECT_EQ(output.table_names(),
+            (std::vector<std::string>{"Daily", "Frac", "Hourly", "Share"}));
+  ASSERT_NE(output.FindTable("Frac"), nullptr);
+  EXPECT_EQ(output.FindTable("Frac")->name(), "Frac");
+  // Lookups are case-insensitive, like every other name in the system.
+  EXPECT_EQ(output.FindTable("fRaC"), output.FindTable("Frac"));
+  EXPECT_EQ(output.FindTable("NoSuchMeasure"), nullptr);
+}
+
+}  // namespace
+}  // namespace csm

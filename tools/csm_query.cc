@@ -10,6 +10,16 @@
 //             [--dot workflow.dot] [--metrics out.json] [--trace]
 //             [--explain] [--stream] [--include-hidden]
 //
+// Multi-query sessions (shared-scan execution across queries):
+//   csm_query --schema net --facts log.csv --queries batch.txt
+//             [--session-cache] [...common flags...]
+// where batch.txt lists one workflow DSL path per line (# comments and
+// blank lines skipped; relative paths resolve against the list file's
+// directory). The batch is fused into ONE sort/scan run through
+// QuerySession; per-query outputs land in <out>/q<i>/<measure>.csv.
+// --session-cache enables the fingerprint-keyed result cache and runs
+// the batch a second time, reporting cache-hit latency separately.
+//
 // Schemas:
 //   net                      the Table-1 network log schema
 //                            (t, U, V, P + bytes)
@@ -21,6 +31,7 @@
 // stdout. --metrics writes the full span tree + summary as JSON;
 // --trace prints the human-readable span tree to stderr.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,9 +40,11 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "exec/adaptive.h"
 #include "exec/exec_context.h"
 #include "exec/factory.h"
+#include "exec/session.h"
 #include "exec/sort_scan.h"
 #include "model/schema.h"
 #include "obs/trace.h"
@@ -48,7 +61,8 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --schema net|synthetic[:d,l,f,c] --facts FILE.csv|.bin\n"
-      "          --query FILE.dsl [--engine adaptive|sortscan|singlescan|\n"
+      "          --query FILE.dsl | --queries LIST.txt [--session-cache]\n"
+      "          [--engine adaptive|sortscan|singlescan|\n"
       "          multipass|parallel|relational] [--budget-mb N]\n"
       "          [--sort-budget BYTES] [--sort-key K] [--threads N]\n"
       "          [--batch-rows N]\n"
@@ -66,15 +80,151 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+/// Parses a --queries list file: one workflow DSL path per line, blank
+/// lines and # comments skipped, relative paths resolved against the
+/// list file's directory.
+Result<std::vector<Workflow>> LoadQueryBatch(const SchemaPtr& schema,
+                                             const std::string& list_path) {
+  CSM_ASSIGN_OR_RETURN(std::string text, ReadFile(list_path));
+  const std::string base_dir =
+      std::filesystem::path(list_path).parent_path().string();
+  std::vector<Workflow> batch;
+  for (std::string_view line : Split(text, '\n')) {
+    line = StripWhitespace(line);
+    if (line.empty() || line.front() == '#') continue;
+    std::string path(line);
+    if (!base_dir.empty() &&
+        !std::filesystem::path(path).is_absolute()) {
+      path = base_dir + "/" + path;
+    }
+    CSM_ASSIGN_OR_RETURN(std::string dsl, ReadFile(path));
+    auto workflow = Workflow::Parse(schema, dsl);
+    CSM_RETURN_NOT_OK(workflow.status().WithContext(path));
+    batch.push_back(std::move(*workflow));
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("no queries listed in " + list_path);
+  }
+  return batch;
+}
+
+/// --queries mode: fuse the whole batch into one engine run through
+/// QuerySession; with --session-cache, run it twice and report the
+/// cache-hit latency of the second pass separately.
+int RunSessionMode(const SchemaPtr& schema, const FactTable& fact,
+                   const std::string& queries_path,
+                   const std::string& engine_name,
+                   const EngineOptions& options, bool include_hidden,
+                   bool session_cache, const std::string& out_dir,
+                   bool trace, const std::string& metrics_path) {
+  auto report = [](const Status& status) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  };
+
+  auto batch = LoadQueryBatch(schema, queries_path);
+  if (!batch.ok()) return report(batch.status());
+  auto kind = ParseEngineKind(engine_name);
+  if (!kind.ok()) return report(kind.status());
+
+  SessionOptions session_options;
+  session_options.engine_options = options;
+  session_options.include_hidden = include_hidden;
+  if (session_cache) {
+    session_options.cache_capacity = std::max<size_t>(16, batch->size());
+  }
+  auto session = QuerySession::Create(*kind, session_options);
+  if (!session.ok()) return report(session.status());
+
+  Tracer tracer;
+  ExecContext ctx;
+  ctx.options = options;
+  ctx.tracer = &tracer;
+
+  auto run_batch = [&]() -> Result<std::vector<EvalOutput>> {
+    for (const Workflow& query : *batch) {
+      CSM_RETURN_NOT_OK((*session)->Submit(query).status());
+    }
+    return (*session)->RunPending(fact, ctx);
+  };
+
+  Timer timer;
+  auto outs = run_batch();
+  const double cold_seconds = timer.Seconds();
+  if (!outs.ok()) return report(outs.status());
+  const SessionReport rep = (*session)->last_report();
+
+  std::printf(
+      "session: fused %zu queries (%zu measures -> %zu executed, "
+      "%zu shared) in %.3fs\n",
+      rep.queries, rep.total_measures, rep.fused_measures,
+      rep.shared_measures, cold_seconds);
+  std::printf("session run: %s\n", rep.run_stats.ToString().c_str());
+
+  for (size_t i = 0; i < outs->size(); ++i) {
+    const EvalOutput& out = (*outs)[i];
+    std::printf("query %zu (%zu tables):\n", i, out.tables.size());
+    for (const std::string& name : out.table_names()) {
+      const MeasureTable* table = out.FindTable(name);
+      std::printf("  %-16s %8zu regions", name.c_str(),
+                  table->num_rows());
+      if (!out_dir.empty()) {
+        const std::string dir = out_dir + "/q" + std::to_string(i);
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        const std::string path = dir + "/" + name + ".csv";
+        Status status = WriteMeasureTableCsv(*table, path);
+        if (!status.ok()) return report(status);
+        std::printf("  -> %s", path.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  double warm_seconds = -1;
+  if (session_cache) {
+    timer.Reset();
+    auto warm = run_batch();
+    warm_seconds = timer.Seconds();
+    if (!warm.ok()) return report(warm.status());
+    const SessionReport warm_rep = (*session)->last_report();
+    std::printf(
+        "session cache: %zu hit(s), %zu miss(es); warm batch %.6fs "
+        "(cold %.3fs, %.1fx)\n",
+        warm_rep.cache_hits, warm_rep.cache_misses, warm_seconds,
+        cold_seconds,
+        warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0);
+  }
+
+  if (trace) std::fputs(tracer.ToTreeString().c_str(), stderr);
+  if (!metrics_path.empty()) {
+    std::ofstream metrics(metrics_path);
+    if (!metrics) {
+      return report(Status::IOError("cannot write " + metrics_path));
+    }
+    metrics << "{\"queries\":" << rep.queries
+            << ",\"fused_measures\":" << rep.fused_measures
+            << ",\"shared_measures\":" << rep.shared_measures
+            << ",\"cold_seconds\":" << cold_seconds;
+    if (warm_seconds >= 0) {
+      metrics << ",\"warm_seconds\":" << warm_seconds;
+    }
+    metrics << ",\n\"summary\":" << rep.run_stats.ToJson()
+            << ",\n\"spans\":" << tracer.ToJson() << "}\n";
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 int RealMain(int argc, char** argv) {
   std::string schema_spec, facts_path, query_path, engine_name = "adaptive";
-  std::string out_dir, sort_key_text, dot_path, metrics_path;
+  std::string out_dir, sort_key_text, dot_path, metrics_path, queries_path;
   size_t budget_mb = 256;
   size_t sort_budget_bytes = 0;  // 0 = derive from --budget-mb
   size_t batch_rows = 0;         // 0 = EngineOptions default
   int threads = 0;
   bool explain = false, include_hidden = false, stream = false;
-  bool trace = false;
+  bool trace = false, session_cache = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -86,6 +236,10 @@ int RealMain(int argc, char** argv) {
       if (const char* v = next()) facts_path = v;
     } else if (!std::strcmp(argv[i], "--query")) {
       if (const char* v = next()) query_path = v;
+    } else if (!std::strcmp(argv[i], "--queries")) {
+      if (const char* v = next()) queries_path = v;
+    } else if (!std::strcmp(argv[i], "--session-cache")) {
+      session_cache = true;
     } else if (!std::strcmp(argv[i], "--engine")) {
       if (const char* v = next()) engine_name = v;
     } else if (!std::strcmp(argv[i], "--out")) {
@@ -121,7 +275,8 @@ int RealMain(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (schema_spec.empty() || facts_path.empty() || query_path.empty()) {
+  if (schema_spec.empty() || facts_path.empty() ||
+      (query_path.empty() == queries_path.empty())) {
     return Usage(argv[0]);
   }
 
@@ -132,6 +287,35 @@ int RealMain(int argc, char** argv) {
 
   auto schema = ParseSchemaSpec(schema_spec);
   if (!schema.ok()) return report(schema.status());
+
+  if (!queries_path.empty()) {
+    // Multi-query session mode: everything flows through QuerySession.
+    EngineOptions options;
+    options.memory_budget_bytes = budget_mb << 20;
+    if (sort_budget_bytes > 0) {
+      options.memory_budget_bytes = sort_budget_bytes;
+    }
+    options.parallel_threads = threads;
+    if (batch_rows > 0) options.scan_batch_rows = batch_rows;
+    if (!sort_key_text.empty()) {
+      auto key = SortKey::Parse(**schema, sort_key_text);
+      if (!key.ok()) return report(key.status());
+      options.sort_key = *key;
+    }
+    Result<FactTable> fact = Status::InvalidArgument(
+        "fact file must end in .csv or .bin: " + facts_path);
+    if (EndsWith(facts_path, ".csv")) {
+      fact = ReadFactTableCsv(*schema, facts_path);
+    } else if (EndsWith(facts_path, ".bin")) {
+      fact = ReadFactTableBinary(*schema, facts_path);
+    }
+    if (!fact.ok()) return report(fact.status());
+    std::printf("loaded %zu records from %s\n", fact->num_rows(),
+                facts_path.c_str());
+    return RunSessionMode(*schema, *fact, queries_path, engine_name,
+                          options, include_hidden, session_cache, out_dir,
+                          trace, metrics_path);
+  }
 
   auto dsl = ReadFile(query_path);
   if (!dsl.ok()) return report(dsl.status());
@@ -231,9 +415,10 @@ int RealMain(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
       return Usage(argv[0]);
     }
-    std::unique_ptr<Engine> engine = MakeEngine(*kind);
-    engine_label = std::string(engine->name());
-    result = engine->Run(*workflow, *fact, ctx);
+    auto engine = MakeEngine(*kind, options);
+    if (!engine.ok()) return report(engine.status());
+    engine_label = std::string((*engine)->name());
+    result = (*engine)->Run(*workflow, *fact, ctx);
   }
   if (!result.ok()) return report(result.status());
 
