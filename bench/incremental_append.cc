@@ -1,0 +1,261 @@
+// Incremental append maintenance: patching retained per-region state with
+// a 1% delta vs recomputing the whole query from scratch (the PR-7
+// tentpole's acceptance workload).
+//
+// A monitoring query over a synthetic network log keeps running while the
+// log grows. Full recompute pays a sort and scan of ALL rows on every
+// refresh; Session::AppendAndRefresh sorts only the appended rows, merges
+// them into the retained aggregate state, re-finalizes only the dirty
+// regions, and re-derives the downstream measures from region-sized
+// inputs. The bench reports the patch-vs-recompute speedup (target >= 5x
+// for a 1% append) plus the latency of serving the refreshed result from
+// the patched cache entry.
+//
+// Flags:
+//   --json FILE          write the result JSON (BENCH_pr7.json)
+//   --reps N             best-of-N repetitions (default 3)
+//   --baseline FILE      committed BENCH_pr7.json to compare against
+//   --max-regress FRAC   fail (exit 1) if the incremental per-row time
+//                        regresses more than FRAC vs the baseline
+//                        (default 0.10)
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "data/netlog.h"
+#include "exec/factory.h"
+#include "exec/session.h"
+#include "model/schema.h"
+#include "workflow/workflow.h"
+
+namespace {
+
+// Dashboard query: hidden per-(hour, source) count, three roll-ups of it,
+// a match join against the daily total, and a combined ratio. Every
+// measure is self-maintainable or derived, so the append path never has
+// to re-scan history.
+constexpr char kQuery[] =
+    R"(measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+       measure Busy at (t:hour) = agg count(M) from Count where M > 2;
+       measure Hourly at (t:hour) = agg sum(M) from Count;
+       measure Daily at (t:day) = agg sum(M) from Count;
+       measure Share at (t:hour) = match Daily using parentchild agg sum(M);
+       measure Frac at (t:hour) = combine(Hourly, Share)
+           as Hourly / Share;)";
+
+bool JsonNumber(const std::string& text, const std::string& key,
+                double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  using namespace csm::bench;
+
+  std::string json_path, baseline_path;
+  int reps = 3;
+  double max_regress = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--json")) {
+      if (const char* v = next()) json_path = v;
+    } else if (!std::strcmp(argv[i], "--baseline")) {
+      if (const char* v = next()) baseline_path = v;
+    } else if (!std::strcmp(argv[i], "--reps")) {
+      if (const char* v = next()) reps = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--max-regress")) {
+      if (const char* v = next()) max_regress = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  PrintHeader("Incremental append", "delta patch vs full recompute",
+              "a 1% append touches ~1% of the regions; patching them "
+              "beats re-sorting and re-scanning the other 99%");
+
+  SchemaPtr schema = MakeNetworkLogSchema();
+  NetLogOptions data;
+  data.rows = Rows(400e3);
+  data.duration_seconds = 3 * 24 * 3600;
+  data.num_sources = 4000;  // dashboard-sized region tables
+  const size_t append_rows = data.rows / 100;  // the 1% delta
+  data.rows += append_rows;
+  FactTable full = GenerateNetLog(schema, data);
+  const size_t base_rows = full.num_rows() - append_rows;
+  FactTable delta(schema);
+  delta.Reserve(append_rows);
+  for (size_t row = base_rows; row < full.num_rows(); ++row) {
+    delta.AppendRow(full.dim_row(row), full.measure_row(row));
+  }
+
+  auto workflow = Workflow::Parse(schema, kQuery);
+  if (!workflow.ok()) {
+    std::fprintf(stderr, "%s\n", workflow.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %s base records + %s appended (1%%), "
+              "%zu measures, best of %d\n\n",
+              FmtRows(base_rows).c_str(), FmtRows(append_rows).c_str(),
+              workflow->measures().size(), reps);
+
+  // --- full recompute: one engine run over base + delta.
+  auto engine = MakeEngine(EngineKind::kSortScan);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  double full_seconds = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    RunResult run = TimeEngine(**engine, *workflow, full);
+    if (!run.ok) return 1;
+    if (rep == 0 || run.seconds < full_seconds) full_seconds = run.seconds;
+  }
+
+  // --- incremental: cold run over the base, then AppendAndRefresh folds
+  // the delta into the retained state; the refreshed answer is served
+  // from the patched cache entry. Fresh session + base clone per rep
+  // (the append mutates both).
+  SessionOptions session_options;
+  session_options.cache_capacity = 1;
+  session_options.delta_patching = true;
+  double patch_seconds = 0, serve_seconds = 0;
+  SessionAppendReport report;
+  for (int rep = 0; rep < reps; ++rep) {
+    FactTable base(schema);
+    base.Reserve(base_rows);
+    for (size_t row = 0; row < base_rows; ++row) {
+      base.AppendRow(full.dim_row(row), full.measure_row(row));
+    }
+    auto session =
+        QuerySession::Create(EngineKind::kSortScan, session_options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    auto fail = [](const Status& status) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    };
+    if (auto s = (*session)->Submit(*workflow); !s.ok()) {
+      return fail(s.status());
+    }
+    if (auto cold = (*session)->RunPending(base); !cold.ok()) {
+      return fail(cold.status());
+    }
+
+    Timer timer;
+    auto patched = (*session)->AppendAndRefresh(base, delta);
+    const double rep_patch = timer.Seconds();
+    if (!patched.ok()) return fail(patched.status());
+    if (patched->patched_queries != 1) {
+      std::fprintf(stderr, "append did not patch the cached query\n");
+      return 1;
+    }
+    if (rep == 0 || rep_patch < patch_seconds) {
+      patch_seconds = rep_patch;
+      report = *patched;
+    }
+
+    if (auto s = (*session)->Submit(*workflow); !s.ok()) {
+      return fail(s.status());
+    }
+    timer.Reset();
+    auto warm = (*session)->RunPending(base);
+    const double rep_serve = timer.Seconds();
+    if (!warm.ok()) return fail(warm.status());
+    if ((*session)->last_report().cache_hits != 1) {
+      std::fprintf(stderr, "refreshed result missed the cache\n");
+      return 1;
+    }
+    if (rep == 0 || rep_serve < serve_seconds) serve_seconds = rep_serve;
+  }
+
+  const double speedup = full_seconds / patch_seconds;
+  std::printf("%24s %10s\n", "mode", "seconds");
+  std::printf("%24s %10.3f\n", "full recompute", full_seconds);
+  std::printf("%24s %10.4f   (%zu dirty regions, %zu patched, "
+              "%zu re-derived)\n",
+              "incremental patch", patch_seconds, report.dirty_regions,
+              report.patched_measures, report.recomputed_measures);
+  std::printf("%24s %10.4f   (patched cache entry)\n", "serve refreshed",
+              serve_seconds);
+  std::printf("\nincremental vs full-recompute speedup: %.1fx "
+              "(target >= 5x for a 1%% append)\n", speedup);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"incremental_append\",\n"
+                  "  \"rows\": %zu,\n"
+                  "  \"append_rows\": %zu,\n"
+                  "  \"dirty_regions\": %zu,\n"
+                  "  \"reps\": %d,\n"
+                  "  \"full_recompute_seconds\": %.4f,\n"
+                  "  \"incremental_seconds\": %.5f,\n"
+                  "  \"serve_seconds\": %.5f,\n"
+                  "  \"speedup_incremental\": %.3f\n"
+                  "}\n",
+                  base_rows, append_rows, report.dirty_regions, reps,
+                  full_seconds, patch_seconds, serve_seconds, speedup);
+    out << buf;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    double base_seconds = 0, base_rows_json = 0;
+    if (!JsonNumber(buffer.str(), "incremental_seconds", &base_seconds) ||
+        !JsonNumber(buffer.str(), "rows", &base_rows_json) ||
+        base_rows_json <= 0) {
+      std::fprintf(stderr, "baseline %s lacks incremental_seconds/rows\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    // Per-row normalization so a CSM_BENCH_SCALE difference between the
+    // baseline machine and this one doesn't read as a regression.
+    const double base_per_row = base_seconds / base_rows_json;
+    const double cur_per_row =
+        patch_seconds / static_cast<double>(base_rows);
+    const double ratio = cur_per_row / base_per_row;
+    std::printf("incremental patch vs committed baseline: %.2fx per-row "
+                "(max allowed %.2fx)\n", ratio, 1.0 + max_regress);
+    if (ratio > 1.0 + max_regress) {
+      std::fprintf(stderr,
+                   "REGRESSION: incremental per-row time %.3gs is %.0f%% "
+                   "over the committed baseline %.3gs\n",
+                   cur_per_row, (ratio - 1.0) * 100, base_per_row);
+      return 1;
+    }
+  }
+  return 0;
+}

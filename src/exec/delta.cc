@@ -1,0 +1,451 @@
+#include "exec/delta.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algebra/evaluator.h"
+#include "algebra/measure_ops.h"
+#include "common/logging.h"
+#include "exec/sort_scan.h"
+#include "storage/external_sorter.h"
+#include "storage/temp_file.h"
+
+namespace csm {
+
+namespace {
+
+/// The append-maintainable aggregate kinds. count/sum/min/max merge
+/// partial states losslessly (distributive); avg is algebraic over its
+/// sum+count registers; min/max qualify only because appends never remove
+/// rows; kNone (the match-join region enumerator) has trivial state.
+bool SelfMaintainableKind(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kAvg:
+    case AggKind::kNone:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string HolisticReason(AggKind kind) {
+  if (kind == AggKind::kCountDistinct) {
+    return "count_distinct is holistic (needs the full distinct set)";
+  }
+  return std::string(AggKindName(kind)) +
+         " accumulates in row order (Welford), so a merged state is not "
+         "bit-identical to a re-scan";
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view DeltaClassName(DeltaClass cls) {
+  switch (cls) {
+    case DeltaClass::kSelfMaintainable:
+      return "self-maintainable";
+    case DeltaClass::kDerived:
+      return "derived";
+    case DeltaClass::kRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+Result<DeltaPlan> DeltaPlan::Build(const Workflow& workflow) {
+  DeltaPlan plan;
+  std::map<std::string, DeltaClass> cls_by_name;
+  for (const MeasureDef& def : workflow.measures()) {
+    DeltaMeasurePlan entry;
+    entry.name = def.name;
+    if (def.op == MeasureOp::kBaseAgg) {
+      if (SelfMaintainableKind(def.agg.kind)) {
+        entry.cls = DeltaClass::kSelfMaintainable;
+        entry.reason =
+            def.agg.kind == AggKind::kAvg
+                ? "avg maintained via its sum+count registers"
+                : std::string(AggKindName(def.agg.kind)) +
+                      " merges partial aggregates losslessly under appends";
+      } else {
+        entry.cls = DeltaClass::kRecompute;
+        entry.reason = HolisticReason(def.agg.kind);
+      }
+    } else {
+      entry.cls = DeltaClass::kDerived;
+      const std::vector<std::string> inputs = def.Inputs();
+      entry.reason = "re-derived from " + JoinNames(inputs) +
+                     " when an input table changes";
+      for (const std::string& input : inputs) {
+        auto it = cls_by_name.find(input);
+        if (it == cls_by_name.end()) {
+          return Status::Internal("DeltaPlan: measure '" + def.name +
+                                  "' references unknown input '" + input +
+                                  "'");
+        }
+        if (it->second == DeltaClass::kRecompute) {
+          entry.reason += " (downstream of recompute-class " + input + ")";
+          break;
+        }
+      }
+    }
+    cls_by_name[entry.name] = entry.cls;
+    plan.measures.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+const DeltaMeasurePlan* DeltaPlan::Find(std::string_view name) const {
+  for (const DeltaMeasurePlan& entry : measures) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+size_t DeltaPlan::CountClass(DeltaClass cls) const {
+  size_t n = 0;
+  for (const DeltaMeasurePlan& entry : measures) {
+    if (entry.cls == cls) ++n;
+  }
+  return n;
+}
+
+Result<std::unique_ptr<DeltaEvaluator>> DeltaEvaluator::Create(
+    const Workflow& workflow, const FactTable& fact,
+    const EngineOptions& options) {
+  if (workflow.schema() != fact.schema()) {
+    return Status::InvalidArgument(
+        "DeltaEvaluator: workflow and fact table use different schema "
+        "objects");
+  }
+  auto eval = std::unique_ptr<DeltaEvaluator>(
+      new DeltaEvaluator(workflow, options));
+  CSM_ASSIGN_OR_RETURN(eval->plan_, DeltaPlan::Build(workflow));
+
+  // Base jobs: one per basic measure, plus one region enumerator per
+  // distinct match-join granularity (same layout as the single-scan
+  // engine, so derived semantics match the other engines exactly).
+  const Schema& schema = *workflow.schema();
+  const int d = schema.num_dims();
+  const auto fact_vars = FactRowVars(schema);
+  for (const MeasureDef& def : eval->workflow_.measures()) {
+    if (def.op == MeasureOp::kBaseAgg) {
+      BaseJob job;
+      job.table_name = def.name;
+      job.gran = def.gran;
+      job.agg = def.agg;
+      job.self_maintainable = SelfMaintainableKind(def.agg.kind);
+      job.states = AggTable(def.agg.kind, d);
+      if (def.where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(job.where,
+                             BoundExpr::Bind(*def.where, fact_vars));
+        job.has_where = true;
+      }
+      eval->job_by_name_[def.name] = eval->jobs_.size();
+      eval->jobs_.push_back(std::move(job));
+    } else if (def.op == MeasureOp::kMatch) {
+      auto key = def.gran.levels();
+      if (eval->enumerator_by_gran_.find(key) ==
+          eval->enumerator_by_gran_.end()) {
+        BaseJob job;
+        job.table_name = "__regions" + def.gran.ToString(schema);
+        job.gran = def.gran;
+        job.agg = AggSpec{AggKind::kNone, -1};
+        job.self_maintainable = true;
+        job.states = AggTable(AggKind::kNone, d);
+        eval->enumerator_by_gran_[key] = eval->jobs_.size();
+        eval->jobs_.push_back(std::move(job));
+      }
+    }
+  }
+
+  // Seed: one scan feeds every job, then finalize and derive everything.
+  std::vector<size_t> all_jobs(eval->jobs_.size());
+  for (size_t j = 0; j < all_jobs.size(); ++j) all_jobs[j] = j;
+  eval->ScanInto(fact, 0, all_jobs, nullptr);
+  for (size_t j = 0; j < eval->jobs_.size(); ++j) eval->MaterializeJob(j);
+  for (const MeasureDef& def : eval->workflow_.measures()) {
+    if (def.op == MeasureOp::kBaseAgg) continue;
+    CSM_RETURN_NOT_OK(eval->DeriveMeasure(def));
+  }
+  eval->rows_seen_ = fact.num_rows();
+  return eval;
+}
+
+void DeltaEvaluator::ScanInto(const FactTable& fact, size_t first_row,
+                              const std::vector<size_t>& jobs,
+                              std::vector<std::vector<RegionKey>>* dirty) {
+  const Schema& schema = *workflow_.schema();
+  const int d = schema.num_dims();
+  const int m = schema.num_measures();
+  const Granularity base = Granularity::Base(schema);
+  std::vector<double> slots(d + m);
+  RegionKey key(d);
+  const size_t end = fact.num_rows();
+  for (size_t row = first_row; row < end; ++row) {
+    const Value* dims = fact.dim_row(row);
+    const double* measures = fact.measure_row(row);
+    for (size_t pos = 0; pos < jobs.size(); ++pos) {
+      BaseJob& job = jobs_[jobs[pos]];
+      if (job.has_where) {
+        for (int i = 0; i < d; ++i) slots[i] = static_cast<double>(dims[i]);
+        for (int i = 0; i < m; ++i) slots[d + i] = measures[i];
+        if (!job.where.EvalBool(slots.data())) continue;
+      }
+      GeneralizeKeyInto(schema, dims, base, job.gran, &key);
+      job.states.Update(key.data(),
+                        job.agg.arg >= 0 ? measures[job.agg.arg] : 1.0);
+      if (dirty != nullptr) {
+        std::vector<RegionKey>& keys = (*dirty)[pos];
+        // The delta arrives sorted, so consecutive rows usually hit the
+        // same region; recording only transitions keeps the dirty list
+        // near the true dirty-region count.
+        if (keys.empty() || keys.back() != key) keys.push_back(key);
+      }
+    }
+  }
+}
+
+void DeltaEvaluator::MaterializeJob(size_t j) {
+  BaseJob& job = jobs_[j];
+  MeasureTable table(workflow_.schema(), job.gran, job.table_name);
+  table.Reserve(job.states.size());
+  // Non-destructive finalize: unlike AggTable::Materialize, the states
+  // must survive — they are the retained snapshot future appends merge
+  // into.
+  job.states.map().ForEach([&](const Value* key, AggState& state) {
+    table.Append(key, AggFinalize(job.states.kind(), state));
+  });
+  table.SortByKeyLex();
+  tables_.insert_or_assign(job.table_name, std::move(table));
+}
+
+size_t DeltaEvaluator::PatchJob(size_t j, std::vector<RegionKey>& dirty) {
+  BaseJob& job = jobs_[j];
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  if (dirty.empty()) return 0;
+  auto it = tables_.find(job.table_name);
+  CSM_CHECK(it != tables_.end());
+  MeasureTable& table = it->second;
+  const int d = table.num_dims();
+  // Rows past this point are regions appended below; searching only the
+  // prefix keeps the binary search over a sorted range (dirty keys are
+  // deduplicated, so a key appended this round is never searched again).
+  const size_t sorted_rows = table.num_rows();
+  for (const RegionKey& key : dirty) {
+    const AggState* state = job.states.map().Find(key.data());
+    CSM_CHECK(state != nullptr);  // the delta scan just touched it
+    const double value = AggFinalize(job.states.kind(), *state);
+    // Binary search the lex-sorted prefix for the dirty region.
+    size_t lo = 0, hi = sorted_rows;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (CompareKeys(table.key_row(mid), key.data(), d) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < sorted_rows &&
+        CompareKeys(table.key_row(lo), key.data(), d) == 0) {
+      table.set_value(lo, value);  // re-finalize in place
+    } else {
+      table.Append(key, value);  // region born in this delta
+    }
+  }
+  if (table.num_rows() > sorted_rows) table.SortByKeyLex();
+  return dirty.size();
+}
+
+Status DeltaEvaluator::DeriveMeasure(const MeasureDef& def) {
+  // Mirrors the single-scan engine's combine phase, so derived measures
+  // keep identical semantics across the full and incremental paths.
+  switch (def.op) {
+    case MeasureOp::kBaseAgg:
+      return Status::OK();
+    case MeasureOp::kRollup: {
+      auto in = tables_.find(def.input);
+      CSM_CHECK(in != tables_.end());
+      const MeasureTable* source = &in->second;
+      MeasureTable filtered(workflow_.schema(), source->granularity(),
+                            source->name());
+      if (def.where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(
+            filtered,
+            FilterMeasure(*source, *def.where, nullptr, source->name()));
+        source = &filtered;
+      }
+      AggSpec agg = def.agg;
+      if (agg.arg > 0) agg.arg = 0;
+      CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                           HashRollup(*source, def.gran, agg, def.name));
+      result.SortByKeyLex();
+      tables_.insert_or_assign(def.name, std::move(result));
+      return Status::OK();
+    }
+    case MeasureOp::kMatch: {
+      auto in = tables_.find(def.input);
+      CSM_CHECK(in != tables_.end());
+      const size_t enum_idx = enumerator_by_gran_.at(def.gran.levels());
+      const MeasureTable& regions =
+          tables_.at(jobs_[enum_idx].table_name);
+      const MeasureTable* target = &in->second;
+      MeasureTable filtered(workflow_.schema(), target->granularity(),
+                            target->name());
+      if (def.where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(
+            filtered,
+            FilterMeasure(*target, *def.where, nullptr, target->name()));
+        target = &filtered;
+      }
+      AggSpec agg = def.agg;
+      if (agg.arg > 0) agg.arg = 0;
+      CSM_ASSIGN_OR_RETURN(
+          MeasureTable result,
+          HashMatchJoin(regions, *target, def.match, agg, def.name));
+      result.SortByKeyLex();
+      tables_.insert_or_assign(def.name, std::move(result));
+      return Status::OK();
+    }
+    case MeasureOp::kCombine: {
+      std::vector<const MeasureTable*> inputs;
+      for (const std::string& name : def.combine_inputs) {
+        auto it = tables_.find(name);
+        CSM_CHECK(it != tables_.end());
+        inputs.push_back(&it->second);
+      }
+      CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                           HashCombine(inputs, *def.fc, def.name));
+      result.SortByKeyLex();
+      tables_.insert_or_assign(def.name, std::move(result));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("DeriveMeasure: unknown op");
+}
+
+Result<DeltaReport> DeltaEvaluator::ApplyAppend(const FactTable& fact,
+                                                size_t first_row,
+                                                Tracer* tracer,
+                                                SpanId parent) {
+  if (first_row != rows_seen_ || first_row > fact.num_rows()) {
+    return Status::InvalidArgument(
+        "DeltaEvaluator::ApplyAppend: expected delta to start at row " +
+        std::to_string(rows_seen_) + ", got first_row=" +
+        std::to_string(first_row) + " of " +
+        std::to_string(fact.num_rows()) + " rows");
+  }
+  DeltaReport report;
+  report.delta_rows = fact.num_rows() - first_row;
+  ScopedSpan span(tracer, "delta.apply", parent);
+
+  std::vector<std::string> changed;  // table names refreshed this round
+  if (report.delta_rows > 0) {
+    // Sort ONLY the appended rows: updates then arrive clustered per
+    // region (the sort/scan locality argument applied to the delta), and
+    // the dirty list stays near the true dirty-region count.
+    FactTable delta(fact.schema());
+    delta.Reserve(report.delta_rows);
+    for (size_t row = first_row; row < fact.num_rows(); ++row) {
+      delta.AppendRow(fact.dim_row(row), fact.measure_row(row));
+    }
+    const SortKey delta_key =
+        options_.sort_key.empty()
+            ? SortScanEngine::DefaultSortKey(workflow_)
+            : options_.sort_key;
+    CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
+    SortOptions sort_options;
+    sort_options.memory_budget_bytes = options_.memory_budget_bytes;
+    sort_options.temp_dir = &temp;
+    sort_options.threads = options_.parallel_threads;
+    CSM_ASSIGN_OR_RETURN(
+        FactTable sorted,
+        SortFactTable(std::move(delta), delta_key, sort_options, nullptr));
+
+    // Self-maintainable jobs: merge the delta into the retained states
+    // and re-finalize only the dirty regions.
+    std::vector<size_t> sm_jobs, rescan_jobs;
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+      (jobs_[j].self_maintainable ? sm_jobs : rescan_jobs).push_back(j);
+    }
+    std::vector<std::vector<RegionKey>> dirty(sm_jobs.size());
+    ScanInto(sorted, 0, sm_jobs, &dirty);
+    for (size_t pos = 0; pos < sm_jobs.size(); ++pos) {
+      const size_t patched = PatchJob(sm_jobs[pos], dirty[pos]);
+      if (patched > 0) {
+        report.dirty_regions += patched;
+        ++report.patched_measures;
+        changed.push_back(jobs_[sm_jobs[pos]].table_name);
+      }
+    }
+
+    // Recompute-class jobs: per-measure fallback — fresh states, full
+    // re-scan, full re-materialize. Never drags the whole query with it.
+    for (size_t j : rescan_jobs) {
+      BaseJob& job = jobs_[j];
+      job.states = AggTable(job.agg.kind, job.states.key_width());
+      ScanInto(fact, 0, {j}, nullptr);
+      MaterializeJob(j);
+      ++report.recomputed_measures;
+      changed.push_back(job.table_name);
+    }
+  }
+
+  // Derived measures, in dependency order: re-derive iff an input table
+  // (for match joins: the region enumerator too) changed this round.
+  for (const MeasureDef& def : workflow_.measures()) {
+    if (def.op == MeasureOp::kBaseAgg) continue;
+    std::vector<std::string> inputs = def.Inputs();
+    if (def.op == MeasureOp::kMatch) {
+      const size_t enum_idx = enumerator_by_gran_.at(def.gran.levels());
+      inputs.push_back(jobs_[enum_idx].table_name);
+    }
+    const bool input_changed =
+        std::any_of(inputs.begin(), inputs.end(), [&](const auto& name) {
+          return std::find(changed.begin(), changed.end(), name) !=
+                 changed.end();
+        });
+    if (!input_changed) continue;
+    CSM_RETURN_NOT_OK(DeriveMeasure(def));
+    changed.push_back(def.name);
+    ++report.recomputed_measures;
+  }
+
+  rows_seen_ = fact.num_rows();
+  span.SetAttr("delta_rows", std::to_string(report.delta_rows));
+  span.SetAttr("dirty_regions", std::to_string(report.dirty_regions));
+  span.SetAttr("patched_measures", std::to_string(report.patched_measures));
+  span.SetAttr("recomputed_measures",
+               std::to_string(report.recomputed_measures));
+  return report;
+}
+
+const MeasureTable* DeltaEvaluator::FindTable(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+EvalOutput DeltaEvaluator::Output(bool include_hidden) const {
+  EvalOutput out;
+  for (const MeasureDef& def : workflow_.measures()) {
+    if (!def.is_output && !include_hidden) continue;
+    auto it = tables_.find(def.name);
+    CSM_CHECK(it != tables_.end());
+    out.tables.emplace(def.name, it->second.Clone());
+  }
+  return out;
+}
+
+}  // namespace csm

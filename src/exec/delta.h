@@ -1,0 +1,170 @@
+#ifndef CSM_EXEC_DELTA_H_
+#define CSM_EXEC_DELTA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/agg_table.h"
+#include "exec/engine.h"
+#include "expr/scalar_expr.h"
+#include "obs/trace.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// Incremental (append-only) maintenance of a workflow's measures — the
+/// classic view-maintenance split applied to composite subset measures:
+/// distributive/algebraic base aggregates are *self-maintainable* under
+/// appends (merge the delta into retained per-region AggState and
+/// re-finalize only the dirty regions), holistic base aggregates are not
+/// (their state cannot be reconstructed without the history), and derived
+/// measures (roll-up / match / combine arcs) are re-derived from their —
+/// already updated — input tables, whose size is bounded by the region
+/// sets, not by the fact stream.
+
+/// How one measure is maintained when rows are appended.
+enum class DeltaClass {
+  /// Base aggregate with a distributive/algebraic kind (count, sum, min,
+  /// max, avg — avg via its sum+count registers, min/max because appends
+  /// never delete): fold the delta rows into retained AggStates and
+  /// re-finalize dirty regions only.
+  kSelfMaintainable,
+  /// Roll-up / match / combine measure: recomputed from its input measure
+  /// tables after those are refreshed. Cost scales with the input region
+  /// sets, not with the fact table.
+  kDerived,
+  /// Base aggregate whose result is not append-maintainable bit-for-bit
+  /// (count_distinct is holistic; var/stddev accumulate in row order):
+  /// full re-scan of the fact table for this one measure. The fallback is
+  /// always per-measure, never per-query.
+  kRecompute,
+};
+
+std::string_view DeltaClassName(DeltaClass cls);
+
+/// Classification of one measure, with a human-readable justification
+/// (surfaced by csm_query --append and the docs' classification table).
+struct DeltaMeasurePlan {
+  std::string name;
+  DeltaClass cls = DeltaClass::kSelfMaintainable;
+  std::string reason;
+};
+
+/// Static per-measure maintenance plan for a workflow.
+struct DeltaPlan {
+  static Result<DeltaPlan> Build(const Workflow& workflow);
+
+  const DeltaMeasurePlan* Find(std::string_view name) const;
+  size_t CountClass(DeltaClass cls) const;
+
+  std::vector<DeltaMeasurePlan> measures;  // workflow definition order
+};
+
+/// What one ApplyAppend did, mirrored into `delta_rows` /
+/// `dirty_regions` / `patched_measures` span attributes.
+struct DeltaReport {
+  size_t delta_rows = 0;          // appended rows folded in
+  size_t dirty_regions = 0;       // regions re-finalized across SM tables
+  size_t patched_measures = 0;    // self-maintainable tables patched
+  size_t recomputed_measures = 0; // holistic re-scans + derived re-derives
+};
+
+/// Holds a workflow's complete evaluation state — every measure table
+/// (hidden ones and match-join region enumerators included) plus the
+/// retained AggTable snapshot behind each self-maintainable base measure —
+/// and patches it in place when the fact table grows.
+///
+/// ApplyAppend sorts only the appended rows (so per-region updates arrive
+/// clustered, the sort/scan engine's locality argument applied to the
+/// delta), merges them into the retained state, re-finalizes only the
+/// regions the delta touched, then refreshes recompute-class measures
+/// from the full table and derived measures from their inputs — skipping
+/// any measure whose inputs did not change.
+///
+/// Results are exact for integer-valued measures (any fold order sums the
+/// same); for general doubles the patched values agree with a from-scratch
+/// evaluation up to floating-point reassociation, the same tolerance the
+/// differential fuzzer grants every engine.
+class DeltaEvaluator {
+ public:
+  /// Builds the plan, scans `fact` once to seed the retained aggregate
+  /// state, and evaluates every measure. `options` supplies the sort
+  /// budget / temp dir / explicit sort key used for delta sorting.
+  static Result<std::unique_ptr<DeltaEvaluator>> Create(
+      const Workflow& workflow, const FactTable& fact,
+      const EngineOptions& options = EngineOptions{});
+
+  /// Folds rows [first_row, fact.num_rows()) — `fact` must be the table
+  /// Create() saw plus appended rows — into the retained state and
+  /// patches every measure table. Span attributes land under `parent`
+  /// when `tracer` is set.
+  Result<DeltaReport> ApplyAppend(const FactTable& fact, size_t first_row,
+                                  Tracer* tracer = nullptr,
+                                  SpanId parent = kNoSpan);
+
+  const DeltaPlan& plan() const { return plan_; }
+
+  /// Rows folded in so far (initial + all appends).
+  size_t rows_seen() const { return rows_seen_; }
+
+  /// The named measure's current table, nullptr if unknown.
+  const MeasureTable* FindTable(std::string_view name) const;
+
+  /// Current tables of the workflow's measures as an engine-style output
+  /// (deep copy; hidden measures included on request). `stats` is zeroed —
+  /// there was no engine run.
+  EvalOutput Output(bool include_hidden) const;
+
+ private:
+  /// One base-granularity hash table maintained over the fact stream:
+  /// either a user-declared basic measure or the implicit region
+  /// enumerator behind a match join.
+  struct BaseJob {
+    std::string table_name;
+    Granularity gran;
+    AggSpec agg;
+    BoundExpr where;
+    bool has_where = false;
+    bool self_maintainable = false;  // retained states survive appends
+    AggTable states;
+  };
+
+  DeltaEvaluator(Workflow workflow, EngineOptions options)
+      : workflow_(std::move(workflow)), options_(std::move(options)) {}
+
+  /// Streams rows [first_row, fact.num_rows()) into the base jobs;
+  /// `jobs` selects which (self-maintainable vs recompute). Appends each
+  /// touched region key of job i to (*dirty)[i] when `dirty` is set.
+  void ScanInto(const FactTable& fact, size_t first_row,
+                const std::vector<size_t>& jobs,
+                std::vector<std::vector<RegionKey>>* dirty);
+
+  /// Rebuilds job j's table from its states (non-destructive finalize).
+  void MaterializeJob(size_t j);
+
+  /// Re-finalizes exactly `dirty` regions of job j into its table;
+  /// returns how many regions were patched (deduplicated).
+  size_t PatchJob(size_t j, std::vector<RegionKey>& dirty);
+
+  /// Recomputes one derived measure from the current tables.
+  Status DeriveMeasure(const MeasureDef& def);
+
+  Workflow workflow_;  // owned: the evaluator outlives the caller's copy
+  EngineOptions options_;
+  DeltaPlan plan_;
+  std::vector<BaseJob> jobs_;
+  std::map<std::string, size_t> job_by_name_;
+  std::map<std::vector<int>, size_t> enumerator_by_gran_;
+  std::map<std::string, MeasureTable> tables_;  // every measure + enums
+  size_t rows_seen_ = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_DELTA_H_

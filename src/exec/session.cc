@@ -72,16 +72,31 @@ const EvalOutput* QuerySession::CacheLookup(const CacheKey& key) {
   return &cache_.front().output;
 }
 
-void QuerySession::CacheInsert(const CacheKey& key,
-                               const EvalOutput& output) {
+void QuerySession::CacheInsert(const CacheKey& key, const EvalOutput& output,
+                               std::unique_ptr<DeltaEvaluator> delta) {
   if (options_.cache_capacity == 0) return;
   auto it = cache_index_.find(key);
   if (it != cache_index_.end()) {
     cache_.splice(cache_.begin(), cache_, it->second);  // refresh
     it->second = cache_.begin();
+    if (delta != nullptr && cache_.front().delta == nullptr) {
+      // Upgrade an old no-state entry so it survives the next append.
+      cache_.front().output = delta->Output(options_.include_hidden);
+      cache_.front().output.stats = output.stats;
+      cache_.front().delta = std::move(delta);
+    }
     return;
   }
-  cache_.push_front(CacheEntry{key, CloneOutput(output)});
+  CacheEntry entry{key, EvalOutput{}, std::move(delta)};
+  if (entry.delta != nullptr) {
+    // Serve the evaluator's own view of the tables so that values patched
+    // by a later append and values cached now come from the same kernels.
+    entry.output = entry.delta->Output(options_.include_hidden);
+    entry.output.stats = output.stats;
+  } else {
+    entry.output = CloneOutput(output);
+  }
+  cache_.push_front(std::move(entry));
   cache_index_[key] = cache_.begin();
   while (cache_.size() > options_.cache_capacity) {
     cache_index_.erase(cache_.back().key);
@@ -98,6 +113,10 @@ Result<std::vector<EvalOutput>> QuerySession::RunPending(
 
 Result<std::vector<EvalOutput>> QuerySession::RunPending(
     const FactTable& fact, ExecContext& ctx) {
+  // Queries share the data lock: many can run at once, but none overlaps
+  // an AppendAndRefresh, so each sees fact + cache pre- or post-append.
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+
   // Drain the batch that exists right now; Submits racing with this run
   // land in the next batch.
   std::vector<Workflow> batch;
@@ -150,6 +169,7 @@ Result<std::vector<EvalOutput>> QuerySession::RunPending(
     }
   }
 
+  std::vector<std::unique_ptr<DeltaEvaluator>> deltas(batch.size());
   if (!to_run.empty()) {
     std::vector<const Workflow*> queries;
     queries.reserve(to_run.size());
@@ -199,16 +219,99 @@ Result<std::vector<EvalOutput>> QuerySession::RunPending(
         out.tables.emplace(orig, table->CloneAs(orig));
       }
     }
+
+    // Build incremental state for each miss outside mu_ (it costs one
+    // fact scan per query). A build failure just means that entry will
+    // invalidate instead of patch on the next append.
+    if (options_.delta_patching && options_.cache_capacity > 0) {
+      for (size_t i : to_run) {
+        Result<std::unique_ptr<DeltaEvaluator>> built =
+            DeltaEvaluator::Create(batch[i], fact, options_.engine_options);
+        if (built.ok()) deltas[i] = std::move(*built);
+      }
+    }
   }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!to_run.empty()) {
-      for (size_t i : to_run) CacheInsert(keys[i], results[i]);
+      for (size_t i : to_run) {
+        CacheInsert(keys[i], results[i], std::move(deltas[i]));
+      }
     }
     report_ = report;
   }
   return results;
+}
+
+Result<SessionAppendReport> QuerySession::AppendAndRefresh(
+    FactTable& fact, const FactTable& delta) {
+  ExecContext ctx;
+  ctx.options = options_.engine_options;
+  return AppendAndRefresh(fact, delta, ctx);
+}
+
+Result<SessionAppendReport> QuerySession::AppendAndRefresh(
+    FactTable& fact, const FactTable& delta, ExecContext& ctx) {
+  // Exclusive against RunPending's shared lock: queries either finish
+  // before the append or start after it — never observe it half-applied.
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  ScopedSpan span(ctx.tracer, "session.append", ctx.trace_parent);
+
+  const uint64_t pre_hash = fact.ContentHash();
+  const size_t first_row = fact.num_rows();
+  CSM_RETURN_NOT_OK(fact.AppendBatch(delta));
+  const uint64_t post_hash = fact.ContentHash();
+
+  SessionAppendReport report;
+  report.delta_rows = delta.num_rows();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->key.second != pre_hash) {
+      // Entry for some other fact content; the append says nothing about
+      // it, so leave it alone.
+      ++it;
+      continue;
+    }
+    if (it->delta == nullptr) {
+      cache_index_.erase(it->key);
+      it = cache_.erase(it);
+      ++report.dropped_queries;
+      continue;
+    }
+    Result<DeltaReport> patched =
+        it->delta->ApplyAppend(fact, first_row, ctx.tracer, span.id());
+    if (!patched.ok()) {
+      // Never serve a maybe-stale entry: drop it and let the next
+      // RunPending recompute (and rebuild its state).
+      cache_index_.erase(it->key);
+      it = cache_.erase(it);
+      ++report.dropped_queries;
+      continue;
+    }
+    ExecStats stats = it->output.stats;
+    it->output = it->delta->Output(options_.include_hidden);
+    it->output.stats = stats;
+    cache_index_.erase(it->key);
+    it->key.second = post_hash;
+    cache_index_[it->key] = it;
+    ++report.patched_queries;
+    report.dirty_regions += patched->dirty_regions;
+    report.patched_measures += patched->patched_measures;
+    report.recomputed_measures += patched->recomputed_measures;
+    ++it;
+  }
+
+  span.SetAttr("delta_rows", std::to_string(report.delta_rows));
+  span.SetAttr("patched_queries", std::to_string(report.patched_queries));
+  span.SetAttr("dropped_queries", std::to_string(report.dropped_queries));
+  span.SetAttr("dirty_regions", std::to_string(report.dirty_regions));
+  span.SetAttr("patched_measures",
+               std::to_string(report.patched_measures));
+  span.SetAttr("recomputed_measures",
+               std::to_string(report.recomputed_measures));
+  return report;
 }
 
 }  // namespace csm

@@ -6,10 +6,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "exec/delta.h"
 #include "exec/engine.h"
 #include "exec/factory.h"
 #include "storage/fact_table.h"
@@ -32,6 +34,13 @@ struct SessionOptions {
 
   /// Result-cache capacity in entries (queries). 0 disables the cache.
   size_t cache_capacity = 0;
+
+  /// Keep incremental-maintenance state (exec/delta.h) next to each cache
+  /// entry, so AppendAndRefresh patches cached results in place instead of
+  /// invalidating them. Costs one extra fact scan per cached query at
+  /// insert time plus the retained per-region aggregate snapshots, which
+  /// is why it is opt-in.
+  bool delta_patching = false;
 };
 
 /// What the last RunPending did — fusion and cache effectiveness.
@@ -43,6 +52,16 @@ struct SessionReport {
   size_t cache_hits = 0;       // queries served from the result cache
   size_t cache_misses = 0;     // queries that joined the fused run
   ExecStats run_stats;         // the single fused run (zeros on all-hit)
+};
+
+/// What one AppendAndRefresh did to the fact table and the cache.
+struct SessionAppendReport {
+  size_t delta_rows = 0;           // rows appended to the fact table
+  size_t patched_queries = 0;      // cache entries delta-patched in place
+  size_t dropped_queries = 0;      // entries invalidated (no delta state)
+  size_t dirty_regions = 0;        // regions re-finalized (all entries)
+  size_t patched_measures = 0;     // self-maintainable tables patched
+  size_t recomputed_measures = 0;  // holistic re-scans + derived refreshes
 };
 
 /// A multi-query session over one fact table (the shared-scan argument of
@@ -62,10 +81,25 @@ struct SessionReport {
 /// entries invalidate themselves when the fact table's content changes.
 /// Cache hits keep the ExecStats of the run that produced the entry.
 ///
+/// With options.delta_patching on, each cached entry additionally carries
+/// a DeltaEvaluator — the retained per-region aggregate state of its
+/// query — and AppendAndRefresh turns a fact-table append from "every
+/// entry misses" into "every entry is patched": self-maintainable
+/// measures merge the sorted delta into their retained state and
+/// re-finalize only dirty regions; holistic measures re-scan; derived
+/// measures re-derive from their updated inputs. Delta-maintained entries
+/// are produced by the same measure-op kernels the single-scan engine
+/// uses, so they agree with a fresh engine run exactly on integer-valued
+/// measures and within floating-point reassociation otherwise (the
+/// differential fuzzer's +append cells enforce this).
+///
 /// Thread safety: Submit may be called concurrently with other Submits
 /// and with RunPending (late submissions land in the next batch).
 /// RunPending itself may also run concurrently — each call drains the
-/// batch that existed when it started. The session is not movable.
+/// batch that existed when it started. AppendAndRefresh takes an
+/// exclusive data lock that RunPending shares, so concurrent queries see
+/// either the pre-append or the post-append fact table and cache — never
+/// a torn mix. The session is not movable.
 class QuerySession {
  public:
   /// Builds the engine via MakeEngine (validating
@@ -95,6 +129,19 @@ class QuerySession {
   Result<std::vector<EvalOutput>> RunPending(const FactTable& fact,
                                              ExecContext& ctx);
 
+  /// Appends `delta`'s rows to `fact` (which must be the table the cached
+  /// entries were computed over) and refreshes the result cache: entries
+  /// carrying delta state are patched in place and re-keyed to the new
+  /// ContentHash; entries without it are dropped. Runs under an exclusive
+  /// lock against RunPending, so a concurrent query sees the append as
+  /// atomic. Opens a "session.append" span with delta_rows /
+  /// dirty_regions / patched_measures attributes.
+  Result<SessionAppendReport> AppendAndRefresh(FactTable& fact,
+                                               const FactTable& delta);
+  Result<SessionAppendReport> AppendAndRefresh(FactTable& fact,
+                                               const FactTable& delta,
+                                               ExecContext& ctx);
+
   /// Fusion/cache report for the most recent RunPending.
   SessionReport last_report() const;
 
@@ -106,17 +153,27 @@ class QuerySession {
   struct CacheEntry {
     CacheKey key;
     EvalOutput output;  // tables under the query's own measure names
+    /// Retained incremental state (null without delta_patching or when
+    /// building it failed — such entries drop on append instead).
+    std::unique_ptr<DeltaEvaluator> delta;
   };
 
   /// Deep copy (MeasureTable has no copy constructor).
   static EvalOutput CloneOutput(const EvalOutput& src);
 
-  /// LRU get/put; callers hold mu_.
+  /// LRU get/put; callers hold mu_. Insert adopts `delta` (may be null);
+  /// delta-backed entries cache the evaluator's own output so patched and
+  /// untouched values stay internally consistent.
   const EvalOutput* CacheLookup(const CacheKey& key);
-  void CacheInsert(const CacheKey& key, const EvalOutput& output);
+  void CacheInsert(const CacheKey& key, const EvalOutput& output,
+                   std::unique_ptr<DeltaEvaluator> delta);
 
   std::unique_ptr<Engine> engine_;
   SessionOptions options_;
+
+  /// Serializes AppendAndRefresh (exclusive) against RunPending (shared):
+  /// queries observe appends atomically. Acquired before mu_.
+  mutable std::shared_mutex data_mu_;
 
   mutable std::mutex mu_;
   std::vector<Workflow> pending_;

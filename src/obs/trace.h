@@ -142,6 +142,15 @@ class ScopedSpan {
     }
   }
 
+  /// Convenience pass-throughs (no-ops on a null tracer), so call sites
+  /// annotating their own span don't need tracer null checks.
+  void SetAttr(std::string_view name, std::string value) {
+    if (tracer_ != nullptr) tracer_->SetAttr(id_, name, std::move(value));
+  }
+  void AddCounter(std::string_view name, double delta) {
+    if (tracer_ != nullptr) tracer_->AddCounter(id_, name, delta);
+  }
+
   SpanId id() const { return id_; }
 
  private:

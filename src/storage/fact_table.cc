@@ -1,24 +1,63 @@
 #include "storage/fact_table.h"
 
-#include <cstring>
-
-#include "common/hash.h"
 #include "common/logging.h"
 
 namespace csm {
 
 uint64_t FactTable::ContentHash() const {
+  if (hash_ == nullptr) hash_ = std::make_unique<HashCache>();
+  if (!hash_->valid.load(std::memory_order_acquire)) {
+    uint64_t sum = 0;
+    for (size_t row = 0; row < num_rows_; ++row) {
+      sum += RowHash(dim_row(row), measure_row(row));
+    }
+    hash_->row_sum.store(sum, std::memory_order_relaxed);
+    hash_->valid.store(true, std::memory_order_release);
+  }
   uint64_t h = Mix64(0xfac7ab1eull);
   h = HashCombine(h, num_rows_);
   h = HashCombine(h, static_cast<uint64_t>(num_dims_));
   h = HashCombine(h, static_cast<uint64_t>(num_measures_));
-  for (Value v : dims_) h = HashCombine(h, static_cast<uint64_t>(v));
-  for (double m : measures_) {
-    uint64_t bits;
-    std::memcpy(&bits, &m, sizeof(bits));
-    h = HashCombine(h, bits);
-  }
+  h = HashCombine(h, hash_->row_sum.load(std::memory_order_relaxed));
   return h;
+}
+
+Status FactTable::AppendBatch(const FactTable& delta) {
+  if (delta.num_dims_ != num_dims_ ||
+      delta.num_measures_ != num_measures_) {
+    return Status::InvalidArgument(
+        "FactTable::AppendBatch: batch shape (" +
+        std::to_string(delta.num_dims_) + " dims, " +
+        std::to_string(delta.num_measures_) +
+        " measures) does not match the table (" +
+        std::to_string(num_dims_) + " dims, " +
+        std::to_string(num_measures_) + " measures)");
+  }
+  if (&delta == this) {
+    return Status::InvalidArgument(
+        "FactTable::AppendBatch: cannot append a table to itself");
+  }
+  dims_.insert(dims_.end(), delta.dims_.begin(), delta.dims_.end());
+  measures_.insert(measures_.end(), delta.measures_.begin(),
+                   delta.measures_.end());
+  if (hash_ != nullptr && hash_->valid.load(std::memory_order_relaxed)) {
+    if (delta.hash_ != nullptr &&
+        delta.hash_->valid.load(std::memory_order_acquire)) {
+      // The row sum is commutative and associative, so a memoized batch
+      // folds in with one add.
+      hash_->row_sum.fetch_add(
+          delta.hash_->row_sum.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    } else {
+      uint64_t sum = 0;
+      for (size_t row = 0; row < delta.num_rows_; ++row) {
+        sum += RowHash(delta.dim_row(row), delta.measure_row(row));
+      }
+      hash_->row_sum.fetch_add(sum, std::memory_order_relaxed);
+    }
+  }
+  num_rows_ += delta.num_rows_;
+  return Status::OK();
 }
 
 void FactTable::Permute(const std::vector<uint32_t>& perm) {
@@ -40,6 +79,7 @@ void FactTable::Permute(const std::vector<uint32_t>& perm) {
     }
     measures_ = std::move(new_measures);
   }
+  // The multiset of rows is unchanged, so the memoized hash stands.
 }
 
 }  // namespace csm

@@ -1,9 +1,14 @@
 #ifndef CSM_STORAGE_FACT_TABLE_H_
 #define CSM_STORAGE_FACT_TABLE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstring>
+#include <memory>
 #include <vector>
 
+#include "common/hash.h"
+#include "common/result.h"
 #include "model/granularity.h"
 #include "model/schema.h"
 
@@ -18,7 +23,8 @@ class FactTable {
   explicit FactTable(SchemaPtr schema)
       : schema_(std::move(schema)),
         num_dims_(schema_->num_dims()),
-        num_measures_(schema_->num_measures()) {}
+        num_measures_(schema_->num_measures()),
+        hash_(std::make_unique<HashCache>()) {}
 
   FactTable(FactTable&&) = default;
   FactTable& operator=(FactTable&&) = default;
@@ -36,6 +42,13 @@ class FactTable {
     copy.num_rows_ = num_rows_;
     copy.dims_.assign(dims_.begin(), dims_.end());
     copy.measures_.assign(measures_.begin(), measures_.end());
+    if (hash_ != nullptr &&
+        hash_->valid.load(std::memory_order_acquire)) {
+      copy.hash_->row_sum.store(
+          hash_->row_sum.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      copy.hash_->valid.store(true, std::memory_order_release);
+    }
     return copy;
   }
 
@@ -58,7 +71,17 @@ class FactTable {
       measures_.insert(measures_.end(), measures, measures + num_measures_);
     }
     ++num_rows_;
+    if (hash_ != nullptr && hash_->valid.load(std::memory_order_relaxed)) {
+      hash_->row_sum.fetch_add(RowHash(dims, measures),
+                               std::memory_order_relaxed);
+    }
   }
+
+  /// Bulk append of every row of `delta` (same dimension/measure arity;
+  /// intended for batches over the same schema). The memoized ContentHash
+  /// is maintained incrementally — O(delta) at worst, O(1) when the
+  /// batch's own hash is already memoized.
+  Status AppendBatch(const FactTable& delta);
 
   const Value* dim_row(size_t row) const {
     return dims_.data() + row * num_dims_;
@@ -68,14 +91,21 @@ class FactTable {
   }
 
   /// Physically reorders rows by `perm` (perm[i] = source row of new row
-  /// i). Used by the in-memory sort path.
+  /// i). Used by the in-memory sort path. ContentHash is row-order
+  /// independent, so the memoized hash carries over untouched.
   void Permute(const std::vector<uint32_t>& perm);
 
   /// 64-bit hash of the table's contents (shape + every dimension value +
   /// the bit patterns of every raw measure, so NaN payloads count). Two
-  /// tables with equal hashes hold the same rows in the same order, up to
-  /// hash collisions. O(rows); the session result cache keys on it so
-  /// cached results die with the data that produced them.
+  /// tables with equal hashes hold the same *multiset* of rows — the hash
+  /// is deliberately row-order independent (a commutative sum of per-row
+  /// hashes), so physically resorting the data or appending the same rows
+  /// in a different batch order cannot fake a content change.
+  ///
+  /// The first call is O(rows) and memoizes the row sum; afterwards the
+  /// hash is O(1) and AppendRow / AppendBatch keep it up to date
+  /// incrementally, which is what lets the session cache re-key (rather
+  /// than rehash the world) on every append.
   uint64_t ContentHash() const;
 
   /// Bytes per serialized row (dims + measures), for spill accounting.
@@ -96,15 +126,47 @@ class FactTable {
     dims_.clear();
     measures_.clear();
     num_rows_ = 0;
+    if (hash_ != nullptr) {
+      hash_->row_sum.store(0, std::memory_order_relaxed);
+      hash_->valid.store(true, std::memory_order_release);
+    }
   }
 
  private:
+  /// Chained hash of one row (dims then measure bit patterns). Rows enter
+  /// ContentHash as a wrapping sum of these, making the table hash a
+  /// multiset hash with O(1) incremental updates.
+  uint64_t RowHash(const Value* dims, const double* measures) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < num_dims_; ++i) {
+      h = HashCombine(h, static_cast<uint64_t>(dims[i]));
+    }
+    for (int i = 0; i < num_measures_; ++i) {
+      uint64_t bits;
+      std::memcpy(&bits, &measures[i], sizeof(bits));
+      h = HashCombine(h, bits);
+    }
+    return Mix64(h);
+  }
+
+  /// Memoized ContentHash state, heap-held so the table stays movable.
+  /// Atomics let concurrent readers race benignly on the first (lazy)
+  /// computation: both compute the same sum; `valid` is released after
+  /// `row_sum` so an acquire-load of `valid` sees a complete sum. Writers
+  /// (AppendRow / AppendBatch / Clear) are exclusive by the same contract
+  /// that already covers the data vectors.
+  struct HashCache {
+    std::atomic<bool> valid{false};
+    std::atomic<uint64_t> row_sum{0};
+  };
+
   SchemaPtr schema_;
   int num_dims_;
   int num_measures_;
   size_t num_rows_ = 0;
   std::vector<Value> dims_;
   std::vector<double> measures_;
+  mutable std::unique_ptr<HashCache> hash_;  // null only when moved-from
 };
 
 }  // namespace csm

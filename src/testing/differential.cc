@@ -117,6 +117,56 @@ Result<EvalOutput> RunAsSession(const Workflow& workflow,
   return merged;
 }
 
+/// The incremental cell: replays the fact table as a base chunk plus
+/// `config.append_splits` appended batches through a delta-patching
+/// QuerySession, then re-submits the query and returns the patched cache
+/// entry. A final answer NOT served from the patched entry is reported as
+/// an internal error (it would silently test nothing), and the patched
+/// tables must match the single-shot reference — any drift is an
+/// incremental-maintenance bug. Chunk boundaries are even splits, so
+/// shrunken cases naturally exercise empty append batches too.
+Result<EvalOutput> RunIncremental(const Workflow& workflow,
+                                  const FactTable& fact,
+                                  const EngineConfig& config,
+                                  ExecContext& ctx) {
+  const size_t batches = static_cast<size_t>(config.append_splits);
+  const size_t rows = fact.num_rows();
+  auto chunk_of = [&](size_t c) {
+    FactTable part(fact.schema());
+    const size_t begin = rows * c / (batches + 1);
+    const size_t end = rows * (c + 1) / (batches + 1);
+    part.Reserve(end - begin);
+    for (size_t row = begin; row < end; ++row) {
+      part.AppendRow(fact.dim_row(row), fact.measure_row(row));
+    }
+    return part;
+  };
+
+  SessionOptions options;
+  options.engine_options = ctx.options;
+  options.cache_capacity = 1;
+  options.delta_patching = true;
+  CSM_ASSIGN_OR_RETURN(std::unique_ptr<QuerySession> session,
+                       QuerySession::Create(config.kind, options));
+
+  FactTable base = chunk_of(0);
+  CSM_RETURN_NOT_OK(session->Submit(workflow).status());
+  CSM_RETURN_NOT_OK(session->RunPending(base, ctx).status());
+  for (size_t c = 1; c <= batches; ++c) {
+    const FactTable delta = chunk_of(c);
+    CSM_RETURN_NOT_OK(session->AppendAndRefresh(base, delta, ctx).status());
+  }
+  CSM_RETURN_NOT_OK(session->Submit(workflow).status());
+  CSM_ASSIGN_OR_RETURN(std::vector<EvalOutput> outs,
+                       session->RunPending(base, ctx));
+  if (session->last_report().cache_hits != 1) {
+    return Status::Internal(
+        "incremental run was not served from the patched cache entry "
+        "(delta maintenance silently fell back to a fresh run)");
+  }
+  return std::move(outs[0]);
+}
+
 }  // namespace
 
 std::string EngineConfig::Label(const Schema& schema) const {
@@ -125,6 +175,9 @@ std::string EngineConfig::Label(const Schema& schema) const {
   if (run_file) label += "+runfile";
   if (session_queries > 1) {
     label += "+session/q" + std::to_string(session_queries);
+  }
+  if (append_splits > 0) {
+    label += "+append/k" + std::to_string(append_splits);
   }
   if (threads > 0) label += "/t" + std::to_string(threads);
   if (memory_budget_bytes > 0) {
@@ -248,6 +301,8 @@ Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
     CSM_RETURN_NOT_OK(WriteFactTableBinary(fact, path));
     SortScanEngine engine;
     result = engine.RunFile(workflow, path, ctx);
+  } else if (config.append_splits > 0) {
+    result = RunIncremental(workflow, fact, config, ctx);
   } else if (config.session_queries > 1) {
     result = RunAsSession(workflow, fact, config, ctx);
   } else {
@@ -374,6 +429,17 @@ std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
   for (int session_queries : {2, 4}) {
     EngineConfig config = with_kind(EngineKind::kSortScan);
     config.session_queries = session_queries;
+    configs.push_back(std::move(config));
+  }
+
+  // Incremental append maintenance: the same rows arriving as a base
+  // chunk plus 2 (and 8) appended batches, patched through a
+  // delta-maintaining session. Any disagreement with the single-shot
+  // reference is an incremental-maintenance bug (stale retained state,
+  // missed dirty region, bad recompute fallback, cache rekey mix-up).
+  for (int append_splits : {2, 8}) {
+    EngineConfig config = with_kind(EngineKind::kSortScan);
+    config.append_splits = append_splits;
     configs.push_back(std::move(config));
   }
   return configs;

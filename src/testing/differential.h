@@ -31,10 +31,15 @@ struct EngineConfig {
                                    // record-at-a-time execution
   int session_queries = 0;         // > 1: run through QuerySession as N
                                    // fused prefix queries (0/1 = direct)
+  int append_splits = 0;           // > 0: evaluate incrementally — base
+                                   // chunk plus N appended batches through
+                                   // a delta-patching session; the final
+                                   // patched result is what gets compared
 
   /// Stable human-readable label, e.g. "sortscan@<d0:L1>+runfile/64KB"
-  /// or "parallel/t8" or "sortscan/b1" or "adaptive+session/q4". Doubles
-  /// as the config's serialized identity in divergence reports.
+  /// or "parallel/t8" or "sortscan/b1" or "adaptive+session/q4" or
+  /// "sortscan+append/k8". Doubles as the config's serialized identity in
+  /// divergence reports.
   std::string Label(const Schema& schema) const;
 };
 
@@ -100,10 +105,12 @@ Result<std::optional<Divergence>> CheckConfig(
 /// The campaign matrix for one run: every engine, the sort/scan engine
 /// under several random sort orders, the RunFile out-of-core path under a
 /// small budget, the parallel engine at 1/2/8 threads, a tight-budget
-/// multi-pass, and multi-query sessions fusing 2 and 4 overlapping
-/// prefix queries of the workflow (fused results must match independent
-/// runs bit-for-bit). Randomized parts draw from `rng`
-/// (seed-deterministic).
+/// multi-pass, multi-query sessions fusing 2 and 4 overlapping prefix
+/// queries of the workflow (fused results must match independent runs
+/// bit-for-bit), and incremental-append cells feeding the same rows as a
+/// base chunk plus 2 / 8 appended batches through a delta-patching
+/// session (patched results must match the single-shot reference).
+/// Randomized parts draw from `rng` (seed-deterministic).
 std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
                                             Rng& rng);
 

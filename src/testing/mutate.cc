@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -30,6 +32,34 @@ Result<Workflow> RebuildWorkflow(const SchemaPtr& schema,
     return Status::InvalidArgument("workflow would become empty");
   }
   return workflow;
+}
+
+bool CountDistinctInputsExact(const std::vector<MeasureDef>& defs) {
+  // defs are in dependency order (inputs precede their consumers), so a
+  // single forward pass settles the taint set.
+  std::set<std::string> tainted;
+  auto is_tainted = [&](const std::string& name) {
+    return tainted.count(name) > 0;
+  };
+  for (const MeasureDef& def : defs) {
+    bool input_tainted = false;
+    if (def.op == MeasureOp::kCombine) {
+      for (const std::string& in : def.combine_inputs) {
+        input_tainted = input_tainted || is_tainted(in);
+      }
+    } else if (!def.input.empty()) {  // empty input = FACT (exact)
+      input_tainted = is_tainted(def.input);
+    }
+    if (def.agg.kind == AggKind::kCountDistinct && input_tainted) {
+      return false;
+    }
+    const bool order_sensitive =
+        def.op != MeasureOp::kCombine &&
+        (def.agg.kind == AggKind::kVar ||
+         def.agg.kind == AggKind::kStddev);
+    if (order_sensitive || input_tainted) tainted.insert(def.name);
+  }
+  return true;
 }
 
 std::vector<Workflow> ShrinkWorkflowCandidates(const Workflow& workflow) {
@@ -194,6 +224,7 @@ Workflow MutateHolistic(const Workflow& workflow, Rng& rng,
               : ProposeInject(current.schema(), current.measures(), rng,
                               &candidate);
       if (!proposed) continue;
+      if (!CountDistinctInputsExact(candidate)) continue;
       auto rebuilt = RebuildWorkflow(current.schema(), candidate);
       if (!rebuilt.ok()) continue;
       current = std::move(*rebuilt);

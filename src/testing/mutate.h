@@ -26,6 +26,19 @@ Result<Workflow> RebuildWorkflow(const SchemaPtr& schema,
 /// fixed point.
 std::vector<Workflow> ShrinkWorkflowCandidates(const Workflow& workflow);
 
+/// True when no count_distinct aggregates over values that are only
+/// reproducible up to floating-point accumulation order. var/stddev
+/// finalize Welford registers whose rounding depends on the order rows
+/// were folded, so engines legitimately disagree in the last ULP —
+/// within the differential comparison's tolerance for the values
+/// themselves, but count_distinct compares *bits* and turns a 1-ULP
+/// wobble into an off-by-one distinct count. The taint is transitive
+/// (a max over a var-valued measure still carries a var value), so both
+/// the random generator and MutateHolistic reject candidates this
+/// predicate fails. Exact producers — count, sum/min/max/avg over the
+/// integer-valued fuzz measures, count_distinct itself — don't taint.
+bool CountDistinctInputsExact(const std::vector<MeasureDef>& defs);
+
 /// Seed-deterministic mutation pass pushing the holistic /
 /// multi-register aggregates — count_distinct, stddev, var — onto more
 /// arcs of an existing workflow (the aggressive-coverage half of the

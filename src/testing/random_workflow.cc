@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "testing/mutate.h"
 
 namespace csm {
 namespace testing_util {
@@ -15,6 +16,12 @@ Workflow RandomWorkflowGen::Generate(int num_measures) {
   while (added < num_measures && attempts < num_measures * 20) {
     ++attempts;
     MeasureDef def = ProposeMeasure(added);
+    // count_distinct over an order-sensitive (var/stddev-derived) value
+    // stream would turn engine-legitimate ULP wobble into integer
+    // divergences — reject the draw and try again.
+    std::vector<MeasureDef> candidate = workflow.measures();
+    candidate.push_back(def);
+    if (!CountDistinctInputsExact(candidate)) continue;
     if (workflow.AddMeasure(def).ok()) {
       defined_.push_back({def.name, def.gran});
       ++added;

@@ -60,6 +60,9 @@ Result<std::string> WriteRepro(const std::string& dir,
   if (config.session_queries > 1) {
     out << "session_queries: " << config.session_queries << "\n";
   }
+  if (config.append_splits > 0) {
+    out << "append_splits: " << config.append_splits << "\n";
+  }
   if (!config.sort_key.empty()) {
     out << "sort_key: " << config.sort_key.ToString(*workflow.schema())
         << "\n";
@@ -91,7 +94,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   std::string schema_spec, engine = "sortscan", path_kind = "memory";
   std::string sort_key_text, fault_text, facts_name;
   uint64_t seed = 0, budget = 0, batch_rows = 0;
-  int64_t threads = 0, session_queries = 0;
+  int64_t threads = 0, session_queries = 0, append_splits = 0;
   std::ostringstream dsl;
   bool in_workflow = false;
   while (std::getline(in, line)) {
@@ -137,6 +140,10 @@ Result<ReproCase> LoadRepro(const std::string& path) {
       if (!ParseInt64(value, &session_queries)) {
         return Status::ParseError("bad session_queries: " + value);
       }
+    } else if (key == "append_splits") {
+      if (!ParseInt64(value, &append_splits)) {
+        return Status::ParseError("bad append_splits: " + value);
+      }
     } else if (key == "sort_key") {
       sort_key_text = value;
     } else if (key == "fault") {
@@ -171,6 +178,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   config.memory_budget_bytes = budget;
   config.scan_batch_rows = batch_rows;
   config.session_queries = static_cast<int>(session_queries);
+  config.append_splits = static_cast<int>(append_splits);
   if (!sort_key_text.empty()) {
     CSM_ASSIGN_OR_RETURN(config.sort_key,
                          SortKey::Parse(*schema, sort_key_text));

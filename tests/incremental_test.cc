@@ -1,0 +1,518 @@
+// Incremental append maintenance tests: the memoized FactTable content
+// hash, AppendBatch semantics, the DeltaPlan classification, DeltaEvaluator
+// vs the reference evaluator, metamorphic chunking (same rows, different
+// batch boundaries / batch orders -> identical results), session delta
+// patching, and an append-vs-query concurrency test (run under TSan in CI).
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/delta.h"
+#include "exec/factory.h"
+#include "exec/session.h"
+#include "gtest/gtest.h"
+#include "model/schema.h"
+#include "storage/fact_table.h"
+#include "test_util.h"
+#include "testing/differential.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::MakeUniformFacts;
+using testing_util::ToMap;
+
+Workflow ParseOrDie(const SchemaPtr& schema, const std::string& dsl) {
+  auto workflow = Workflow::Parse(schema, dsl);
+  EXPECT_TRUE(workflow.ok()) << workflow.status().ToString();
+  return std::move(workflow).ValueOrDie();
+}
+
+/// Copies rows [begin, end) of `fact` into a fresh table.
+FactTable Slice(const FactTable& fact, size_t begin, size_t end) {
+  FactTable out(fact.schema());
+  out.Reserve(end - begin);
+  for (size_t row = begin; row < end; ++row) {
+    out.AppendRow(fact.dim_row(row), fact.measure_row(row));
+  }
+  return out;
+}
+
+/// Bit-exact table equality (the tolerance-based ExpectTablesEqual is too
+/// forgiving for metamorphic tests, whose whole point is == on doubles).
+void ExpectTablesIdentical(const MeasureTable& a, const MeasureTable& b,
+                           const std::string& context) {
+  auto ma = ToMap(a);
+  auto mb = ToMap(b);
+  ASSERT_EQ(ma.size(), mb.size()) << context;
+  for (const auto& [key, va] : ma) {
+    auto it = mb.find(key);
+    ASSERT_TRUE(it != mb.end()) << context << ": region missing";
+    EXPECT_EQ(va, it->second) << context << ": value drift";
+  }
+}
+
+// Every maintenance class in one workflow: self-maintainable base
+// aggregates (count/sum/min/avg), holistic bases (count_distinct,
+// stddev), a where-filtered roll-up, a match join, and a combine.
+constexpr char kFullWorkflow[] = R"(
+  measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+  measure Traffic at (t:hour) = agg sum(bytes) from FACT;
+  measure MinBytes at (U:ip) = agg min(bytes) from FACT;
+  measure AvgBytes at (t:day) = agg avg(bytes) from FACT;
+  measure Kinds at (t:day) = agg count_distinct(bytes) from FACT;
+  measure Spread at (t:day) = agg stddev(bytes) from FACT;
+  measure Busy at (t:hour) = agg count(M) from Count where M > 2;
+  measure Daily at (t:day) = agg count(*) from FACT;
+  measure Share at (t:hour) = match Daily using parentchild agg sum(M);
+  measure Frac at (t:hour) = combine(Busy, Share) as Busy / Share;)";
+
+// The self-maintainable + derived subset (no var/stddev): batch-order
+// metamorphic runs need results that cannot depend on row order. (The
+// recompute fallback re-scans the final fact table, whose row order does
+// depend on the append order; count_distinct is order-free, Welford
+// variance is not.)
+constexpr char kOrderFreeWorkflow[] = R"(
+  measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+  measure Traffic at (t:hour) = agg sum(bytes) from FACT;
+  measure MinBytes at (U:ip) = agg min(bytes) from FACT;
+  measure Kinds at (t:day) = agg count_distinct(bytes) from FACT;
+  measure Busy at (t:hour) = agg count(M) from Count where M > 2;)";
+
+// --- FactTable content hash -------------------------------------------
+
+TEST(IncrementalHashTest, MemoizedIncrementalMatchesRecompute) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 500, 32, /*seed=*/7);
+  const uint64_t memoized = fact.ContentHash();  // memoizes the row sum
+
+  // Grow the table AFTER memoization: the hash must update incrementally
+  // to exactly what a from-scratch pass over the same rows computes.
+  FactTable extra = MakeUniformFacts(schema, 123, 32, /*seed=*/8);
+  for (size_t row = 0; row < extra.num_rows(); ++row) {
+    fact.AppendRow(extra.dim_row(row), extra.measure_row(row));
+  }
+  FactTable fresh = Slice(fact, 0, fact.num_rows());  // never hashed yet
+  EXPECT_EQ(fact.ContentHash(), fresh.ContentHash());
+  EXPECT_NE(fact.ContentHash(), memoized);
+}
+
+TEST(IncrementalHashTest, OrderIndependentButContentSensitive) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 200, 16, /*seed=*/3);
+  const uint64_t original = fact.ContentHash();
+
+  // Reversing the physical row order keeps the multiset, so the hash
+  // stands (this is what lets differently-chunked appends converge).
+  std::vector<uint32_t> reversed(fact.num_rows());
+  for (size_t i = 0; i < reversed.size(); ++i) {
+    reversed[i] = static_cast<uint32_t>(fact.num_rows() - 1 - i);
+  }
+  fact.Permute(reversed);
+  EXPECT_EQ(fact.ContentHash(), original);
+  FactTable fresh = Slice(fact, 0, fact.num_rows());
+  EXPECT_EQ(fresh.ContentHash(), original);
+
+  // Any content change must show: one more row, or one value changed.
+  FactTable grown = fact.Clone();
+  grown.AppendRow(fact.dim_row(0), fact.measure_row(0));
+  EXPECT_NE(grown.ContentHash(), original);
+  FactTable tweaked(schema);
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    std::vector<double> m(fact.measure_row(row),
+                          fact.measure_row(row) + schema->num_measures());
+    if (row == 17) m[0] += 1.0;
+    tweaked.AppendRow(fact.dim_row(row), m.data());
+  }
+  EXPECT_NE(tweaked.ContentHash(), original);
+}
+
+TEST(IncrementalHashTest, AppendBatchMatchesRowwiseAppends) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  FactTable base = MakeUniformFacts(schema, 100, 16, /*seed=*/1);
+  FactTable delta = MakeUniformFacts(schema, 37, 16, /*seed=*/2);
+
+  FactTable rowwise = base.Clone();
+  for (size_t row = 0; row < delta.num_rows(); ++row) {
+    rowwise.AppendRow(delta.dim_row(row), delta.measure_row(row));
+  }
+  FactTable batched = base.Clone();
+  ASSERT_TRUE(batched.ContentHash() != 0);  // memoize before the append
+  CSM_ASSERT_OK(batched.AppendBatch(delta));
+
+  ASSERT_EQ(batched.num_rows(), rowwise.num_rows());
+  for (size_t row = 0; row < batched.num_rows(); ++row) {
+    for (int i = 0; i < schema->num_dims(); ++i) {
+      ASSERT_EQ(batched.dim_row(row)[i], rowwise.dim_row(row)[i]);
+    }
+    for (int i = 0; i < schema->num_measures(); ++i) {
+      ASSERT_EQ(batched.measure_row(row)[i], rowwise.measure_row(row)[i]);
+    }
+  }
+  EXPECT_EQ(batched.ContentHash(), rowwise.ContentHash());
+
+  // Appending an empty batch is a no-op, including on the hash.
+  const uint64_t before = batched.ContentHash();
+  CSM_ASSERT_OK(batched.AppendBatch(FactTable(schema)));
+  EXPECT_EQ(batched.ContentHash(), before);
+
+  // Shape mismatches and self-appends are rejected.
+  SchemaPtr other = MakeSyntheticSchema(2, 2, 3, 64);
+  EXPECT_FALSE(batched.AppendBatch(FactTable(other)).ok());
+  EXPECT_FALSE(batched.AppendBatch(batched).ok());
+}
+
+// --- DeltaPlan classification -----------------------------------------
+
+TEST(IncrementalPlanTest, ClassifiesEveryMeasure) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow workflow = ParseOrDie(schema, kFullWorkflow);
+  CSM_ASSERT_OK_AND_ASSIGN(DeltaPlan plan, DeltaPlan::Build(workflow));
+  ASSERT_EQ(plan.measures.size(), workflow.measures().size());
+
+  auto cls = [&](const std::string& name) {
+    const DeltaMeasurePlan* entry = plan.Find(name);
+    EXPECT_TRUE(entry != nullptr) << name;
+    return entry == nullptr ? DeltaClass::kRecompute : entry->cls;
+  };
+  EXPECT_EQ(cls("Count"), DeltaClass::kSelfMaintainable);
+  EXPECT_EQ(cls("Traffic"), DeltaClass::kSelfMaintainable);
+  EXPECT_EQ(cls("MinBytes"), DeltaClass::kSelfMaintainable);
+  EXPECT_EQ(cls("AvgBytes"), DeltaClass::kSelfMaintainable);
+  EXPECT_EQ(cls("Kinds"), DeltaClass::kRecompute);
+  EXPECT_EQ(cls("Spread"), DeltaClass::kRecompute);
+  EXPECT_EQ(cls("Busy"), DeltaClass::kDerived);
+  EXPECT_EQ(cls("Daily"), DeltaClass::kSelfMaintainable);
+  EXPECT_EQ(cls("Share"), DeltaClass::kDerived);
+  EXPECT_EQ(cls("Frac"), DeltaClass::kDerived);
+
+  EXPECT_EQ(plan.CountClass(DeltaClass::kSelfMaintainable), 5u);
+  EXPECT_EQ(plan.CountClass(DeltaClass::kRecompute), 2u);
+  EXPECT_EQ(plan.CountClass(DeltaClass::kDerived), 3u);
+  EXPECT_TRUE(plan.Find("nope") == nullptr);
+
+  // A derived measure downstream of a holistic input says so.
+  constexpr char kDownstream[] = R"(
+    measure Kinds at (t:day) = agg count_distinct(bytes) from FACT;
+    measure Roll at (t:month) = agg sum(M) from Kinds;)";
+  Workflow downstream = ParseOrDie(schema, kDownstream);
+  CSM_ASSERT_OK_AND_ASSIGN(DeltaPlan plan2, DeltaPlan::Build(downstream));
+  const DeltaMeasurePlan* roll = plan2.Find("Roll");
+  ASSERT_TRUE(roll != nullptr);
+  EXPECT_EQ(roll->cls, DeltaClass::kDerived);
+  EXPECT_NE(roll->reason.find("downstream of recompute-class"),
+            std::string::npos)
+      << roll->reason;
+}
+
+// --- DeltaEvaluator vs the reference evaluator ------------------------
+
+TEST(IncrementalEvalTest, PatchedStateMatchesReferenceAfterEveryAppend) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow workflow = ParseOrDie(schema, kFullWorkflow);
+  FactTable full = MakeUniformFacts(schema, 600, 24, /*seed=*/11);
+
+  const std::vector<size_t> cuts = {150, 150, 0, 200, 100};  // 0 = empty
+  FactTable grow = Slice(full, 0, cuts[0]);
+  CSM_ASSERT_OK_AND_ASSIGN(std::unique_ptr<DeltaEvaluator> eval,
+                           DeltaEvaluator::Create(workflow, grow));
+  size_t rows = cuts[0];
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    const size_t first = rows;
+    CSM_ASSERT_OK(grow.AppendBatch(Slice(full, rows, rows + cuts[i])));
+    rows += cuts[i];
+    CSM_ASSERT_OK_AND_ASSIGN(DeltaReport report,
+                             eval->ApplyAppend(grow, first));
+    EXPECT_EQ(report.delta_rows, cuts[i]);
+    EXPECT_EQ(eval->rows_seen(), rows);
+
+    // After every append, every measure (hidden and derived included)
+    // must match the reference evaluator over the rows seen so far.
+    CSM_ASSERT_OK_AND_ASSIGN(auto reference,
+                             testing_util::ComputeReference(workflow, grow));
+    for (const auto& [name, expected] : reference) {
+      const MeasureTable* got = eval->FindTable(name);
+      ASSERT_TRUE(got != nullptr) << name;
+      ExpectTablesEqual(*got, expected, name);
+    }
+  }
+
+  // An out-of-order append offset is rejected, state left intact.
+  EXPECT_FALSE(eval->ApplyAppend(grow, rows + 1).ok());
+  EXPECT_FALSE(eval->ApplyAppend(grow, 0).ok());
+  EXPECT_EQ(eval->rows_seen(), rows);
+}
+
+// --- Metamorphic: chunking must not matter ----------------------------
+
+TEST(IncrementalMetamorphicTest, BatchBoundariesDoNotChangeResults) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  // Same row ORDER in every run, so even the order-sensitive recompute
+  // class (stddev) must agree bit for bit across chunkings.
+  Workflow workflow = ParseOrDie(schema, kFullWorkflow);
+  FactTable full = MakeUniformFacts(schema, 500, 24, /*seed=*/21);
+
+  const std::vector<std::vector<size_t>> chunkings = {
+      {500},  // single shot
+      {250, 250},
+      {100, 0, 13, 287, 100},
+      {1, 499},
+  };
+  std::vector<std::unique_ptr<DeltaEvaluator>> evals;
+  uint64_t hash = 0;
+  for (size_t c = 0; c < chunkings.size(); ++c) {
+    const std::vector<size_t>& cuts = chunkings[c];
+    FactTable grow = Slice(full, 0, cuts[0]);
+    CSM_ASSERT_OK_AND_ASSIGN(std::unique_ptr<DeltaEvaluator> eval,
+                             DeltaEvaluator::Create(workflow, grow));
+    size_t rows = cuts[0];
+    for (size_t i = 1; i < cuts.size(); ++i) {
+      const size_t first = rows;
+      CSM_ASSERT_OK(grow.AppendBatch(Slice(full, rows, rows + cuts[i])));
+      rows += cuts[i];
+      CSM_ASSERT_OK(eval->ApplyAppend(grow, first).status());
+    }
+    ASSERT_EQ(rows, full.num_rows());
+    if (c == 0) {
+      hash = grow.ContentHash();
+    } else {
+      EXPECT_EQ(grow.ContentHash(), hash) << "chunking " << c;
+    }
+    evals.push_back(std::move(eval));
+  }
+  for (size_t c = 1; c < evals.size(); ++c) {
+    for (const MeasureDef& def : workflow.measures()) {
+      const MeasureTable* a = evals[0]->FindTable(def.name);
+      const MeasureTable* b = evals[c]->FindTable(def.name);
+      ASSERT_TRUE(a != nullptr && b != nullptr);
+      ExpectTablesIdentical(*a, *b,
+                            def.name + " chunking " + std::to_string(c));
+    }
+  }
+}
+
+TEST(IncrementalMetamorphicTest, BatchOrderDoesNotChangeResults) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  // Batches arrive in different ORDERS, so only order-free measures
+  // (sum/count/min/avg/count_distinct and their derivations) apply.
+  Workflow workflow = ParseOrDie(schema, kOrderFreeWorkflow);
+  FactTable full = MakeUniformFacts(schema, 400, 24, /*seed=*/31);
+
+  // Four batches of 100 rows, applied in different permutations.
+  const std::vector<std::vector<size_t>> orders = {
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}};
+  std::vector<std::unique_ptr<DeltaEvaluator>> evals;
+  uint64_t hash = 0;
+  for (size_t o = 0; o < orders.size(); ++o) {
+    FactTable grow = Slice(full, orders[o][0] * 100,
+                           orders[o][0] * 100 + 100);
+    CSM_ASSERT_OK_AND_ASSIGN(std::unique_ptr<DeltaEvaluator> eval,
+                             DeltaEvaluator::Create(workflow, grow));
+    for (size_t i = 1; i < orders[o].size(); ++i) {
+      const size_t first = grow.num_rows();
+      CSM_ASSERT_OK(grow.AppendBatch(
+          Slice(full, orders[o][i] * 100, orders[o][i] * 100 + 100)));
+      CSM_ASSERT_OK(eval->ApplyAppend(grow, first).status());
+    }
+    // Same multiset of rows -> the content hashes converge even though
+    // the physical row orders differ.
+    if (o == 0) {
+      hash = grow.ContentHash();
+    } else {
+      EXPECT_EQ(grow.ContentHash(), hash) << "order " << o;
+    }
+    evals.push_back(std::move(eval));
+  }
+  for (size_t o = 1; o < evals.size(); ++o) {
+    for (const MeasureDef& def : workflow.measures()) {
+      const MeasureTable* a = evals[0]->FindTable(def.name);
+      const MeasureTable* b = evals[o]->FindTable(def.name);
+      ASSERT_TRUE(a != nullptr && b != nullptr);
+      ExpectTablesIdentical(*a, *b,
+                            def.name + " order " + std::to_string(o));
+    }
+  }
+}
+
+// --- Session delta patching -------------------------------------------
+
+TEST(IncrementalSessionTest, AppendPatchesCacheInsteadOfInvalidating) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow workflow = ParseOrDie(schema, kFullWorkflow);
+  FactTable full = MakeUniformFacts(schema, 500, 24, /*seed=*/41);
+  FactTable fact = Slice(full, 0, 400);
+  const FactTable delta = Slice(full, 400, 500);
+
+  SessionOptions options;
+  options.cache_capacity = 4;
+  options.delta_patching = true;
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<QuerySession> session,
+      QuerySession::Create(EngineKind::kSortScan, options));
+
+  CSM_ASSERT_OK(session->Submit(workflow).status());
+  CSM_ASSERT_OK(session->RunPending(fact).status());
+  ASSERT_EQ(session->cache_size(), 1u);
+
+  CSM_ASSERT_OK_AND_ASSIGN(SessionAppendReport report,
+                           session->AppendAndRefresh(fact, delta));
+  EXPECT_EQ(report.delta_rows, 100u);
+  EXPECT_EQ(report.patched_queries, 1u);
+  EXPECT_EQ(report.dropped_queries, 0u);
+  EXPECT_GT(report.patched_measures, 0u);
+  EXPECT_GT(report.recomputed_measures, 0u);
+  EXPECT_EQ(fact.num_rows(), 500u);
+  EXPECT_EQ(session->cache_size(), 1u);
+
+  // The refreshed query is a cache HIT and matches a fresh engine run
+  // over the appended table.
+  CSM_ASSERT_OK(session->Submit(workflow).status());
+  CSM_ASSERT_OK_AND_ASSIGN(std::vector<EvalOutput> outs,
+                           session->RunPending(fact));
+  EXPECT_EQ(session->last_report().cache_hits, 1u);
+  CSM_ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine,
+                           MakeEngine(EngineKind::kSortScan, {}));
+  CSM_ASSERT_OK_AND_ASSIGN(EvalOutput fresh,
+                           testing_util::RunWith(*engine, workflow, fact));
+  for (const auto& [name, table] : fresh.tables) {
+    const MeasureTable* got = outs[0].FindTable(name);
+    ASSERT_TRUE(got != nullptr) << name;
+    ExpectTablesEqual(*got, table, name);
+  }
+}
+
+TEST(IncrementalSessionTest, WithoutDeltaPatchingEntriesDrop) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow workflow = ParseOrDie(schema, kOrderFreeWorkflow);
+  FactTable full = MakeUniformFacts(schema, 300, 24, /*seed=*/43);
+  FactTable fact = Slice(full, 0, 200);
+  const FactTable delta = Slice(full, 200, 300);
+
+  SessionOptions options;
+  options.cache_capacity = 4;  // delta_patching stays off
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<QuerySession> session,
+      QuerySession::Create(EngineKind::kSortScan, options));
+  CSM_ASSERT_OK(session->Submit(workflow).status());
+  CSM_ASSERT_OK(session->RunPending(fact).status());
+  ASSERT_EQ(session->cache_size(), 1u);
+
+  CSM_ASSERT_OK_AND_ASSIGN(SessionAppendReport report,
+                           session->AppendAndRefresh(fact, delta));
+  EXPECT_EQ(report.patched_queries, 0u);
+  EXPECT_EQ(report.dropped_queries, 1u);
+  EXPECT_EQ(session->cache_size(), 0u);
+
+  // The next run is a miss, evaluated over the appended table.
+  CSM_ASSERT_OK(session->Submit(workflow).status());
+  CSM_ASSERT_OK(session->RunPending(fact).status());
+  EXPECT_EQ(session->last_report().cache_misses, 1u);
+}
+
+// --- Concurrency: appends are atomic w.r.t. queries (TSan cell) -------
+
+TEST(IncrementalConcurrencyTest, QueriesSeePreOrPostAppendNeverTorn) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  // bytes == 7 on every row, so in ANY consistent snapshot each region
+  // satisfies Traffic == 7 * Cnt and the global row count is one of the
+  // batch boundaries. A torn read (query overlapping an append) breaks
+  // one of the two invariants.
+  constexpr char kInvariant[] = R"(
+    measure Cnt at (t:day) = agg count(*) from FACT;
+    measure Traffic at (t:day) = agg sum(bytes) from FACT;)";
+  Workflow workflow = ParseOrDie(schema, kInvariant);
+
+  const size_t kBase = 400, kBatch = 100, kAppends = 4;
+  auto make_rows = [&](size_t rows, uint64_t seed) {
+    Rng rng(seed);
+    FactTable out(schema);
+    out.Reserve(rows);
+    std::vector<Value> dims(schema->num_dims());
+    const double bytes = 7.0;
+    for (size_t row = 0; row < rows; ++row) {
+      for (int i = 0; i < schema->num_dims(); ++i) {
+        dims[i] = rng.Uniform(24);
+      }
+      out.AppendRow(dims.data(), &bytes);
+    }
+    return out;
+  };
+  FactTable fact = make_rows(kBase, 51);
+  std::set<size_t> valid_totals;
+  for (size_t i = 0; i <= kAppends; ++i) {
+    valid_totals.insert(kBase + i * kBatch);
+  }
+
+  SessionOptions options;
+  options.cache_capacity = 4;
+  options.delta_patching = true;
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<QuerySession> session,
+      QuerySession::Create(EngineKind::kSortScan, options));
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  auto check = [&](const EvalOutput& out) {
+    const MeasureTable* cnt = out.FindTable("Cnt");
+    const MeasureTable* traffic = out.FindTable("Traffic");
+    if (cnt == nullptr || traffic == nullptr) {
+      ++failures;
+      return;
+    }
+    auto mc = ToMap(*cnt);
+    auto mt = ToMap(*traffic);
+    double total = 0;
+    for (const auto& [key, c] : mc) {
+      auto it = mt.find(key);
+      if (it == mt.end() || it->second != 7.0 * c) ++failures;
+      total += c;
+    }
+    if (valid_totals.count(static_cast<size_t>(total)) == 0) ++failures;
+  };
+
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < 3; ++t) {
+    queriers.emplace_back([&]() {
+      while (!done.load(std::memory_order_acquire)) {
+        auto submit = session->Submit(workflow);
+        if (!submit.ok()) {
+          ++failures;
+          break;
+        }
+        auto outs = session->RunPending(fact);
+        if (!outs.ok()) {
+          ++failures;
+          break;
+        }
+        for (const EvalOutput& out : *outs) check(out);
+      }
+    });
+  }
+  for (size_t i = 0; i < kAppends; ++i) {
+    // Give the query threads a chance to overlap each append window.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const FactTable delta = make_rows(kBatch, 60 + i);
+    auto report = session->AppendAndRefresh(fact, delta);
+    CSM_EXPECT_OK(report.status());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : queriers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fact.num_rows(), kBase + kAppends * kBatch);
+
+  // Drain: one last query sees the final state.
+  CSM_ASSERT_OK(session->Submit(workflow).status());
+  CSM_ASSERT_OK_AND_ASSIGN(std::vector<EvalOutput> outs,
+                           session->RunPending(fact));
+  for (const EvalOutput& out : outs) check(out);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace csm
