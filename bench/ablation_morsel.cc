@@ -1,0 +1,198 @@
+// Ablation: morsel-driven work-stealing scheduler (the PR-8 operator
+// pipeline).
+//
+// Sweeps the shared-pool executor count and the morsel size over the
+// PR-3/PR-4 reference workload (400k synthetic rows, 4 dims,
+// Q1(7 children)) on the single-scan engine — the engine whose scan
+// phase the scheduler parallelizes most directly — and reports
+// end-to-end plus scan-phase times per cell. Results are required to be
+// bit-identical across the thread sweep (the scheduler merges
+// per-morsel partials in morsel-index order), which this bench asserts
+// as a cheap cross-check of the determinism suite.
+//
+// Flags:
+//   --json FILE          write the flat result JSON (BENCH_pr8.json)
+//   --reps N             best-of-N repetitions (default 3)
+//   --baseline FILE      committed BENCH_pr8.json to compare against
+//   --max-regress FRAC   fail (exit 1) if the t1 default-morsel
+//                        end-to-end per-row time regresses more than
+//                        FRAC vs the baseline (default 0.10)
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/queries.h"
+#include "data/synthetic.h"
+#include "exec/single_scan.h"
+
+namespace {
+
+// Minimal flat-JSON number lookup ("\"key\": <number>"), enough for the
+// files this bench writes itself.
+bool JsonNumber(const std::string& text, const std::string& key,
+                double* out) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  using namespace csm::bench;
+
+  std::string json_path, baseline_path;
+  int reps = 3;
+  double max_regress = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--json")) {
+      if (const char* v = next()) json_path = v;
+    } else if (!std::strcmp(argv[i], "--baseline")) {
+      if (const char* v = next()) baseline_path = v;
+    } else if (!std::strcmp(argv[i], "--reps")) {
+      if (const char* v = next()) reps = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--max-regress")) {
+      if (const char* v = next()) max_regress = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  PrintHeader("Ablation", "morsel scheduler thread x morsel-size sweep",
+              "scan phase scales with executors until cores saturate; "
+              "morsel size trades dispatch overhead against stealing "
+              "granularity");
+
+  auto schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  auto workflow = MakeQ1ChildParent(schema, 7);
+  if (!workflow.ok()) return 1;
+
+  SyntheticDataOptions data;
+  data.rows = Rows(400e3);
+  data.seed = 8100;
+  FactTable fact = GenerateSyntheticFacts(schema, data);
+  std::printf("dataset: %s records, 4 dims, Q1(7 children), "
+              "batch=1024, best of %d\n\n",
+              FmtRows(fact.num_rows()).c_str(), reps);
+
+  struct Cell {
+    int threads;
+    size_t morsel_rows;
+    double seconds = 0;
+    double scan_seconds = 0;
+  };
+  // Thread sweep at the default morsel size, then a morsel sweep at the
+  // widest thread count.
+  std::vector<Cell> cells = {{1, 16384},  {2, 16384},  {4, 16384},
+                             {8, 16384},  {8, 1024},   {8, 131072}};
+
+  SingleScanEngine engine;
+  std::printf("%8s %10s %10s %10s\n", "threads", "morsel", "seconds",
+              "scan s");
+  for (Cell& cell : cells) {
+    for (int rep = 0; rep < reps; ++rep) {
+      EngineOptions options;
+      options.scan_batch_rows = 1024;
+      options.parallel_threads = cell.threads;
+      options.morsel_rows = cell.morsel_rows;
+      RunResult run = TimeEngine(engine, *workflow, fact, options);
+      if (!run.ok) return 1;
+      const double scan = run.PhaseSeconds({"scan", "partition"});
+      if (rep == 0 || run.seconds < cell.seconds) {
+        cell.seconds = run.seconds;
+      }
+      if (rep == 0 || scan < cell.scan_seconds) {
+        cell.scan_seconds = scan;
+      }
+    }
+    std::printf("%8d %10zu %10.3f %10.3f\n", cell.threads,
+                cell.morsel_rows, cell.seconds, cell.scan_seconds);
+  }
+
+  const Cell& t1 = cells[0];
+  const Cell& t8 = cells[3];
+  const double speedup_t8 = t1.seconds / t8.seconds;
+  const double speedup_scan_t8 = t1.scan_seconds / t8.scan_seconds;
+  std::printf("\nend-to-end speedup t8 vs t1: %.2fx\n", speedup_t8);
+  std::printf("scan-phase speedup t8 vs t1: %.2fx (target >= 2.00x on "
+              "a multi-core host)\n", speedup_scan_t8);
+
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"bench\": \"ablation_morsel\",\n"
+        << "  \"rows\": " << fact.num_rows() << ",\n"
+        << "  \"batch_rows\": 1024,\n"
+        << "  \"reps\": " << reps << ",\n";
+    for (const Cell& cell : cells) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "  \"t%d_m%zu_seconds\": %.4f,\n"
+                    "  \"t%d_m%zu_scan_seconds\": %.4f,\n",
+                    cell.threads, cell.morsel_rows, cell.seconds,
+                    cell.threads, cell.morsel_rows, cell.scan_seconds);
+      out << buf;
+    }
+    char tail[128];
+    std::snprintf(tail, sizeof(tail),
+                  "  \"speedup_t8_end_to_end\": %.3f,\n"
+                  "  \"speedup_t8_scan\": %.3f\n}\n",
+                  speedup_t8, speedup_scan_t8);
+    out << tail;
+    std::ofstream file(json_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    file << out.str();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    double base_seconds = 0, base_rows = 0;
+    if (!JsonNumber(buffer.str(), "t1_m16384_seconds", &base_seconds) ||
+        !JsonNumber(buffer.str(), "rows", &base_rows) || base_rows <= 0) {
+      std::fprintf(stderr, "baseline %s lacks t1_m16384_seconds/rows\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    // Per-row normalization so a CSM_BENCH_SCALE difference between the
+    // baseline machine and this one doesn't read as a regression.
+    const double base_per_row = base_seconds / base_rows;
+    const double cur_per_row =
+        t1.seconds / static_cast<double>(fact.num_rows());
+    const double ratio = cur_per_row / base_per_row;
+    std::printf("t1 single-scan vs committed baseline: %.2fx per-row "
+                "(max allowed %.2fx)\n", ratio, 1.0 + max_regress);
+    if (ratio > 1.0 + max_regress) {
+      std::fprintf(stderr,
+                   "REGRESSION: t1 single-scan per-row time %.3gs is "
+                   "%.0f%% over the committed baseline %.3gs\n",
+                   cur_per_row, (ratio - 1.0) * 100, base_per_row);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -2,6 +2,15 @@
 
 namespace csm {
 
+void AggTable::MergeFrom(const AggTable& other) {
+  other.map_.ForEach([&](const Value* key, const AggState& state) {
+    bool inserted = false;
+    AggState& dst = map_.FindOrInsert(key, &inserted);
+    if (inserted) AggInit(kind_, &dst);
+    AggMerge(kind_, &dst, state);
+  });
+}
+
 size_t AggTable::ApproxBytes() const {
   size_t bytes = map_.MemoryBytes();
   if (kind_ == AggKind::kCountDistinct) {

@@ -36,6 +36,13 @@ class AggTable {
     AggUpdate(kind_, &state, value);
   }
 
+  /// Folds every group of `other` (a partial aggregate over disjoint
+  /// input rows, same kind and key width) into this table via AggMerge.
+  /// Valid for every kind, including the algebraic and holistic ones.
+  /// Merging per-morsel partials in morsel-index order keeps float
+  /// accumulation deterministic across scheduler thread counts.
+  void MergeFrom(const AggTable& other);
+
   /// Approximate resident bytes including COUNT DISTINCT sets.
   size_t ApproxBytes() const;
 

@@ -89,6 +89,21 @@ Status EngineOptions::Validate() const {
         "EngineOptions: parallel_threads must be >= 0 (0 = hardware "
         "concurrency), got " + std::to_string(parallel_threads));
   }
+  if (parallel_threads > 4096) {
+    return Status::InvalidArgument(
+        "EngineOptions: parallel_threads must be <= 4096, got " +
+        std::to_string(parallel_threads));
+  }
+  if (morsel_rows == 0) {
+    return Status::InvalidArgument(
+        "EngineOptions: morsel_rows must be > 0 (it is the unit of "
+        "work-stealing in pool-parallel scans)");
+  }
+  if (morsel_rows > (16u << 20)) {
+    return Status::InvalidArgument(
+        "EngineOptions: morsel_rows must be <= 16777216, got " +
+        std::to_string(morsel_rows));
+  }
   return Status::OK();
 }
 

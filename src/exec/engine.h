@@ -100,16 +100,28 @@ struct EngineOptions {
   /// other batch-boundary-hostile values against the default).
   size_t scan_batch_rows = 1024;
 
-  /// ParallelSortScanEngine: worker threads (0 = hardware concurrency).
+  /// Executor cap for every pool-parallel stage: morsel scans, the
+  /// external sort, and ParallelSortScanEngine shards (0 = hardware
+  /// concurrency). Executors come from the shared scheduler pool, so
+  /// this bounds concurrency without spawning threads per run.
   int parallel_threads = 0;
+
+  /// Rows per work-stealing morsel in pool-parallel scans. Results are
+  /// bit-identical for every thread count and morsel size (partials
+  /// merge in morsel index order); the knob only trades scheduling
+  /// overhead against steal granularity. See bench/ablation_morsel.
+  size_t morsel_rows = 16384;
 
   /// Rejects option combinations the engines would otherwise silently
   /// misbehave on: a zero memory budget (external sort run sizing and
   /// multi-pass planning divide by it), scan_batch_rows == 0 (the batch
-  /// pipeline would spin on empty batches), and negative
-  /// parallel_threads (0 means hardware concurrency; negatives mean
-  /// nothing). MakeEngine validates at construction time; call this
-  /// directly when building an ExecContext by hand.
+  /// pipeline would spin on empty batches), negative parallel_threads
+  /// (0 means hardware concurrency; negatives mean nothing) or more
+  /// than 4096 of them (far beyond any real pool, so certainly a bug),
+  /// and morsel_rows outside [1, 16M] (0 would spin; beyond 16M no
+  /// dataset splits into enough morsels to parallelize). MakeEngine
+  /// validates at construction time; call this directly when building
+  /// an ExecContext by hand.
   Status Validate() const;
 };
 

@@ -1,7 +1,10 @@
 #include "exec/multi_pass.h"
 
 #include <map>
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "algebra/measure_ops.h"
 #include "common/logging.h"
@@ -18,53 +21,220 @@ namespace {
 /// budget into the planner's entry budget.
 constexpr double kBytesPerEntry = 96.0;
 
-}  // namespace
-
-Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
-                                        const FactTable& fact,
-                                        ExecContext& ctx) {
-  RunScope rs(ctx, name());
-  Tracer& tracer = rs.tracer();
-  EvalOutput out;
-  const Schema& schema = *workflow.schema();
-
-  ScopedSpan plan_span(&tracer, "plan", rs.root());
-  const double entry_budget =
-      static_cast<double>(ctx.options.memory_budget_bytes) / kBytesPerEntry;
-  CSM_ASSIGN_OR_RETURN(PassPlan plan, PlanPasses(workflow, entry_budget));
-  plan_span.End();
-  tracer.AddCounter(rs.root(), "passes",
-                    static_cast<double>(plan.passes.size()));
-
-  // Region enumerators needed by post-pass match joins must be produced by
-  // some pass; attach them to the first pass.
+/// Cross-operator state of one multi-pass run: the measure tables
+/// materialized by the pass stages (consumed by the post-combine stage)
+/// plus bookkeeping the final stage reports.
+struct MultiPassState {
+  // Deferred (post-pass) measure indices into the workflow.
+  std::vector<int> post_pass_indices;
+  size_t planned_passes = 0;
+  // Region enumerator table names for deferred match joins, by gran.
   std::map<std::vector<int>, std::string> post_enum_names;
-  for (int idx : plan.post_pass_indices) {
-    const MeasureDef& def = workflow.measures()[idx];
-    if (def.op != MeasureOp::kMatch) continue;
-    if (!post_enum_names.count(def.gran.levels())) {
-      post_enum_names[def.gran.levels()] =
-          "__regions" + def.gran.ToString(schema);
-    }
-  }
+  // By lower-cased measure name.
+  std::map<std::string, MeasureTable> materialized;
+  std::string sort_key_label;  // "key1 | key2 | ..." across passes
 
-  std::map<std::string, MeasureTable> materialized;  // by lower-cased name
-  auto store = [&](MeasureTable table) {
-    materialized.insert_or_assign(ToLower(table.name()), std::move(table));
-  };
-  auto load = [&](const std::string& name) -> Result<const MeasureTable*> {
+  void Store(MeasureTable table) {
+    materialized.insert_or_assign(ToLower(table.name()),
+                                  std::move(table));
+  }
+  Result<const MeasureTable*> Load(const std::string& name) const {
     auto it = materialized.find(ToLower(name));
     if (it == materialized.end()) {
       return Status::Internal("measure '" + name + "' not materialized");
     }
     return &it->second;
-  };
+  }
+};
 
-  // ---- Run the Sort/Scan iterations.
-  std::string sort_key_label;
+/// One Sort/Scan iteration: runs the pass's sub-workflow (with its own
+/// sort order) as a nested sort/scan plan under a "pass" span and stores
+/// every result table for downstream stages.
+class PassOp : public PhysicalOp {
+ public:
+  PassOp(std::shared_ptr<MultiPassState> state, Workflow sub,
+         SortKey sort_key)
+      : state_(std::move(state)),
+        sub_(std::move(sub)),
+        sort_key_(std::move(sort_key)) {}
+
+  std::string_view name() const override { return "pass"; }
+
+  std::string Describe(const Schema& schema) const override {
+    return "sort/scan pass over " +
+           std::to_string(sub_.measures().size()) + " measure(s), order " +
+           (sort_key_.empty() ? std::string("(default)")
+                              : sort_key_.ToString(schema));
+  }
+
+  Status Run(PlanContext& ctx) override {
+    CSM_RETURN_NOT_OK(ctx.exec->CheckCancelled("multi-pass"));
+    Tracer& tracer = ctx.tracer();
+    ScopedSpan pass_span(&tracer, "pass", ctx.root());
+    ExecContext pass_ctx = ctx.scope->Child(pass_span.id());
+    pass_ctx.options.sort_key = sort_key_;
+    pass_ctx.options.include_hidden = true;
+    SortScanEngine engine;
+    CSM_ASSIGN_OR_RETURN(EvalOutput pass_out,
+                         engine.Run(sub_, *ctx.fact, pass_ctx));
+
+    if (!state_->sort_key_label.empty()) state_->sort_key_label += " | ";
+    state_->sort_key_label += pass_out.stats.sort_key;
+    for (auto& [name, table] : pass_out.tables) {
+      state_->Store(std::move(table));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MultiPassState> state_;
+  Workflow sub_;
+  SortKey sort_key_;
+};
+
+/// Combines cross-pass measures with traditional join strategies over the
+/// materialized pass outputs, then selects the requested output tables.
+class PostCombineOp : public PhysicalOp {
+ public:
+  explicit PostCombineOp(std::shared_ptr<MultiPassState> state)
+      : state_(std::move(state)) {}
+
+  std::string_view name() const override { return "combine"; }
+
+  std::string Describe(const Schema&) const override {
+    return "join " + std::to_string(state_->post_pass_indices.size()) +
+           " deferred measure(s) over pass outputs, select outputs";
+  }
+
+  Status Run(PlanContext& ctx) override {
+    CSM_RETURN_NOT_OK(ctx.exec->CheckCancelled("multi-pass combine"));
+    const Workflow& workflow = *ctx.workflow;
+    Tracer& tracer = ctx.tracer();
+    MultiPassState& state = *state_;
+    tracer.AddCounter(ctx.root(), "passes",
+                      static_cast<double>(state.planned_passes));
+
+    ScopedSpan combine_span(&tracer, "combine", ctx.root());
+    for (int idx : state.post_pass_indices) {
+      const MeasureDef& def = workflow.measures()[idx];
+      switch (def.op) {
+        case MeasureOp::kBaseAgg:
+          return Status::Internal("base measures are never deferred");
+        case MeasureOp::kRollup: {
+          CSM_ASSIGN_OR_RETURN(const MeasureTable* input,
+                               state.Load(def.input));
+          const MeasureTable* source = input;
+          MeasureTable filtered(workflow.schema(), input->granularity(),
+                                input->name());
+          if (def.where != nullptr) {
+            CSM_ASSIGN_OR_RETURN(
+                filtered, FilterMeasure(*input, *def.where, nullptr,
+                                        input->name()));
+            source = &filtered;
+          }
+          AggSpec agg = def.agg;
+          if (agg.arg > 0) agg.arg = 0;
+          CSM_ASSIGN_OR_RETURN(
+              MeasureTable result,
+              HashRollup(*source, def.gran, agg, def.name));
+          state.Store(std::move(result));
+          break;
+        }
+        case MeasureOp::kMatch: {
+          CSM_ASSIGN_OR_RETURN(
+              const MeasureTable* regions,
+              state.Load(state.post_enum_names.at(def.gran.levels())));
+          CSM_ASSIGN_OR_RETURN(const MeasureTable* input,
+                               state.Load(def.input));
+          const MeasureTable* target = input;
+          MeasureTable filtered(workflow.schema(), input->granularity(),
+                                input->name());
+          if (def.where != nullptr) {
+            CSM_ASSIGN_OR_RETURN(
+                filtered, FilterMeasure(*input, *def.where, nullptr,
+                                        input->name()));
+            target = &filtered;
+          }
+          AggSpec agg = def.agg;
+          if (agg.arg > 0) agg.arg = 0;
+          CSM_ASSIGN_OR_RETURN(
+              MeasureTable result,
+              HashMatchJoin(*regions, *target, def.match, agg, def.name));
+          state.Store(std::move(result));
+          break;
+        }
+        case MeasureOp::kCombine: {
+          std::vector<const MeasureTable*> inputs;
+          for (const std::string& name : def.combine_inputs) {
+            CSM_ASSIGN_OR_RETURN(const MeasureTable* table,
+                                 state.Load(name));
+            inputs.push_back(table);
+          }
+          CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                               HashCombine(inputs, *def.fc, def.name));
+          state.Store(std::move(result));
+          break;
+        }
+      }
+      auto it = state.materialized.find(ToLower(def.name));
+      if (it != state.materialized.end()) {
+        tracer.SetGaugeMax(combine_span.id(),
+                           "hash_entries_hw/" + def.name,
+                           static_cast<double>(it->second.num_rows()));
+      }
+    }
+    combine_span.End();
+
+    // ---- Select the requested outputs.
+    for (const MeasureDef& def : workflow.measures()) {
+      if (!def.is_output && !ctx.exec->options.include_hidden) continue;
+      auto it = state.materialized.find(ToLower(def.name));
+      CSM_CHECK(it != state.materialized.end());
+      ctx.out->tables.emplace(def.name, std::move(it->second));
+      state.materialized.erase(it);
+    }
+    tracer.SetAttr(ctx.root(), "sort_key", state.sort_key_label);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MultiPassState> state_;
+};
+
+}  // namespace
+
+Result<PhysicalPlan> BuildMultiPassPlan(const Workflow& workflow,
+                                        const EngineOptions& options) {
+  const Schema& schema = *workflow.schema();
+  const double entry_budget =
+      static_cast<double>(options.memory_budget_bytes) / kBytesPerEntry;
+  CSM_ASSIGN_OR_RETURN(PassPlan pass_plan,
+                       PlanPasses(workflow, entry_budget));
+
+  auto state = std::make_shared<MultiPassState>();
+  state->post_pass_indices = pass_plan.post_pass_indices;
+  state->planned_passes = pass_plan.passes.size();
+
+  // Region enumerators needed by post-pass match joins must be produced
+  // by some pass; attach them to the first pass.
+  for (int idx : pass_plan.post_pass_indices) {
+    const MeasureDef& def = workflow.measures()[idx];
+    if (def.op != MeasureOp::kMatch) continue;
+    if (!state->post_enum_names.count(def.gran.levels())) {
+      state->post_enum_names[def.gran.levels()] =
+          "__regions" + def.gran.ToString(schema);
+    }
+  }
+
+  PhysicalPlan plan;
+  plan.engine = "multi-pass";
+  plan.morsel_rows = options.morsel_rows;
+  plan.scan_batch_rows = options.scan_batch_rows;
+  plan.threads = options.parallel_threads;
+  plan.engine_state = state;
+
   bool first_pass = true;
-  for (const PassPlan::Pass& pass : plan.passes) {
-    CSM_RETURN_NOT_OK(ctx.CheckCancelled("multi-pass"));
+  for (const PassPlan::Pass& pass : pass_plan.passes) {
     Workflow sub(workflow.schema());
     for (int idx : pass.measure_indices) {
       MeasureDef def = workflow.measures()[idx];
@@ -72,7 +242,7 @@ Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
       CSM_RETURN_NOT_OK(sub.AddMeasure(std::move(def)));
     }
     if (first_pass) {
-      for (const auto& [levels, name] : post_enum_names) {
+      for (const auto& [levels, name] : state->post_enum_names) {
         MeasureDef enum_def;
         enum_def.name = name;
         enum_def.gran = Granularity(levels);
@@ -83,104 +253,19 @@ Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
       first_pass = false;
     }
     if (sub.measures().empty()) continue;
-
-    ScopedSpan pass_span(&tracer, "pass", rs.root());
-    ExecContext pass_ctx = rs.Child(pass_span.id());
-    pass_ctx.options.sort_key = pass.sort_key;
-    pass_ctx.options.include_hidden = true;
-    SortScanEngine engine;
-    CSM_ASSIGN_OR_RETURN(EvalOutput pass_out,
-                         engine.Run(sub, fact, pass_ctx));
-
-    if (!sort_key_label.empty()) sort_key_label += " | ";
-    sort_key_label += pass_out.stats.sort_key;
-
-    for (auto& [name, table] : pass_out.tables) store(std::move(table));
+    plan.ops.push_back(
+        std::make_unique<PassOp>(state, std::move(sub), pass.sort_key));
   }
+  plan.ops.push_back(std::make_unique<PostCombineOp>(state));
+  return plan;
+}
 
-  CSM_RETURN_NOT_OK(ctx.CheckCancelled("multi-pass combine"));
-
-  // ---- Combine cross-pass measures with traditional join strategies.
-  ScopedSpan combine_span(&tracer, "combine", rs.root());
-  for (int idx : plan.post_pass_indices) {
-    const MeasureDef& def = workflow.measures()[idx];
-    MeasureTable* stored = nullptr;
-    switch (def.op) {
-      case MeasureOp::kBaseAgg:
-        return Status::Internal("base measures are never deferred");
-      case MeasureOp::kRollup: {
-        CSM_ASSIGN_OR_RETURN(const MeasureTable* input, load(def.input));
-        const MeasureTable* source = input;
-        MeasureTable filtered(workflow.schema(), input->granularity(),
-                              input->name());
-        if (def.where != nullptr) {
-          CSM_ASSIGN_OR_RETURN(filtered,
-                               FilterMeasure(*input, *def.where, nullptr,
-                                             input->name()));
-          source = &filtered;
-        }
-        AggSpec agg = def.agg;
-        if (agg.arg > 0) agg.arg = 0;
-        CSM_ASSIGN_OR_RETURN(MeasureTable result,
-                             HashRollup(*source, def.gran, agg, def.name));
-        store(std::move(result));
-        break;
-      }
-      case MeasureOp::kMatch: {
-        CSM_ASSIGN_OR_RETURN(
-            const MeasureTable* regions,
-            load(post_enum_names.at(def.gran.levels())));
-        CSM_ASSIGN_OR_RETURN(const MeasureTable* input, load(def.input));
-        const MeasureTable* target = input;
-        MeasureTable filtered(workflow.schema(), input->granularity(),
-                              input->name());
-        if (def.where != nullptr) {
-          CSM_ASSIGN_OR_RETURN(filtered,
-                               FilterMeasure(*input, *def.where, nullptr,
-                                             input->name()));
-          target = &filtered;
-        }
-        AggSpec agg = def.agg;
-        if (agg.arg > 0) agg.arg = 0;
-        CSM_ASSIGN_OR_RETURN(
-            MeasureTable result,
-            HashMatchJoin(*regions, *target, def.match, agg, def.name));
-        store(std::move(result));
-        break;
-      }
-      case MeasureOp::kCombine: {
-        std::vector<const MeasureTable*> inputs;
-        for (const std::string& name : def.combine_inputs) {
-          CSM_ASSIGN_OR_RETURN(const MeasureTable* table, load(name));
-          inputs.push_back(table);
-        }
-        CSM_ASSIGN_OR_RETURN(MeasureTable result,
-                             HashCombine(inputs, *def.fc, def.name));
-        store(std::move(result));
-        break;
-      }
-    }
-    auto it = materialized.find(ToLower(def.name));
-    stored = it != materialized.end() ? &it->second : nullptr;
-    if (stored != nullptr) {
-      tracer.SetGaugeMax(combine_span.id(),
-                         "hash_entries_hw/" + def.name,
-                         static_cast<double>(stored->num_rows()));
-    }
-  }
-  combine_span.End();
-
-  // ---- Select the requested outputs.
-  for (const MeasureDef& def : workflow.measures()) {
-    if (!def.is_output && !ctx.options.include_hidden) continue;
-    auto it = materialized.find(ToLower(def.name));
-    CSM_CHECK(it != materialized.end());
-    out.tables.emplace(def.name, std::move(it->second));
-    materialized.erase(it);
-  }
-  tracer.SetAttr(rs.root(), "sort_key", sort_key_label);
-  out.stats = rs.Finish();
-  return out;
+Result<EvalOutput> MultiPassEngine::Run(const Workflow& workflow,
+                                        const FactTable& fact,
+                                        ExecContext& ctx) {
+  CSM_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       BuildMultiPassPlan(workflow, ctx.options));
+  return plan.Execute(workflow, fact, ctx);
 }
 
 }  // namespace csm

@@ -2,6 +2,7 @@
 #define CSM_EXEC_MULTI_PASS_H_
 
 #include "exec/engine.h"
+#include "exec/op/physical_plan.h"
 
 namespace csm {
 
@@ -25,6 +26,15 @@ class MultiPassEngine : public Engine {
   Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
                          ExecContext& ctx) override;
 };
+
+/// Lowers a workflow into the multi-pass pipeline: the greedy pass
+/// planner runs here (at lowering time), producing one pass operator per
+/// Sort/Scan iteration — each a nested sort/scan plan over that pass's
+/// sub-workflow — followed by a post-combine operator that joins deferred
+/// measures across the materialized pass outputs. Fails when the pass
+/// planner rejects the workflow/budget combination.
+Result<PhysicalPlan> BuildMultiPassPlan(const Workflow& workflow,
+                                        const EngineOptions& options);
 
 }  // namespace csm
 

@@ -1,0 +1,245 @@
+#include "exec/op/aggregate_op.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algebra/evaluator.h"
+#include "common/logging.h"
+#include "exec/op/generalize_op.h"
+
+namespace csm {
+
+namespace {
+
+/// One hash table maintained during the scan: either a user-declared
+/// basic measure or the implicit region enumerator (S_base) of a match
+/// join.
+struct BaseJob {
+  std::string table_name;
+  Granularity gran;
+  AggSpec agg;
+  BoundExpr where;  // empty => no filter
+  bool has_where = false;
+  int pass = -1;  // GranularitySweep pass of this job's granularity
+  AggTable states;
+};
+
+/// Per-executor scan scratch, created lazily on the executor's first
+/// morsel so allocation and the worker span land on the right thread.
+struct ExecutorScratch {
+  std::unique_ptr<RecordBatch> batch;
+  std::optional<GranularitySweep::Columns> cols;
+  std::vector<double> slots;
+  // Private copies of the jobs' filter expressions: BoundExpr::Eval uses
+  // an internal mutable stack, so a shared instance evaluated from
+  // several executors at once silently corrupts predicate results.
+  std::vector<BoundExpr> where;
+  RegionKey key;
+  SpanId span = kNoSpan;
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+};
+
+}  // namespace
+
+std::string AggregateOp::Describe(const Schema&) const {
+  return "accumulate " + std::to_string(num_tables_) +
+         " agg table(s); morsel work-stealing scan, merged in morsel "
+         "order";
+}
+
+Status AggregateOp::Run(PlanContext& ctx) {
+  CSM_CHECK(ctx.fact != nullptr)
+      << "the aggregate stage scans an in-memory fact table";
+  CSM_CHECK(ctx.generalize != nullptr)
+      << "plan is missing the generalize stage";
+  const Workflow& workflow = *ctx.workflow;
+  const Schema& schema = *workflow.schema();
+  const FactTable& fact = *ctx.fact;
+  const int d = schema.num_dims();
+  const int m = schema.num_measures();
+  const EngineOptions& options = ctx.exec->options;
+  Tracer& tracer = ctx.tracer();
+
+  // The scan span also covers job planning: for this stage "scan" is the
+  // whole streaming phase, and there is no sort to attribute setup to.
+  ScopedSpan scan_span(&tracer, "scan", ctx.root());
+
+  // ---- Plan: collect every hash table the scan must maintain.
+  std::vector<BaseJob> jobs;
+  std::map<std::vector<int>, size_t> enumerator_by_gran;
+  const GranularitySweep& sweep = ctx.generalize->spec();
+  const auto fact_vars = FactRowVars(schema);
+  for (const MeasureDef& def : workflow.measures()) {
+    if (def.op == MeasureOp::kBaseAgg) {
+      BaseJob job;
+      job.table_name = def.name;
+      job.gran = def.gran;
+      job.agg = def.agg;
+      job.states = AggTable(def.agg.kind, d);
+      if (def.where != nullptr) {
+        CSM_ASSIGN_OR_RETURN(job.where,
+                             BoundExpr::Bind(*def.where, fact_vars));
+        job.has_where = true;
+      }
+      jobs.push_back(std::move(job));
+    } else if (def.op == MeasureOp::kMatch) {
+      auto key = def.gran.levels();
+      if (enumerator_by_gran.find(key) == enumerator_by_gran.end()) {
+        BaseJob job;
+        job.table_name = "__regions" + def.gran.ToString(schema);
+        job.gran = def.gran;
+        job.agg = AggSpec{AggKind::kNone, -1};
+        job.states = AggTable(AggKind::kNone, d);
+        enumerator_by_gran[key] = jobs.size();
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  for (BaseJob& job : jobs) {
+    job.pass = sweep.PassOf(job.gran);
+    CSM_CHECK(job.pass >= 0) << "granularity missing from the sweep spec";
+  }
+
+  // ---- The single scan (no sort): the row space is cut into fixed-size
+  // morsels, executors of the shared pool work-steal them, and each
+  // morsel fills private partial tables over columnar sub-batches.
+  const size_t batch_cap = std::max<size_t>(1, options.scan_batch_rows);
+  const size_t morsel_rows = std::max<size_t>(1, options.morsel_rows);
+  const size_t total_rows = fact.num_rows();
+  const size_t num_morsels =
+      total_rows == 0 ? 0 : (total_rows + morsel_rows - 1) / morsel_rows;
+
+  std::vector<std::vector<AggTable>> partials(num_morsels);
+  std::vector<ExecutorScratch> scratch(ctx.pool->workers() + 1);
+
+  auto body = [&](size_t morsel, size_t begin, size_t end,
+                  int executor) -> Status {
+    ExecutorScratch& s = scratch[executor];
+    if (s.batch == nullptr) {
+      s.batch = std::make_unique<RecordBatch>(d, m, batch_cap);
+      s.cols.emplace(sweep.MakeColumns(batch_cap));
+      s.slots.resize(d + m);
+      s.key.resize(d);
+      s.where.reserve(jobs.size());
+      for (const BaseJob& job : jobs) s.where.push_back(job.where);
+      s.span = tracer.BeginSpan("worker", scan_span.id());
+    }
+    std::vector<AggTable>& part = partials[morsel];
+    part.reserve(jobs.size());
+    for (const BaseJob& job : jobs) {
+      part.emplace_back(job.agg.kind, d);
+    }
+    RecordBatch& batch = *s.batch;
+    for (size_t at = begin; at < end; at += batch_cap) {
+      const size_t n = std::min(batch_cap, end - at);
+      for (size_t r = 0; r < n; ++r) {
+        batch.ScatterRow(r, fact.dim_row(at + r),
+                         fact.measure_row(at + r));
+      }
+      batch.set_num_rows(n);
+      s.cols->Apply(batch, n);
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        const BaseJob& job = jobs[j];
+        const double* arg_col =
+            job.agg.arg >= 0 ? batch.measure_col(job.agg.arg) : nullptr;
+        AggTable& table = part[j];
+        for (size_t r = 0; r < n; ++r) {
+          if (job.has_where) {
+            for (int i = 0; i < d; ++i) {
+              s.slots[i] = static_cast<double>(batch.dim_col(i)[r]);
+            }
+            for (int i = 0; i < m; ++i) {
+              s.slots[d + i] = batch.measure_col(i)[r];
+            }
+            if (!s.where[j].EvalBool(s.slots.data())) continue;
+          }
+          for (int i = 0; i < d; ++i) {
+            s.key[i] = s.cols->col(job.pass, i)[r];
+          }
+          table.Update(s.key.data(),
+                       arg_col != nullptr ? arg_col[r] : 1.0);
+        }
+      }
+      ++s.batches;
+      s.rows += n;
+    }
+    return Status::OK();
+  };
+
+  MorselStats mstats;
+  const Status scan_status =
+      ParallelMorsels(*ctx.pool, total_rows, morsel_rows,
+                      options.parallel_threads, ctx.exec->cancel, body,
+                      &mstats);
+
+  uint64_t batches = 0;
+  for (ExecutorScratch& s : scratch) {
+    if (s.batch == nullptr) continue;
+    batches += s.batches;
+    // Named "rows", not "rows_scanned": ExecStats sums rows_scanned over
+    // the whole span subtree and the scan span already totals it.
+    tracer.AddCounter(s.span, "rows", static_cast<double>(s.rows));
+    tracer.AddCounter(s.span, "batches", static_cast<double>(s.batches));
+    tracer.EndSpan(s.span);
+  }
+  CSM_RETURN_NOT_OK(scan_status);
+
+  // ---- Deterministic merge: fold the partial tables into the job
+  // tables in morsel index order. Morsel boundaries are a pure function
+  // of (rows, morsel_rows), so the accumulation order — and the floating
+  // point result — is identical for every executor count.
+  for (size_t mi = 0; mi < num_morsels; ++mi) {
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      jobs[j].states.MergeFrom(partials[mi][j]);
+    }
+    partials[mi].clear();
+    partials[mi].shrink_to_fit();
+  }
+
+  tracer.AddCounter(scan_span.id(), "rows_scanned",
+                    static_cast<double>(total_rows));
+  tracer.AddCounter(scan_span.id(), "batches",
+                    static_cast<double>(batches));
+  tracer.AddCounter(scan_span.id(), "adapter_batches", 0);
+  tracer.AddCounter(scan_span.id(), "morsels",
+                    static_cast<double>(mstats.morsels));
+  tracer.AddCounter(scan_span.id(), "steals",
+                    static_cast<double>(mstats.steals));
+  tracer.AddCounter(scan_span.id(), "pool_threads",
+                    static_cast<double>(mstats.pool_threads));
+  tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(batch_cap));
+  tracer.SetAttr(scan_span.id(), "morsel_rows",
+                 std::to_string(morsel_rows));
+
+  // Peak memory: all hash tables coexist at end of scan.
+  {
+    uint64_t peak_entries = 0;
+    uint64_t peak_bytes = 0;
+    for (const BaseJob& job : jobs) {
+      peak_entries += job.states.size();
+      peak_bytes += job.states.ApproxBytes();
+      tracer.SetGaugeMax(scan_span.id(),
+                         "hash_entries_hw/" + job.table_name,
+                         static_cast<double>(job.states.size()));
+    }
+    tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",
+                       static_cast<double>(peak_entries));
+    tracer.SetGaugeMax(scan_span.id(), "peak_hash_bytes",
+                       static_cast<double>(peak_bytes));
+  }
+
+  ctx.agg_results.clear();
+  ctx.agg_results.reserve(jobs.size());
+  for (BaseJob& job : jobs) {
+    ctx.agg_results.push_back(
+        AggResult{std::move(job.table_name), job.gran,
+                  std::move(job.states)});
+  }
+  return Status::OK();
+}
+
+}  // namespace csm

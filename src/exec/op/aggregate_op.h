@@ -1,0 +1,42 @@
+#ifndef CSM_EXEC_OP_AGGREGATE_OP_H_
+#define CSM_EXEC_OP_AGGREGATE_OP_H_
+
+#include <string>
+#include <string_view>
+
+#include "exec/op/op.h"
+
+namespace csm {
+
+/// The single-scan accumulate stage (paper §5.1): one aggregation hash
+/// table per basic measure (plus the implicit region enumerators of
+/// match joins), filled in one unsorted pass over the fact table.
+///
+/// The pass is morsel-parallel on the shared scheduler: the row space is
+/// cut into fixed `EngineOptions::morsel_rows` morsels, executors
+/// work-steal them, and every morsel accumulates into its own private
+/// partial tables. Partials are merged into the job tables *in morsel
+/// index order* with AggMerge — morsel boundaries depend only on the
+/// morsel size, never the executor count, so the result is bit-identical
+/// across thread counts (including 1, which runs the same path).
+///
+/// Accumulated (unfinalized) states land on PlanContext::agg_results;
+/// materialization and composite evaluation belong to EmitOp, mirroring
+/// the scan/combine phase split of the engine this stage replaced.
+class AggregateOp : public PhysicalOp {
+ public:
+  /// `num_tables` is the job count the lowering planned (basic measures
+  /// plus distinct enumerator granularities) — display only.
+  explicit AggregateOp(size_t num_tables = 0) : num_tables_(num_tables) {}
+
+  std::string_view name() const override { return "aggregate"; }
+  std::string Describe(const Schema& schema) const override;
+  Status Run(PlanContext& ctx) override;
+
+ private:
+  size_t num_tables_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_AGGREGATE_OP_H_

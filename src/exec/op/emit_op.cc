@@ -1,0 +1,140 @@
+#include "exec/op/emit_op.h"
+
+#include <map>
+
+#include "algebra/evaluator.h"
+#include "algebra/measure_ops.h"
+#include "common/logging.h"
+
+namespace csm {
+
+std::string EmitOp::Describe(const Schema&) const {
+  switch (mode_) {
+    case Mode::kCollect:
+      return "collect the finalized streams into output tables";
+    case Mode::kComposite:
+      return "materialize agg state, evaluate composites, select outputs";
+  }
+  return "?";
+}
+
+Status EmitOp::Run(PlanContext& ctx) {
+  CSM_RETURN_NOT_OK(ctx.exec->CheckCancelled("combine"));
+  switch (mode_) {
+    case Mode::kCollect:
+      return RunCollect(ctx);
+    case Mode::kComposite:
+      return RunComposite(ctx);
+  }
+  return Status::Internal("unknown emit mode");
+}
+
+Status EmitOp::RunCollect(PlanContext& ctx) {
+  ScopedSpan combine_span(&ctx.tracer(), "combine", ctx.root());
+  for (auto& [name, table] : ctx.tables) {
+    table.SortByKeyLex();
+    ctx.out->tables.emplace(name, std::move(table));
+  }
+  ctx.tables.clear();
+  return Status::OK();
+}
+
+Status EmitOp::RunComposite(PlanContext& ctx) {
+  const Workflow& workflow = *ctx.workflow;
+  const Schema& schema = *workflow.schema();
+  Tracer& tracer = ctx.tracer();
+  ScopedSpan combine_span(&tracer, "combine", ctx.root());
+
+  // ---- Finalize the accumulated base tables.
+  std::map<std::string, MeasureTable>& tables = ctx.tables;
+  for (AggResult& result : ctx.agg_results) {
+    tables.emplace(result.table_name,
+                   result.states.Materialize(workflow.schema(),
+                                             result.gran,
+                                             result.table_name));
+  }
+  ctx.agg_results.clear();
+
+  // ---- Composite measures in topological order.
+  for (const MeasureDef& def : workflow.measures()) {
+    switch (def.op) {
+      case MeasureOp::kBaseAgg:
+        break;  // already computed
+      case MeasureOp::kRollup: {
+        auto in = tables.find(def.input);
+        CSM_CHECK(in != tables.end());
+        const MeasureTable* source = &in->second;
+        MeasureTable filtered(workflow.schema(), source->granularity(),
+                              source->name());
+        if (def.where != nullptr) {
+          CSM_ASSIGN_OR_RETURN(
+              filtered, FilterMeasure(*source, *def.where, nullptr,
+                                      source->name()));
+          source = &filtered;
+        }
+        AggSpec agg = def.agg;
+        if (agg.arg > 0) agg.arg = 0;
+        CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                             HashRollup(*source, def.gran, agg, def.name));
+        tracer.SetGaugeMax(combine_span.id(),
+                           "hash_entries_hw/" + def.name,
+                           static_cast<double>(result.num_rows()));
+        tables.emplace(def.name, std::move(result));
+        break;
+      }
+      case MeasureOp::kMatch: {
+        auto in = tables.find(def.input);
+        CSM_CHECK(in != tables.end());
+        const MeasureTable& regions =
+            tables.at("__regions" + def.gran.ToString(schema));
+        const MeasureTable* target = &in->second;
+        MeasureTable filtered(workflow.schema(), target->granularity(),
+                              target->name());
+        if (def.where != nullptr) {
+          CSM_ASSIGN_OR_RETURN(
+              filtered, FilterMeasure(*target, *def.where, nullptr,
+                                      target->name()));
+          target = &filtered;
+        }
+        AggSpec agg = def.agg;
+        if (agg.arg > 0) agg.arg = 0;
+        CSM_ASSIGN_OR_RETURN(
+            MeasureTable result,
+            HashMatchJoin(regions, *target, def.match, agg, def.name));
+        tracer.SetGaugeMax(combine_span.id(),
+                           "hash_entries_hw/" + def.name,
+                           static_cast<double>(result.num_rows()));
+        tables.emplace(def.name, std::move(result));
+        break;
+      }
+      case MeasureOp::kCombine: {
+        std::vector<const MeasureTable*> inputs;
+        for (const std::string& name : def.combine_inputs) {
+          auto it = tables.find(name);
+          CSM_CHECK(it != tables.end());
+          inputs.push_back(&it->second);
+        }
+        CSM_ASSIGN_OR_RETURN(MeasureTable result,
+                             HashCombine(inputs, *def.fc, def.name));
+        tracer.SetGaugeMax(combine_span.id(),
+                           "hash_entries_hw/" + def.name,
+                           static_cast<double>(result.num_rows()));
+        tables.emplace(def.name, std::move(result));
+        break;
+      }
+    }
+  }
+
+  // ---- Keep only requested outputs.
+  for (const MeasureDef& def : workflow.measures()) {
+    if (!def.is_output && !ctx.exec->options.include_hidden) continue;
+    auto it = tables.find(def.name);
+    CSM_CHECK(it != tables.end());
+    ctx.out->tables.emplace(def.name, std::move(it->second));
+    tables.erase(it);
+  }
+  tables.clear();
+  return Status::OK();
+}
+
+}  // namespace csm

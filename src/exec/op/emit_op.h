@@ -1,0 +1,40 @@
+#ifndef CSM_EXEC_OP_EMIT_OP_H_
+#define CSM_EXEC_OP_EMIT_OP_H_
+
+#include <string>
+#include <string_view>
+
+#include "exec/op/op.h"
+
+namespace csm {
+
+/// Terminal stage: turns the pipeline's accumulated state into the run's
+/// EvalOutput under the "combine" span.
+///
+///  - kCollect (sort/scan family): the propagate stage already finalized
+///    every stream in sorted order; sort each kept table by key and move
+///    it into the output.
+///  - kComposite (single-scan family): materialize the accumulated agg
+///    tables, evaluate composite measures (rollup / match join /
+///    combine) in topological order from the fully materialized tables,
+///    then keep only the requested outputs.
+class EmitOp : public PhysicalOp {
+ public:
+  enum class Mode { kCollect, kComposite };
+
+  explicit EmitOp(Mode mode) : mode_(mode) {}
+
+  std::string_view name() const override { return "emit"; }
+  std::string Describe(const Schema& schema) const override;
+  Status Run(PlanContext& ctx) override;
+
+ private:
+  Status RunCollect(PlanContext& ctx);
+  Status RunComposite(PlanContext& ctx);
+
+  Mode mode_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_EMIT_OP_H_

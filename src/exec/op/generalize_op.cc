@@ -1,0 +1,68 @@
+#include "exec/op/generalize_op.h"
+
+namespace csm {
+
+int GranularitySweep::AddGranularity(const Granularity& gran) {
+  const int existing = PassOf(gran);
+  if (existing >= 0) return existing;
+  grans_.push_back(gran);
+  return static_cast<int>(grans_.size()) - 1;
+}
+
+int GranularitySweep::PassOf(const Granularity& gran) const {
+  for (size_t i = 0; i < grans_.size(); ++i) {
+    if (grans_[i] == gran) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+GranularitySweep::Columns::Columns(const GranularitySweep* spec,
+                                   size_t capacity)
+    : spec_(spec) {
+  const int d = spec_->schema().num_dims();
+  capacity = capacity == 0 ? 1 : capacity;
+  cols_.resize(spec_->num_passes());
+  col_ptrs_.resize(spec_->num_passes());
+  for (size_t p = 0; p < spec_->num_passes(); ++p) {
+    cols_[p].assign(d, std::vector<Value>(capacity));
+    for (auto& col : cols_[p]) col_ptrs_[p].push_back(col.data());
+  }
+  in_ptrs_.resize(d);
+}
+
+void GranularitySweep::Columns::Apply(const RecordBatch& batch, size_t n) {
+  const Schema& schema = spec_->schema();
+  const int d = schema.num_dims();
+  const Granularity base = Granularity::Base(schema);
+  for (int i = 0; i < d; ++i) in_ptrs_[i] = batch.dim_col(i);
+  for (size_t p = 0; p < spec_->num_passes(); ++p) {
+    GeneralizeColumns(schema, base, spec_->gran(static_cast<int>(p)),
+                      in_ptrs_.data(), n, col_ptrs_[p].data());
+  }
+}
+
+std::string GeneralizeOp::Describe(const Schema& schema) const {
+  std::string text =
+      std::to_string(spec_.num_passes()) + " hierarchy sweep(s):";
+  for (size_t p = 0; p < spec_.num_passes(); ++p) {
+    text += " " + spec_.gran(static_cast<int>(p)).ToString(schema);
+  }
+  return text;
+}
+
+Status GeneralizeOp::Run(PlanContext& ctx) {
+  ctx.generalize = this;
+  return Status::OK();
+}
+
+GranularitySweep BuildScanSweep(const Workflow& workflow) {
+  GranularitySweep sweep(workflow.schema());
+  for (const MeasureDef& def : workflow.measures()) {
+    if (def.op == MeasureOp::kBaseAgg || def.op == MeasureOp::kMatch) {
+      sweep.AddGranularity(def.gran);
+    }
+  }
+  return sweep;
+}
+
+}  // namespace csm

@@ -1,0 +1,97 @@
+#ifndef CSM_EXEC_OP_GENERALIZE_OP_H_
+#define CSM_EXEC_OP_GENERALIZE_OP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/op/op.h"
+#include "model/granularity.h"
+#include "storage/record_batch.h"
+
+namespace csm {
+
+/// The one shared implementation of the per-batch `GeneralizeColumns`
+/// sweep bookkeeping every engine used to duplicate: scan consumers that
+/// share a granularity share one generalized key-column pass per batch —
+/// one hierarchy sweep per dimension per *distinct* granularity instead
+/// of one γ call per consumer per record.
+///
+/// The spec (distinct granularities, pass assignment) is immutable after
+/// construction; per-scan column buffers live in a Columns instance, so
+/// every scheduler executor materializes its own and the sweep is safe
+/// to run morsel-parallel.
+class GranularitySweep {
+ public:
+  explicit GranularitySweep(SchemaPtr schema)
+      : schema_(std::move(schema)) {}
+
+  /// Registers a consumer granularity, deduplicating identical ones.
+  /// Returns the pass index consumers use to find their columns.
+  int AddGranularity(const Granularity& gran);
+
+  /// Pass index of `gran`, or -1 when it was never registered.
+  int PassOf(const Granularity& gran) const;
+
+  size_t num_passes() const { return grans_.size(); }
+  const Granularity& gran(int pass) const { return grans_[pass]; }
+  const Schema& schema() const { return *schema_; }
+
+  /// Per-scan working buffers: one generalized column set per pass.
+  class Columns {
+   public:
+    Columns(const GranularitySweep* spec, size_t capacity);
+
+    /// Rolls rows [0, n) of `batch`'s dimension columns up to every
+    /// registered granularity — one GeneralizeColumns sweep per pass.
+    void Apply(const RecordBatch& batch, size_t n);
+
+    /// Generalized values of dimension `dim` for pass `pass` (valid for
+    /// the n rows of the last Apply).
+    const Value* col(int pass, int dim) const {
+      return cols_[pass][dim].data();
+    }
+
+   private:
+    const GranularitySweep* spec_;
+    // cols_[pass][dim] holds `capacity` generalized values.
+    std::vector<std::vector<std::vector<Value>>> cols_;
+    std::vector<std::vector<Value*>> col_ptrs_;  // per pass, per dim
+    std::vector<const Value*> in_ptrs_;
+  };
+
+  Columns MakeColumns(size_t capacity) const {
+    return Columns(this, capacity);
+  }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Granularity> grans_;
+};
+
+/// Pipeline stage that publishes the sweep spec on the PlanContext so the
+/// downstream accumulate/propagate stage can materialize per-executor
+/// Columns. Carries no run state of its own — it exists so the EXPLAIN
+/// output shows the hierarchy-sweep plan as an explicit operator.
+class GeneralizeOp : public PhysicalOp {
+ public:
+  explicit GeneralizeOp(GranularitySweep spec) : spec_(std::move(spec)) {}
+
+  std::string_view name() const override { return "generalize"; }
+  std::string Describe(const Schema& schema) const override;
+  Status Run(PlanContext& ctx) override;
+
+  const GranularitySweep& spec() const { return spec_; }
+
+ private:
+  GranularitySweep spec_;
+};
+
+/// The scan-side granularity set of `workflow`: one entry per distinct
+/// granularity a base aggregate or a match-join region enumerator
+/// consumes fact rows at. This is what every engine's scan loop sweeps.
+GranularitySweep BuildScanSweep(const Workflow& workflow);
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_GENERALIZE_OP_H_

@@ -1,0 +1,88 @@
+#ifndef CSM_EXEC_OP_OP_H_
+#define CSM_EXEC_OP_OP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/agg_table.h"
+#include "exec/exec_context.h"
+#include "exec/scheduler.h"
+#include "model/granularity.h"
+#include "storage/fact_table.h"
+#include "storage/measure_table.h"
+#include "storage/record_batch.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+class GeneralizeOp;
+struct PhysicalPlan;
+
+/// One accumulated aggregation table flowing from AggregateOp to the
+/// emit stage: the scan is done, the states are not yet finalized (the
+/// materialize step belongs to the combine phase, like the engines it
+/// replaced).
+struct AggResult {
+  std::string table_name;
+  Granularity gran;
+  AggTable states;
+};
+
+/// The shared blackboard a PhysicalPlan threads through its operators:
+/// immutable run inputs (workflow, fact table or fact file, ExecContext,
+/// scheduler pool) plus the data bus the pipeline stages hand results
+/// through — the sorted table / batch cursor produced by ScanOp, the
+/// registered GeneralizeOp sweep, accumulated aggregation state,
+/// materialized measure tables, and finally the run's EvalOutput.
+///
+/// Engine-specific pipelines (multi-pass, parallel shards, relational)
+/// park their private cross-operator state in `engine_state`.
+struct PlanContext {
+  // ---- Run inputs (set by PhysicalPlan::Execute*) ----
+  const Workflow* workflow = nullptr;
+  const FactTable* fact = nullptr;      // null for out-of-core file runs
+  const std::string* fact_path = nullptr;  // null for in-memory runs
+  ExecContext* exec = nullptr;          // options / cancellation
+  RunScope* scope = nullptr;            // effective tracer + engine root
+  ThreadPool* pool = nullptr;           // shared scheduler pool
+  const PhysicalPlan* plan = nullptr;
+
+  // ---- Data bus between operators ----
+  std::unique_ptr<FactTable> sorted;    // ScanOp: sorted in-memory clone
+  std::unique_ptr<BatchCursor> cursor;  // ScanOp: the record stream
+  const GeneralizeOp* generalize = nullptr;  // registered sweep spec
+  std::vector<AggResult> agg_results;   // AggregateOp -> EmitOp
+  std::map<std::string, MeasureTable> tables;  // finished measure tables
+  EvalOutput* out = nullptr;            // final destination
+  std::shared_ptr<void> engine_state;   // engine-specific shared state
+
+  Tracer& tracer() { return scope->tracer(); }
+  SpanId root() const { return scope->root(); }
+  bool cancelled() const { return exec->cancelled(); }
+};
+
+/// One stage of a physical plan. Operators run in sequence over the
+/// shared PlanContext; an operator is single-use (it may keep run state
+/// in members between Run and the plan's destruction) and internally
+/// parallel — morsel- or task-level parallelism happens *inside* a stage
+/// via the scheduler, never by running stages concurrently.
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+
+  /// Short stage name ("scan", "aggregate", ...), used in EXPLAIN output.
+  virtual std::string_view name() const = 0;
+
+  /// One-line human-readable description for EXPLAIN.
+  virtual std::string Describe(const Schema& schema) const = 0;
+
+  virtual Status Run(PlanContext& ctx) = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_OP_H_

@@ -1,0 +1,87 @@
+#include "exec/op/physical_plan.h"
+
+#include <cstdio>
+
+#include "exec/scheduler.h"
+
+namespace csm {
+
+std::string PhysicalPlan::Describe(const Schema& schema) const {
+  std::string text = "plan: " + engine + "\n";
+  text += "  order: " +
+          (sort_key.empty() ? std::string("(unsorted)")
+                            : sort_key.ToString(schema)) +
+          "\n";
+  const int pool_workers = ThreadPool::Global().workers();
+  const int executors = threads > 0
+                            ? std::min(threads, pool_workers + 1)
+                            : pool_workers + 1;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  threads: up to %d (pool %d workers + caller) | "
+                "morsel_rows: %zu | batch_rows: %zu\n",
+                executors, pool_workers, morsel_rows, scan_batch_rows);
+  text += line;
+  int idx = 1;
+  for (const auto& op : ops) {
+    std::snprintf(line, sizeof(line), "  %d. %-10s ", idx++,
+                  std::string(op->name()).c_str());
+    text += line;
+    text += op->Describe(schema);
+    text += "\n";
+  }
+  return text;
+}
+
+Result<EvalOutput> PhysicalPlan::Execute(const Workflow& workflow,
+                                         const FactTable& fact,
+                                         ExecContext& ctx) {
+  return Drive(workflow, &fact, nullptr, ctx);
+}
+
+Result<EvalOutput> PhysicalPlan::ExecuteFile(const Workflow& workflow,
+                                             const std::string& fact_path,
+                                             ExecContext& ctx) {
+  return Drive(workflow, nullptr, &fact_path, ctx);
+}
+
+Result<EvalOutput> PhysicalPlan::Drive(const Workflow& workflow,
+                                       const FactTable* fact,
+                                       const std::string* fact_path,
+                                       ExecContext& ctx) {
+  // Touch the pool before the root span opens: first use spawns the
+  // resident workers, a process-wide one-time cost that must not be
+  // attributed to this run's wall time.
+  ThreadPool& pool = ThreadPool::Global();
+
+  RunScope rs(ctx, engine);
+  EvalOutput out;
+
+  PlanContext pctx;
+  pctx.workflow = &workflow;
+  pctx.fact = fact;
+  pctx.fact_path = fact_path;
+  pctx.exec = &ctx;
+  pctx.scope = &rs;
+  pctx.pool = &pool;
+  pctx.plan = this;
+  pctx.out = &out;
+  pctx.engine_state = engine_state;
+
+  const Schema& schema = *workflow.schema();
+  // Default root attribution; engine-specific merge/emit operators
+  // overwrite it with richer labels (shard counts, pass lists, adaptive
+  // choice prefixes).
+  rs.tracer().SetAttr(rs.root(), "sort_key",
+                      sort_key.empty() ? "(unsorted)"
+                                       : sort_key.ToString(schema));
+
+  for (const auto& op : ops) {
+    CSM_RETURN_NOT_OK(op->Run(pctx));
+  }
+
+  out.stats = rs.Finish();
+  return out;
+}
+
+}  // namespace csm

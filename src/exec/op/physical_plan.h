@@ -1,0 +1,56 @@
+#ifndef CSM_EXEC_OP_PHYSICAL_PLAN_H_
+#define CSM_EXEC_OP_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/engine.h"
+#include "exec/op/op.h"
+#include "model/sort_key.h"
+
+namespace csm {
+
+/// A lowered execution plan: the ordered operator pipeline one engine run
+/// executes, plus the physical knobs the lowering froze (sort order,
+/// morsel size, batch size, thread plan). Produced by LowerToPlan
+/// (src/opt/lowering.h) — every engine's Run() is now "lower, execute";
+/// `csm_query --explain` prints Describe() without executing.
+///
+/// Plans are single-use: operators may retain run state between stages,
+/// so build a fresh plan per execution.
+struct PhysicalPlan {
+  std::string engine;     // root span name ("sort-scan", "single-scan"...)
+  SortKey sort_key;       // resolved fact order; empty = unsorted scan
+  size_t morsel_rows = 0;
+  size_t scan_batch_rows = 0;
+  int threads = 0;        // requested executors (0 = whole pool)
+  std::vector<std::unique_ptr<PhysicalOp>> ops;
+  std::shared_ptr<void> engine_state;  // pre-bound engine-specific state
+
+  /// Multi-line EXPLAIN rendering: header (engine, order, thread/morsel
+  /// plan) followed by one numbered line per operator.
+  std::string Describe(const Schema& schema) const;
+
+  /// Runs the pipeline over an in-memory fact table. Opens the engine
+  /// root span, seeds the PlanContext, runs every operator in order, and
+  /// derives ExecStats from the span tree exactly like the hand-rolled
+  /// engines did.
+  Result<EvalOutput> Execute(const Workflow& workflow, const FactTable& fact,
+                             ExecContext& ctx);
+
+  /// Out-of-core variant: the fact data stays in `fact_path`
+  /// (WriteFactTableBinary format) and operators stream it.
+  Result<EvalOutput> ExecuteFile(const Workflow& workflow,
+                                 const std::string& fact_path,
+                                 ExecContext& ctx);
+
+ private:
+  Result<EvalOutput> Drive(const Workflow& workflow, const FactTable* fact,
+                           const std::string* fact_path, ExecContext& ctx);
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_PHYSICAL_PLAN_H_

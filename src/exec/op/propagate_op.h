@@ -1,0 +1,44 @@
+#ifndef CSM_EXEC_OP_PROPAGATE_OP_H_
+#define CSM_EXEC_OP_PROPAGATE_OP_H_
+
+#include <string>
+#include <string_view>
+
+#include "exec/op/op.h"
+
+namespace csm {
+
+/// The paper's coordinated one-pass scan (§5.2, §5.3): consumes the
+/// sorted record stream the scan stage prepared and evaluates every
+/// measure of the workflow in a single pass through the computation
+/// graph —
+///
+///  - each measure is a graph node holding its in-flight hash entries
+///    ordered by the entry's position in the sort order (the mapKey of
+///    Table 8);
+///  - every stream (scan -> basic measures, finalized entries ->
+///    dependent measures) carries a monotone *frontier*: a lower bound
+///    on the order position of any future update, transformed across
+///    computational arcs per the order/slack algebra of Table 6;
+///  - a node's watermark is the minimum of its input frontiers; entries
+///    strictly below it are finalized, emitted downstream in order, and
+///    removed — bounding the memory footprint;
+///  - at end of stream everything flushes.
+///
+/// The ordered scan is inherently sequential (finalization order *is*
+/// the correctness argument), so this stage's parallelism lives upstream
+/// in the pool-parallel sort; the hierarchy sweep comes from the shared
+/// GeneralizeOp spec. Finished output tables land on PlanContext::tables
+/// for the emit stage.
+class PropagateOp : public PhysicalOp {
+ public:
+  PropagateOp() = default;
+
+  std::string_view name() const override { return "propagate"; }
+  std::string Describe(const Schema& schema) const override;
+  Status Run(PlanContext& ctx) override;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_PROPAGATE_OP_H_

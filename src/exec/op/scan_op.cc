@@ -1,0 +1,89 @@
+#include "exec/op/scan_op.h"
+
+#include "common/logging.h"
+#include "exec/op/physical_plan.h"
+#include "storage/record_cursor.h"
+
+namespace csm {
+
+std::string ScanOp::Describe(const Schema&) const {
+  switch (mode_) {
+    case Mode::kUnsorted:
+      return "single pass over the in-memory fact table (no sort)";
+    case Mode::kSortTable:
+      return "clone + sort the fact table by the plan order (pool sort)";
+    case Mode::kSortFile:
+      return "external-sort the fact file into runs, stream the merge";
+  }
+  return "?";
+}
+
+void ScanOp::RecordSortMetrics(Tracer& tracer, SpanId span,
+                               const SortStats& sort_stats) {
+  tracer.AddCounter(span, "rows_sorted",
+                    static_cast<double>(sort_stats.rows));
+  tracer.AddCounter(span, "sort_runs",
+                    static_cast<double>(sort_stats.runs));
+  tracer.AddCounter(span, "spilled_bytes",
+                    static_cast<double>(sort_stats.spilled_bytes));
+  tracer.AddCounter(span, "overlapped_runs",
+                    static_cast<double>(sort_stats.overlapped_runs));
+  tracer.SetAttr(span, "sort_threads",
+                 std::to_string(sort_stats.threads_used));
+}
+
+Status ScanOp::Run(PlanContext& ctx) {
+  const EngineOptions& options = ctx.exec->options;
+  switch (mode_) {
+    case Mode::kUnsorted: {
+      CSM_CHECK(ctx.fact != nullptr)
+          << "unsorted scan requires an in-memory fact table";
+      ctx.cursor = MakeFactTableBatchCursor(*ctx.fact);
+      return Status::OK();
+    }
+    case Mode::kSortTable: {
+      CSM_CHECK(ctx.fact != nullptr);
+      ScopedSpan sort_span(&ctx.tracer(), "sort", ctx.root());
+      CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options.temp_dir));
+      temp_ = std::move(temp);
+      SortStats sort_stats;
+      SortOptions sort_options;
+      sort_options.memory_budget_bytes = options.memory_budget_bytes;
+      sort_options.temp_dir = &*temp_;
+      sort_options.threads = options.parallel_threads;
+      sort_options.cancel = ctx.exec->cancel;
+      CSM_ASSIGN_OR_RETURN(
+          FactTable sorted,
+          SortFactTable(ctx.fact->Clone(), ctx.plan->sort_key,
+                        sort_options, &sort_stats));
+      ctx.sorted = std::make_unique<FactTable>(std::move(sorted));
+      RecordSortMetrics(ctx.tracer(), sort_span.id(), sort_stats);
+      ctx.cursor = MakeFactTableBatchCursor(*ctx.sorted);
+      return Status::OK();
+    }
+    case Mode::kSortFile: {
+      CSM_CHECK(ctx.fact_path != nullptr)
+          << "file scan requires a fact file path";
+      ScopedSpan sort_span(&ctx.tracer(), "sort", ctx.root());
+      CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options.temp_dir));
+      temp_ = std::move(temp);
+      SortStats sort_stats;
+      SortOptions sort_options;
+      sort_options.memory_budget_bytes = options.memory_budget_bytes;
+      sort_options.temp_dir = &*temp_;
+      sort_options.threads = options.parallel_threads;
+      sort_options.cancel = ctx.exec->cancel;
+      CSM_ASSIGN_OR_RETURN(
+          ctx.cursor,
+          SortFactFileBatchCursor(ctx.workflow->schema(), *ctx.fact_path,
+                                  ctx.plan->sort_key, sort_options,
+                                  &sort_stats));
+      RecordSortMetrics(ctx.tracer(), sort_span.id(), sort_stats);
+      sort_span.End();
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown scan mode");
+}
+
+}  // namespace csm

@@ -1,0 +1,54 @@
+#ifndef CSM_EXEC_OP_SCAN_OP_H_
+#define CSM_EXEC_OP_SCAN_OP_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exec/op/op.h"
+#include "model/sort_key.h"
+#include "obs/trace.h"
+#include "storage/external_sorter.h"
+#include "storage/temp_file.h"
+
+namespace csm {
+
+/// Input stage: prepares the record stream the rest of the pipeline
+/// consumes. Three physical forms:
+///  - kUnsorted: batch cursor straight over the in-memory fact table (the
+///    single-scan engine — no sort, morsel stage reads the table by row
+///    ranges);
+///  - kSortTable: clone the fact table and sort it by the plan's order
+///    (the in-memory sort/scan path), publishing both the sorted table
+///    and a cursor over it;
+///  - kSortFile: external-sort the on-disk fact file into runs and
+///    publish the merged streaming cursor (the out-of-core path; the
+///    dataset is never fully resident).
+/// Both sorting forms run on the shared scheduler pool via the external
+/// sorter and record the sort span + SortStats counters.
+class ScanOp : public PhysicalOp {
+ public:
+  enum class Mode { kUnsorted, kSortTable, kSortFile };
+
+  explicit ScanOp(Mode mode) : mode_(mode) {}
+
+  std::string_view name() const override { return "scan"; }
+  std::string Describe(const Schema& schema) const override;
+  Status Run(PlanContext& ctx) override;
+
+  /// Shared sort-span bookkeeping (also used by the relational engine's
+  /// per-measure sorts).
+  static void RecordSortMetrics(Tracer& tracer, SpanId span,
+                                const SortStats& stats);
+
+ private:
+  Mode mode_;
+  // The run files of a kSortFile sort must outlive the streaming cursor,
+  // which lives in the PlanContext until the plan completes — so the
+  // scratch dir is owned here, by an operator of the same plan.
+  std::optional<TempDir> temp_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_SCAN_OP_H_

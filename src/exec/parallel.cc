@@ -1,11 +1,15 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "exec/exec_context.h"
+#include "exec/scheduler.h"
 #include "exec/sort_scan.h"
 
 namespace csm {
@@ -44,6 +48,220 @@ int ResolveThreads(const EngineOptions& options) {
       std::max(2u, std::thread::hardware_concurrency()));
 }
 
+/// Cross-operator state of one partitioned run: the shard tables the
+/// partition stage fills and the per-shard results the shard stage leaves
+/// for the merge.
+struct ParallelState {
+  int pdim = -1;
+  int plevel = -1;
+  int shards = 0;
+  std::vector<FactTable> parts;
+  std::vector<Result<EvalOutput>> results;
+};
+
+/// Hash-partitions the fact table on the chosen dimension at its coarsest
+/// used level, so every region of every measure nests inside one shard.
+class PartitionOp : public PhysicalOp {
+ public:
+  explicit PartitionOp(std::shared_ptr<ParallelState> state)
+      : state_(std::move(state)) {}
+
+  std::string_view name() const override { return "partition"; }
+
+  std::string Describe(const Schema& schema) const override {
+    return "hash-partition on " + schema.dim(state_->pdim).name +
+           " (level " + std::to_string(state_->plevel) + ") into " +
+           std::to_string(state_->shards) + " shard(s)";
+  }
+
+  Status Run(PlanContext& ctx) override {
+    ParallelState& state = *state_;
+    const Schema& schema = *ctx.workflow->schema();
+    const FactTable& fact = *ctx.fact;
+    const Hierarchy& ph = *schema.dim(state.pdim).hierarchy;
+    Tracer& tracer = ctx.tracer();
+
+    // The partition-key mapping is hoisted into a per-chunk column sweep:
+    // gather the partition dimension, generalize the whole column at
+    // once, then append rows to their shards. Chunks follow
+    // scan_batch_rows.
+    ScopedSpan partition_span(&tracer, "partition", ctx.root());
+    state.parts.reserve(state.shards);
+    for (int i = 0; i < state.shards; ++i) {
+      state.parts.emplace_back(ctx.workflow->schema());
+    }
+    const size_t chunk_rows =
+        std::max<size_t>(1, ctx.exec->options.scan_batch_rows);
+    std::vector<Value> block_col(chunk_rows);
+    uint64_t chunks = 0;
+    for (size_t begin = 0; begin < fact.num_rows(); begin += chunk_rows) {
+      if (ctx.cancelled()) {
+        return ctx.exec->CheckCancelled("parallel partition");
+      }
+      const size_t n = std::min(chunk_rows, fact.num_rows() - begin);
+      ++chunks;
+      for (size_t r = 0; r < n; ++r) {
+        block_col[r] = fact.dim_row(begin + r)[state.pdim];
+      }
+      ph.GeneralizeColumn(block_col.data(), n, 0, state.plevel,
+                          block_col.data());
+      for (size_t r = 0; r < n; ++r) {
+        state.parts[Mix64(block_col[r]) % state.shards].AppendRow(
+            fact.dim_row(begin + r), fact.measure_row(begin + r));
+      }
+    }
+    tracer.AddCounter(partition_span.id(), "batches",
+                      static_cast<double>(chunks));
+    tracer.SetAttr(partition_span.id(), "batch_rows",
+                   std::to_string(chunk_rows));
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<ParallelState> state_;
+};
+
+/// Runs one independent sort/scan per shard as a task batch on the shared
+/// scheduler pool. Each task opens its own shard span from its executing
+/// thread, so thread attribution lands on the worker.
+class ShardRunOp : public PhysicalOp {
+ public:
+  explicit ShardRunOp(std::shared_ptr<ParallelState> state)
+      : state_(std::move(state)) {}
+
+  std::string_view name() const override { return "shards"; }
+
+  std::string Describe(const Schema&) const override {
+    return std::to_string(state_->shards) +
+           " independent sort/scan shard(s) on the scheduler pool";
+  }
+
+  Status Run(PlanContext& ctx) override {
+    ParallelState& state = *state_;
+    Tracer& tracer = ctx.tracer();
+    const size_t shard_budget = std::max<size_t>(
+        ctx.exec->options.memory_budget_bytes / state.shards, 4 << 20);
+
+    state.results.reserve(state.shards);
+    for (int i = 0; i < state.shards; ++i) {
+      state.results.emplace_back(Status::Internal("not run"));
+    }
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(state.shards);
+    for (int i = 0; i < state.shards; ++i) {
+      tasks.push_back([&, i]() -> Status {
+        ScopedSpan shard_span(&tracer, "shard", ctx.root());
+        ExecContext shard_ctx = ctx.scope->Child(shard_span.id());
+        // Budgets are per machine, not per shard.
+        shard_ctx.options.memory_budget_bytes = shard_budget;
+        // One executor per shard: the shards already occupy the pool, so
+        // morsel/sort parallelism inside a shard would oversubscribe.
+        shard_ctx.options.parallel_threads = 1;
+        SortScanEngine engine;
+        state.results[i] = engine.Run(*ctx.workflow, state.parts[i],
+                                      shard_ctx);
+        return Status::OK();  // per-shard errors surface at the merge
+      });
+    }
+    return ParallelTasks(*ctx.pool, state.shards, ctx.exec->cancel,
+                         tasks);
+  }
+
+ private:
+  std::shared_ptr<ParallelState> state_;
+};
+
+/// Concatenates the disjoint shard tables into the run's output.
+class MergeShardsOp : public PhysicalOp {
+ public:
+  explicit MergeShardsOp(std::shared_ptr<ParallelState> state)
+      : state_(std::move(state)) {}
+
+  std::string_view name() const override { return "merge"; }
+
+  std::string Describe(const Schema&) const override {
+    return "concatenate disjoint shard tables, sort by key";
+  }
+
+  Status Run(PlanContext& ctx) override {
+    ParallelState& state = *state_;
+    const Schema& schema = *ctx.workflow->schema();
+    Tracer& tracer = ctx.tracer();
+    ScopedSpan combine_span(&tracer, "combine", ctx.root());
+    EvalOutput& out = *ctx.out;
+    // Shards run concurrently, so the machine-wide peak is the *sum* of
+    // the per-shard peaks; record it on the root where it dominates the
+    // subtree maximum the stats derivation takes.
+    uint64_t total_peak_entries = 0;
+    uint64_t total_peak_bytes = 0;
+    std::string sort_key_label;
+    for (int i = 0; i < state.shards; ++i) {
+      CSM_RETURN_NOT_OK(state.results[i].status().WithContext(
+          "shard " + std::to_string(i)));
+      EvalOutput& shard = *state.results[i];
+      total_peak_entries += shard.stats.peak_hash_entries;
+      total_peak_bytes += shard.stats.peak_hash_bytes;
+      if (sort_key_label.empty()) {
+        sort_key_label = "[" + std::to_string(state.shards) +
+                         " shards on " + schema.dim(state.pdim).name +
+                         "] " + shard.stats.sort_key;
+      }
+      for (auto& [name, table] : shard.tables) {
+        auto it = out.tables.find(name);
+        if (it == out.tables.end()) {
+          out.tables.emplace(name, std::move(table));
+        } else {
+          for (size_t row = 0; row < table.num_rows(); ++row) {
+            it->second.Append(table.key_row(row), table.value(row));
+          }
+        }
+      }
+    }
+    for (auto& [name, table] : out.tables) table.SortByKeyLex();
+    combine_span.End();
+
+    tracer.SetGaugeMax(ctx.root(), "peak_hash_entries",
+                       static_cast<double>(total_peak_entries));
+    tracer.SetGaugeMax(ctx.root(), "peak_hash_bytes",
+                       static_cast<double>(total_peak_bytes));
+    tracer.SetAttr(ctx.root(), "sort_key", sort_key_label);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<ParallelState> state_;
+};
+
+/// Degraded plan when no dimension qualifies: run the sequential engine
+/// under the parallel root and record why.
+class FallbackOp : public PhysicalOp {
+ public:
+  explicit FallbackOp(std::string reason) : reason_(std::move(reason)) {}
+
+  std::string_view name() const override { return "fallback"; }
+
+  std::string Describe(const Schema&) const override {
+    return "sequential sort/scan (not partitionable: " + reason_ + ")";
+  }
+
+  Status Run(PlanContext& ctx) override {
+    Tracer& tracer = ctx.tracer();
+    SortScanEngine sequential;
+    ExecContext child = ctx.scope->Child(ctx.root());
+    CSM_ASSIGN_OR_RETURN(
+        EvalOutput out, sequential.Run(*ctx.workflow, *ctx.fact, child));
+    tracer.SetAttr(ctx.root(), "sort_key",
+                   "[sequential] " + out.stats.sort_key);
+    tracer.SetAttr(ctx.root(), "fallback", "sequential");
+    tracer.SetAttr(ctx.root(), "fallback_reason", reason_);
+    ctx.out->tables = std::move(out.tables);
+    return Status::OK();
+  }
+
+ private:
+  std::string reason_;
+};
+
 }  // namespace
 
 Result<int> ParallelSortScanEngine::PlanPartitionDim(
@@ -73,137 +291,37 @@ Result<int> ParallelSortScanEngine::PlanPartitionDim(
   return best_dim;
 }
 
+PhysicalPlan BuildParallelPlan(const Workflow& workflow,
+                               const EngineOptions& options) {
+  PhysicalPlan plan;
+  plan.engine = "parallel-sort-scan";
+  plan.morsel_rows = options.morsel_rows;
+  plan.scan_batch_rows = options.scan_batch_rows;
+  plan.threads = ResolveThreads(options);
+
+  auto pdim = ParallelSortScanEngine::PlanPartitionDim(workflow);
+  if (!pdim.ok()) {
+    plan.ops.push_back(
+        std::make_unique<FallbackOp>(pdim.status().message()));
+    return plan;
+  }
+
+  auto state = std::make_shared<ParallelState>();
+  state->pdim = *pdim;
+  state->plevel = CoarsestUsedLevel(workflow, *pdim);
+  state->shards = plan.threads;
+  plan.engine_state = state;
+  plan.ops.push_back(std::make_unique<PartitionOp>(state));
+  plan.ops.push_back(std::make_unique<ShardRunOp>(state));
+  plan.ops.push_back(std::make_unique<MergeShardsOp>(state));
+  return plan;
+}
+
 Result<EvalOutput> ParallelSortScanEngine::Run(const Workflow& workflow,
                                                const FactTable& fact,
                                                ExecContext& ctx) {
-  RunScope rs(ctx, name());
-  Tracer& tracer = rs.tracer();
-
-  ScopedSpan plan_span(&tracer, "plan", rs.root());
-  auto plan = PlanPartitionDim(workflow);
-  plan_span.End();
-  if (!plan.ok()) {
-    // Not partitionable: degrade gracefully to the sequential engine.
-    SortScanEngine sequential;
-    ExecContext child = rs.Child(rs.root());
-    CSM_ASSIGN_OR_RETURN(EvalOutput out,
-                         sequential.Run(workflow, fact, child));
-    tracer.SetAttr(rs.root(), "sort_key",
-                   "[sequential] " + out.stats.sort_key);
-    tracer.SetAttr(rs.root(), "fallback", "sequential");
-    tracer.SetAttr(rs.root(), "fallback_reason", plan.status().message());
-    out.stats = rs.Finish();
-    return out;
-  }
-  const int pdim = *plan;
-  const Schema& schema = *workflow.schema();
-  const int plevel = CoarsestUsedLevel(workflow, pdim);
-  const Hierarchy& ph = *schema.dim(pdim).hierarchy;
-  const int shards = ResolveThreads(ctx.options);
-
-  // ---- Partition: every region's rows land in exactly one shard because
-  // the hash key is the dimension value at the coarsest level any measure
-  // groups it by (finer regions nest inside).
-  // The partition-key mapping is hoisted into a per-chunk column sweep:
-  // gather the partition dimension, generalize the whole column at once,
-  // then append rows to their shards. Chunks follow scan_batch_rows.
-  ScopedSpan partition_span(&tracer, "partition", rs.root());
-  std::vector<FactTable> parts;
-  parts.reserve(shards);
-  for (int i = 0; i < shards; ++i) parts.emplace_back(workflow.schema());
-  const size_t chunk_rows =
-      std::max<size_t>(1, ctx.options.scan_batch_rows);
-  std::vector<Value> block_col(chunk_rows);
-  uint64_t chunks = 0;
-  for (size_t begin = 0; begin < fact.num_rows(); begin += chunk_rows) {
-    if (ctx.cancelled()) {
-      return ctx.CheckCancelled("parallel partition");
-    }
-    const size_t n = std::min(chunk_rows, fact.num_rows() - begin);
-    ++chunks;
-    for (size_t r = 0; r < n; ++r) {
-      block_col[r] = fact.dim_row(begin + r)[pdim];
-    }
-    ph.GeneralizeColumn(block_col.data(), n, 0, plevel, block_col.data());
-    for (size_t r = 0; r < n; ++r) {
-      parts[Mix64(block_col[r]) % shards].AppendRow(
-          fact.dim_row(begin + r), fact.measure_row(begin + r));
-    }
-  }
-  tracer.AddCounter(partition_span.id(), "batches",
-                    static_cast<double>(chunks));
-  tracer.SetAttr(partition_span.id(), "batch_rows",
-                 std::to_string(chunk_rows));
-  partition_span.End();
-
-  // ---- Independent sort/scan per shard. Each worker opens its own shard
-  // span from its own thread, so thread attribution lands on the worker.
-  const size_t shard_budget =
-      std::max<size_t>(ctx.options.memory_budget_bytes / shards, 4 << 20);
-  std::vector<Result<EvalOutput>> results;
-  results.reserve(shards);
-  for (int i = 0; i < shards; ++i) {
-    results.emplace_back(Status::Internal("not run"));
-  }
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(shards);
-    for (int i = 0; i < shards; ++i) {
-      threads.emplace_back([&, i] {
-        ScopedSpan shard_span(&tracer, "shard", rs.root());
-        ExecContext shard_ctx = rs.Child(shard_span.id());
-        // Budgets are per machine, not per shard.
-        shard_ctx.options.memory_budget_bytes = shard_budget;
-        // One sort worker per shard: the shards already occupy every
-        // engine thread, so a parallel per-shard sort would oversubscribe.
-        shard_ctx.options.parallel_threads = 1;
-        SortScanEngine engine;
-        results[i] = engine.Run(workflow, parts[i], shard_ctx);
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
-
-  // ---- Merge: concatenate the disjoint tables.
-  ScopedSpan combine_span(&tracer, "combine", rs.root());
-  EvalOutput out;
-  // Shards run concurrently, so the machine-wide peak is the *sum* of the
-  // per-shard peaks; record it on the root where it dominates the
-  // subtree maximum the stats derivation takes.
-  uint64_t total_peak_entries = 0;
-  uint64_t total_peak_bytes = 0;
-  std::string sort_key_label;
-  for (int i = 0; i < shards; ++i) {
-    CSM_RETURN_NOT_OK(results[i].status().WithContext(
-        "shard " + std::to_string(i)));
-    EvalOutput& shard = *results[i];
-    total_peak_entries += shard.stats.peak_hash_entries;
-    total_peak_bytes += shard.stats.peak_hash_bytes;
-    if (sort_key_label.empty()) {
-      sort_key_label = "[" + std::to_string(shards) + " shards on " +
-                       schema.dim(pdim).name + "] " + shard.stats.sort_key;
-    }
-    for (auto& [name, table] : shard.tables) {
-      auto it = out.tables.find(name);
-      if (it == out.tables.end()) {
-        out.tables.emplace(name, std::move(table));
-      } else {
-        for (size_t row = 0; row < table.num_rows(); ++row) {
-          it->second.Append(table.key_row(row), table.value(row));
-        }
-      }
-    }
-  }
-  for (auto& [name, table] : out.tables) table.SortByKeyLex();
-  combine_span.End();
-
-  tracer.SetGaugeMax(rs.root(), "peak_hash_entries",
-                     static_cast<double>(total_peak_entries));
-  tracer.SetGaugeMax(rs.root(), "peak_hash_bytes",
-                     static_cast<double>(total_peak_bytes));
-  tracer.SetAttr(rs.root(), "sort_key", sort_key_label);
-  out.stats = rs.Finish();
-  return out;
+  PhysicalPlan plan = BuildParallelPlan(workflow, ctx.options);
+  return plan.Execute(workflow, fact, ctx);
 }
 
 }  // namespace csm

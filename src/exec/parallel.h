@@ -2,6 +2,7 @@
 #define CSM_EXEC_PARALLEL_H_
 
 #include "exec/engine.h"
+#include "exec/op/physical_plan.h"
 
 namespace csm {
 
@@ -39,6 +40,14 @@ class ParallelSortScanEngine : public Engine {
   /// reason no dimension qualifies.
   static Result<int> PlanPartitionDim(const Workflow& workflow);
 };
+
+/// Lowers a workflow into the partitioned-parallel pipeline:
+/// partition -> shards (one nested sort/scan per shard, run as a task
+/// batch on the shared scheduler pool) -> merge. When no dimension
+/// qualifies the plan degrades to a single fallback operator running the
+/// sequential sort/scan engine, exactly like the engine always has.
+PhysicalPlan BuildParallelPlan(const Workflow& workflow,
+                               const EngineOptions& options);
 
 }  // namespace csm
 

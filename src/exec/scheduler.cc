@@ -1,0 +1,261 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+
+namespace csm {
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = std::max<int>(kMinWorkers,
+                            hw > 1 ? static_cast<int>(hw) - 1 : kMinWorkers);
+  }
+  threads_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Job* job = nullptr;
+    int idx = -1;
+    for (Job* candidate : jobs_) {
+      if (candidate->next < candidate->executors) {
+        job = candidate;
+        idx = job->next++;
+        break;
+      }
+    }
+    if (job == nullptr) {
+      if (stop_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    if (job->next >= job->executors) {
+      jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+    }
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      ++job->started;
+    }
+    lock.unlock();
+    (*job->fn)(idx);
+    {
+      // Notify while still holding job->mu: the caller destroys the
+      // stack-allocated Job the moment it observes finished == started,
+      // so this must be the worker's last touch of *job, sequenced
+      // before the unlock the caller's wait re-acquires through.
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      ++job->finished;
+      job->done_cv.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunOnExecutors(int executors,
+                                const std::function<void(int)>& fn) {
+  executors = std::max(1, executors);
+  Job job;
+  job.fn = &fn;
+  job.executors = executors;
+  if (executors > 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(&job);
+    cv_.notify_all();
+  }
+  fn(0);
+  if (executors > 1) {
+    // Withdraw the unclaimed executor slots, then wait for the workers
+    // that did claim one. A slot claimed under mu_ is always followed by
+    // a `started` increment before the worker drops mu_, so started is
+    // exact once the job is out of the queue.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = std::find(jobs_.begin(), jobs_.end(), &job);
+      if (it != jobs_.end()) jobs_.erase(it);
+      job.next = job.executors;  // no further claims
+    }
+    std::unique_lock<std::mutex> job_lock(job.mu);
+    job.done_cv.wait(job_lock,
+                     [&job] { return job.finished == job.started; });
+  }
+}
+
+namespace {
+
+/// One executor's owned slice of the morsel index space.
+struct MorselRange {
+  std::atomic<size_t> next{0};
+  size_t end = 0;
+};
+
+}  // namespace
+
+Status ParallelMorsels(ThreadPool& pool, size_t total_rows,
+                       size_t morsel_rows, int max_executors,
+                       const std::atomic<bool>* cancel,
+                       const MorselBody& body, MorselStats* stats) {
+  morsel_rows = std::max<size_t>(1, morsel_rows);
+  const size_t num_morsels =
+      total_rows == 0 ? 0 : (total_rows + morsel_rows - 1) / morsel_rows;
+  int executors = max_executors > 0
+                      ? std::min(max_executors, pool.workers() + 1)
+                      : pool.workers() + 1;
+  executors =
+      std::max(1, std::min<int>(executors,
+                                static_cast<int>(std::min<size_t>(
+                                    num_morsels, 1u << 14))));
+  if (stats != nullptr) {
+    stats->morsel_rows = morsel_rows;
+    stats->pool_threads = executors;
+    stats->morsels = 0;
+    stats->steals = 0;
+  }
+  if (num_morsels == 0) return Status::OK();
+
+  // Contiguous owned ranges: executor e owns morsels
+  // [e * per, min((e+1) * per, M)).
+  const size_t per = (num_morsels + executors - 1) / executors;
+  std::vector<MorselRange> ranges(executors);
+  for (int e = 0; e < executors; ++e) {
+    const size_t lo = std::min<size_t>(e * per, num_morsels);
+    ranges[e].next.store(lo, std::memory_order_relaxed);
+    ranges[e].end = std::min<size_t>(lo + per, num_morsels);
+  }
+
+  std::atomic<bool> abort{false};
+  std::atomic<uint64_t> morsels_run{0};
+  std::atomic<uint64_t> steals{0};
+  std::mutex err_mu;
+  size_t err_morsel = num_morsels;  // lowest failing morsel wins
+  Status err = Status::OK();
+  bool saw_cancel = false;
+
+  auto run_morsel = [&](size_t m, int executor, bool stolen) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      saw_cancel = true;
+      abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const size_t begin = m * morsel_rows;
+    const size_t end = std::min(begin + morsel_rows, total_rows);
+    Status s = body(m, begin, end, executor);
+    morsels_run.fetch_add(1, std::memory_order_relaxed);
+    if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (m < err_morsel) {
+        err_morsel = m;
+        err = std::move(s);
+      }
+      abort.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  pool.RunOnExecutors(executors, [&](int executor) {
+    // Executors beyond the planned count can appear when the pool is
+    // re-offered the job; they just join the stealing phase.
+    const int own = executor < executors ? executor : executors;
+    if (own < executors) {
+      MorselRange& mine = ranges[own];
+      for (;;) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        const size_t m = mine.next.fetch_add(1, std::memory_order_relaxed);
+        if (m >= mine.end) break;
+        run_morsel(m, executor, /*stolen=*/false);
+      }
+    }
+    // Steal from the front of other ranges until a full sweep finds
+    // nothing left.
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      bool found = false;
+      for (int v = 1; v <= executors; ++v) {
+        MorselRange& victim = ranges[(own + v) % executors];
+        const size_t m =
+            victim.next.fetch_add(1, std::memory_order_relaxed);
+        if (m < victim.end) {
+          run_morsel(m, executor, /*stolen=*/true);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;
+    }
+  });
+
+  if (stats != nullptr) {
+    stats->morsels = morsels_run.load(std::memory_order_relaxed);
+    stats->steals = steals.load(std::memory_order_relaxed);
+  }
+  if (!err.ok()) return err;
+  if (saw_cancel ||
+      (cancel != nullptr && cancel->load(std::memory_order_relaxed))) {
+    return Status::Cancelled("cancelled during morsel scan");
+  }
+  return Status::OK();
+}
+
+Status ParallelTasks(ThreadPool& pool, int max_executors,
+                     const std::atomic<bool>* cancel,
+                     const std::vector<std::function<Status()>>& tasks) {
+  if (tasks.empty()) return Status::OK();
+  int executors = max_executors > 0
+                      ? std::min(max_executors, pool.workers() + 1)
+                      : pool.workers() + 1;
+  executors = std::max(
+      1, std::min<int>(executors, static_cast<int>(tasks.size())));
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  size_t err_task = tasks.size();
+  Status err = Status::OK();
+  bool saw_cancel = false;
+
+  pool.RunOnExecutors(executors, [&](int) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        saw_cancel = true;
+        return;
+      }
+      const size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks.size()) return;
+      Status s = tasks[t]();
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (t < err_task) {
+          err_task = t;
+          err = std::move(s);
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  if (!err.ok()) return err;
+  if (saw_cancel) return Status::Cancelled("cancelled during task batch");
+  return Status::OK();
+}
+
+}  // namespace csm

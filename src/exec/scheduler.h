@@ -1,0 +1,120 @@
+#ifndef CSM_EXEC_SCHEDULER_H_
+#define CSM_EXEC_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace csm {
+
+/// The shared worker pool behind every parallel stage in the system: the
+/// morsel-driven operator scans, the parallel engine's shard runs, and
+/// the external sorter's run generation / in-memory partition sort all
+/// draw executors from here instead of spawning their own threads.
+///
+/// The execution model is *caller participates*: RunOnExecutors always
+/// runs `fn(0)` on the calling thread and hands indices 1..executors-1 to
+/// idle pool workers. Claimed slots are best-effort — when every worker
+/// is busy the caller simply does all the work itself — so `fn` MUST be
+/// written as a work-claiming loop (grab the next morsel/task from a
+/// shared cursor until empty) such that any single executor can complete
+/// the whole job alone. This is also what makes nested calls safe: a
+/// worker that issues RunOnExecutors from inside a job degrades to
+/// running the nested job sequentially instead of deadlocking.
+class ThreadPool {
+ public:
+  /// Spawns `workers` resident threads (0 = pick a default from the
+  /// hardware concurrency, but never less than kMinWorkers so the
+  /// determinism and race coverage of multi-executor execution survives
+  /// single-core CI containers).
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Resident worker threads (excluding callers).
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Process-wide pool shared by all engines and the sorter.
+  static ThreadPool& Global();
+
+  /// Runs `fn(executor)` for executor 0 on this thread and offers
+  /// executors 1..executors-1 to idle workers; returns when every
+  /// executor that actually started has finished. `executors` < 1 is
+  /// treated as 1. Safe to call concurrently and from inside a worker.
+  void RunOnExecutors(int executors, const std::function<void(int)>& fn);
+
+  /// Floor on the default pool size: even on single-core machines the
+  /// pool keeps enough workers that multi-executor interleavings (and
+  /// the TSan coverage of them) actually happen.
+  static constexpr int kMinWorkers = 3;
+
+ private:
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int executors = 1;
+    int next = 1;  // next executor index to hand out (0 = the caller)
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int started = 0;
+    int finished = 0;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job*> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Telemetry of one morsel-parallel stage, surfaced as span counters
+/// (`morsels`, `steals`, `pool_threads`).
+struct MorselStats {
+  uint64_t morsels = 0;   // morsels executed (== ceil(rows/morsel_rows))
+  uint64_t steals = 0;    // morsels executed by a non-owner executor
+  int pool_threads = 0;   // executors the stage planned for
+  size_t morsel_rows = 0;
+};
+
+/// Morsel body: rows [begin, end) of morsel `morsel` on `executor`.
+/// Morsel indices are dense and depend only on (total_rows, morsel_rows),
+/// never on the executor count — per-morsel partial results merged in
+/// morsel order are therefore bit-identical across thread counts.
+using MorselBody =
+    std::function<Status(size_t morsel, size_t begin, size_t end,
+                         int executor)>;
+
+/// Work-stealing morsel loop: splits [0, total_rows) into fixed
+/// `morsel_rows`-sized morsels, partitions the morsel index space into
+/// one contiguous range per executor, and lets executors drain their own
+/// range before stealing from the front of other ranges. Every morsel
+/// runs exactly once; the first body error (lowest morsel index) wins;
+/// a set `cancel` flag stops dispatch and yields Status::Cancelled.
+/// `max_executors` <= 0 means use the whole pool.
+Status ParallelMorsels(ThreadPool& pool, size_t total_rows,
+                       size_t morsel_rows, int max_executors,
+                       const std::atomic<bool>* cancel,
+                       const MorselBody& body, MorselStats* stats);
+
+/// Task-list counterpart for coarse-grained units (partition shards,
+/// sort runs): executors claim tasks from a shared cursor until the list
+/// is drained. The first failing task (lowest index) decides the return
+/// status; a set `cancel` flag stops dispatch of not-yet-started tasks.
+Status ParallelTasks(ThreadPool& pool, int max_executors,
+                     const std::atomic<bool>* cancel,
+                     const std::vector<std::function<Status()>>& tasks);
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_SCHEDULER_H_

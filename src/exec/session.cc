@@ -1,8 +1,11 @@
 #include "exec/session.h"
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "exec/exec_context.h"
+#include "exec/scheduler.h"
 #include "opt/sort_order.h"
 
 namespace csm {
@@ -201,34 +204,56 @@ Result<std::vector<EvalOutput>> QuerySession::RunPending(
                          engine_->Run(plan.combined, fact, run_ctx));
     report.run_stats = fused_out.stats;
 
-    // Demultiplex: hand each query its tables back under its own measure
-    // names. Deduplicated measures clone the one shared fused table.
-    for (size_t qi = 0; qi < to_run.size(); ++qi) {
-      const FusedQuery& mapping = plan.queries[qi];
-      const auto& wanted =
-          options_.include_hidden ? mapping.measures : mapping.outputs;
-      EvalOutput& out = results[to_run[qi]];
-      out.stats = fused_out.stats;
-      for (const auto& [orig, fused] : wanted) {
-        const MeasureTable* table = fused_out.FindTable(fused);
-        if (table == nullptr) {
-          return Status::Internal(
-              "QuerySession::RunPending: fused run did not emit '" + fused +
-              "' needed by query measure '" + orig + "'");
-        }
-        out.tables.emplace(orig, table->CloneAs(orig));
+    // Demultiplex on the shared pool: each query's table clones are
+    // independent of every other query's, so they make one claimable
+    // task apiece (results[i] slots are disjoint).
+    {
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(to_run.size());
+      for (size_t qi = 0; qi < to_run.size(); ++qi) {
+        tasks.push_back([&, qi]() -> Status {
+          const FusedQuery& mapping = plan.queries[qi];
+          const auto& wanted =
+              options_.include_hidden ? mapping.measures : mapping.outputs;
+          EvalOutput& out = results[to_run[qi]];
+          out.stats = fused_out.stats;
+          for (const auto& [orig, fused] : wanted) {
+            const MeasureTable* table = fused_out.FindTable(fused);
+            if (table == nullptr) {
+              return Status::Internal(
+                  "QuerySession::RunPending: fused run did not emit '" +
+                  fused + "' needed by query measure '" + orig + "'");
+            }
+            out.tables.emplace(orig, table->CloneAs(orig));
+          }
+          return Status::OK();
+        });
       }
+      CSM_RETURN_NOT_OK(ParallelTasks(
+          ThreadPool::Global(),
+          static_cast<int>(run_ctx.options.parallel_threads), ctx.cancel,
+          tasks));
     }
 
     // Build incremental state for each miss outside mu_ (it costs one
-    // fact scan per query). A build failure just means that entry will
-    // invalidate instead of patch on the next append.
+    // fact scan per query), again one pool task per query. A build
+    // failure just means that entry will invalidate instead of patch on
+    // the next append.
     if (options_.delta_patching && options_.cache_capacity > 0) {
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(to_run.size());
       for (size_t i : to_run) {
-        Result<std::unique_ptr<DeltaEvaluator>> built =
-            DeltaEvaluator::Create(batch[i], fact, options_.engine_options);
-        if (built.ok()) deltas[i] = std::move(*built);
+        tasks.push_back([&, i]() -> Status {
+          Result<std::unique_ptr<DeltaEvaluator>> built = DeltaEvaluator::
+              Create(batch[i], fact, options_.engine_options);
+          if (built.ok()) deltas[i] = std::move(*built);
+          return Status::OK();
+        });
       }
+      CSM_RETURN_NOT_OK(ParallelTasks(
+          ThreadPool::Global(),
+          static_cast<int>(run_ctx.options.parallel_threads), ctx.cancel,
+          tasks));
     }
   }
 

@@ -1,269 +1,49 @@
 #include "exec/single_scan.h"
 
-#include <unordered_map>
+#include <memory>
+#include <set>
+#include <vector>
 
-#include "algebra/evaluator.h"
-#include "algebra/measure_ops.h"
-#include "common/hash.h"
-#include "common/logging.h"
-#include "exec/agg_table.h"
 #include "exec/exec_context.h"
-#include "storage/record_batch.h"
+#include "exec/op/aggregate_op.h"
+#include "exec/op/emit_op.h"
+#include "exec/op/generalize_op.h"
+#include "exec/op/scan_op.h"
 
 namespace csm {
 
-namespace {
+PhysicalPlan BuildSingleScanPlan(const Workflow& workflow,
+                                 const EngineOptions& options) {
+  // Count the hash tables the scan will maintain (basic measures plus one
+  // region enumerator per distinct match granularity) for EXPLAIN output.
+  size_t num_tables = 0;
+  std::set<std::vector<int>> enum_grans;
+  for (const MeasureDef& def : workflow.measures()) {
+    if (def.op == MeasureOp::kBaseAgg) {
+      ++num_tables;
+    } else if (def.op == MeasureOp::kMatch) {
+      if (enum_grans.insert(def.gran.levels()).second) ++num_tables;
+    }
+  }
 
-/// One hash table maintained during the scan: either a user-declared basic
-/// measure or the implicit region enumerator (S_base) of a match join.
-struct BaseJob {
-  std::string table_name;
-  Granularity gran;
-  AggSpec agg;
-  BoundExpr where;  // empty => no filter
-  bool has_where = false;
-  AggTable states;
-};
-
-}  // namespace
+  PhysicalPlan plan;
+  plan.engine = "single-scan";
+  plan.morsel_rows = options.morsel_rows;
+  plan.scan_batch_rows = options.scan_batch_rows;
+  plan.threads = options.parallel_threads;
+  plan.ops.push_back(std::make_unique<ScanOp>(ScanOp::Mode::kUnsorted));
+  plan.ops.push_back(
+      std::make_unique<GeneralizeOp>(BuildScanSweep(workflow)));
+  plan.ops.push_back(std::make_unique<AggregateOp>(num_tables));
+  plan.ops.push_back(std::make_unique<EmitOp>(EmitOp::Mode::kComposite));
+  return plan;
+}
 
 Result<EvalOutput> SingleScanEngine::Run(const Workflow& workflow,
                                          const FactTable& fact,
                                          ExecContext& ctx) {
-  RunScope rs(ctx, name());
-  Tracer& tracer = rs.tracer();
-  EvalOutput out;
-  const Schema& schema = *workflow.schema();
-  const int d = schema.num_dims();
-  const int m = schema.num_measures();
-
-  // The scan span also covers job planning: for this engine "scan" is the
-  // whole streaming phase, and there is no sort to attribute setup to.
-  ScopedSpan scan_span(&tracer, "scan", rs.root());
-
-  // ---- Plan: collect every hash table the scan must maintain.
-  std::vector<BaseJob> jobs;
-  // Maps a measure name (or synthetic base name) to a job index.
-  std::unordered_map<std::string, size_t> job_by_name;
-  // Region-enumerator jobs shared across match measures per granularity.
-  std::map<std::vector<int>, size_t> enumerator_by_gran;
-
-  const auto fact_vars = FactRowVars(schema);
-  for (const MeasureDef& def : workflow.measures()) {
-    if (def.op == MeasureOp::kBaseAgg) {
-      BaseJob job;
-      job.table_name = def.name;
-      job.gran = def.gran;
-      job.agg = def.agg;
-      job.states = AggTable(def.agg.kind, d);
-      if (def.where != nullptr) {
-        CSM_ASSIGN_OR_RETURN(job.where,
-                             BoundExpr::Bind(*def.where, fact_vars));
-        job.has_where = true;
-      }
-      job_by_name[def.name] = jobs.size();
-      jobs.push_back(std::move(job));
-    } else if (def.op == MeasureOp::kMatch) {
-      auto key = def.gran.levels();
-      if (enumerator_by_gran.find(key) == enumerator_by_gran.end()) {
-        BaseJob job;
-        job.table_name = "__regions" + def.gran.ToString(schema);
-        job.gran = def.gran;
-        job.agg = AggSpec{AggKind::kNone, -1};
-        job.states = AggTable(AggKind::kNone, d);
-        enumerator_by_gran[key] = jobs.size();
-        jobs.push_back(std::move(job));
-      }
-    }
-  }
-
-  // ---- The single scan (no sort), batch-at-a-time: the fact table is
-  // streamed as columnar RecordBatches and hierarchy mapping runs as one
-  // column sweep per dimension per distinct job granularity per batch,
-  // not per row per job.
-  const size_t cap = std::max<size_t>(1, ctx.options.scan_batch_rows);
-  struct GranPass {
-    Granularity gran;
-    std::vector<std::vector<Value>> cols;
-    std::vector<Value*> col_ptrs;
-  };
-  std::vector<GranPass> passes;
-  std::vector<size_t> job_pass(jobs.size());
-  for (size_t j = 0; j < jobs.size(); ++j) {
-    size_t p = 0;
-    while (p < passes.size() && passes[p].gran != jobs[j].gran) ++p;
-    if (p == passes.size()) {
-      GranPass pass;
-      pass.gran = jobs[j].gran;
-      pass.cols.assign(d, std::vector<Value>(cap));
-      for (auto& col : pass.cols) pass.col_ptrs.push_back(col.data());
-      passes.push_back(std::move(pass));
-    }
-    job_pass[j] = p;
-  }
-
-  std::vector<double> slots(d + m);
-  RegionKey key(d);
-  const Granularity base = Granularity::Base(schema);
-  std::unique_ptr<BatchCursor> cursor = MakeFactTableBatchCursor(fact);
-  RecordBatch batch(d, m, cap);
-  std::vector<const Value*> in_ptrs(d);
-  uint64_t batches = 0, adapter_batches = 0;
-  for (;;) {
-    CSM_ASSIGN_OR_RETURN(size_t n, cursor->NextBatch(&batch));
-    if (n == 0) break;
-    ++batches;
-    if (cursor->per_record_fallback()) ++adapter_batches;
-    if (ctx.cancelled()) return ctx.CheckCancelled("single-scan scan");
-
-    for (int i = 0; i < d; ++i) in_ptrs[i] = batch.dim_col(i);
-    for (GranPass& pass : passes) {
-      GeneralizeColumns(schema, base, pass.gran, in_ptrs.data(), n,
-                        pass.col_ptrs.data());
-    }
-
-    for (size_t j = 0; j < jobs.size(); ++j) {
-      BaseJob& job = jobs[j];
-      const GranPass& pass = passes[job_pass[j]];
-      const double* arg_col =
-          job.agg.arg >= 0 ? batch.measure_col(job.agg.arg) : nullptr;
-      for (size_t r = 0; r < n; ++r) {
-        if (job.has_where) {
-          for (int i = 0; i < d; ++i) {
-            slots[i] = static_cast<double>(batch.dim_col(i)[r]);
-          }
-          for (int i = 0; i < m; ++i) {
-            slots[d + i] = batch.measure_col(i)[r];
-          }
-          if (!job.where.EvalBool(slots.data())) continue;
-        }
-        for (int i = 0; i < d; ++i) key[i] = pass.cols[i][r];
-        job.states.Update(key.data(),
-                          arg_col != nullptr ? arg_col[r] : 1.0);
-      }
-    }
-  }
-  tracer.AddCounter(scan_span.id(), "rows_scanned",
-                    static_cast<double>(fact.num_rows()));
-  tracer.AddCounter(scan_span.id(), "batches",
-                    static_cast<double>(batches));
-  tracer.AddCounter(scan_span.id(), "adapter_batches",
-                    static_cast<double>(adapter_batches));
-  tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(cap));
-
-  // Peak memory: all hash tables coexist at end of scan.
-  {
-    uint64_t peak_entries = 0;
-    uint64_t peak_bytes = 0;
-    for (const BaseJob& job : jobs) {
-      peak_entries += job.states.size();
-      peak_bytes += job.states.ApproxBytes();
-      tracer.SetGaugeMax(scan_span.id(),
-                         "hash_entries_hw/" + job.table_name,
-                         static_cast<double>(job.states.size()));
-    }
-    tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",
-                       static_cast<double>(peak_entries));
-    tracer.SetGaugeMax(scan_span.id(), "peak_hash_bytes",
-                       static_cast<double>(peak_bytes));
-  }
-  scan_span.End();
-
-  CSM_RETURN_NOT_OK(ctx.CheckCancelled("single-scan combine"));
-
-  // ---- Finalize base tables and evaluate composites.
-  ScopedSpan combine_span(&tracer, "combine", rs.root());
-  std::map<std::string, MeasureTable> tables;  // all computed measures
-  for (BaseJob& job : jobs) {
-    tables.emplace(job.table_name,
-                   job.states.Materialize(workflow.schema(), job.gran,
-                                          job.table_name));
-  }
-
-  // ---- Composite measures in topological order.
-  for (const MeasureDef& def : workflow.measures()) {
-    switch (def.op) {
-      case MeasureOp::kBaseAgg:
-        break;  // already computed
-      case MeasureOp::kRollup: {
-        auto in = tables.find(def.input);
-        CSM_CHECK(in != tables.end());
-        const MeasureTable* source = &in->second;
-        MeasureTable filtered(workflow.schema(), source->granularity(),
-                              source->name());
-        if (def.where != nullptr) {
-          CSM_ASSIGN_OR_RETURN(
-              filtered, FilterMeasure(*source, *def.where, nullptr,
-                                      source->name()));
-          source = &filtered;
-        }
-        AggSpec agg = def.agg;
-        if (agg.arg > 0) agg.arg = 0;
-        CSM_ASSIGN_OR_RETURN(MeasureTable result,
-                             HashRollup(*source, def.gran, agg, def.name));
-        tracer.SetGaugeMax(combine_span.id(),
-                           "hash_entries_hw/" + def.name,
-                           static_cast<double>(result.num_rows()));
-        tables.emplace(def.name, std::move(result));
-        break;
-      }
-      case MeasureOp::kMatch: {
-        auto in = tables.find(def.input);
-        CSM_CHECK(in != tables.end());
-        size_t enum_idx = enumerator_by_gran.at(def.gran.levels());
-        const MeasureTable& regions =
-            tables.at(jobs[enum_idx].table_name);
-        const MeasureTable* target = &in->second;
-        MeasureTable filtered(workflow.schema(), target->granularity(),
-                              target->name());
-        if (def.where != nullptr) {
-          CSM_ASSIGN_OR_RETURN(
-              filtered, FilterMeasure(*target, *def.where, nullptr,
-                                      target->name()));
-          target = &filtered;
-        }
-        AggSpec agg = def.agg;
-        if (agg.arg > 0) agg.arg = 0;
-        CSM_ASSIGN_OR_RETURN(
-            MeasureTable result,
-            HashMatchJoin(regions, *target, def.match, agg, def.name));
-        tracer.SetGaugeMax(combine_span.id(),
-                           "hash_entries_hw/" + def.name,
-                           static_cast<double>(result.num_rows()));
-        tables.emplace(def.name, std::move(result));
-        break;
-      }
-      case MeasureOp::kCombine: {
-        std::vector<const MeasureTable*> inputs;
-        for (const std::string& name : def.combine_inputs) {
-          auto it = tables.find(name);
-          CSM_CHECK(it != tables.end());
-          inputs.push_back(&it->second);
-        }
-        CSM_ASSIGN_OR_RETURN(MeasureTable result,
-                             HashCombine(inputs, *def.fc, def.name));
-        tracer.SetGaugeMax(combine_span.id(),
-                           "hash_entries_hw/" + def.name,
-                           static_cast<double>(result.num_rows()));
-        tables.emplace(def.name, std::move(result));
-        break;
-      }
-    }
-  }
-
-  // ---- Keep only requested outputs.
-  for (const MeasureDef& def : workflow.measures()) {
-    if (!def.is_output && !ctx.options.include_hidden) continue;
-    auto it = tables.find(def.name);
-    CSM_CHECK(it != tables.end());
-    out.tables.emplace(def.name, std::move(it->second));
-    tables.erase(it);
-  }
-  combine_span.End();
-
-  tracer.SetAttr(rs.root(), "sort_key", "(unsorted)");
-  out.stats = rs.Finish();
-  return out;
+  PhysicalPlan plan = BuildSingleScanPlan(workflow, ctx.options);
+  return plan.Execute(workflow, fact, ctx);
 }
 
 }  // namespace csm

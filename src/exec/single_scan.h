@@ -2,6 +2,7 @@
 #define CSM_EXEC_SINGLE_SCAN_H_
 
 #include "exec/engine.h"
+#include "exec/op/physical_plan.h"
 
 namespace csm {
 
@@ -25,6 +26,12 @@ class SingleScanEngine : public Engine {
   Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
                          ExecContext& ctx) override;
 };
+
+/// Lowers a workflow into the single-scan operator pipeline:
+/// scan(unsorted) -> generalize -> aggregate -> emit(composite). The
+/// aggregate stage is morsel-parallel on the shared scheduler pool.
+PhysicalPlan BuildSingleScanPlan(const Workflow& workflow,
+                                 const EngineOptions& options);
 
 }  // namespace csm
 

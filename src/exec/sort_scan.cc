@@ -1,1068 +1,15 @@
 #include "exec/sort_scan.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <limits>
-#include <map>
-#include <unordered_map>
+#include <memory>
 
-#include "algebra/evaluator.h"
-#include "common/flat_hash.h"
-#include "common/hash.h"
-#include "common/logging.h"
-#include "common/string_util.h"
-#include "common/timer.h"
 #include "exec/exec_context.h"
-#include "storage/external_sorter.h"
-#include "storage/record_cursor.h"
-#include "storage/temp_file.h"
+#include "exec/op/emit_op.h"
+#include "exec/op/generalize_op.h"
+#include "exec/op/propagate_op.h"
+#include "exec/op/scan_op.h"
 
 namespace csm {
-
-namespace {
-
-constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
-
-// ---------------------------------------------------------------------------
-// Order positions (the mapKey of Table 8)
-
-/// Projects region keys at one granularity onto the usable prefix of the
-/// dataset's order vector — the per-stream orders of Table 6:
-///  - a component whose sort level is at least as fine as the region's
-///    level is kept at the sort level;
-///  - a component where the region is coarser is *coarsened to the
-///    region's level and the order stops there* (a stream sorted by hour
-///    is sorted by day, but nothing beyond that component is ordered);
-///  - a dimension rolled to ALL ends the order outright.
-class PosCalc {
- public:
-  PosCalc() = default;
-  PosCalc(const Schema& schema, const SortKey& key,
-          const Granularity& gran) {
-    for (const SortKeyPart& p : key.parts()) {
-      const int from = gran.level(p.dim);
-      if (from > p.level) {
-        if (from < schema.dim(p.dim).hierarchy->all_level()) {
-          parts_.push_back({p.dim, from, from});
-        }
-        break;
-      }
-      parts_.push_back({p.dim, from, p.level});
-    }
-  }
-
-  size_t len() const { return parts_.size(); }
-
-  /// `key` is a region key at the granularity this PosCalc was built for.
-  void Compute(const Schema& schema, const Value* key,
-               std::vector<Value>* out) const {
-    out->resize(parts_.size());
-    for (size_t i = 0; i < parts_.size(); ++i) {
-      (*out)[i] = schema.dim(parts_[i].dim)
-                      .hierarchy->Generalize(key[parts_[i].dim],
-                                             parts_[i].from, parts_[i].to);
-    }
-  }
-
-  int part_dim(size_t i) const { return parts_[i].dim; }
-  int part_from(size_t i) const { return parts_[i].from; }
-  int part_to(size_t i) const { return parts_[i].to; }
-
- private:
-  struct Part {
-    int dim;
-    int from;
-    int to;
-  };
-  std::vector<Part> parts_;
-};
-
-// ---------------------------------------------------------------------------
-// Frontiers (the dynamic form of the paper's order+slack stream labels)
-
-/// A monotone lower bound on the order position of every future update on
-/// a stream. `closed` means the stream has ended (everything is past).
-struct Frontier {
-  std::vector<Value> vals;
-  bool closed = false;
-};
-
-/// True iff an entry at position `pos` can no longer be touched by a
-/// stream bounded below by `f` — i.e. pos <_lex f with strictness within
-/// the common prefix. Ties (or a frontier too short to discriminate) keep
-/// the entry alive: conservative, never incorrect.
-bool StrictlyBefore(const Value* pos, size_t pos_len, const Frontier& f) {
-  if (f.closed) return true;
-  const size_t n = std::min(pos_len, f.vals.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (pos[i] < f.vals[i]) return true;
-    if (pos[i] > f.vals[i]) return false;
-  }
-  return false;
-}
-
-bool LexLess(const Value* a, const Value* b, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    if (a[i] != b[i]) return a[i] < b[i];
-  }
-  return false;
-}
-
-/// Lexicographic minimum of the position prefixes in a table, maintained
-/// incrementally so propagation rounds can prove "no entry is finalized
-/// yet" in O(1) instead of sweeping the whole table. StrictlyBefore is
-/// monotone in the position order, so if the minimum position is not
-/// strictly before the watermark, no entry is.
-struct MinPos {
-  std::vector<Value> vals;
-  bool valid = false;
-
-  void Observe(const Value* pos, size_t len) {
-    if (!valid) {
-      vals.assign(pos, pos + len);
-      valid = true;
-    } else if (LexLess(pos, vals.data(), len)) {
-      vals.assign(pos, pos + len);
-    }
-  }
-  bool MayFlush(size_t len, const Frontier& f) const {
-    return valid && StrictlyBefore(vals.data(), len, f);
-  }
-};
-
-/// Conservative minimum: the frontier that finalizes no entry the other
-/// would keep. On a tie over the common prefix the shorter frontier wins
-/// (it finalizes less).
-const Frontier& LowerOf(const Frontier& a, const Frontier& b) {
-  if (a.closed) return b;
-  if (b.closed) return a;
-  const size_t n = std::min(a.vals.size(), b.vals.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (a.vals[i] < b.vals[i]) return a;
-    if (a.vals[i] > b.vals[i]) return b;
-  }
-  return a.vals.size() <= b.vals.size() ? a : b;
-}
-
-// ---------------------------------------------------------------------------
-// Computation graph
-
-enum class NodeKind {
-  kBase,     // basic measure: updated directly from the scan
-  kEnum,     // implicit region enumerator (S_base) for match joins
-  kRollup,   // g over another measure's finalized stream
-  kMatch,    // match join (self / parent-child / child-parent / sibling)
-  kCombine,  // combine join
-};
-
-/// What a computational arc does to the entries it delivers. Mirrors the
-/// four match-condition families plus the combine-join slots.
-enum class ArcKind {
-  kExists,       // region enumerator -> match/combine node
-  kSelf,         // fold value into the same region
-  kRollup,       // generalize key, fold (child/parent and roll-up arcs)
-  kParentChild,  // buffer parent values; folded at child finalization
-  kSibling,      // fan value out to the window box around the key
-  kCombineSlot,  // fill slot i of a combine entry
-};
-
-struct NodeEntry {
-  AggState state;
-  std::vector<double> slots;  // combine nodes only
-  bool exists = false;
-};
-
-struct EdgeRt {
-  int producer = -1;
-  int consumer = -1;
-  ArcKind kind = ArcKind::kSelf;
-  int slot = 0;
-  bool has_filter = false;
-  BoundExpr filter;  // bound over MeasureRowVars(producer)
-  Frontier frontier;
-  // kSibling: per producer-watermark component, how far (in sort-key
-  // units) the window can reach back; subtracted when transforming the
-  // producer's watermark into this edge's frontier.
-  std::vector<int64_t> sibling_shift;
-  // kParentChild: parent values awaiting children, keyed by
-  // parent-pos ++ parent-key; evicted once the consumer watermark passes.
-  FlatKeyMap<double> parent_values;
-  MinPos min_pos;  // over parent_values' position prefixes
-  PosCalc producer_pos;
-};
-
-struct NodeRt {
-  NodeKind kind = NodeKind::kBase;
-  std::string name;
-  Granularity gran;
-  AggSpec agg;
-  MatchCond match;
-  BoundExpr fc;        // combine
-  size_t n_slots = 0;  // combine inputs
-  bool has_where = false;
-  BoundExpr where;  // base nodes: fact-row filter
-
-  PosCalc pos;
-  FlatKeyMap<NodeEntry> entries;  // keyed pos ++ region key
-  MinPos min_pos;                 // over entries' position prefixes
-  Frontier watermark;
-
-  std::vector<int> in_edges;
-  std::vector<int> out_edges;
-
-  bool keep_output = false;
-  std::unique_ptr<MeasureTable> output;
-};
-
-class SortScanRun {
- public:
-  SortScanRun(const Workflow& workflow, ExecContext& ctx)
-      : workflow_(workflow),
-        ctx_(ctx),
-        options_(ctx.options),
-        schema_ptr_(workflow.schema()),
-        schema_(*schema_ptr_),
-        d_(schema_.num_dims()) {}
-
-  /// In-memory input: clone, sort, scan.
-  Result<EvalOutput> Execute(const FactTable& fact) {
-    RunScope rs(ctx_, "sort-scan");
-    EvalOutput out;
-
-    ScopedSpan sort_span(&rs.tracer(), "sort", rs.root());
-    CSM_RETURN_NOT_OK(Prepare());
-    CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
-    SortStats sort_stats;
-    SortOptions sort_options;
-    sort_options.memory_budget_bytes = options_.memory_budget_bytes;
-    sort_options.temp_dir = &temp;
-    sort_options.threads = options_.parallel_threads;
-    sort_options.cancel = ctx_.cancel;
-    CSM_ASSIGN_OR_RETURN(
-        FactTable sorted,
-        SortFactTable(fact.Clone(), sort_key_, sort_options, &sort_stats));
-    RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
-    sort_span.End();
-
-    std::unique_ptr<BatchCursor> cursor = MakeFactTableBatchCursor(sorted);
-    CSM_RETURN_NOT_OK(Scan(*cursor, rs));
-    CSM_RETURN_NOT_OK(Collect(&out, rs));
-    rs.tracer().SetAttr(rs.root(), "sort_key",
-                        sort_key_.ToString(schema_));
-    out.stats = rs.Finish();
-    return out;
-  }
-
-  /// Out-of-core input: sort the binary fact file into runs and stream
-  /// the merged records straight into the computation graph — the full
-  /// dataset is never memory-resident.
-  Result<EvalOutput> ExecuteFile(const std::string& fact_path) {
-    RunScope rs(ctx_, "sort-scan");
-    EvalOutput out;
-
-    ScopedSpan sort_span(&rs.tracer(), "sort", rs.root());
-    CSM_RETURN_NOT_OK(Prepare());
-    CSM_ASSIGN_OR_RETURN(TempDir temp, TempDir::Make(options_.temp_dir));
-    SortStats sort_stats;
-    SortOptions sort_options;
-    sort_options.memory_budget_bytes = options_.memory_budget_bytes;
-    sort_options.temp_dir = &temp;
-    sort_options.threads = options_.parallel_threads;
-    sort_options.cancel = ctx_.cancel;
-    CSM_ASSIGN_OR_RETURN(
-        std::unique_ptr<BatchCursor> cursor,
-        SortFactFileBatchCursor(schema_ptr_, fact_path, sort_key_,
-                                sort_options, &sort_stats));
-    RecordSortMetrics(rs.tracer(), sort_span.id(), sort_stats);
-    sort_span.End();
-
-    CSM_RETURN_NOT_OK(Scan(*cursor, rs));
-    CSM_RETURN_NOT_OK(Collect(&out, rs));
-    rs.tracer().SetAttr(rs.root(), "sort_key",
-                        sort_key_.ToString(schema_));
-    out.stats = rs.Finish();
-    return out;
-  }
-
- private:
-  static void RecordSortMetrics(Tracer& tracer, SpanId span,
-                                const SortStats& sort_stats) {
-    tracer.AddCounter(span, "rows_sorted",
-                      static_cast<double>(sort_stats.rows));
-    tracer.AddCounter(span, "sort_runs",
-                      static_cast<double>(sort_stats.runs));
-    tracer.AddCounter(span, "spilled_bytes",
-                      static_cast<double>(sort_stats.spilled_bytes));
-    tracer.AddCounter(span, "overlapped_runs",
-                      static_cast<double>(sort_stats.overlapped_runs));
-    tracer.SetAttr(span, "sort_threads",
-                   std::to_string(sort_stats.threads_used));
-  }
-
-  Status Prepare() {
-    sort_key_ = options_.sort_key.empty()
-                    ? SortScanEngine::DefaultSortKey(workflow_)
-                    : options_.sort_key;
-    return BuildGraph();
-  }
-
-  /// The coordinated scan over an already-sorted batch stream. Keeps a
-  /// one-batch lookahead so the propagation rounds can use the first
-  /// record of the *next* batch as the scan frontier; rounds fire at
-  /// batch boundaries once propagation_batch_records rows have been
-  /// scanned since the previous round.
-  Status Scan(BatchCursor& cursor, RunScope& rs) {
-    ScopedSpan scan_span(&rs.tracer(), "scan", rs.root());
-    Timer scan_timer;
-    node_peak_entries_.assign(nodes_.size(), 0);
-    const int m = schema_.num_measures();
-    const size_t cap = std::max<size_t>(1, options_.scan_batch_rows);
-    const size_t prop_batch =
-        std::max<size_t>(1, options_.propagation_batch_records);
-    const Granularity base_gran = Granularity::Base(schema_);
-
-    // Scan nodes sharing a granularity share one generalized key-column
-    // pass per batch: one hierarchy sweep per dimension per distinct
-    // granularity instead of one γ call per node per record.
-    struct GranPass {
-      Granularity gran;
-      std::vector<std::vector<Value>> cols;
-      std::vector<Value*> col_ptrs;
-    };
-    std::vector<GranPass> passes;
-    std::vector<size_t> node_pass(scan_nodes_.size());
-    for (size_t s = 0; s < scan_nodes_.size(); ++s) {
-      const Granularity& g = nodes_[scan_nodes_[s]]->gran;
-      size_t j = 0;
-      while (j < passes.size() && passes[j].gran != g) ++j;
-      if (j == passes.size()) {
-        GranPass pass;
-        pass.gran = g;
-        pass.cols.assign(d_, std::vector<Value>(cap));
-        for (auto& col : pass.cols) pass.col_ptrs.push_back(col.data());
-        passes.push_back(std::move(pass));
-      }
-      node_pass[s] = j;
-    }
-
-    RecordBatch cur(d_, m, cap), next(d_, m, cap);
-    std::vector<const Value*> in_ptrs(d_);
-    std::vector<double> slots(d_ + m);
-    RegionKey gen_key(d_), prev_key(d_), frontier(d_);
-    std::vector<Value> map_key;
-    uint64_t rows = 0, batches = 0, adapter_batches = 0;
-    size_t rows_since_prop = 0;
-
-    CSM_ASSIGN_OR_RETURN(size_t cur_rows, cursor.NextBatch(&cur));
-    while (cur_rows > 0) {
-      CSM_ASSIGN_OR_RETURN(size_t next_rows, cursor.NextBatch(&next));
-      ++batches;
-      if (cursor.per_record_fallback()) ++adapter_batches;
-      if (ctx_.cancelled()) return ctx_.CheckCancelled("sort-scan scan");
-
-      for (int i = 0; i < d_; ++i) in_ptrs[i] = cur.dim_col(i);
-      for (GranPass& pass : passes) {
-        GeneralizeColumns(schema_, base_gran, pass.gran, in_ptrs.data(),
-                          cur_rows, pass.col_ptrs.data());
-      }
-
-      // Feed the batch to every scan-side node. The stream is sorted, so
-      // generalized keys arrive in runs; reusing the entry while the key
-      // repeats skips most of the map probes.
-      for (size_t s = 0; s < scan_nodes_.size(); ++s) {
-        NodeRt& node = *nodes_[scan_nodes_[s]];
-        const GranPass& pass = passes[node_pass[s]];
-        const double* arg_col =
-            node.agg.arg >= 0 ? cur.measure_col(node.agg.arg) : nullptr;
-        NodeEntry* entry = nullptr;
-        for (size_t r = 0; r < cur_rows; ++r) {
-          if (node.has_where) {
-            for (int i = 0; i < d_; ++i) {
-              slots[i] = static_cast<double>(cur.dim_col(i)[r]);
-            }
-            for (int i = 0; i < m; ++i) {
-              slots[d_ + i] = cur.measure_col(i)[r];
-            }
-            if (!node.where.EvalBool(slots.data())) continue;
-          }
-          for (int i = 0; i < d_; ++i) gen_key[i] = pass.cols[i][r];
-          if (entry == nullptr || gen_key != prev_key) {
-            entry = &Touch(node, gen_key.data(), &map_key);
-            prev_key = gen_key;
-          }
-          AggUpdate(node.agg.kind, &entry->state,
-                    arg_col != nullptr ? arg_col[r] : 1.0);
-        }
-      }
-
-      rows += cur_rows;
-      rows_since_prop += cur_rows;
-      if (rows_since_prop >= prop_batch && next_rows > 0) {
-        rows_since_prop = 0;
-        SampleMemory();
-        for (int i = 0; i < d_; ++i) frontier[i] = next.dim_col(i)[0];
-        CSM_RETURN_NOT_OK(Propagate(frontier.data()));
-      }
-      std::swap(cur, next);
-      cur_rows = next_rows;
-    }
-    SampleMemory();
-    CSM_RETURN_NOT_OK(Propagate(nullptr));  // close all streams
-
-    // Flush the locally tracked high-water marks to the span: sampling
-    // runs per propagation batch, so it must not touch the tracer mutex.
-    Tracer& tracer = rs.tracer();
-    tracer.AddCounter(scan_span.id(), "rows_scanned",
-                      static_cast<double>(rows));
-    tracer.AddCounter(scan_span.id(), "batches",
-                      static_cast<double>(batches));
-    tracer.AddCounter(scan_span.id(), "adapter_batches",
-                      static_cast<double>(adapter_batches));
-    tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(cap));
-    tracer.AddCounter(scan_span.id(), "materialized_rows",
-                      static_cast<double>(rows_flushed_));
-    tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",
-                       static_cast<double>(peak_entries_));
-    tracer.SetGaugeMax(scan_span.id(), "peak_hash_bytes",
-                       static_cast<double>(peak_bytes_));
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      tracer.SetGaugeMax(scan_span.id(),
-                         "hash_entries_hw/" + nodes_[i]->name,
-                         static_cast<double>(node_peak_entries_[i]));
-    }
-    const double seconds = scan_timer.Seconds();
-    if (seconds > 0) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.0f",
-                    static_cast<double>(rows) / seconds);
-      tracer.SetAttr(scan_span.id(), "rows_per_sec", buf);
-    }
-    return Status::OK();
-  }
-
-  Status Collect(EvalOutput* out, RunScope& rs) {
-    ScopedSpan combine_span(&rs.tracer(), "combine", rs.root());
-    for (auto& node : nodes_) {
-      CSM_CHECK(node->entries.empty())
-          << "node " << node->name << " retained entries after close";
-      if (node->keep_output) {
-        node->output->SortByKeyLex();
-        out->tables.emplace(node->name, std::move(*node->output));
-      }
-    }
-    return Status::OK();
-  }
-
-  // ---- Graph construction -------------------------------------------------
-
-  Status BuildGraph() {
-    std::unordered_map<std::string, int> node_by_name;
-    std::map<std::vector<int>, int> enum_by_gran;
-
-    auto add_node = [&](std::unique_ptr<NodeRt> node) {
-      nodes_.push_back(std::move(node));
-      return static_cast<int>(nodes_.size() - 1);
-    };
-    auto add_edge = [&](EdgeRt edge) {
-      const int idx = static_cast<int>(edges_.size());
-      nodes_[edge.producer]->out_edges.push_back(idx);
-      nodes_[edge.consumer]->in_edges.push_back(idx);
-      if (edge.kind == ArcKind::kParentChild) {
-        edge.parent_values =
-            FlatKeyMap<double>(edge.producer_pos.len() + d_);
-      }
-      edges_.push_back(std::move(edge));
-      return idx;
-    };
-    auto ensure_enum = [&](const Granularity& gran) {
-      auto it = enum_by_gran.find(gran.levels());
-      if (it != enum_by_gran.end()) return it->second;
-      auto node = std::make_unique<NodeRt>();
-      node->kind = NodeKind::kEnum;
-      node->name = "__regions" + gran.ToString(schema_);
-      node->gran = gran;
-      node->agg = AggSpec{AggKind::kNone, -1};
-      node->pos = PosCalc(schema_, sort_key_, gran);
-      node->entries = FlatKeyMap<NodeEntry>(node->pos.len() + d_);
-      int idx = add_node(std::move(node));
-      scan_nodes_.push_back(idx);
-      enum_by_gran[gran.levels()] = idx;
-      return idx;
-    };
-
-    for (const MeasureDef& def : workflow_.measures()) {
-      auto node = std::make_unique<NodeRt>();
-      node->name = def.name;
-      node->gran = def.gran;
-      node->agg = def.agg;
-      if (node->agg.arg > 0 && def.op != MeasureOp::kBaseAgg) {
-        node->agg.arg = 0;
-      }
-      node->match = def.match;
-      node->pos = PosCalc(schema_, sort_key_, def.gran);
-      node->entries = FlatKeyMap<NodeEntry>(node->pos.len() + d_);
-      node->keep_output = def.is_output || options_.include_hidden;
-
-      switch (def.op) {
-        case MeasureOp::kBaseAgg: {
-          node->kind = NodeKind::kBase;
-          if (def.where != nullptr) {
-            CSM_ASSIGN_OR_RETURN(
-                node->where,
-                BoundExpr::Bind(*def.where, FactRowVars(schema_)));
-            node->has_where = true;
-          }
-          break;
-        }
-        case MeasureOp::kRollup:
-        case MeasureOp::kMatch: {
-          node->kind = def.op == MeasureOp::kRollup ? NodeKind::kRollup
-                                                    : NodeKind::kMatch;
-          break;
-        }
-        case MeasureOp::kCombine: {
-          node->kind = NodeKind::kCombine;
-          node->n_slots = def.combine_inputs.size();
-          std::vector<std::string> names;
-          for (const std::string& input : def.combine_inputs) {
-            CSM_ASSIGN_OR_RETURN(const MeasureDef* in,
-                                 workflow_.Find(input));
-            names.push_back(in->name);
-          }
-          CSM_ASSIGN_OR_RETURN(
-              node->fc,
-              BoundExpr::Bind(*def.fc, CombineVars(schema_, names)));
-          break;
-        }
-      }
-      if (node->keep_output) {
-        node->output = std::make_unique<MeasureTable>(schema_ptr_,
-                                                      def.gran, def.name);
-      }
-      // The region enumerator must precede the match node in the
-      // topological node order, so create it first.
-      int enum_idx = -1;
-      if (def.op == MeasureOp::kMatch) enum_idx = ensure_enum(def.gran);
-      const int node_idx = add_node(std::move(node));
-      node_by_name[def.name] = node_idx;
-      if (def.op == MeasureOp::kBaseAgg) scan_nodes_.push_back(node_idx);
-
-      // Wire the computational arcs.
-      auto make_edge = [&](int producer, ArcKind kind,
-                           int slot) -> Result<EdgeRt> {
-        EdgeRt edge;
-        edge.producer = producer;
-        edge.consumer = node_idx;
-        edge.kind = kind;
-        edge.slot = slot;
-        edge.producer_pos = nodes_[producer]->pos;
-        if (def.where != nullptr && kind != ArcKind::kExists) {
-          CSM_ASSIGN_OR_RETURN(
-              edge.filter,
-              BoundExpr::Bind(*def.where,
-                              MeasureRowVars(schema_,
-                                             nodes_[producer]->name)));
-          edge.has_filter = true;
-        }
-        return edge;
-      };
-
-      switch (def.op) {
-        case MeasureOp::kBaseAgg:
-          break;
-        case MeasureOp::kRollup: {
-          const int producer = node_by_name.at(
-              ToLowerName(def.input, node_by_name));
-          CSM_ASSIGN_OR_RETURN(EdgeRt edge,
-                               make_edge(producer, ArcKind::kRollup, 0));
-          add_edge(std::move(edge));
-          break;
-        }
-        case MeasureOp::kMatch: {
-          EdgeRt exists;
-          exists.producer = enum_idx;
-          exists.consumer = node_idx;
-          exists.kind = ArcKind::kExists;
-          exists.producer_pos = nodes_[enum_idx]->pos;
-          add_edge(std::move(exists));
-
-          const int producer = node_by_name.at(
-              ToLowerName(def.input, node_by_name));
-          ArcKind kind = ArcKind::kSelf;
-          switch (def.match.type) {
-            case MatchType::kSelf:
-              kind = ArcKind::kSelf;
-              break;
-            case MatchType::kChildParent:
-              kind = ArcKind::kRollup;
-              break;
-            case MatchType::kParentChild:
-              kind = ArcKind::kParentChild;
-              break;
-            case MatchType::kSibling:
-              kind = ArcKind::kSibling;
-              break;
-          }
-          CSM_ASSIGN_OR_RETURN(EdgeRt edge, make_edge(producer, kind, 0));
-          if (kind == ArcKind::kSibling) {
-            // Per producer-pos component: how far back the window reach
-            // extends in sort-key units. Exact for stepped hierarchies;
-            // conservative (the raw window bound) otherwise.
-            const PosCalc& ppos = nodes_[producer]->pos;
-            edge.sibling_shift.assign(ppos.len(), 0);
-            for (const SiblingWindow& w : def.match.windows) {
-              for (size_t i = 0; i < ppos.len(); ++i) {
-                if (ppos.part_dim(i) != w.dim) continue;
-                const int64_t hi = std::max<int64_t>(0, w.hi);
-                if (hi == 0) continue;
-                const Hierarchy& h = *schema_.dim(w.dim).hierarchy;
-                uint64_t div = h.ExactDivisor(ppos.part_from(i),
-                                              ppos.part_to(i));
-                edge.sibling_shift[i] =
-                    div > 0 ? (hi + static_cast<int64_t>(div) - 1) /
-                                  static_cast<int64_t>(div)
-                            : hi;
-              }
-            }
-          }
-          add_edge(std::move(edge));
-          break;
-        }
-        case MeasureOp::kCombine: {
-          for (size_t i = 0; i < def.combine_inputs.size(); ++i) {
-            const int producer = node_by_name.at(
-                ToLowerName(def.combine_inputs[i], node_by_name));
-            EdgeRt edge;
-            edge.producer = producer;
-            edge.consumer = node_idx;
-            edge.kind = ArcKind::kCombineSlot;
-            edge.slot = static_cast<int>(i);
-            edge.producer_pos = nodes_[producer]->pos;
-            add_edge(std::move(edge));
-          }
-          break;
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  // Workflow names are case-insensitive; node_by_name stores the exact
-  // names, so resolve by scanning (graphs are small).
-  static std::string ToLowerName(
-      const std::string& name,
-      const std::unordered_map<std::string, int>& table) {
-    if (table.count(name)) return name;
-    std::string lower = ToLower(name);
-    for (const auto& [key, idx] : table) {
-      if (ToLower(key) == lower) return key;
-    }
-    return name;  // will throw at() — caught by workflow validation first
-  }
-
-  // ---- Scan-side entry maintenance ---------------------------------------
-
-  NodeEntry& Touch(NodeRt& node, const Value* key,
-                   std::vector<Value>* map_key) {
-    node.pos.Compute(schema_, key, map_key);
-    map_key->insert(map_key->end(), key, key + d_);
-    bool inserted = false;
-    NodeEntry& entry = node.entries.FindOrInsert(map_key->data(),
-                                                 &inserted);
-    if (inserted) {
-      AggInit(node.agg.kind, &entry.state);
-      if (node.kind == NodeKind::kCombine) {
-        entry.slots.assign(node.n_slots, kNaN);
-      }
-      node.min_pos.Observe(map_key->data(), node.pos.len());
-    }
-    return entry;
-  }
-
-  // ---- Watermark propagation ----------------------------------------------
-
-  /// One propagation round: recomputes every node's watermark (in
-  /// topological order — nodes_ is topologically ordered by
-  /// construction), pops finalized entries, emits them downstream, and
-  /// advances the edge frontiers. `next_dims` is the next unscanned fact
-  /// record, or nullptr at end of input.
-  Status Propagate(const Value* next_dims) {
-    RegionKey gen_key(d_);
-    const Granularity base_gran = Granularity::Base(schema_);
-    std::vector<double> filter_slots(d_ + 2);
-
-    for (size_t node_idx = 0; node_idx < nodes_.size(); ++node_idx) {
-      NodeRt& node = *nodes_[node_idx];
-
-      // -- Watermark.
-      if (node.kind == NodeKind::kBase || node.kind == NodeKind::kEnum) {
-        if (next_dims == nullptr) {
-          node.watermark.closed = true;
-        } else {
-          GeneralizeKeyInto(schema_, next_dims, base_gran, node.gran,
-                            &gen_key);
-          node.pos.Compute(schema_, gen_key.data(), &node.watermark.vals);
-          node.watermark.closed = false;
-        }
-      } else {
-        Frontier wm;
-        wm.closed = true;
-        for (int e : node.in_edges) {
-          wm = LowerOf(wm, edges_[e].frontier);
-        }
-        node.watermark = wm;
-      }
-
-      // -- Pop finalized entries. The flush is sorted by map key so
-      // downstream updates arrive in the same lexicographic (pos ++ key)
-      // order the engine emitted with ordered maps — float accumulation
-      // order, and thus results, stay bit-identical.
-      // Emissions live in flat member buffers (keys packed d_ at a time)
-      // so a million finalized regions cost zero per-region allocations.
-      emit_keys_.clear();
-      emit_vals_.clear();
-      const size_t pos_len = node.pos.len();
-      // Most rounds finalize nothing on most nodes (the watermark only
-      // crosses a position boundary every so often); the minimum-position
-      // bound proves that without touching the table.
-      if (node.min_pos.MayFlush(pos_len, node.watermark)) {
-        MinPos survivors_min;
-        node.entries.FlushIf(
-            [&](const Value* map_key, const NodeEntry&) {
-              if (StrictlyBefore(map_key, pos_len, node.watermark)) {
-                return true;
-              }
-              survivors_min.Observe(map_key, pos_len);
-              return false;
-            },
-            [&](const Value* map_key, NodeEntry&& entry) {
-              const Value* rkey = map_key + pos_len;
-              bool emit = true;
-              double value = 0;
-              switch (node.kind) {
-                case NodeKind::kBase:
-                case NodeKind::kEnum:
-                case NodeKind::kRollup:
-                  value = AggFinalize(node.agg.kind, entry.state);
-                  break;
-                case NodeKind::kMatch: {
-                  if (!entry.exists) {
-                    emit = false;
-                    break;
-                  }
-                  if (node.match.type == MatchType::kParentChild) {
-                    value = FoldParent(node, rkey);
-                  } else {
-                    value = AggFinalize(node.agg.kind, entry.state);
-                  }
-                  break;
-                }
-                case NodeKind::kCombine: {
-                  if (!entry.exists) {
-                    emit = false;
-                    break;
-                  }
-                  combine_slots_.resize(d_ + node.n_slots);
-                  for (int i = 0; i < d_; ++i) {
-                    combine_slots_[i] = static_cast<double>(rkey[i]);
-                  }
-                  for (size_t i = 0; i < node.n_slots; ++i) {
-                    combine_slots_[d_ + i] = entry.slots[i];
-                  }
-                  value = node.fc.Eval(combine_slots_.data());
-                  break;
-                }
-              }
-              if (emit) {
-                emit_keys_.insert(emit_keys_.end(), rkey, rkey + d_);
-                emit_vals_.push_back(value);
-              }
-            },
-            /*sorted_by_key=*/true);
-        node.min_pos = std::move(survivors_min);
-      }
-
-      // -- Keep output rows.
-      const size_t n_emit = emit_vals_.size();
-      if (node.keep_output) {
-        for (size_t i = 0; i < n_emit; ++i) {
-          node.output->Append(&emit_keys_[i * d_], emit_vals_[i]);
-        }
-      }
-      rows_flushed_ += n_emit;
-
-      // -- Push downstream and advance edge frontiers.
-      for (int e : node.out_edges) {
-        EdgeRt& edge = edges_[e];
-        NodeRt& consumer = *nodes_[edge.consumer];
-        for (size_t i = 0; i < n_emit; ++i) {
-          const Value* key = &emit_keys_[i * d_];
-          const double value = emit_vals_[i];
-          if (edge.has_filter) {
-            for (int j = 0; j < d_; ++j) {
-              filter_slots[j] = static_cast<double>(key[j]);
-            }
-            filter_slots[d_] = filter_slots[d_ + 1] = value;
-            if (!edge.filter.EvalBool(filter_slots.data())) continue;
-          }
-          CSM_RETURN_NOT_OK(ApplyUpdate(edge, consumer, key, value));
-        }
-        edge.frontier = TransformFrontier(node.watermark, edge);
-      }
-
-      // -- Evict parent buffers that no future child can reference: a
-      // parent is dead once the node's watermark, re-levelled to the
-      // parent granularity, strictly passes it.
-      for (int e : node.in_edges) {
-        EdgeRt& edge = edges_[e];
-        if (edge.kind != ArcKind::kParentChild) continue;
-        const Frontier parent_wm =
-            ConvertFrontier(node.watermark, node.pos, edge.producer_pos);
-        const size_t plen = edge.producer_pos.len();
-        if (!edge.min_pos.MayFlush(plen, parent_wm)) continue;
-        MinPos survivors_min;
-        edge.parent_values.FlushIf(
-            [&](const Value* map_key, const double&) {
-              if (StrictlyBefore(map_key, plen, parent_wm)) return true;
-              survivors_min.Observe(map_key, plen);
-              return false;
-            },
-            [](const Value*, double&&) {});
-        edge.min_pos = std::move(survivors_min);
-      }
-    }
-    return Status::OK();
-  }
-
-  double FoldParent(NodeRt& node, const Value* rkey) {
-    // Locate this node's parent/child arc.
-    AggState state;
-    AggInit(node.agg.kind, &state);
-    for (int e : node.in_edges) {
-      EdgeRt& edge = edges_[e];
-      if (edge.kind != ArcKind::kParentChild) continue;
-      const NodeRt& producer = *nodes_[edge.producer];
-      fold_pkey_.resize(d_);
-      RegionKey& pkey = fold_pkey_;
-      GeneralizeKeyInto(schema_, rkey, node.gran, producer.gran, &pkey);
-      std::vector<Value>& map_key = fold_key_;
-      edge.producer_pos.Compute(schema_, pkey.data(), &map_key);
-      map_key.insert(map_key.end(), pkey.begin(), pkey.end());
-      const double* parent = edge.parent_values.Find(map_key.data());
-      if (parent != nullptr) {
-        // count(*) counts the matched parent even when its value is NULL.
-        AggUpdate(node.agg.kind, &state,
-                  node.agg.arg >= 0 ? *parent : 1.0);
-      }
-    }
-    return AggFinalize(node.agg.kind, state);
-  }
-
-  Status ApplyUpdate(EdgeRt& edge, NodeRt& consumer, const Value* key,
-                     double value) {
-    std::vector<Value>& map_key = apply_key_;
-    switch (edge.kind) {
-      case ArcKind::kExists: {
-        NodeEntry& entry = Touch(consumer, key, &map_key);
-        entry.exists = true;
-        break;
-      }
-      case ArcKind::kSelf: {
-        NodeEntry& entry = Touch(consumer, key, &map_key);
-        AggUpdate(consumer.agg.kind, &entry.state,
-                  consumer.agg.arg >= 0 ? value : 1.0);
-        break;
-      }
-      case ArcKind::kRollup: {
-        apply_up_.resize(d_);
-        GeneralizeKeyInto(schema_, key, nodes_[edge.producer]->gran,
-                          consumer.gran, &apply_up_);
-        NodeEntry& entry = Touch(consumer, apply_up_.data(), &map_key);
-        AggUpdate(consumer.agg.kind, &entry.state,
-                  consumer.agg.arg >= 0 ? value : 1.0);
-        if (consumer.kind == NodeKind::kRollup) entry.exists = true;
-        break;
-      }
-      case ArcKind::kParentChild: {
-        edge.producer_pos.Compute(schema_, key, &map_key);
-        map_key.insert(map_key.end(), key, key + d_);
-        bool inserted = false;
-        edge.parent_values.FindOrInsert(map_key.data(), &inserted) =
-            value;
-        if (inserted) {
-          edge.min_pos.Observe(map_key.data(), edge.producer_pos.len());
-        }
-        break;
-      }
-      case ArcKind::kSibling: {
-        // Fan the value out to every region whose window covers this key.
-        RegionKey skey(key, key + d_);
-        const auto& windows = consumer.match.windows;
-        std::vector<int64_t> offset(windows.size());
-        for (size_t i = 0; i < windows.size(); ++i) {
-          offset[i] = windows[i].lo;
-        }
-        for (;;) {
-          bool valid = true;
-          for (size_t i = 0; i < windows.size(); ++i) {
-            const int64_t v =
-                static_cast<int64_t>(key[windows[i].dim]) - offset[i];
-            if (v < 0) {
-              valid = false;
-              break;
-            }
-            skey[windows[i].dim] = static_cast<Value>(v);
-          }
-          if (valid) {
-            NodeEntry& entry = Touch(consumer, skey.data(), &map_key);
-            AggUpdate(consumer.agg.kind, &entry.state,
-                      consumer.agg.arg >= 0 ? value : 1.0);
-          }
-          size_t i = 0;
-          for (; i < windows.size(); ++i) {
-            if (++offset[i] <= windows[i].hi) break;
-            offset[i] = windows[i].lo;
-          }
-          if (i == windows.size()) break;
-        }
-        break;
-      }
-      case ArcKind::kCombineSlot: {
-        NodeEntry& entry = Touch(consumer, key, &map_key);
-        entry.slots[edge.slot] = value;
-        if (edge.slot == 0) entry.exists = true;
-        break;
-      }
-    }
-    return Status::OK();
-  }
-
-  /// Re-levels a frontier expressed at `from`'s component levels into
-  /// `to`'s component levels (both follow the same sort-key dimension
-  /// sequence, so components align). This is the order/slack coarsening of
-  /// Table 6 in frontier form:
-  ///  - equal levels pass through;
-  ///  - a component where `to` is coarser is generalized and the frontier
-  ///    *truncates* there (values beyond it are no longer lex-bounded);
-  ///  - a component where `to` is finer multiplies by the exact block
-  ///    size (first fine value of the coarse bound) and may continue;
-  ///    with an irregular hierarchy the exact size is unknown and the
-  ///    frontier conservatively truncates before the component.
-  Frontier ConvertFrontier(const Frontier& f, const PosCalc& from,
-                           const PosCalc& to) const {
-    Frontier out;
-    out.closed = f.closed;
-    if (f.closed) return out;
-    const size_t n = std::min({f.vals.size(), from.len(), to.len()});
-    for (size_t i = 0; i < n; ++i) {
-      const int dim = from.part_dim(i);
-      CSM_DCHECK(dim == to.part_dim(i));
-      const int fl = from.part_to(i);
-      const int tl = to.part_to(i);
-      const Hierarchy& h = *schema_.dim(dim).hierarchy;
-      if (fl == tl) {
-        out.vals.push_back(f.vals[i]);
-        continue;
-      }
-      if (fl < tl) {  // coarsening: generalize, then stop
-        out.vals.push_back(h.Generalize(f.vals[i], fl, tl));
-        break;
-      }
-      // Refining: need the exact block size to place the bound.
-      const uint64_t div = h.ExactDivisor(tl, fl);
-      if (div == 0) break;
-      out.vals.push_back(f.vals[i] * div);
-    }
-    return out;
-  }
-
-  Frontier TransformFrontier(const Frontier& wm, const EdgeRt& edge) const {
-    Frontier f = wm;
-    if (f.closed) return f;
-    if (edge.kind == ArcKind::kSibling) {
-      // Slack of a trailing window: the stream of updates lags the
-      // producer by up to the window reach, so pull the bound back. A
-      // component that would go negative provides no bound at all — the
-      // frontier truncates there (clamping to 0 would wrongly *raise*
-      // the bound and finalize entries that can still receive updates).
-      const size_t n = std::min(f.vals.size(),
-                                edge.sibling_shift.size());
-      for (size_t i = 0; i < n; ++i) {
-        const Value shift = static_cast<Value>(edge.sibling_shift[i]);
-        if (f.vals[i] < shift) {
-          f.vals.resize(i);
-          break;
-        }
-        f.vals[i] -= shift;
-      }
-    }
-    return ConvertFrontier(f, edge.producer_pos,
-                           nodes_[edge.consumer]->pos);
-  }
-
-  /// Tracks high-water marks in plain members — called once per
-  /// propagation batch, so it stays off the tracer mutex; the peaks are
-  /// flushed to the scan span once at end of scan.
-  void SampleMemory() {
-    uint64_t entries = 0;
-    uint64_t bytes = 0;
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      const auto& node = nodes_[i];
-      node_peak_entries_[i] =
-          std::max<uint64_t>(node_peak_entries_[i], node->entries.size());
-      entries += node->entries.size();
-      bytes += node->entries.MemoryBytes() +
-               node->entries.size() * node->n_slots * sizeof(double);
-      // Only holistic aggregates carry per-entry heap state; walking the
-      // entries of every node per sample would make sampling O(footprint)
-      // and dominate badly-ordered runs.
-      if (node->agg.kind == AggKind::kCountDistinct) {
-        node->entries.ForEach([&](const Value*, const NodeEntry& entry) {
-          if (entry.state.distinct) {
-            bytes += entry.state.distinct->size() * 16;
-          }
-        });
-      }
-    }
-    for (const auto& edge : edges_) {
-      entries += edge.parent_values.size();
-      bytes += edge.parent_values.MemoryBytes();
-    }
-    peak_entries_ = std::max(peak_entries_, entries);
-    peak_bytes_ = std::max(peak_bytes_, bytes);
-  }
-
-  const Workflow& workflow_;
-  ExecContext& ctx_;
-  const EngineOptions& options_;
-  SchemaPtr schema_ptr_;
-  const Schema& schema_;
-  const int d_;
-  SortKey sort_key_;
-
-  std::vector<std::unique_ptr<NodeRt>> nodes_;  // topological order
-  std::vector<EdgeRt> edges_;
-  std::vector<int> scan_nodes_;  // kBase / kEnum, fed by the scan
-  uint64_t rows_flushed_ = 0;
-  uint64_t peak_entries_ = 0;
-  uint64_t peak_bytes_ = 0;
-  std::vector<uint64_t> node_peak_entries_;
-  std::vector<double> combine_slots_;
-
-  // Propagation scratch, reused across rounds: flat emission buffers
-  // (keys packed d_ values at a time, value i at emit_vals_[i]) and the
-  // key-building temporaries for ApplyUpdate / FoldParent. Keeping them
-  // as members removes every per-emission heap allocation from the
-  // finalize/push-downstream hot path.
-  std::vector<Value> emit_keys_;
-  std::vector<double> emit_vals_;
-  std::vector<Value> apply_key_;
-  RegionKey apply_up_;
-  RegionKey fold_pkey_;
-  std::vector<Value> fold_key_;
-};
-
-}  // namespace
 
 SortKey SortScanEngine::DefaultSortKey(const Workflow& workflow) {
   const Schema& schema = *workflow.schema();
@@ -1079,18 +26,40 @@ SortKey SortScanEngine::DefaultSortKey(const Workflow& workflow) {
   return SortKey(std::move(parts));
 }
 
+PhysicalPlan BuildSortScanPlan(const Workflow& workflow,
+                               const EngineOptions& options,
+                               bool file_input) {
+  PhysicalPlan plan;
+  plan.engine = "sort-scan";
+  plan.sort_key = options.sort_key.empty()
+                      ? SortScanEngine::DefaultSortKey(workflow)
+                      : options.sort_key;
+  plan.morsel_rows = options.morsel_rows;
+  plan.scan_batch_rows = options.scan_batch_rows;
+  plan.threads = options.parallel_threads;
+  plan.ops.push_back(std::make_unique<ScanOp>(
+      file_input ? ScanOp::Mode::kSortFile : ScanOp::Mode::kSortTable));
+  plan.ops.push_back(
+      std::make_unique<GeneralizeOp>(BuildScanSweep(workflow)));
+  plan.ops.push_back(std::make_unique<PropagateOp>());
+  plan.ops.push_back(std::make_unique<EmitOp>(EmitOp::Mode::kCollect));
+  return plan;
+}
+
 Result<EvalOutput> SortScanEngine::Run(const Workflow& workflow,
                                        const FactTable& fact,
                                        ExecContext& ctx) {
-  SortScanRun run(workflow, ctx);
-  return run.Execute(fact);
+  PhysicalPlan plan = BuildSortScanPlan(workflow, ctx.options,
+                                        /*file_input=*/false);
+  return plan.Execute(workflow, fact, ctx);
 }
 
 Result<EvalOutput> SortScanEngine::RunFile(const Workflow& workflow,
                                            const std::string& fact_path,
                                            ExecContext& ctx) {
-  SortScanRun run(workflow, ctx);
-  return run.ExecuteFile(fact_path);
+  PhysicalPlan plan = BuildSortScanPlan(workflow, ctx.options,
+                                        /*file_input=*/true);
+  return plan.ExecuteFile(workflow, fact_path, ctx);
 }
 
 Result<EvalOutput> SortScanEngine::RunFile(const Workflow& workflow,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "exec/engine.h"
+#include "exec/op/physical_plan.h"
 
 namespace csm {
 
@@ -58,6 +59,14 @@ class SortScanEngine : public Engine {
   /// and benches.
   static SortKey DefaultSortKey(const Workflow& workflow);
 };
+
+/// Lowers a workflow into the sort/scan operator pipeline:
+/// scan(sort) -> generalize -> propagate -> emit(collect), with the
+/// resolved sort order frozen into the plan. `file_input` picks the
+/// out-of-core scan form.
+PhysicalPlan BuildSortScanPlan(const Workflow& workflow,
+                               const EngineOptions& options,
+                               bool file_input);
 
 }  // namespace csm
 

@@ -1,0 +1,63 @@
+#include "opt/lowering.h"
+
+#include <string>
+
+#include "exec/adaptive.h"
+#include "exec/multi_pass.h"
+#include "exec/parallel.h"
+#include "exec/single_scan.h"
+#include "exec/sort_scan.h"
+#include "opt/sort_order.h"
+#include "relational/relational_engine.h"
+
+namespace csm {
+
+Result<PhysicalPlan> LowerToPlan(EngineKind kind, const Workflow& workflow,
+                                 const EngineOptions& options,
+                                 bool file_input) {
+  if (file_input && kind != EngineKind::kSortScan) {
+    return Status::InvalidArgument(
+        "only the sort-scan engine lowers an out-of-core plan (got " +
+        std::string(EngineKindName(kind)) + ")");
+  }
+  switch (kind) {
+    case EngineKind::kSortScan:
+      return BuildSortScanPlan(workflow, options, file_input);
+    case EngineKind::kSingleScan:
+      return BuildSingleScanPlan(workflow, options);
+    case EngineKind::kMultiPass:
+      return BuildMultiPassPlan(workflow, options);
+    case EngineKind::kParallel:
+      return BuildParallelPlan(workflow, options);
+    case EngineKind::kRelational:
+      return BuildRelationalPlan(workflow, options);
+    case EngineKind::kAdaptive: {
+      CSM_ASSIGN_OR_RETURN(AdaptiveEngine::Choice choice,
+                           AdaptiveEngine::Decide(workflow, options));
+      EngineOptions child = options;
+      if (choice == AdaptiveEngine::Choice::kSortScan &&
+          child.sort_key.empty()) {
+        CSM_ASSIGN_OR_RETURN(child.sort_key,
+                             BruteForceSortKey(workflow, 20000));
+      }
+      PhysicalPlan plan;
+      switch (choice) {
+        case AdaptiveEngine::Choice::kSingleScan:
+          plan = BuildSingleScanPlan(workflow, child);
+          break;
+        case AdaptiveEngine::Choice::kSortScan:
+          plan = BuildSortScanPlan(workflow, child, /*file_input=*/false);
+          break;
+        case AdaptiveEngine::Choice::kMultiPass: {
+          CSM_ASSIGN_OR_RETURN(plan, BuildMultiPassPlan(workflow, child));
+          break;
+        }
+      }
+      plan.engine = "adaptive -> " + plan.engine;
+      return plan;
+    }
+  }
+  return Status::InvalidArgument("LowerToPlan: unknown EngineKind");
+}
+
+}  // namespace csm

@@ -1,0 +1,31 @@
+#ifndef CSM_OPT_LOWERING_H_
+#define CSM_OPT_LOWERING_H_
+
+#include "common/result.h"
+#include "exec/factory.h"
+#include "exec/op/physical_plan.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+/// Lowers (engine kind, workflow, options) into the PhysicalPlan that
+/// engine's Run would execute: sort/scan -> scan+generalize+propagate+
+/// emit, single-scan -> scan+generalize+aggregate+emit, multi-pass ->
+/// pass planner output, parallel -> partition+shards+merge, relational ->
+/// per-measure query stages. All planning decisions (sort order, pass
+/// assignment, partition dimension) are made here, at lowering time.
+///
+/// kAdaptive resolves its engine choice (AdaptiveEngine::Decide) and
+/// returns the chosen plan with an "adaptive -> " engine label; this is
+/// what `csm_query --explain` prints. AdaptiveEngine::Run itself keeps
+/// delegating to the nested engine so its spans stay nested.
+///
+/// `file_input` lowers the out-of-core form (only the sort/scan engine
+/// supports it).
+Result<PhysicalPlan> LowerToPlan(EngineKind kind, const Workflow& workflow,
+                                 const EngineOptions& options,
+                                 bool file_input = false);
+
+}  // namespace csm
+
+#endif  // CSM_OPT_LOWERING_H_

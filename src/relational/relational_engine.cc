@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "algebra/evaluator.h"
 #include "algebra/measure_ops.h"
@@ -32,7 +35,16 @@ SortKey GroupOrder(const Schema& schema, const Granularity& gran) {
   return SortKey(std::move(parts));
 }
 
-/// Execution state for one engine run.
+/// Cross-operator state of one relational run: the scratch directory the
+/// load stage created, the fact table's on-disk home, and the disk
+/// locations of already-computed measures.
+struct RelState {
+  std::optional<TempDir> temp;
+  std::string fact_path;
+  std::map<std::string, std::string> measure_paths;
+};
+
+/// Per-query execution state handed to the helpers below.
 struct RunContext {
   const Workflow* workflow = nullptr;
   const Schema* schema = nullptr;
@@ -45,8 +57,8 @@ struct RunContext {
   Tracer* tracer = nullptr;
   SpanId span = kNoSpan;  // current "measure:<name>" span
   const std::atomic<bool>* cancel = nullptr;
-  // Disk locations of already-computed measures.
-  std::map<std::string, std::string> measure_paths;
+  // Disk locations of already-computed measures (lives in RelState).
+  std::map<std::string, std::string>* measure_paths = nullptr;
 
   void ChargePeakRows(size_t rows) {
     tracer->SetGaugeMax(span, "peak_hash_entries",
@@ -54,11 +66,29 @@ struct RunContext {
   }
 };
 
+/// Builds the per-query context from the plan bus and shared run state.
+RunContext MakeRunContext(PlanContext& ctx, RelState& state) {
+  RunContext rc;
+  rc.workflow = ctx.workflow;
+  rc.schema_ptr = ctx.workflow->schema();
+  rc.schema = rc.schema_ptr.get();
+  rc.temp = &*state.temp;
+  rc.fact_path = state.fact_path;
+  rc.memory_budget = ctx.exec->options.memory_budget_bytes;
+  rc.batch_rows = ctx.exec->options.scan_batch_rows;
+  rc.sort_threads = ctx.exec->options.parallel_threads;
+  rc.tracer = &ctx.tracer();
+  rc.span = ctx.root();
+  rc.cancel = ctx.exec->cancel;
+  rc.measure_paths = &state.measure_paths;
+  return rc;
+}
+
 /// Reads a previously materialized measure from disk (charging nothing but
 /// wall time, which is what the paper measures).
 Result<MeasureTable> LoadMeasure(RunContext& ctx, const std::string& name) {
-  auto it = ctx.measure_paths.find(name);
-  if (it == ctx.measure_paths.end()) {
+  auto it = ctx.measure_paths->find(name);
+  if (it == ctx.measure_paths->end()) {
     return Status::Internal("measure '" + name + "' not yet materialized");
   }
   CSM_ASSIGN_OR_RETURN(const MeasureDef* def, ctx.workflow->Find(name));
@@ -70,7 +100,7 @@ Result<MeasureTable> LoadMeasure(RunContext& ctx, const std::string& name) {
 Status StoreMeasure(RunContext& ctx, const MeasureTable& table) {
   std::string path = ctx.temp->NewFilePath("rel-" + table.name());
   CSM_RETURN_NOT_OK(WriteMeasureTableBinary(table, path));
-  ctx.measure_paths[table.name()] = path;
+  (*ctx.measure_paths)[table.name()] = path;
   ctx.tracer->AddCounter(ctx.span, "materialized_rows",
                          static_cast<double>(table.num_rows()));
   ctx.tracer->AddCounter(
@@ -411,57 +441,70 @@ Result<MeasureTable> MergeCombine(RunContext& ctx,
   return out;
 }
 
-}  // namespace
+/// "Loads" the base table into database storage (a scratch binary file
+/// every per-measure query re-reads).
+class RelSetupOp : public PhysicalOp {
+ public:
+  explicit RelSetupOp(std::shared_ptr<RelState> state)
+      : state_(std::move(state)) {}
 
-Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
-                                         const FactTable& fact,
-                                         ExecContext& exec_ctx) {
-  RunScope rs(exec_ctx, name());
-  Tracer& tracer = rs.tracer();
-  EvalOutput out;
-  CSM_ASSIGN_OR_RETURN(TempDir temp,
-                       TempDir::Make(exec_ctx.options.temp_dir));
+  std::string_view name() const override { return "load"; }
 
-  RunContext ctx;
-  ctx.workflow = &workflow;
-  ctx.schema_ptr = workflow.schema();
-  ctx.schema = ctx.schema_ptr.get();
-  ctx.temp = &temp;
-  ctx.memory_budget = exec_ctx.options.memory_budget_bytes;
-  ctx.batch_rows = exec_ctx.options.scan_batch_rows;
-  ctx.sort_threads = exec_ctx.options.parallel_threads;
-  ctx.tracer = &tracer;
-  ctx.span = rs.root();
-  ctx.cancel = exec_ctx.cancel;
-
-  // "Load" the base table into database storage.
-  {
-    ScopedSpan load_span(&tracer, "materialize", rs.root());
-    ctx.fact_path = temp.NewFilePath("fact");
-    CSM_RETURN_NOT_OK(WriteFactTableBinary(fact, ctx.fact_path));
+  std::string Describe(const Schema&) const override {
+    return "write the fact table into database storage";
   }
 
-  for (const MeasureDef& def : workflow.measures()) {
-    CSM_RETURN_NOT_OK(exec_ctx.CheckCancelled("relational measure '" +
-                                              def.name + "'"));
-    ScopedSpan measure_span(&tracer, "measure:" + def.name, rs.root());
-    ctx.span = measure_span.id();
-    MeasureTable result(ctx.schema_ptr, def.gran, def.name);
+  Status Run(PlanContext& ctx) override {
+    CSM_ASSIGN_OR_RETURN(state_->temp,
+                         TempDir::Make(ctx.exec->options.temp_dir));
+    ScopedSpan load_span(&ctx.tracer(), "materialize", ctx.root());
+    state_->fact_path = state_->temp->NewFilePath("fact");
+    return WriteFactTableBinary(*ctx.fact, state_->fact_path);
+  }
+
+ private:
+  std::shared_ptr<RelState> state_;
+};
+
+/// One measure = one SQL query: scan/sort/aggregate or join over
+/// previously materialized measures, then materialize the result.
+class RelMeasureOp : public PhysicalOp {
+ public:
+  RelMeasureOp(std::shared_ptr<RelState> state, int measure_idx)
+      : state_(std::move(state)), measure_idx_(measure_idx) {}
+
+  std::string_view name() const override { return "measure"; }
+
+  std::string Describe(const Schema&) const override { return describe_; }
+
+  void set_describe(std::string text) { describe_ = std::move(text); }
+
+  Status Run(PlanContext& ctx) override {
+    const Workflow& workflow = *ctx.workflow;
+    const MeasureDef& def = workflow.measures()[measure_idx_];
+    Tracer& tracer = ctx.tracer();
+    CSM_RETURN_NOT_OK(ctx.exec->CheckCancelled("relational measure '" +
+                                               def.name + "'"));
+    ScopedSpan measure_span(&tracer, "measure:" + def.name, ctx.root());
+    RunContext rc = MakeRunContext(ctx, *state_);
+    rc.span = measure_span.id();
+
+    MeasureTable result(rc.schema_ptr, def.gran, def.name);
     switch (def.op) {
       case MeasureOp::kBaseAgg: {
         CSM_ASSIGN_OR_RETURN(result,
-                             SortGroupByFact(ctx, def.gran, def.agg,
+                             SortGroupByFact(rc, def.gran, def.agg,
                                              def.where, def.name));
         break;
       }
       case MeasureOp::kRollup: {
         CSM_ASSIGN_OR_RETURN(MeasureTable input,
-                             LoadMeasure(ctx, def.input));
+                             LoadMeasure(rc, def.input));
         CSM_ASSIGN_OR_RETURN(input, FilterTable(input, def.where));
         AggSpec agg = def.agg;
         if (agg.arg > 0) agg.arg = 0;
         CSM_ASSIGN_OR_RETURN(
-            result, SortGroupByMeasure(ctx, std::move(input), def.gran,
+            result, SortGroupByMeasure(rc, std::move(input), def.gran,
                                        agg, def.name));
         break;
       }
@@ -470,15 +513,15 @@ Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
         // sharing with other measures.
         CSM_ASSIGN_OR_RETURN(
             MeasureTable regions,
-            SortGroupByFact(ctx, def.gran, AggSpec{AggKind::kNone, -1},
+            SortGroupByFact(rc, def.gran, AggSpec{AggKind::kNone, -1},
                             nullptr, def.name + "_base"));
         CSM_ASSIGN_OR_RETURN(MeasureTable target,
-                             LoadMeasure(ctx, def.input));
+                             LoadMeasure(rc, def.input));
         CSM_ASSIGN_OR_RETURN(target, FilterTable(target, def.where));
         AggSpec agg = def.agg;
         if (agg.arg > 0) agg.arg = 0;
         CSM_ASSIGN_OR_RETURN(
-            result, MergeMatchJoin(ctx, std::move(regions),
+            result, MergeMatchJoin(rc, std::move(regions),
                                    std::move(target), def.match, agg,
                                    def.name));
         break;
@@ -486,31 +529,98 @@ Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
       case MeasureOp::kCombine: {
         std::vector<MeasureTable> inputs;
         for (const std::string& input : def.combine_inputs) {
-          CSM_ASSIGN_OR_RETURN(MeasureTable t, LoadMeasure(ctx, input));
+          CSM_ASSIGN_OR_RETURN(MeasureTable t, LoadMeasure(rc, input));
           inputs.push_back(std::move(t));
         }
-        CSM_ASSIGN_OR_RETURN(result, MergeCombine(ctx, std::move(inputs),
+        CSM_ASSIGN_OR_RETURN(result, MergeCombine(rc, std::move(inputs),
                                                   def.fc, def.name));
         break;
       }
     }
-    CSM_RETURN_NOT_OK(StoreMeasure(ctx, result));
+    CSM_RETURN_NOT_OK(StoreMeasure(rc, result));
     tracer.SetGaugeMax(measure_span.id(),
                        "hash_entries_hw/" + def.name,
                        static_cast<double>(result.num_rows()));
+    return Status::OK();
   }
-  ctx.span = rs.root();
 
-  // Fetch requested outputs back from disk.
-  for (const MeasureDef& def : workflow.measures()) {
-    if (!def.is_output && !exec_ctx.options.include_hidden) continue;
-    CSM_ASSIGN_OR_RETURN(MeasureTable table, LoadMeasure(ctx, def.name));
-    table.SortByKeyLex();
-    out.tables.emplace(def.name, std::move(table));
+ private:
+  std::shared_ptr<RelState> state_;
+  int measure_idx_;
+  std::string describe_;
+};
+
+/// Fetches the requested outputs back from disk.
+class RelEmitOp : public PhysicalOp {
+ public:
+  explicit RelEmitOp(std::shared_ptr<RelState> state)
+      : state_(std::move(state)) {}
+
+  std::string_view name() const override { return "fetch"; }
+
+  std::string Describe(const Schema&) const override {
+    return "read the requested output tables back from disk";
   }
-  tracer.SetAttr(rs.root(), "sort_key", "(per-query group-by sorts)");
-  out.stats = rs.Finish();
-  return out;
+
+  Status Run(PlanContext& ctx) override {
+    const Workflow& workflow = *ctx.workflow;
+    RunContext rc = MakeRunContext(ctx, *state_);
+    for (const MeasureDef& def : workflow.measures()) {
+      if (!def.is_output && !ctx.exec->options.include_hidden) continue;
+      CSM_ASSIGN_OR_RETURN(MeasureTable table, LoadMeasure(rc, def.name));
+      table.SortByKeyLex();
+      ctx.out->tables.emplace(def.name, std::move(table));
+    }
+    ctx.tracer().SetAttr(ctx.root(), "sort_key",
+                         "(per-query group-by sorts)");
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<RelState> state_;
+};
+
+std::string DescribeMeasure(const MeasureDef& def) {
+  switch (def.op) {
+    case MeasureOp::kBaseAgg:
+      return "query " + def.name + ": scan fact, external group-by sort";
+    case MeasureOp::kRollup:
+      return "query " + def.name + ": roll up " + def.input +
+             " via sorted group-by";
+    case MeasureOp::kMatch:
+      return "query " + def.name + ": sort-merge match join over " +
+             def.input;
+    case MeasureOp::kCombine:
+      return "query " + def.name + ": n-way merge combine";
+  }
+  return "query " + def.name;
+}
+
+}  // namespace
+
+PhysicalPlan BuildRelationalPlan(const Workflow& workflow,
+                                 const EngineOptions& options) {
+  auto state = std::make_shared<RelState>();
+  PhysicalPlan plan;
+  plan.engine = "relational";
+  plan.scan_batch_rows = options.scan_batch_rows;
+  plan.threads = options.parallel_threads;
+  plan.engine_state = state;
+  plan.ops.push_back(std::make_unique<RelSetupOp>(state));
+  for (size_t i = 0; i < workflow.measures().size(); ++i) {
+    auto op = std::make_unique<RelMeasureOp>(state, static_cast<int>(i));
+    op->set_describe(DescribeMeasure(workflow.measures()[i]));
+    plan.ops.push_back(std::move(op));
+  }
+  plan.ops.push_back(std::make_unique<RelEmitOp>(state));
+  return plan;
+}
+
+Result<EvalOutput> RelationalEngine::Run(const Workflow& workflow,
+                                         const FactTable& fact,
+                                         ExecContext& exec_ctx) {
+  PhysicalPlan plan = BuildRelationalPlan(workflow, exec_ctx.options);
+  return plan.Execute(workflow, fact, exec_ctx);
 }
 
 }  // namespace csm

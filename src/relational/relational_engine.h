@@ -2,6 +2,7 @@
 #define CSM_RELATIONAL_RELATIONAL_ENGINE_H_
 
 #include "exec/engine.h"
+#include "exec/op/physical_plan.h"
 
 namespace csm {
 
@@ -38,6 +39,14 @@ class RelationalEngine : public Engine {
   Result<EvalOutput> Run(const Workflow& workflow, const FactTable& fact,
                          ExecContext& ctx) override;
 };
+
+/// Lowers a workflow into the relational pipeline: a load stage that
+/// writes the fact table into "database storage", one stage per measure
+/// (each its own SQL-query analog: scan, external group-by sort,
+/// sort-merge join, materialize), and a fetch stage that reads the
+/// requested outputs back from disk.
+PhysicalPlan BuildRelationalPlan(const Workflow& workflow,
+                                 const EngineOptions& options);
 
 }  // namespace csm
 

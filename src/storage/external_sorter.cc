@@ -1,21 +1,21 @@
 #include "storage/external_sorter.h"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 #include <queue>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "exec/scheduler.h"
 
 namespace csm {
 
 namespace {
 
-int ResolveSortThreads(int threads) {
+int ResolveSortThreads(int threads, const ThreadPool& pool) {
   if (threads > 0) return threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return pool.workers() + 1;  // resident workers plus the calling thread
 }
 
 /// Precomputes, for rows [begin, end), the generalized sort-key columns
@@ -115,21 +115,26 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
       return x < y;
     };
     const size_t n = perm.size();
-    size_t t = static_cast<size_t>(ResolveSortThreads(options.threads));
+    ThreadPool& pool = ThreadPool::Global();
+    size_t t =
+        static_cast<size_t>(ResolveSortThreads(options.threads, pool));
     t = std::min(t, n / 4096);  // below ~4k rows/worker threads cost more
     if (t > 1) {
       std::vector<size_t> bounds(t + 1);
       for (size_t i = 0; i <= t; ++i) bounds[i] = n * i / t;
-      std::vector<std::thread> workers;
-      workers.reserve(t - 1);
-      for (size_t i = 1; i < t; ++i) {
-        workers.emplace_back([&, i] {
+      // Each partition sort is one claimable task on the shared pool; the
+      // output does not depend on which executor sorts which partition.
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(t);
+      for (size_t i = 0; i < t; ++i) {
+        tasks.push_back([&, i]() -> Status {
           std::sort(perm.begin() + bounds[i], perm.begin() + bounds[i + 1],
                     less);
+          return Status::OK();
         });
       }
-      std::sort(perm.begin() + bounds[0], perm.begin() + bounds[1], less);
-      for (std::thread& w : workers) w.join();
+      CSM_RETURN_NOT_OK(
+          ParallelTasks(pool, static_cast<int>(t), cancel, tasks));
       // Pairwise stable merges: each range holds a contiguous block of
       // row indices, so left-biased ties keep the global row order —
       // identical output to the single sort with the index tie-break.
@@ -172,7 +177,8 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
     if (stats != nullptr) *stats = local;
     return std::move(input);
   }
-  int t = ResolveSortThreads(options.threads);
+  ThreadPool& pool = ThreadPool::Global();
+  int t = ResolveSortThreads(options.threads, pool);
   const size_t run_rows = std::max<size_t>(
       1024, options.memory_budget_bytes / 2 / row_bytes /
                 static_cast<size_t>(t));
@@ -247,24 +253,16 @@ Result<FactTable> SortFactTable(FactTable&& input, const SortKey& key,
     }
   };
 
+  // run_worker is a chunk-claiming loop, so any subset of the requested
+  // executors (down to just the caller) completes the job; extra
+  // executors only add spill/sort overlap.
   std::vector<Status> worker_status(t);
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(t - 1);
-    for (int i = 1; i < t; ++i) {
-      workers.emplace_back([&, i] {
-        worker_status[i] = run_worker();
-        if (!worker_status[i].ok()) {
-          failed.store(true, std::memory_order_relaxed);
-        }
-      });
-    }
-    worker_status[0] = run_worker();
-    if (!worker_status[0].ok()) {
+  pool.RunOnExecutors(t, [&](int e) {
+    worker_status[e] = run_worker();
+    if (!worker_status[e].ok()) {
       failed.store(true, std::memory_order_relaxed);
     }
-    for (std::thread& w : workers) w.join();
-  }
+  });
   auto cleanup_runs = [&] {
     for (const auto& path : run_paths) RemoveFileIfExists(path);
   };

@@ -186,6 +186,9 @@ std::string EngineConfig::Label(const Schema& schema) const {
   if (scan_batch_rows > 0) {
     label += "/b" + std::to_string(scan_batch_rows);
   }
+  if (morsel_rows > 0) {
+    label += "+morsel/m" + std::to_string(morsel_rows);
+  }
   return label;
 }
 
@@ -291,6 +294,9 @@ Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
   if (config.scan_batch_rows > 0) {
     ctx.options.scan_batch_rows = config.scan_batch_rows;
   }
+  if (config.morsel_rows > 0) {
+    ctx.options.morsel_rows = config.morsel_rows;
+  }
 
   Result<EvalOutput> result = Status::Internal("config not run");
   if (config.run_file) {
@@ -387,6 +393,17 @@ std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
   for (size_t batch_rows : {size_t{1}, size_t{7}, size_t{1024}}) {
     EngineConfig config = with_kind(EngineKind::kSortScan);
     config.scan_batch_rows = batch_rows;
+    configs.push_back(std::move(config));
+  }
+
+  // Morsel-size sweep over the work-stealing scan: tiny morsels (m64,
+  // maximal stealing and merge steps) and morsels larger than typical
+  // fuzz tables (m4096, degenerate single-morsel case). Any disagreement
+  // between these cells and the reference is a scheduler determinism bug
+  // (merge-order dependence, double-counted boundary rows).
+  for (size_t morsel_rows : {size_t{64}, size_t{4096}}) {
+    EngineConfig config = with_kind(EngineKind::kSingleScan);
+    config.morsel_rows = morsel_rows;
     configs.push_back(std::move(config));
   }
 

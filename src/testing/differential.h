@@ -29,6 +29,12 @@ struct EngineConfig {
   size_t memory_budget_bytes = 0;  // 0 = EngineOptions default
   size_t scan_batch_rows = 0;      // 0 = EngineOptions default; 1 =
                                    // record-at-a-time execution
+  size_t morsel_rows = 0;          // 0 = EngineOptions default; the
+                                   // work-stealing scan's morsel size —
+                                   // results must stay within oracle
+                                   // tolerance at any value (boundaries
+                                   // move FP partial-sum split points, so
+                                   // only thread count is bit-invariant)
   int session_queries = 0;         // > 1: run through QuerySession as N
                                    // fused prefix queries (0/1 = direct)
   int append_splits = 0;           // > 0: evaluate incrementally — base
@@ -38,8 +44,8 @@ struct EngineConfig {
 
   /// Stable human-readable label, e.g. "sortscan@<d0:L1>+runfile/64KB"
   /// or "parallel/t8" or "sortscan/b1" or "adaptive+session/q4" or
-  /// "sortscan+append/k8". Doubles as the config's serialized identity in
-  /// divergence reports.
+  /// "sortscan+append/k8" or "singlescan+morsel/m64". Doubles as the
+  /// config's serialized identity in divergence reports.
   std::string Label(const Schema& schema) const;
 };
 

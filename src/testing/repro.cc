@@ -57,6 +57,9 @@ Result<std::string> WriteRepro(const std::string& dir,
   if (config.scan_batch_rows > 0) {
     out << "batch_rows: " << config.scan_batch_rows << "\n";
   }
+  if (config.morsel_rows > 0) {
+    out << "morsel_rows: " << config.morsel_rows << "\n";
+  }
   if (config.session_queries > 1) {
     out << "session_queries: " << config.session_queries << "\n";
   }
@@ -93,7 +96,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
 
   std::string schema_spec, engine = "sortscan", path_kind = "memory";
   std::string sort_key_text, fault_text, facts_name;
-  uint64_t seed = 0, budget = 0, batch_rows = 0;
+  uint64_t seed = 0, budget = 0, batch_rows = 0, morsel_rows = 0;
   int64_t threads = 0, session_queries = 0, append_splits = 0;
   std::ostringstream dsl;
   bool in_workflow = false;
@@ -136,6 +139,10 @@ Result<ReproCase> LoadRepro(const std::string& path) {
       if (!ParseUint64(value, &batch_rows)) {
         return Status::ParseError("bad batch_rows: " + value);
       }
+    } else if (key == "morsel_rows") {
+      if (!ParseUint64(value, &morsel_rows)) {
+        return Status::ParseError("bad morsel_rows: " + value);
+      }
     } else if (key == "session_queries") {
       if (!ParseInt64(value, &session_queries)) {
         return Status::ParseError("bad session_queries: " + value);
@@ -177,6 +184,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   config.threads = static_cast<int>(threads);
   config.memory_budget_bytes = budget;
   config.scan_batch_rows = batch_rows;
+  config.morsel_rows = morsel_rows;
   config.session_queries = static_cast<int>(session_queries);
   config.append_splits = static_cast<int>(append_splits);
   if (!sort_key_text.empty()) {

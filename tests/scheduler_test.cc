@@ -1,0 +1,287 @@
+// Determinism and safety of the shared work-stealing scheduler and the
+// operator pipeline built on it (PR: physical operator layer).
+//
+// The core contract under test: every engine's result is BIT-identical
+// for any executor count and any morsel size, because per-morsel partial
+// states are merged in morsel-index order and morsel boundaries depend
+// only on (rows, morsel_rows).
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/exec_context.h"
+#include "exec/factory.h"
+#include "exec/scheduler.h"
+#include "gtest/gtest.h"
+#include "opt/lowering.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::MakeUniformFacts;
+using testing_util::RunWith;
+
+constexpr EngineKind kAllEngines[] = {
+    EngineKind::kSingleScan, EngineKind::kSortScan, EngineKind::kMultiPass,
+    EngineKind::kParallel,   EngineKind::kRelational,
+    EngineKind::kAdaptive};
+
+Workflow ParseWorkflow(const SchemaPtr& schema) {
+  // avg + var are floating-point accumulation-order sensitive: if the
+  // merge order ever depended on the executor count, these would differ
+  // in the low bits and the bit-exact comparison below would catch it.
+  auto workflow = Workflow::Parse(schema, R"(
+      measure C at (d0:L0, d1:L1) = agg sum(M) from FACT hidden;
+      measure V at (d0:L1, d1:L1) = agg var(M) from FACT hidden;
+      measure A at (d0:L1) = agg avg(M) from V;
+      measure R at (d0:L1) = agg sum(M) from C;
+      measure W at (d0:L1) = match R using sibling(d0 in [0, 2])
+          agg avg(M);
+      measure F at (d0:L1) = agg min(M) from FACT where (d0 > 3);)");
+  CSM_CHECK(workflow.ok()) << workflow.status().ToString();
+  return std::move(*workflow);
+}
+
+/// Bit-exact table equality: same rows in the same order, values compared
+/// as raw 8-byte patterns (so 0.0 != -0.0 and NaN payloads must match —
+/// the strongest possible determinism check).
+void ExpectBitIdentical(const EvalOutput& a, const EvalOutput& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.tables.size(), b.tables.size()) << context;
+  for (const auto& [name, ta] : a.tables) {
+    const MeasureTable* tb = b.FindTable(name);
+    ASSERT_NE(tb, nullptr) << context << ": missing table " << name;
+    ASSERT_EQ(ta.num_rows(), tb->num_rows()) << context << "/" << name;
+    for (size_t row = 0; row < ta.num_rows(); ++row) {
+      ASSERT_EQ(0, std::memcmp(ta.key_row(row), tb->key_row(row),
+                               sizeof(Value) * ta.num_dims()))
+          << context << "/" << name << " key mismatch at row " << row;
+      const double va = ta.value(row);
+      const double vb = tb->value(row);
+      ASSERT_EQ(0, std::memcmp(&va, &vb, sizeof(double)))
+          << context << "/" << name << " row " << row << ": " << va
+          << " vs " << vb;
+    }
+  }
+}
+
+class SchedulerDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeSyntheticSchema(3, 3, 10, 1000);
+    fact_ = std::make_unique<FactTable>(
+        MakeUniformFacts(schema_, 20000, 1000, 7));
+    workflow_ = std::make_unique<Workflow>(ParseWorkflow(schema_));
+  }
+
+  const FactTable& fact() const { return *fact_; }
+
+  SchemaPtr schema_;
+  std::unique_ptr<FactTable> fact_;
+  std::unique_ptr<Workflow> workflow_;
+};
+
+TEST_F(SchedulerDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  for (EngineKind kind : kAllEngines) {
+    EngineOptions base;
+    base.include_hidden = true;
+    base.parallel_threads = 1;
+    CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(kind, base));
+    CSM_ASSERT_OK_AND_ASSIGN(EvalOutput ref,
+                             RunWith(*engine, *workflow_, fact(), base));
+    for (int threads : {2, 8}) {
+      EngineOptions options = base;
+      options.parallel_threads = threads;
+      CSM_ASSERT_OK_AND_ASSIGN(
+          EvalOutput got, RunWith(*engine, *workflow_, fact(), options));
+      ExpectBitIdentical(ref, got,
+                         std::string(EngineKindName(kind)) + " t1 vs t" +
+                             std::to_string(threads));
+    }
+  }
+}
+
+// Morsel size picks the partial-aggregate split points, so changing it
+// legitimately perturbs floating-point low bits (like changing the sort
+// order would). The scheduler contract is that for a FIXED morsel size
+// the result is bit-identical at every executor count.
+TEST_F(SchedulerDeterminismTest, ThreadInvariantAtEveryMorselSize) {
+  EngineOptions base;
+  base.include_hidden = true;
+  for (size_t morsel_rows : {size_t{1}, size_t{7}, size_t{64},
+                             size_t{100000}}) {
+    EngineOptions ref_options = base;
+    ref_options.morsel_rows = morsel_rows;
+    ref_options.parallel_threads = 1;
+    CSM_ASSERT_OK_AND_ASSIGN(auto engine,
+                             MakeEngine(EngineKind::kSingleScan, ref_options));
+    CSM_ASSERT_OK_AND_ASSIGN(
+        EvalOutput ref, RunWith(*engine, *workflow_, fact(), ref_options));
+    for (int threads : {2, 8}) {
+      EngineOptions options = ref_options;
+      options.parallel_threads = threads;
+      CSM_ASSERT_OK_AND_ASSIGN(
+          EvalOutput got, RunWith(*engine, *workflow_, fact(), options));
+      ExpectBitIdentical(ref, got,
+                         "morsel_rows=" + std::to_string(morsel_rows) +
+                             " t1 vs t" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_F(SchedulerDeterminismTest, EmptyAndOneRowFacts) {
+  for (EngineKind kind : kAllEngines) {
+    for (size_t rows : {size_t{0}, size_t{1}}) {
+      FactTable tiny = MakeUniformFacts(schema_, rows, 1000, 11);
+      EngineOptions base;
+      base.parallel_threads = 1;
+      CSM_ASSERT_OK_AND_ASSIGN(auto engine, MakeEngine(kind, base));
+      CSM_ASSERT_OK_AND_ASSIGN(EvalOutput ref,
+                               RunWith(*engine, *workflow_, tiny, base));
+      EngineOptions wide = base;
+      wide.parallel_threads = 8;
+      wide.morsel_rows = 1;
+      CSM_ASSERT_OK_AND_ASSIGN(EvalOutput got,
+                               RunWith(*engine, *workflow_, tiny, wide));
+      ExpectBitIdentical(ref, got,
+                         std::string(EngineKindName(kind)) + " rows=" +
+                             std::to_string(rows));
+    }
+  }
+}
+
+TEST(SchedulerPoolTest, MorselLoopCoversEveryRowExactlyOnce) {
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t total_rows = 10013;  // prime-ish: short final morsel
+  const size_t morsel_rows = 64;
+  std::mutex mu;
+  std::set<size_t> seen_morsels;
+  std::vector<char> covered(total_rows, 0);
+  MorselStats stats;
+  Status status = ParallelMorsels(
+      pool, total_rows, morsel_rows, /*max_executors=*/0,
+      /*cancel=*/nullptr,
+      [&](size_t morsel, size_t begin, size_t end, int /*executor*/) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen_morsels.insert(morsel).second)
+            << "morsel " << morsel << " dispatched twice";
+        EXPECT_EQ(begin, morsel * morsel_rows);
+        EXPECT_LE(end, total_rows);
+        for (size_t r = begin; r < end; ++r) {
+          EXPECT_EQ(covered[r], 0) << "row " << r << " visited twice";
+          covered[r] = 1;
+        }
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(seen_morsels.size(), (total_rows + morsel_rows - 1) / morsel_rows);
+  EXPECT_EQ(stats.morsels, seen_morsels.size());
+  for (size_t r = 0; r < total_rows; ++r) {
+    ASSERT_EQ(covered[r], 1) << "row " << r << " never visited";
+  }
+}
+
+TEST(SchedulerPoolTest, CancellationStopsDispatchMidMorsel) {
+  ThreadPool& pool = ThreadPool::Global();
+  std::atomic<bool> cancel{false};
+  std::atomic<uint64_t> executed{0};
+  // The body trips the cancel flag after the first few morsels; the
+  // scheduler must stop dispatching not-yet-started morsels and report
+  // Cancelled.
+  Status status = ParallelMorsels(
+      pool, /*total_rows=*/100000, /*morsel_rows=*/16, /*max_executors=*/0,
+      &cancel,
+      [&](size_t, size_t, size_t, int) {
+        if (executed.fetch_add(1) >= 3) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      },
+      nullptr);
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  EXPECT_LT(executed.load(), 100000u / 16u)
+      << "cancellation should have stopped dispatch early";
+}
+
+TEST(SchedulerPoolTest, FirstTaskErrorWinsByIndex) {
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i]() -> Status {
+      if (i == 3) return Status::Internal("boom 3");
+      if (i == 9) return Status::Internal("boom 9");
+      return Status::OK();
+    });
+  }
+  Status status = ParallelTasks(pool, 0, nullptr, tasks);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("boom 3"), std::string::npos)
+      << "lowest-index failure must win, got: " << status.ToString();
+}
+
+TEST(SchedulerPoolTest, NestedRunOnExecutorsDegradesToSequential) {
+  ThreadPool& pool = ThreadPool::Global();
+  std::atomic<int> outer{0}, inner{0};
+  pool.RunOnExecutors(4, [&](int) {
+    outer.fetch_add(1);
+    pool.RunOnExecutors(4, [&](int) { inner.fetch_add(1); });
+  });
+  // Every started outer executor ran a complete nested job; no deadlock.
+  EXPECT_GE(outer.load(), 1);
+  EXPECT_GE(inner.load(), outer.load());
+}
+
+TEST(EngineOptionsValidateTest, MorselAndThreadBounds) {
+  EngineOptions options;
+  CSM_EXPECT_OK(options.Validate());
+
+  options.morsel_rows = 0;
+  EXPECT_FALSE(options.Validate().ok()) << "morsel_rows=0 must be rejected";
+  options.morsel_rows = (16u << 20) + 1;
+  EXPECT_FALSE(options.Validate().ok())
+      << "morsel_rows over 16Mi must be rejected";
+  options.morsel_rows = 16u << 20;
+  CSM_EXPECT_OK(options.Validate());
+
+  options = EngineOptions();
+  options.parallel_threads = 4097;
+  EXPECT_FALSE(options.Validate().ok())
+      << "parallel_threads over 4096 must be rejected";
+  options.parallel_threads = 4096;
+  CSM_EXPECT_OK(options.Validate());
+  options.parallel_threads = -1;
+  EXPECT_FALSE(options.Validate().ok());
+
+  // The factory enforces Validate.
+  EngineOptions bad;
+  bad.morsel_rows = 0;
+  EXPECT_FALSE(MakeEngine(EngineKind::kSingleScan, bad).ok());
+}
+
+TEST(LoweringTest, EveryEngineKindDescribesItsPlan) {
+  SchemaPtr schema = MakeSyntheticSchema(3, 3, 10, 1000);
+  Workflow workflow = ParseWorkflow(schema);
+  for (EngineKind kind : kAllEngines) {
+    EngineOptions options;
+    CSM_ASSERT_OK_AND_ASSIGN(PhysicalPlan plan,
+                             LowerToPlan(kind, workflow, options));
+    const std::string text = plan.Describe(*schema);
+    EXPECT_NE(text.find("plan: "), std::string::npos) << text;
+    EXPECT_NE(text.find("morsel_rows"), std::string::npos) << text;
+    EXPECT_FALSE(plan.ops.empty())
+        << EngineKindName(kind) << " lowered to an empty pipeline";
+    if (kind == EngineKind::kAdaptive) {
+      EXPECT_NE(text.find("adaptive -> "), std::string::npos) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csm

@@ -87,13 +87,26 @@ TEST_F(ToolTest, RunsEveryEngineOverCsvFacts) {
 }
 
 TEST_F(ToolTest, BinaryFactsAndExplain) {
+  // --explain lowers the physical plan, prints it, and exits WITHOUT
+  // executing the query: no output directory may appear.
   int rc = RunTool("--facts " + facts_bin_ + " --query " + query_path_ +
                    " --explain --include-hidden --out " + dir_->path() +
-                   "/out_bin");
+                   "/out_explain");
   ASSERT_EQ(rc, 0) << Stdout();
   std::string out = Stdout();
   EXPECT_NE(out.find("sort order:"), std::string::npos);
-  EXPECT_NE(out.find("adaptive engine choice:"), std::string::npos);
+  EXPECT_NE(out.find("physical plan:"), std::string::npos);
+  EXPECT_NE(out.find("plan: adaptive -> "), std::string::npos)
+      << "explain should surface the resolved adaptive choice";
+  EXPECT_NE(out.find("morsel_rows:"), std::string::npos);
+  EXPECT_FALSE(fs::exists(dir_->path() + "/out_explain"))
+      << "--explain must not execute the query";
+
+  // Binary facts execute like CSV facts; --include-hidden emits the
+  // intermediate measures too.
+  rc = RunTool("--facts " + facts_bin_ + " --query " + query_path_ +
+               " --include-hidden --out " + dir_->path() + "/out_bin");
+  ASSERT_EQ(rc, 0) << Stdout();
   EXPECT_TRUE(fs::exists(dir_->path() + "/out_bin/C.csv"))
       << "--include-hidden should emit intermediates";
 }

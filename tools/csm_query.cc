@@ -6,9 +6,14 @@
 //   csm_query --schema net --facts log.csv --query query.dsl
 //             [--engine adaptive] [--budget-mb 256] [--sort-budget BYTES]
 //             [--sort-key K]
-//             [--threads N] [--batch-rows N] [--out results_dir]
+//             [--threads N] [--morsel-rows N] [--batch-rows N]
+//             [--out results_dir]
 //             [--dot workflow.dot] [--metrics out.json] [--trace]
 //             [--explain] [--stream] [--include-hidden]
+//
+// --explain prints the lowered physical plan (operator pipeline, sort
+// order, thread/morsel plan) plus the cost-model comparison and exits
+// WITHOUT executing the query.
 //
 // Multi-query sessions (shared-scan execution across queries):
 //   csm_query --schema net --facts log.csv --queries batch.txt
@@ -52,6 +57,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/adaptive.h"
+#include "opt/lowering.h"
 #include "exec/exec_context.h"
 #include "exec/factory.h"
 #include "exec/session.h"
@@ -76,7 +82,7 @@ int Usage(const char* argv0) {
       "          [--engine adaptive|sortscan|singlescan|\n"
       "          multipass|parallel|relational] [--budget-mb N]\n"
       "          [--sort-budget BYTES] [--sort-key K] [--threads N]\n"
-      "          [--batch-rows N]\n"
+      "          [--morsel-rows N] [--batch-rows N]\n"
       "          [--out DIR] [--dot FILE] [--metrics FILE.json]\n"
       "          [--trace] [--explain] [--stream] [--include-hidden]\n",
       argv0);
@@ -351,6 +357,7 @@ int RealMain(int argc, char** argv) {
   size_t budget_mb = 256;
   size_t sort_budget_bytes = 0;  // 0 = derive from --budget-mb
   size_t batch_rows = 0;         // 0 = EngineOptions default
+  size_t morsel_rows = 0;        // 0 = EngineOptions default
   int threads = 0;
   bool explain = false, include_hidden = false, stream = false;
   bool trace = false, session_cache = false;
@@ -393,6 +400,10 @@ int RealMain(int argc, char** argv) {
       if (const char* v = next()) threads = std::atoi(v);
     } else if (!std::strcmp(argv[i], "--batch-rows")) {
       if (const char* v = next()) batch_rows = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--morsel-rows")) {
+      if (const char* v = next()) {
+        morsel_rows = std::strtoull(v, nullptr, 10);
+      }
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
     } else if (!std::strcmp(argv[i], "--explain")) {
@@ -428,6 +439,7 @@ int RealMain(int argc, char** argv) {
     }
     options.parallel_threads = threads;
     if (batch_rows > 0) options.scan_batch_rows = batch_rows;
+    if (morsel_rows > 0) options.morsel_rows = morsel_rows;
     if (!sort_key_text.empty()) {
       auto key = SortKey::Parse(**schema, sort_key_text);
       if (!key.ok()) return report(key.status());
@@ -469,6 +481,7 @@ int RealMain(int argc, char** argv) {
   options.include_hidden = include_hidden;
   options.parallel_threads = threads;
   if (batch_rows > 0) options.scan_batch_rows = batch_rows;
+  if (morsel_rows > 0) options.morsel_rows = morsel_rows;
   if (!sort_key_text.empty()) {
     auto key = SortKey::Parse(**schema, sort_key_text);
     if (!key.ok()) return report(key.status());
@@ -490,6 +503,10 @@ int RealMain(int argc, char** argv) {
   }
 
   if (explain) {
+    // EXPLAIN never executes: lower the physical plan, print it with the
+    // cost-model comparison, and exit.
+    auto kind = ParseEngineKind(engine_name);
+    if (!kind.ok()) return report(kind.status());
     auto key = options.sort_key.empty()
                    ? BruteForceSortKey(*workflow)
                    : Result<SortKey>(options.sort_key);
@@ -511,11 +528,15 @@ int RealMain(int argc, char** argv) {
       std::printf("  single-scan: %s\n", single->ToString().c_str());
       std::printf("  relational:  %s\n", db->ToString().c_str());
     }
-    auto choice = AdaptiveEngine::Decide(*workflow, options);
-    if (choice.ok()) {
-      std::printf("adaptive engine choice: %s\n\n",
-                  std::string(AdaptiveChoiceName(*choice)).c_str());
-    }
+    // --stream always executes through the sort/scan engine, so explain
+    // the out-of-core sort/scan plan regardless of --engine.
+    auto plan = stream
+                    ? LowerToPlan(EngineKind::kSortScan, *workflow, options,
+                                  /*file_input=*/true)
+                    : LowerToPlan(*kind, *workflow, options);
+    if (!plan.ok()) return report(plan.status());
+    std::printf("physical plan:\n%s", plan->Describe(**schema).c_str());
+    return 0;
   }
 
   // Every run records into one tracer; --metrics/--trace export it.
