@@ -156,6 +156,7 @@ int main(int argc, char** argv) {
         "  \"rows\": %zu,\n"
         "  \"batch_rows\": 1024,\n"
         "  \"reps\": %d,\n"
+        "  \"hardware_threads\": %d,\n"
         "  \"sortscan_seconds\": %.4f,\n"
         "  \"sortscan_scan_seconds\": %.4f,\n"
         "  \"singlescan_seconds\": %.4f,\n"
@@ -167,7 +168,7 @@ int main(int argc, char** argv) {
         "  \"speedup_sortscan_end_to_end\": %.3f,\n"
         "  \"speedup_singlescan_scan\": %.3f\n"
         "}\n",
-        fact.num_rows(), reps, engines[0].seconds,
+        fact.num_rows(), reps, HardwareThreads(), engines[0].seconds,
         engines[0].scan_seconds, engines[1].seconds,
         engines[1].scan_seconds, kPr3SortScanSeconds,
         kPr3SortScanScanSeconds, kPr3SingleScanSeconds,

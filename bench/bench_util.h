@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "common/timer.h"
@@ -35,6 +36,14 @@ inline size_t Rows(double base) {
   return static_cast<size_t>(base * Scale());
 }
 
+/// Cores visible to this run. Every BENCH_*.json records it so a reader
+/// (or the CI gate) can tell a real scaling number from a single-core
+/// container run, where thread sweeps only measure scheduler overhead.
+inline int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
 /// Pretty row count: "100k", "3.2M".
 inline std::string FmtRows(size_t rows) {
   char buf[32];
@@ -61,6 +70,7 @@ struct RunResult {
   bool ok = false;
   double seconds = 0;
   ExecStats stats;
+  EvalOutput output;              // the run's measure tables
   std::shared_ptr<Tracer> trace;  // full span tree of the run
   SpanId root = kNoSpan;          // the engine's root span
 
@@ -94,6 +104,7 @@ inline RunResult TimeEngine(Engine& engine, const Workflow& workflow,
   }
   out.ok = true;
   out.stats = result->stats;
+  out.output = std::move(*result);
   return out;
 }
 

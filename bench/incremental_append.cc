@@ -213,13 +213,15 @@ int main(int argc, char** argv) {
                   "  \"append_rows\": %zu,\n"
                   "  \"dirty_regions\": %zu,\n"
                   "  \"reps\": %d,\n"
+                  "  \"hardware_threads\": %d,\n"
                   "  \"full_recompute_seconds\": %.4f,\n"
                   "  \"incremental_seconds\": %.5f,\n"
                   "  \"serve_seconds\": %.5f,\n"
                   "  \"speedup_incremental\": %.3f\n"
                   "}\n",
                   base_rows, append_rows, report.dirty_regions, reps,
-                  full_seconds, patch_seconds, serve_seconds, speedup);
+                  HardwareThreads(), full_seconds, patch_seconds,
+                  serve_seconds, speedup);
     out << buf;
     std::printf("wrote %s\n", json_path.c_str());
   }

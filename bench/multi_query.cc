@@ -223,6 +223,7 @@ int main(int argc, char** argv) {
                   "  \"fused_measures\": %zu,\n"
                   "  \"shared_measures\": %zu,\n"
                   "  \"reps\": %d,\n"
+                  "  \"hardware_threads\": %d,\n"
                   "  \"independent_seconds\": %.4f,\n"
                   "  \"fused_seconds\": %.4f,\n"
                   "  \"cache_hit_seconds\": %.5f,\n"
@@ -230,7 +231,8 @@ int main(int argc, char** argv) {
                   "}\n",
                   fact.num_rows(), kNumQueries, total_measures,
                   report.fused_measures, report.shared_measures, reps,
-                  independent_seconds, fused_seconds, cached_seconds,
+                  HardwareThreads(), independent_seconds, fused_seconds,
+                  cached_seconds,
                   speedup);
     out << buf;
     std::printf("wrote %s\n", json_path.c_str());

@@ -60,8 +60,7 @@ class FlatKeyMap {
 
   /// Non-zero 64-bit hash of a key span (0 marks an empty slot).
   uint64_t HashKey(const Value64* key) const {
-    const uint64_t h = HashSpan(key, width_);
-    return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+    return NonZeroHash(HashSpan(key, width_));
   }
 
   /// Returns the value for `key`, or nullptr.
@@ -82,6 +81,21 @@ class FlatKeyMap {
   /// Finds or default-inserts `key`; `*inserted` reports which happened.
   V& FindOrInsert(const Value64* key, bool* inserted) {
     return FindOrInsertHashed(key, HashKey(key), inserted);
+  }
+
+  /// Hints the cache that the probe chain of `hash` is about to be
+  /// walked: touches the home slot's cached-hash lane and key stripe.
+  /// Purely a speed hint (no-op without CSM_SIMD or on compilers
+  /// without __builtin_prefetch); bulk probes issue it a small window
+  /// ahead of the actual FindOrInsertHashed.
+  void PrefetchHashed(uint64_t hash) const {
+#if defined(CSM_SIMD) && (defined(__GNUC__) || defined(__clang__))
+    const size_t i = hash & mask_;
+    __builtin_prefetch(hashes_.data() + i, /*rw=*/0, /*locality=*/1);
+    __builtin_prefetch(keys_.data() + i * width_, 0, 1);
+#else
+    (void)hash;
+#endif
   }
 
   V& FindOrInsertHashed(const Value64* key, uint64_t hash,

@@ -25,11 +25,34 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
                  (seed >> 2));
 }
 
+/// Seed of HashSpan, exposed so column-wise hashing can reproduce it:
+/// initialize every row's hash to the seed, fold one key column at a
+/// time with HashCombineColumn, and the results are bit-identical to
+/// HashSpan over each row's gathered key.
+inline constexpr uint64_t kHashSpanSeed = 0x2545f4914f6cdd1dULL;
+
 /// Hashes a span of 64-bit values (e.g. an encoded region key).
 inline uint64_t HashSpan(const uint64_t* data, size_t n) {
-  uint64_t h = 0x2545f4914f6cdd1dULL;
+  uint64_t h = kHashSpanSeed;
   for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
   return h;
+}
+
+/// Column-wise HashSpan step: folds `column[r]` into `hashes[r]` for n
+/// rows. One call per key column (in key order, hashes pre-seeded with
+/// kHashSpanSeed) equals HashSpan row by row.
+inline void HashCombineColumn(uint64_t* hashes, const uint64_t* column,
+                              size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    hashes[r] = HashCombine(hashes[r], column[r]);
+  }
+}
+
+/// Forces a hash non-zero; FlatKeyMap reserves 0 as its empty-slot
+/// marker, so every hash handed to its *Hashed entry points must pass
+/// through this.
+inline uint64_t NonZeroHash(uint64_t h) {
+  return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
 }
 
 inline uint64_t HashVector(const std::vector<uint64_t>& v) {

@@ -2,6 +2,24 @@
 
 namespace csm {
 
+void AggTable::FoldBatch(const Value* keys, const uint64_t* hashes,
+                         const double* values, const uint32_t* sel,
+                         size_t sel_n) {
+  const size_t width = map_.key_width();
+  // Prefetch distance: far enough to cover a DRAM load at typical batch
+  // fold throughput, near enough that the line is still resident.
+  constexpr size_t kWindow = 8;
+  for (size_t s = 0; s < sel_n; ++s) {
+    if (s + kWindow < sel_n) map_.PrefetchHashed(hashes[s + kWindow]);
+    bool inserted = false;
+    AggState& state =
+        map_.FindOrInsertHashed(keys + s * width, hashes[s], &inserted);
+    if (inserted) AggInit(kind_, &state);
+    const size_t r = sel != nullptr ? sel[s] : s;
+    AggUpdate(kind_, &state, values != nullptr ? values[r] : 1.0);
+  }
+}
+
 void AggTable::MergeFrom(const AggTable& other) {
   other.map_.ForEach([&](const Value* key, const AggState& state) {
     bool inserted = false;

@@ -36,6 +36,21 @@ class AggTable {
     AggUpdate(kind_, &state, value);
   }
 
+  /// Bulk probe: folds `sel_n` pre-encoded rows in one sweep. `keys` is
+  /// a dense interleaved buffer (position s's key at
+  /// keys[s * key_width()]) and `hashes[s]` the matching
+  /// FlatKeyMap-compatible hash (HashSpan + NonZeroHash) — the caller
+  /// has already dropped filtered-out rows, so only selected rows pay
+  /// for key encoding. `values` is the full batch's input column; it is
+  /// read at values[sel[s]] (ascending original row indices), or
+  /// values[s] when `sel` is nullptr. A nullptr `values` means 1.0 for
+  /// every row (the COUNT case). Probes are software-prefetched a
+  /// window ahead; rows fold in selection order, so each group sees the
+  /// same AggUpdate sequence as the per-row loop and the states are
+  /// bit-identical.
+  void FoldBatch(const Value* keys, const uint64_t* hashes,
+                 const double* values, const uint32_t* sel, size_t sel_n);
+
   /// Folds every group of `other` (a partial aggregate over disjoint
   /// input rows, same kind and key width) into this table via AggMerge.
   /// Valid for every kind, including the algebraic and holistic ones.

@@ -112,6 +112,16 @@ struct EngineOptions {
   /// overhead against steal granularity. See bench/ablation_morsel.
   size_t morsel_rows = 16384;
 
+  /// Columnar kernel execution in the scan stages: where-filters run as
+  /// compiled selection-vector kernels (falling back per-expression to
+  /// the row interpreter for unsupported shapes), group keys are
+  /// encoded and hashed column-wise, and agg tables are probed in bulk
+  /// with run detection on sorted input. Results are bit-identical to
+  /// the scalar path — the differential fuzzer's `+vec/off` cells prove
+  /// it — so this is purely a speed knob (`csm_query --no-vectorize`).
+  /// See bench/ablation_vector.
+  bool vectorized = true;
+
   /// Rejects option combinations the engines would otherwise silently
   /// misbehave on: a zero memory budget (external sort run sizing and
   /// multi-pass planning divide by it), scan_batch_rows == 0 (the batch

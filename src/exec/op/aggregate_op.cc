@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "algebra/evaluator.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "exec/op/generalize_op.h"
+#include "expr/predicate_kernel.h"
 
 namespace csm {
 
@@ -23,6 +25,9 @@ struct BaseJob {
   AggSpec agg;
   BoundExpr where;  // empty => no filter
   bool has_where = false;
+  // Columnar compilation of `where` (vectorized runs only); nullopt
+  // when the shape is unsupported and the row interpreter filters.
+  std::optional<PredicateKernel> kernel;
   int pass = -1;  // GranularitySweep pass of this job's granularity
   AggTable states;
 };
@@ -37,7 +42,21 @@ struct ExecutorScratch {
   // an internal mutable stack, so a shared instance evaluated from
   // several executors at once silently corrupts predicate results.
   std::vector<BoundExpr> where;
+  // Same reasoning for the compiled kernels: Select mutates internal
+  // mask scratch.
+  std::vector<std::optional<PredicateKernel>> kernels;
   RegionKey key;
+  // Vectorized-scan scratch: selection vector, full-batch key/hash
+  // buffers cached per pass for unfiltered jobs, dense gather buffers
+  // for filtered jobs, raw column pointer tables.
+  std::vector<uint32_t> sel;
+  std::vector<std::vector<uint64_t>> pass_keys;
+  std::vector<std::vector<uint64_t>> pass_hashes;
+  std::vector<char> pass_ready;
+  std::vector<uint64_t> dense_keys;
+  std::vector<uint64_t> dense_hashes;
+  std::vector<const Value*> dim_ptrs;
+  std::vector<const double*> measure_ptrs;
   SpanId span = kNoSpan;
   uint64_t batches = 0;
   uint64_t rows = 0;
@@ -48,7 +67,8 @@ struct ExecutorScratch {
 std::string AggregateOp::Describe(const Schema&) const {
   return "accumulate " + std::to_string(num_tables_) +
          " agg table(s); morsel work-stealing scan, merged in morsel "
-         "order";
+         "order; " +
+         vec_.Summary();
 }
 
 Status AggregateOp::Run(PlanContext& ctx) {
@@ -84,6 +104,9 @@ Status AggregateOp::Run(PlanContext& ctx) {
         CSM_ASSIGN_OR_RETURN(job.where,
                              BoundExpr::Bind(*def.where, fact_vars));
         job.has_where = true;
+        if (options.vectorized) {
+          job.kernel = PredicateKernel::Compile(*def.where, fact_vars, d);
+        }
       }
       jobs.push_back(std::move(job));
     } else if (def.op == MeasureOp::kMatch) {
@@ -112,6 +135,23 @@ Status AggregateOp::Run(PlanContext& ctx) {
   const size_t total_rows = fact.num_rows();
   const size_t num_morsels =
       total_rows == 0 ? 0 : (total_rows + morsel_rows - 1) / morsel_rows;
+  const bool vectorized = options.vectorized;
+
+  // Passes referenced by an unfiltered job: the vectorized path encodes
+  // each one's full-batch key buffer + hashes at most once per batch,
+  // shared by every unfiltered job at that granularity. Filtered jobs
+  // gather-encode only their selected rows instead, so a selective
+  // filter also cuts the encoding and hashing work.
+  std::vector<int> full_passes;
+  {
+    std::vector<char> used(static_cast<size_t>(sweep.num_passes()), 0);
+    for (const BaseJob& job : jobs) {
+      if (!job.has_where && !used[job.pass]) {
+        used[job.pass] = 1;
+        full_passes.push_back(job.pass);
+      }
+    }
+  }
 
   std::vector<std::vector<AggTable>> partials(num_morsels);
   std::vector<ExecutorScratch> scratch(ctx.pool->workers() + 1);
@@ -126,6 +166,22 @@ Status AggregateOp::Run(PlanContext& ctx) {
       s.key.resize(d);
       s.where.reserve(jobs.size());
       for (const BaseJob& job : jobs) s.where.push_back(job.where);
+      if (vectorized) {
+        s.kernels.reserve(jobs.size());
+        for (const BaseJob& job : jobs) s.kernels.push_back(job.kernel);
+        s.sel.resize(batch_cap);
+        s.pass_keys.assign(static_cast<size_t>(sweep.num_passes()), {});
+        s.pass_hashes.assign(static_cast<size_t>(sweep.num_passes()), {});
+        s.pass_ready.assign(static_cast<size_t>(sweep.num_passes()), 0);
+        for (int p : full_passes) {
+          s.pass_keys[p].resize(batch_cap * static_cast<size_t>(d));
+          s.pass_hashes[p].resize(batch_cap);
+        }
+        s.dense_keys.resize(batch_cap * static_cast<size_t>(d));
+        s.dense_hashes.resize(batch_cap);
+        s.dim_ptrs.resize(d);
+        s.measure_ptrs.resize(m);
+      }
       s.span = tracer.BeginSpan("worker", scan_span.id());
     }
     std::vector<AggTable>& part = partials[morsel];
@@ -136,32 +192,112 @@ Status AggregateOp::Run(PlanContext& ctx) {
     RecordBatch& batch = *s.batch;
     for (size_t at = begin; at < end; at += batch_cap) {
       const size_t n = std::min(batch_cap, end - at);
-      for (size_t r = 0; r < n; ++r) {
-        batch.ScatterRow(r, fact.dim_row(at + r),
-                         fact.measure_row(at + r));
-      }
-      batch.set_num_rows(n);
+      batch.FillFromTable(fact, at, n);
       s.cols->Apply(batch, n);
-      for (size_t j = 0; j < jobs.size(); ++j) {
-        const BaseJob& job = jobs[j];
-        const double* arg_col =
-            job.agg.arg >= 0 ? batch.measure_col(job.agg.arg) : nullptr;
-        AggTable& table = part[j];
-        for (size_t r = 0; r < n; ++r) {
-          if (job.has_where) {
+      if (!vectorized) {
+        // Scalar reference path: per-row interpreter filter, per-row
+        // key gather and table probe. The vectorized path below is
+        // bit-identical to this loop by construction.
+        for (size_t j = 0; j < jobs.size(); ++j) {
+          const BaseJob& job = jobs[j];
+          const double* arg_col =
+              job.agg.arg >= 0 ? batch.measure_col(job.agg.arg)
+                               : nullptr;
+          AggTable& table = part[j];
+          for (size_t r = 0; r < n; ++r) {
+            if (job.has_where) {
+              for (int i = 0; i < d; ++i) {
+                s.slots[i] = static_cast<double>(batch.dim_col(i)[r]);
+              }
+              for (int i = 0; i < m; ++i) {
+                s.slots[d + i] = batch.measure_col(i)[r];
+              }
+              if (!s.where[j].EvalBool(s.slots.data())) continue;
+            }
             for (int i = 0; i < d; ++i) {
-              s.slots[i] = static_cast<double>(batch.dim_col(i)[r]);
+              s.key[i] = s.cols->col(job.pass, i)[r];
             }
-            for (int i = 0; i < m; ++i) {
-              s.slots[d + i] = batch.measure_col(i)[r];
-            }
-            if (!s.where[j].EvalBool(s.slots.data())) continue;
+            table.Update(s.key.data(),
+                         arg_col != nullptr ? arg_col[r] : 1.0);
           }
+        }
+      } else {
+        // Vectorized path. Unfiltered jobs share a full-batch key/hash
+        // encode of their pass (one strided sweep per dimension,
+        // column-wise hashing — the incremental HashCombine fold
+        // reproduces HashSpan bit for bit). Filtered jobs first build a
+        // selection vector with their compiled kernel (or the
+        // interpreter when the shape didn't compile), then
+        // gather-encode and hash only the selected rows, so encoding
+        // cost scales with selectivity. Either way the fold runs
+        // through the prefetched bulk probe in ascending row order.
+        for (int i = 0; i < d; ++i) s.dim_ptrs[i] = batch.dim_col(i);
+        for (int i = 0; i < m; ++i) {
+          s.measure_ptrs[i] = batch.measure_col(i);
+        }
+        for (int p : full_passes) s.pass_ready[p] = 0;
+        for (size_t j = 0; j < jobs.size(); ++j) {
+          const BaseJob& job = jobs[j];
+          const double* arg_col =
+              job.agg.arg >= 0 ? batch.measure_col(job.agg.arg)
+                               : nullptr;
+          if (!job.has_where) {
+            if (!s.pass_ready[job.pass]) {
+              s.pass_ready[job.pass] = 1;
+              uint64_t* keys = s.pass_keys[job.pass].data();
+              uint64_t* hashes = s.pass_hashes[job.pass].data();
+              for (int i = 0; i < d; ++i) {
+                const Value* col = s.cols->col(job.pass, i);
+                uint64_t* out = keys + i;
+                for (size_t r = 0; r < n; ++r) out[r * d] = col[r];
+              }
+              std::fill(hashes, hashes + n, kHashSpanSeed);
+              for (int i = 0; i < d; ++i) {
+                HashCombineColumn(hashes, s.cols->col(job.pass, i), n);
+              }
+              for (size_t r = 0; r < n; ++r) {
+                hashes[r] = NonZeroHash(hashes[r]);
+              }
+            }
+            part[j].FoldBatch(s.pass_keys[job.pass].data(),
+                              s.pass_hashes[job.pass].data(), arg_col,
+                              nullptr, n);
+            continue;
+          }
+          size_t sel_n = 0;
+          if (s.kernels[j].has_value()) {
+            sel_n = s.kernels[j]->Select(s.dim_ptrs.data(),
+                                         s.measure_ptrs.data(), n,
+                                         s.sel.data());
+          } else {
+            for (size_t r = 0; r < n; ++r) {
+              for (int i = 0; i < d; ++i) {
+                s.slots[i] = static_cast<double>(batch.dim_col(i)[r]);
+              }
+              for (int i = 0; i < m; ++i) {
+                s.slots[d + i] = batch.measure_col(i)[r];
+              }
+              if (s.where[j].EvalBool(s.slots.data())) {
+                s.sel[sel_n++] = static_cast<uint32_t>(r);
+              }
+            }
+          }
+          uint64_t* keys = s.dense_keys.data();
+          uint64_t* hashes = s.dense_hashes.data();
+          std::fill(hashes, hashes + sel_n, kHashSpanSeed);
           for (int i = 0; i < d; ++i) {
-            s.key[i] = s.cols->col(job.pass, i)[r];
+            const Value* col = s.cols->col(job.pass, i);
+            uint64_t* out = keys + i;
+            for (size_t t = 0; t < sel_n; ++t) {
+              const uint64_t v = col[s.sel[t]];
+              out[t * d] = v;
+              hashes[t] = HashCombine(hashes[t], v);
+            }
           }
-          table.Update(s.key.data(),
-                       arg_col != nullptr ? arg_col[r] : 1.0);
+          for (size_t t = 0; t < sel_n; ++t) {
+            hashes[t] = NonZeroHash(hashes[t]);
+          }
+          part[j].FoldBatch(keys, hashes, arg_col, s.sel.data(), sel_n);
         }
       }
       ++s.batches;
@@ -214,6 +350,7 @@ Status AggregateOp::Run(PlanContext& ctx) {
   tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(batch_cap));
   tracer.SetAttr(scan_span.id(), "morsel_rows",
                  std::to_string(morsel_rows));
+  tracer.SetAttr(scan_span.id(), "vectorized", vectorized ? "on" : "off");
 
   // Peak memory: all hash tables coexist at end of scan.
   {

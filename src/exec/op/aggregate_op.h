@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "exec/op/op.h"
+#include "exec/op/vectorize.h"
 
 namespace csm {
 
@@ -26,8 +27,11 @@ namespace csm {
 class AggregateOp : public PhysicalOp {
  public:
   /// `num_tables` is the job count the lowering planned (basic measures
-  /// plus distinct enumerator granularities) — display only.
-  explicit AggregateOp(size_t num_tables = 0) : num_tables_(num_tables) {}
+  /// plus distinct enumerator granularities); `vec` the plan-time
+  /// vectorization decisions. Both are display-only — Run re-derives
+  /// the same decisions from the workflow and the context options.
+  explicit AggregateOp(size_t num_tables = 0, VectorizeInfo vec = {})
+      : num_tables_(num_tables), vec_(vec) {}
 
   std::string_view name() const override { return "aggregate"; }
   std::string Describe(const Schema& schema) const override;
@@ -35,6 +39,7 @@ class AggregateOp : public PhysicalOp {
 
  private:
   size_t num_tables_;
+  VectorizeInfo vec_;
 };
 
 }  // namespace csm

@@ -14,9 +14,12 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include <optional>
+
 #include "exec/exec_context.h"
 #include "exec/op/generalize_op.h"
 #include "exec/op/physical_plan.h"
+#include "expr/predicate_kernel.h"
 #include "storage/record_cursor.h"
 
 namespace csm {
@@ -203,6 +206,11 @@ struct NodeRt {
   size_t n_slots = 0;  // combine inputs
   bool has_where = false;
   BoundExpr where;  // base nodes: fact-row filter
+  // Columnar compilation of `where` (vectorized runs only); nullopt =
+  // unsupported shape, filter through the row interpreter. The ordered
+  // scan is sequential, so the kernel's mutable scratch needs no
+  // per-executor copies here.
+  std::optional<PredicateKernel> where_kernel;
 
   PosCalc pos;
   FlatKeyMap<NodeEntry> entries;  // keyed pos ++ region key
@@ -287,6 +295,28 @@ class PropagateImpl {
     uint64_t rows = 0, batches = 0, adapter_batches = 0;
     size_t rows_since_prop = 0;
 
+    // Vectorized-scan scratch. Sorted input arrives in runs of equal
+    // generalized keys; run ids (a prefix count of key boundaries,
+    // computed once per pass per batch and shared by nodes at the same
+    // granularity) let each node touch its entry map once per run and
+    // accumulate distributive kinds in a register-local partial.
+    const bool vectorized = options_.vectorized;
+    std::vector<std::vector<uint32_t>> run_ids;  // by pass
+    std::vector<uint8_t> run_boundary;
+    std::vector<char> pass_runs_ready;
+    std::vector<uint32_t> sel, iota;
+    std::vector<const Value*> dim_ptrs(static_cast<size_t>(d_));
+    std::vector<const double*> measure_ptrs(static_cast<size_t>(m));
+    if (vectorized) {
+      run_ids.assign(static_cast<size_t>(sweep.num_passes()), {});
+      for (auto& v : run_ids) v.resize(cap);
+      run_boundary.resize(cap);
+      pass_runs_ready.assign(static_cast<size_t>(sweep.num_passes()), 0);
+      sel.resize(cap);
+      iota.resize(cap);
+      for (size_t r = 0; r < cap; ++r) iota[r] = static_cast<uint32_t>(r);
+    }
+
     CSM_ASSIGN_OR_RETURN(size_t cur_rows, cursor.NextBatch(&cur));
     while (cur_rows > 0) {
       CSM_ASSIGN_OR_RETURN(size_t next_rows, cursor.NextBatch(&next));
@@ -297,6 +327,11 @@ class PropagateImpl {
       }
 
       cols.Apply(cur, cur_rows);
+      if (vectorized) {
+        std::fill(pass_runs_ready.begin(), pass_runs_ready.end(), 0);
+        for (int i = 0; i < d_; ++i) dim_ptrs[i] = cur.dim_col(i);
+        for (int i = 0; i < m; ++i) measure_ptrs[i] = cur.measure_col(i);
+      }
 
       // Feed the batch to every scan-side node. The stream is sorted, so
       // generalized keys arrive in runs; reusing the entry while the key
@@ -306,6 +341,135 @@ class PropagateImpl {
         const int pass = node_pass[s];
         const double* arg_col =
             node.agg.arg >= 0 ? cur.measure_col(node.agg.arg) : nullptr;
+        if (vectorized) {
+          // Run detection, shared by every node at this pass: flag the
+          // rows where any generalized key column changes, then prefix-
+          // count the flags into run ids.
+          if (!pass_runs_ready[pass]) {
+            pass_runs_ready[pass] = 1;
+            std::fill(run_boundary.begin(),
+                      run_boundary.begin() + cur_rows, 0);
+            for (int i = 0; i < d_; ++i) {
+              const Value* c = cols.col(pass, i);
+              for (size_t r = 1; r < cur_rows; ++r) {
+                run_boundary[r] |= (c[r] != c[r - 1]) ? 1 : 0;
+              }
+            }
+            uint32_t* rid = run_ids[pass].data();
+            uint32_t acc = 0;
+            rid[0] = 0;
+            for (size_t r = 1; r < cur_rows; ++r) {
+              acc += run_boundary[r];
+              rid[r] = acc;
+            }
+          }
+          const uint32_t* rid = run_ids[pass].data();
+
+          // Filter: compiled kernel, interpreter fallback, or the whole
+          // batch when the node has no where-filter.
+          const uint32_t* sv = iota.data();
+          size_t sel_n = cur_rows;
+          if (node.has_where) {
+            sv = sel.data();
+            if (node.where_kernel.has_value()) {
+              sel_n = node.where_kernel->Select(dim_ptrs.data(),
+                                                measure_ptrs.data(),
+                                                cur_rows, sel.data());
+            } else {
+              sel_n = 0;
+              for (size_t r = 0; r < cur_rows; ++r) {
+                for (int i = 0; i < d_; ++i) {
+                  slots[i] = static_cast<double>(cur.dim_col(i)[r]);
+                }
+                for (int i = 0; i < m; ++i) {
+                  slots[d_ + i] = cur.measure_col(i)[r];
+                }
+                if (node.where.EvalBool(slots.data())) {
+                  sel[sel_n++] = static_cast<uint32_t>(r);
+                }
+              }
+            }
+          }
+
+          // Fold run by run: one Touch per run (same probe sequence as
+          // the scalar loop — a run *is* a maximal stretch of equal
+          // keys), with register-local partials for the kinds whose
+          // fold order provably cannot change the state bits (count:
+          // exact integer adds; min/max: exact comparisons with the
+          // same first-tie-wins order; none: no-op updates). Everything
+          // else replays per-row AggUpdate through the cached entry.
+          NodeEntry* entry = nullptr;
+          uint32_t prev_rid = 0;
+          size_t i0 = 0;
+          while (i0 < sel_n) {
+            const uint32_t r0 = sv[i0];
+            const uint32_t run = rid[r0];
+            size_t i1 = i0 + 1;
+            while (i1 < sel_n && rid[sv[i1]] == run) ++i1;
+            if (entry == nullptr || run != prev_rid) {
+              for (int i = 0; i < d_; ++i) {
+                gen_key[i] = cols.col(pass, i)[r0];
+              }
+              entry = &Touch(node, gen_key.data(), &map_key);
+              prev_rid = run;
+            }
+            switch (node.agg.kind) {
+              case AggKind::kNone:
+                break;  // enumerator: Touch alone records the region
+              case AggKind::kCount: {
+                double cnt;
+                if (arg_col == nullptr) {
+                  cnt = static_cast<double>(i1 - i0);
+                } else {
+                  cnt = 0;
+                  for (size_t j = i0; j < i1; ++j) {
+                    const double v = arg_col[sv[j]];
+                    if (!(v != v)) cnt += 1;
+                  }
+                }
+                entry->state.a += cnt;
+                break;
+              }
+              case AggKind::kMin: {
+                double local = kNaN;
+                for (size_t j = i0; j < i1; ++j) {
+                  const double v =
+                      arg_col != nullptr ? arg_col[sv[j]] : 1.0;
+                  if (!(v != v) && ((local != local) || v < local)) {
+                    local = v;
+                  }
+                }
+                double& a = entry->state.a;
+                if (!(local != local) && ((a != a) || local < a)) {
+                  a = local;
+                }
+                break;
+              }
+              case AggKind::kMax: {
+                double local = kNaN;
+                for (size_t j = i0; j < i1; ++j) {
+                  const double v =
+                      arg_col != nullptr ? arg_col[sv[j]] : 1.0;
+                  if (!(v != v) && ((local != local) || v > local)) {
+                    local = v;
+                  }
+                }
+                double& a = entry->state.a;
+                if (!(local != local) && ((a != a) || local > a)) {
+                  a = local;
+                }
+                break;
+              }
+              default:
+                for (size_t j = i0; j < i1; ++j) {
+                  AggUpdate(node.agg.kind, &entry->state,
+                            arg_col != nullptr ? arg_col[sv[j]] : 1.0);
+                }
+            }
+            i0 = i1;
+          }
+          continue;
+        }
         NodeEntry* entry = nullptr;
         for (size_t r = 0; r < cur_rows; ++r) {
           if (node.has_where) {
@@ -350,6 +514,8 @@ class PropagateImpl {
     tracer.AddCounter(scan_span.id(), "adapter_batches",
                       static_cast<double>(adapter_batches));
     tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(cap));
+    tracer.SetAttr(scan_span.id(), "vectorized",
+                   vectorized ? "on" : "off");
     tracer.AddCounter(scan_span.id(), "materialized_rows",
                       static_cast<double>(rows_flushed_));
     tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",
@@ -429,6 +595,10 @@ class PropagateImpl {
                 node->where,
                 BoundExpr::Bind(*def.where, FactRowVars(schema_)));
             node->has_where = true;
+            if (options_.vectorized) {
+              node->where_kernel = PredicateKernel::Compile(
+                  *def.where, FactRowVars(schema_), d_);
+            }
           }
           break;
         }
@@ -984,7 +1154,9 @@ class PropagateImpl {
 
 std::string PropagateOp::Describe(const Schema&) const {
   return "watermark-coordinated one-pass scan: finalize entries below "
-         "the frontier, stream them to dependent measures";
+         "the frontier, stream them to dependent measures; " +
+         vec_.Summary() +
+         (vec_.enabled ? ", run-detected sorted probes" : "");
 }
 
 Status PropagateOp::Run(PlanContext& ctx) {

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "exec/op/op.h"
+#include "exec/op/vectorize.h"
 
 namespace csm {
 
@@ -32,11 +33,16 @@ namespace csm {
 /// for the emit stage.
 class PropagateOp : public PhysicalOp {
  public:
-  PropagateOp() = default;
+  /// `vec` carries the plan-time vectorization decisions for EXPLAIN;
+  /// Run re-derives them from the workflow and the context options.
+  explicit PropagateOp(VectorizeInfo vec = {}) : vec_(vec) {}
 
   std::string_view name() const override { return "propagate"; }
   std::string Describe(const Schema& schema) const override;
   Status Run(PlanContext& ctx) override;
+
+ private:
+  VectorizeInfo vec_;
 };
 
 }  // namespace csm

@@ -1,0 +1,52 @@
+#include "exec/op/vectorize.h"
+
+#include <set>
+#include <vector>
+
+#include "algebra/evaluator.h"
+#include "exec/engine.h"
+#include "expr/predicate_kernel.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+
+std::string VectorizeInfo::Summary() const {
+  if (!enabled) {
+    return "vectorized: off (per-row interpreter scan)";
+  }
+  return "vectorized: filters " + std::to_string(kernel_filters) +
+         " kernel / " + std::to_string(interpreted_filters) +
+         " interpreted, " + std::to_string(unfiltered) +
+         " unfiltered, key " + std::to_string(key_width) + "x64-bit";
+}
+
+VectorizeInfo ComputeVectorizeInfo(const Workflow& workflow,
+                                   const EngineOptions& options) {
+  VectorizeInfo info;
+  info.enabled = options.vectorized;
+  const Schema& schema = *workflow.schema();
+  info.key_width = schema.num_dims();
+  const auto vars = FactRowVars(schema);
+  // Same scan-job enumeration as the aggregate/propagate stages: one
+  // job per basic measure, one region enumerator per distinct match
+  // granularity (enumerators never carry filters).
+  std::set<std::vector<int>> enum_grans;
+  for (const MeasureDef& def : workflow.measures()) {
+    if (def.op == MeasureOp::kBaseAgg) {
+      if (def.where == nullptr) {
+        ++info.unfiltered;
+      } else if (PredicateKernel::Compile(*def.where, vars,
+                                          schema.num_dims())
+                     .has_value()) {
+        ++info.kernel_filters;
+      } else {
+        ++info.interpreted_filters;
+      }
+    } else if (def.op == MeasureOp::kMatch) {
+      if (enum_grans.insert(def.gran.levels()).second) ++info.unfiltered;
+    }
+  }
+  return info;
+}
+
+}  // namespace csm

@@ -1,0 +1,39 @@
+#ifndef CSM_EXEC_OP_VECTORIZE_H_
+#define CSM_EXEC_OP_VECTORIZE_H_
+
+#include <string>
+
+namespace csm {
+
+class Workflow;
+struct EngineOptions;
+
+/// Plan-time summary of the vectorized kernel layer's decisions for one
+/// scan stage, printed by `csm_query --explain` without executing: how
+/// many where-filters compile to selection-vector kernels versus fall
+/// back to the per-row interpreter, how many scan jobs carry no filter,
+/// and the width of the batch-encoded group keys. Execution re-derives
+/// the same decisions (the compiler is deterministic), so EXPLAIN shows
+/// exactly what the scan will do.
+struct VectorizeInfo {
+  bool enabled = false;       // EngineOptions::vectorized at plan time
+  int kernel_filters = 0;     // filters compiled to columnar kernels
+  int interpreted_filters = 0;  // unsupported shapes: row interpreter
+  int unfiltered = 0;         // scan jobs with no where-filter
+  int key_width = 0;          // group-key width in 64-bit values
+
+  /// One-line EXPLAIN fragment, e.g.
+  /// "vectorized: filters 2 kernel / 1 interpreted, 1 unfiltered,
+  ///  key 4x64-bit".
+  std::string Summary() const;
+};
+
+/// Inspects every scan-side where-filter of the workflow (basic
+/// measures; match-join region enumerators count as unfiltered jobs)
+/// and reports which ones the predicate kernel compiler accepts.
+VectorizeInfo ComputeVectorizeInfo(const Workflow& workflow,
+                                   const EngineOptions& options);
+
+}  // namespace csm
+
+#endif  // CSM_EXEC_OP_VECTORIZE_H_

@@ -9,6 +9,7 @@
 #include "exec/op/emit_op.h"
 #include "exec/op/generalize_op.h"
 #include "exec/op/scan_op.h"
+#include "exec/op/vectorize.h"
 
 namespace csm {
 
@@ -34,7 +35,8 @@ PhysicalPlan BuildSingleScanPlan(const Workflow& workflow,
   plan.ops.push_back(std::make_unique<ScanOp>(ScanOp::Mode::kUnsorted));
   plan.ops.push_back(
       std::make_unique<GeneralizeOp>(BuildScanSweep(workflow)));
-  plan.ops.push_back(std::make_unique<AggregateOp>(num_tables));
+  plan.ops.push_back(std::make_unique<AggregateOp>(
+      num_tables, ComputeVectorizeInfo(workflow, options)));
   plan.ops.push_back(std::make_unique<EmitOp>(EmitOp::Mode::kComposite));
   return plan;
 }

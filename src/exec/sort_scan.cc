@@ -8,6 +8,7 @@
 #include "exec/op/generalize_op.h"
 #include "exec/op/propagate_op.h"
 #include "exec/op/scan_op.h"
+#include "exec/op/vectorize.h"
 
 namespace csm {
 
@@ -41,7 +42,8 @@ PhysicalPlan BuildSortScanPlan(const Workflow& workflow,
       file_input ? ScanOp::Mode::kSortFile : ScanOp::Mode::kSortTable));
   plan.ops.push_back(
       std::make_unique<GeneralizeOp>(BuildScanSweep(workflow)));
-  plan.ops.push_back(std::make_unique<PropagateOp>());
+  plan.ops.push_back(std::make_unique<PropagateOp>(
+      ComputeVectorizeInfo(workflow, options)));
   plan.ops.push_back(std::make_unique<EmitOp>(EmitOp::Mode::kCollect));
   return plan;
 }

@@ -1,0 +1,338 @@
+#include "expr/predicate_kernel.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace csm {
+
+namespace {
+
+// Truthiness exactly as BoundExpr::EvalBool: non-zero and non-NaN.
+inline bool Truthy(double v) { return v != 0 && !(v != v); }
+
+// Column-vs-constant comparison loops. Plain counted loops over double
+// lanes writing 0/1 bytes — the shape SSE2/AVX2 autovectorizers handle
+// without intrinsics (CSM_SIMD only toggles prefetch hints elsewhere;
+// these loops are the same either way, which is what keeps the OFF
+// build bit-identical).
+template <typename Cmp>
+inline void CmpColConst(const double* a, double c, size_t n, uint8_t* out,
+                        Cmp cmp) {
+  for (size_t r = 0; r < n; ++r) out[r] = cmp(a[r], c) ? 1 : 0;
+}
+
+template <typename Cmp>
+inline void CmpColCol(const double* a, const double* b, size_t n,
+                      uint8_t* out, Cmp cmp) {
+  for (size_t r = 0; r < n; ++r) out[r] = cmp(a[r], b[r]) ? 1 : 0;
+}
+
+// Dispatches on the comparison op; rhs is either a constant (b == null)
+// or a second column. Raw double comparison operators, so NaN operands
+// produce false for everything except != — the interpreter's exact
+// behavior.
+void CmpDispatch(ScalarExpr::Op op, const double* a, const double* b,
+                 double c, size_t n, uint8_t* out) {
+  switch (op) {
+    case ScalarExpr::Op::kLt: {
+      auto f = [](double x, double y) { return x < y; };
+      b ? CmpColCol(a, b, n, out, f) : CmpColConst(a, c, n, out, f);
+      return;
+    }
+    case ScalarExpr::Op::kLe: {
+      auto f = [](double x, double y) { return x <= y; };
+      b ? CmpColCol(a, b, n, out, f) : CmpColConst(a, c, n, out, f);
+      return;
+    }
+    case ScalarExpr::Op::kGt: {
+      auto f = [](double x, double y) { return x > y; };
+      b ? CmpColCol(a, b, n, out, f) : CmpColConst(a, c, n, out, f);
+      return;
+    }
+    case ScalarExpr::Op::kGe: {
+      auto f = [](double x, double y) { return x >= y; };
+      b ? CmpColCol(a, b, n, out, f) : CmpColConst(a, c, n, out, f);
+      return;
+    }
+    case ScalarExpr::Op::kEq: {
+      auto f = [](double x, double y) { return x == y; };
+      b ? CmpColCol(a, b, n, out, f) : CmpColConst(a, c, n, out, f);
+      return;
+    }
+    case ScalarExpr::Op::kNe: {
+      auto f = [](double x, double y) { return x != y; };
+      b ? CmpColCol(a, b, n, out, f) : CmpColConst(a, c, n, out, f);
+      return;
+    }
+    default:
+      // Compile() only emits the six comparison ops.
+      std::memset(out, 0, n);
+      return;
+  }
+}
+
+// Swapped comparison for normalizing const-lhs to const-rhs:
+// c < x  <=>  x > c, etc. Equality ops are symmetric; NaN yields false
+// on both sides of the swap, so the rewrite is exact.
+ScalarExpr::Op FlipCmp(ScalarExpr::Op op) {
+  switch (op) {
+    case ScalarExpr::Op::kLt: return ScalarExpr::Op::kGt;
+    case ScalarExpr::Op::kLe: return ScalarExpr::Op::kGe;
+    case ScalarExpr::Op::kGt: return ScalarExpr::Op::kLt;
+    case ScalarExpr::Op::kGe: return ScalarExpr::Op::kLe;
+    default: return op;
+  }
+}
+
+bool IsCmp(ScalarExpr::Op op) {
+  switch (op) {
+    case ScalarExpr::Op::kLt:
+    case ScalarExpr::Op::kLe:
+    case ScalarExpr::Op::kGt:
+    case ScalarExpr::Op::kGe:
+    case ScalarExpr::Op::kEq:
+    case ScalarExpr::Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Host-side evaluation of a comparison between two literals (constant
+// folding); same raw double semantics as the row loops.
+double FoldCmp(ScalarExpr::Op op, double a, double b) {
+  switch (op) {
+    case ScalarExpr::Op::kLt: return a < b ? 1.0 : 0.0;
+    case ScalarExpr::Op::kLe: return a <= b ? 1.0 : 0.0;
+    case ScalarExpr::Op::kGt: return a > b ? 1.0 : 0.0;
+    case ScalarExpr::Op::kGe: return a >= b ? 1.0 : 0.0;
+    case ScalarExpr::Op::kEq: return a == b ? 1.0 : 0.0;
+    case ScalarExpr::Op::kNe: return a != b ? 1.0 : 0.0;
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+bool PredicateKernel::ResolveAtom(const ScalarExpr& expr,
+                                  const std::vector<std::string>& vars,
+                                  int num_dims, Operand* out) {
+  if (expr.kind() == ScalarExpr::Kind::kConst) {
+    out->kind = Operand::kConst;
+    out->value = expr.const_value();
+    return true;
+  }
+  if (expr.kind() == ScalarExpr::Kind::kUnary &&
+      expr.op() == ScalarExpr::Op::kNeg) {
+    // Negated literal ("m0 <= -1" parses as kNeg(Const(1))): fold to a
+    // constant. Double negation is exact, so this matches the
+    // interpreter bit for bit. Negated columns stay uncompiled.
+    Operand inner;
+    if (ResolveAtom(*expr.children()[0], vars, num_dims, &inner) &&
+        inner.kind == Operand::kConst) {
+      out->kind = Operand::kConst;
+      out->value = -inner.value;
+      return true;
+    }
+    return false;
+  }
+  if (expr.kind() != ScalarExpr::Kind::kVar) return false;
+  // Same slot matching as BoundExpr::Bind: case-insensitive, and "X.M"
+  // also matches a slot named "X"; first match wins.
+  std::string lower = ToLower(expr.var_name());
+  std::string base = lower;
+  if (EndsWith(base, ".m")) base = base.substr(0, base.size() - 2);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    std::string slot = ToLower(vars[i]);
+    if (slot == lower || slot == base) {
+      if (static_cast<int>(i) < num_dims) {
+        out->kind = Operand::kDim;
+        out->col = static_cast<int>(i);
+      } else {
+        out->kind = Operand::kMeasure;
+        out->col = static_cast<int>(i) - num_dims;
+      }
+      return true;
+    }
+  }
+  return false;  // unbound: let the interpreter produce the error
+}
+
+bool PredicateKernel::CompileNode(const ScalarExpr& expr,
+                                  const std::vector<std::string>& vars,
+                                  int num_dims, int depth) {
+  if (depth > max_depth_) max_depth_ = depth;
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kConst:
+    case ScalarExpr::Kind::kVar: {
+      Instr instr;
+      instr.what = What::kTest;
+      if (!ResolveAtom(expr, vars, num_dims, &instr.a)) return false;
+      code_.push_back(instr);
+      return true;
+    }
+    case ScalarExpr::Kind::kUnary: {
+      if (expr.op() != ScalarExpr::Op::kNot) return false;
+      if (!CompileNode(*expr.children()[0], vars, num_dims, depth)) {
+        return false;
+      }
+      code_.push_back({What::kNot, ScalarExpr::Op::kNone, {}, {}});
+      ++num_bools_;
+      return true;
+    }
+    case ScalarExpr::Kind::kBinary: {
+      if (expr.op() == ScalarExpr::Op::kAnd ||
+          expr.op() == ScalarExpr::Op::kOr) {
+        if (!CompileNode(*expr.children()[0], vars, num_dims, depth)) {
+          return false;
+        }
+        if (!CompileNode(*expr.children()[1], vars, num_dims, depth + 1)) {
+          return false;
+        }
+        code_.push_back({expr.op() == ScalarExpr::Op::kAnd ? What::kAnd
+                                                           : What::kOr,
+                         ScalarExpr::Op::kNone,
+                         {},
+                         {}});
+        ++num_bools_;
+        return true;
+      }
+      if (!IsCmp(expr.op())) return false;  // arithmetic -> interpreter
+      Instr instr;
+      instr.what = What::kCmp;
+      instr.cmp = expr.op();
+      if (!ResolveAtom(*expr.children()[0], vars, num_dims, &instr.a) ||
+          !ResolveAtom(*expr.children()[1], vars, num_dims, &instr.b)) {
+        return false;
+      }
+      if (instr.a.kind == Operand::kConst &&
+          instr.b.kind == Operand::kConst) {
+        // Two literals: fold to a constant truth value at compile time.
+        Instr folded;
+        folded.what = What::kTest;
+        folded.a.kind = Operand::kConst;
+        folded.a.value = FoldCmp(instr.cmp, instr.a.value, instr.b.value);
+        code_.push_back(folded);
+        return true;
+      }
+      if (instr.a.kind == Operand::kConst) {
+        // Normalize the literal to the right-hand side.
+        std::swap(instr.a, instr.b);
+        instr.cmp = FlipCmp(instr.cmp);
+      }
+      code_.push_back(instr);
+      ++num_cmps_;
+      return true;
+    }
+    case ScalarExpr::Kind::kCall:
+      return false;
+  }
+  return false;
+}
+
+std::optional<PredicateKernel> PredicateKernel::Compile(
+    const ScalarExpr& expr, const std::vector<std::string>& vars,
+    int num_dims) {
+  PredicateKernel kernel;
+  if (!kernel.CompileNode(expr, vars, num_dims, /*depth=*/1)) {
+    return std::nullopt;
+  }
+  kernel.masks_.resize(static_cast<size_t>(kernel.max_depth_));
+  return kernel;
+}
+
+const double* PredicateKernel::LoadColumn(
+    const Operand& op, const uint64_t* const* dim_cols,
+    const double* const* measure_cols, size_t n,
+    std::vector<double>* scratch) {
+  if (op.kind == Operand::kMeasure) return measure_cols[op.col];
+  // Dimension: widen to double exactly as the interpreter's slot fill
+  // (static_cast<double>(Value)), so comparisons round identically.
+  scratch->resize(n);
+  const uint64_t* in = dim_cols[op.col];
+  double* out = scratch->data();
+  for (size_t r = 0; r < n; ++r) out[r] = static_cast<double>(in[r]);
+  return out;
+}
+
+size_t PredicateKernel::Select(const uint64_t* const* dim_cols,
+                               const double* const* measure_cols, size_t n,
+                               uint32_t* sel) const {
+  if (n == 0) return 0;  // column tables may be null for empty batches
+  int top = -1;  // index of the mask holding the current subresult
+  for (const Instr& instr : code_) {
+    switch (instr.what) {
+      case What::kTest: {
+        std::vector<uint8_t>& mask = masks_[static_cast<size_t>(++top)];
+        mask.resize(n);
+        uint8_t* out = mask.data();
+        switch (instr.a.kind) {
+          case Operand::kConst:
+            std::memset(out, Truthy(instr.a.value) ? 1 : 0, n);
+            break;
+          case Operand::kDim: {
+            // A dimension value is a uint64; the cast to double is
+            // non-zero iff the value is, and never NaN.
+            const uint64_t* col = dim_cols[instr.a.col];
+            for (size_t r = 0; r < n; ++r) out[r] = col[r] != 0 ? 1 : 0;
+            break;
+          }
+          case Operand::kMeasure: {
+            const double* col = measure_cols[instr.a.col];
+            for (size_t r = 0; r < n; ++r) {
+              out[r] = (col[r] != 0 && !(col[r] != col[r])) ? 1 : 0;
+            }
+            break;
+          }
+        }
+        break;
+      }
+      case What::kCmp: {
+        std::vector<uint8_t>& mask = masks_[static_cast<size_t>(++top)];
+        mask.resize(n);
+        const double* a = LoadColumn(instr.a, dim_cols, measure_cols, n,
+                                     &lhs_scratch_);
+        const double* b = instr.b.kind == Operand::kConst
+                              ? nullptr
+                              : LoadColumn(instr.b, dim_cols, measure_cols,
+                                           n, &rhs_scratch_);
+        CmpDispatch(instr.cmp, a, b, instr.b.value, n, mask.data());
+        break;
+      }
+      case What::kNot: {
+        uint8_t* m = masks_[static_cast<size_t>(top)].data();
+        for (size_t r = 0; r < n; ++r) m[r] ^= 1;
+        break;
+      }
+      case What::kAnd: {
+        const uint8_t* b = masks_[static_cast<size_t>(top--)].data();
+        uint8_t* a = masks_[static_cast<size_t>(top)].data();
+        for (size_t r = 0; r < n; ++r) a[r] &= b[r];
+        break;
+      }
+      case What::kOr: {
+        const uint8_t* b = masks_[static_cast<size_t>(top--)].data();
+        uint8_t* a = masks_[static_cast<size_t>(top)].data();
+        for (size_t r = 0; r < n; ++r) a[r] |= b[r];
+        break;
+      }
+    }
+  }
+  if (top < 0) return 0;
+  // Branchless compaction: write every index, advance by the mask bit.
+  const uint8_t* mask = masks_[static_cast<size_t>(top)].data();
+  size_t k = 0;
+  for (size_t r = 0; r < n; ++r) {
+    sel[k] = static_cast<uint32_t>(r);
+    k += mask[r];
+  }
+  return k;
+}
+
+std::string PredicateKernel::Describe() const {
+  return "cmp(" + std::to_string(num_cmps_) + ") bool(" +
+         std::to_string(num_bools_) + ")";
+}
+
+}  // namespace csm

@@ -1,0 +1,111 @@
+#ifndef CSM_EXPR_PREDICATE_KERNEL_H_
+#define CSM_EXPR_PREDICATE_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/scalar_expr.h"
+
+namespace csm {
+
+/// A selection condition compiled to columnar kernels: instead of running
+/// the BoundExpr stack machine once per row, the kernel evaluates whole
+/// batch columns into 0/1 byte masks and compacts the surviving row
+/// indices into a dense selection vector.
+///
+/// Supported shapes — the subset of the expression grammar whose
+/// interpreter semantics reduce to per-element column arithmetic:
+///   * comparisons (< <= > >= == !=) between two atoms, where an atom is
+///     a literal, a dimension variable, or a measure variable;
+///   * bare atoms used as predicates (truthiness test);
+///   * !, && and || combinations of supported shapes.
+/// Everything else (arithmetic, calls, combine references) returns
+/// nullopt from Compile and the caller falls back to the per-row
+/// interpreter. The kernel's masks are bit-identical to
+/// `BoundExpr::EvalBool` for every input, including NaN measures:
+/// truthiness is `v != 0 && !(v != v)`, comparisons use raw double
+/// comparison (false on NaN except `!=`), `!` maps NaN to true, exactly
+/// as the stack machine does.
+///
+/// Variable resolution replicates `BoundExpr::Bind` against the
+/// `FactRowVars` layout: case-insensitive match, a variable "X.M" also
+/// matches a slot named "X", slots [0, num_dims) are dimension columns
+/// and the rest are measure columns.
+///
+/// Select() mutates internal scratch buffers, so a kernel instance must
+/// not be shared across executors — give each executor its own copy
+/// (instances are cheaply copyable, scratch is re-grown on first use).
+class PredicateKernel {
+ public:
+  /// Compiles `expr` against the slot layout, or nullopt when the shape
+  /// is not vectorizable (caller keeps the interpreter).
+  static std::optional<PredicateKernel> Compile(
+      const ScalarExpr& expr, const std::vector<std::string>& vars,
+      int num_dims);
+
+  /// Evaluates the predicate over rows [0, n) of the given columns and
+  /// writes the indices of surviving rows into `sel` (capacity >= n),
+  /// in ascending order. Returns the number of selected rows.
+  size_t Select(const uint64_t* const* dim_cols,
+                const double* const* measure_cols, size_t n,
+                uint32_t* sel) const;
+
+  /// One-line description for EXPLAIN output, e.g. "cmp(2) and/or(1)".
+  std::string Describe() const;
+
+ private:
+  struct Operand {
+    enum Kind : uint8_t { kDim, kMeasure, kConst };
+    Kind kind = kConst;
+    int col = 0;      // column index within its kind
+    double value = 0;  // kConst only
+  };
+
+  enum class What : uint8_t {
+    kTest,  // push truthiness mask of operand a
+    kCmp,   // push comparison mask of (a cmp b); b never kConst-lhs
+    kNot,   // top ^= 1
+    kAnd,   // pop b; top &= b
+    kOr,    // pop b; top |= b
+  };
+
+  struct Instr {
+    What what;
+    ScalarExpr::Op cmp = ScalarExpr::Op::kNone;  // kCmp only
+    Operand a, b;
+  };
+
+  bool CompileNode(const ScalarExpr& expr,
+                   const std::vector<std::string>& vars, int num_dims,
+                   int depth);
+  static bool ResolveAtom(const ScalarExpr& expr,
+                          const std::vector<std::string>& vars,
+                          int num_dims, Operand* out);
+
+  // Returns the operand as a double column: measures are returned
+  // in-place, dimensions are converted into `scratch` (resized to n).
+  static const double* LoadColumn(const Operand& op,
+                                  const uint64_t* const* dim_cols,
+                                  const double* const* measure_cols,
+                                  size_t n, std::vector<double>* scratch);
+
+  std::vector<Instr> code_;
+  int max_depth_ = 0;  // mask stack high-water, fixed at compile time
+  int num_cmps_ = 0;
+  int num_bools_ = 0;  // and/or/not combinators
+
+  // Scratch: one byte-mask lane per stack level plus two double lanes
+  // for dimension->double conversion. Mutable so Select stays const for
+  // callers holding the kernel by value next to other per-executor
+  // scratch.
+  mutable std::vector<std::vector<uint8_t>> masks_;
+  mutable std::vector<double> lhs_scratch_;
+  mutable std::vector<double> rhs_scratch_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_EXPR_PREDICATE_KERNEL_H_

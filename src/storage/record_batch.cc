@@ -6,11 +6,26 @@
 
 namespace csm {
 
+// Writes are contiguous per column (reads stride over the row layout),
+// which keeps the transpose a small fraction of batch fill cost.
+void RecordBatch::FillFromTable(const FactTable& table, size_t begin,
+                                size_t n) {
+  for (int i = 0; i < d_; ++i) {
+    Value* col = dim_col(i);
+    const Value* src = table.dim_row(begin) + i;
+    for (size_t r = 0; r < n; ++r) col[r] = src[r * d_];
+  }
+  for (int i = 0; i < m_; ++i) {
+    double* col = measure_col(i);
+    const double* src = table.measure_row(begin) + i;
+    for (size_t r = 0; r < n; ++r) col[r] = src[r * m_];
+  }
+  num_rows_ = n;
+}
+
 namespace {
 
 /// Transposes row-major table ranges into columns, one batch per call.
-/// Writes are contiguous per column (reads stride over the row layout),
-/// which keeps the transpose a small fraction of batch fill cost.
 class FactTableBatchCursor : public BatchCursor {
  public:
   explicit FactTableBatchCursor(const FactTable& table) : table_(table) {}
@@ -18,20 +33,8 @@ class FactTableBatchCursor : public BatchCursor {
   Result<size_t> NextBatch(RecordBatch* batch) override {
     const size_t n =
         std::min(batch->capacity(), table_.num_rows() - row_);
-    const int d = table_.num_dims();
-    const int m = table_.num_measures();
-    for (int i = 0; i < d; ++i) {
-      Value* col = batch->dim_col(i);
-      for (size_t r = 0; r < n; ++r) col[r] = table_.dim_row(row_ + r)[i];
-    }
-    for (int i = 0; i < m; ++i) {
-      double* col = batch->measure_col(i);
-      for (size_t r = 0; r < n; ++r) {
-        col[r] = table_.measure_row(row_ + r)[i];
-      }
-    }
+    batch->FillFromTable(table_, row_, n);
     row_ += n;
-    batch->set_num_rows(n);
     return n;
   }
 

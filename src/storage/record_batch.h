@@ -62,6 +62,13 @@ class RecordBatch {
     for (int i = 0; i < m_; ++i) measures[i] = measure_col(i)[row];
   }
 
+  /// Bulk transpose of `n` contiguous table rows starting at `begin`
+  /// into this batch (n <= capacity; sets num_rows). One pass per
+  /// column with contiguous writes — the column-wise replacement for a
+  /// ScatterRow-per-row loop, shared by every scan that reads straight
+  /// out of an in-memory FactTable.
+  void FillFromTable(const FactTable& table, size_t begin, size_t n);
+
  private:
   int d_;
   int m_;

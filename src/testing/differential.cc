@@ -189,6 +189,7 @@ std::string EngineConfig::Label(const Schema& schema) const {
   if (morsel_rows > 0) {
     label += "+morsel/m" + std::to_string(morsel_rows);
   }
+  if (no_vectorize) label += "+vec/off";
   return label;
 }
 
@@ -297,6 +298,7 @@ Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
   if (config.morsel_rows > 0) {
     ctx.options.morsel_rows = config.morsel_rows;
   }
+  ctx.options.vectorized = !config.no_vectorize;
 
   Result<EvalOutput> result = Status::Internal("config not run");
   if (config.run_file) {
@@ -446,6 +448,18 @@ std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
   for (int session_queries : {2, 4}) {
     EngineConfig config = with_kind(EngineKind::kSortScan);
     config.session_queries = session_queries;
+    configs.push_back(std::move(config));
+  }
+
+  // Scalar reference cells: the same engines with the vectorized scan
+  // disabled. The kernel/scalar contract is bit-identity, so any
+  // disagreement between a +vec/off cell and its vectorized sibling (or
+  // the reference) is a vectorization bug — a kernel mishandling NaN
+  // truthiness, a run boundary folded into the wrong entry, a selection
+  // vector dropping or duplicating rows.
+  for (EngineKind kind : {EngineKind::kSingleScan, EngineKind::kSortScan}) {
+    EngineConfig config = with_kind(kind);
+    config.no_vectorize = true;
     configs.push_back(std::move(config));
   }
 

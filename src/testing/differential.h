@@ -41,11 +41,17 @@ struct EngineConfig {
                                    // chunk plus N appended batches through
                                    // a delta-patching session; the final
                                    // patched result is what gets compared
+  bool no_vectorize = false;       // true: force the per-row interpreter
+                                   // scan (EngineOptions::vectorized off).
+                                   // The vectorized default must match it
+                                   // bit for bit, so these cells pin the
+                                   // kernel/scalar equivalence contract.
 
   /// Stable human-readable label, e.g. "sortscan@<d0:L1>+runfile/64KB"
   /// or "parallel/t8" or "sortscan/b1" or "adaptive+session/q4" or
-  /// "sortscan+append/k8" or "singlescan+morsel/m64". Doubles as the
-  /// config's serialized identity in divergence reports.
+  /// "sortscan+append/k8" or "singlescan+morsel/m64" or
+  /// "sortscan+vec/off". Doubles as the config's serialized identity in
+  /// divergence reports.
   std::string Label(const Schema& schema) const;
 };
 

@@ -66,6 +66,7 @@ Result<std::string> WriteRepro(const std::string& dir,
   if (config.append_splits > 0) {
     out << "append_splits: " << config.append_splits << "\n";
   }
+  if (config.no_vectorize) out << "vectorize: off\n";
   if (!config.sort_key.empty()) {
     out << "sort_key: " << config.sort_key.ToString(*workflow.schema())
         << "\n";
@@ -95,7 +96,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   }
 
   std::string schema_spec, engine = "sortscan", path_kind = "memory";
-  std::string sort_key_text, fault_text, facts_name;
+  std::string sort_key_text, fault_text, facts_name, vectorize = "on";
   uint64_t seed = 0, budget = 0, batch_rows = 0, morsel_rows = 0;
   int64_t threads = 0, session_queries = 0, append_splits = 0;
   std::ostringstream dsl;
@@ -151,6 +152,8 @@ Result<ReproCase> LoadRepro(const std::string& path) {
       if (!ParseInt64(value, &append_splits)) {
         return Status::ParseError("bad append_splits: " + value);
       }
+    } else if (key == "vectorize") {
+      vectorize = value;
     } else if (key == "sort_key") {
       sort_key_text = value;
     } else if (key == "fault") {
@@ -187,6 +190,11 @@ Result<ReproCase> LoadRepro(const std::string& path) {
   config.morsel_rows = morsel_rows;
   config.session_queries = static_cast<int>(session_queries);
   config.append_splits = static_cast<int>(append_splits);
+  if (vectorize == "off") {
+    config.no_vectorize = true;
+  } else if (vectorize != "on") {
+    return Status::ParseError("bad vectorize value: " + vectorize);
+  }
   if (!sort_key_text.empty()) {
     CSM_ASSIGN_OR_RETURN(config.sort_key,
                          SortKey::Parse(*schema, sort_key_text));

@@ -1,4 +1,6 @@
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "algebra/evaluator.h"
 #include "exec/multi_pass.h"
@@ -280,6 +282,70 @@ TEST(RelationalStatsTest, ChargesMaterializationAndRescans) {
   EXPECT_EQ(got->stats.rows_scanned, 4000u);
   EXPECT_GT(got->stats.materialized_rows, 0u);
   EXPECT_GT(got->stats.spilled_bytes, 0u);
+}
+
+// The vectorized scan's contract is BIT-identity with the per-row
+// interpreter, not tolerance-level agreement: identical fold order,
+// identical float accumulation, identical table layout. Any drift here
+// means a kernel, key-encode, or run-detection bug.
+TEST(VectorizedScanTest, BitIdenticalToScalarPath) {
+  auto schema = MakeNetworkLogSchema();
+  FactTable fact = MakeUniformFacts(schema, 4000, 5000, /*seed=*/101);
+  auto expect_bit_identical = [](const EvalOutput& vec,
+                                 const EvalOutput& scalar,
+                                 const std::string& context) {
+    ASSERT_EQ(vec.tables.size(), scalar.tables.size()) << context;
+    for (const auto& [name, vt] : vec.tables) {
+      const MeasureTable* st = scalar.FindTable(name);
+      ASSERT_NE(st, nullptr) << context << "/" << name;
+      ASSERT_EQ(vt.num_rows(), st->num_rows()) << context << "/" << name;
+      for (size_t row = 0; row < vt.num_rows(); ++row) {
+        for (int i = 0; i < vt.num_dims(); ++i) {
+          ASSERT_EQ(vt.key_row(row)[i], st->key_row(row)[i])
+              << context << "/" << name << " row " << row;
+        }
+        uint64_t vb, sb;
+        const double vv = vt.value(row), sv = st->value(row);
+        std::memcpy(&vb, &vv, sizeof(vb));
+        std::memcpy(&sb, &sv, sizeof(sb));
+        ASSERT_EQ(vb, sb) << context << "/" << name << " row " << row
+                          << ": " << vv << " vs " << sv;
+      }
+    }
+  };
+  for (const char* dsl : kWorkflows) {
+    auto workflow = Workflow::Parse(schema, dsl);
+    ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+    // batch=7 keeps short final batches (and mid-run batch boundaries on
+    // the sorted path) in play.
+    for (size_t batch_rows : {size_t{0}, size_t{7}}) {
+      EngineOptions vec_options;
+      EngineOptions scalar_options;
+      vec_options.scan_batch_rows = batch_rows;
+      scalar_options.scan_batch_rows = batch_rows;
+      vec_options.vectorized = true;
+      scalar_options.vectorized = false;
+      const std::string tag = "b" + std::to_string(batch_rows);
+      {
+        SingleScanEngine vec_engine, scalar_engine;
+        auto vec = testing_util::RunWith(vec_engine, *workflow, fact,
+                                         vec_options);
+        auto scalar = testing_util::RunWith(scalar_engine, *workflow,
+                                            fact, scalar_options);
+        ASSERT_TRUE(vec.ok() && scalar.ok());
+        expect_bit_identical(*vec, *scalar, "singlescan/" + tag);
+      }
+      {
+        SortScanEngine vec_engine, scalar_engine;
+        auto vec = testing_util::RunWith(vec_engine, *workflow, fact,
+                                         vec_options);
+        auto scalar = testing_util::RunWith(scalar_engine, *workflow,
+                                            fact, scalar_options);
+        ASSERT_TRUE(vec.ok() && scalar.ok());
+        expect_bit_identical(*vec, *scalar, "sortscan/" + tag);
+      }
+    }
+  }
 }
 
 TEST(EngineOptionsTest, IncludeHiddenReturnsIntermediates) {

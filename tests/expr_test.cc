@@ -1,6 +1,9 @@
 #include <cmath>
 #include <limits>
+#include <string>
+#include <vector>
 
+#include "expr/predicate_kernel.h"
 #include "expr/scalar_expr.h"
 #include "gtest/gtest.h"
 
@@ -149,6 +152,126 @@ TEST(ScalarExprTest, ProgrammaticBuilders) {
   ASSERT_TRUE(bound.ok());
   double slot = 6;
   EXPECT_DOUBLE_EQ(bound->Eval(&slot), 10);
+}
+
+// ---- Predicate kernel: the columnar compiler must agree with the
+// per-row interpreter on every row, including NaN and zero edge cases —
+// the vectorized scan's correctness rests on this equivalence.
+
+// Two dims (d0, d1) and two measures (m0, m1), the fact-row slot layout.
+const std::vector<std::string> kKernelVars = {"d0", "d1", "m0", "m1"};
+constexpr int kKernelDims = 2;
+
+struct KernelColumns {
+  std::vector<uint64_t> d0, d1;
+  std::vector<double> m0, m1;
+};
+
+KernelColumns MakeKernelColumns() {
+  KernelColumns c;
+  // Deterministic mix of small ints, zeros, negatives, and NaNs.
+  for (uint64_t i = 0; i < 300; ++i) {
+    c.d0.push_back(i % 7);
+    c.d1.push_back((i * 13) % 5);
+    c.m0.push_back(i % 11 == 0 ? kNaN : static_cast<double>(i % 9) - 4.0);
+    c.m1.push_back(i % 13 == 0 ? 0.0 : 0.5 * static_cast<double>(i % 6));
+  }
+  return c;
+}
+
+// Selection vector the interpreter would produce for `text`.
+std::vector<uint32_t> InterpreterSelect(const std::string& text,
+                                        const KernelColumns& c) {
+  auto parsed = ScalarExpr::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto bound = BoundExpr::Bind(**parsed, kKernelVars);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  std::vector<uint32_t> sel;
+  double slots[4];
+  for (size_t r = 0; r < c.d0.size(); ++r) {
+    slots[0] = static_cast<double>(c.d0[r]);
+    slots[1] = static_cast<double>(c.d1[r]);
+    slots[2] = c.m0[r];
+    slots[3] = c.m1[r];
+    if (bound->EvalBool(slots)) sel.push_back(static_cast<uint32_t>(r));
+  }
+  return sel;
+}
+
+TEST(PredicateKernelTest, MatchesInterpreterOnSupportedShapes) {
+  const KernelColumns c = MakeKernelColumns();
+  const uint64_t* dims[2] = {c.d0.data(), c.d1.data()};
+  const double* measures[2] = {c.m0.data(), c.m1.data()};
+  const char* shapes[] = {
+      "m0 > 1",          "m0 >= 1.5",       "m0 < 0",
+      "m0 <= -1",        "m0 == 2",         "m0 != m0",  // NaN rows
+      "d0 > 3",          "d1 == 2",         "d0 <= d1",
+      "m0 < m1",         "5 > d0",          // const-lhs flip
+      "m0",              "d0",              "m1",  // bare truthiness
+      "!(m0 < 1)",       "!m1",             "!!d0",
+      "m0 > 0 && d0 < 5", "m0 < 0 || m1 > 2",
+      "d0 == 1 || d0 == 4 || d1 != 0",
+      "(m0 >= -2 && m0 <= 2) && !(d1 == 3)",
+      "1 < 2 && m0 > 0",  // const-const folding
+  };
+  for (const char* text : shapes) {
+    auto parsed = ScalarExpr::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    auto kernel =
+        PredicateKernel::Compile(**parsed, kKernelVars, kKernelDims);
+    ASSERT_TRUE(kernel.has_value()) << "did not compile: " << text;
+    std::vector<uint32_t> sel(c.d0.size());
+    const size_t n = kernel->Select(dims, measures, c.d0.size(),
+                                    sel.data());
+    sel.resize(n);
+    EXPECT_EQ(sel, InterpreterSelect(text, c)) << text;
+  }
+}
+
+TEST(PredicateKernelTest, FallsBackOnUnsupportedShapes) {
+  const char* shapes[] = {
+      "m0 + 1 > 2",        // arithmetic
+      "-m0 < 1",           // unary minus
+      "abs(m0) > 1",       // function call
+      "min(m0, m1)",       // function call as truthiness
+      "m0 > 1 && m1 + m0 < 3",  // unsupported subtree poisons the AND
+  };
+  for (const char* text : shapes) {
+    auto parsed = ScalarExpr::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_FALSE(
+        PredicateKernel::Compile(**parsed, kKernelVars, kKernelDims)
+            .has_value())
+        << "unexpectedly compiled: " << text;
+  }
+}
+
+TEST(PredicateKernelTest, NaNSemantics) {
+  // One measure column: [NaN, 1, 0].
+  std::vector<double> m0 = {kNaN, 1.0, 0.0};
+  const double* measures[1] = {m0.data()};
+  auto check = [&](const char* text, std::vector<uint32_t> want) {
+    auto parsed = ScalarExpr::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    auto kernel = PredicateKernel::Compile(**parsed, {"m0"}, 0);
+    ASSERT_TRUE(kernel.has_value()) << text;
+    std::vector<uint32_t> sel(m0.size());
+    sel.resize(kernel->Select(nullptr, measures, m0.size(), sel.data()));
+    EXPECT_EQ(sel, want) << text;
+  };
+  check("m0 < 5", {1, 2});    // NaN comparisons are false
+  check("!(m0 < 5)", {0});    // ...so their negation selects the NaN
+  check("m0 != m0", {0});     // != is the one NaN-true comparison
+  check("m0", {1});           // truthiness: NaN and 0.0 are both false
+  check("!m0", {0, 2});       // Not(NaN) = 1.0, like Not(0)
+}
+
+TEST(PredicateKernelTest, EmptyInputSelectsNothing) {
+  auto parsed = ScalarExpr::Parse("m0 > 1");
+  ASSERT_TRUE(parsed.ok());
+  auto kernel = PredicateKernel::Compile(**parsed, {"m0"}, 0);
+  ASSERT_TRUE(kernel.has_value());
+  EXPECT_EQ(kernel->Select(nullptr, nullptr, 0, nullptr), 0u);
 }
 
 }  // namespace

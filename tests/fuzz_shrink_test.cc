@@ -385,6 +385,29 @@ TEST(FuzzShrinkTest, ReproRoundTripsBatchRows) {
   EXPECT_EQ(legacy.config.scan_batch_rows, 0u);
 }
 
+TEST(FuzzShrinkTest, ReproRoundTripsVectorizeOff) {
+  Fixture fx = MakeFixture();
+  fx.config.no_vectorize = true;
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::string path,
+      WriteRepro(dir.path() + "/case", fx.workflow, fx.fact, fx.config,
+                 fx.fault, /*seed=*/7, kSchemaSpec));
+  CSM_ASSERT_OK_AND_ASSIGN(auto repro, LoadRepro(path));
+  EXPECT_TRUE(repro.config.no_vectorize);
+  EXPECT_EQ(repro.config.Label(*repro.workflow.schema()),
+            "singlescan+vec/off");
+
+  // Absent key = vectorized on, preserving pre-kernel repro files.
+  fx.config.no_vectorize = false;
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::string legacy_path,
+      WriteRepro(dir.path() + "/legacy", fx.workflow, fx.fact, fx.config,
+                 fx.fault, /*seed=*/7, kSchemaSpec));
+  CSM_ASSERT_OK_AND_ASSIGN(auto legacy, LoadRepro(legacy_path));
+  EXPECT_FALSE(legacy.config.no_vectorize);
+}
+
 TEST(FaultSpecTest, ParseAndRoundTrip) {
   auto fault = FaultSpec::Parse("sortscan:m0");
   ASSERT_TRUE(fault.ok());

@@ -4,6 +4,7 @@
 // engine's frontier arithmetic depends on.
 
 #include <memory>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -88,6 +89,63 @@ TEST_P(HierarchyPropertyTest, AllLevelCollapsesEverything) {
     Value v = rng.Uniform(GetParam().value_range);
     EXPECT_EQ(h.Generalize(v, 0, h.all_level()), kAllValue);
   }
+}
+
+// GeneralizeColumn must agree with per-value Generalize for every
+// (from, to) pair — including from == to (identity copy), the ALL level,
+// and exact in == out aliasing (the batched scan generalizes each
+// dimension in place). The n == 0 call must be a safe no-op even with a
+// one-past-the-end pointer.
+TEST_P(HierarchyPropertyTest, GeneralizeColumnMatchesScalar) {
+  const auto& h = *GetParam().hierarchy;
+  Rng rng(15);
+  std::vector<Value> in(257);
+  for (Value& v : in) v = rng.Uniform(GetParam().value_range);
+  for (int from = 0; from < h.num_levels(); ++from) {
+    std::vector<Value> base(in.size());
+    h.GeneralizeColumn(in.data(), in.size(), 0, from, base.data());
+    for (int to = from; to < h.num_levels(); ++to) {
+      std::vector<Value> out(base.size(), ~Value{0});
+      h.GeneralizeColumn(base.data(), base.size(), from, to, out.data());
+      for (size_t i = 0; i < base.size(); ++i) {
+        ASSERT_EQ(out[i], h.Generalize(base[i], from, to))
+            << GetParam().label << " " << from << "->" << to << " i="
+            << i;
+      }
+      // In-place: in == out aliasing must give the same column.
+      std::vector<Value> aliased = base;
+      h.GeneralizeColumn(aliased.data(), aliased.size(), from, to,
+                         aliased.data());
+      ASSERT_EQ(aliased, out)
+          << GetParam().label << " aliased " << from << "->" << to;
+    }
+  }
+}
+
+TEST_P(HierarchyPropertyTest, GeneralizeColumnEmptyIsNoOp) {
+  const auto& h = *GetParam().hierarchy;
+  std::vector<Value> col(4, 7);
+  // n == 0 with a one-past-the-end input pointer: legal, touches
+  // nothing.
+  h.GeneralizeColumn(col.data() + col.size(), 0, 0, h.all_level(),
+                     col.data());
+  EXPECT_EQ(col, std::vector<Value>(4, 7)) << GetParam().label;
+}
+
+// from == to at the table-driven hierarchy's top non-ALL level: the
+// identity copy must not consult the parent maps (there is no map above
+// the top level).
+TEST_P(HierarchyPropertyTest, GeneralizeColumnTopLevelIdentity) {
+  const auto& h = *GetParam().hierarchy;
+  const int top = h.all_level() - 1;
+  Rng rng(16);
+  std::vector<Value> base(64);
+  for (Value& v : base) {
+    v = h.Generalize(rng.Uniform(GetParam().value_range), 0, top);
+  }
+  std::vector<Value> out(base.size(), ~Value{0});
+  h.GeneralizeColumn(base.data(), base.size(), top, top, out.data());
+  EXPECT_EQ(out, base) << GetParam().label;
 }
 
 std::shared_ptr<Hierarchy> ScrambledMapped() {

@@ -7,7 +7,7 @@
 //             [--engine adaptive] [--budget-mb 256] [--sort-budget BYTES]
 //             [--sort-key K]
 //             [--threads N] [--morsel-rows N] [--batch-rows N]
-//             [--out results_dir]
+//             [--no-vectorize] [--out results_dir]
 //             [--dot workflow.dot] [--metrics out.json] [--trace]
 //             [--explain] [--stream] [--include-hidden]
 //
@@ -82,7 +82,7 @@ int Usage(const char* argv0) {
       "          [--engine adaptive|sortscan|singlescan|\n"
       "          multipass|parallel|relational] [--budget-mb N]\n"
       "          [--sort-budget BYTES] [--sort-key K] [--threads N]\n"
-      "          [--morsel-rows N] [--batch-rows N]\n"
+      "          [--morsel-rows N] [--batch-rows N] [--no-vectorize]\n"
       "          [--out DIR] [--dot FILE] [--metrics FILE.json]\n"
       "          [--trace] [--explain] [--stream] [--include-hidden]\n",
       argv0);
@@ -360,7 +360,7 @@ int RealMain(int argc, char** argv) {
   size_t morsel_rows = 0;        // 0 = EngineOptions default
   int threads = 0;
   bool explain = false, include_hidden = false, stream = false;
-  bool trace = false, session_cache = false;
+  bool trace = false, session_cache = false, no_vectorize = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -404,6 +404,10 @@ int RealMain(int argc, char** argv) {
       if (const char* v = next()) {
         morsel_rows = std::strtoull(v, nullptr, 10);
       }
+    } else if (!std::strcmp(argv[i], "--no-vectorize")) {
+      // Scalar reference path: per-row interpreter filters and probes.
+      // Results are bit-identical to the vectorized default.
+      no_vectorize = true;
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
     } else if (!std::strcmp(argv[i], "--explain")) {
@@ -440,6 +444,7 @@ int RealMain(int argc, char** argv) {
     options.parallel_threads = threads;
     if (batch_rows > 0) options.scan_batch_rows = batch_rows;
     if (morsel_rows > 0) options.morsel_rows = morsel_rows;
+    options.vectorized = !no_vectorize;
     if (!sort_key_text.empty()) {
       auto key = SortKey::Parse(**schema, sort_key_text);
       if (!key.ok()) return report(key.status());
@@ -482,6 +487,7 @@ int RealMain(int argc, char** argv) {
   options.parallel_threads = threads;
   if (batch_rows > 0) options.scan_batch_rows = batch_rows;
   if (morsel_rows > 0) options.morsel_rows = morsel_rows;
+  options.vectorized = !no_vectorize;
   if (!sort_key_text.empty()) {
     auto key = SortKey::Parse(**schema, sort_key_text);
     if (!key.ok()) return report(key.status());
