@@ -104,8 +104,10 @@ int main(int argc, char** argv) {
     Engine* engine;
     double pr3_seconds;
     double pr3_scan_seconds;
-    double seconds = 0;
-    double scan_seconds = 0;
+    double seconds = 0;       // min over timed reps
+    double scan_seconds = 0;  // min over timed reps
+    RepStats total_stats;
+    RepStats scan_stats;
   };
   SortScanEngine sort_scan;
   SingleScanEngine single_scan;
@@ -118,17 +120,24 @@ int main(int argc, char** argv) {
   std::printf("%12s %10s %10s %14s %14s\n", "engine", "seconds", "scan s",
               "pr3 end2end", "pr3 scan");
   for (EngineCase& e : engines) {
-    for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> total_secs, scan_secs;
+    // rep -1 is the untimed warm-up rep.
+    for (int rep = -1; rep < reps; ++rep) {
       EngineOptions options;
       options.scan_batch_rows = 1024;
       RunResult run = TimeEngine(*e.engine, *workflow, fact, options);
       if (!run.ok) return 1;
-      if (trace && rep == 0)
-        std::printf("%s\n", run.trace->ToTreeString().c_str());
-      const double scan = run.PhaseSeconds({"scan"});
-      if (rep == 0 || run.seconds < e.seconds) e.seconds = run.seconds;
-      if (rep == 0 || scan < e.scan_seconds) e.scan_seconds = scan;
+      if (rep < 0) {
+        if (trace) std::printf("%s\n", run.trace->ToTreeString().c_str());
+        continue;
+      }
+      total_secs.push_back(run.seconds);
+      scan_secs.push_back(run.PhaseSeconds({"scan"}));
     }
+    e.total_stats = RepStats::Of(total_secs);
+    e.scan_stats = RepStats::Of(scan_secs);
+    e.seconds = e.total_stats.min_seconds;
+    e.scan_seconds = e.scan_stats.min_seconds;
     std::printf("%12s %10.3f %10.3f %13.2fx %13.2fx\n", e.label,
                 e.seconds, e.scan_seconds, e.pr3_seconds / e.seconds,
                 e.pr3_scan_seconds / e.scan_seconds);
@@ -148,7 +157,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    char buf[1024];
+    std::string stats;
+    stats += engines[0].total_stats.Json("sortscan");
+    stats += engines[0].scan_stats.Json("sortscan_scan");
+    stats += engines[1].total_stats.Json("singlescan");
+    stats += engines[1].scan_stats.Json("singlescan_scan");
+    char buf[4096];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -157,6 +171,7 @@ int main(int argc, char** argv) {
         "  \"batch_rows\": 1024,\n"
         "  \"reps\": %d,\n"
         "  \"hardware_threads\": %d,\n"
+        "%s"
         "  \"sortscan_seconds\": %.4f,\n"
         "  \"sortscan_scan_seconds\": %.4f,\n"
         "  \"singlescan_seconds\": %.4f,\n"
@@ -168,7 +183,8 @@ int main(int argc, char** argv) {
         "  \"speedup_sortscan_end_to_end\": %.3f,\n"
         "  \"speedup_singlescan_scan\": %.3f\n"
         "}\n",
-        fact.num_rows(), reps, HardwareThreads(), engines[0].seconds,
+        fact.num_rows(), reps, HardwareThreads(), stats.c_str(),
+        engines[0].seconds,
         engines[0].scan_seconds, engines[1].seconds,
         engines[1].scan_seconds, kPr3SortScanSeconds,
         kPr3SortScanScanSeconds, kPr3SingleScanSeconds,

@@ -92,8 +92,10 @@ int main(int argc, char** argv) {
   struct Cell {
     int threads;
     size_t morsel_rows;
-    double seconds = 0;
-    double scan_seconds = 0;
+    double seconds = 0;       // min over timed reps
+    double scan_seconds = 0;  // min over timed reps
+    RepStats total_stats;
+    RepStats scan_stats;
   };
   // Thread sweep at the default morsel size, then a morsel sweep at the
   // widest thread count.
@@ -104,21 +106,23 @@ int main(int argc, char** argv) {
   std::printf("%8s %10s %10s %10s\n", "threads", "morsel", "seconds",
               "scan s");
   for (Cell& cell : cells) {
-    for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> total_secs, scan_secs;
+    // rep -1 is the untimed warm-up rep.
+    for (int rep = -1; rep < reps; ++rep) {
       EngineOptions options;
       options.scan_batch_rows = 1024;
       options.parallel_threads = cell.threads;
       options.morsel_rows = cell.morsel_rows;
       RunResult run = TimeEngine(engine, *workflow, fact, options);
       if (!run.ok) return 1;
-      const double scan = run.PhaseSeconds({"scan", "partition"});
-      if (rep == 0 || run.seconds < cell.seconds) {
-        cell.seconds = run.seconds;
-      }
-      if (rep == 0 || scan < cell.scan_seconds) {
-        cell.scan_seconds = scan;
-      }
+      if (rep < 0) continue;
+      total_secs.push_back(run.seconds);
+      scan_secs.push_back(run.PhaseSeconds({"scan", "partition"}));
     }
+    cell.total_stats = RepStats::Of(total_secs);
+    cell.scan_stats = RepStats::Of(scan_secs);
+    cell.seconds = cell.total_stats.min_seconds;
+    cell.scan_seconds = cell.scan_stats.min_seconds;
     std::printf("%8d %10zu %10.3f %10.3f\n", cell.threads,
                 cell.morsel_rows, cell.seconds, cell.scan_seconds);
   }
@@ -153,6 +157,11 @@ int main(int argc, char** argv) {
                     cell.threads, cell.morsel_rows, cell.seconds,
                     cell.threads, cell.morsel_rows, cell.scan_seconds);
       out << buf;
+      char name[64];
+      std::snprintf(name, sizeof(name), "t%d_m%zu", cell.threads,
+                    cell.morsel_rows);
+      out << cell.total_stats.Json(name)
+          << cell.scan_stats.Json(std::string(name) + "_scan");
     }
     char tail[128];
     std::snprintf(tail, sizeof(tail),

@@ -1,6 +1,8 @@
 #ifndef CSM_BENCH_BENCH_UTIL_H_
 #define CSM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
@@ -9,6 +11,7 @@
 #include <string_view>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/timer.h"
 #include "exec/engine.h"
@@ -80,6 +83,52 @@ struct RunResult {
     return trace != nullptr && root != kNoSpan
                ? trace->SumDurationExclusive(root, names)
                : 0.0;
+  }
+};
+
+/// Statistics over one cell's timed repetitions. Benches run one
+/// untimed warm-up rep first (first-touch page faults, thread-pool
+/// spin-up, memoized dictionary builds) and then `reps` timed reps;
+/// every BENCH_*.json reports min/median/stddev so the ±10% CI gates
+/// can be read against the run's own noise floor. Gates keep comparing
+/// the min — the least noisy statistic on a shared 1-core CI box.
+struct RepStats {
+  double min_seconds = 0;
+  double median_seconds = 0;
+  double stddev_seconds = 0;
+
+  static RepStats Of(std::vector<double> seconds) {
+    RepStats s;
+    const size_t n = seconds.size();
+    if (n == 0) return s;
+    std::sort(seconds.begin(), seconds.end());
+    s.min_seconds = seconds.front();
+    s.median_seconds = n % 2 == 1
+                           ? seconds[n / 2]
+                           : 0.5 * (seconds[n / 2 - 1] + seconds[n / 2]);
+    double mean = 0;
+    for (double v : seconds) mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0;
+    for (double v : seconds) var += (v - mean) * (v - mean);
+    s.stddev_seconds =
+        n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+    return s;
+  }
+
+  /// JSON fragment (three lines, trailing comma) for one timed series:
+  ///   "NAME_min_seconds": ..., "NAME_median_seconds": ...,
+  ///   "NAME_stddev_seconds": ...
+  std::string Json(const std::string& name, int indent = 2) const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%*s\"%s_min_seconds\": %.6f,\n"
+                  "%*s\"%s_median_seconds\": %.6f,\n"
+                  "%*s\"%s_stddev_seconds\": %.6f,\n",
+                  indent, "", name.c_str(), min_seconds, indent, "",
+                  name.c_str(), median_seconds, indent, "", name.c_str(),
+                  stddev_seconds);
+    return buf;
   }
 };
 

@@ -128,26 +128,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  double independent_seconds = 0;
-  for (int rep = 0; rep < reps; ++rep) {
+  std::vector<double> independent_secs;
+  // rep -1 is the untimed warm-up rep.
+  for (int rep = -1; rep < reps; ++rep) {
     double total = 0;
     for (const Workflow& workflow : queries) {
       RunResult run = TimeEngine(**engine, workflow, fact);
       if (!run.ok) return 1;
       total += run.seconds;
     }
-    if (rep == 0 || total < independent_seconds) {
-      independent_seconds = total;
-    }
+    if (rep >= 0) independent_secs.push_back(total);
   }
+  const RepStats independent_stats = RepStats::Of(independent_secs);
+  const double independent_seconds = independent_stats.min_seconds;
 
   // --- fused: one session run; cache_capacity covers the batch so a
   // second RunPending answers entirely from cache.
   SessionOptions session_options;
   session_options.cache_capacity = kNumQueries;
   double fused_seconds = 0, cached_seconds = 0;
+  std::vector<double> fused_secs, cached_secs;
   SessionReport report;
-  for (int rep = 0; rep < reps; ++rep) {
+  // rep -1 is the untimed warm-up rep.
+  for (int rep = -1; rep < reps; ++rep) {
     auto session =
         QuerySession::Create(EngineKind::kSortScan, session_options);
     if (!session.ok()) {
@@ -174,10 +177,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", cold.status().ToString().c_str());
       return 1;
     }
-    if (rep == 0 || cold_seconds < fused_seconds) {
+    if (rep < 0 || cold_seconds < fused_seconds) {
       fused_seconds = cold_seconds;
       report = (*session)->last_report();
     }
+    if (rep >= 0) fused_secs.push_back(cold_seconds);
 
     if (!submit_all()) return 1;
     timer.Reset();
@@ -191,10 +195,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warm batch was not fully cache-served\n");
       return 1;
     }
-    if (rep == 0 || warm_seconds < cached_seconds) {
+    if (rep < 0 || warm_seconds < cached_seconds) {
       cached_seconds = warm_seconds;
     }
+    if (rep >= 0) cached_secs.push_back(warm_seconds);
   }
+  const RepStats fused_stats = RepStats::Of(fused_secs);
+  const RepStats cached_stats = RepStats::Of(cached_secs);
+  fused_seconds = fused_stats.min_seconds;
+  cached_seconds = cached_stats.min_seconds;
 
   const double speedup = independent_seconds / fused_seconds;
   std::printf("%22s %10s\n", "mode", "seconds");
@@ -213,7 +222,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    char buf[1024];
+    std::string stats;
+    stats += independent_stats.Json("independent");
+    stats += fused_stats.Json("fused");
+    stats += cached_stats.Json("cache_hit");
+    char buf[2048];
     std::snprintf(buf, sizeof(buf),
                   "{\n"
                   "  \"bench\": \"multi_query\",\n"
@@ -224,6 +237,7 @@ int main(int argc, char** argv) {
                   "  \"shared_measures\": %zu,\n"
                   "  \"reps\": %d,\n"
                   "  \"hardware_threads\": %d,\n"
+                  "%s"
                   "  \"independent_seconds\": %.4f,\n"
                   "  \"fused_seconds\": %.4f,\n"
                   "  \"cache_hit_seconds\": %.5f,\n"
@@ -231,7 +245,8 @@ int main(int argc, char** argv) {
                   "}\n",
                   fact.num_rows(), kNumQueries, total_measures,
                   report.fused_measures, report.shared_measures, reps,
-                  HardwareThreads(), independent_seconds, fused_seconds,
+                  HardwareThreads(), stats.c_str(), independent_seconds,
+                  fused_seconds,
                   cached_seconds,
                   speedup);
     out << buf;

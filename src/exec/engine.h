@@ -122,6 +122,19 @@ struct EngineOptions {
   /// See bench/ablation_vector.
   bool vectorized = true;
 
+  /// Dictionary-encoded execution over the vectorized scan: dimension
+  /// columns are encoded once per table into sorted-unique dictionaries
+  /// (memoized on the FactTable, extended in place by appends), the
+  /// per-batch hierarchy sweep becomes one code→value LUT gather per
+  /// column, dimension filters compile to per-dictionary bitsets, and
+  /// per-batch zone maps (min/max code) skip whole batches a filter
+  /// provably rejects. Results are bit-identical to the raw path — the
+  /// fuzzer's `+dict/off` cells prove it — so this is purely a speed
+  /// knob (`csm_query --no-dict`). Only active together with
+  /// `vectorized` on in-memory tables; file-streamed scans stay raw.
+  /// See bench/ablation_dict.
+  bool dict_encoding = true;
+
   /// Rejects option combinations the engines would otherwise silently
   /// misbehave on: a zero memory budget (external sort run sizing and
   /// multi-pass planning divide by it), scan_batch_rows == 0 (the batch

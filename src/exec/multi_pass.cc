@@ -228,6 +228,7 @@ Result<PhysicalPlan> BuildMultiPassPlan(const Workflow& workflow,
 
   PhysicalPlan plan;
   plan.engine = "multi-pass";
+  plan.dict_encoding = options.dict_encoding && options.vectorized;
   plan.morsel_rows = options.morsel_rows;
   plan.scan_batch_rows = options.scan_batch_rows;
   plan.threads = options.parallel_threads;

@@ -60,6 +60,7 @@ struct ExecutorScratch {
   SpanId span = kNoSpan;
   uint64_t batches = 0;
   uint64_t rows = 0;
+  uint64_t batches_skipped = 0;  // zone-map whole-batch filter skips
 };
 
 }  // namespace
@@ -127,6 +128,23 @@ Status AggregateOp::Run(PlanContext& ctx) {
     CSM_CHECK(job.pass >= 0) << "granularity missing from the sweep spec";
   }
 
+  // Dictionary binding: compile each kernel's dim-vs-const comparisons
+  // into per-dictionary bitsets so the batch filter probes one byte per
+  // code, and zone maps can veto whole batches. The bitsets hold the
+  // exact comparisons the row loops would run, so masks are unchanged.
+  const DictPlan* dict = ctx.dict.get();
+  bool any_dict_kernel = false;
+  size_t dict_bits = 0;
+  if (dict != nullptr) {
+    for (BaseJob& job : jobs) {
+      if (job.kernel.has_value()) {
+        job.kernel->BindDictionaries(dict->views.data(), d);
+        any_dict_kernel |= job.kernel->dict_bound() > 0;
+        dict_bits += job.kernel->dict_bits();
+      }
+    }
+  }
+
   // ---- The single scan (no sort): the row space is cut into fixed-size
   // morsels, executors of the shared pool work-steal them, and each
   // morsel fills private partial tables over columnar sub-batches.
@@ -161,7 +179,7 @@ Status AggregateOp::Run(PlanContext& ctx) {
     ExecutorScratch& s = scratch[executor];
     if (s.batch == nullptr) {
       s.batch = std::make_unique<RecordBatch>(d, m, batch_cap);
-      s.cols.emplace(sweep.MakeColumns(batch_cap));
+      s.cols.emplace(sweep.MakeColumns(batch_cap, dict));
       s.slots.resize(d + m);
       s.key.resize(d);
       s.where.reserve(jobs.size());
@@ -193,8 +211,8 @@ Status AggregateOp::Run(PlanContext& ctx) {
     for (size_t at = begin; at < end; at += batch_cap) {
       const size_t n = std::min(batch_cap, end - at);
       batch.FillFromTable(fact, at, n);
-      s.cols->Apply(batch, n);
       if (!vectorized) {
+        s.cols->Apply(batch, n);
         // Scalar reference path: per-row interpreter filter, per-row
         // key gather and table probe. The vectorized path below is
         // bit-identical to this loop by construction.
@@ -231,17 +249,29 @@ Status AggregateOp::Run(PlanContext& ctx) {
         // gather-encode and hash only the selected rows, so encoding
         // cost scales with selectivity. Either way the fold runs
         // through the prefetched bulk probe in ascending row order.
+        s.cols->BeginBatch(batch, n);
         for (int i = 0; i < d; ++i) s.dim_ptrs[i] = batch.dim_col(i);
         for (int i = 0; i < m; ++i) {
           s.measure_ptrs[i] = batch.measure_col(i);
         }
         for (int p : full_passes) s.pass_ready[p] = 0;
+        // Zone maps: one min/max pass per dim column per batch, judged
+        // against each dict-bound kernel. A kAllFalse verdict skips the
+        // job's whole batch — no generalize pass, no selection, no
+        // encode; kAllTrue selects every row without running masks.
+        const uint32_t* zone_min = nullptr;
+        const uint32_t* zone_max = nullptr;
+        const uint32_t* const* code_cols = batch.code_cols();
+        if (any_dict_kernel && code_cols != nullptr) {
+          batch.CodeZones(&zone_min, &zone_max);
+        }
         for (size_t j = 0; j < jobs.size(); ++j) {
           const BaseJob& job = jobs[j];
           const double* arg_col =
               job.agg.arg >= 0 ? batch.measure_col(job.agg.arg)
                                : nullptr;
           if (!job.has_where) {
+            s.cols->EnsurePass(job.pass);
             if (!s.pass_ready[job.pass]) {
               s.pass_ready[job.pass] = 1;
               uint64_t* keys = s.pass_keys[job.pass].data();
@@ -266,9 +296,24 @@ Status AggregateOp::Run(PlanContext& ctx) {
           }
           size_t sel_n = 0;
           if (s.kernels[j].has_value()) {
-            sel_n = s.kernels[j]->Select(s.dim_ptrs.data(),
-                                         s.measure_ptrs.data(), n,
-                                         s.sel.data());
+            BatchVerdict verdict = BatchVerdict::kUnknown;
+            if (zone_min != nullptr && s.kernels[j]->dict_bound() > 0) {
+              verdict = s.kernels[j]->JudgeBatch(zone_min, zone_max);
+            }
+            if (verdict == BatchVerdict::kAllFalse) {
+              ++s.batches_skipped;
+              continue;
+            }
+            if (verdict == BatchVerdict::kAllTrue) {
+              for (size_t r = 0; r < n; ++r) {
+                s.sel[r] = static_cast<uint32_t>(r);
+              }
+              sel_n = n;
+            } else {
+              sel_n = s.kernels[j]->Select(s.dim_ptrs.data(),
+                                           s.measure_ptrs.data(), n,
+                                           s.sel.data(), code_cols);
+            }
           } else {
             for (size_t r = 0; r < n; ++r) {
               for (int i = 0; i < d; ++i) {
@@ -282,6 +327,7 @@ Status AggregateOp::Run(PlanContext& ctx) {
               }
             }
           }
+          s.cols->EnsurePass(job.pass);
           uint64_t* keys = s.dense_keys.data();
           uint64_t* hashes = s.dense_hashes.data();
           std::fill(hashes, hashes + sel_n, kHashSpanSeed);
@@ -313,9 +359,11 @@ Status AggregateOp::Run(PlanContext& ctx) {
                       &mstats);
 
   uint64_t batches = 0;
+  uint64_t batches_skipped = 0;
   for (ExecutorScratch& s : scratch) {
     if (s.batch == nullptr) continue;
     batches += s.batches;
+    batches_skipped += s.batches_skipped;
     // Named "rows", not "rows_scanned": ExecStats sums rows_scanned over
     // the whole span subtree and the scan span already totals it.
     tracer.AddCounter(s.span, "rows", static_cast<double>(s.rows));
@@ -351,6 +399,15 @@ Status AggregateOp::Run(PlanContext& ctx) {
   tracer.SetAttr(scan_span.id(), "morsel_rows",
                  std::to_string(morsel_rows));
   tracer.SetAttr(scan_span.id(), "vectorized", vectorized ? "on" : "off");
+  tracer.SetAttr(scan_span.id(), "dict", dict != nullptr ? "on" : "off");
+  tracer.AddCounter(scan_span.id(), "batches_skipped",
+                    static_cast<double>(batches_skipped));
+  if (dict != nullptr) {
+    tracer.AddCounter(scan_span.id(), "dict_luts",
+                      static_cast<double>(dict->num_luts));
+    tracer.AddCounter(scan_span.id(), "dict_bits",
+                      static_cast<double>(dict_bits));
+  }
 
   // Peak memory: all hash tables coexist at end of scan.
   {

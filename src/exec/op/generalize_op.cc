@@ -17,8 +17,8 @@ int GranularitySweep::PassOf(const Granularity& gran) const {
 }
 
 GranularitySweep::Columns::Columns(const GranularitySweep* spec,
-                                   size_t capacity)
-    : spec_(spec) {
+                                   size_t capacity, const DictPlan* dict)
+    : spec_(spec), dict_(dict), base_(Granularity::Base(spec->schema())) {
   const int d = spec_->schema().num_dims();
   capacity = capacity == 0 ? 1 : capacity;
   cols_.resize(spec_->num_passes());
@@ -28,17 +28,45 @@ GranularitySweep::Columns::Columns(const GranularitySweep* spec,
     for (auto& col : cols_[p]) col_ptrs_[p].push_back(col.data());
   }
   in_ptrs_.resize(d);
+  pass_ready_.assign(spec_->num_passes(), 0);
 }
 
 void GranularitySweep::Columns::Apply(const RecordBatch& batch, size_t n) {
+  BeginBatch(batch, n);
+  for (size_t p = 0; p < spec_->num_passes(); ++p) {
+    EnsurePass(static_cast<int>(p));
+  }
+}
+
+void GranularitySweep::Columns::BeginBatch(const RecordBatch& batch,
+                                           size_t n) {
+  batch_ = &batch;
+  n_ = n;
+  std::fill(pass_ready_.begin(), pass_ready_.end(), 0);
+}
+
+void GranularitySweep::Columns::EnsurePass(int pass) {
+  if (pass_ready_[static_cast<size_t>(pass)]) return;
+  pass_ready_[static_cast<size_t>(pass)] = 1;
   const Schema& schema = spec_->schema();
   const int d = schema.num_dims();
-  const Granularity base = Granularity::Base(schema);
-  for (int i = 0; i < d; ++i) in_ptrs_[i] = batch.dim_col(i);
-  for (size_t p = 0; p < spec_->num_passes(); ++p) {
-    GeneralizeColumns(schema, base, spec_->gran(static_cast<int>(p)),
-                      in_ptrs_.data(), n, col_ptrs_[p].data());
+  const uint32_t* const* codes =
+      dict_ != nullptr && batch_->has_codes() ? batch_->code_cols()
+                                              : nullptr;
+  if (codes != nullptr) {
+    // Dictionary path: the hierarchy sweep was precomputed into the
+    // pass's LUTs; per row this is one gather per dimension.
+    for (int i = 0; i < d; ++i) {
+      const Value* lut = dict_->luts[pass][i].data();
+      const uint32_t* code = codes[i];
+      Value* out = col_ptrs_[pass][i];
+      for (size_t r = 0; r < n_; ++r) out[r] = lut[code[r]];
+    }
+    return;
   }
+  for (int i = 0; i < d; ++i) in_ptrs_[i] = batch_->dim_col(i);
+  GeneralizeColumns(schema, base_, spec_->gran(pass), in_ptrs_.data(), n_,
+                    col_ptrs_[pass].data());
 }
 
 std::string GeneralizeOp::Describe(const Schema& schema) const {
@@ -52,7 +80,53 @@ std::string GeneralizeOp::Describe(const Schema& schema) const {
 
 Status GeneralizeOp::Run(PlanContext& ctx) {
   ctx.generalize = this;
+  // Dictionary artifacts ride the sweep spec: any plan that generalizes
+  // batches gets its LUTs (and filter-bitset views) from one place. The
+  // raw path stays authoritative when the knob is off, the scan is
+  // scalar (the per-row reference), or the input streams from a file
+  // (no in-memory table to encode).
+  const EngineOptions& options = ctx.exec->options;
+  if (options.dict_encoding && options.vectorized) {
+    const FactTable* table =
+        ctx.sorted != nullptr ? ctx.sorted.get() : ctx.fact;
+    if (table != nullptr) {
+      ctx.dict = BuildDictPlan(*table, spec_);
+    }
+  }
   return Status::OK();
+}
+
+std::shared_ptr<const DictPlan> BuildDictPlan(
+    const FactTable& table, const GranularitySweep& sweep) {
+  auto plan = std::make_shared<DictPlan>();
+  plan->table = &table;
+  plan->enc = &table.EnsureDictEncoding();
+  const Schema& schema = sweep.schema();
+  const int d = schema.num_dims();
+  plan->views.resize(static_cast<size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    plan->views[i].values = plan->enc->dicts[i].values().data();
+    plan->views[i].size = plan->enc->dicts[i].size();
+  }
+  plan->luts.resize(sweep.num_passes());
+  for (size_t p = 0; p < sweep.num_passes(); ++p) {
+    const Granularity& gran = sweep.gran(static_cast<int>(p));
+    auto& pass_luts = plan->luts[p];
+    pass_luts.resize(static_cast<size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      const std::vector<Value>& values = plan->enc->dicts[i].values();
+      std::vector<Value>& lut = pass_luts[i];
+      lut.resize(values.size());
+      // The LUT is the raw path's own GeneralizeColumn run once over the
+      // dictionary instead of once per batch — bit-identical downstream.
+      schema.dim(i).hierarchy->GeneralizeColumn(
+          values.data(), values.size(), /*from_level=*/0, gran.level(i),
+          lut.data());
+      ++plan->num_luts;
+      plan->lut_entries += lut.size();
+    }
+  }
+  return plan;
 }
 
 GranularitySweep BuildScanSweep(const Workflow& workflow) {

@@ -1,15 +1,35 @@
 #ifndef CSM_EXEC_OP_GENERALIZE_OP_H_
 #define CSM_EXEC_OP_GENERALIZE_OP_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "exec/op/op.h"
+#include "expr/predicate_kernel.h"
 #include "model/granularity.h"
+#include "storage/dim_dictionary.h"
 #include "storage/record_batch.h"
 
 namespace csm {
+
+/// Plan-wide dictionary artifacts, built once per plan by GeneralizeOp
+/// and published as PlanContext::dict: per-(pass, dim) code→value LUTs
+/// that replace the per-batch GeneralizeColumns hierarchy sweep with one
+/// gather per column, plus per-dimension dictionary views for compiling
+/// filter predicates to bitsets. LUT entries are produced by the same
+/// Hierarchy::GeneralizeColumn call the raw sweep runs per batch, so
+/// downstream results are bit-identical by construction.
+struct DictPlan {
+  const FactTable* table = nullptr;
+  const DictEncoding* enc = nullptr;
+  // luts[pass][dim]: code -> generalized value at the pass granularity.
+  std::vector<std::vector<std::vector<Value>>> luts;
+  size_t num_luts = 0;      // passes × dims LUTs materialized
+  size_t lut_entries = 0;   // total Value entries across all LUTs
+  std::vector<DictColumnView> views;  // [dim], for kernel binding
+};
 
 /// The one shared implementation of the per-batch `GeneralizeColumns`
 /// sweep bookkeeping every engine used to duplicate: scan consumers that
@@ -38,30 +58,48 @@ class GranularitySweep {
   const Schema& schema() const { return *schema_; }
 
   /// Per-scan working buffers: one generalized column set per pass.
+  /// Materialization is lazy per pass (BeginBatch + EnsurePass), so a
+  /// consumer whose batch is skipped by a zone map never pays for the
+  /// sweep; Apply keeps the eager all-passes behavior for scalar paths.
+  /// With a DictPlan attached, a pass is one LUT gather per dimension
+  /// over the batch's code views instead of a hierarchy sweep.
   class Columns {
    public:
-    Columns(const GranularitySweep* spec, size_t capacity);
+    Columns(const GranularitySweep* spec, size_t capacity,
+            const DictPlan* dict);
 
     /// Rolls rows [0, n) of `batch`'s dimension columns up to every
-    /// registered granularity — one GeneralizeColumns sweep per pass.
+    /// registered granularity — BeginBatch + EnsurePass for all passes.
     void Apply(const RecordBatch& batch, size_t n);
 
+    /// Starts a new batch without materializing any pass.
+    void BeginBatch(const RecordBatch& batch, size_t n);
+
+    /// Materializes pass `pass` for the current batch (idempotent).
+    void EnsurePass(int pass);
+
     /// Generalized values of dimension `dim` for pass `pass` (valid for
-    /// the n rows of the last Apply).
+    /// the n rows of the last Apply / EnsurePass).
     const Value* col(int pass, int dim) const {
       return cols_[pass][dim].data();
     }
 
    private:
     const GranularitySweep* spec_;
+    const DictPlan* dict_;
+    const RecordBatch* batch_ = nullptr;  // current batch (BeginBatch)
+    size_t n_ = 0;
+    Granularity base_;
+    std::vector<uint8_t> pass_ready_;
     // cols_[pass][dim] holds `capacity` generalized values.
     std::vector<std::vector<std::vector<Value>>> cols_;
     std::vector<std::vector<Value*>> col_ptrs_;  // per pass, per dim
     std::vector<const Value*> in_ptrs_;
   };
 
-  Columns MakeColumns(size_t capacity) const {
-    return Columns(this, capacity);
+  Columns MakeColumns(size_t capacity,
+                      const DictPlan* dict = nullptr) const {
+    return Columns(this, capacity, dict);
   }
 
  private:
@@ -91,6 +129,13 @@ class GeneralizeOp : public PhysicalOp {
 /// granularity a base aggregate or a match-join region enumerator
 /// consumes fact rows at. This is what every engine's scan loop sweeps.
 GranularitySweep BuildScanSweep(const Workflow& workflow);
+
+/// Builds the plan-wide dictionary artifacts for `table` under `sweep`:
+/// ensures the table's dictionary encoding (memoized on the table, so
+/// repeated plans share the build) and materializes one code→value LUT
+/// per (pass, dimension).
+std::shared_ptr<const DictPlan> BuildDictPlan(const FactTable& table,
+                                              const GranularitySweep& sweep);
 
 }  // namespace csm
 

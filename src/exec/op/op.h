@@ -20,6 +20,7 @@
 namespace csm {
 
 class GeneralizeOp;
+struct DictPlan;
 struct PhysicalPlan;
 
 /// One accumulated aggregation table flowing from AggregateOp to the
@@ -55,6 +56,11 @@ struct PlanContext {
   std::unique_ptr<FactTable> sorted;    // ScanOp: sorted in-memory clone
   std::unique_ptr<BatchCursor> cursor;  // ScanOp: the record stream
   const GeneralizeOp* generalize = nullptr;  // registered sweep spec
+  // Dictionary artifacts for the scanned table (code→value LUTs per
+  // sweep pass + dictionary views for filter bitsets), published by
+  // GeneralizeOp when EngineOptions::dict_encoding applies; null on the
+  // raw path.
+  std::shared_ptr<const DictPlan> dict;
   std::vector<AggResult> agg_results;   // AggregateOp -> EmitOp
   std::map<std::string, MeasureTable> tables;  // finished measure tables
   EvalOutput* out = nullptr;            // final destination

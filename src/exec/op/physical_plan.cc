@@ -19,8 +19,9 @@ std::string PhysicalPlan::Describe(const Schema& schema) const {
   char line[160];
   std::snprintf(line, sizeof(line),
                 "  threads: up to %d (pool %d workers + caller) | "
-                "morsel_rows: %zu | batch_rows: %zu\n",
-                executors, pool_workers, morsel_rows, scan_batch_rows);
+                "morsel_rows: %zu | batch_rows: %zu | dict: %s\n",
+                executors, pool_workers, morsel_rows, scan_batch_rows,
+                dict_encoding ? "on" : "off");
   text += line;
   int idx = 1;
   for (const auto& op : ops) {

@@ -26,6 +26,10 @@ struct PhysicalPlan {
   size_t morsel_rows = 0;
   size_t scan_batch_rows = 0;
   int threads = 0;        // requested executors (0 = whole pool)
+  // Encoding decision the lowering froze: true when the scan runs over
+  // dictionary codes (EngineOptions::dict_encoding && vectorized, and
+  // the input is an in-memory table rather than a file stream).
+  bool dict_encoding = false;
   std::vector<std::unique_ptr<PhysicalOp>> ops;
   std::shared_ptr<void> engine_state;  // pre-bound engine-specific state
 

@@ -278,9 +278,24 @@ class PropagateImpl {
     const Granularity base_gran = Granularity::Base(schema_);
 
     // Scan nodes sharing a granularity share one generalized key-column
-    // pass per batch, via the plan's shared sweep spec.
+    // pass per batch, via the plan's shared sweep spec. With a dict plan
+    // the pass is a LUT gather; passes materialize lazily so a zone-map
+    // batch skip also skips the sweep.
     const GranularitySweep& sweep = ctx_.generalize->spec();
-    GranularitySweep::Columns cols = sweep.MakeColumns(cap);
+    const DictPlan* dict = ctx_.dict.get();
+    GranularitySweep::Columns cols = sweep.MakeColumns(cap, dict);
+    bool any_dict_kernel = false;
+    uint64_t dict_bits = 0;
+    if (dict != nullptr) {
+      for (auto& node : nodes_) {
+        if (node->where_kernel.has_value()) {
+          node->where_kernel->BindDictionaries(dict->views.data(), d_);
+          any_dict_kernel |= node->where_kernel->dict_bound() > 0;
+          dict_bits += node->where_kernel->dict_bits();
+        }
+      }
+    }
+    uint64_t batches_skipped = 0;
     std::vector<int> node_pass(scan_nodes_.size());
     for (size_t s = 0; s < scan_nodes_.size(); ++s) {
       node_pass[s] = sweep.PassOf(nodes_[scan_nodes_[s]]->gran);
@@ -326,11 +341,20 @@ class PropagateImpl {
         return ctx_.exec->CheckCancelled("sort-scan scan");
       }
 
-      cols.Apply(cur, cur_rows);
+      const uint32_t* zone_min = nullptr;
+      const uint32_t* zone_max = nullptr;
+      const uint32_t* const* code_cols = nullptr;
       if (vectorized) {
+        cols.BeginBatch(cur, cur_rows);
         std::fill(pass_runs_ready.begin(), pass_runs_ready.end(), 0);
         for (int i = 0; i < d_; ++i) dim_ptrs[i] = cur.dim_col(i);
         for (int i = 0; i < m; ++i) measure_ptrs[i] = cur.measure_col(i);
+        code_cols = cur.code_cols();
+        if (any_dict_kernel && code_cols != nullptr) {
+          cur.CodeZones(&zone_min, &zone_max);
+        }
+      } else {
+        cols.Apply(cur, cur_rows);
       }
 
       // Feed the batch to every scan-side node. The stream is sorted, so
@@ -342,9 +366,56 @@ class PropagateImpl {
         const double* arg_col =
             node.agg.arg >= 0 ? cur.measure_col(node.agg.arg) : nullptr;
         if (vectorized) {
+          // Filter first: compiled kernel (with a zone-map verdict when
+          // dictionary-bound — a provably-false batch is skipped before
+          // any generalize or run-detection work), interpreter fallback,
+          // or the whole batch when the node has no where-filter.
+          const uint32_t* sv = iota.data();
+          size_t sel_n = cur_rows;
+          if (node.has_where) {
+            sv = sel.data();
+            if (node.where_kernel.has_value()) {
+              BatchVerdict verdict = BatchVerdict::kUnknown;
+              if (zone_min != nullptr &&
+                  node.where_kernel->dict_bound() > 0) {
+                verdict =
+                    node.where_kernel->JudgeBatch(zone_min, zone_max);
+              }
+              if (verdict == BatchVerdict::kAllFalse) {
+                ++batches_skipped;
+                continue;
+              }
+              if (verdict == BatchVerdict::kAllTrue) {
+                sv = iota.data();
+                sel_n = cur_rows;
+              } else {
+                sel_n = node.where_kernel->Select(
+                    dim_ptrs.data(), measure_ptrs.data(), cur_rows,
+                    sel.data(), code_cols);
+              }
+            } else {
+              sel_n = 0;
+              for (size_t r = 0; r < cur_rows; ++r) {
+                for (int i = 0; i < d_; ++i) {
+                  slots[i] = static_cast<double>(cur.dim_col(i)[r]);
+                }
+                for (int i = 0; i < m; ++i) {
+                  slots[d_ + i] = cur.measure_col(i)[r];
+                }
+                if (node.where.EvalBool(slots.data())) {
+                  sel[sel_n++] = static_cast<uint32_t>(r);
+                }
+              }
+            }
+          }
+
+          if (sel_n == 0) continue;  // nothing survived the filter
+
           // Run detection, shared by every node at this pass: flag the
           // rows where any generalized key column changes, then prefix-
-          // count the flags into run ids.
+          // count the flags into run ids. Materialized after the filter
+          // so a skipped batch pays for neither.
+          cols.EnsurePass(pass);
           if (!pass_runs_ready[pass]) {
             pass_runs_ready[pass] = 1;
             std::fill(run_boundary.begin(),
@@ -364,32 +435,6 @@ class PropagateImpl {
             }
           }
           const uint32_t* rid = run_ids[pass].data();
-
-          // Filter: compiled kernel, interpreter fallback, or the whole
-          // batch when the node has no where-filter.
-          const uint32_t* sv = iota.data();
-          size_t sel_n = cur_rows;
-          if (node.has_where) {
-            sv = sel.data();
-            if (node.where_kernel.has_value()) {
-              sel_n = node.where_kernel->Select(dim_ptrs.data(),
-                                                measure_ptrs.data(),
-                                                cur_rows, sel.data());
-            } else {
-              sel_n = 0;
-              for (size_t r = 0; r < cur_rows; ++r) {
-                for (int i = 0; i < d_; ++i) {
-                  slots[i] = static_cast<double>(cur.dim_col(i)[r]);
-                }
-                for (int i = 0; i < m; ++i) {
-                  slots[d_ + i] = cur.measure_col(i)[r];
-                }
-                if (node.where.EvalBool(slots.data())) {
-                  sel[sel_n++] = static_cast<uint32_t>(r);
-                }
-              }
-            }
-          }
 
           // Fold run by run: one Touch per run (same probe sequence as
           // the scalar loop — a run *is* a maximal stretch of equal
@@ -516,6 +561,15 @@ class PropagateImpl {
     tracer.SetAttr(scan_span.id(), "batch_rows", std::to_string(cap));
     tracer.SetAttr(scan_span.id(), "vectorized",
                    vectorized ? "on" : "off");
+    tracer.SetAttr(scan_span.id(), "dict", dict != nullptr ? "on" : "off");
+    tracer.AddCounter(scan_span.id(), "batches_skipped",
+                      static_cast<double>(batches_skipped));
+    if (dict != nullptr) {
+      tracer.AddCounter(scan_span.id(), "dict_luts",
+                        static_cast<double>(dict->num_luts));
+      tracer.AddCounter(scan_span.id(), "dict_bits",
+                        static_cast<double>(dict_bits));
+    }
     tracer.AddCounter(scan_span.id(), "materialized_rows",
                       static_cast<double>(rows_flushed_));
     tracer.SetGaugeMax(scan_span.id(), "peak_hash_entries",

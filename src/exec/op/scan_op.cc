@@ -52,6 +52,16 @@ Status ScanOp::Run(PlanContext& ctx) {
       sort_options.temp_dir = &*temp_;
       sort_options.threads = options.parallel_threads;
       sort_options.cancel = ctx.exec->cancel;
+      if (options.dict_encoding && options.vectorized) {
+        // Encode before cloning: the build memoizes on the base table
+        // (shared across repeated runs and sessions), the clone carries
+        // the code columns, and the in-memory sort permutes them
+        // alongside the rows — so the downstream GeneralizeOp finds the
+        // sorted table already encoded. If the sort spills, the merged
+        // output is rebuilt row-wise without codes and the encoding is
+        // simply rebuilt there.
+        ctx.fact->EnsureDictEncoding();
+      }
       CSM_ASSIGN_OR_RETURN(
           FactTable sorted,
           SortFactTable(ctx.fact->Clone(), ctx.plan->sort_key,

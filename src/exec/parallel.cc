@@ -9,8 +9,10 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "exec/exec_context.h"
+#include "exec/op/generalize_op.h"
 #include "exec/scheduler.h"
 #include "exec/sort_scan.h"
+#include "storage/record_batch.h"
 
 namespace csm {
 
@@ -55,6 +57,11 @@ struct ParallelState {
   int pdim = -1;
   int plevel = -1;
   int shards = 0;
+  // Partition granularity (pdim at plevel, every other dimension at
+  // ALL) — registered with the plan's GeneralizeOp sweep so the
+  // partition stage shares the one generalization implementation (and
+  // its dictionary LUTs) with the scan stages.
+  Granularity pgran;
   std::vector<FactTable> parts;
   std::vector<Result<EvalOutput>> results;
 };
@@ -78,12 +85,14 @@ class PartitionOp : public PhysicalOp {
     ParallelState& state = *state_;
     const Schema& schema = *ctx.workflow->schema();
     const FactTable& fact = *ctx.fact;
-    const Hierarchy& ph = *schema.dim(state.pdim).hierarchy;
     Tracer& tracer = ctx.tracer();
+    CSM_CHECK(ctx.generalize != nullptr)
+        << "parallel plan is missing the generalize stage";
 
-    // The partition-key mapping is hoisted into a per-chunk column sweep:
-    // gather the partition dimension, generalize the whole column at
-    // once, then append rows to their shards. Chunks follow
+    // The partition-key mapping runs through the plan's shared sweep:
+    // fill a batch, materialize the partition-granularity pass (a
+    // dictionary LUT gather when the plan is encoded, the hierarchy
+    // sweep otherwise), then append rows to their shards. Chunks follow
     // scan_batch_rows.
     ScopedSpan partition_span(&tracer, "partition", ctx.root());
     state.parts.reserve(state.shards);
@@ -92,7 +101,14 @@ class PartitionOp : public PhysicalOp {
     }
     const size_t chunk_rows =
         std::max<size_t>(1, ctx.exec->options.scan_batch_rows);
-    std::vector<Value> block_col(chunk_rows);
+    const GranularitySweep& sweep = ctx.generalize->spec();
+    const int pass = sweep.PassOf(state.pgran);
+    CSM_CHECK(pass >= 0)
+        << "partition granularity missing from the sweep spec";
+    GranularitySweep::Columns cols =
+        sweep.MakeColumns(chunk_rows, ctx.dict.get());
+    RecordBatch batch(schema.num_dims(), schema.num_measures(),
+                      chunk_rows);
     uint64_t chunks = 0;
     for (size_t begin = 0; begin < fact.num_rows(); begin += chunk_rows) {
       if (ctx.cancelled()) {
@@ -100,13 +116,12 @@ class PartitionOp : public PhysicalOp {
       }
       const size_t n = std::min(chunk_rows, fact.num_rows() - begin);
       ++chunks;
+      batch.FillFromTable(fact, begin, n);
+      cols.BeginBatch(batch, n);
+      cols.EnsurePass(pass);
+      const Value* pcol = cols.col(pass, state.pdim);
       for (size_t r = 0; r < n; ++r) {
-        block_col[r] = fact.dim_row(begin + r)[state.pdim];
-      }
-      ph.GeneralizeColumn(block_col.data(), n, 0, state.plevel,
-                          block_col.data());
-      for (size_t r = 0; r < n; ++r) {
-        state.parts[Mix64(block_col[r]) % state.shards].AppendRow(
+        state.parts[Mix64(pcol[r]) % state.shards].AppendRow(
             fact.dim_row(begin + r), fact.measure_row(begin + r));
       }
     }
@@ -114,6 +129,8 @@ class PartitionOp : public PhysicalOp {
                       static_cast<double>(chunks));
     tracer.SetAttr(partition_span.id(), "batch_rows",
                    std::to_string(chunk_rows));
+    tracer.SetAttr(partition_span.id(), "dict",
+                   ctx.dict != nullptr ? "on" : "off");
     return Status::OK();
   }
 
@@ -295,6 +312,7 @@ PhysicalPlan BuildParallelPlan(const Workflow& workflow,
                                const EngineOptions& options) {
   PhysicalPlan plan;
   plan.engine = "parallel-sort-scan";
+  plan.dict_encoding = options.dict_encoding && options.vectorized;
   plan.morsel_rows = options.morsel_rows;
   plan.scan_batch_rows = options.scan_batch_rows;
   plan.threads = ResolveThreads(options);
@@ -310,7 +328,17 @@ PhysicalPlan BuildParallelPlan(const Workflow& workflow,
   state->pdim = *pdim;
   state->plevel = CoarsestUsedLevel(workflow, *pdim);
   state->shards = plan.threads;
+  const Schema& schema = *workflow.schema();
+  std::vector<int> levels(static_cast<size_t>(schema.num_dims()));
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    levels[i] = i == state->pdim ? state->plevel
+                                 : schema.dim(i).hierarchy->all_level();
+  }
+  state->pgran = Granularity(std::move(levels));
+  GranularitySweep sweep(workflow.schema());
+  sweep.AddGranularity(state->pgran);
   plan.engine_state = state;
+  plan.ops.push_back(std::make_unique<GeneralizeOp>(std::move(sweep)));
   plan.ops.push_back(std::make_unique<PartitionOp>(state));
   plan.ops.push_back(std::make_unique<ShardRunOp>(state));
   plan.ops.push_back(std::make_unique<MergeShardsOp>(state));

@@ -29,6 +29,7 @@ PhysicalPlan BuildSingleScanPlan(const Workflow& workflow,
 
   PhysicalPlan plan;
   plan.engine = "single-scan";
+  plan.dict_encoding = options.dict_encoding && options.vectorized;
   plan.morsel_rows = options.morsel_rows;
   plan.scan_batch_rows = options.scan_batch_rows;
   plan.threads = options.parallel_threads;

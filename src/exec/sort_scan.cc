@@ -35,6 +35,10 @@ PhysicalPlan BuildSortScanPlan(const Workflow& workflow,
   plan.sort_key = options.sort_key.empty()
                       ? SortScanEngine::DefaultSortKey(workflow)
                       : options.sort_key;
+  // File-streamed sorts stay raw: the merged stream is rebuilt row-wise
+  // and never carries code columns.
+  plan.dict_encoding =
+      options.dict_encoding && options.vectorized && !file_input;
   plan.morsel_rows = options.morsel_rows;
   plan.scan_batch_rows = options.scan_batch_rows;
   plan.threads = options.parallel_threads;

@@ -177,7 +177,7 @@ bool PredicateKernel::CompileNode(const ScalarExpr& expr,
       if (!CompileNode(*expr.children()[0], vars, num_dims, depth)) {
         return false;
       }
-      code_.push_back({What::kNot, ScalarExpr::Op::kNone, {}, {}});
+      code_.push_back({What::kNot, ScalarExpr::Op::kNone, {}, {}, {}});
       ++num_bools_;
       return true;
     }
@@ -193,6 +193,7 @@ bool PredicateKernel::CompileNode(const ScalarExpr& expr,
         code_.push_back({expr.op() == ScalarExpr::Op::kAnd ? What::kAnd
                                                            : What::kOr,
                          ScalarExpr::Op::kNone,
+                         {},
                          {},
                          {}});
         ++num_bools_;
@@ -258,15 +259,29 @@ const double* PredicateKernel::LoadColumn(
 
 size_t PredicateKernel::Select(const uint64_t* const* dim_cols,
                                const double* const* measure_cols, size_t n,
-                               uint32_t* sel) const {
+                               uint32_t* sel,
+                               const uint32_t* const* code_cols) const {
   if (n == 0) return 0;  // column tables may be null for empty batches
   int top = -1;  // index of the mask holding the current subresult
   for (const Instr& instr : code_) {
+    // A dictionary-bound instruction over an encoded batch is one bitset
+    // probe per code; the bitset holds the very comparison the loops
+    // below would run, so the mask is the same bit for bit.
+    const uint32_t* codes =
+        instr.dict != nullptr && code_cols != nullptr &&
+                (instr.what == What::kTest || instr.what == What::kCmp)
+            ? code_cols[instr.a.col]
+            : nullptr;
     switch (instr.what) {
       case What::kTest: {
         std::vector<uint8_t>& mask = masks_[static_cast<size_t>(++top)];
         mask.resize(n);
         uint8_t* out = mask.data();
+        if (codes != nullptr) {
+          const uint8_t* bits = instr.dict->bits.data();
+          for (size_t r = 0; r < n; ++r) out[r] = bits[codes[r]];
+          break;
+        }
         switch (instr.a.kind) {
           case Operand::kConst:
             std::memset(out, Truthy(instr.a.value) ? 1 : 0, n);
@@ -291,6 +306,12 @@ size_t PredicateKernel::Select(const uint64_t* const* dim_cols,
       case What::kCmp: {
         std::vector<uint8_t>& mask = masks_[static_cast<size_t>(++top)];
         mask.resize(n);
+        if (codes != nullptr) {
+          const uint8_t* bits = instr.dict->bits.data();
+          uint8_t* out = mask.data();
+          for (size_t r = 0; r < n; ++r) out[r] = bits[codes[r]];
+          break;
+        }
         const double* a = LoadColumn(instr.a, dim_cols, measure_cols, n,
                                      &lhs_scratch_);
         const double* b = instr.b.kind == Operand::kConst
@@ -330,9 +351,127 @@ size_t PredicateKernel::Select(const uint64_t* const* dim_cols,
   return k;
 }
 
+void PredicateKernel::BindDictionaries(const DictColumnView* views,
+                                       int num_dims) {
+  dict_bound_ = 0;
+  dict_bits_total_ = 0;
+  for (Instr& instr : code_) {
+    instr.dict = nullptr;
+    if (instr.a.kind != Operand::kDim || instr.a.col >= num_dims) continue;
+    const DictColumnView& view = views[instr.a.col];
+    if (view.values == nullptr) continue;
+    const bool is_test = instr.what == What::kTest;
+    const bool is_const_cmp =
+        instr.what == What::kCmp && instr.b.kind == Operand::kConst;
+    if (!is_test && !is_const_cmp) continue;  // dim-vs-dim/measure: row-wise
+    auto bound = std::make_shared<DictBits>();
+    bound->bits.resize(view.size);
+    bound->prefix.resize(view.size + 1);
+    uint32_t ones = 0;
+    for (size_t c = 0; c < view.size; ++c) {
+      bound->prefix[c] = ones;
+      // Exactly the row loop's semantics: widen the value with
+      // static_cast<double>, then raw comparison / truthiness.
+      const double v = static_cast<double>(view.values[c]);
+      const bool truth = is_test ? Truthy(v)
+                                 : FoldCmp(instr.cmp, v, instr.b.value) != 0;
+      bound->bits[c] = truth ? 1 : 0;
+      ones += bound->bits[c];
+    }
+    bound->prefix[view.size] = ones;
+    instr.dict = std::move(bound);
+    ++dict_bound_;
+    dict_bits_total_ += view.size;
+  }
+}
+
+BatchVerdict PredicateKernel::JudgeBatch(const uint32_t* zone_min,
+                                         const uint32_t* zone_max) const {
+  // Abstract interpretation of the instruction stack over tri-state
+  // verdicts. Sound because a zone range [min, max] is a superset of the
+  // codes actually present in the batch: "no ones in range" implies no
+  // row passes, "all ones in range" implies every row passes.
+  BatchVerdict stack[64];
+  int top = -1;
+  auto judge_dict = [&](const Instr& instr) {
+    const DictBits& d = *instr.dict;
+    const size_t size = d.bits.size();
+    size_t lo = zone_min[instr.a.col];
+    size_t hi = zone_max[instr.a.col];
+    if (lo >= size) return BatchVerdict::kUnknown;  // stale zones: punt
+    if (hi >= size) hi = size - 1;
+    const uint32_t ones = d.prefix[hi + 1] - d.prefix[lo];
+    const size_t len = hi - lo + 1;
+    if (ones == 0) return BatchVerdict::kAllFalse;
+    if (ones == len) return BatchVerdict::kAllTrue;
+    return BatchVerdict::kUnknown;
+  };
+  for (const Instr& instr : code_) {
+    if (top + 1 >= static_cast<int>(sizeof(stack) / sizeof(stack[0]))) {
+      return BatchVerdict::kUnknown;  // deeper than the fixed stack: punt
+    }
+    switch (instr.what) {
+      case What::kTest:
+        if (instr.a.kind == Operand::kConst) {
+          stack[++top] = Truthy(instr.a.value) ? BatchVerdict::kAllTrue
+                                               : BatchVerdict::kAllFalse;
+        } else if (instr.dict != nullptr) {
+          stack[++top] = judge_dict(instr);
+        } else {
+          stack[++top] = BatchVerdict::kUnknown;
+        }
+        break;
+      case What::kCmp:
+        stack[++top] = instr.dict != nullptr ? judge_dict(instr)
+                                             : BatchVerdict::kUnknown;
+        break;
+      case What::kNot: {
+        BatchVerdict& v = stack[top];
+        if (v == BatchVerdict::kAllFalse) {
+          v = BatchVerdict::kAllTrue;
+        } else if (v == BatchVerdict::kAllTrue) {
+          v = BatchVerdict::kAllFalse;
+        }
+        break;
+      }
+      case What::kAnd: {
+        const BatchVerdict b = stack[top--];
+        BatchVerdict& a = stack[top];
+        if (a == BatchVerdict::kAllFalse || b == BatchVerdict::kAllFalse) {
+          a = BatchVerdict::kAllFalse;
+        } else if (a == BatchVerdict::kAllTrue &&
+                   b == BatchVerdict::kAllTrue) {
+          a = BatchVerdict::kAllTrue;
+        } else {
+          a = BatchVerdict::kUnknown;
+        }
+        break;
+      }
+      case What::kOr: {
+        const BatchVerdict b = stack[top--];
+        BatchVerdict& a = stack[top];
+        if (a == BatchVerdict::kAllTrue || b == BatchVerdict::kAllTrue) {
+          a = BatchVerdict::kAllTrue;
+        } else if (a == BatchVerdict::kAllFalse &&
+                   b == BatchVerdict::kAllFalse) {
+          a = BatchVerdict::kAllFalse;
+        } else {
+          a = BatchVerdict::kUnknown;
+        }
+        break;
+      }
+    }
+  }
+  return top >= 0 ? stack[top] : BatchVerdict::kUnknown;
+}
+
 std::string PredicateKernel::Describe() const {
-  return "cmp(" + std::to_string(num_cmps_) + ") bool(" +
-         std::to_string(num_bools_) + ")";
+  std::string out = "cmp(" + std::to_string(num_cmps_) + ") bool(" +
+                    std::to_string(num_bools_) + ")";
+  if (dict_bound_ > 0) {
+    out += " dict(" + std::to_string(dict_bound_) + ")";
+  }
+  return out;
 }
 
 }  // namespace csm

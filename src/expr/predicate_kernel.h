@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,22 @@
 #include "expr/scalar_expr.h"
 
 namespace csm {
+
+/// A dimension dictionary as the expression layer sees it: the sorted
+/// array of distinct values, indexed by code. (A plain view rather than
+/// storage's DimDictionary so csm_expr keeps its common-only dependency.)
+struct DictColumnView {
+  const uint64_t* values = nullptr;
+  size_t size = 0;
+};
+
+/// Whole-batch predicate verdict from zone maps (see
+/// PredicateKernel::JudgeBatch).
+enum class BatchVerdict : uint8_t {
+  kAllFalse,  // provably false for every row: skip the batch outright
+  kAllTrue,   // provably true for every row: select all without masks
+  kUnknown,   // mixed or unprovable: run Select row-wise
+};
 
 /// A selection condition compiled to columnar kernels: instead of running
 /// the BoundExpr stack machine once per row, the kernel evaluates whole
@@ -49,9 +66,41 @@ class PredicateKernel {
   /// Evaluates the predicate over rows [0, n) of the given columns and
   /// writes the indices of surviving rows into `sel` (capacity >= n),
   /// in ascending order. Returns the number of selected rows.
+  ///
+  /// When `code_cols` is non-null (one uint32 code column per dimension,
+  /// from a dictionary-encoded batch) and BindDictionaries has compiled
+  /// an instruction to a bitset, that instruction evaluates as one bitset
+  /// probe per code instead of a double comparison per row. Results are
+  /// bit-identical either way: the bitset entries are precomputed with
+  /// the exact comparison the row loop would run.
   size_t Select(const uint64_t* const* dim_cols,
-                const double* const* measure_cols, size_t n,
-                uint32_t* sel) const;
+                const double* const* measure_cols, size_t n, uint32_t* sel,
+                const uint32_t* const* code_cols = nullptr) const;
+
+  /// Compiles every dimension-vs-constant comparison (and bare-dimension
+  /// truthiness test) into a per-dictionary bitset: bits[code] is the
+  /// comparison evaluated once against the dictionary value. `views` has
+  /// `num_dims` entries; dimensions without a dictionary (null values)
+  /// simply stay uncompiled. Idempotent per kernel copy; call once at
+  /// plan time. Bitsets are shared across kernel copies.
+  void BindDictionaries(const DictColumnView* views, int num_dims);
+
+  /// Zone-map judgment: given per-dimension [zone_min, zone_max] code
+  /// ranges for a batch (from RecordBatch::CodeZones), decides whether
+  /// the predicate is provably false (skip the batch without touching a
+  /// row), provably true (select every row without masks), or unknown.
+  /// Sound because a zone range is a superset of the codes present.
+  /// Only meaningful after BindDictionaries; instructions that did not
+  /// compile to bitsets (measure atoms, dim-vs-dim) judge as kUnknown.
+  BatchVerdict JudgeBatch(const uint32_t* zone_min,
+                          const uint32_t* zone_max) const;
+
+  /// Number of instructions compiled to dictionary bitsets (0 before
+  /// BindDictionaries).
+  int dict_bound() const { return dict_bound_; }
+
+  /// Total bits across all bound dictionary bitsets (obs counter food).
+  size_t dict_bits() const { return dict_bits_total_; }
 
   /// One-line description for EXPLAIN output, e.g. "cmp(2) and/or(1)".
   std::string Describe() const;
@@ -72,10 +121,19 @@ class PredicateKernel {
     kOr,    // pop b; top |= b
   };
 
+  /// A dictionary-compiled instruction: one truth byte per code plus a
+  /// prefix popcount (prefix[i] = ones in bits[0, i)), which answers
+  /// "any/all true in code range [lo, hi]" in O(1) for JudgeBatch.
+  struct DictBits {
+    std::vector<uint8_t> bits;
+    std::vector<uint32_t> prefix;  // bits.size() + 1 entries
+  };
+
   struct Instr {
     What what;
     ScalarExpr::Op cmp = ScalarExpr::Op::kNone;  // kCmp only
     Operand a, b;
+    std::shared_ptr<const DictBits> dict;  // kTest/kCmp on a dim, bound
   };
 
   bool CompileNode(const ScalarExpr& expr,
@@ -96,6 +154,8 @@ class PredicateKernel {
   int max_depth_ = 0;  // mask stack high-water, fixed at compile time
   int num_cmps_ = 0;
   int num_bools_ = 0;  // and/or/not combinators
+  int dict_bound_ = 0;          // instrs compiled to dictionary bitsets
+  size_t dict_bits_total_ = 0;  // sum of bound bitset sizes
 
   // Scratch: one byte-mask lane per stack level plus two double lanes
   // for dimension->double conversion. Mutable so Select stays const for

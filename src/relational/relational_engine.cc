@@ -603,6 +603,9 @@ PhysicalPlan BuildRelationalPlan(const Workflow& workflow,
   auto state = std::make_shared<RelState>();
   PhysicalPlan plan;
   plan.engine = "relational";
+  // The relational lowering materializes views row-wise and never scans
+  // through code columns, so the encoding knob has no effect here.
+  plan.dict_encoding = false;
   plan.scan_batch_rows = options.scan_batch_rows;
   plan.threads = options.parallel_threads;
   plan.engine_state = state;

@@ -1,0 +1,66 @@
+#include "storage/dim_dictionary.h"
+
+#include <algorithm>
+
+namespace csm {
+
+void DimDictionary::Build(const Value* vals, size_t n, size_t stride) {
+  values_.clear();
+  values_.reserve(n);
+  for (size_t i = 0; i < n; ++i) values_.push_back(vals[i * stride]);
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+  values_.shrink_to_fit();
+
+  const Value max_value = values_.empty() ? 0 : values_.back();
+  dense_ = max_value < kDenseLimit;
+  dense_codes_.clear();
+  sparse_codes_.clear();
+  if (dense_) {
+    dense_codes_.assign(static_cast<size_t>(max_value) + 1, UINT32_MAX);
+    for (size_t c = 0; c < values_.size(); ++c) {
+      dense_codes_[values_[c]] = static_cast<uint32_t>(c);
+    }
+  } else {
+    sparse_codes_.reserve(values_.size());
+    for (size_t c = 0; c < values_.size(); ++c) {
+      sparse_codes_.emplace(values_[c], static_cast<uint32_t>(c));
+    }
+  }
+}
+
+uint32_t DimDictionary::CodeOf(Value v) const {
+  if (dense_) {
+    return v < dense_codes_.size() ? dense_codes_[v] : UINT32_MAX;
+  }
+  auto it = sparse_codes_.find(v);
+  return it == sparse_codes_.end() ? UINT32_MAX : it->second;
+}
+
+uint32_t DimDictionary::CodeOrAdd(Value v) {
+  uint32_t code = CodeOf(v);
+  if (code != UINT32_MAX) return code;
+  code = static_cast<uint32_t>(values_.size());
+  values_.push_back(v);
+  if (dense_ && v < kDenseLimit) {
+    if (v >= dense_codes_.size()) {
+      dense_codes_.resize(static_cast<size_t>(v) + 1, UINT32_MAX);
+    }
+    dense_codes_[v] = code;
+  } else if (dense_) {
+    // A huge value arrived after a dense build: migrate to the hash map.
+    sparse_codes_.reserve(values_.size());
+    for (size_t c = 0; c + 1 < values_.size(); ++c) {
+      sparse_codes_.emplace(values_[c], static_cast<uint32_t>(c));
+    }
+    sparse_codes_.emplace(v, code);
+    dense_ = false;
+    dense_codes_.clear();
+    dense_codes_.shrink_to_fit();
+  } else {
+    sparse_codes_.emplace(v, code);
+  }
+  return code;
+}
+
+}  // namespace csm

@@ -1,0 +1,75 @@
+#ifndef CSM_STORAGE_DIM_DICTIONARY_H_
+#define CSM_STORAGE_DIM_DICTIONARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/schema.h"
+
+namespace csm {
+
+/// Per-dimension value dictionary: the sorted set of distinct base-domain
+/// values seen in a column, mapped to dense uint32 codes. Codes assigned
+/// at Build() time are monotone in the value (code order == value order),
+/// which is what makes per-batch zone maps ([min_code, max_code]) usable
+/// for range-predicate batch skipping on value-sorted input. Values that
+/// arrive later through CodeOrAdd() (incremental appends) take the next
+/// free code — appended codes are *not* value-ordered, but existing codes
+/// never move, so code columns built before an append stay valid (the
+/// code-stability contract delta sessions rely on).
+class DimDictionary {
+ public:
+  /// Builds the dictionary from `n` values read at `stride` (in Values)
+  /// from `vals`. Codes are assigned in sorted value order.
+  void Build(const Value* vals, size_t n, size_t stride);
+
+  /// Code for `v`, adding a new code (== size()) if never seen. Existing
+  /// codes are never remapped.
+  uint32_t CodeOrAdd(Value v);
+
+  /// Code for `v`, or UINT32_MAX when absent. O(1).
+  uint32_t CodeOf(Value v) const;
+
+  Value value(uint32_t code) const { return values_[code]; }
+  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+
+  /// Narrowest standard code width (8/16/32 bits) that holds every code.
+  int bits() const {
+    if (values_.size() <= (1u << 8)) return 8;
+    if (values_.size() <= (1u << 16)) return 16;
+    return 32;
+  }
+
+ private:
+  static constexpr Value kDenseLimit = 1u << 20;
+
+  // code -> value
+  std::vector<Value> values_;
+  // value -> code. Small dense domains (the common case: hierarchy base
+  // domains are fan_out^levels) use a flat array; anything larger falls
+  // back to a hash map.
+  bool dense_ = false;
+  std::vector<uint32_t> dense_codes_;  // index by value, UINT32_MAX = absent
+  std::unordered_map<Value, uint32_t> sparse_codes_;
+};
+
+/// A FactTable's full dictionary encoding: one dictionary plus one dense
+/// uint32 code column per dimension, row-aligned with the table.
+struct DictEncoding {
+  std::vector<DimDictionary> dicts;           // [dim]
+  std::vector<std::vector<uint32_t>> codes;   // [dim][row]
+
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const auto& col : codes) total += col.capacity() * sizeof(uint32_t);
+    for (const auto& d : dicts) total += d.values().capacity() * sizeof(Value);
+    return total;
+  }
+};
+
+}  // namespace csm
+
+#endif  // CSM_STORAGE_DIM_DICTIONARY_H_

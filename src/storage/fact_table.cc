@@ -40,6 +40,20 @@ Status FactTable::AppendBatch(const FactTable& delta) {
   dims_.insert(dims_.end(), delta.dims_.begin(), delta.dims_.end());
   measures_.insert(measures_.end(), delta.measures_.begin(),
                    delta.measures_.end());
+  if (dict_ != nullptr && dict_->valid.load(std::memory_order_relaxed)) {
+    // Extend the encoding in place: never-seen values take fresh codes at
+    // the end of their dictionary, existing codes stay put (delta
+    // sessions patch against code columns built before the append).
+    for (int i = 0; i < num_dims_; ++i) {
+      DimDictionary& dict = dict_->enc.dicts[i];
+      std::vector<uint32_t>& codes = dict_->enc.codes[i];
+      codes.reserve(codes.size() + delta.num_rows_);
+      const Value* src = delta.dims_.data() + i;
+      for (size_t row = 0; row < delta.num_rows_; ++row) {
+        codes.push_back(dict.CodeOrAdd(src[row * delta.num_dims_]));
+      }
+    }
+  }
   if (hash_ != nullptr && hash_->valid.load(std::memory_order_relaxed)) {
     if (delta.hash_ != nullptr &&
         delta.hash_->valid.load(std::memory_order_acquire)) {
@@ -80,6 +94,38 @@ void FactTable::Permute(const std::vector<uint32_t>& perm) {
     measures_ = std::move(new_measures);
   }
   // The multiset of rows is unchanged, so the memoized hash stands.
+  if (dict_ != nullptr && dict_->valid.load(std::memory_order_relaxed)) {
+    // Dictionaries are row-order independent; only the code columns move.
+    for (int d = 0; d < num_dims_; ++d) {
+      std::vector<uint32_t>& codes = dict_->enc.codes[d];
+      std::vector<uint32_t> reordered(codes.size());
+      for (size_t i = 0; i < num_rows_; ++i) reordered[i] = codes[perm[i]];
+      codes = std::move(reordered);
+    }
+  }
+}
+
+const DictEncoding& FactTable::EnsureDictEncoding() const {
+  if (dict_ == nullptr) dict_ = std::make_unique<DictState>();
+  if (dict_->valid.load(std::memory_order_acquire)) return dict_->enc;
+  std::lock_guard<std::mutex> lock(dict_->mu);
+  if (dict_->valid.load(std::memory_order_relaxed)) return dict_->enc;
+  DictEncoding enc;
+  enc.dicts.resize(num_dims_);
+  enc.codes.resize(num_dims_);
+  for (int d = 0; d < num_dims_; ++d) {
+    DimDictionary& dict = enc.dicts[d];
+    dict.Build(dims_.data() + d, num_rows_, num_dims_);
+    std::vector<uint32_t>& codes = enc.codes[d];
+    codes.resize(num_rows_);
+    const Value* src = dims_.data() + d;
+    for (size_t row = 0; row < num_rows_; ++row) {
+      codes[row] = dict.CodeOf(src[row * num_dims_]);
+    }
+  }
+  dict_->enc = std::move(enc);
+  dict_->valid.store(true, std::memory_order_release);
+  return dict_->enc;
 }
 
 }  // namespace csm

@@ -5,12 +5,14 @@
 #include <cstddef>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/result.h"
 #include "model/granularity.h"
 #include "model/schema.h"
+#include "storage/dim_dictionary.h"
 
 namespace csm {
 
@@ -24,7 +26,8 @@ class FactTable {
       : schema_(std::move(schema)),
         num_dims_(schema_->num_dims()),
         num_measures_(schema_->num_measures()),
-        hash_(std::make_unique<HashCache>()) {}
+        hash_(std::make_unique<HashCache>()),
+        dict_(std::make_unique<DictState>()) {}
 
   FactTable(FactTable&&) = default;
   FactTable& operator=(FactTable&&) = default;
@@ -48,6 +51,10 @@ class FactTable {
           hash_->row_sum.load(std::memory_order_relaxed),
           std::memory_order_relaxed);
       copy.hash_->valid.store(true, std::memory_order_release);
+    }
+    if (const DictEncoding* enc = dict_encoding()) {
+      copy.dict_->enc = *enc;
+      copy.dict_->valid.store(true, std::memory_order_release);
     }
     return copy;
   }
@@ -74,6 +81,11 @@ class FactTable {
     if (hash_ != nullptr && hash_->valid.load(std::memory_order_relaxed)) {
       hash_->row_sum.fetch_add(RowHash(dims, measures),
                                std::memory_order_relaxed);
+    }
+    if (dict_ != nullptr && dict_->valid.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < num_dims_; ++i) {
+        dict_->enc.codes[i].push_back(dict_->enc.dicts[i].CodeOrAdd(dims[i]));
+      }
     }
   }
 
@@ -108,6 +120,27 @@ class FactTable {
   /// than rehash the world) on every append.
   uint64_t ContentHash() const;
 
+  /// Builds (or returns the memoized) dictionary encoding of the
+  /// dimension columns: one sorted-unique DimDictionary plus one dense
+  /// uint32 code column per dimension, row-aligned with the table. The
+  /// build is lazy, thread-safe (double-checked under a mutex so
+  /// concurrent query sessions share one build), and O(rows·dims) once;
+  /// afterwards AppendRow / AppendBatch extend the encoding in place with
+  /// stable codes (existing codes never remapped), Permute reorders the
+  /// code columns alongside the data, and Clone carries the encoding to
+  /// the copy. Mutations through any other path don't exist — FactTable's
+  /// mutator set is the complete invalidation surface.
+  const DictEncoding& EnsureDictEncoding() const;
+
+  /// The memoized encoding, or nullptr when EnsureDictEncoding has not
+  /// run yet (never triggers a build).
+  const DictEncoding* dict_encoding() const {
+    if (dict_ == nullptr || !dict_->valid.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    return &dict_->enc;
+  }
+
   /// Bytes per serialized row (dims + measures), for spill accounting.
   size_t RowBytes() const {
     return num_dims_ * sizeof(Value) + num_measures_ * sizeof(double);
@@ -129,6 +162,10 @@ class FactTable {
     if (hash_ != nullptr) {
       hash_->row_sum.store(0, std::memory_order_relaxed);
       hash_->valid.store(true, std::memory_order_release);
+    }
+    if (dict_ != nullptr) {
+      dict_->valid.store(false, std::memory_order_release);
+      dict_->enc = DictEncoding();
     }
   }
 
@@ -160,6 +197,17 @@ class FactTable {
     std::atomic<uint64_t> row_sum{0};
   };
 
+  /// Memoized dictionary encoding, heap-held so the table stays movable.
+  /// `valid` is released after `enc` is fully built (under `mu`), so an
+  /// acquire-load of `valid` sees a complete encoding; losers of the
+  /// build race re-check under the mutex. Mutators run exclusive by the
+  /// same contract that covers the data vectors.
+  struct DictState {
+    std::atomic<bool> valid{false};
+    std::mutex mu;
+    DictEncoding enc;
+  };
+
   SchemaPtr schema_;
   int num_dims_;
   int num_measures_;
@@ -167,6 +215,7 @@ class FactTable {
   std::vector<Value> dims_;
   std::vector<double> measures_;
   mutable std::unique_ptr<HashCache> hash_;  // null only when moved-from
+  mutable std::unique_ptr<DictState> dict_;  // null only when moved-from
 };
 
 }  // namespace csm

@@ -21,6 +21,39 @@ void RecordBatch::FillFromTable(const FactTable& table, size_t begin,
     for (size_t r = 0; r < n; ++r) col[r] = src[r * m_];
   }
   num_rows_ = n;
+  zones_valid_ = false;
+  const DictEncoding* enc = table.dict_encoding();
+  has_codes_ = enc != nullptr && d_ > 0 &&
+               static_cast<int>(enc->codes.size()) == d_;
+  if (has_codes_) {
+    code_cols_.resize(d_);
+    for (int i = 0; i < d_; ++i) {
+      code_cols_[i] = enc->codes[i].data() + begin;
+    }
+  }
+}
+
+bool RecordBatch::CodeZones(const uint32_t** mins,
+                            const uint32_t** maxs) const {
+  if (!has_codes_ || num_rows_ == 0) return false;
+  if (!zones_valid_) {
+    zone_min_.resize(d_);
+    zone_max_.resize(d_);
+    for (int i = 0; i < d_; ++i) {
+      const uint32_t* col = code_cols_[i];
+      uint32_t lo = col[0], hi = col[0];
+      for (size_t r = 1; r < num_rows_; ++r) {
+        lo = std::min(lo, col[r]);
+        hi = std::max(hi, col[r]);
+      }
+      zone_min_[i] = lo;
+      zone_max_[i] = hi;
+    }
+    zones_valid_ = true;
+  }
+  *mins = zone_min_.data();
+  *maxs = zone_max_.data();
+  return true;
 }
 
 namespace {

@@ -35,7 +35,13 @@ class RecordBatch {
   int num_measures() const { return m_; }
   size_t capacity() const { return capacity_; }
   size_t num_rows() const { return num_rows_; }
-  void set_num_rows(size_t n) { num_rows_ = n; }
+  void set_num_rows(size_t n) {
+    num_rows_ = n;
+    // Per-row producers (ScatterRow paths) don't carry code views; any
+    // views from an earlier FillFromTable are stale for the new rows.
+    has_codes_ = false;
+    zones_valid_ = false;
+  }
 
   Value* dim_col(int i) { return dims_.data() + i * capacity_; }
   const Value* dim_col(int i) const {
@@ -66,8 +72,28 @@ class RecordBatch {
   /// into this batch (n <= capacity; sets num_rows). One pass per
   /// column with contiguous writes — the column-wise replacement for a
   /// ScatterRow-per-row loop, shared by every scan that reads straight
-  /// out of an in-memory FactTable.
+  /// out of an in-memory FactTable. When the table carries a memoized
+  /// dictionary encoding, the batch additionally picks up zero-copy
+  /// code-column views into the table's code arrays.
   void FillFromTable(const FactTable& table, size_t begin, size_t n);
+
+  /// True when code-column views are attached (FillFromTable over a
+  /// dictionary-encoded table).
+  bool has_codes() const { return has_codes_; }
+
+  /// Zero-copy view of dimension `i`'s uint32 code column (num_rows
+  /// entries), or nullptr when has_codes() is false.
+  const uint32_t* code_col(int i) const {
+    return has_codes_ ? code_cols_[i] : nullptr;
+  }
+  const uint32_t* const* code_cols() const {
+    return has_codes_ ? code_cols_.data() : nullptr;
+  }
+
+  /// Per-batch zone maps: min/max code per dimension column, computed
+  /// lazily (one pass per column, memoized until the batch is refilled).
+  /// Returns false when the batch has no code views or no rows.
+  bool CodeZones(const uint32_t** mins, const uint32_t** maxs) const;
 
  private:
   int d_;
@@ -76,6 +102,11 @@ class RecordBatch {
   size_t num_rows_ = 0;
   std::vector<Value> dims_;      // column-major: d_ runs of capacity_
   std::vector<double> measures_;  // column-major: m_ runs of capacity_
+  bool has_codes_ = false;
+  std::vector<const uint32_t*> code_cols_;   // [d_] views into the table
+  mutable bool zones_valid_ = false;
+  mutable std::vector<uint32_t> zone_min_;   // [d_]
+  mutable std::vector<uint32_t> zone_max_;   // [d_]
 };
 
 /// Pull-based batch stream: the batched counterpart of RecordCursor.

@@ -190,6 +190,7 @@ std::string EngineConfig::Label(const Schema& schema) const {
     label += "+morsel/m" + std::to_string(morsel_rows);
   }
   if (no_vectorize) label += "+vec/off";
+  if (no_dict) label += "+dict/off";
   return label;
 }
 
@@ -299,6 +300,7 @@ Result<EvalOutput> RunEngineConfig(const Workflow& workflow,
     ctx.options.morsel_rows = config.morsel_rows;
   }
   ctx.options.vectorized = !config.no_vectorize;
+  ctx.options.dict_encoding = !config.no_dict;
 
   Result<EvalOutput> result = Status::Internal("config not run");
   if (config.run_file) {
@@ -460,6 +462,19 @@ std::vector<EngineConfig> BuildConfigMatrix(const SchemaPtr& schema,
   for (EngineKind kind : {EngineKind::kSingleScan, EngineKind::kSortScan}) {
     EngineConfig config = with_kind(kind);
     config.no_vectorize = true;
+    configs.push_back(std::move(config));
+  }
+
+  // Raw-value reference cells: the vectorized scan with the dictionary
+  // encoding disabled. The dict/raw contract is also bit-identity, so
+  // any disagreement between a +dict/off cell and its encoded sibling is
+  // a dictionary bug — a stale code column after an append, a LUT built
+  // from the wrong hierarchy level, a predicate bitset disagreeing with
+  // the interpreter's double fold, a zone map skipping a batch that
+  // contained matches.
+  for (EngineKind kind : {EngineKind::kSingleScan, EngineKind::kSortScan}) {
+    EngineConfig config = with_kind(kind);
+    config.no_dict = true;
     configs.push_back(std::move(config));
   }
 

@@ -46,12 +46,18 @@ struct EngineConfig {
                                    // The vectorized default must match it
                                    // bit for bit, so these cells pin the
                                    // kernel/scalar equivalence contract.
+  bool no_dict = false;            // true: scan raw values instead of
+                                   // dictionary codes (no memoized LUTs,
+                                   // predicate bitsets, or zone-map
+                                   // skipping). The encoded default must
+                                   // match bit for bit, so these cells pin
+                                   // the dict/raw equivalence contract.
 
   /// Stable human-readable label, e.g. "sortscan@<d0:L1>+runfile/64KB"
   /// or "parallel/t8" or "sortscan/b1" or "adaptive+session/q4" or
   /// "sortscan+append/k8" or "singlescan+morsel/m64" or
-  /// "sortscan+vec/off". Doubles as the config's serialized identity in
-  /// divergence reports.
+  /// "sortscan+vec/off" or "sortscan+dict/off". Doubles as the config's
+  /// serialized identity in divergence reports.
   std::string Label(const Schema& schema) const;
 };
 

@@ -67,6 +67,7 @@ Result<std::string> WriteRepro(const std::string& dir,
     out << "append_splits: " << config.append_splits << "\n";
   }
   if (config.no_vectorize) out << "vectorize: off\n";
+  if (config.no_dict) out << "dict: off\n";
   if (!config.sort_key.empty()) {
     out << "sort_key: " << config.sort_key.ToString(*workflow.schema())
         << "\n";
@@ -97,6 +98,7 @@ Result<ReproCase> LoadRepro(const std::string& path) {
 
   std::string schema_spec, engine = "sortscan", path_kind = "memory";
   std::string sort_key_text, fault_text, facts_name, vectorize = "on";
+  std::string dict = "on";
   uint64_t seed = 0, budget = 0, batch_rows = 0, morsel_rows = 0;
   int64_t threads = 0, session_queries = 0, append_splits = 0;
   std::ostringstream dsl;
@@ -154,6 +156,8 @@ Result<ReproCase> LoadRepro(const std::string& path) {
       }
     } else if (key == "vectorize") {
       vectorize = value;
+    } else if (key == "dict") {
+      dict = value;
     } else if (key == "sort_key") {
       sort_key_text = value;
     } else if (key == "fault") {
@@ -194,6 +198,11 @@ Result<ReproCase> LoadRepro(const std::string& path) {
     config.no_vectorize = true;
   } else if (vectorize != "on") {
     return Status::ParseError("bad vectorize value: " + vectorize);
+  }
+  if (dict == "off") {
+    config.no_dict = true;
+  } else if (dict != "on") {
+    return Status::ParseError("bad dict value: " + dict);
   }
   if (!sort_key_text.empty()) {
     CSM_ASSIGN_OR_RETURN(config.sort_key,

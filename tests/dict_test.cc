@@ -1,0 +1,596 @@
+// Dictionary encoding tests: DimDictionary code assignment and the
+// code-stability contract, the FactTable's memoized encoding across every
+// mutator (AppendRow / AppendBatch / Permute / Clone / Clear), session
+// delta patching with the dictionary path on, metamorphic encoded-vs-raw
+// bit-identity across every append split, a dict-on/off conformance sweep
+// over engines x threads x batch sizes, and counter-asserting zone-map
+// batch-skipping tests (sorted-input skip rate plus the all-skip,
+// none-skip, boundary-straddle and empty-table edge cases).
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/factory.h"
+#include "exec/session.h"
+#include "gtest/gtest.h"
+#include "model/schema.h"
+#include "obs/trace.h"
+#include "storage/dim_dictionary.h"
+#include "storage/fact_table.h"
+#include "test_util.h"
+#include "workflow/workflow.h"
+
+namespace csm {
+namespace {
+
+using testing_util::MakeUniformFacts;
+using testing_util::ToMap;
+
+Workflow ParseOrDie(const SchemaPtr& schema, const std::string& dsl) {
+  auto workflow = Workflow::Parse(schema, dsl);
+  EXPECT_TRUE(workflow.ok()) << workflow.status().ToString();
+  return std::move(workflow).ValueOrDie();
+}
+
+/// Copies rows [begin, end) of `fact` into a fresh table.
+FactTable Slice(const FactTable& fact, size_t begin, size_t end) {
+  FactTable out(fact.schema());
+  out.Reserve(end - begin);
+  for (size_t row = begin; row < end; ++row) {
+    out.AppendRow(fact.dim_row(row), fact.measure_row(row));
+  }
+  return out;
+}
+
+/// Bit-level table map: region key -> the value's raw bit pattern. The
+/// dictionary path's contract is bit-identity with the raw scan, so
+/// comparisons here are on the exact double bits (NaN payloads included),
+/// not tolerance-based.
+std::map<std::vector<Value>, uint64_t> BitMap(const MeasureTable& t) {
+  std::map<std::vector<Value>, uint64_t> out;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    uint64_t bits;
+    const double v = t.value(row);
+    std::memcpy(&bits, &v, sizeof(bits));
+    out.emplace(std::vector<Value>(t.key_row(row),
+                                   t.key_row(row) + t.num_dims()),
+                bits);
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const EvalOutput& a, const EvalOutput& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.tables.size(), b.tables.size()) << context;
+  for (const auto& [name, ta] : a.tables) {
+    const MeasureTable* tb = b.FindTable(name);
+    ASSERT_TRUE(tb != nullptr) << context << ": missing " << name;
+    EXPECT_EQ(BitMap(ta), BitMap(*tb)) << context << "/" << name;
+  }
+}
+
+/// Runs `kind` with a caller-owned tracer and returns the output plus the
+/// summed zone-map skip counter of the run's span tree.
+struct TracedRun {
+  EvalOutput output;
+  uint64_t batches_skipped = 0;
+};
+
+TracedRun RunTraced(EngineKind kind, const Workflow& workflow,
+                    const FactTable& fact, EngineOptions options) {
+  TracedRun out;
+  auto engine = MakeEngine(kind, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  if (!engine.ok()) return out;
+  Tracer tracer;
+  ExecContext ctx;
+  ctx.options = std::move(options);
+  ctx.tracer = &tracer;
+  auto result = (*engine)->Run(workflow, fact, ctx);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return out;
+  out.output = std::move(*result);
+  const std::vector<SpanId> roots = tracer.RootSpans();
+  EXPECT_FALSE(roots.empty());
+  if (!roots.empty()) {
+    out.batches_skipped = static_cast<uint64_t>(
+        tracer.SumCounter(roots.front(), "batches_skipped"));
+  }
+  return out;
+}
+
+/// Facts sorted ascending by d0 (the zone-map-friendly layout): row r
+/// gets d0 = floor(r * card / rows), other dims and the measure uniform.
+FactTable MakeSortedFacts(SchemaPtr schema, size_t rows, uint64_t card,
+                          uint64_t seed) {
+  Rng rng(seed);
+  FactTable fact(schema);
+  fact.Reserve(rows);
+  const int d = schema->num_dims();
+  const int m = schema->num_measures();
+  std::vector<Value> dims(d);
+  std::vector<double> measures(m);
+  for (size_t row = 0; row < rows; ++row) {
+    dims[0] = static_cast<Value>(row * card / rows);
+    for (int i = 1; i < d; ++i) dims[i] = rng.Uniform(card);
+    for (int i = 0; i < m; ++i) {
+      measures[i] = static_cast<double>(rng.Uniform(100));
+    }
+    fact.AppendRow(dims.data(), measures.data());
+  }
+  return fact;
+}
+
+// --- DimDictionary ----------------------------------------------------
+
+TEST(DimDictionaryTest, BuildAssignsSortedUniqueCodes) {
+  // Interleaved column layout (stride 2) with duplicates and unsorted
+  // arrival order; the dictionary must come out sorted and deduplicated.
+  const std::vector<Value> column = {42, 0, 7, 0, 42, 0, 3, 0, 7, 0};
+  DimDictionary dict;
+  dict.Build(column.data(), column.size() / 2, /*stride=*/2);
+
+  // Stride 2 reads indices 0, 2, 4, 6, 8: {42, 7, 42, 3, 7}.
+  ASSERT_EQ(dict.size(), 3u);
+  // Codes are monotone in the value: code order == value order.
+  EXPECT_EQ(dict.values(), (std::vector<Value>{3, 7, 42}));
+  for (uint32_t code = 0; code + 1 < dict.size(); ++code) {
+    EXPECT_LT(dict.value(code), dict.value(code + 1));
+  }
+  // Roundtrip both ways; absent values report UINT32_MAX.
+  for (uint32_t code = 0; code < dict.size(); ++code) {
+    EXPECT_EQ(dict.CodeOf(dict.value(code)), code);
+  }
+  EXPECT_EQ(dict.CodeOf(5), UINT32_MAX);
+  EXPECT_EQ(dict.CodeOf(1000), UINT32_MAX);
+}
+
+TEST(DimDictionaryTest, CodeOrAddIsStable) {
+  std::vector<Value> vals;
+  for (Value v = 0; v < 100; ++v) vals.push_back(v * 3);
+  DimDictionary dict;
+  dict.Build(vals.data(), vals.size(), /*stride=*/1);
+  ASSERT_EQ(dict.size(), 100u);
+  const std::vector<Value> before = dict.values();
+
+  // Known values return their existing code without growing the dict.
+  EXPECT_EQ(dict.CodeOrAdd(0), dict.CodeOf(0));
+  EXPECT_EQ(dict.CodeOrAdd(297), dict.CodeOf(297));
+  EXPECT_EQ(dict.size(), 100u);
+
+  // New values (even ones that sort into the middle) take the next free
+  // code at the END — existing codes never move.
+  const uint32_t added = dict.CodeOrAdd(7);  // sorts between 6 and 9
+  EXPECT_EQ(added, 100u);
+  EXPECT_EQ(dict.size(), 101u);
+  EXPECT_EQ(dict.value(added), 7u);
+  for (uint32_t code = 0; code < 100; ++code) {
+    EXPECT_EQ(dict.value(code), before[code]) << "code " << code;
+  }
+  // The appended value is found through CodeOf too.
+  EXPECT_EQ(dict.CodeOf(7), added);
+}
+
+TEST(DimDictionaryTest, BitsTracksCodeWidth) {
+  auto dict_of = [](size_t n) {
+    std::vector<Value> vals;
+    vals.reserve(n);
+    for (size_t v = 0; v < n; ++v) vals.push_back(v);
+    DimDictionary dict;
+    dict.Build(vals.data(), vals.size(), /*stride=*/1);
+    return dict;
+  };
+  EXPECT_EQ(dict_of(1).bits(), 8);
+  EXPECT_EQ(dict_of(256).bits(), 8);
+  EXPECT_EQ(dict_of(257).bits(), 16);
+  EXPECT_EQ(dict_of(65536).bits(), 16);
+  EXPECT_EQ(dict_of(65537).bits(), 32);
+}
+
+TEST(DimDictionaryTest, SparseDomainsFallBackFromDenseIndex) {
+  // Values far above the dense-index limit (1 << 20) force the hash-map
+  // reverse index; behavior must match the dense path.
+  const std::vector<Value> vals = {5'000'000, 123, 9'999'999, 5'000'000,
+                                   1u << 21};
+  DimDictionary dict;
+  dict.Build(vals.data(), vals.size(), /*stride=*/1);
+  ASSERT_EQ(dict.size(), 4u);
+  for (uint32_t code = 0; code < dict.size(); ++code) {
+    EXPECT_EQ(dict.CodeOf(dict.value(code)), code);
+  }
+  EXPECT_EQ(dict.CodeOf(5'000'001), UINT32_MAX);
+  const uint32_t added = dict.CodeOrAdd(7'777'777);
+  EXPECT_EQ(added, 4u);
+  EXPECT_EQ(dict.CodeOf(7'777'777), added);
+}
+
+// --- FactTable encoding lifecycle -------------------------------------
+
+/// Every (row, dim) code must decode to the table's raw value.
+void ExpectCodesAligned(const FactTable& fact) {
+  const DictEncoding* enc = fact.dict_encoding();
+  ASSERT_TRUE(enc != nullptr);
+  ASSERT_EQ(enc->dicts.size(), static_cast<size_t>(fact.num_dims()));
+  ASSERT_EQ(enc->codes.size(), static_cast<size_t>(fact.num_dims()));
+  for (int i = 0; i < fact.num_dims(); ++i) {
+    ASSERT_EQ(enc->codes[i].size(), fact.num_rows()) << "dim " << i;
+    for (size_t row = 0; row < fact.num_rows(); ++row) {
+      ASSERT_EQ(enc->dicts[i].value(enc->codes[i][row]),
+                fact.dim_row(row)[i])
+          << "dim " << i << " row " << row;
+    }
+  }
+}
+
+TEST(FactTableDictTest, EnsureBuildsLazilyAndMemoizes) {
+  SchemaPtr schema = MakeSyntheticSchema(3, 2, 8, 64);
+  FactTable fact = MakeUniformFacts(schema, 300, 64, /*seed=*/11);
+  EXPECT_EQ(fact.dict_encoding(), nullptr);  // lazy: nothing built yet
+
+  const DictEncoding& enc = fact.EnsureDictEncoding();
+  EXPECT_EQ(&enc, fact.dict_encoding());
+  EXPECT_EQ(&enc, &fact.EnsureDictEncoding());  // memoized, not rebuilt
+  ExpectCodesAligned(fact);
+  // Build-time codes are sorted by value, per dictionary.
+  for (const DimDictionary& dict : enc.dicts) {
+    for (uint32_t code = 0; code + 1 < dict.size(); ++code) {
+      EXPECT_LT(dict.value(code), dict.value(code + 1));
+    }
+  }
+}
+
+TEST(FactTableDictTest, AppendsExtendEncodingWithoutRemapping) {
+  SchemaPtr schema = MakeSyntheticSchema(3, 2, 8, 64);
+  FactTable full = MakeUniformFacts(schema, 400, 64, /*seed=*/12);
+  FactTable fact = Slice(full, 0, 250);
+  const FactTable delta = Slice(full, 250, 400);
+
+  const DictEncoding& enc = fact.EnsureDictEncoding();
+  const std::vector<std::vector<Value>> dict_before = [&] {
+    std::vector<std::vector<Value>> v;
+    for (const DimDictionary& d : enc.dicts) v.push_back(d.values());
+    return v;
+  }();
+  const std::vector<std::vector<uint32_t>> codes_before = enc.codes;
+
+  CSM_ASSERT_OK(fact.AppendBatch(delta));
+  fact.AppendRow(full.dim_row(0), full.measure_row(0));
+  ASSERT_EQ(fact.num_rows(), 401u);
+
+  // The encoding followed the appends: row-aligned, and the pre-append
+  // prefix — dictionary values AND code columns — is untouched (the
+  // code-stability contract delta sessions rely on).
+  ExpectCodesAligned(fact);
+  const DictEncoding* after = fact.dict_encoding();
+  for (size_t i = 0; i < dict_before.size(); ++i) {
+    ASSERT_GE(after->dicts[i].size(), dict_before[i].size());
+    for (size_t c = 0; c < dict_before[i].size(); ++c) {
+      EXPECT_EQ(after->dicts[i].values()[c], dict_before[i][c]);
+    }
+    for (size_t row = 0; row < codes_before[i].size(); ++row) {
+      EXPECT_EQ(after->codes[i][row], codes_before[i][row]);
+    }
+  }
+}
+
+TEST(FactTableDictTest, CloneCarriesPermuteReordersClearInvalidates) {
+  SchemaPtr schema = MakeSyntheticSchema(3, 2, 8, 64);
+  FactTable fact = MakeUniformFacts(schema, 200, 64, /*seed=*/13);
+  fact.EnsureDictEncoding();
+
+  // Clone carries the memoized encoding without a rebuild.
+  FactTable copy = fact.Clone();
+  ASSERT_TRUE(copy.dict_encoding() != nullptr);
+  ExpectCodesAligned(copy);
+
+  // Permute reorders the code columns alongside the data.
+  std::vector<uint32_t> reversed(fact.num_rows());
+  for (size_t i = 0; i < reversed.size(); ++i) {
+    reversed[i] = static_cast<uint32_t>(fact.num_rows() - 1 - i);
+  }
+  fact.Permute(reversed);
+  ExpectCodesAligned(fact);
+
+  // Clear drops the encoding; the next Ensure rebuilds from scratch.
+  fact.Clear();
+  EXPECT_EQ(fact.dict_encoding(), nullptr);
+  fact.AppendRow(copy.dim_row(0), copy.measure_row(0));
+  fact.EnsureDictEncoding();
+  ExpectCodesAligned(fact);
+}
+
+TEST(FactTableDictTest, ConcurrentEnsureSharesOneBuild) {
+  SchemaPtr schema = MakeSyntheticSchema(3, 2, 8, 64);
+  FactTable fact = MakeUniformFacts(schema, 5000, 64, /*seed=*/14);
+
+  // All racers must see the same completed encoding (double-checked
+  // build under the table's mutex); run under TSan in CI.
+  constexpr int kThreads = 8;
+  std::vector<const DictEncoding*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { seen[t] = &fact.EnsureDictEncoding(); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], fact.dict_encoding()) << "thread " << t;
+  }
+  ExpectCodesAligned(fact);
+}
+
+// --- Session delta patching with the dictionary path ------------------
+
+TEST(DictSessionTest, DeltaPatchingStaysCorrectWithEncodingOn) {
+  SchemaPtr schema = MakeNetworkLogSchema();
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure Count at (t:hour, U:ip) = agg count(*) from FACT hidden;
+    measure Busy at (t:hour) = agg count(M) from Count where M > 2;
+    measure Traffic at (t:hour) = agg sum(bytes) from FACT;
+    measure Daily at (t:day) = agg count(*) from FACT;
+    measure Share at (t:hour) = match Daily using parentchild agg sum(M);
+    measure Frac at (t:hour) = combine(Busy, Share) as Busy / Share;)");
+  FactTable full = MakeUniformFacts(schema, 600, 24, /*seed=*/44);
+  FactTable fact = Slice(full, 0, 450);
+  const FactTable delta = Slice(full, 450, 600);
+
+  SessionOptions options;
+  options.cache_capacity = 4;
+  options.delta_patching = true;
+  options.engine_options.dict_encoding = true;
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<QuerySession> session,
+      QuerySession::Create(EngineKind::kSortScan, options));
+
+  // Cold run encodes the table; the append must extend the memoized
+  // encoding in place (ContentHash re-keys the cache, codes stay valid).
+  CSM_ASSERT_OK(session->Submit(workflow).status());
+  CSM_ASSERT_OK(session->RunPending(fact).status());
+  const uint64_t base_hash = fact.ContentHash();
+
+  CSM_ASSERT_OK_AND_ASSIGN(SessionAppendReport report,
+                           session->AppendAndRefresh(fact, delta));
+  EXPECT_EQ(report.patched_queries, 1u);
+  EXPECT_NE(fact.ContentHash(), base_hash);
+  if (fact.dict_encoding() != nullptr) ExpectCodesAligned(fact);
+
+  // The patched cache entry matches a fresh dict-on run AND a fresh
+  // raw run over the appended table.
+  CSM_ASSERT_OK(session->Submit(workflow).status());
+  CSM_ASSERT_OK_AND_ASSIGN(std::vector<EvalOutput> outs,
+                           session->RunPending(fact));
+  EXPECT_EQ(session->last_report().cache_hits, 1u);
+  CSM_ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine,
+                           MakeEngine(EngineKind::kSortScan, {}));
+  for (bool dict : {true, false}) {
+    EngineOptions fresh_options;
+    fresh_options.dict_encoding = dict;
+    CSM_ASSERT_OK_AND_ASSIGN(
+        EvalOutput fresh,
+        testing_util::RunWith(*engine, workflow, fact, fresh_options));
+    for (const auto& [name, table] : fresh.tables) {
+      const MeasureTable* got = outs[0].FindTable(name);
+      ASSERT_TRUE(got != nullptr) << name;
+      testing_util::ExpectTablesEqual(*got, table, name);
+    }
+  }
+}
+
+// --- Metamorphic: encoded vs raw across every append split ------------
+
+TEST(DictMetamorphicTest, EncodedMatchesRawAcrossEveryAppendSplit) {
+  SchemaPtr schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure Low at (d0:L1, d1:L1) = agg sum(m) from FACT where d0 < 200;
+    measure Mid at (d0:L2, d2:L1) =
+        agg count(*) from FACT where d0 >= 400 && d0 < 600;
+    measure Top at (d0:L1, d3:L2) = agg max(m) from FACT where d0 >= 900;)");
+  const size_t n = 700;
+  FactTable full = MakeUniformFacts(schema, n, 1000, /*seed=*/21);
+
+  CSM_ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine,
+                           MakeEngine(EngineKind::kSortScan, {}));
+  // Every split point: encode-then-append tables (whose dictionaries
+  // gained codes through CodeOrAdd, in arrival order) must stay
+  // bit-identical to the raw path. Split 0 appends everything to an
+  // empty encoded table; split n appends nothing.
+  for (size_t split : {size_t{0}, size_t{1}, n / 2, n - 1, n}) {
+    FactTable fact = Slice(full, 0, split);
+    fact.EnsureDictEncoding();  // encode BEFORE the append
+    CSM_ASSERT_OK(fact.AppendBatch(Slice(full, split, n)));
+    ExpectCodesAligned(fact);
+
+    EngineOptions dict_on, dict_off;
+    dict_off.dict_encoding = false;
+    CSM_ASSERT_OK_AND_ASSIGN(
+        EvalOutput encoded,
+        testing_util::RunWith(*engine, workflow, fact, dict_on));
+    CSM_ASSERT_OK_AND_ASSIGN(
+        EvalOutput raw,
+        testing_util::RunWith(*engine, workflow, fact, dict_off));
+    ExpectBitIdentical(encoded, raw,
+                       "split " + std::to_string(split));
+  }
+}
+
+// --- Conformance: dict on/off across engines x threads x batches ------
+
+TEST(DictConformanceTest, OnOffBitIdenticalAcrossEnginesThreadsBatches) {
+  SchemaPtr schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure Count at (d0:L1, d1:L1) = agg count(*) from FACT hidden;
+    measure Low at (d0:L1, d1:L1) = agg sum(m) from FACT where d0 < 200;
+    measure Busy at (d0:L1) = agg count(M) from Count where M > 1;
+    measure Band at (d0:L2, d2:L1) =
+        agg sum(m) from FACT where d0 >= 300 && d0 < 420 && m < 80;)");
+  FactTable fact = MakeUniformFacts(schema, 3000, 1000, /*seed=*/22);
+
+  for (EngineKind kind : {EngineKind::kSingleScan, EngineKind::kSortScan,
+                          EngineKind::kParallel, EngineKind::kMultiPass}) {
+    for (int threads : {1, 4}) {
+      for (size_t batch : {size_t{7}, size_t{1024}}) {
+        EngineOptions options;
+        options.parallel_threads = threads;
+        options.scan_batch_rows = batch;
+        CSM_ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine,
+                                 MakeEngine(kind, options));
+        options.dict_encoding = true;
+        CSM_ASSERT_OK_AND_ASSIGN(
+            EvalOutput encoded,
+            testing_util::RunWith(*engine, workflow, fact, options));
+        options.dict_encoding = false;
+        CSM_ASSERT_OK_AND_ASSIGN(
+            EvalOutput raw,
+            testing_util::RunWith(*engine, workflow, fact, options));
+        ExpectBitIdentical(
+            encoded, raw,
+            std::string(EngineKindName(kind)) + " t" +
+                std::to_string(threads) + " b" + std::to_string(batch));
+      }
+    }
+  }
+}
+
+// --- Zone-map batch skipping ------------------------------------------
+
+TEST(ZoneMapSkipTest, SortedSelectiveFilterSkipsMostBatches) {
+  SchemaPtr schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  // 80 batches of 1024 sorted rows; d0 < 50 holds for exactly the first
+  // 5% of rows, so at most 5 batches can intersect the predicate's code
+  // range — the other 75+ are provably all-false and must be skipped.
+  const size_t rows = 80 * 1024;
+  FactTable fact = MakeSortedFacts(schema, rows, 1000, /*seed=*/31);
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure Low at (d0:L1, d1:L1) = agg count(*) from FACT
+        where d0 < 50;)");
+
+  EngineOptions options;
+  options.scan_batch_rows = 1024;
+  TracedRun run = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  const uint64_t total_batches = (rows + 1023) / 1024;
+  EXPECT_GT(run.batches_skipped,
+            static_cast<uint64_t>(0.9 * total_batches))
+      << run.batches_skipped << " of " << total_batches;
+
+  // The skips cost nothing: results stay bit-identical to the raw scan.
+  options.dict_encoding = false;
+  TracedRun raw = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  EXPECT_EQ(raw.batches_skipped, 0u);  // no zone maps without codes
+  ExpectBitIdentical(run.output, raw.output, "sorted selective");
+
+  // The sort/scan engine (which sorts by d0 itself) skips too.
+  options.dict_encoding = true;
+  TracedRun sorted = RunTraced(EngineKind::kSortScan, workflow, fact,
+                               options);
+  EXPECT_GT(sorted.batches_skipped, 0u);
+  ExpectBitIdentical(sorted.output, raw.output, "sortscan sorted");
+}
+
+TEST(ZoneMapSkipTest, PredicateOutsideDomainSkipsEveryBatch) {
+  SchemaPtr schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  const size_t rows = 8 * 1024;
+  FactTable fact = MakeUniformFacts(schema, rows, 1000, /*seed=*/32);
+  // No d0 value reaches 5000, so every batch is provably all-false —
+  // even on UNSORTED input (zone judgment needs no row order).
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure None at (d0:L1, d1:L1) = agg sum(m) from FACT
+        where d0 >= 5000;)");
+
+  EngineOptions options;
+  options.scan_batch_rows = 1024;
+  TracedRun run = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  EXPECT_EQ(run.batches_skipped, rows / 1024);
+
+  options.dict_encoding = false;
+  TracedRun raw = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  ExpectBitIdentical(run.output, raw.output, "all-skip");
+  const MeasureTable* none = run.output.FindTable("None");
+  ASSERT_TRUE(none != nullptr);
+  EXPECT_EQ(none->num_rows(), 0u);
+}
+
+TEST(ZoneMapSkipTest, UnskippableFiltersNeverSkip) {
+  SchemaPtr schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  const size_t rows = 8 * 1024;
+  FactTable fact = MakeSortedFacts(schema, rows, 1000, /*seed=*/33);
+  // A measure-only predicate compiles no dimension atoms (no bitsets to
+  // judge zones against) and an always-true dim predicate never yields
+  // an all-false batch: both must scan every batch.
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure Cheap at (d0:L1, d1:L1) = agg count(*) from FACT
+        where m < 200;
+    measure All at (d0:L2, d2:L1) = agg sum(m) from FACT
+        where d0 < 1000;)");
+
+  EngineOptions options;
+  options.scan_batch_rows = 1024;
+  TracedRun run = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  EXPECT_EQ(run.batches_skipped, 0u);
+
+  options.dict_encoding = false;
+  TracedRun raw = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  ExpectBitIdentical(run.output, raw.output, "none-skip");
+}
+
+TEST(ZoneMapSkipTest, BatchStraddlingTheBoundaryIsScannedNotSkipped) {
+  SchemaPtr schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  // Two sorted batches; d0 < 250 holds for the first half of batch 0,
+  // so batch 0 straddles the boundary (kUnknown -> row filter) and only
+  // batch 1 is skipped: the straddling rows must not be lost.
+  const size_t rows = 2 * 1024;
+  FactTable fact = MakeSortedFacts(schema, rows, 1000, /*seed=*/34);
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure Half at (d0:L1, d1:L1) = agg count(*) from FACT
+        where d0 < 250;)");
+
+  EngineOptions options;
+  options.scan_batch_rows = 1024;
+  TracedRun run = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  EXPECT_GT(run.batches_skipped, 0u);
+  EXPECT_LT(run.batches_skipped, rows / 1024);
+
+  options.dict_encoding = false;
+  TracedRun raw = RunTraced(EngineKind::kSingleScan, workflow, fact,
+                            options);
+  ExpectBitIdentical(run.output, raw.output, "straddle");
+  // Sanity on the count itself: exactly the first quarter qualifies.
+  double total = 0;
+  for (const auto& [key, bits] : BitMap(*run.output.FindTable("Half"))) {
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<double>(rows / 4));
+}
+
+TEST(ZoneMapSkipTest, EmptyFactTable) {
+  SchemaPtr schema = MakeSyntheticSchema(4, 3, 10, 1000);
+  FactTable fact(schema);
+  Workflow workflow = ParseOrDie(schema, R"(
+    measure Low at (d0:L1, d1:L1) = agg count(*) from FACT
+        where d0 < 50;)");
+
+  for (EngineKind kind : {EngineKind::kSingleScan, EngineKind::kSortScan}) {
+    TracedRun run = RunTraced(kind, workflow, fact, EngineOptions{});
+    EXPECT_EQ(run.batches_skipped, 0u);
+    const MeasureTable* low = run.output.FindTable("Low");
+    ASSERT_TRUE(low != nullptr);
+    EXPECT_EQ(low->num_rows(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace csm

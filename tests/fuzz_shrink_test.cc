@@ -408,6 +408,30 @@ TEST(FuzzShrinkTest, ReproRoundTripsVectorizeOff) {
   EXPECT_FALSE(legacy.config.no_vectorize);
 }
 
+TEST(FuzzShrinkTest, ReproRoundTripsDictOff) {
+  Fixture fx = MakeFixture();
+  fx.config.no_dict = true;
+  CSM_ASSERT_OK_AND_ASSIGN(TempDir dir, TempDir::Make());
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::string path,
+      WriteRepro(dir.path() + "/case", fx.workflow, fx.fact, fx.config,
+                 fx.fault, /*seed=*/7, kSchemaSpec));
+  CSM_ASSERT_OK_AND_ASSIGN(auto repro, LoadRepro(path));
+  EXPECT_TRUE(repro.config.no_dict);
+  EXPECT_EQ(repro.config.Label(*repro.workflow.schema()),
+            "singlescan+dict/off");
+
+  // Absent key = dict encoding on, preserving pre-dictionary repro
+  // files; anything but on/off is a parse error.
+  fx.config.no_dict = false;
+  CSM_ASSERT_OK_AND_ASSIGN(
+      std::string legacy_path,
+      WriteRepro(dir.path() + "/legacy", fx.workflow, fx.fact, fx.config,
+                 fx.fault, /*seed=*/7, kSchemaSpec));
+  CSM_ASSERT_OK_AND_ASSIGN(auto legacy, LoadRepro(legacy_path));
+  EXPECT_FALSE(legacy.config.no_dict);
+}
+
 TEST(FaultSpecTest, ParseAndRoundTrip) {
   auto fault = FaultSpec::Parse("sortscan:m0");
   ASSERT_TRUE(fault.ok());

@@ -7,7 +7,7 @@
 //             [--engine adaptive] [--budget-mb 256] [--sort-budget BYTES]
 //             [--sort-key K]
 //             [--threads N] [--morsel-rows N] [--batch-rows N]
-//             [--no-vectorize] [--out results_dir]
+//             [--no-vectorize] [--no-dict] [--out results_dir]
 //             [--dot workflow.dot] [--metrics out.json] [--trace]
 //             [--explain] [--stream] [--include-hidden]
 //
@@ -54,9 +54,12 @@
 #include <sstream>
 #include <string>
 
+#include "algebra/evaluator.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/adaptive.h"
+#include "exec/op/generalize_op.h"
+#include "expr/predicate_kernel.h"
 #include "opt/lowering.h"
 #include "exec/exec_context.h"
 #include "exec/factory.h"
@@ -83,7 +86,8 @@ int Usage(const char* argv0) {
       "          multipass|parallel|relational] [--budget-mb N]\n"
       "          [--sort-budget BYTES] [--sort-key K] [--threads N]\n"
       "          [--morsel-rows N] [--batch-rows N] [--no-vectorize]\n"
-      "          [--out DIR] [--dot FILE] [--metrics FILE.json]\n"
+      "          [--no-dict] [--out DIR] [--dot FILE]\n"
+      "          [--metrics FILE.json]\n"
       "          [--trace] [--explain] [--stream] [--include-hidden]\n",
       argv0);
   return 2;
@@ -233,6 +237,44 @@ int RunSessionMode(const SchemaPtr& schema, const FactTable& fact,
   return 0;
 }
 
+/// EXPLAIN detail for the dictionary-encoded scan: per-column code
+/// widths, memoized generalization LUT counts, and which where-filters
+/// compile down to per-dictionary bitsets. The dictionaries are
+/// value-dependent, so --explain loads the fact table for this section
+/// (the plan itself is still never executed).
+void PrintDictExplain(const Schema& schema, const Workflow& workflow,
+                      const FactTable& fact) {
+  std::shared_ptr<const DictPlan> dict =
+      BuildDictPlan(fact, BuildScanSweep(workflow));
+  std::printf("dictionary encoding:\n");
+  for (int i = 0; i < schema.num_dims(); ++i) {
+    std::printf("  %s: %zu distinct values, %d-bit codes\n",
+                schema.dim(i).name.c_str(), dict->enc->dicts[i].size(),
+                dict->enc->dicts[i].bits());
+  }
+  std::printf("  generalization LUTs: %zu memoized (%zu entries)\n",
+              dict->num_luts, dict->lut_entries);
+  const auto vars = FactRowVars(schema);
+  int compiled = 0, total = 0;
+  size_t bits = 0;
+  for (const MeasureDef& def : workflow.measures()) {
+    if (def.op != MeasureOp::kBaseAgg || def.where == nullptr) continue;
+    ++total;
+    auto kernel =
+        PredicateKernel::Compile(*def.where, vars, schema.num_dims());
+    if (!kernel.has_value()) continue;
+    kernel->BindDictionaries(dict->views.data(), schema.num_dims());
+    if (kernel->dict_bound() > 0) {
+      ++compiled;
+      bits += kernel->dict_bits();
+      std::printf("  filter on '%s': %s\n", def.name.c_str(),
+                  kernel->Describe().c_str());
+    }
+  }
+  std::printf("  filters compiled to dict bitsets: %d of %d (%zu bits)\n",
+              compiled, total, bits);
+}
+
 Result<FactTable> LoadFactFile(const SchemaPtr& schema,
                                const std::string& path) {
   if (EndsWith(path, ".csv")) return ReadFactTableCsv(schema, path);
@@ -361,6 +403,7 @@ int RealMain(int argc, char** argv) {
   int threads = 0;
   bool explain = false, include_hidden = false, stream = false;
   bool trace = false, session_cache = false, no_vectorize = false;
+  bool no_dict = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -408,6 +451,11 @@ int RealMain(int argc, char** argv) {
       // Scalar reference path: per-row interpreter filters and probes.
       // Results are bit-identical to the vectorized default.
       no_vectorize = true;
+    } else if (!std::strcmp(argv[i], "--no-dict")) {
+      // Raw-value scan: no dictionary codes, memoized generalization
+      // LUTs, compiled predicate bitsets, or zone-map batch skipping.
+      // Results are bit-identical to the encoded default.
+      no_dict = true;
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace = true;
     } else if (!std::strcmp(argv[i], "--explain")) {
@@ -445,6 +493,7 @@ int RealMain(int argc, char** argv) {
     if (batch_rows > 0) options.scan_batch_rows = batch_rows;
     if (morsel_rows > 0) options.morsel_rows = morsel_rows;
     options.vectorized = !no_vectorize;
+    options.dict_encoding = !no_dict;
     if (!sort_key_text.empty()) {
       auto key = SortKey::Parse(**schema, sort_key_text);
       if (!key.ok()) return report(key.status());
@@ -488,6 +537,7 @@ int RealMain(int argc, char** argv) {
   if (batch_rows > 0) options.scan_batch_rows = batch_rows;
   if (morsel_rows > 0) options.morsel_rows = morsel_rows;
   options.vectorized = !no_vectorize;
+  options.dict_encoding = !no_dict;
   if (!sort_key_text.empty()) {
     auto key = SortKey::Parse(**schema, sort_key_text);
     if (!key.ok()) return report(key.status());
@@ -542,6 +592,11 @@ int RealMain(int argc, char** argv) {
                     : LowerToPlan(*kind, *workflow, options);
     if (!plan.ok()) return report(plan.status());
     std::printf("physical plan:\n%s", plan->Describe(**schema).c_str());
+    if (plan->dict_encoding) {
+      auto fact = LoadFactFile(*schema, facts_path);
+      if (!fact.ok()) return report(fact.status());
+      PrintDictExplain(**schema, *workflow, *fact);
+    }
     return 0;
   }
 
